@@ -1,0 +1,214 @@
+//! E10 — Ablations for this implementation's own design choices
+//! (DESIGN.md §4): Montgomery vs schoolbook modular exponentiation,
+//! windowed-Jacobian vs affine double-and-add scalar multiplication,
+//! cached pairing base in encryption, and CRT vs plain RSA decryption.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_bigint::{modular, BigUint, Montgomery};
+use sempair_core::bf_ibe::Pkg;
+use sempair_mrsa::rsa::{self, RsaKeyPair};
+use sempair_pairing::CurveParams;
+
+/// Schoolbook square-and-multiply with division-based reduction — the
+/// baseline Montgomery replaces.
+fn naive_mod_pow(base: &BigUint, exp: &BigUint, m: &BigUint) -> BigUint {
+    let mut acc = BigUint::one();
+    let base = base % m;
+    for i in (0..exp.bits()).rev() {
+        acc = &(&acc * &acc) % m;
+        if exp.bit(i) {
+            acc = &(&acc * &base) % m;
+        }
+    }
+    acc
+}
+
+fn bench_modexp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10001);
+    let p = sempair_bigint::prime::random_prime(&mut rng, 512).unwrap();
+    let base = sempair_bigint::rng::random_below(&mut rng, &p);
+    let exp = sempair_bigint::rng::random_below(&mut rng, &p);
+
+    let mut group = c.benchmark_group("e10/modexp_512");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("montgomery", |b| {
+        b.iter(|| modular::mod_pow(&base, &exp, &p))
+    });
+    let ctx = Montgomery::new(&p).unwrap();
+    let base_m = ctx.to_mont(&base);
+    group.bench_function("montgomery_prebuilt_ctx", |b| {
+        b.iter(|| ctx.pow(&base_m, &exp))
+    });
+    group.bench_function("schoolbook", |b| {
+        b.iter(|| naive_mod_pow(&base, &exp, &p))
+    });
+    group.finish();
+}
+
+fn bench_karatsuba(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10007);
+    let mut group = c.benchmark_group("e10/mul_karatsuba");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for bits in [1024usize, 2048, 4096] {
+        let a = sempair_bigint::rng::random_bits(&mut rng, bits);
+        let b = sempair_bigint::rng::random_bits(&mut rng, bits);
+        // The Mul impl auto-selects Karatsuba above 16 limbs; this
+        // records the resulting cost curve (subquadratic growth).
+        group.bench_function(format!("mul_{bits}"), |bench| bench.iter(|| &a * &b));
+    }
+    group.finish();
+}
+
+fn bench_scalar_mul(c: &mut Criterion) {
+    let curve = CurveParams::paper_default();
+    let mut rng = StdRng::seed_from_u64(10002);
+    let k = curve.random_scalar(&mut rng);
+    let g = curve.generator().clone();
+
+    let mut group = c.benchmark_group("e10/scalar_mul_512");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("windowed_jacobian", |b| b.iter(|| curve.mul(&k, &g)));
+    group.bench_function("fixed_base_comb_generator", |b| b.iter(|| curve.mul_generator(&k)));
+    group.bench_function("affine_double_and_add", |b| {
+        b.iter(|| {
+            let mut acc = sempair_pairing::G1Affine::infinity();
+            for i in (0..k.bits()).rev() {
+                acc = curve.add(&acc, &acc.clone());
+                if k.bit(i) {
+                    acc = curve.add(&acc, &g);
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_miller_strategies(c: &mut Criterion) {
+    let curve = CurveParams::paper_default();
+    let mut rng = StdRng::seed_from_u64(10006);
+    let a = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let b_pt = curve.mul_generator(&curve.random_scalar(&mut rng));
+
+    let mut group = c.benchmark_group("e10/miller_loop_512");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("projective_fused_lines", |bench| {
+        bench.iter(|| {
+            curve.pairing_with_strategy(&a, &b_pt, sempair_pairing::MillerStrategy::Projective)
+        })
+    });
+    group.bench_function("affine_with_inversions", |bench| {
+        bench.iter(|| {
+            curve.pairing_with_strategy(&a, &b_pt, sempair_pairing::MillerStrategy::Affine)
+        })
+    });
+    group.finish();
+}
+
+fn bench_multi_pairing(c: &mut Criterion) {
+    let curve = CurveParams::paper_default();
+    let mut rng = StdRng::seed_from_u64(10008);
+    let a = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let b1 = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let c1 = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let d1 = curve.mul_generator(&curve.random_scalar(&mut rng));
+
+    let mut group = c.benchmark_group("e10/verify_equation_512");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    // The verification pattern ê(A,B) =? ê(C,D): shared loop vs two
+    // separate pairings — what gdh::verify and share checks now use.
+    group.bench_function("two_separate_pairings", |bench| {
+        bench.iter(|| curve.pairing(&a, &b1) == curve.pairing(&c1, &d1))
+    });
+    group.bench_function("shared_loop_pairing_equals", |bench| {
+        bench.iter(|| curve.pairing_equals(&a, &b1, &c1, &d1))
+    });
+    group.finish();
+}
+
+fn bench_pairing_cache(c: &mut Criterion) {
+    let curve = CurveParams::paper_default();
+    let mut rng = StdRng::seed_from_u64(10003);
+    let pkg = Pkg::setup(&mut rng, curve);
+    let msg = [0u8; 32];
+
+    let mut group = c.benchmark_group("e10/encrypt_base_cache");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("fresh_pairing_each_encrypt", |b| {
+        b.iter(|| pkg.params().encrypt_full(&mut rng, "alice", &msg).unwrap())
+    });
+    let base = pkg.params().identity_base("alice");
+    group.bench_function("cached_identity_base", |b| {
+        b.iter(|| {
+            let r = pkg.params().curve().random_scalar(&mut rng);
+            let u = pkg.params().curve().mul_generator(&r);
+            let g_r = pkg.params().curve().gt_pow(&base, &r);
+            (u, g_r)
+        })
+    });
+    group.finish();
+}
+
+fn bench_rsa_crt(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(10004);
+    let kp = RsaKeyPair::generate_fast(&mut rng, 1024, 32).unwrap();
+    let m = BigUint::from(0xdeadbeefu64);
+    let ct = rsa::encrypt_raw(&kp.public, &m).unwrap();
+
+    let mut group = c.benchmark_group("e10/rsa_decrypt_1024");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("plain", |b| {
+        b.iter(|| rsa::decrypt_raw(&kp.private, &ct).unwrap())
+    });
+    group.bench_function("crt", |b| {
+        b.iter(|| rsa::decrypt_raw_crt(&kp.modulus, &kp.private.d, &ct).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_point_codec(c: &mut Criterion) {
+    let curve = CurveParams::paper_default();
+    let mut rng = StdRng::seed_from_u64(10005);
+    let point = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let compressed = curve.point_to_bytes(&point);
+
+    let mut group = c.benchmark_group("e10/point_codec_512");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    group.bench_function("compress", |b| b.iter(|| curve.point_to_bytes(&point)));
+    group.bench_function("decompress_sqrt_plus_subgroup_check", |b| {
+        b.iter(|| curve.point_from_bytes(&compressed).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_modexp,
+    bench_karatsuba,
+    bench_scalar_mul,
+    bench_miller_strategies,
+    bench_multi_pairing,
+    bench_pairing_cache,
+    bench_rsa_crt,
+    bench_point_codec
+);
+criterion_main!(benches);

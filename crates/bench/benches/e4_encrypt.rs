@@ -1,0 +1,70 @@
+//! E4 — Encryption cost: BF-IBE (mediated or not, encryption is
+//! identical) vs IB-mRSA-OAEP.
+//!
+//! Paper claim (§4, citing \[4\]/\[3\]): "the Boneh-Franklin IBE is
+//! significantly less efficient than IB-mRSA" — i.e. RSA encryption
+//! should win by a wide margin; we reproduce the *shape* (who wins).
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::Pkg;
+use sempair_mrsa::ib::IbMrsaSystem;
+use sempair_pairing::CurveParams;
+
+fn bench_ibe_encrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/ibe_encrypt");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for (label, curve) in [
+        ("p256_r128", CurveParams::fast_insecure()),
+        ("p512_r160", CurveParams::paper_default()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(4001);
+        let pkg = Pkg::setup(&mut rng, curve);
+        let msg = vec![0xabu8; 64];
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                pkg.params()
+                    .encrypt_full(&mut rng, "alice@example.com", &msg)
+                    .unwrap()
+            })
+        });
+        // With the per-identity pairing cached (senders mailing the same
+        // recipient repeatedly), encryption drops to one exponentiation
+        // + one scalar multiplication.
+        let base = pkg.params().identity_base("alice@example.com");
+        group.bench_function(BenchmarkId::new("cached_base", label), |b| {
+            b.iter(|| {
+                let r = pkg.params().curve().random_scalar(&mut rng);
+                let u = pkg.params().curve().mul_generator(&r);
+                let g_r = pkg.params().curve().gt_pow(&base, &r);
+                (u, g_r)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ib_mrsa_encrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4/ib_mrsa_encrypt");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for bits in [512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(4002);
+        let system = IbMrsaSystem::setup_with_plain_primes(&mut rng, bits, 160.min(bits / 4), 16)
+            .expect("setup");
+        let params = system.public_params();
+        let msg = vec![0xabu8; 16];
+        group.bench_function(BenchmarkId::from_parameter(format!("n{bits}")), |b| {
+            b.iter(|| params.encrypt(&mut rng, "alice@example.com", &msg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ibe_encrypt, bench_ib_mrsa_encrypt);
+criterion_main!(benches);

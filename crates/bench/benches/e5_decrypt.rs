@@ -1,0 +1,78 @@
+//! E5 — Mediated decryption cost, per party.
+//!
+//! Paper claims (§4): both sides compute one pairing each (SEM:
+//! `ê(U, d_sem)`, user: `ê(U, d_user)` plus the FO check); IB-mRSA does
+//! one half-exponentiation each. The RSA route is expected to be faster
+//! per operation — the paper concedes the efficiency point and argues
+//! trust instead.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::Pkg;
+use sempair_core::mediated::Sem;
+use sempair_mrsa::ib::IbMrsaSystem;
+use sempair_pairing::CurveParams;
+
+fn bench_mediated_ibe_decrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/mediated_ibe");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for (label, curve) in [
+        ("p256_r128", CurveParams::fast_insecure()),
+        ("p512_r160", CurveParams::paper_default()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(5001);
+        let pkg = Pkg::setup(&mut rng, curve);
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        let mut sem = Sem::new();
+        sem.install(sem_key);
+        let ct = pkg.params().encrypt_full(&mut rng, "alice", &[0u8; 64]).unwrap();
+
+        group.bench_function(BenchmarkId::new("sem_token", label), |b| {
+            b.iter(|| sem.decrypt_token(pkg.params(), "alice", &ct.u).unwrap())
+        });
+        let token = sem.decrypt_token(pkg.params(), "alice", &ct.u).unwrap();
+        group.bench_function(BenchmarkId::new("user_finish", label), |b| {
+            b.iter(|| user.finish_decrypt(pkg.params(), &ct, &token).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ib_mrsa_decrypt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5/ib_mrsa");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for bits in [512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(5002);
+        let system = IbMrsaSystem::setup_with_plain_primes(&mut rng, bits, 64, 16).expect("setup");
+        let params = system.public_params();
+        // With plain primes an identity's exponent can (rarely) share a
+        // factor with φ(n); scan identities until keygen succeeds.
+        let (id, user, sem_key) = (0..64)
+            .find_map(|i| {
+                let id = format!("alice{i}");
+                system.keygen(&mut rng, &id).ok().map(|(u, s)| (id, u, s))
+            })
+            .expect("some identity keygens");
+        let mut sem = system.new_sem();
+        sem.install(sem_key);
+        let ct = params.encrypt(&mut rng, &id, &[0u8; 14]).unwrap();
+
+        group.bench_function(BenchmarkId::new("sem_half", format!("n{bits}")), |b| {
+            b.iter(|| sem.half_decrypt(&id, &ct).unwrap())
+        });
+        let token = sem.half_decrypt(&id, &ct).unwrap();
+        group.bench_function(BenchmarkId::new("user_finish", format!("n{bits}")), |b| {
+            b.iter(|| user.finish_decrypt(&ct, &token).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mediated_ibe_decrypt, bench_ib_mrsa_decrypt);
+criterion_main!(benches);

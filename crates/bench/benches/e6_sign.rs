@@ -1,0 +1,83 @@
+//! E6 — Mediated signing cost.
+//!
+//! Paper claims (§5): SEM and user each perform *one scalar
+//! multiplication* in `G1`; verification needs two pairings — "this
+//! computation overhead is the only disadvantage of mediated GDH when
+//! compared to the mRSA signature".
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::gdh::{self, GdhSem};
+use sempair_mrsa::ib::IbMrsaSystem;
+use sempair_pairing::CurveParams;
+
+fn bench_mediated_gdh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/mediated_gdh");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for (label, curve) in [
+        ("p256_r128", CurveParams::fast_insecure()),
+        ("p512_r160", CurveParams::paper_default()),
+    ] {
+        let mut rng = StdRng::seed_from_u64(6001);
+        let (user, sem_key, pk) = gdh::mediated_keygen(&mut rng, &curve, "alice");
+        let mut sem = GdhSem::new();
+        sem.install(sem_key);
+        let msg = b"benchmark message";
+
+        group.bench_function(BenchmarkId::new("sem_half_sign", label), |b| {
+            b.iter(|| sem.half_sign(&curve, "alice", msg).unwrap())
+        });
+        let half = sem.half_sign(&curve, "alice", msg).unwrap();
+        group.bench_function(BenchmarkId::new("user_finish_sign", label), |b| {
+            b.iter(|| user.finish_sign(&curve, msg, &half).unwrap())
+        });
+        let sig = user.finish_sign(&curve, msg, &half).unwrap();
+        group.bench_function(BenchmarkId::new("verify_2_pairings", label), |b| {
+            b.iter(|| gdh::verify(&curve, &pk, msg, &sig).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_ib_mrsa_sign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6/ib_mrsa_sign");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for bits in [512usize, 1024] {
+        let mut rng = StdRng::seed_from_u64(6002);
+        let system = IbMrsaSystem::setup_with_plain_primes(&mut rng, bits, 64, 16).expect("setup");
+        let params = system.public_params();
+        // With plain primes an identity's exponent can (rarely) share a
+        // factor with φ(n); scan identities until keygen succeeds.
+        let (id, user, sem_key) = (0..64)
+            .find_map(|i| {
+                let id = format!("alice{i}");
+                system.keygen(&mut rng, &id).ok().map(|(u, s)| (id, u, s))
+            })
+            .expect("some identity keygens");
+        let mut sem = system.new_sem();
+        sem.install(sem_key);
+        let msg = b"benchmark message";
+
+        group.bench_function(BenchmarkId::new("sem_half_sign", format!("n{bits}")), |b| {
+            b.iter(|| sem.half_sign(&id, msg).unwrap())
+        });
+        let token = sem.half_sign(&id, msg).unwrap();
+        group.bench_function(BenchmarkId::new("user_finish_sign", format!("n{bits}")), |b| {
+            b.iter(|| user.finish_sign(msg, &token).unwrap())
+        });
+        let sig = user.finish_sign(msg, &token).unwrap();
+        group.bench_function(BenchmarkId::new("verify_modexp", format!("n{bits}")), |b| {
+            b.iter(|| params.verify(&id, msg, &sig).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mediated_gdh, bench_ib_mrsa_sign);
+criterion_main!(benches);

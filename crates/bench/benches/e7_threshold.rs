@@ -1,0 +1,66 @@
+//! E7 — Threshold IBE scaling in `(t, n)`, robustness overhead.
+//!
+//! The paper gives no absolute numbers for §3; the shapes to confirm:
+//! share generation is one pairing (flat in `t`), recombination is `t`
+//! target-group exponentiations (linear in `t`), and the robustness
+//! NIZK costs a few extra pairings per share on each side.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::threshold::{DecryptionShare, ThresholdPkg};
+use sempair_pairing::CurveParams;
+
+fn bench_threshold(c: &mut Criterion) {
+    let curve = CurveParams::fast_insecure();
+    let mut group = c.benchmark_group("e7/threshold");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+
+    for t in [2usize, 3, 5, 8] {
+        let n = 2 * t - 1; // the robustness regime §3.2 assumes
+        let mut rng = StdRng::seed_from_u64(7000 + t as u64);
+        let pkg = ThresholdPkg::setup(&mut rng, curve.clone(), t, n).unwrap();
+        let sys = pkg.system();
+        let shares = pkg.keygen("vault");
+        let ct = sys.params().encrypt_basic(&mut rng, "vault", &[0u8; 32]);
+
+        group.bench_function(BenchmarkId::new("keygen_all_shares", format!("t{t}_n{n}")), |b| {
+            b.iter(|| pkg.keygen("vault"))
+        });
+
+        group.bench_function(BenchmarkId::new("share_decrypt", format!("t{t}_n{n}")), |b| {
+            b.iter(|| sys.decryption_share(&shares[0], &ct.u))
+        });
+
+        group.bench_function(
+            BenchmarkId::new("share_decrypt_robust", format!("t{t}_n{n}")),
+            |b| b.iter(|| sys.decryption_share_robust(&mut rng, &shares[0], &ct.u)),
+        );
+
+        let plain: Vec<DecryptionShare> =
+            shares.iter().map(|ks| sys.decryption_share(ks, &ct.u)).collect();
+        group.bench_function(BenchmarkId::new("recombine", format!("t{t}_n{n}")), |b| {
+            b.iter(|| sys.recombine_basic(&ct, &plain).unwrap())
+        });
+
+        let robust: Vec<DecryptionShare> = shares
+            .iter()
+            .map(|ks| sys.decryption_share_robust(&mut rng, ks, &ct.u))
+            .collect();
+        group.bench_function(
+            BenchmarkId::new("verify_one_share", format!("t{t}_n{n}")),
+            |b| b.iter(|| sys.verify_decryption_share("vault", &ct.u, &robust[0]).unwrap()),
+        );
+        group.bench_function(
+            BenchmarkId::new("recombine_robust", format!("t{t}_n{n}")),
+            |b| b.iter(|| sys.recombine_basic_robust("vault", &ct, &robust).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold);
+criterion_main!(benches);

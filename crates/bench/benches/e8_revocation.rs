@@ -1,0 +1,62 @@
+//! E8 — Revocation cost: SEM list update vs validity-period re-keying.
+//!
+//! Paper claims (§1/§4): the SEM method revokes with one constant-cost
+//! operation effective immediately; the validity-period method makes
+//! the PKG re-issue a key for every unrevoked user each epoch (linear
+//! in the user count) and still leaves a revocation window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::Pkg;
+use sempair_core::mediated::Sem;
+use sempair_net::revocation::ValidityPeriodPkg;
+use sempair_pairing::CurveParams;
+use std::time::Duration;
+
+fn bench_sem_revocation(c: &mut Criterion) {
+    let curve = CurveParams::fast_insecure();
+    let mut group = c.benchmark_group("e8/sem");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for n_users in [8usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(8001);
+        let pkg = Pkg::setup(&mut rng, curve.clone());
+        let mut sem = Sem::new();
+        for i in 0..n_users {
+            let (_, sem_key) = pkg.extract_split(&mut rng, &format!("user{i}"));
+            sem.install(sem_key);
+        }
+        // Revoke + unrevoke one identity: constant regardless of n.
+        group.bench_function(BenchmarkId::new("revoke_unrevoke", n_users), |b| {
+            b.iter(|| {
+                sem.revoke("user0");
+                sem.unrevoke("user0");
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_validity_period_rekey(c: &mut Criterion) {
+    let curve = CurveParams::fast_insecure();
+    let mut group = c.benchmark_group("e8/validity_period");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    for n_users in [8usize, 64, 256] {
+        let mut rng = StdRng::seed_from_u64(8002);
+        let pkg = Pkg::setup(&mut rng, curve.clone());
+        let users: Vec<String> = (0..n_users).map(|i| format!("user{i}")).collect();
+        let mut vp = ValidityPeriodPkg::new(pkg, Duration::from_secs(3600), users);
+        // One epoch rollover = n_users Extract operations by the PKG.
+        group.bench_function(BenchmarkId::new("rotate_epoch", n_users), |b| {
+            b.iter(|| vp.rotate_epoch())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sem_revocation, bench_validity_period_rekey);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E9 — SEM server token throughput vs worker count.
+//!
+//! Paper claim (§4): one online SEM serves the whole system; this bench
+//! measures how token service scales with worker threads on one host.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::Pkg;
+use sempair_net::server::{drive_throughput, SemServer};
+use sempair_pairing::CurveParams;
+
+fn bench_server_throughput(c: &mut Criterion) {
+    let curve = CurveParams::fast_insecure();
+    let mut rng = StdRng::seed_from_u64(9001);
+    let pkg = Pkg::setup(&mut rng, curve);
+    let (_, sem_key) = pkg.extract_split(&mut rng, "load");
+    let ct = pkg.params().encrypt_full(&mut rng, "load", &[0u8; 32]).unwrap();
+
+    let mut group = c.benchmark_group("e9/server_throughput");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    const REQUESTS: usize = 64;
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    for workers in [1usize, 2, 4, 8] {
+        let server = SemServer::spawn(pkg.params().clone(), workers);
+        server.install_ibe(sem_key.clone());
+        group.bench_function(BenchmarkId::new("tokens", format!("w{workers}")), |b| {
+            b.iter(|| drive_throughput(&server, "load", &ct.u, workers.min(4), REQUESTS))
+        });
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! # sempair-bench
+//!
+//! Shared helpers for the Criterion benchmark harness (see
+//! `benches/` and the `report` binary). The per-experiment mapping to
+//! the paper's evaluation claims lives in the workspace
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+
+pub mod report;

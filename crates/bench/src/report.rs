@@ -1,0 +1,86 @@
+//! Utilities for the experiment report binary: wall-clock measurement
+//! with warmup, simple statistics, and markdown table rendering.
+
+use std::time::{Duration, Instant};
+
+/// Result of timing a closure repeatedly.
+#[derive(Debug, Clone, Copy)]
+pub struct Timing {
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Minimum per-iteration time.
+    pub min: Duration,
+    /// Number of measured iterations.
+    pub iters: usize,
+}
+
+impl Timing {
+    /// Median microseconds, for table rendering.
+    pub fn micros(&self) -> f64 {
+        self.median.as_secs_f64() * 1e6
+    }
+
+    /// Median milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.median.as_secs_f64() * 1e3
+    }
+}
+
+/// Times `f` with `warmup` discarded runs and `iters` measured runs.
+pub fn time<T>(warmup: usize, iters: usize, mut f: impl FnMut() -> T) -> Timing {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<Duration> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    Timing {
+        median: samples[samples.len() / 2],
+        min: samples[0],
+        iters,
+    }
+}
+
+/// Renders a markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", headers.join(" | ")));
+    out.push_str(&format!("|{}\n", "---|".repeat(headers.len())));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_sane_values() {
+        let t = time(2, 11, || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert_eq!(t.iters, 11);
+        assert!(t.min <= t.median);
+        assert!(t.micros() >= 0.0);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let table = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a | b |"));
+        assert!(lines[1].contains("---|---|"));
+        assert!(lines[2].contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,303 @@
+//! Minimal signed big integers.
+//!
+//! [`BigInt`] exists to support the extended Euclidean algorithm and a
+//! few places (Shamir interpolation, NIZK responses) where intermediate
+//! values go negative before a final modular reduction. It deliberately
+//! implements only the operations those call-sites need.
+
+use crate::BigUint;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Sign of a [`BigInt`].
+///
+/// Zero is always represented with [`Sign::Plus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// Non-negative.
+    Plus,
+    /// Strictly negative.
+    Minus,
+}
+
+/// A signed arbitrary-precision integer (sign-and-magnitude).
+///
+/// ```
+/// use sempair_bigint::{BigInt, BigUint};
+///
+/// let a = BigInt::from(5i64) - BigInt::from(9i64);
+/// assert_eq!(a.to_string(), "-4");
+/// let m = BigUint::from(7u64);
+/// assert_eq!(a.rem_euclid(&m), BigUint::from(3u64));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+    }
+
+    /// Builds a signed value from a sign and magnitude.
+    ///
+    /// A zero magnitude is normalized to [`Sign::Plus`].
+    pub fn from_sign_magnitude(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign (zero reports [`Sign::Plus`]).
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude `|self|`.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.mag.is_zero()
+    }
+
+    /// `true` iff the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Minus
+    }
+
+    /// The least non-negative residue of `self` modulo `modulus`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn rem_euclid(&self, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be non-zero");
+        let r = &self.mag % modulus;
+        match self.sign {
+            Sign::Plus => r,
+            Sign::Minus => {
+                if r.is_zero() {
+                    r
+                } else {
+                    modulus - &r
+                }
+            }
+        }
+    }
+}
+
+impl From<&BigUint> for BigInt {
+    fn from(v: &BigUint) -> Self {
+        BigInt { sign: Sign::Plus, mag: v.clone() }
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt { sign: Sign::Plus, mag }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        if v < 0 {
+            BigInt { sign: Sign::Minus, mag: BigUint::from(v.unsigned_abs()) }
+        } else {
+            BigInt { sign: Sign::Plus, mag: BigUint::from(v as u64) }
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        if self.is_zero() {
+            self
+        } else {
+            let sign = match self.sign {
+                Sign::Plus => Sign::Minus,
+                Sign::Minus => Sign::Plus,
+            };
+            BigInt { sign, mag: self.mag }
+        }
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        -self.clone()
+    }
+}
+
+impl Add<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        if self.sign == rhs.sign {
+            return BigInt::from_sign_magnitude(self.sign, &self.mag + &rhs.mag);
+        }
+        match self.mag.cmp(&rhs.mag) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_magnitude(self.sign, &self.mag - &rhs.mag),
+            Ordering::Less => BigInt::from_sign_magnitude(rhs.sign, &rhs.mag - &self.mag),
+        }
+    }
+}
+
+impl Sub<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs)
+    }
+}
+
+impl Mul<&BigInt> for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        BigInt::from_sign_magnitude(sign, &self.mag * &rhs.mag)
+    }
+}
+
+macro_rules! forward_int_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: &BigInt) -> BigInt {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_int_binop!(Add, add);
+forward_int_binop!(Sub, sub);
+forward_int_binop!(Mul, mul);
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Plus, Sign::Minus) => Ordering::Greater,
+            (Sign::Minus, Sign::Plus) => Ordering::Less,
+            (Sign::Plus, Sign::Plus) => self.mag.cmp(&other.mag),
+            (Sign::Minus, Sign::Minus) => other.mag.cmp(&self.mag),
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Default for BigInt {
+    fn default() -> Self {
+        BigInt::zero()
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Minus {
+            write!(f, "-")?;
+        }
+        write!(f, "{}", self.mag)
+    }
+}
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn sign_normalization() {
+        let z = BigInt::from_sign_magnitude(Sign::Minus, BigUint::zero());
+        assert_eq!(z.sign(), Sign::Plus);
+        assert!(z.is_zero());
+        assert!(!z.is_negative());
+    }
+
+    #[test]
+    fn add_sub_mixed_signs() {
+        assert_eq!(int(5) + int(-9), int(-4));
+        assert_eq!(int(-5) + int(9), int(4));
+        assert_eq!(int(-5) + int(-9), int(-14));
+        assert_eq!(int(5) - int(9), int(-4));
+        assert_eq!(int(-5) - int(-5), BigInt::zero());
+    }
+
+    #[test]
+    fn mul_signs() {
+        assert_eq!(int(-3) * int(4), int(-12));
+        assert_eq!(int(-3) * int(-4), int(12));
+        assert_eq!(int(0) * int(-4), BigInt::zero());
+        assert!(!(int(0) * int(-4)).is_negative());
+    }
+
+    #[test]
+    fn rem_euclid_negative() {
+        let m = BigUint::from(7u64);
+        assert_eq!(int(-1).rem_euclid(&m), BigUint::from(6u64));
+        assert_eq!(int(-14).rem_euclid(&m), BigUint::zero());
+        assert_eq!(int(15).rem_euclid(&m), BigUint::one());
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(int(-10) < int(-9));
+        assert!(int(-1) < int(0));
+        assert!(int(0) < int(1));
+        assert!(int(3) > int(-100));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(int(-42).to_string(), "-42");
+        assert_eq!(int(42).to_string(), "42");
+        assert_eq!(BigInt::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn neg_involution() {
+        let a = int(-7);
+        assert_eq!(-(-a.clone()), a);
+        assert_eq!(-BigInt::zero(), BigInt::zero());
+    }
+}

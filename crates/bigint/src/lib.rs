@@ -1,0 +1,84 @@
+//! # sempair-bigint
+//!
+//! Arbitrary-precision unsigned/signed integer arithmetic and modular
+//! number theory, written from scratch as the substrate for the
+//! `sempair` reproduction of Libert & Quisquater (PODC 2003).
+//!
+//! The crate provides everything the pairing tower and the RSA baseline
+//! need:
+//!
+//! * [`BigUint`] — dynamically sized unsigned integers (little-endian
+//!   `u64` limbs) with schoolbook multiplication and Knuth
+//!   algorithm-D division.
+//! * [`BigInt`] — a thin signed wrapper used by the extended Euclidean
+//!   algorithm.
+//! * [`Montgomery`] — a reusable Montgomery-reduction context for fast
+//!   modular multiplication/exponentiation with a runtime odd modulus.
+//! * [`modular`] — plain modular arithmetic, inverses, Jacobi symbols
+//!   and modular square roots.
+//! * [`prime`] — Miller–Rabin testing plus random, strong and safe prime
+//!   generation.
+//!
+//! ## Example
+//!
+//! ```
+//! use sempair_bigint::{BigUint, modular};
+//!
+//! let p = BigUint::from_hex("ffffffffffffffc5").unwrap(); // 2^64 - 59, prime
+//! let a = BigUint::from(1234567890123456789u64);
+//! let inv = modular::mod_inv(&a, &p).unwrap();
+//! assert_eq!(modular::mod_mul(&a, &inv, &p), BigUint::one());
+//! ```
+//!
+//! ## Security note
+//!
+//! This implementation is *not* constant time. It reproduces a 2003
+//! research system; see the workspace `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod int;
+mod mont;
+mod uint;
+
+pub mod modular;
+pub mod prime;
+pub mod rng;
+
+pub use int::{BigInt, Sign};
+pub use mont::{MontElem, Montgomery};
+pub use uint::{BigUint, ParseBigUintError};
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors produced by fallible `sempair-bigint` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A modulus was zero where a positive modulus was required.
+    ZeroModulus,
+    /// Montgomery arithmetic requires an odd modulus greater than one.
+    EvenModulus,
+    /// The element is not invertible modulo the given modulus.
+    NotInvertible,
+    /// No square root exists (the element is a quadratic non-residue).
+    NonResidue,
+    /// Prime generation gave up after the configured number of attempts.
+    PrimeSearchExhausted,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::ZeroModulus => write!(f, "modulus must be non-zero"),
+            Error::EvenModulus => write!(f, "montgomery context requires an odd modulus > 1"),
+            Error::NotInvertible => write!(f, "element is not invertible modulo the modulus"),
+            Error::NonResidue => write!(f, "element is a quadratic non-residue"),
+            Error::PrimeSearchExhausted => write!(f, "prime search exhausted its attempt budget"),
+        }
+    }
+}
+
+impl StdError for Error {}

@@ -1,0 +1,439 @@
+//! Montgomery-form modular arithmetic for a fixed odd modulus.
+//!
+//! A [`Montgomery`] context precomputes everything needed for CIOS
+//! (coarsely integrated operand scanning) Montgomery multiplication.
+//! Elements live in Montgomery form as fixed-width [`MontElem`] values,
+//! so chains of field operations avoid per-operation divisions entirely.
+//! This is the engine under both the pairing field tower and RSA
+//! exponentiation.
+
+use crate::{modular, BigUint, Error};
+
+/// Precomputed context for Montgomery arithmetic modulo an odd `n > 1`.
+///
+/// ```
+/// use sempair_bigint::{BigUint, Montgomery};
+///
+/// let p: BigUint = "1000000007".parse().unwrap();
+/// let ctx = Montgomery::new(&p).unwrap();
+/// let a = ctx.to_mont(&BigUint::from(1234u64));
+/// let b = ctx.to_mont(&BigUint::from(5678u64));
+/// let prod = ctx.from_mont(&ctx.mul(&a, &b));
+/// assert_eq!(prod, BigUint::from(1234u64 * 5678));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Montgomery {
+    n: BigUint,
+    limbs: Vec<u64>, // modulus limbs, length k
+    k: usize,
+    n0_inv: u64, // -n^{-1} mod 2^64
+    r1: Vec<u64>, // R mod n (Montgomery form of 1)
+    r2: Vec<u64>, // R^2 mod n
+}
+
+/// An element in Montgomery form, tied to the [`Montgomery`] context that
+/// produced it.
+///
+/// Mixing elements from different contexts is a logic error: the result
+/// is an arbitrary (but memory-safe) wrong value, caught by a
+/// `debug_assert!` in debug builds.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MontElem {
+    limbs: Vec<u64>, // length k, value < n
+}
+
+impl std::fmt::Debug for MontElem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MontElem({:x?})", self.limbs)
+    }
+}
+
+impl MontElem {
+    /// `true` iff this is the additive identity (zero in any form).
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+}
+
+/// Inverse of an odd `x` modulo 2^64 by Newton iteration.
+fn inv_mod_u64(x: u64) -> u64 {
+    debug_assert!(x & 1 == 1);
+    let mut inv = x; // correct to 3 bits since x*x ≡ 1 (mod 8) for odd x
+    for _ in 0..6 {
+        inv = inv.wrapping_mul(2u64.wrapping_sub(x.wrapping_mul(inv)));
+    }
+    debug_assert_eq!(x.wrapping_mul(inv), 1);
+    inv
+}
+
+/// Compares two equal-length little-endian limb slices.
+fn limbs_lt(a: &[u64], b: &[u64]) -> bool {
+    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
+        if x != y {
+            return x < y;
+        }
+    }
+    false
+}
+
+/// `a -= b` over equal-length limb slices; returns the final borrow.
+fn limbs_sub_assign(a: &mut [u64], b: &[u64]) -> u64 {
+    let mut borrow = 0u64;
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        let (d1, b1) = x.overflowing_sub(y);
+        let (d2, b2) = d1.overflowing_sub(borrow);
+        *x = d2;
+        borrow = (b1 || b2) as u64;
+    }
+    borrow
+}
+
+/// `a += b` over equal-length limb slices; returns the final carry.
+fn limbs_add_assign(a: &mut [u64], b: &[u64]) -> u64 {
+    let mut carry = 0u64;
+    for (x, &y) in a.iter_mut().zip(b.iter()) {
+        let (s1, c1) = x.overflowing_add(y);
+        let (s2, c2) = s1.overflowing_add(carry);
+        *x = s2;
+        carry = (c1 || c2) as u64;
+    }
+    carry
+}
+
+impl Montgomery {
+    /// Creates a context for the odd modulus `n > 1`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::EvenModulus`] if `n` is even or `n <= 1`.
+    pub fn new(n: &BigUint) -> Result<Self, Error> {
+        if n.is_even() || n.is_one() || n.is_zero() {
+            return Err(Error::EvenModulus);
+        }
+        let limbs = n.limbs().to_vec();
+        let k = limbs.len();
+        let n0_inv = inv_mod_u64(limbs[0]).wrapping_neg();
+        let r = &(BigUint::one() << (64 * k)) % n;
+        let r2 = &(&r * &r) % n;
+        let pad = |v: &BigUint| {
+            let mut l = v.limbs().to_vec();
+            l.resize(k, 0);
+            l
+        };
+        Ok(Montgomery {
+            n: n.clone(),
+            r1: pad(&r),
+            r2: pad(&r2),
+            limbs,
+            k,
+            n0_inv,
+        })
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// Number of 64-bit limbs in the modulus.
+    pub fn limb_count(&self) -> usize {
+        self.k
+    }
+
+    /// Converts a canonical integer (reduced mod `n` first) into
+    /// Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> MontElem {
+        let a = if a < &self.n { a.clone() } else { a % &self.n };
+        let mut limbs = a.limbs().to_vec();
+        limbs.resize(self.k, 0);
+        let mut out = vec![0u64; self.k];
+        self.mont_mul(&limbs, &self.r2, &mut out);
+        MontElem { limbs: out }
+    }
+
+    /// Converts a Montgomery-form element back to a canonical integer.
+    pub fn from_mont(&self, a: &MontElem) -> BigUint {
+        debug_assert_eq!(a.limbs.len(), self.k);
+        let one = {
+            let mut v = vec![0u64; self.k];
+            v[0] = 1;
+            v
+        };
+        let mut out = vec![0u64; self.k];
+        self.mont_mul(&a.limbs, &one, &mut out);
+        BigUint::from_limbs(out)
+    }
+
+    /// The Montgomery form of `0`.
+    pub fn zero(&self) -> MontElem {
+        MontElem { limbs: vec![0u64; self.k] }
+    }
+
+    /// The Montgomery form of `1`.
+    pub fn one(&self) -> MontElem {
+        MontElem { limbs: self.r1.clone() }
+    }
+
+    /// CIOS Montgomery multiplication: `out = a * b * R^{-1} mod n`.
+    fn mont_mul(&self, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let k = self.k;
+        debug_assert!(a.len() == k && b.len() == k && out.len() == k);
+        // t has k + 2 limbs.
+        let mut t = vec![0u64; k + 2];
+        #[allow(clippy::needless_range_loop)] // index drives both a[i] and the running window of t
+        for i in 0..k {
+            // t += a[i] * b
+            let ai = a[i] as u128;
+            let mut carry = 0u128;
+            for j in 0..k {
+                let cur = t[j] as u128 + ai * b[j] as u128 + carry;
+                t[j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+
+            // m = t[0] * n0_inv mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0_inv) as u128;
+            let cur = t[0] as u128 + m * self.limbs[0] as u128;
+            debug_assert_eq!(cur as u64, 0);
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m * self.limbs[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            t[k] = t[k + 1].wrapping_add((cur >> 64) as u64);
+            t[k + 1] = 0;
+        }
+        // Conditional final subtraction.
+        if t[k] != 0 || !limbs_lt(&t[..k], &self.limbs) {
+            limbs_sub_assign(&mut t[..k], &self.limbs);
+        }
+        out.copy_from_slice(&t[..k]);
+    }
+
+    /// `a * b` in Montgomery form.
+    pub fn mul(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let mut out = vec![0u64; self.k];
+        self.mont_mul(&a.limbs, &b.limbs, &mut out);
+        MontElem { limbs: out }
+    }
+
+    /// `a²` in Montgomery form.
+    pub fn sqr(&self, a: &MontElem) -> MontElem {
+        self.mul(a, a)
+    }
+
+    /// `a + b mod n`.
+    pub fn add(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let mut out = a.limbs.clone();
+        let carry = limbs_add_assign(&mut out, &b.limbs);
+        if carry != 0 || !limbs_lt(&out, &self.limbs) {
+            limbs_sub_assign(&mut out, &self.limbs);
+        }
+        MontElem { limbs: out }
+    }
+
+    /// `a - b mod n`.
+    pub fn sub(&self, a: &MontElem, b: &MontElem) -> MontElem {
+        let mut out = a.limbs.clone();
+        let borrow = limbs_sub_assign(&mut out, &b.limbs);
+        if borrow != 0 {
+            limbs_add_assign(&mut out, &self.limbs);
+        }
+        MontElem { limbs: out }
+    }
+
+    /// `-a mod n`.
+    pub fn neg(&self, a: &MontElem) -> MontElem {
+        if a.is_zero() {
+            a.clone()
+        } else {
+            let mut out = self.limbs.clone();
+            limbs_sub_assign(&mut out, &a.limbs);
+            MontElem { limbs: out }
+        }
+    }
+
+    /// Doubles `a` modulo `n`.
+    pub fn double(&self, a: &MontElem) -> MontElem {
+        self.add(a, a)
+    }
+
+    /// `base^exp mod n` with a fixed 4-bit window.
+    pub fn pow(&self, base: &MontElem, exp: &BigUint) -> MontElem {
+        if exp.is_zero() {
+            return self.one();
+        }
+        // Precompute base^0..base^15.
+        let mut table = Vec::with_capacity(16);
+        table.push(self.one());
+        for i in 1..16 {
+            table.push(self.mul(&table[i - 1], base));
+        }
+        let bits = exp.bits();
+        let top_window = bits.div_ceil(4) * 4;
+        let mut acc: Option<MontElem> = None;
+        let mut w = top_window;
+        while w >= 4 {
+            w -= 4;
+            let mut digit = 0usize;
+            for b in 0..4 {
+                if exp.bit(w + b) {
+                    digit |= 1 << b;
+                }
+            }
+            acc = Some(match acc {
+                None => table[digit].clone(),
+                Some(a) => {
+                    let mut a = self.sqr(&a);
+                    a = self.sqr(&a);
+                    a = self.sqr(&a);
+                    a = self.sqr(&a);
+                    if digit != 0 {
+                        a = self.mul(&a, &table[digit]);
+                    }
+                    a
+                }
+            });
+        }
+        acc.unwrap_or_else(|| self.one())
+    }
+
+    /// Multiplicative inverse in Montgomery form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::NotInvertible`] if `gcd(a, n) != 1`.
+    pub fn inv(&self, a: &MontElem) -> Result<MontElem, Error> {
+        let canonical = self.from_mont(a);
+        let inv = modular::mod_inv(&canonical, &self.n)?;
+        Ok(self.to_mont(&inv))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    fn ctx(s: &str) -> Montgomery {
+        Montgomery::new(&big(s)).unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Montgomery::new(&BigUint::zero()).is_err());
+        assert!(Montgomery::new(&BigUint::one()).is_err());
+        assert!(Montgomery::new(&big("100")).is_err());
+        assert!(Montgomery::new(&big("3")).is_ok());
+    }
+
+    #[test]
+    fn inv_mod_u64_samples() {
+        for x in [1u64, 3, 5, 0xffffffffffffffc5, 0x123456789abcdef1] {
+            assert_eq!(x.wrapping_mul(inv_mod_u64(x)), 1);
+        }
+    }
+
+    #[test]
+    fn to_from_roundtrip() {
+        let c = ctx("0xffffffffffffffc5");
+        for v in ["0", "1", "2", "0xfffffffffffffe00", "1234567890"] {
+            let v = big(v);
+            assert_eq!(c.from_mont(&c.to_mont(&v)), v);
+        }
+        // Values above the modulus are reduced.
+        let c97 = ctx("97");
+        assert_eq!(c97.from_mont(&c97.to_mont(&big("1000"))), big("1000") % big("97"));
+    }
+
+    #[test]
+    fn mul_matches_plain() {
+        let m = big("0xffffffffffffffffffffffffffffff61"); // 128-bit odd
+        let c = Montgomery::new(&m).unwrap();
+        let a = big("0xdeadbeefcafebabe0123456789abcdef");
+        let b = big("0xfeedfacedeadbeefcafebabe01234567");
+        let got = c.from_mont(&c.mul(&c.to_mont(&a), &c.to_mont(&b)));
+        assert_eq!(got, modular::mod_mul(&a, &b, &m));
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let c = ctx("97");
+        let a = c.to_mont(&big("96"));
+        let b = c.to_mont(&big("5"));
+        assert_eq!(c.from_mont(&c.add(&a, &b)), big("4"));
+        assert_eq!(c.from_mont(&c.sub(&b, &a)), big("6"));
+        assert_eq!(c.from_mont(&c.neg(&b)), big("92"));
+        assert!(c.neg(&c.zero()).is_zero());
+        assert_eq!(c.from_mont(&c.double(&a)), big("95"));
+    }
+
+    #[test]
+    fn pow_matches_mod_pow() {
+        let m = big("0xffffffffffffffffffffffffffffff61");
+        let c = Montgomery::new(&m).unwrap();
+        let base = big("0x123456789abcdef0123456789abcdef");
+        for exp in ["0", "1", "2", "65537", "0xdeadbeefcafebabe0123456789abcdef"] {
+            let exp = big(exp);
+            let got = c.from_mont(&c.pow(&c.to_mont(&base), &exp));
+            // Independent check via simple square-and-multiply.
+            let mut expect = BigUint::one();
+            for i in (0..exp.bits()).rev() {
+                expect = modular::mod_mul(&expect, &expect, &m);
+                if exp.bit(i) {
+                    expect = modular::mod_mul(&expect, &base, &m);
+                }
+            }
+            assert_eq!(got, expect, "exp={exp}");
+        }
+    }
+
+    #[test]
+    fn pow_fermat() {
+        let p = big("0xffffffffffffffffffffffffffffff61");
+        // Is it prime? This is 2^128 - 159, a known prime.
+        let c = Montgomery::new(&p).unwrap();
+        let a = c.to_mont(&big("123456789"));
+        let e = &p - &BigUint::one();
+        assert_eq!(c.from_mont(&c.pow(&a, &e)), BigUint::one());
+    }
+
+    #[test]
+    fn inverse() {
+        let c = ctx("1000000007");
+        let a = c.to_mont(&big("123456"));
+        let inv = c.inv(&a).unwrap();
+        assert_eq!(c.from_mont(&c.mul(&a, &inv)), BigUint::one());
+        let nine = Montgomery::new(&big("9")).unwrap();
+        assert!(nine.inv(&nine.to_mont(&big("6"))).is_err());
+    }
+
+    #[test]
+    fn one_and_zero() {
+        let c = ctx("97");
+        assert_eq!(c.from_mont(&c.one()), BigUint::one());
+        assert_eq!(c.from_mont(&c.zero()), BigUint::zero());
+        assert!(c.zero().is_zero());
+        assert!(!c.one().is_zero());
+        let a = c.to_mont(&big("42"));
+        assert_eq!(c.mul(&a, &c.one()), a);
+    }
+
+    #[test]
+    fn single_limb_modulus() {
+        let c = ctx("97");
+        assert_eq!(c.limb_count(), 1);
+        let a = c.to_mont(&big("50"));
+        let b = c.to_mont(&big("60"));
+        assert_eq!(c.from_mont(&c.mul(&a, &b)), big("3000") % big("97"));
+    }
+}

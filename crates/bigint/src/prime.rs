@@ -1,0 +1,292 @@
+//! Primality testing and prime generation.
+//!
+//! Miller–Rabin with a small-prime pre-sieve, plus generators for random
+//! primes, *safe* primes (`p = 2p' + 1`, needed by mediated RSA) and
+//! primes in arithmetic progressions (`p = c·r − 1`, needed by the
+//! pairing parameter generator).
+
+use crate::{rng, BigUint, Error, Montgomery};
+use rand::RngCore;
+
+/// Small primes used for trial-division pre-sieving.
+const SMALL_PRIMES: [u64; 60] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+];
+
+/// Number of Miller–Rabin rounds used by the convenience wrappers.
+///
+/// 32 random bases give a composite-acceptance probability below
+/// `4^-32`, ample for a research reproduction.
+pub const DEFAULT_ROUNDS: u32 = 32;
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+///
+/// Deterministically correct answers for all `n < 2^16`; probabilistic
+/// above. Returns `false` for `0` and `1`.
+pub fn is_prime(n: &BigUint, rounds: u32, rng: &mut impl RngCore) -> bool {
+    if n < &BigUint::two() {
+        return false;
+    }
+    for &p in &SMALL_PRIMES {
+        let p_big = BigUint::from(p);
+        if n == &p_big {
+            return true;
+        }
+        if (n % &p_big).is_zero() {
+            return false;
+        }
+    }
+    // n is odd and > 281 here.
+    let ctx = Montgomery::new(n).expect("odd n > 1");
+    let n_minus_1 = n - &BigUint::one();
+    let s = n_minus_1.trailing_zeros().expect("n > 1 odd");
+    let d = &n_minus_1 >> s;
+    let one = ctx.one();
+    let minus_one = ctx.neg(&one);
+    'witness: for _ in 0..rounds {
+        // Random base in [2, n-2].
+        let a = rng::random_below(rng, &(n - &BigUint::from(3u64))) + BigUint::two();
+        let mut x = ctx.pow(&ctx.to_mont(&a), &d);
+        if x == one || x == minus_one {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.sqr(&x);
+            if x == minus_one {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Convenience wrapper: [`is_prime`] with [`DEFAULT_ROUNDS`].
+pub fn is_probable_prime(n: &BigUint, rng: &mut impl RngCore) -> bool {
+    is_prime(n, DEFAULT_ROUNDS, rng)
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// # Errors
+///
+/// Returns [`Error::PrimeSearchExhausted`] only if an (astronomically
+/// unlikely) internal attempt budget is exceeded.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn random_prime(rng: &mut impl RngCore, bits: usize) -> Result<BigUint, Error> {
+    assert!(bits >= 2, "a prime needs at least 2 bits");
+    // Expected ~ bits * ln2 / 2 odd candidates; budget far above that.
+    let budget = 400 * bits.max(16);
+    for _ in 0..budget {
+        let mut candidate = rng::random_bits(rng, bits);
+        candidate.set_bit(0, true); // force odd
+        if is_probable_prime(&candidate, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(Error::PrimeSearchExhausted)
+}
+
+/// Generates a *safe* prime `p = 2q + 1` (both prime) with `p` exactly
+/// `bits` bits, returning `(p, q)`.
+///
+/// Mediated RSA requires safe primes so that random user shares of the
+/// private exponent are overwhelmingly coprime with `φ(n)`.
+///
+/// # Errors
+///
+/// Returns [`Error::PrimeSearchExhausted`] if the search budget runs out
+/// (raise `bits` budgets rather than looping forever in tests).
+///
+/// # Panics
+///
+/// Panics if `bits < 3`.
+pub fn safe_prime(rng: &mut impl RngCore, bits: usize) -> Result<(BigUint, BigUint), Error> {
+    assert!(bits >= 3, "a safe prime needs at least 3 bits");
+    let budget = 3000 * bits.max(16);
+    for _ in 0..budget {
+        let mut q = rng::random_bits(rng, bits - 1);
+        q.set_bit(0, true);
+        // Cheap pre-filter on p = 2q + 1 before testing q:
+        // p mod 3 != 0 requires q mod 3 != 1.
+        let q_mod3 = (&q % &BigUint::from(3u64)).to_u64().unwrap();
+        if q_mod3 == 1 {
+            continue;
+        }
+        let p = &(&q << 1) + &BigUint::one();
+        // Test p first with few rounds (cheaper to reject), then q.
+        if !is_prime(&p, 2, rng) {
+            continue;
+        }
+        if !is_probable_prime(&q, rng) {
+            continue;
+        }
+        if !is_probable_prime(&p, rng) {
+            continue;
+        }
+        return Ok((p, q));
+    }
+    Err(Error::PrimeSearchExhausted)
+}
+
+/// Finds a prime of the form `p = c·r − 1` where `p` has exactly
+/// `p_bits` bits and `p ≡ 3 (mod 4)`; returns `(p, c)`.
+///
+/// This is the pairing parameter shape: `r | p + 1` makes the order-`r`
+/// subgroup of the supersingular curve `y² = x³ + x` (which has exactly
+/// `p + 1` points) well-defined, and `p ≡ 3 (mod 4)` makes the curve
+/// supersingular and square roots cheap.
+///
+/// # Errors
+///
+/// Returns [`Error::PrimeSearchExhausted`] if no such prime is found in
+/// the search budget.
+///
+/// # Panics
+///
+/// Panics if `r` is zero, or `p_bits` is not at least 2 bits larger than
+/// `r.bits()`.
+pub fn prime_in_progression(
+    rng: &mut impl RngCore,
+    r: &BigUint,
+    p_bits: usize,
+) -> Result<(BigUint, BigUint), Error> {
+    assert!(!r.is_zero(), "subgroup order must be positive");
+    let c_bits = p_bits
+        .checked_sub(r.bits())
+        .filter(|&b| b >= 2)
+        .expect("p_bits must exceed r.bits() by at least 2");
+    let budget = 600 * p_bits.max(16);
+    for _ in 0..budget {
+        // p + 1 = c·r and p ≡ 3 (mod 4)  ⇔  c·r ≡ 0 (mod 4).
+        // Force c ≡ 0 (mod 4) so this holds for any odd r.
+        let mut c = rng::random_bits(rng, c_bits);
+        c.set_bit(0, false);
+        c.set_bit(1, false);
+        if c.is_zero() {
+            continue;
+        }
+        let p = &(&c * r) - &BigUint::one();
+        if p.bits() != p_bits {
+            continue;
+        }
+        debug_assert_eq!(p.limbs()[0] & 3, 3);
+        if is_probable_prime(&p, rng) {
+            return Ok((p, c));
+        }
+    }
+    Err(Error::PrimeSearchExhausted)
+}
+
+/// `true` iff `p` is a probable prime with `p ≡ 3 (mod 4)`.
+pub fn is_blum_prime(p: &BigUint, rng: &mut impl RngCore) -> bool {
+    !p.is_zero() && (p.limbs()[0] & 3) == 3 && is_probable_prime(p, rng)
+}
+
+/// Euler's totient for `n = p·q` with distinct primes `p`, `q`.
+pub fn phi_semiprime(p: &BigUint, q: &BigUint) -> BigUint {
+    let one = BigUint::one();
+    (p - &one) * (q - &one)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modular;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn known_primes_accepted() {
+        let mut r = rng();
+        for p in ["2", "3", "281", "283", "65537", "0xffffffffffffffc5",
+                  "0xffffffffffffffffffffffffffffff61", "1000000007"] {
+            assert!(is_probable_prime(&big(p), &mut r), "{p} is prime");
+        }
+    }
+
+    #[test]
+    fn known_composites_rejected() {
+        let mut r = rng();
+        for c in ["0", "1", "4", "100", "65536", "3277", "561", "41041", "825265"] {
+            // 561, 41041, 825265 are Carmichael numbers.
+            assert!(!is_probable_prime(&big(c), &mut r), "{c} is composite");
+        }
+        // Product of two 64-bit primes.
+        let p = big("0xffffffffffffffc5");
+        let q = big("0xffffffffffffffef"); // 2^64 - 17? check: composite or prime, either way n=p*q composite
+        let n = &p * &q;
+        assert!(!is_probable_prime(&n, &mut r));
+    }
+
+    #[test]
+    fn strong_pseudoprime_rejected() {
+        let mut r = rng();
+        // 3215031751 is a strong pseudoprime to bases 2, 3, 5, 7... but
+        // composite (151 * 751 * 28351).
+        assert!(!is_probable_prime(&big("3215031751"), &mut r));
+    }
+
+    #[test]
+    fn random_prime_has_requested_bits() {
+        let mut r = rng();
+        for bits in [16usize, 32, 64, 128] {
+            let p = random_prime(&mut r, bits).unwrap();
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, &mut r));
+        }
+    }
+
+    #[test]
+    fn safe_prime_structure() {
+        let mut r = rng();
+        let (p, q) = safe_prime(&mut r, 64).unwrap();
+        assert_eq!(p.bits(), 64);
+        assert_eq!(p, &(&q << 1) + &BigUint::one());
+        assert!(is_probable_prime(&p, &mut r));
+        assert!(is_probable_prime(&q, &mut r));
+    }
+
+    #[test]
+    fn progression_prime_structure() {
+        let mut r = rng();
+        let q = random_prime(&mut r, 40).unwrap();
+        let (p, c) = prime_in_progression(&mut r, &q, 96).unwrap();
+        assert_eq!(p.bits(), 96);
+        assert!(is_probable_prime(&p, &mut r));
+        // r divides p + 1.
+        let p_plus_1 = &p + &BigUint::one();
+        assert!((&p_plus_1 % &q).is_zero());
+        assert_eq!(&c * &q, p_plus_1);
+        // p ≡ 3 (mod 4).
+        assert_eq!(p.limbs()[0] & 3, 3);
+        assert!(is_blum_prime(&p, &mut r));
+    }
+
+    #[test]
+    fn phi_of_semiprime() {
+        assert_eq!(phi_semiprime(&big("11"), &big("13")), big("120"));
+    }
+
+    #[test]
+    fn fermat_consistency_with_generated_prime() {
+        let mut r = rng();
+        let p = random_prime(&mut r, 96).unwrap();
+        let a = big("31337");
+        let e = &p - &BigUint::one();
+        assert_eq!(modular::mod_pow(&a, &e, &p), BigUint::one());
+    }
+}

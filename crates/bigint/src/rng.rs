@@ -1,0 +1,109 @@
+//! Random [`BigUint`] generation helpers.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// A uniformly random integer with exactly `bits` significant bits
+/// (the top bit is forced to 1). Returns zero when `bits == 0`.
+pub fn random_bits(rng: &mut impl RngCore, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = bits.div_ceil(64);
+    let mut v = vec![0u64; limbs];
+    for limb in v.iter_mut() {
+        *limb = rng.next_u64();
+    }
+    // Mask away excess high bits, then force the top bit.
+    let top_bits = bits - (limbs - 1) * 64;
+    if top_bits < 64 {
+        v[limbs - 1] &= (1u64 << top_bits) - 1;
+    }
+    v[limbs - 1] |= 1u64 << (top_bits - 1);
+    BigUint::from_limbs(v)
+}
+
+/// A uniformly random integer in `[0, bound)` by rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below(rng: &mut impl RngCore, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    let limbs = bits.div_ceil(64);
+    let top_bits = bits - (limbs - 1) * 64;
+    loop {
+        let mut v = vec![0u64; limbs];
+        for limb in v.iter_mut() {
+            *limb = rng.next_u64();
+        }
+        if top_bits < 64 {
+            v[limbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        let candidate = BigUint::from_limbs(v);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// A uniformly random integer in `[1, bound)`.
+///
+/// # Panics
+///
+/// Panics if `bound <= 1`.
+pub fn random_nonzero_below(rng: &mut impl RngCore, bound: &BigUint) -> BigUint {
+    assert!(bound > &BigUint::one(), "bound must exceed 1");
+    loop {
+        let candidate = random_below(rng, bound);
+        if !candidate.is_zero() {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_has_exact_bit_length() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for bits in [1usize, 2, 63, 64, 65, 128, 521] {
+            for _ in 0..8 {
+                let v = random_bits(&mut rng, bits);
+                assert_eq!(v.bits(), bits, "bits={bits}");
+            }
+        }
+        assert!(random_bits(&mut rng, 0).is_zero());
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let bound: BigUint = "123456789012345678901".parse().unwrap();
+        for _ in 0..50 {
+            assert!(random_below(&mut rng, &bound) < bound);
+        }
+        // Tiny bound exercises rejection heavily.
+        let three = BigUint::from(3u64);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            let v = random_below(&mut rng, &three).to_u64().unwrap();
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn random_nonzero_never_zero() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let two = BigUint::two();
+        for _ in 0..20 {
+            assert_eq!(random_nonzero_below(&mut rng, &two), BigUint::one());
+        }
+    }
+}

@@ -1,0 +1,1002 @@
+//! Dynamically sized unsigned big integers.
+//!
+//! Limbs are `u64`, stored little-endian, always normalized (no trailing
+//! zero limbs; zero is the empty limb vector).
+
+use std::cmp::Ordering;
+use std::error::Error as StdError;
+use std::fmt;
+use std::ops::{Add, AddAssign, BitAnd, Mul, MulAssign, Rem, Shl, Shr, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// ```
+/// use sempair_bigint::BigUint;
+///
+/// let a = BigUint::from(10u64).pow(20);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "1".to_string() + &"0".repeat(40));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    /// Little-endian limbs; invariant: no trailing zeros.
+    limbs: Vec<u64>,
+}
+
+/// Error returned when parsing a [`BigUint`] from a string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigUintError {
+    kind: ParseErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ParseErrorKind {
+    Empty,
+    InvalidDigit(char),
+}
+
+impl fmt::Display for ParseBigUintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ParseErrorKind::Empty => write!(f, "cannot parse integer from empty string"),
+            ParseErrorKind::InvalidDigit(c) => write!(f, "invalid digit {c:?} in integer literal"),
+        }
+    }
+}
+
+impl StdError for ParseBigUintError {}
+
+impl BigUint {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// The value `2`.
+    pub fn two() -> Self {
+        BigUint { limbs: vec![2] }
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// A read-only view of the little-endian limbs (no trailing zeros).
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// `true` iff the value is even (zero counts as even).
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
+    }
+
+    /// `true` iff the value is odd.
+    pub fn is_odd(&self) -> bool {
+        !self.is_even()
+    }
+
+    /// Number of significant bits (`0` for the value zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&hi) => 64 * (self.limbs.len() - 1) + (64 - hi.leading_zeros() as usize),
+        }
+    }
+
+    /// Returns bit `i` (little-endian; bit 0 is the least significant).
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    /// Sets bit `i` to `value`.
+    pub fn set_bit(&mut self, i: usize, value: bool) {
+        let (limb, off) = (i / 64, i % 64);
+        if value {
+            if limb >= self.limbs.len() {
+                self.limbs.resize(limb + 1, 0);
+            }
+            self.limbs[limb] |= 1 << off;
+        } else if limb < self.limbs.len() {
+            self.limbs[limb] &= !(1 << off);
+            self.normalize();
+        }
+    }
+
+    /// Number of trailing zero bits; `None` for the value zero.
+    pub fn trailing_zeros(&self) -> Option<usize> {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return Some(i * 64 + l.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Converts to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Converts to `u128` if the value fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | (self.limbs[1] as u128) << 64),
+            _ => None,
+        }
+    }
+
+    /// Parses a big-endian byte string (leading zero bytes allowed).
+    pub fn from_be_bytes(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
+        for chunk in bytes.rchunks(8) {
+            let mut limb = 0u64;
+            for &b in chunk {
+                limb = (limb << 8) | b as u64;
+            }
+            limbs.push(limb);
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Minimal big-endian byte encoding (empty for zero).
+    pub fn to_be_bytes(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for &limb in self.limbs.iter().rev() {
+            out.extend_from_slice(&limb.to_be_bytes());
+        }
+        let first_nonzero = out.iter().position(|&b| b != 0).unwrap_or(out.len());
+        out.drain(..first_nonzero);
+        out
+    }
+
+    /// Big-endian byte encoding zero-padded on the left to exactly `len`
+    /// bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value does not fit in `len` bytes.
+    pub fn to_be_bytes_padded(&self, len: usize) -> Vec<u8> {
+        let raw = self.to_be_bytes();
+        assert!(
+            raw.len() <= len,
+            "value needs {} bytes, but {} were requested",
+            raw.len(),
+            len
+        );
+        let mut out = vec![0u8; len - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Parses a (case-insensitive) hexadecimal string, with or without a
+    /// `0x` prefix.
+    pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
+        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let digit = c
+                .to_digit(16)
+                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            out = (&out << 4) + BigUint::from(digit as u64);
+        }
+        Ok(out)
+    }
+
+    /// Lowercase hexadecimal encoding without prefix (`"0"` for zero).
+    pub fn to_hex(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut s = String::with_capacity(self.limbs.len() * 16);
+        let mut iter = self.limbs.iter().rev();
+        if let Some(hi) = iter.next() {
+            s.push_str(&format!("{hi:x}"));
+        }
+        for limb in iter {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        s
+    }
+
+    /// Parses a decimal string.
+    pub fn from_dec(s: &str) -> Result<Self, ParseBigUintError> {
+        if s.is_empty() {
+            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+        }
+        let mut out = BigUint::zero();
+        let ten = BigUint::from(10u64);
+        for c in s.chars() {
+            if c == '_' {
+                continue;
+            }
+            let digit = c
+                .to_digit(10)
+                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            out = &out * &ten + BigUint::from(digit as u64);
+        }
+        Ok(out)
+    }
+
+    /// Checked subtraction; `None` if `other > self`.
+    pub fn checked_sub(&self, other: &BigUint) -> Option<BigUint> {
+        if self < other {
+            return None;
+        }
+        let mut limbs = self.limbs.clone();
+        let mut borrow = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rhs = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = limb.overflowing_sub(rhs);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            *limb = d2;
+            borrow = (b1 || b2) as u64;
+        }
+        debug_assert_eq!(borrow, 0);
+        Some(BigUint::from_limbs(limbs))
+    }
+
+    /// Euclidean division: returns `(self / divisor, self % divisor)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        match self.cmp(divisor) {
+            Ordering::Less => return (BigUint::zero(), self.clone()),
+            Ordering::Equal => return (BigUint::one(), BigUint::zero()),
+            Ordering::Greater => {}
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from(r));
+        }
+        self.div_rem_knuth(divisor)
+    }
+
+    /// Division by a single limb; returns `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let cur = (rem << 64) | limb as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as u64)
+    }
+
+    /// Knuth Algorithm D (TAOCP 4.3.1) for multi-limb divisors.
+    fn div_rem_knuth(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        let shift = divisor.limbs.last().unwrap().leading_zeros() as usize;
+        let v = divisor << shift; // normalized divisor, top bit of top limb set
+        let mut u = (self << shift).limbs;
+        let n = v.limbs.len();
+        let m = u.len() - n;
+        u.push(0); // u has m + n + 1 limbs
+
+        let v_hi = v.limbs[n - 1];
+        let v_next = v.limbs[n - 2];
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate qhat from the top two limbs of the current window
+            // divided by the top limb of v.
+            let top = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = top / v_hi as u128;
+            let mut rhat = top % v_hi as u128;
+            // Correct qhat: it can be at most 2 too large.
+            while qhat >> 64 != 0
+                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v_hi as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
+            }
+            let mut qhat = qhat as u64;
+
+            // u[j..j+n+1] -= qhat * v
+            let mut borrow = 0i128;
+            let mut carry = 0u128;
+            for i in 0..n {
+                carry += qhat as u128 * v.limbs[i] as u128;
+                let sub = (carry & u64::MAX as u128) as u64;
+                carry >>= 64;
+                let diff = u[j + i] as i128 - sub as i128 + borrow;
+                u[j + i] = diff as u64;
+                borrow = diff >> 64; // arithmetic shift: 0 or -1
+            }
+            let diff = u[j + n] as i128 - carry as i128 + borrow;
+            u[j + n] = diff as u64;
+
+            // Add back if we subtracted one time too many (rare).
+            if diff < 0 {
+                qhat -= 1;
+                let mut carry = 0u128;
+                for i in 0..n {
+                    let sum = u[j + i] as u128 + v.limbs[i] as u128 + carry;
+                    u[j + i] = sum as u64;
+                    carry = sum >> 64;
+                }
+                u[j + n] = (u[j + n] as u128).wrapping_add(carry) as u64;
+            }
+            q[j] = qhat;
+        }
+
+        u.truncate(n);
+        let rem = BigUint::from_limbs(u) >> shift;
+        (BigUint::from_limbs(q), rem)
+    }
+
+    /// Greatest common divisor (binary GCD).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() {
+            return other.clone();
+        }
+        if other.is_zero() {
+            return self.clone();
+        }
+        let mut a = self.clone();
+        let mut b = other.clone();
+        let za = a.trailing_zeros().unwrap();
+        let zb = b.trailing_zeros().unwrap();
+        let common = za.min(zb);
+        a = &a >> za;
+        b = &b >> zb;
+        loop {
+            if a > b {
+                std::mem::swap(&mut a, &mut b);
+            }
+            b = b.checked_sub(&a).unwrap();
+            if b.is_zero() {
+                return &a << common;
+            }
+            b = &b >> b.trailing_zeros().unwrap();
+        }
+    }
+
+    /// Integer exponentiation.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = &base * &base;
+            }
+        }
+        acc
+    }
+
+    /// Integer square root (floor).
+    pub fn isqrt(&self) -> BigUint {
+        if self.is_zero() {
+            return BigUint::zero();
+        }
+        // Newton's method with a good initial guess.
+        let mut x = BigUint::one() << self.bits().div_ceil(2);
+        loop {
+            // y = (x + self / x) / 2
+            let y = (&x + &(self.div_rem(&x).0)) >> 1;
+            if y >= x {
+                return x;
+            }
+            x = y;
+        }
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigUint::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u32> for BigUint {
+    fn from(v: u32) -> Self {
+        BigUint::from(v as u64)
+    }
+}
+
+impl From<u128> for BigUint {
+    fn from(v: u128) -> Self {
+        BigUint::from_limbs(vec![v as u64, (v >> 64) as u64])
+    }
+}
+
+impl FromStr for BigUint {
+    type Err = ParseBigUintError;
+
+    /// Parses decimal by default, hexadecimal with a `0x` prefix.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.starts_with("0x") || s.starts_with("0X") {
+            BigUint::from_hex(s)
+        } else {
+            BigUint::from_dec(s)
+        }
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for (a, b) in self.limbs.iter().rev().zip(other.limbs.iter().rev()) {
+                    match a.cmp(b) {
+                        Ordering::Equal => continue,
+                        other => return other,
+                    }
+                }
+                Ordering::Equal
+            }
+            other => other,
+        }
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+// --- arithmetic operators (reference-based canonical implementations) ---
+
+impl Add<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn add(self, rhs: &BigUint) -> BigUint {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut limbs = long.limbs.clone();
+        let mut carry = 0u64;
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let rhs_limb = short.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = limb.overflowing_add(rhs_limb);
+            let (s2, c2) = s1.overflowing_add(carry);
+            *limb = s2;
+            carry = (c1 || c2) as u64;
+            if carry == 0 && i >= short.limbs.len() {
+                break;
+            }
+        }
+        if carry != 0 {
+            limbs.push(carry);
+        }
+        BigUint { limbs }
+    }
+}
+
+impl Sub<&BigUint> for &BigUint {
+    type Output = BigUint;
+    /// # Panics
+    /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
+    fn sub(self, rhs: &BigUint) -> BigUint {
+        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+    }
+}
+
+/// Limb count above which multiplication switches to Karatsuba.
+///
+/// 16 limbs = 1024 bits: below that the O(n²) schoolbook loop wins on
+/// constants (measured in the E10 ablation bench `e10/mul_karatsuba`).
+const KARATSUBA_THRESHOLD: usize = 16;
+
+/// Schoolbook product of two limb slices.
+fn mul_schoolbook(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+impl BigUint {
+    /// Splits into `(low m limbs, rest)` as values.
+    fn split_at_limb(&self, m: usize) -> (BigUint, BigUint) {
+        if m >= self.limbs.len() {
+            return (self.clone(), BigUint::zero());
+        }
+        (
+            BigUint::from_limbs(self.limbs[..m].to_vec()),
+            BigUint::from_limbs(self.limbs[m..].to_vec()),
+        )
+    }
+
+    /// Karatsuba recursion: `(a1·B^m + a0)(b1·B^m + b0)` via three
+    /// half-size products.
+    fn mul_karatsuba(&self, rhs: &BigUint) -> BigUint {
+        let m = self.limbs.len().max(rhs.limbs.len()) / 2;
+        let (a0, a1) = self.split_at_limb(m);
+        let (b0, b1) = rhs.split_at_limb(m);
+        let z0 = &a0 * &b0;
+        let z2 = &a1 * &b1;
+        let z1 = &(&(&a0 + &a1) * &(&b0 + &b1)) - &(&z0 + &z2);
+        &(&(&z2 << (128 * m)) + &(&z1 << (64 * m))) + &z0
+    }
+}
+
+impl Mul<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn mul(self, rhs: &BigUint) -> BigUint {
+        if self.is_zero() || rhs.is_zero() {
+            return BigUint::zero();
+        }
+        if self.limbs.len().min(rhs.limbs.len()) >= KARATSUBA_THRESHOLD {
+            return self.mul_karatsuba(rhs);
+        }
+        BigUint::from_limbs(mul_schoolbook(&self.limbs, &rhs.limbs))
+    }
+}
+
+impl Rem<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn rem(self, rhs: &BigUint) -> BigUint {
+        self.div_rem(rhs).1
+    }
+}
+
+impl Shl<usize> for &BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        if self.is_zero() || shift == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        let mut limbs = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            limbs.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                limbs.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                limbs.push(carry);
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl Shr<usize> for &BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (shift / 64, shift % 64);
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let mut limbs: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            let len = limbs.len();
+            for i in 0..len {
+                limbs[i] >>= bit_shift;
+                if i + 1 < len {
+                    limbs[i] |= limbs[i + 1] << (64 - bit_shift);
+                }
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+}
+
+impl BitAnd<&BigUint> for &BigUint {
+    type Output = BigUint;
+    fn bitand(self, rhs: &BigUint) -> BigUint {
+        let limbs = self
+            .limbs
+            .iter()
+            .zip(rhs.limbs.iter())
+            .map(|(a, b)| a & b)
+            .collect();
+        BigUint::from_limbs(limbs)
+    }
+}
+
+// Owned-operand conveniences, implemented in terms of the reference ops.
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait<BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $trait::$method(&self, &rhs)
+            }
+        }
+        impl $trait<&BigUint> for BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: &BigUint) -> BigUint {
+                $trait::$method(&self, rhs)
+            }
+        }
+        impl $trait<BigUint> for &BigUint {
+            type Output = BigUint;
+            fn $method(self, rhs: BigUint) -> BigUint {
+                $trait::$method(self, &rhs)
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add);
+forward_binop!(Sub, sub);
+forward_binop!(Mul, mul);
+forward_binop!(Rem, rem);
+
+impl Shl<usize> for BigUint {
+    type Output = BigUint;
+    fn shl(self, shift: usize) -> BigUint {
+        &self << shift
+    }
+}
+
+impl Shr<usize> for BigUint {
+    type Output = BigUint;
+    fn shr(self, shift: usize) -> BigUint {
+        &self >> shift
+    }
+}
+
+impl AddAssign<&BigUint> for BigUint {
+    fn add_assign(&mut self, rhs: &BigUint) {
+        *self = &*self + rhs;
+    }
+}
+
+impl SubAssign<&BigUint> for BigUint {
+    fn sub_assign(&mut self, rhs: &BigUint) {
+        *self = &*self - rhs;
+    }
+}
+
+impl MulAssign<&BigUint> for BigUint {
+    fn mul_assign(&mut self, rhs: &BigUint) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.pad_integral(true, "", "0");
+        }
+        // Repeated division by 10^19 (largest power of ten in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:019}"));
+        }
+        f.pad_integral(true, "", &s)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint(0x{})", self.to_hex())
+    }
+}
+
+impl fmt::LowerHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex())
+    }
+}
+
+impl fmt::UpperHex for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad_integral(true, "0x", &self.to_hex().to_uppercase())
+    }
+}
+
+// --- serde: hex-string representation ---
+
+impl serde::Serialize for BigUint {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&format!("0x{}", self.to_hex()))
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BigUint {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = <&str as serde::Deserialize>::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn zero_and_one_basics() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert!(BigUint::zero().is_even());
+        assert!(BigUint::one().is_odd());
+        assert_eq!(BigUint::default(), BigUint::zero());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+    }
+
+    #[test]
+    fn from_limbs_normalizes() {
+        assert_eq!(BigUint::from_limbs(vec![5, 0, 0]), BigUint::from(5u64));
+        assert_eq!(BigUint::from_limbs(vec![0, 0]), BigUint::zero());
+    }
+
+    #[test]
+    fn add_with_carry_propagation() {
+        let a = BigUint::from(u64::MAX);
+        let b = BigUint::one();
+        let sum = &a + &b;
+        assert_eq!(sum, BigUint::from(1u128 << 64));
+        assert_eq!(sum.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn sub_with_borrow_propagation() {
+        let a = BigUint::from(1u128 << 64);
+        let b = BigUint::one();
+        assert_eq!(&a - &b, BigUint::from(u64::MAX));
+        assert!(b.checked_sub(&a).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = &BigUint::one() - &BigUint::two();
+    }
+
+    #[test]
+    fn karatsuba_matches_schoolbook_across_threshold() {
+        // Deterministic pseudo-random limbs straddling the threshold.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for limbs_a in [1usize, 15, 16, 17, 33, 64] {
+            for limbs_b in [1usize, 16, 31, 64] {
+                let a = BigUint::from_limbs((0..limbs_a).map(|_| next()).collect());
+                let b = BigUint::from_limbs((0..limbs_b).map(|_| next()).collect());
+                let expect = BigUint::from_limbs(mul_schoolbook(a.limbs(), b.limbs()));
+                assert_eq!(&a * &b, expect, "sizes {limbs_a}x{limbs_b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_known_values() {
+        let a = big("123456789012345678901234567890");
+        let b = big("987654321098765432109876543210");
+        let expected = big("121932631137021795226185032733622923332237463801111263526900");
+        assert_eq!(&a * &b, expected);
+    }
+
+    #[test]
+    fn div_rem_small_divisor() {
+        let a = big("123456789012345678901234567890");
+        let (q, r) = a.div_rem_u64(97);
+        assert_eq!(&q * &BigUint::from(97u64) + BigUint::from(r), a);
+        assert!(r < 97);
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = big("340282366920938463463374607431768211455123456789987654321");
+        let b = big("18446744073709551629"); // > 2^64
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_triggers_qhat_correction() {
+        // Values engineered so the top limbs force qhat corrections.
+        let a = BigUint::from_limbs(vec![0, 0, 0, u64::MAX, u64::MAX]);
+        let b = BigUint::from_limbs(vec![u64::MAX, u64::MAX, 1]);
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(&q * &b + &r, a);
+        assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_exact() {
+        let b = big("98765432109876543210987654321");
+        let q_expected = big("31415926535897932384626433832795028841");
+        let a = &b * &q_expected;
+        let (q, r) = a.div_rem(&b);
+        assert_eq!(q, q_expected);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn shifts_roundtrip() {
+        let a = big("0xdeadbeefcafebabe1234567890abcdef");
+        assert_eq!(&(&a << 77) >> 77, a);
+        assert_eq!(&a >> 200, BigUint::zero());
+        assert_eq!(&a << 0, a);
+    }
+
+    #[test]
+    fn hex_roundtrip_and_prefix() {
+        let a = big("0xDEADbeef00");
+        assert_eq!(a.to_hex(), "deadbeef00");
+        assert_eq!(BigUint::from_hex("deadbeef00").unwrap(), a);
+        assert_eq!(format!("{a:x}"), "deadbeef00");
+        assert_eq!(format!("{a:#x}"), "0xdeadbeef00");
+    }
+
+    #[test]
+    fn decimal_display_roundtrip() {
+        let cases = ["0", "1", "10000000000000000000", "123456789012345678901234567890123"];
+        for c in cases {
+            assert_eq!(big(c).to_string(), c);
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let a = big("0x0102030405060708090a0b0c0d0e0f1011");
+        let bytes = a.to_be_bytes();
+        assert_eq!(bytes.len(), 17);
+        assert_eq!(BigUint::from_be_bytes(&bytes), a);
+        assert_eq!(BigUint::from_be_bytes(&[0, 0, 1]), BigUint::one());
+        let padded = a.to_be_bytes_padded(20);
+        assert_eq!(padded.len(), 20);
+        assert_eq!(BigUint::from_be_bytes(&padded), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "requested")]
+    fn padded_bytes_too_small_panics() {
+        BigUint::from(256u64).to_be_bytes_padded(1);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(BigUint::from_hex("").is_err());
+        assert!(BigUint::from_dec("12x3").is_err());
+        assert!("".parse::<BigUint>().is_err());
+    }
+
+    #[test]
+    fn bit_access() {
+        let mut a = BigUint::zero();
+        a.set_bit(100, true);
+        assert!(a.bit(100));
+        assert!(!a.bit(99));
+        assert_eq!(a.bits(), 101);
+        a.set_bit(100, false);
+        assert!(a.is_zero());
+    }
+
+    #[test]
+    fn gcd_known_values() {
+        assert_eq!(big("48").gcd(&big("180")), big("12"));
+        assert_eq!(BigUint::zero().gcd(&big("7")), big("7"));
+        assert_eq!(big("7").gcd(&BigUint::zero()), big("7"));
+        let a = big("123456789012345678901234567890");
+        assert_eq!(a.gcd(&a), a);
+    }
+
+    #[test]
+    fn pow_and_isqrt() {
+        let a = big("99999999999999999999");
+        let sq = a.pow(2);
+        assert_eq!(sq.isqrt(), a);
+        assert_eq!((&sq + &BigUint::one()).isqrt(), a);
+        assert_eq!((&sq - &BigUint::one()).isqrt(), &a - &BigUint::one());
+        assert_eq!(BigUint::two().pow(100), BigUint::one() << 100);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(big("100") > big("99"));
+        assert!(big("0xffffffffffffffff") < big("0x10000000000000000"));
+        assert_eq!(big("42").cmp(&big("42")), Ordering::Equal);
+    }
+
+    #[test]
+    fn trailing_zeros() {
+        assert_eq!(BigUint::zero().trailing_zeros(), None);
+        assert_eq!(big("0x80000000000000000").trailing_zeros(), Some(67));
+        assert_eq!(BigUint::one().trailing_zeros(), Some(0));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = big("123456789012345678901234567890");
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(json, format!("\"0x{}\"", a.to_hex()));
+        let back: BigUint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+}

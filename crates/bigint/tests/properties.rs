@@ -1,0 +1,195 @@
+//! Property-based tests for the bigint substrate.
+
+use proptest::prelude::*;
+use sempair_bigint::{modular, BigInt, BigUint};
+
+/// Strategy: arbitrary BigUint up to ~256 bits.
+fn biguint() -> impl Strategy<Value = BigUint> {
+    proptest::collection::vec(any::<u8>(), 0..32).prop_map(|bytes| BigUint::from_be_bytes(&bytes))
+}
+
+/// Strategy: non-zero BigUint.
+fn biguint_nonzero() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|v| if v.is_zero() { BigUint::one() } else { v })
+}
+
+/// Strategy: odd BigUint >= 3.
+fn biguint_odd() -> impl Strategy<Value = BigUint> {
+    biguint().prop_map(|mut v| {
+        v.set_bit(0, true);
+        if v.is_one() {
+            BigUint::from(3u64)
+        } else {
+            v
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn add_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+    }
+
+    #[test]
+    fn add_associates(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&(&a + &b) - &b, a);
+    }
+
+    #[test]
+    fn mul_commutes(a in biguint(), b in biguint()) {
+        prop_assert_eq!(&a * &b, &b * &a);
+    }
+
+    #[test]
+    fn mul_distributes(a in biguint(), b in biguint(), c in biguint()) {
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn division_invariant(a in biguint(), b in biguint_nonzero()) {
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn shift_is_pow2_mul(a in biguint(), s in 0usize..200) {
+        prop_assert_eq!(&a << s, &a * &BigUint::two().pow(s as u32));
+    }
+
+    #[test]
+    fn shr_is_div_pow2(a in biguint(), s in 0usize..200) {
+        prop_assert_eq!(&a >> s, a.div_rem(&BigUint::two().pow(s as u32)).0);
+    }
+
+    #[test]
+    fn hex_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_hex(&a.to_hex()).unwrap(), a);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in biguint()) {
+        prop_assert_eq!(a.to_string().parse::<BigUint>().unwrap(), a);
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in biguint()) {
+        prop_assert_eq!(BigUint::from_be_bytes(&a.to_be_bytes()), a);
+    }
+
+    #[test]
+    fn bits_bounds(a in biguint_nonzero()) {
+        let bits = a.bits();
+        prop_assert!(a >= BigUint::two().pow((bits - 1) as u32));
+        prop_assert!(a < BigUint::two().pow(bits as u32));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in biguint(), b in biguint_nonzero()) {
+        let g = a.gcd(&b);
+        prop_assert!((&b % &g).is_zero());
+        if !a.is_zero() {
+            prop_assert!((&a % &g).is_zero());
+        }
+    }
+
+    #[test]
+    fn ext_gcd_bezout_identity(a in biguint(), b in biguint()) {
+        let (g, x, y) = modular::ext_gcd(&a, &b);
+        let lhs = &(&BigInt::from(&a) * &x) + &(&BigInt::from(&b) * &y);
+        prop_assert_eq!(lhs, BigInt::from(&g));
+    }
+
+    #[test]
+    fn mod_inv_is_inverse(a in biguint_nonzero(), m in biguint_odd()) {
+        match modular::mod_inv(&a, &m) {
+            Ok(inv) => prop_assert_eq!(modular::mod_mul(&a, &inv, &m), BigUint::one()),
+            Err(_) => prop_assert!(!a.gcd(&m).is_one()),
+        }
+    }
+
+    #[test]
+    fn mont_matches_plain(a in biguint(), b in biguint(), m in biguint_odd()) {
+        let ctx = sempair_bigint::Montgomery::new(&m).unwrap();
+        let got = ctx.from_mont(&ctx.mul(&ctx.to_mont(&a), &ctx.to_mont(&b)));
+        prop_assert_eq!(got, modular::mod_mul(&a, &b, &m));
+    }
+
+    #[test]
+    fn mont_pow_matches_plain(a in biguint(), e in 0u64..10_000, m in biguint_odd()) {
+        let e = BigUint::from(e);
+        let got = modular::mod_pow(&a, &e, &m);
+        // Plain repeated-squaring reference.
+        let mut expect = BigUint::one();
+        for i in (0..e.bits()).rev() {
+            expect = modular::mod_mul(&expect, &expect, &m);
+            if e.bit(i) {
+                expect = modular::mod_mul(&expect, &a, &m);
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn mod_pow_multiplicative(a in biguint(), b in biguint(), e in 0u64..200, m in biguint_odd()) {
+        // (a*b)^e = a^e * b^e (mod m)
+        let e = BigUint::from(e);
+        let lhs = modular::mod_pow(&modular::mod_mul(&a, &b, &m), &e, &m);
+        let rhs = modular::mod_mul(
+            &modular::mod_pow(&a, &e, &m),
+            &modular::mod_pow(&b, &e, &m),
+            &m,
+        );
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn jacobi_multiplicative(a in biguint(), b in biguint(), m in biguint_odd()) {
+        // (ab/m) = (a/m)(b/m)
+        let lhs = modular::jacobi(&(&a * &b), &m);
+        let rhs = modular::jacobi(&a, &m) * modular::jacobi(&b, &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn isqrt_bounds(a in biguint()) {
+        let r = a.isqrt();
+        prop_assert!(&r * &r <= a);
+        let r1 = &r + &BigUint::one();
+        prop_assert!(&r1 * &r1 > a);
+    }
+
+    #[test]
+    fn bigint_rem_euclid_in_range(a in biguint(), b in biguint(), m in biguint_nonzero()) {
+        let d = &BigInt::from(&a) - &BigInt::from(&b);
+        let r = d.rem_euclid(&m);
+        prop_assert!(r < m);
+        // (a - b) + b ≡ a (mod m)
+        let back = modular::mod_add(&r, &(&b % &m), &m);
+        prop_assert_eq!(back, &a % &m);
+    }
+}
+
+#[test]
+fn sqrt_mod_agrees_with_squaring_many_primes() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(42);
+    for bits in [32usize, 48, 64, 96] {
+        let p = sempair_bigint::prime::random_prime(&mut rng, bits).unwrap();
+        for _ in 0..10 {
+            let a = sempair_bigint::rng::random_below(&mut rng, &p);
+            let sq = modular::mod_mul(&a, &a, &p);
+            let r = modular::sqrt_mod(&sq, &p).unwrap();
+            assert_eq!(modular::mod_mul(&r, &r, &p), sq);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! The Boneh–Franklin identity-based encryption scheme.
+//!
+//! Implements both variants from \[5\] as the paper uses them:
+//!
+//! * **BasicIdent** (IND-ID-CPA): `C = ⟨rP, m ⊕ H2(ê(P_pub, Q_ID)^r)⟩` —
+//!   the scheme the §3 threshold construction shares.
+//! * **FullIdent** (IND-ID-CCA via Fujisaki–Okamoto): `C = ⟨rP,
+//!   σ ⊕ H2(g^r), m ⊕ H4(σ)⟩` with `r = H3(σ, m)` — the scheme the §4
+//!   mediated construction splits.
+//!
+//! Messages are arbitrary-length byte strings; `H2`/`H4` are
+//! instantiated with the MGF1-based KDF from `sempair-hash`.
+
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::BigUint;
+use sempair_hash::{derive, xor_in_place};
+use sempair_pairing::{CurveParams, G1Affine, Gt};
+
+/// Domain-separation tags for the scheme's random oracles.
+pub(crate) mod tags {
+    /// `H1 : {0,1}* → G1` (identity hashing).
+    pub const H1: &[u8] = b"sempair-bf-h1";
+    /// `H2 : G2 → {0,1}^n` (session-key mask).
+    pub const H2: &[u8] = b"sempair-bf-h2";
+    /// `H3 : {0,1}^σ × {0,1}^n → Z_q*` (FO randomness derivation).
+    pub const H3: &[u8] = b"sempair-bf-h3";
+    /// `H4 : {0,1}^σ → {0,1}^n` (FO message mask).
+    pub const H4: &[u8] = b"sempair-bf-h4";
+}
+
+/// Length of the FO commitment string `σ` in bytes.
+pub const SIGMA_LEN: usize = 32;
+
+/// The PKG's public parameters: the curve system and `P_pub = sP`.
+#[derive(Debug, Clone)]
+pub struct IbePublicParams {
+    curve: CurveParams,
+    p_pub: G1Affine,
+}
+
+/// A user's full private key `d_ID = s·Q_ID` (the unsplit, non-mediated
+/// key of the original scheme).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrivateKey {
+    /// The identity this key decrypts for.
+    pub id: String,
+    /// The key point.
+    pub point: G1Affine,
+}
+
+/// A `BasicIdent` ciphertext `⟨U, V⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicCiphertext {
+    /// `U = rP`.
+    pub u: G1Affine,
+    /// `V = m ⊕ H2(g^r)`.
+    pub v: Vec<u8>,
+}
+
+/// A `FullIdent` ciphertext `⟨U, V, W⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FullCiphertext {
+    /// `U = rP` with `r = H3(σ, m)`.
+    pub u: G1Affine,
+    /// `V = σ ⊕ H2(g^r)` (always [`SIGMA_LEN`] bytes).
+    pub v: Vec<u8>,
+    /// `W = m ⊕ H4(σ)`.
+    pub w: Vec<u8>,
+}
+
+/// The private key generator (holds the master key `s`).
+#[derive(Debug)]
+pub struct Pkg {
+    params: IbePublicParams,
+    master: BigUint,
+}
+
+impl Pkg {
+    /// `Setup`: samples the master key `s` and publishes `P_pub = sP`.
+    pub fn setup(rng: &mut impl RngCore, curve: CurveParams) -> Self {
+        let master = curve.random_scalar(rng);
+        let p_pub = curve.mul_generator(&master);
+        Pkg { params: IbePublicParams { curve, p_pub }, master }
+    }
+
+    /// Reconstructs a PKG from an existing master key (used by the
+    /// threshold dealer and by tests).
+    pub fn from_master(curve: CurveParams, master: BigUint) -> Self {
+        let master = &master % curve.order();
+        let p_pub = curve.mul_generator(&master);
+        Pkg { params: IbePublicParams { curve, p_pub }, master }
+    }
+
+    /// The public parameters to distribute.
+    pub fn params(&self) -> &IbePublicParams {
+        &self.params
+    }
+
+    /// The master key (test hook for cross-checking the threshold and
+    /// split constructions against the centralized scheme).
+    #[cfg(test)]
+    pub(crate) fn master(&self) -> &BigUint {
+        &self.master
+    }
+
+    /// `Extract`: the full private key `d_ID = s·H1(ID)`.
+    pub fn extract(&self, id: &str) -> PrivateKey {
+        let q_id = self.params.hash_identity(id);
+        PrivateKey { id: id.to_string(), point: self.params.curve.mul(&self.master, &q_id) }
+    }
+}
+
+impl IbePublicParams {
+    /// Builds parameters from parts (threshold dealer publishes these).
+    pub(crate) fn from_parts(curve: CurveParams, p_pub: G1Affine) -> Self {
+        IbePublicParams { curve, p_pub }
+    }
+
+    /// The underlying curve system.
+    pub fn curve(&self) -> &CurveParams {
+        &self.curve
+    }
+
+    /// `P_pub = sP`.
+    pub fn p_pub(&self) -> &G1Affine {
+        &self.p_pub
+    }
+
+    /// `H1(ID) ∈ G1`.
+    pub fn hash_identity(&self, id: &str) -> G1Affine {
+        self.curve.hash_to_g1(tags::H1, id.as_bytes())
+    }
+
+    /// `true` iff `key` is the correct private key for its identity:
+    /// `ê(P, d_ID) = ê(P_pub, Q_ID)` (the §3.2 share check, full-key
+    /// version).
+    pub fn verify_private_key(&self, key: &PrivateKey) -> bool {
+        let q_id = self.hash_identity(&key.id);
+        self.curve
+            .pairing_equals(self.curve.generator(), &key.point, &self.p_pub, &q_id)
+    }
+
+    /// The per-identity mask base `g_ID = ê(P_pub, Q_ID)`.
+    pub fn identity_base(&self, id: &str) -> Gt {
+        let q_id = self.hash_identity(id);
+        self.curve.pairing(&self.p_pub, &q_id)
+    }
+
+    /// `BasicIdent` encryption of an arbitrary-length message.
+    pub fn encrypt_basic(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+        message: &[u8],
+    ) -> BasicCiphertext {
+        let r = self.curve.random_scalar(rng);
+        self.encrypt_basic_with_r(id, message, &r)
+    }
+
+    /// `BasicIdent` encryption with caller-chosen randomness (the FO
+    /// transform and the threshold tests need this determinism).
+    pub fn encrypt_basic_with_r(&self, id: &str, message: &[u8], r: &BigUint) -> BasicCiphertext {
+        let u = self.curve.mul_generator(r);
+        let g_r = self.curve.gt_pow(&self.identity_base(id), r);
+        let mut v = message.to_vec();
+        let mask = self.mask_h2(&g_r, v.len());
+        xor_in_place(&mut v, &mask);
+        BasicCiphertext { u, v }
+    }
+
+    /// `BasicIdent` decryption: `m = V ⊕ H2(ê(U, d_ID))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCiphertext`] if `U` is not in the group.
+    pub fn decrypt_basic(&self, key: &PrivateKey, c: &BasicCiphertext) -> Result<Vec<u8>, Error> {
+        if !self.curve.is_in_group(&c.u) {
+            return Err(Error::InvalidCiphertext);
+        }
+        let g = self.curve.pairing(&c.u, &key.point);
+        let mut m = c.v.clone();
+        let mask = self.mask_h2(&g, m.len());
+        xor_in_place(&mut m, &mask);
+        Ok(m)
+    }
+
+    /// `FullIdent` encryption (Fujisaki–Okamoto).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for interface stability.
+    pub fn encrypt_full(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+        message: &[u8],
+    ) -> Result<FullCiphertext, Error> {
+        let mut sigma = [0u8; SIGMA_LEN];
+        rng.fill_bytes(&mut sigma);
+        Ok(self.encrypt_full_with_sigma(id, message, &sigma))
+    }
+
+    /// Deterministic core of [`IbePublicParams::encrypt_full`].
+    pub fn encrypt_full_with_sigma(
+        &self,
+        id: &str,
+        message: &[u8],
+        sigma: &[u8; SIGMA_LEN],
+    ) -> FullCiphertext {
+        let r = self.fo_randomness(sigma, message);
+        let u = self.curve.mul_generator(&r);
+        let g_r = self.curve.gt_pow(&self.identity_base(id), &r);
+        let mut v = sigma.to_vec();
+        xor_in_place(&mut v, &self.mask_h2(&g_r, SIGMA_LEN));
+        let mut w = message.to_vec();
+        let mask = derive::kdf(tags::H4, sigma, w.len());
+        xor_in_place(&mut w, &mask);
+        FullCiphertext { u, v, w }
+    }
+
+    /// `FullIdent` decryption with the FO validity check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCiphertext`] when the re-encryption
+    /// check `U = H3(σ, m)·P` fails or components are malformed.
+    pub fn decrypt_full(&self, key: &PrivateKey, c: &FullCiphertext) -> Result<Vec<u8>, Error> {
+        if !self.curve.is_in_group(&c.u) || c.u.is_infinity() || c.v.len() != SIGMA_LEN {
+            return Err(Error::InvalidCiphertext);
+        }
+        let g = self.curve.pairing(&c.u, &key.point);
+        self.finish_full_decrypt(c, &g)
+    }
+
+    /// Shared tail of FullIdent decryption, given the unmasking value
+    /// `g = ê(U, d_ID)` — also used by the mediated scheme where `g`
+    /// is assembled from the SEM token and the user half (§4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCiphertext`] when the FO check fails.
+    pub fn finish_full_decrypt(&self, c: &FullCiphertext, g: &Gt) -> Result<Vec<u8>, Error> {
+        if c.v.len() != SIGMA_LEN {
+            return Err(Error::InvalidCiphertext);
+        }
+        let mut sigma = [0u8; SIGMA_LEN];
+        sigma.copy_from_slice(&c.v);
+        xor_in_place(&mut sigma, &self.mask_h2(g, SIGMA_LEN));
+        let mut m = c.w.clone();
+        let mask = derive::kdf(tags::H4, &sigma, m.len());
+        xor_in_place(&mut m, &mask);
+        // Validity check: U must equal H3(σ, m)·P.
+        let r = self.fo_randomness(&sigma, &m);
+        if self.curve.mul_generator(&r) != c.u {
+            return Err(Error::InvalidCiphertext);
+        }
+        Ok(m)
+    }
+
+    /// `H2` mask bytes for a target-group element.
+    pub(crate) fn mask_h2(&self, g: &Gt, len: usize) -> Vec<u8> {
+        derive::kdf(tags::H2, &self.curve.gt_to_bytes(g), len)
+    }
+
+    /// `r = H3(σ, m) ∈ [1, q)`.
+    pub(crate) fn fo_randomness(&self, sigma: &[u8], message: &[u8]) -> BigUint {
+        let mut input = Vec::with_capacity(sigma.len() + 8 + message.len());
+        input.extend_from_slice(&(sigma.len() as u64).to_be_bytes());
+        input.extend_from_slice(sigma);
+        input.extend_from_slice(message);
+        derive::hash_to_scalar(tags::H3, &input, self.curve.order())
+    }
+}
+
+// --- ciphertext wire format -------------------------------------------------
+
+impl FullCiphertext {
+    /// Serializes as `point ‖ V ‖ u32-len ‖ W`.
+    pub fn to_bytes(&self, params: &IbePublicParams) -> Vec<u8> {
+        let mut out = params.curve().point_to_bytes(&self.u);
+        out.extend_from_slice(&self.v);
+        out.extend_from_slice(&(self.w.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.w);
+        out
+    }
+
+    /// Parses [`FullCiphertext::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCiphertext`] on malformed input.
+    pub fn from_bytes(params: &IbePublicParams, bytes: &[u8]) -> Result<Self, Error> {
+        let pl = params.curve().point_len();
+        let header = pl + SIGMA_LEN + 4;
+        if bytes.len() < header {
+            return Err(Error::InvalidCiphertext);
+        }
+        let u = params
+            .curve()
+            .point_from_bytes(&bytes[..pl])
+            .map_err(|_| Error::InvalidCiphertext)?;
+        let v = bytes[pl..pl + SIGMA_LEN].to_vec();
+        let w_len = u32::from_be_bytes(bytes[pl + SIGMA_LEN..header].try_into().expect("4 bytes"))
+            as usize;
+        if bytes.len() != header + w_len {
+            return Err(Error::InvalidCiphertext);
+        }
+        Ok(FullCiphertext { u, v, w: bytes[header..].to_vec() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pkg() -> Pkg {
+        let mut rng = StdRng::seed_from_u64(71);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        Pkg::setup(&mut rng, curve)
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(72);
+        let key = pkg.extract("alice");
+        let c = pkg.params().encrypt_basic(&mut rng, "alice", b"basic message");
+        assert_eq!(pkg.params().decrypt_basic(&key, &c).unwrap(), b"basic message");
+    }
+
+    #[test]
+    fn full_roundtrip_various_lengths() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(73);
+        let key = pkg.extract("alice");
+        for len in [0usize, 1, 31, 32, 33, 200] {
+            let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let c = pkg.params().encrypt_full(&mut rng, "alice", &msg).unwrap();
+            assert_eq!(pkg.params().decrypt_full(&key, &c).unwrap(), msg, "len={len}");
+        }
+    }
+
+    #[test]
+    fn wrong_identity_key_fails() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(74);
+        let bob_key = pkg.extract("bob");
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"for alice").unwrap();
+        assert_eq!(
+            pkg.params().decrypt_full(&bob_key, &c),
+            Err(Error::InvalidCiphertext)
+        );
+        // BasicIdent has no validity check: wrong key yields garbage,
+        // not an error — the malleability the paper points out.
+        let cb = pkg.params().encrypt_basic(&mut rng, "alice", b"for alice");
+        let garbage = pkg.params().decrypt_basic(&bob_key, &cb).unwrap();
+        assert_ne!(garbage, b"for alice");
+    }
+
+    #[test]
+    fn full_ciphertext_tamper_detected() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(75);
+        let key = pkg.extract("alice");
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"payload!").unwrap();
+        // Flip a bit of W.
+        let mut bad = c.clone();
+        bad.w[0] ^= 1;
+        assert!(pkg.params().decrypt_full(&key, &bad).is_err());
+        // Flip a bit of V.
+        let mut bad = c.clone();
+        bad.v[0] ^= 1;
+        assert!(pkg.params().decrypt_full(&key, &bad).is_err());
+        // Replace U.
+        let mut bad = c.clone();
+        bad.u = pkg.params().curve().mul_generator(&BigUint::from(12345u64));
+        assert!(pkg.params().decrypt_full(&key, &bad).is_err());
+    }
+
+    #[test]
+    fn basic_is_malleable_full_is_not() {
+        // Demonstrates why §3 calls BasicIdent malleable: XORing V
+        // flips plaintext bits undetected.
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(76);
+        let key = pkg.extract("alice");
+        let c = pkg.params().encrypt_basic(&mut rng, "alice", b"pay 1 euro");
+        let mut mauled = c.clone();
+        mauled.v[4] ^= b'1' ^ b'9';
+        assert_eq!(pkg.params().decrypt_basic(&key, &mauled).unwrap(), b"pay 9 euro");
+    }
+
+    #[test]
+    fn private_key_verification() {
+        let pkg = pkg();
+        let key = pkg.extract("alice");
+        assert!(pkg.params().verify_private_key(&key));
+        let forged = PrivateKey { id: "alice".into(), point: pkg.extract("bob").point };
+        assert!(!pkg.params().verify_private_key(&forged));
+    }
+
+    #[test]
+    fn ciphertext_wire_roundtrip() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(77);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"wire format").unwrap();
+        let bytes = c.to_bytes(pkg.params());
+        let back = FullCiphertext::from_bytes(pkg.params(), &bytes).unwrap();
+        assert_eq!(back, c);
+        assert!(FullCiphertext::from_bytes(pkg.params(), &bytes[..bytes.len() - 1]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(FullCiphertext::from_bytes(pkg.params(), &extended).is_err());
+    }
+
+    #[test]
+    fn from_master_reproduces_pkg() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg1 = Pkg::setup(&mut rng, curve.clone());
+        let pkg2 = Pkg::from_master(curve, pkg1.master().clone());
+        assert_eq!(pkg1.params().p_pub(), pkg2.params().p_pub());
+        assert_eq!(pkg1.extract("x"), pkg2.extract("x"));
+    }
+
+    #[test]
+    fn deterministic_encrypt_with_sigma() {
+        let pkg = pkg();
+        let sigma = [7u8; SIGMA_LEN];
+        let c1 = pkg.params().encrypt_full_with_sigma("alice", b"m", &sigma);
+        let c2 = pkg.params().encrypt_full_with_sigma("alice", b"m", &sigma);
+        assert_eq!(c1, c2);
+    }
+}

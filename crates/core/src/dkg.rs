@@ -1,0 +1,294 @@
+//! Distributed key generation (joint Feldman / Pedersen DKG) for the
+//! threshold GDH scheme.
+//!
+//! The paper's constructions use a *trusted dealer* (the PKG or TA)
+//! for key sharing. Boldyreva's threshold GDH paper \[2\] — which §5
+//! builds on — notes the dealer can be removed with a standard DKG.
+//! This module implements that extension over the same `G1` group:
+//!
+//! 1. every player `i` deals a random degree-`t−1` polynomial `fᵢ`,
+//!    broadcasting Feldman commitments `Aᵢₖ = aᵢₖ·P` and privately
+//!    sending `sᵢⱼ = fᵢ(j)` to each player `j`;
+//! 2. players verify `sᵢⱼ·P = Σₖ jᵏ·Aᵢₖ` and disqualify dealers whose
+//!    shares fail;
+//! 3. the qualified set's polynomials sum to the (never materialized)
+//!    secret `x = Σ fᵢ(0)`; player `j` holds `xⱼ = Σ sᵢⱼ`, and the
+//!    public key / verification keys come from the summed commitments.
+//!
+//! The outcome is byte-compatible with [`ThresholdGdh`]: the resulting
+//! shares sign and combine exactly as dealer-generated ones do.
+
+use crate::gdh::{GdhKeyShare, GdhPublicKey, ThresholdGdh};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, BigUint};
+use sempair_pairing::{CurveParams, G1Affine};
+
+/// One player's dealing: secret polynomial plus public commitments.
+#[derive(Debug, Clone)]
+pub struct DkgDealer {
+    /// This dealer's player index (1-based).
+    pub index: u32,
+    coeffs: Vec<BigUint>,
+    commitments: Vec<G1Affine>,
+}
+
+impl DkgDealer {
+    /// Samples a fresh dealing for a `(t, n)` DKG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn deal(rng: &mut impl RngCore, curve: &CurveParams, t: usize, index: u32) -> Self {
+        assert!(t >= 1, "threshold must be positive");
+        let coeffs: Vec<BigUint> = (0..t).map(|_| curve.random_scalar(rng)).collect();
+        let commitments = coeffs.iter().map(|a| curve.mul_generator(a)).collect();
+        DkgDealer { index, coeffs, commitments }
+    }
+
+    /// The broadcast Feldman commitments `Aₖ = aₖ·P`.
+    pub fn commitments(&self) -> &[G1Affine] {
+        &self.commitments
+    }
+
+    /// The private share `f(j)` for player `j`.
+    pub fn share_for(&self, curve: &CurveParams, j: u32) -> BigUint {
+        let q = curve.order();
+        let x = BigUint::from(j as u64);
+        let mut acc = BigUint::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = modular::mod_add(&modular::mod_mul(&acc, &x, q), c, q);
+        }
+        acc
+    }
+}
+
+/// Evaluates a commitment vector at `j` in the exponent:
+/// `Σₖ jᵏ·Aₖ` — what `f(j)·P` must equal.
+pub fn commitment_eval(curve: &CurveParams, commitments: &[G1Affine], j: u32) -> G1Affine {
+    let q = curve.order();
+    let mut power = BigUint::one();
+    let mut terms = Vec::with_capacity(commitments.len());
+    for a in commitments {
+        terms.push((power.clone(), a.clone()));
+        power = modular::mod_mul(&power, &BigUint::from(j as u64), q);
+    }
+    curve.multi_mul(&terms)
+}
+
+/// Player-side check of a received share against the dealer's
+/// broadcast commitments.
+pub fn verify_dealt_share(
+    curve: &CurveParams,
+    commitments: &[G1Affine],
+    j: u32,
+    share: &BigUint,
+) -> bool {
+    curve.mul_generator(share) == commitment_eval(curve, commitments, j)
+}
+
+/// Result of a DKG run.
+#[derive(Debug)]
+pub struct DkgOutcome {
+    /// The threshold system (public key + per-player verification keys).
+    pub system: ThresholdGdh,
+    /// Each (qualified-protocol) player's final key share.
+    pub shares: Vec<GdhKeyShare>,
+    /// Dealers disqualified for sending inconsistent shares.
+    pub disqualified: Vec<u32>,
+}
+
+/// Runs the full DKG among `n` simulated honest players, with
+/// `cheaters` optionally corrupting the shares they deal (their
+/// dealings are then excluded by everyone).
+///
+/// # Errors
+///
+/// [`Error::BadThresholdParams`] for inconsistent `(t, n)`, or
+/// [`Error::NotEnoughShares`] if disqualifications leave no qualified
+/// dealer.
+pub fn run_dkg(
+    rng: &mut impl RngCore,
+    curve: &CurveParams,
+    t: usize,
+    n: usize,
+    cheaters: &[u32],
+) -> Result<DkgOutcome, Error> {
+    if t == 0 || t > n {
+        return Err(Error::BadThresholdParams("need 1 <= t <= n"));
+    }
+    // Round 1: everyone deals.
+    let dealers: Vec<DkgDealer> = (1..=n as u32)
+        .map(|i| DkgDealer::deal(rng, curve, t, i))
+        .collect();
+
+    // Cheaters send corrupted shares to player 1 (enough for detection).
+    let corrupted =
+        |dealer: u32, recipient: u32| cheaters.contains(&dealer) && recipient == 1;
+
+    // Round 2: share distribution + verification → qualified set.
+    let q = curve.order();
+    let mut disqualified = Vec::new();
+    for dealer in &dealers {
+        let mut ok = true;
+        for j in 1..=n as u32 {
+            let mut share = dealer.share_for(curve, j);
+            if corrupted(dealer.index, j) {
+                share = modular::mod_add(&share, &BigUint::one(), q);
+            }
+            if !verify_dealt_share(curve, dealer.commitments(), j, &share) {
+                ok = false; // player j broadcasts a complaint
+            }
+        }
+        if !ok {
+            disqualified.push(dealer.index);
+        }
+    }
+    let qualified: Vec<&DkgDealer> = dealers
+        .iter()
+        .filter(|d| !disqualified.contains(&d.index))
+        .collect();
+    if qualified.is_empty() {
+        return Err(Error::NotEnoughShares { needed: 1, got: 0 });
+    }
+
+    // Round 3: aggregation.
+    let shares: Vec<GdhKeyShare> = (1..=n as u32)
+        .map(|j| {
+            let mut acc = BigUint::zero();
+            for dealer in &qualified {
+                acc = modular::mod_add(&acc, &dealer.share_for(curve, j), q);
+            }
+            GdhKeyShare { index: j, scalar: acc }
+        })
+        .collect();
+    let mut public = G1Affine::infinity();
+    for dealer in &qualified {
+        public = curve.add(&public, &dealer.commitments()[0]);
+    }
+    let verification_keys: Vec<G1Affine> =
+        shares.iter().map(|s| curve.mul_generator(&s.scalar)).collect();
+
+    let system = ThresholdGdh::from_parts(
+        curve.clone(),
+        t,
+        n,
+        GdhPublicKey { point: public },
+        verification_keys,
+    );
+    Ok(DkgOutcome { system, shares, disqualified })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gdh;
+    use crate::shamir::{self, Share};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn curve() -> (CurveParams, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0xD6);
+        (CurveParams::generate(&mut rng, 128, 64).unwrap(), rng)
+    }
+
+    #[test]
+    fn dealt_shares_verify_against_commitments() {
+        let (curve, mut rng) = curve();
+        let dealer = DkgDealer::deal(&mut rng, &curve, 3, 1);
+        for j in 1..=5 {
+            let share = dealer.share_for(&curve, j);
+            assert!(verify_dealt_share(&curve, dealer.commitments(), j, &share));
+            let bad = modular::mod_add(&share, &BigUint::one(), curve.order());
+            assert!(!verify_dealt_share(&curve, dealer.commitments(), j, &bad));
+        }
+    }
+
+    #[test]
+    fn honest_dkg_produces_working_threshold_system() {
+        let (curve, mut rng) = curve();
+        let outcome = run_dkg(&mut rng, &curve, 2, 4, &[]).unwrap();
+        assert!(outcome.disqualified.is_empty());
+        let sys = &outcome.system;
+        let msg = b"dkg-signed";
+        let partials: Vec<_> = outcome
+            .shares
+            .iter()
+            .map(|s| sys.partial_sign(s, msg))
+            .collect();
+        for p in &partials {
+            sys.verify_partial(msg, p).unwrap();
+        }
+        // Every 2-subset combines to the same verifying signature.
+        let sig_a = sys.combine(msg, &partials[..2]).unwrap();
+        let sig_b = sys.combine(msg, &partials[2..]).unwrap();
+        assert_eq!(sig_a, sig_b, "BLS signatures are unique");
+        gdh::verify(&curve, sys.public_key(), msg, &sig_a).unwrap();
+    }
+
+    #[test]
+    fn shares_interpolate_to_public_key_secret() {
+        // Reconstructing x from t shares and multiplying P must give
+        // the DKG public key (we never materialize x in the protocol,
+        // but the test is allowed to).
+        let (curve, mut rng) = curve();
+        let outcome = run_dkg(&mut rng, &curve, 3, 5, &[]).unwrap();
+        let subset: Vec<Share> = outcome.shares[..3]
+            .iter()
+            .map(|s| Share { index: s.index, value: s.scalar.clone() })
+            .collect();
+        let x = shamir::reconstruct(&subset, curve.order()).unwrap();
+        assert_eq!(&curve.mul_generator(&x), &outcome.system.public_key().point);
+    }
+
+    #[test]
+    fn cheating_dealer_disqualified_but_dkg_succeeds() {
+        let (curve, mut rng) = curve();
+        let outcome = run_dkg(&mut rng, &curve, 2, 4, &[3]).unwrap();
+        assert_eq!(outcome.disqualified, vec![3]);
+        let sys = &outcome.system;
+        let msg = b"survives cheaters";
+        let partials: Vec<_> = outcome
+            .shares
+            .iter()
+            .map(|s| sys.partial_sign(s, msg))
+            .collect();
+        let sig = sys.combine(msg, &partials[..2]).unwrap();
+        gdh::verify(&curve, sys.public_key(), msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn all_dealers_cheating_fails() {
+        let (curve, mut rng) = curve();
+        assert!(matches!(
+            run_dkg(&mut rng, &curve, 2, 3, &[1, 2, 3]),
+            Err(Error::NotEnoughShares { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let (curve, mut rng) = curve();
+        assert!(run_dkg(&mut rng, &curve, 0, 3, &[]).is_err());
+        assert!(run_dkg(&mut rng, &curve, 4, 3, &[]).is_err());
+    }
+
+    #[test]
+    fn dkg_system_interoperates_with_mediated_verify() {
+        // Signatures from a DKG-generated threshold key verify with the
+        // ordinary GDH equation — verifiers cannot tell how the key was
+        // born (dealer, DKG, or SEM split).
+        let (curve, mut rng) = curve();
+        let outcome = run_dkg(&mut rng, &curve, 2, 3, &[]).unwrap();
+        let sys = &outcome.system;
+        let partials: Vec<_> = outcome
+            .shares
+            .iter()
+            .take(2)
+            .map(|s| sys.partial_sign(s, b"interop"))
+            .collect();
+        let sig = sys.combine(b"interop", &partials).unwrap();
+        let pk = gdh::GdhPublicKey { point: sys.public_key().point.clone() };
+        gdh::verify(&curve, &pk, b"interop", &sig).unwrap();
+    }
+}

@@ -1,0 +1,781 @@
+//! The GDH (BLS) signature and its threshold/mediated variants (§5).
+//!
+//! The base scheme is Boneh–Lynn–Shacham short signatures over a
+//! Gap-Diffie-Hellman group: `σ = x·H(m)`, verified by checking that
+//! `(P, R = xP, H(m), σ)` is a Diffie–Hellman tuple via the pairing:
+//! `ê(P, σ) = ê(R, H(m))`.
+//!
+//! * [`ThresholdGdh`] — Boldyreva's `(t, n)` threshold version \[2\]:
+//!   partial signatures `σᵢ = f(i)·H(m)` recombine with Lagrange
+//!   coefficients. Non-interactive and deterministic, which is exactly
+//!   why §5 singles it out: probabilistic threshold signatures would
+//!   force extra SEM↔user rounds for joint nonce generation.
+//! * [`GdhSem`]/[`GdhUser`] — the mediated version: a 2-of-2 additive
+//!   split `x = x_user + x_sem`; the SEM's token is a *single
+//!   compressed G1 element* (~`|p|` bits vs 1024 for mRSA, the paper's
+//!   headline bandwidth win).
+
+use crate::shamir::{self, Polynomial, Share};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, BigUint};
+use sempair_pairing::{CurveParams, G1Affine};
+use std::collections::{HashMap, HashSet};
+
+/// Domain tag for the message hash `h : {0,1}* → G1`.
+const MSG_TAG: &[u8] = b"sempair-gdh-h";
+
+/// A GDH public key `R = xP`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GdhPublicKey {
+    /// The public point.
+    pub point: G1Affine,
+}
+
+/// A GDH secret key `x`.
+#[derive(Debug, Clone)]
+pub struct GdhSecretKey {
+    /// The secret scalar.
+    pub scalar: BigUint,
+}
+
+/// A (short) GDH signature `σ = x·H(m) ∈ G1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature(pub G1Affine);
+
+/// Hashes a message onto `G1`.
+pub fn hash_message(curve: &CurveParams, message: &[u8]) -> G1Affine {
+    curve.hash_to_g1(MSG_TAG, message)
+}
+
+/// Generates a keypair.
+pub fn keygen(rng: &mut impl RngCore, curve: &CurveParams) -> (GdhSecretKey, GdhPublicKey) {
+    let x = curve.random_scalar(rng);
+    let point = curve.mul_generator(&x);
+    (GdhSecretKey { scalar: x }, GdhPublicKey { point })
+}
+
+/// Signs: `σ = x·H(m)`.
+pub fn sign(curve: &CurveParams, key: &GdhSecretKey, message: &[u8]) -> Signature {
+    Signature(curve.mul(&key.scalar, &hash_message(curve, message)))
+}
+
+/// Verifies `ê(P, σ) = ê(R, H(m))`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSignature`] on mismatch or malformed point.
+pub fn verify(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    message: &[u8],
+    sig: &Signature,
+) -> Result<(), Error> {
+    if !curve.is_in_group(&sig.0) {
+        return Err(Error::InvalidSignature);
+    }
+    let h = hash_message(curve, message);
+    if curve.pairing_equals(curve.generator(), &sig.0, &key.point, &h) {
+        Ok(())
+    } else {
+        Err(Error::InvalidSignature)
+    }
+}
+
+// --- threshold GDH (Boldyreva) ----------------------------------------------
+
+/// A `(t, n)` threshold GDH signature deployment.
+#[derive(Debug, Clone)]
+pub struct ThresholdGdh {
+    curve: CurveParams,
+    t: usize,
+    n: usize,
+    public: GdhPublicKey,
+    /// Per-player verification keys `Rᵢ = f(i)·P`.
+    verification_keys: Vec<G1Affine>,
+}
+
+/// Player `i`'s signing-key share `f(i)`.
+#[derive(Debug, Clone)]
+pub struct GdhKeyShare {
+    /// Player index (1-based).
+    pub index: u32,
+    /// The scalar share.
+    pub scalar: BigUint,
+}
+
+/// A partial signature `σᵢ = f(i)·H(m)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialSignature {
+    /// Player index.
+    pub index: u32,
+    /// The partial-signature point.
+    pub point: G1Affine,
+}
+
+impl ThresholdGdh {
+    /// Dealer setup: shares a fresh key among `n` players with
+    /// threshold `t`. Returns the system plus each player's share.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadThresholdParams`] unless `1 ≤ t ≤ n`.
+    pub fn setup(
+        rng: &mut impl RngCore,
+        curve: CurveParams,
+        t: usize,
+        n: usize,
+    ) -> Result<(Self, Vec<GdhKeyShare>), Error> {
+        if t == 0 || t > n {
+            return Err(Error::BadThresholdParams("need 1 <= t <= n"));
+        }
+        let x = curve.random_scalar(rng);
+        let poly = Polynomial::sample(rng, &x, t, curve.order());
+        let shares: Vec<GdhKeyShare> = poly
+            .shares(n)
+            .into_iter()
+            .map(|Share { index, value }| GdhKeyShare { index, scalar: value })
+            .collect();
+        let verification_keys = shares.iter().map(|s| curve.mul_generator(&s.scalar)).collect();
+        let public = GdhPublicKey { point: curve.mul_generator(&x) };
+        Ok((ThresholdGdh { curve, t, n, public, verification_keys }, shares))
+    }
+
+    /// Assembles a threshold system from externally generated parts
+    /// (the DKG of [`crate::dkg`] uses this; invariants are the
+    /// caller's responsibility).
+    pub(crate) fn from_parts(
+        curve: CurveParams,
+        t: usize,
+        n: usize,
+        public: GdhPublicKey,
+        verification_keys: Vec<G1Affine>,
+    ) -> Self {
+        debug_assert_eq!(verification_keys.len(), n);
+        ThresholdGdh { curve, t, n, public, verification_keys }
+    }
+
+    /// The combined public key `R = xP`.
+    pub fn public_key(&self) -> &GdhPublicKey {
+        &self.public
+    }
+
+    /// The threshold `t`.
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// The player count `n`.
+    pub fn players(&self) -> usize {
+        self.n
+    }
+
+    /// Player-side signing: `σᵢ = f(i)·H(m)`.
+    pub fn partial_sign(&self, share: &GdhKeyShare, message: &[u8]) -> PartialSignature {
+        PartialSignature {
+            index: share.index,
+            point: self.curve.mul(&share.scalar, &hash_message(&self.curve, message)),
+        }
+    }
+
+    /// Verifies a partial signature against player `i`'s verification
+    /// key: `ê(P, σᵢ) = ê(Rᵢ, H(m))` — GDH signatures are *natively*
+    /// robust, no extra NIZK needed.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidShare`] when the check fails.
+    pub fn verify_partial(&self, message: &[u8], partial: &PartialSignature) -> Result<(), Error> {
+        let err = Error::InvalidShare { player: partial.index };
+        if partial.index == 0 || partial.index as usize > self.n {
+            return Err(err);
+        }
+        let vk = &self.verification_keys[(partial.index - 1) as usize];
+        let h = hash_message(&self.curve, message);
+        if self.curve.pairing_equals(self.curve.generator(), &partial.point, vk, &h) {
+            Ok(())
+        } else {
+            Err(err)
+        }
+    }
+
+    /// Combines `t` partial signatures: `σ = Σ Lᵢ·σᵢ`, then verifies
+    /// the result under the combined public key.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughShares`], index errors, or
+    /// [`Error::InvalidSignature`] if the combination does not verify
+    /// (some unverified partial was bogus).
+    pub fn combine(
+        &self,
+        message: &[u8],
+        partials: &[PartialSignature],
+    ) -> Result<Signature, Error> {
+        if partials.len() < self.t {
+            return Err(Error::NotEnoughShares { needed: self.t, got: partials.len() });
+        }
+        let used = &partials[..self.t];
+        let indices: Vec<u32> = used.iter().map(|p| p.index).collect();
+        let q = self.curve.order();
+        let mut terms = Vec::with_capacity(used.len());
+        for partial in used {
+            let li = shamir::lagrange_coefficient(&indices, partial.index, q)?;
+            terms.push((li, partial.point.clone()));
+        }
+        let sig = Signature(self.curve.multi_mul(&terms));
+        verify(&self.curve, &self.public, message, &sig)?;
+        Ok(sig)
+    }
+
+    /// Robust combine: verifies each partial first, discards bad ones,
+    /// returns the signature and the cheater list.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughShares`] if fewer than `t` partials survive.
+    pub fn combine_robust(
+        &self,
+        message: &[u8],
+        partials: &[PartialSignature],
+    ) -> Result<(Signature, Vec<u32>), Error> {
+        let mut valid = Vec::new();
+        let mut cheaters = Vec::new();
+        for partial in partials {
+            match self.verify_partial(message, partial) {
+                Ok(()) => valid.push(partial.clone()),
+                Err(_) => cheaters.push(partial.index),
+            }
+        }
+        let sig = self.combine(message, &valid)?;
+        Ok((sig, cheaters))
+    }
+}
+
+// --- aggregate / multi / blind signatures (Boldyreva [2]'s other schemes) ----
+
+/// Aggregates signatures on *distinct* messages into one point:
+/// `σ_agg = Σ σᵢ` (BLS aggregation).
+pub fn aggregate(curve: &CurveParams, sigs: &[Signature]) -> Signature {
+    let mut acc = G1Affine::infinity();
+    for sig in sigs {
+        acc = curve.add(&acc, &sig.0);
+    }
+    Signature(acc)
+}
+
+/// Verifies an aggregate signature over `(public key, message)` pairs:
+/// `ê(P, σ_agg) = Π ê(Rᵢ, H(mᵢ))`, checked with one shared-loop
+/// multi-pairing.
+///
+/// Messages must be pairwise distinct (the standard aggregation
+/// requirement that blocks rogue-key-style forgeries in this setting).
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] on duplicate messages, arity mismatch or
+/// verification failure.
+pub fn verify_aggregate(
+    curve: &CurveParams,
+    entries: &[(&GdhPublicKey, &[u8])],
+    sig: &Signature,
+) -> Result<(), Error> {
+    if entries.is_empty() || !curve.is_in_group(&sig.0) {
+        return Err(Error::InvalidSignature);
+    }
+    for (i, (_, m)) in entries.iter().enumerate() {
+        if entries[i + 1..].iter().any(|(_, m2)| m2 == m) {
+            return Err(Error::InvalidSignature); // distinct-message rule
+        }
+    }
+    // ê(−P, σ)·Π ê(Rᵢ, H(mᵢ)) = 1
+    let neg_p = curve.neg(curve.generator());
+    let hashes: Vec<G1Affine> =
+        entries.iter().map(|(_, m)| hash_message(curve, m)).collect();
+    let mut pairs: Vec<(&G1Affine, &G1Affine)> = vec![(&neg_p, &sig.0)];
+    for ((pk, _), h) in entries.iter().zip(hashes.iter()) {
+        pairs.push((&pk.point, h));
+    }
+    if curve.gt_is_one(&curve.multi_pairing(&pairs)) {
+        Ok(())
+    } else {
+        Err(Error::InvalidSignature)
+    }
+}
+
+/// Multisignature: `n` signers on the *same* message. Verification uses
+/// the aggregated public key `Σ Rᵢ`, so cost is independent of `n`.
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] on empty input or failure.
+pub fn verify_multisignature(
+    curve: &CurveParams,
+    keys: &[&GdhPublicKey],
+    message: &[u8],
+    sig: &Signature,
+) -> Result<(), Error> {
+    if keys.is_empty() {
+        return Err(Error::InvalidSignature);
+    }
+    let mut agg_pk = G1Affine::infinity();
+    for key in keys {
+        agg_pk = curve.add(&agg_pk, &key.point);
+    }
+    verify(curve, &GdhPublicKey { point: agg_pk }, message, sig)
+}
+
+/// A blinded message `H(m) + ρ·P`, hiding `m` from the signer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlindedMessage(pub G1Affine);
+
+/// The requester's unblinding state (keep secret until unblinding).
+#[derive(Debug, Clone)]
+pub struct BlindingFactor {
+    rho: BigUint,
+}
+
+/// Requester side, step 1: blind the message.
+pub fn blind(
+    rng: &mut impl RngCore,
+    curve: &CurveParams,
+    message: &[u8],
+) -> (BlindedMessage, BlindingFactor) {
+    let rho = curve.random_scalar(rng);
+    let blinded = curve.add(&hash_message(curve, message), &curve.mul_generator(&rho));
+    (BlindedMessage(blinded), BlindingFactor { rho })
+}
+
+/// Signer side, step 2: sign the blinded point `x·(H(m) + ρP)` —
+/// without learning `m` (the signer sees a uniformly random point).
+pub fn blind_sign(curve: &CurveParams, key: &GdhSecretKey, blinded: &BlindedMessage) -> Signature {
+    Signature(curve.mul(&key.scalar, &blinded.0))
+}
+
+/// Requester side, step 3: unblind `σ' − ρ·R = x·H(m)` — an ordinary
+/// GDH signature, verifiable by anyone with [`verify`].
+pub fn unblind(
+    curve: &CurveParams,
+    public: &GdhPublicKey,
+    factor: &BlindingFactor,
+    blinded_sig: &Signature,
+) -> Signature {
+    Signature(curve.sub(&blinded_sig.0, &curve.mul(&factor.rho, &public.point)))
+}
+
+// --- mediated GDH (§5) --------------------------------------------------------
+
+/// The trusted authority of §5: generates `x = x_user + x_sem` splits.
+///
+/// Returns `(user key, SEM record, public key)`; the TA discards the
+/// full `x` afterwards.
+pub fn mediated_keygen(
+    rng: &mut impl RngCore,
+    curve: &CurveParams,
+    id: &str,
+) -> (GdhUser, GdhSemKey, GdhPublicKey) {
+    let x_user = curve.random_scalar(rng);
+    let x_sem = curve.random_scalar(rng);
+    let sum = modular::mod_add(&x_user, &x_sem, curve.order());
+    let public = GdhPublicKey { point: curve.mul_generator(&sum) };
+    (
+        GdhUser { id: id.to_string(), public: public.clone(), x_user },
+        GdhSemKey { id: id.to_string(), x_sem },
+        public,
+    )
+}
+
+/// The user's half of a mediated GDH signing key.
+#[derive(Debug, Clone)]
+pub struct GdhUser {
+    /// The user's identity label.
+    pub id: String,
+    /// The combined public key `(x_user + x_sem)·P`.
+    pub public: GdhPublicKey,
+    x_user: BigUint,
+}
+
+/// The SEM's half-key record for one user.
+#[derive(Debug, Clone)]
+pub struct GdhSemKey {
+    /// Identity served.
+    pub id: String,
+    x_sem: BigUint,
+}
+
+/// A SEM half-signature `S_sem = x_sem·H(m)` — one compressed G1
+/// element, the short token §5 highlights.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HalfSignature(pub G1Affine);
+
+/// The signing mediator: half-keys plus revocation list.
+#[derive(Debug, Default)]
+pub struct GdhSem {
+    keys: HashMap<String, GdhSemKey>,
+    revoked: HashSet<String>,
+}
+
+impl GdhUser {
+    /// Keystore encoding: `u16 id-len ‖ id ‖ compressed public point ‖
+    /// fixed-width x_user scalar`.
+    pub fn to_bytes(&self, curve: &CurveParams) -> Vec<u8> {
+        let id = self.id.as_bytes();
+        let scalar_len = curve.order().bits().div_ceil(8);
+        let mut out = Vec::with_capacity(2 + id.len() + curve.point_len() + scalar_len);
+        out.extend_from_slice(&(id.len() as u16).to_be_bytes());
+        out.extend_from_slice(id);
+        out.extend_from_slice(&curve.point_to_bytes(&self.public.point));
+        out.extend_from_slice(&self.x_user.to_be_bytes_padded(scalar_len));
+        out
+    }
+
+    /// Decodes [`GdhUser::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] on malformed bytes.
+    pub fn from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<Self, Error> {
+        if bytes.len() < 2 {
+            return Err(Error::InvalidSignature);
+        }
+        let id_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let scalar_len = curve.order().bits().div_ceil(8);
+        if bytes.len() != 2 + id_len + curve.point_len() + scalar_len {
+            return Err(Error::InvalidSignature);
+        }
+        let id = String::from_utf8(bytes[2..2 + id_len].to_vec())
+            .map_err(|_| Error::InvalidSignature)?;
+        let point = curve
+            .point_from_bytes(&bytes[2 + id_len..2 + id_len + curve.point_len()])
+            .map_err(|_| Error::InvalidSignature)?;
+        let x_user = BigUint::from_be_bytes(&bytes[2 + id_len + curve.point_len()..]);
+        if &x_user >= curve.order() {
+            return Err(Error::InvalidSignature);
+        }
+        Ok(GdhUser { id, public: GdhPublicKey { point }, x_user })
+    }
+}
+
+impl GdhSemKey {
+    /// Provisioning encoding: `u16 id-len ‖ id ‖ fixed-width x_sem`.
+    pub fn to_bytes(&self, curve: &CurveParams) -> Vec<u8> {
+        let id = self.id.as_bytes();
+        let scalar_len = curve.order().bits().div_ceil(8);
+        let mut out = Vec::with_capacity(2 + id.len() + scalar_len);
+        out.extend_from_slice(&(id.len() as u16).to_be_bytes());
+        out.extend_from_slice(id);
+        out.extend_from_slice(&self.x_sem.to_be_bytes_padded(scalar_len));
+        out
+    }
+
+    /// Decodes [`GdhSemKey::to_bytes`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] on malformed bytes.
+    pub fn from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<Self, Error> {
+        if bytes.len() < 2 {
+            return Err(Error::InvalidSignature);
+        }
+        let id_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let scalar_len = curve.order().bits().div_ceil(8);
+        if bytes.len() != 2 + id_len + scalar_len {
+            return Err(Error::InvalidSignature);
+        }
+        let id = String::from_utf8(bytes[2..2 + id_len].to_vec())
+            .map_err(|_| Error::InvalidSignature)?;
+        let x_sem = BigUint::from_be_bytes(&bytes[2 + id_len..]);
+        if &x_sem >= curve.order() {
+            return Err(Error::InvalidSignature);
+        }
+        Ok(GdhSemKey { id, x_sem })
+    }
+}
+
+impl GdhSem {
+    /// Creates an empty signing SEM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a user's half-key.
+    pub fn install(&mut self, key: GdhSemKey) {
+        self.keys.insert(key.id.clone(), key);
+    }
+
+    /// Revokes signing capability instantly.
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&mut self, id: &str) {
+        self.revoked.remove(id);
+    }
+
+    /// `true` iff revoked.
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.revoked.contains(id)
+    }
+
+    /// SEM signing step (§5): check revocation, return
+    /// `S_sem = x_sem·H(m)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`] or [`Error::UnknownIdentity`].
+    pub fn half_sign(
+        &self,
+        curve: &CurveParams,
+        id: &str,
+        message: &[u8],
+    ) -> Result<HalfSignature, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let key = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        Ok(HalfSignature(curve.mul(&key.x_sem, &hash_message(curve, message))))
+    }
+}
+
+impl GdhUser {
+    /// User signing step (§5): `σ = S_sem + x_user·H(m)`, verified
+    /// before being returned (protocol step 3).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] if the combined signature fails
+    /// verification (SEM misbehaviour or token/message mismatch).
+    pub fn finish_sign(
+        &self,
+        curve: &CurveParams,
+        message: &[u8],
+        half: &HalfSignature,
+    ) -> Result<Signature, Error> {
+        let own = curve.mul(&self.x_user, &hash_message(curve, message));
+        let sig = Signature(curve.add(&half.0, &own));
+        verify(curve, &self.public, message, &sig)?;
+        Ok(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn curve() -> (CurveParams, StdRng) {
+        let mut rng = StdRng::seed_from_u64(101);
+        (CurveParams::generate(&mut rng, 128, 64).unwrap(), rng)
+    }
+
+    #[test]
+    fn plain_sign_verify() {
+        let (curve, mut rng) = curve();
+        let (sk, pk) = keygen(&mut rng, &curve);
+        let sig = sign(&curve, &sk, b"message");
+        verify(&curve, &pk, b"message", &sig).unwrap();
+        assert_eq!(verify(&curve, &pk, b"other", &sig), Err(Error::InvalidSignature));
+        let (_, pk2) = keygen(&mut rng, &curve);
+        assert_eq!(verify(&curve, &pk2, b"message", &sig), Err(Error::InvalidSignature));
+    }
+
+    #[test]
+    fn signature_is_deterministic_and_short() {
+        let (curve, mut rng) = curve();
+        let (sk, _) = keygen(&mut rng, &curve);
+        assert_eq!(sign(&curve, &sk, b"m"), sign(&curve, &sk, b"m"));
+        // One compressed point: |p|/8 + 1 bytes.
+        let sig = sign(&curve, &sk, b"m");
+        assert_eq!(curve.point_to_bytes(&sig.0).len(), curve.point_len());
+    }
+
+    #[test]
+    fn threshold_roundtrip_all_subsets() {
+        let (curve, mut rng) = curve();
+        let (sys, shares) = ThresholdGdh::setup(&mut rng, curve, 2, 4).unwrap();
+        let partials: Vec<PartialSignature> =
+            shares.iter().map(|s| sys.partial_sign(s, b"vote")).collect();
+        for a in 0..4 {
+            for b in a + 1..4 {
+                let sig = sys
+                    .combine(b"vote", &[partials[a].clone(), partials[b].clone()])
+                    .unwrap();
+                verify(&sys.curve, sys.public_key(), b"vote", &sig).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_partial_verification_catches_cheater() {
+        let (curve, mut rng) = curve();
+        let (sys, shares) = ThresholdGdh::setup(&mut rng, curve.clone(), 2, 3).unwrap();
+        let mut partials: Vec<PartialSignature> =
+            shares.iter().map(|s| sys.partial_sign(s, b"m")).collect();
+        // Player 1 cheats.
+        partials[0].point = curve.mul_generator(&BigUint::from(31337u64));
+        assert!(sys.verify_partial(b"m", &partials[0]).is_err());
+        let (sig, cheaters) = sys.combine_robust(b"m", &partials).unwrap();
+        assert_eq!(cheaters, vec![1]);
+        verify(&curve, sys.public_key(), b"m", &sig).unwrap();
+    }
+
+    #[test]
+    fn threshold_insufficient_shares() {
+        let (curve, mut rng) = curve();
+        let (sys, shares) = ThresholdGdh::setup(&mut rng, curve, 3, 5).unwrap();
+        let partials: Vec<PartialSignature> = shares[..2]
+            .iter()
+            .map(|s| sys.partial_sign(s, b"m"))
+            .collect();
+        assert_eq!(
+            sys.combine(b"m", &partials),
+            Err(Error::NotEnoughShares { needed: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn threshold_bad_params() {
+        let (curve, mut rng) = curve();
+        assert!(ThresholdGdh::setup(&mut rng, curve.clone(), 0, 2).is_err());
+        assert!(ThresholdGdh::setup(&mut rng, curve, 3, 2).is_err());
+    }
+
+    #[test]
+    fn aggregate_signatures_verify() {
+        let (curve, mut rng) = curve();
+        let mut entries = Vec::new();
+        let mut sigs = Vec::new();
+        let keys: Vec<_> = (0..4).map(|_| keygen(&mut rng, &curve)).collect();
+        let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("msg {i}").into_bytes()).collect();
+        for ((sk, _), m) in keys.iter().zip(&msgs) {
+            sigs.push(sign(&curve, sk, m));
+        }
+        for ((_, pk), m) in keys.iter().zip(&msgs) {
+            entries.push((pk, m.as_slice()));
+        }
+        let agg = aggregate(&curve, &sigs);
+        verify_aggregate(&curve, &entries, &agg).unwrap();
+        // Dropping one signature breaks it.
+        let partial = aggregate(&curve, &sigs[..3]);
+        assert!(verify_aggregate(&curve, &entries, &partial).is_err());
+        // Duplicate messages rejected outright.
+        let dup = [entries[0], entries[0]];
+        assert!(verify_aggregate(&curve, &dup, &agg).is_err());
+        assert!(verify_aggregate(&curve, &[], &agg).is_err());
+    }
+
+    #[test]
+    fn multisignature_verifies_with_aggregated_key() {
+        let (curve, mut rng) = curve();
+        let keys: Vec<_> = (0..3).map(|_| keygen(&mut rng, &curve)).collect();
+        let msg = b"joint statement";
+        let sigs: Vec<_> = keys.iter().map(|(sk, _)| sign(&curve, sk, msg)).collect();
+        let multi = aggregate(&curve, &sigs);
+        let pks: Vec<&GdhPublicKey> = keys.iter().map(|(_, pk)| pk).collect();
+        verify_multisignature(&curve, &pks, msg, &multi).unwrap();
+        // Missing one signer fails.
+        let partial = aggregate(&curve, &sigs[..2]);
+        assert!(verify_multisignature(&curve, &pks, msg, &partial).is_err());
+    }
+
+    #[test]
+    fn blind_signature_roundtrip_and_blindness() {
+        let (curve, mut rng) = curve();
+        let (sk, pk) = keygen(&mut rng, &curve);
+        let msg = b"the signer never sees this";
+        let (blinded, factor) = blind(&mut rng, &curve, msg);
+        // Blindness: the blinded point differs from H(m) and between runs.
+        assert_ne!(blinded.0, hash_message(&curve, msg));
+        let (blinded2, _) = blind(&mut rng, &curve, msg);
+        assert_ne!(blinded.0, blinded2.0);
+        // Sign blinded, unblind, verify as a plain GDH signature.
+        let blind_sig = blind_sign(&curve, &sk, &blinded);
+        let sig = unblind(&curve, &pk, &factor, &blind_sig);
+        verify(&curve, &pk, msg, &sig).unwrap();
+        assert_eq!(sig, sign(&curve, &sk, msg), "unblinds to the unique BLS signature");
+        // Wrong blinding factor yields garbage.
+        let (_, wrong_factor) = blind(&mut rng, &curve, msg);
+        let bad = unblind(&curve, &pk, &wrong_factor, &blind_sig);
+        assert!(verify(&curve, &pk, msg, &bad).is_err());
+    }
+
+    #[test]
+    fn mediated_sign_roundtrip() {
+        let (curve, mut rng) = curve();
+        let (user, sem_key, pk) = mediated_keygen(&mut rng, &curve, "alice");
+        let mut sem = GdhSem::new();
+        sem.install(sem_key);
+        let half = sem.half_sign(&curve, "alice", b"pay bob 5").unwrap();
+        let sig = user.finish_sign(&curve, b"pay bob 5", &half).unwrap();
+        verify(&curve, &pk, b"pay bob 5", &sig).unwrap();
+    }
+
+    #[test]
+    fn mediated_revocation_blocks_signing() {
+        let (curve, mut rng) = curve();
+        let (user, sem_key, _pk) = mediated_keygen(&mut rng, &curve, "alice");
+        let mut sem = GdhSem::new();
+        sem.install(sem_key);
+        sem.revoke("alice");
+        assert_eq!(sem.half_sign(&curve, "alice", b"m"), Err(Error::Revoked));
+        sem.unrevoke("alice");
+        let half = sem.half_sign(&curve, "alice", b"m").unwrap();
+        user.finish_sign(&curve, b"m", &half).unwrap();
+    }
+
+    #[test]
+    fn mediated_user_cannot_sign_alone() {
+        let (curve, mut rng) = curve();
+        let (user, _sem_key, pk) = mediated_keygen(&mut rng, &curve, "alice");
+        // Without the SEM half the user's "signature" never verifies.
+        let own = curve.mul(&user.x_user, &hash_message(&curve, b"m"));
+        assert_eq!(
+            verify(&curve, &pk, b"m", &Signature(own)),
+            Err(Error::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn mediated_token_bound_to_message() {
+        let (curve, mut rng) = curve();
+        let (user, sem_key, _) = mediated_keygen(&mut rng, &curve, "alice");
+        let mut sem = GdhSem::new();
+        sem.install(sem_key);
+        let half = sem.half_sign(&curve, "alice", b"message-a").unwrap();
+        assert_eq!(
+            user.finish_sign(&curve, b"message-b", &half),
+            Err(Error::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn mediated_key_serialization_roundtrip() {
+        let (curve, mut rng) = curve();
+        let (user, sem_key, pk) = mediated_keygen(&mut rng, &curve, "store-me");
+        let u2 = GdhUser::from_bytes(&curve, &user.to_bytes(&curve)).unwrap();
+        let s2 = GdhSemKey::from_bytes(&curve, &sem_key.to_bytes(&curve)).unwrap();
+        assert_eq!(u2.id, "store-me");
+        assert_eq!(u2.public, pk);
+        // The deserialized halves still sign together.
+        let mut sem = GdhSem::new();
+        sem.install(s2);
+        let half = sem.half_sign(&curve, "store-me", b"persisted").unwrap();
+        let sig = u2.finish_sign(&curve, b"persisted", &half).unwrap();
+        verify(&curve, &pk, b"persisted", &sig).unwrap();
+        // Malformed inputs rejected.
+        assert!(GdhUser::from_bytes(&curve, &[0, 9, 1]).is_err());
+        assert!(GdhSemKey::from_bytes(&curve, &[]).is_err());
+    }
+
+    #[test]
+    fn mediated_unknown_identity() {
+        let (curve, _) = curve();
+        let sem = GdhSem::new();
+        assert_eq!(
+            sem.half_sign(&curve, "ghost", b"m"),
+            Err(Error::UnknownIdentity)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! # sempair-core
+//!
+//! The paper's contribution (Libert & Quisquater, PODC 2003):
+//! revocation-capable and threshold pairing-based cryptosystems.
+//!
+//! * [`bf_ibe`] — the Boneh–Franklin identity-based encryption scheme:
+//!   `BasicIdent` (IND-ID-CPA) and `FullIdent` (Fujisaki–Okamoto,
+//!   IND-ID-CCA), the substrate of §§3–4.
+//! * [`shamir`] — Shamir secret sharing over `Z_q` with Lagrange
+//!   recombination, used by every threshold construction.
+//! * [`threshold`] — §3: the `(t, n)` threshold IBE with verifiable key
+//!   shares and the pairing-equality NIZK that makes decryption
+//!   *robust* (cheating players are detected).
+//! * [`mediated`] — §4: the mediated (SEM) Boneh–Franklin IBE with
+//!   instant revocation; a user+SEM collusion breaks only revocation,
+//!   never other users' confidentiality.
+//! * [`gdh`] — §5: the GDH (BLS) signature, Boldyreva's threshold
+//!   variant, and the mediated GDH signature whose SEM→user token is a
+//!   single short group element.
+//! * [`elgamal`] — the §4 closing remark: mediated FO-ElGamal (a plain
+//!   public-key scheme with SEM revocation, no pairing needed).
+//! * [`signcryption`] — the conclusion's future-work item: a mediated
+//!   signcryption where *both* the sender's and the receiver's
+//!   capabilities are instantly revocable.
+//! * [`dkg`] — joint-Feldman distributed key generation for the
+//!   threshold GDH scheme, removing the trusted dealer (the extension
+//!   Boldyreva \[2\] points to).
+//! * [`checked`] — the Fouque–Pointcheval validity-proof mechanism
+//!   §3.3 sketches for a chosen-ciphertext-secure threshold IBE:
+//!   servers verify ciphertexts *before* issuing shares.
+//!
+//! ```
+//! use sempair_core::bf_ibe::Pkg;
+//! use sempair_pairing::CurveParams;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+//! let pkg = Pkg::setup(&mut rng, curve);
+//! let key = pkg.extract("bob@example.com");
+//! let c = pkg.params().encrypt_full(&mut rng, "bob@example.com", b"hello bob").unwrap();
+//! assert_eq!(pkg.params().decrypt_full(&key, &c).unwrap(), b"hello bob");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bf_ibe;
+pub mod checked;
+pub mod dkg;
+pub mod elgamal;
+pub mod gdh;
+pub mod mediated;
+pub mod shamir;
+pub mod signcryption;
+pub mod threshold;
+pub mod wire;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors across the pairing-based schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Ciphertext failed its validity check (`U ≠ rP` after FO
+    /// decapsulation) or has malformed components.
+    InvalidCiphertext,
+    /// The identity is revoked; the SEM refuses to serve it.
+    Revoked,
+    /// The SEM/PKG holds no key material for this identity.
+    UnknownIdentity,
+    /// A decryption/signature share failed verification.
+    InvalidShare {
+        /// Index of the offending player.
+        player: u32,
+    },
+    /// Fewer than `t` valid shares were provided.
+    NotEnoughShares {
+        /// Threshold required.
+        needed: usize,
+        /// Valid shares available.
+        got: usize,
+    },
+    /// Two shares carry the same player index.
+    DuplicateShare {
+        /// The duplicated index.
+        player: u32,
+    },
+    /// Signature rejected.
+    InvalidSignature,
+    /// A zero-knowledge proof failed verification.
+    InvalidProof,
+    /// Threshold parameters are inconsistent (`t = 0`, `t > n`, index 0…).
+    BadThresholdParams(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidCiphertext => write!(f, "invalid ciphertext"),
+            Error::Revoked => write!(f, "identity is revoked"),
+            Error::UnknownIdentity => write!(f, "identity unknown"),
+            Error::InvalidShare { player } => write!(f, "invalid share from player {player}"),
+            Error::NotEnoughShares { needed, got } => {
+                write!(f, "not enough valid shares: need {needed}, got {got}")
+            }
+            Error::DuplicateShare { player } => {
+                write!(f, "duplicate share for player {player}")
+            }
+            Error::InvalidSignature => write!(f, "invalid signature"),
+            Error::InvalidProof => write!(f, "invalid zero-knowledge proof"),
+            Error::BadThresholdParams(why) => write!(f, "bad threshold parameters: {why}"),
+        }
+    }
+}
+
+impl StdError for Error {}

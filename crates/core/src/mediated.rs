@@ -1,0 +1,324 @@
+//! The mediated (SEM) Boneh–Franklin IBE of §4 — the paper's main
+//! construction.
+//!
+//! `Keygen` splits the identity key additively in `G1`:
+//! `d_ID = s·Q_ID = d_user + d_sem` with `d_user` uniform. Decryption of
+//! a `FullIdent` ciphertext `⟨U, V, W⟩` then needs both halves of the
+//! pairing value:
+//!
+//! ```text
+//! g = ê(U, d_sem) · ê(U, d_user) = ê(U, d_ID) = ê(P_pub, Q_ID)^r
+//! ```
+//!
+//! The SEM contributes `g_sem = ê(U, d_sem)` — the *token* — only after
+//! checking its revocation list, which is how the scheme gets
+//! fine-grained, instantaneous revocation without the PKG re-issuing
+//! keys. Security properties reproduced as tests here and in
+//! `tests/security_games.rs`:
+//!
+//! * the SEM never learns the plaintext (it never sees `g_user`);
+//! * tokens are ciphertext-specific and useless for other ciphertexts
+//!   (`U` binds them through `r = H3(σ, M)`);
+//! * a user+SEM collusion recovers only *that user's* `d_ID` — other
+//!   identities stay secure (contrast with IB-mRSA, where it factors
+//!   the shared modulus).
+
+use crate::bf_ibe::{FullCiphertext, IbePublicParams, Pkg};
+use crate::Error;
+use rand::RngCore;
+use sempair_pairing::{G1Affine, Gt};
+use std::collections::{HashMap, HashSet};
+
+/// The user's half-key `d_user ∈ G1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserKey {
+    /// The identity this half-key belongs to.
+    pub id: String,
+    /// The half-key point.
+    pub point: G1Affine,
+}
+
+/// The SEM's half-key `d_sem = d_ID − d_user` for one identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SemKey {
+    /// The identity this half-key serves.
+    pub id: String,
+    /// The half-key point.
+    pub point: G1Affine,
+}
+
+/// A decryption token `g_sem = ê(U, d_sem)`.
+///
+/// A random-looking element of `G2` that carries no information about
+/// `d_sem` (computing `d_sem` from it is the pairing-inversion/CDH
+/// problem, as §4 argues).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecryptToken(pub Gt);
+
+impl Pkg {
+    /// `Keygen` (§4): extracts `d_ID` and splits it into
+    /// `(d_user, d_sem)` with `d_user` uniform in `G1`.
+    pub fn extract_split(&self, rng: &mut impl RngCore, id: &str) -> (UserKey, SemKey) {
+        let full = self.extract(id);
+        let curve = self.params().curve();
+        // Uniform d_user: a random multiple of the generator is uniform
+        // in the order-r subgroup that d_ID lives in.
+        let blind = curve.random_scalar(rng);
+        let d_user = curve.mul_generator(&blind);
+        let d_sem = curve.sub(&full.point, &d_user);
+        (
+            UserKey { id: id.to_string(), point: d_user },
+            SemKey { id: id.to_string(), point: d_sem },
+        )
+    }
+}
+
+/// The security mediator: half-keys plus the revocation list.
+///
+/// Distinct from the PKG (§4): the SEM stays online for the system's
+/// lifetime while the PKG can go offline after issuing keys.
+#[derive(Debug, Default)]
+pub struct Sem {
+    keys: HashMap<String, SemKey>,
+    revoked: HashSet<String>,
+}
+
+impl Sem {
+    /// Creates an empty SEM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a half-key received from the PKG.
+    pub fn install(&mut self, key: SemKey) {
+        self.keys.insert(key.id.clone(), key);
+    }
+
+    /// Revokes an identity: takes effect on the very next token request
+    /// (the paper's headline "instantaneous revocation").
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&mut self, id: &str) {
+        self.revoked.remove(id);
+    }
+
+    /// `true` iff the identity is currently revoked.
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.revoked.contains(id)
+    }
+
+    /// Number of enrolled identities.
+    pub fn enrolled(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// SEM step of `Decrypt` (§4): check revocation, then return
+    /// `g_sem = ê(U, d_sem)`.
+    ///
+    /// Note the SEM *cannot* validate the ciphertext: the FO check
+    /// happens at the end of decryption, on the user side — exactly the
+    /// obstacle to insider-CCA proofs the paper identifies in §2.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`], [`Error::UnknownIdentity`], or
+    /// [`Error::InvalidCiphertext`] for an off-curve `U`.
+    pub fn decrypt_token(
+        &self,
+        params: &IbePublicParams,
+        id: &str,
+        u: &G1Affine,
+    ) -> Result<DecryptToken, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let key = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        if !params.curve().is_in_group(u) {
+            return Err(Error::InvalidCiphertext);
+        }
+        Ok(DecryptToken(params.curve().pairing(u, &key.point)))
+    }
+
+    /// **Collusion hook** (tests/E9): what a compromised SEM leaks for
+    /// one identity — its half-key.
+    pub fn leak_key_for_attack_demo(&self, id: &str) -> Option<&SemKey> {
+        self.keys.get(id)
+    }
+}
+
+impl UserKey {
+    /// User step of `Decrypt` (§4): compute `g_user = ê(U, d_user)`,
+    /// assemble `g = g_sem · g_user`, unmask, and run the FO validity
+    /// check `U = H3(σ, M)·P`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCiphertext`] if the ciphertext fails validation
+    /// (including when the token belongs to a different ciphertext).
+    pub fn finish_decrypt(
+        &self,
+        params: &IbePublicParams,
+        ciphertext: &FullCiphertext,
+        token: &DecryptToken,
+    ) -> Result<Vec<u8>, Error> {
+        if !params.curve().is_in_group(&ciphertext.u) || ciphertext.u.is_infinity() {
+            return Err(Error::InvalidCiphertext);
+        }
+        let g_user = params.curve().pairing(&ciphertext.u, &self.point);
+        let g = params.curve().gt_mul(&token.0, &g_user);
+        params.finish_full_decrypt(ciphertext, &g)
+    }
+
+    /// Recombines the full key from both halves — what a user+SEM
+    /// collusion obtains (§4's security discussion). Exposed for the
+    /// security-game tests.
+    pub fn collude(&self, params: &IbePublicParams, sem_key: &SemKey) -> crate::bf_ibe::PrivateKey {
+        crate::bf_ibe::PrivateKey {
+            id: self.id.clone(),
+            point: params.curve().add(&self.point, &sem_key.point),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sempair_pairing::CurveParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Pkg, Sem, UserKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(91);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        let mut sem = Sem::new();
+        sem.install(sem_key);
+        (pkg, sem, user, rng)
+    }
+
+    #[test]
+    fn mediated_decrypt_roundtrip() {
+        let (pkg, sem, user, mut rng) = setup();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"mediated hello").unwrap();
+        let token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+            b"mediated hello"
+        );
+    }
+
+    #[test]
+    fn split_recombines_to_full_key() {
+        let (pkg, sem, user, _) = setup();
+        let full = pkg.extract("alice");
+        let sem_key = sem.leak_key_for_attack_demo("alice").unwrap();
+        assert_eq!(user.collude(pkg.params(), sem_key), full);
+        assert!(pkg.params().verify_private_key(&full));
+    }
+
+    #[test]
+    fn revocation_blocks_tokens_instantly() {
+        let (pkg, mut sem, user, mut rng) = setup();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"msg").unwrap();
+        sem.revoke("alice");
+        assert_eq!(
+            sem.decrypt_token(pkg.params(), "alice", &c.u),
+            Err(Error::Revoked)
+        );
+        // Unrevoke restores service (the §4 note that a corrupt SEM can
+        // only un/re-revoke, not decrypt).
+        sem.unrevoke("alice");
+        let token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
+        assert_eq!(user.finish_decrypt(pkg.params(), &c, &token).unwrap(), b"msg");
+    }
+
+    #[test]
+    fn user_cannot_decrypt_without_token() {
+        let (pkg, _, user, mut rng) = setup();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"msg").unwrap();
+        // Identity token (1 ∈ G2) leaves g = g_user: FO check must fail.
+        let bogus = DecryptToken(pkg.params().curve().gt_one());
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &bogus),
+            Err(Error::InvalidCiphertext)
+        );
+    }
+
+    #[test]
+    fn token_is_ciphertext_specific() {
+        // §4: "the user cannot use the same decryption token twice" —
+        // a token for c1 must not decrypt c2.
+        let (pkg, sem, user, mut rng) = setup();
+        let c1 = pkg.params().encrypt_full(&mut rng, "alice", b"first").unwrap();
+        let c2 = pkg.params().encrypt_full(&mut rng, "alice", b"second").unwrap();
+        let token1 = sem.decrypt_token(pkg.params(), "alice", &c1.u).unwrap();
+        assert!(user.finish_decrypt(pkg.params(), &c2, &token1).is_err());
+        assert_eq!(user.finish_decrypt(pkg.params(), &c1, &token1).unwrap(), b"first");
+    }
+
+    #[test]
+    fn token_useless_to_other_users() {
+        // §4: the token ê(U, d_ID,sem) is useless to any user other
+        // than Alice.
+        let (pkg, mut sem, _alice, mut rng) = setup();
+        let (bob, bob_sem) = pkg.extract_split(&mut rng, "bob");
+        sem.install(bob_sem);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"for alice").unwrap();
+        let alice_token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
+        assert!(bob.finish_decrypt(pkg.params(), &c, &alice_token).is_err());
+    }
+
+    #[test]
+    fn unknown_identity_rejected() {
+        let (pkg, sem, _, _) = setup();
+        assert_eq!(
+            sem.decrypt_token(pkg.params(), "mallory", pkg.params().curve().generator()),
+            Err(Error::UnknownIdentity)
+        );
+    }
+
+    #[test]
+    fn sem_validates_group_membership_of_u() {
+        let (pkg, sem, _, _) = setup();
+        // A point on the curve but outside the order-r subgroup must be
+        // rejected (small-subgroup defence).
+        let curve = pkg.params().curve();
+        let mut x = sempair_bigint::BigUint::one();
+        let outside = loop {
+            if let Some((p1, _)) = curve.lift_x(&x) {
+                if !p1.is_infinity() && !curve.is_in_group(&p1) {
+                    break p1;
+                }
+            }
+            x = &x + &sempair_bigint::BigUint::one();
+        };
+        assert_eq!(
+            sem.decrypt_token(pkg.params(), "alice", &outside),
+            Err(Error::InvalidCiphertext)
+        );
+    }
+
+    #[test]
+    fn collusion_breaks_only_that_identity() {
+        // The §4 contrast with IB-mRSA: alice+SEM recover alice's key,
+        // but bob's ciphertexts remain undecryptable to them.
+        let (pkg, mut sem, alice, mut rng) = setup();
+        let (_bob_key, bob_sem) = pkg.extract_split(&mut rng, "bob");
+        sem.install(bob_sem);
+        let full_alice = alice.collude(pkg.params(), sem.leak_key_for_attack_demo("alice").unwrap());
+        // Colluders decrypt alice's mail directly, bypassing revocation…
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"alice mail").unwrap();
+        sem.revoke("alice");
+        assert_eq!(pkg.params().decrypt_full(&full_alice, &c).unwrap(), b"alice mail");
+        // …but a key assembled from alice's user half and bob's SEM half
+        // is NOT bob's key: decryption of bob's mail fails.
+        let franken = alice.collude(pkg.params(), sem.leak_key_for_attack_demo("bob").unwrap());
+        let cb = pkg.params().encrypt_full(&mut rng, "bob", b"bob mail").unwrap();
+        let franken_bob = crate::bf_ibe::PrivateKey { id: "bob".into(), point: franken.point };
+        assert!(pkg.params().decrypt_full(&franken_bob, &cb).is_err());
+    }
+}

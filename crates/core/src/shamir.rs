@@ -1,0 +1,269 @@
+//! Shamir secret sharing over `Z_q` and Lagrange recombination.
+//!
+//! Both the threshold IBE (§3) and the threshold GDH signature (§5 via
+//! Boldyreva \[2\]) share a secret scalar through a random degree-`t−1`
+//! polynomial and recombine *in the exponent* with Lagrange
+//! coefficients evaluated at 0.
+
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, rng as brng, BigInt, BigUint};
+
+/// A random polynomial `f(x) = s + a₁x + … + a_{t−1}x^{t−1}` over `Z_q`.
+#[derive(Debug, Clone)]
+pub struct Polynomial {
+    /// Coefficients, constant term first. `coeffs[0]` is the secret.
+    coeffs: Vec<BigUint>,
+    q: BigUint,
+}
+
+impl Polynomial {
+    /// Samples a polynomial of degree `t − 1` with constant term
+    /// `secret`, for a `(t, n)` sharing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0` or `q < 2`.
+    pub fn sample(rng: &mut impl RngCore, secret: &BigUint, t: usize, q: &BigUint) -> Self {
+        assert!(t >= 1, "threshold must be at least 1");
+        assert!(q > &BigUint::one(), "modulus too small");
+        let mut coeffs = Vec::with_capacity(t);
+        coeffs.push(secret % q);
+        for _ in 1..t {
+            coeffs.push(brng::random_below(rng, q));
+        }
+        Polynomial { coeffs, q: q.clone() }
+    }
+
+    /// The shared secret `f(0)`.
+    pub fn secret(&self) -> &BigUint {
+        &self.coeffs[0]
+    }
+
+    /// Threshold `t` (number of shares needed to reconstruct).
+    pub fn threshold(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Evaluates `f(x)` by Horner's rule.
+    pub fn eval(&self, x: &BigUint) -> BigUint {
+        let mut acc = BigUint::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = modular::mod_add(&modular::mod_mul(&acc, x, &self.q), c, &self.q);
+        }
+        acc
+    }
+
+    /// Evaluates at a small player index (players are `1..=n`).
+    pub fn eval_index(&self, i: u32) -> BigUint {
+        self.eval(&BigUint::from(i as u64))
+    }
+
+    /// Produces the shares `(i, f(i))` for players `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < t`.
+    pub fn shares(&self, n: usize) -> Vec<Share> {
+        assert!(n >= self.threshold(), "need n >= t");
+        (1..=n as u32)
+            .map(|i| Share { index: i, value: self.eval_index(i) })
+            .collect()
+    }
+}
+
+/// One share `(i, f(i))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Share {
+    /// Player index `i ≥ 1`.
+    pub index: u32,
+    /// Share value `f(i) mod q`.
+    pub value: BigUint,
+}
+
+/// Lagrange coefficient `λ_i = Π_{j ≠ i} (x − j)/(i − j) mod q`
+/// evaluated at `x` for the index set `indices`.
+///
+/// # Errors
+///
+/// Returns [`Error::DuplicateShare`] on repeated indices and
+/// [`Error::BadThresholdParams`] for a zero index.
+pub fn lagrange_coefficient_at(
+    indices: &[u32],
+    i: u32,
+    x: u64,
+    q: &BigUint,
+) -> Result<BigUint, Error> {
+    check_indices(indices)?;
+    debug_assert!(indices.contains(&i));
+    let xi = BigInt::from(x as i64);
+    let mut num = BigInt::one();
+    let mut den = BigInt::one();
+    for &j in indices {
+        if j == i {
+            continue;
+        }
+        num = &num * &(&xi - &BigInt::from(j as i64));
+        den = &den * &BigInt::from(i as i64 - j as i64);
+    }
+    let num_mod = num.rem_euclid(q);
+    let den_mod = den.rem_euclid(q);
+    let den_inv = modular::mod_inv(&den_mod, q)
+        .map_err(|_| Error::BadThresholdParams("index difference not invertible"))?;
+    Ok(modular::mod_mul(&num_mod, &den_inv, q))
+}
+
+/// Lagrange coefficient at `x = 0` (secret reconstruction).
+///
+/// # Errors
+///
+/// See [`lagrange_coefficient_at`].
+pub fn lagrange_coefficient(indices: &[u32], i: u32, q: &BigUint) -> Result<BigUint, Error> {
+    lagrange_coefficient_at(indices, i, 0, q)
+}
+
+/// Reconstructs the secret `f(0)` from at least `t` shares (uses
+/// exactly the shares given — pass a `t`-subset).
+///
+/// # Errors
+///
+/// Returns [`Error::DuplicateShare`] / [`Error::BadThresholdParams`] on
+/// malformed inputs.
+pub fn reconstruct(shares: &[Share], q: &BigUint) -> Result<BigUint, Error> {
+    if shares.is_empty() {
+        return Err(Error::NotEnoughShares { needed: 1, got: 0 });
+    }
+    let indices: Vec<u32> = shares.iter().map(|s| s.index).collect();
+    check_indices(&indices)?;
+    let mut acc = BigUint::zero();
+    for share in shares {
+        let li = lagrange_coefficient(&indices, share.index, q)?;
+        acc = modular::mod_add(&acc, &modular::mod_mul(&li, &share.value, q), q);
+    }
+    Ok(acc)
+}
+
+fn check_indices(indices: &[u32]) -> Result<(), Error> {
+    for (k, &i) in indices.iter().enumerate() {
+        if i == 0 {
+            return Err(Error::BadThresholdParams("player index 0 is the secret position"));
+        }
+        if indices[k + 1..].contains(&i) {
+            return Err(Error::DuplicateShare { player: i });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn q() -> BigUint {
+        "0xffffffffffffffc5".parse().unwrap()
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(61)
+    }
+
+    #[test]
+    fn any_t_subset_reconstructs() {
+        let mut rng = rng();
+        let q = q();
+        let secret = brng::random_below(&mut rng, &q);
+        let poly = Polynomial::sample(&mut rng, &secret, 3, &q);
+        let shares = poly.shares(5);
+        // All C(5,3) subsets.
+        for a in 0..5 {
+            for b in a + 1..5 {
+                for c in b + 1..5 {
+                    let subset = vec![shares[a].clone(), shares[b].clone(), shares[c].clone()];
+                    assert_eq!(reconstruct(&subset, &q).unwrap(), secret);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_t_shares_give_wrong_secret() {
+        let mut rng = rng();
+        let q = q();
+        let secret = BigUint::from(42u64);
+        let poly = Polynomial::sample(&mut rng, &secret, 3, &q);
+        let shares = poly.shares(5);
+        // 2 shares interpolate a line — almost surely not the secret.
+        let partial = vec![shares[0].clone(), shares[1].clone()];
+        assert_ne!(reconstruct(&partial, &q).unwrap(), secret);
+    }
+
+    #[test]
+    fn t_equals_one_is_replication() {
+        let mut rng = rng();
+        let q = q();
+        let secret = BigUint::from(7u64);
+        let poly = Polynomial::sample(&mut rng, &secret, 1, &q);
+        for share in poly.shares(4) {
+            assert_eq!(share.value, secret);
+        }
+    }
+
+    #[test]
+    fn duplicate_and_zero_indices_rejected() {
+        let q = q();
+        let shares = vec![
+            Share { index: 2, value: BigUint::from(1u64) },
+            Share { index: 2, value: BigUint::from(2u64) },
+        ];
+        assert_eq!(reconstruct(&shares, &q), Err(Error::DuplicateShare { player: 2 }));
+        let shares = vec![Share { index: 0, value: BigUint::one() }];
+        assert!(matches!(reconstruct(&shares, &q), Err(Error::BadThresholdParams(_))));
+        assert!(reconstruct(&[], &q).is_err());
+    }
+
+    #[test]
+    fn lagrange_at_general_point_interpolates_share() {
+        // The proof of Thm 3.1 uses interpolation at arbitrary points:
+        // f(x) = Σ λ_i(x) f(i). Check against direct evaluation.
+        let mut rng = rng();
+        let q = q();
+        let poly = Polynomial::sample(&mut rng, &BigUint::from(99u64), 4, &q);
+        let indices = [1u32, 3, 5, 8];
+        for x in [0u64, 2, 7, 11] {
+            let mut acc = BigUint::zero();
+            for &i in &indices {
+                let li = lagrange_coefficient_at(&indices, i, x, &q).unwrap();
+                acc = modular::mod_add(&acc, &modular::mod_mul(&li, &poly.eval_index(i), &q), &q);
+            }
+            assert_eq!(acc, poly.eval(&BigUint::from(x)), "x={x}");
+        }
+    }
+
+    #[test]
+    fn coefficients_sum_property() {
+        // Σ λ_i(0) · i⁰-weighted check: for f(x) = 1 constant, any
+        // subset reconstructs 1, i.e. Σ λ_i = 1.
+        let q = q();
+        let indices = [2u32, 4, 9];
+        let mut acc = BigUint::zero();
+        for &i in &indices {
+            acc = modular::mod_add(&acc, &lagrange_coefficient(&indices, i, &q).unwrap(), &q);
+        }
+        assert!(acc.is_one());
+    }
+
+    #[test]
+    fn polynomial_eval_matches_manual() {
+        let q = BigUint::from(97u64);
+        let poly = Polynomial {
+            coeffs: vec![BigUint::from(3u64), BigUint::from(5u64), BigUint::from(7u64)],
+            q: q.clone(),
+        };
+        // f(x) = 3 + 5x + 7x² mod 97; f(10) = 3 + 50 + 700 = 753 ≡ 73.
+        assert_eq!(poly.eval(&BigUint::from(10u64)), BigUint::from(753u64 % 97));
+        assert_eq!(poly.secret(), &BigUint::from(3u64));
+        assert_eq!(poly.threshold(), 3);
+    }
+}

@@ -1,0 +1,564 @@
+//! The `(t, n)` threshold Boneh–Franklin IBE of §3.
+//!
+//! The PKG acts as trusted dealer: it shares its master key `s` through
+//! a degree-`t−1` polynomial `f`, publishes verification keys
+//! `P_pub^(i) = f(i)·P`, and for each identity delivers the key share
+//! `d_IDᵢ = f(i)·Q_ID` to player `i`. Any `t` players can jointly
+//! decrypt `BasicIdent` ciphertexts by publishing decryption shares
+//! `ê(U, d_IDᵢ)` which the recombiner combines with Lagrange exponents.
+//!
+//! *Robustness* (§3.2) is the non-interactive proof that a decryption
+//! share is consistent with the player's public verification key: a
+//! Fiat–Shamir proof of equality of the two pairing preimages
+//! `ê(P, ·)` and `ê(U, ·)` at the secret point `d_IDᵢ`. With
+//! `n ≥ 2t − 1`, honest players can always identify cheaters, discard
+//! their shares and even *reconstruct* the cheater's key share from `t`
+//! honest ones (implemented as [`ThresholdSystem::recover_key_share`]).
+
+use crate::bf_ibe::{BasicCiphertext, IbePublicParams};
+use crate::shamir::{self, Polynomial};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::BigUint;
+use sempair_hash::derive;
+use sempair_pairing::{CurveParams, G1Affine, Gt};
+
+/// Public description of a `(t, n)` threshold IBE deployment.
+#[derive(Debug, Clone)]
+pub struct ThresholdSystem {
+    params: IbePublicParams,
+    t: usize,
+    n: usize,
+    /// `P_pub^(i) = f(i)·P`, indexed by player (position `i−1`).
+    verification_keys: Vec<G1Affine>,
+}
+
+/// The dealer (PKG): holds the sharing polynomial.
+#[derive(Debug)]
+pub struct ThresholdPkg {
+    system: ThresholdSystem,
+    poly: Polynomial,
+}
+
+/// Player `i`'s private key share for one identity:
+/// `d_IDᵢ = f(i)·Q_ID`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdKeyShare {
+    /// The identity this share serves.
+    pub id: String,
+    /// Player index (`1..=n`).
+    pub index: u32,
+    /// The share point.
+    pub point: G1Affine,
+}
+
+/// A published decryption share `ê(U, d_IDᵢ)`, optionally carrying the
+/// §3.2 robustness proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecryptionShare {
+    /// Player index.
+    pub index: u32,
+    /// `ê(U, d_IDᵢ)`.
+    pub value: Gt,
+    /// Robustness proof, if the player produced one.
+    pub proof: Option<EqProof>,
+}
+
+/// Fiat–Shamir proof that `(v, g) = (ê(P, D), ê(U, D))` for one secret
+/// point `D` (§3.2): commitments `w1 = ê(P, R)`, `w2 = ê(U, R)`,
+/// challenge `e = H(g, v, w1, w2)`, response `V = R + e·D`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EqProof {
+    w1: Gt,
+    w2: Gt,
+    e: BigUint,
+    v: G1Affine,
+}
+
+impl ThresholdPkg {
+    /// `Setup` (§3.2): samples `s` and `f`, publishes
+    /// `P_pub = sP` and `P_pub^(i) = f(i)P` for `i = 1..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadThresholdParams`] unless `1 ≤ t ≤ n`.
+    pub fn setup(
+        rng: &mut impl RngCore,
+        curve: CurveParams,
+        t: usize,
+        n: usize,
+    ) -> Result<Self, Error> {
+        if t == 0 {
+            return Err(Error::BadThresholdParams("t must be at least 1"));
+        }
+        if t > n {
+            return Err(Error::BadThresholdParams("t cannot exceed n"));
+        }
+        let master = curve.random_scalar(rng);
+        let poly = Polynomial::sample(rng, &master, t, curve.order());
+        let p_pub = curve.mul_generator(&master);
+        let verification_keys = (1..=n as u32)
+            .map(|i| curve.mul_generator(&poly.eval_index(i)))
+            .collect();
+        let params = IbePublicParams::from_parts(curve, p_pub);
+        Ok(ThresholdPkg { system: ThresholdSystem { params, t, n, verification_keys }, poly })
+    }
+
+    /// The public system description.
+    pub fn system(&self) -> &ThresholdSystem {
+        &self.system
+    }
+
+    /// `Keygen` (§3.2): the key shares `d_IDᵢ = f(i)·Q_ID` for all `n`
+    /// players.
+    pub fn keygen(&self, id: &str) -> Vec<IdKeyShare> {
+        let q_id = self.system.params.hash_identity(id);
+        (1..=self.system.n as u32)
+            .map(|i| IdKeyShare {
+                id: id.to_string(),
+                index: i,
+                point: self.system.params.curve().mul(&self.poly.eval_index(i), &q_id),
+            })
+            .collect()
+    }
+
+    /// The master secret `f(0)` (test hook: lets tests compare against
+    /// the non-threshold scheme).
+    pub fn master_for_tests(&self) -> &BigUint {
+        self.poly.secret()
+    }
+}
+
+impl ThresholdSystem {
+    /// The embedded (non-threshold) public parameters.
+    pub fn params(&self) -> &IbePublicParams {
+        &self.params
+    }
+
+    /// Threshold `t`.
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// Number of players `n`.
+    pub fn players(&self) -> usize {
+        self.n
+    }
+
+    /// `P_pub^(i)` for player `i` (1-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of `1..=n`.
+    pub fn verification_key(&self, i: u32) -> &G1Affine {
+        &self.verification_keys[(i - 1) as usize]
+    }
+
+    /// The §3.2 sanity check players run at setup: for the index subset
+    /// `s` of size `t`, `Σ Lᵢ·P_pub^(i) = P_pub`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidShare`] (player 0 designating the dealer)
+    /// if the check fails, or index errors from Lagrange.
+    pub fn check_dealer_consistency(&self, subset: &[u32]) -> Result<(), Error> {
+        if subset.len() != self.t {
+            return Err(Error::BadThresholdParams("subset size must equal t"));
+        }
+        let q = self.params.curve().order();
+        let mut terms = Vec::with_capacity(subset.len());
+        for &i in subset {
+            let li = shamir::lagrange_coefficient(subset, i, q)?;
+            terms.push((li, self.verification_key(i).clone()));
+        }
+        if &self.params.curve().multi_mul(&terms) == self.params.p_pub() {
+            Ok(())
+        } else {
+            Err(Error::InvalidShare { player: 0 })
+        }
+    }
+
+    /// Player-side share validation (§3.2 `Keygen`):
+    /// `ê(P_pub^(i), Q_ID) = ê(P, d_IDᵢ)`; on failure the player
+    /// complains to the PKG.
+    pub fn verify_key_share(&self, share: &IdKeyShare) -> bool {
+        if share.index == 0 || share.index as usize > self.n {
+            return false;
+        }
+        let curve = self.params.curve();
+        let q_id = self.params.hash_identity(&share.id);
+        curve.pairing_equals(
+            self.verification_key(share.index),
+            &q_id,
+            curve.generator(),
+            &share.point,
+        )
+    }
+
+    /// `Decrypt` (player side): the decryption share `ê(U, d_IDᵢ)`.
+    pub fn decryption_share(&self, key_share: &IdKeyShare, u: &G1Affine) -> DecryptionShare {
+        DecryptionShare {
+            index: key_share.index,
+            value: self.params.curve().pairing(u, &key_share.point),
+            proof: None,
+        }
+    }
+
+    /// Robust variant: attaches the §3.2 NIZK so anyone can check the
+    /// share against `P_pub^(i)` without interaction.
+    pub fn decryption_share_robust(
+        &self,
+        rng: &mut impl RngCore,
+        key_share: &IdKeyShare,
+        u: &G1Affine,
+    ) -> DecryptionShare {
+        let curve = self.params.curve();
+        let g_i = curve.pairing(u, &key_share.point);
+        let v_i = curve.pairing(curve.generator(), &key_share.point);
+        // Commitment.
+        let rho = curve.random_scalar(rng);
+        let r_point = curve.mul_generator(&rho);
+        let w1 = curve.pairing(curve.generator(), &r_point);
+        let w2 = curve.pairing(u, &r_point);
+        let e = self.proof_challenge(&g_i, &v_i, &w1, &w2);
+        // V = R + e·d_IDᵢ.
+        let v = curve.add(&r_point, &curve.mul(&e, &key_share.point));
+        DecryptionShare { index: key_share.index, value: g_i, proof: Some(EqProof { w1, w2, e, v }) }
+    }
+
+    /// Verifies a robust decryption share for identity `id` and
+    /// ciphertext component `u`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidProof`] if no proof is attached or it fails;
+    /// [`Error::InvalidShare`] for an out-of-range index.
+    pub fn verify_decryption_share(
+        &self,
+        id: &str,
+        u: &G1Affine,
+        share: &DecryptionShare,
+    ) -> Result<(), Error> {
+        if share.index == 0 || share.index as usize > self.n {
+            return Err(Error::InvalidShare { player: share.index });
+        }
+        let Some(proof) = &share.proof else {
+            return Err(Error::InvalidProof);
+        };
+        let curve = self.params.curve();
+        let q_id = self.params.hash_identity(id);
+        // Publicly computable v_i = ê(P_pub^(i), Q_ID) = ê(P, d_IDᵢ).
+        let v_i = curve.pairing(self.verification_key(share.index), &q_id);
+        let e = self.proof_challenge(&share.value, &v_i, &proof.w1, &proof.w2);
+        if e != proof.e {
+            return Err(Error::InvalidProof);
+        }
+        // ê(P, V) = w1 · v_iᵉ  and  ê(U, V) = w2 · g_iᵉ.
+        let lhs1 = curve.pairing(curve.generator(), &proof.v);
+        let rhs1 = curve.gt_mul(&proof.w1, &curve.gt_pow(&v_i, &e));
+        if lhs1 != rhs1 {
+            return Err(Error::InvalidProof);
+        }
+        let lhs2 = curve.pairing(u, &proof.v);
+        let rhs2 = curve.gt_mul(&proof.w2, &curve.gt_pow(&share.value, &e));
+        if lhs2 != rhs2 {
+            return Err(Error::InvalidProof);
+        }
+        Ok(())
+    }
+
+    /// `Recombination` (§3.2): `g = Π ê(U, d_IDᵢ)^{Lᵢ}`, then
+    /// `m = V ⊕ H2(g)`. Takes exactly the shares to use (≥ t; extra
+    /// shares beyond the first `t` are ignored).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughShares`], index errors, or propagated Lagrange
+    /// failures.
+    pub fn recombine_basic(
+        &self,
+        ciphertext: &BasicCiphertext,
+        shares: &[DecryptionShare],
+    ) -> Result<Vec<u8>, Error> {
+        if shares.len() < self.t {
+            return Err(Error::NotEnoughShares { needed: self.t, got: shares.len() });
+        }
+        let used = &shares[..self.t];
+        let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
+        let curve = self.params.curve();
+        let q = curve.order();
+        let mut g = curve.gt_one();
+        for share in used {
+            let li = shamir::lagrange_coefficient(&indices, share.index, q)?;
+            g = curve.gt_mul(&g, &curve.gt_pow(&share.value, &li));
+        }
+        let mut m = ciphertext.v.clone();
+        let mask = self.params.mask_h2(&g, m.len());
+        sempair_hash::xor_in_place(&mut m, &mask);
+        Ok(m)
+    }
+
+    /// Robust recombination: verifies every share first, discards
+    /// invalid ones, reports the cheaters, and recombines from the
+    /// valid remainder.
+    ///
+    /// Returns `(plaintext, cheater_indices)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughShares`] if fewer than `t` shares survive
+    /// verification.
+    pub fn recombine_basic_robust(
+        &self,
+        id: &str,
+        ciphertext: &BasicCiphertext,
+        shares: &[DecryptionShare],
+    ) -> Result<(Vec<u8>, Vec<u32>), Error> {
+        let mut valid = Vec::new();
+        let mut cheaters = Vec::new();
+        for share in shares {
+            match self.verify_decryption_share(id, &ciphertext.u, share) {
+                Ok(()) => valid.push(share.clone()),
+                Err(_) => cheaters.push(share.index),
+            }
+        }
+        let m = self.recombine_basic(ciphertext, &valid)?;
+        Ok((m, cheaters))
+    }
+
+    /// Reconstructs player `j`'s key share from `t` valid shares of
+    /// other players (the §3.2 cheater-recovery step): Lagrange
+    /// interpolation *in the group* at `x = j`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughShares`] or index errors.
+    pub fn recover_key_share(&self, shares: &[IdKeyShare], j: u32) -> Result<IdKeyShare, Error> {
+        if shares.len() < self.t {
+            return Err(Error::NotEnoughShares { needed: self.t, got: shares.len() });
+        }
+        let used = &shares[..self.t];
+        let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
+        let curve = self.params.curve();
+        let q = curve.order();
+        let mut terms = Vec::with_capacity(used.len());
+        for share in used {
+            let li = shamir::lagrange_coefficient_at(&indices, share.index, j as u64, q)?;
+            terms.push((li, share.point.clone()));
+        }
+        Ok(IdKeyShare {
+            id: used[0].id.clone(),
+            index: j,
+            point: curve.multi_mul(&terms),
+        })
+    }
+
+    /// Fiat–Shamir challenge `e = H(g_i, v_i, w1, w2) mod q`.
+    fn proof_challenge(&self, g_i: &Gt, v_i: &Gt, w1: &Gt, w2: &Gt) -> BigUint {
+        let curve = self.params.curve();
+        let digest = derive::transcript_hash(
+            b"sempair-threshold-eqproof",
+            &[
+                &curve.gt_to_bytes(g_i),
+                &curve.gt_to_bytes(v_i),
+                &curve.gt_to_bytes(w1),
+                &curve.gt_to_bytes(w2),
+            ],
+        );
+        &BigUint::from_be_bytes(&digest) % curve.order()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf_ibe::Pkg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(t: usize, n: usize) -> (ThresholdPkg, StdRng) {
+        let mut rng = StdRng::seed_from_u64(81);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = ThresholdPkg::setup(&mut rng, curve, t, n).unwrap();
+        (pkg, rng)
+    }
+
+    #[test]
+    fn bad_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        assert!(ThresholdPkg::setup(&mut rng, curve.clone(), 0, 3).is_err());
+        assert!(ThresholdPkg::setup(&mut rng, curve, 4, 3).is_err());
+    }
+
+    #[test]
+    fn dealer_consistency_check() {
+        let (pkg, _) = setup(3, 5);
+        let sys = pkg.system();
+        sys.check_dealer_consistency(&[1, 2, 3]).unwrap();
+        sys.check_dealer_consistency(&[2, 4, 5]).unwrap();
+        assert!(sys.check_dealer_consistency(&[1, 2]).is_err(), "wrong size");
+    }
+
+    #[test]
+    fn key_shares_verify_and_forgeries_fail() {
+        let (pkg, _) = setup(2, 4);
+        let shares = pkg.keygen("alice");
+        for share in &shares {
+            assert!(pkg.system().verify_key_share(share));
+        }
+        // A share for the wrong identity fails.
+        let mut forged = shares[0].clone();
+        forged.id = "bob".into();
+        assert!(!pkg.system().verify_key_share(&forged));
+        // A share with swapped index fails.
+        let mut swapped = shares[0].clone();
+        swapped.index = 2;
+        assert!(!pkg.system().verify_key_share(&swapped));
+    }
+
+    #[test]
+    fn threshold_decrypt_roundtrip_every_subset() {
+        let (pkg, mut rng) = setup(3, 5);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"threshold msg");
+        let dec: Vec<DecryptionShare> =
+            shares.iter().map(|ks| sys.decryption_share(ks, &c.u)).collect();
+        for a in 0..5 {
+            for b in a + 1..5 {
+                for cc in b + 1..5 {
+                    let subset = vec![dec[a].clone(), dec[b].clone(), dec[cc].clone()];
+                    assert_eq!(sys.recombine_basic(&c, &subset).unwrap(), b"threshold msg");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_than_t_shares_insufficient() {
+        let (pkg, mut rng) = setup(3, 5);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"msg");
+        let dec: Vec<DecryptionShare> = shares[..2]
+            .iter()
+            .map(|ks| sys.decryption_share(ks, &c.u))
+            .collect();
+        assert_eq!(
+            sys.recombine_basic(&c, &dec),
+            Err(Error::NotEnoughShares { needed: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn threshold_equals_centralized() {
+        // Recombined key must match what a centralized PKG with the same
+        // master would produce.
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let central = Pkg::from_master(
+            sys.params().curve().clone(),
+            pkg.master_for_tests().clone(),
+        );
+        assert_eq!(central.params().p_pub(), sys.params().p_pub());
+        let c = sys.params().encrypt_basic(&mut rng, "carol", b"same msg");
+        let key = central.extract("carol");
+        let direct = central.params().decrypt_basic(&key, &c).unwrap();
+        let shares = pkg.keygen("carol");
+        let dec: Vec<DecryptionShare> = shares[..2]
+            .iter()
+            .map(|ks| sys.decryption_share(ks, &c.u))
+            .collect();
+        assert_eq!(sys.recombine_basic(&c, &dec).unwrap(), direct);
+    }
+
+    #[test]
+    fn robust_shares_verify() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"msg");
+        for ks in &shares {
+            let ds = sys.decryption_share_robust(&mut rng, ks, &c.u);
+            sys.verify_decryption_share("alice", &c.u, &ds).unwrap();
+            // Proof bound to the identity: verification under another
+            // identity fails.
+            assert!(sys.verify_decryption_share("bob", &c.u, &ds).is_err());
+        }
+    }
+
+    #[test]
+    fn cheating_share_detected_and_bypassed() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"robust!");
+        let mut dec: Vec<DecryptionShare> = shares
+            .iter()
+            .map(|ks| sys.decryption_share_robust(&mut rng, ks, &c.u))
+            .collect();
+        // Player 2 lies: swaps in a random Gt value, keeps its proof.
+        let curve = sys.params().curve();
+        let junk = curve.pairing(
+            &curve.mul_generator(&BigUint::from(999u64)),
+            curve.generator(),
+        );
+        dec[1].value = junk;
+        let (m, cheaters) = sys.recombine_basic_robust("alice", &c, &dec).unwrap();
+        assert_eq!(m, b"robust!");
+        assert_eq!(cheaters, vec![2]);
+    }
+
+    #[test]
+    fn unproved_share_rejected_by_robust_path() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"m");
+        let ds = sys.decryption_share(&shares[0], &c.u); // no proof
+        assert_eq!(
+            sys.verify_decryption_share("alice", &c.u, &ds),
+            Err(Error::InvalidProof)
+        );
+    }
+
+    #[test]
+    fn recover_cheaters_key_share() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        // Recover share 3 from shares 1 and 2.
+        let recovered = sys.recover_key_share(&shares[..2], 3).unwrap();
+        assert_eq!(recovered, shares[2]);
+        assert!(sys.verify_key_share(&recovered));
+        // And the recovered share decrypts.
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"recover");
+        let dec = vec![
+            sys.decryption_share(&shares[0], &c.u),
+            sys.decryption_share(&recovered, &c.u),
+        ];
+        assert_eq!(sys.recombine_basic(&c, &dec).unwrap(), b"recover");
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"m");
+        let good = sys.decryption_share_robust(&mut rng, &shares[0], &c.u);
+        // Tamper with each proof component.
+        let proof = good.proof.clone().unwrap();
+        let curve = sys.params().curve();
+        let mut bad = good.clone();
+        bad.proof = Some(EqProof { e: &proof.e + &BigUint::one(), ..proof.clone() });
+        assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
+        let mut bad = good.clone();
+        bad.proof = Some(EqProof { v: curve.mul_generator(&BigUint::from(5u64)), ..proof.clone() });
+        assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
+        let mut bad = good.clone();
+        bad.proof = Some(EqProof { w1: curve.gt_one(), ..proof.clone() });
+        assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
+    }
+}

@@ -1,0 +1,278 @@
+//! Canonical byte encodings for keys, tokens and signatures.
+//!
+//! Everything a deployment persists or transmits gets a fixed, versioned
+//! byte layout here: SEM tokens cross the network every operation,
+//! half-keys are written to user keystores, signatures travel with
+//! documents. Sizes are exactly the E1/E3 numbers — these functions
+//! *are* the wire the paper's bandwidth comparison talks about.
+
+use crate::bf_ibe::PrivateKey;
+use crate::gdh::{HalfSignature, Signature};
+use crate::mediated::{DecryptToken, SemKey, UserKey};
+use crate::threshold::IdKeyShare;
+use crate::Error;
+use sempair_pairing::CurveParams;
+
+/// Encodes a mediated-IBE decryption token (`2·|p|/8` bytes).
+pub fn token_to_bytes(curve: &CurveParams, token: &DecryptToken) -> Vec<u8> {
+    curve.gt_to_bytes(&token.0)
+}
+
+/// Decodes [`token_to_bytes`] output.
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes.
+pub fn token_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<DecryptToken, Error> {
+    curve
+        .gt_from_bytes(bytes)
+        .map(DecryptToken)
+        .map_err(|_| Error::InvalidCiphertext)
+}
+
+/// Encodes a GDH signature (one compressed point).
+pub fn signature_to_bytes(curve: &CurveParams, sig: &Signature) -> Vec<u8> {
+    curve.point_to_bytes(&sig.0)
+}
+
+/// Decodes [`signature_to_bytes`] output (validating group membership).
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] on malformed bytes.
+pub fn signature_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<Signature, Error> {
+    curve
+        .point_from_bytes(bytes)
+        .map(Signature)
+        .map_err(|_| Error::InvalidSignature)
+}
+
+/// Encodes a GDH half-signature token (one compressed point — the §5
+/// "160 bits").
+pub fn half_signature_to_bytes(curve: &CurveParams, half: &HalfSignature) -> Vec<u8> {
+    curve.point_to_bytes(&half.0)
+}
+
+/// Decodes [`half_signature_to_bytes`] output.
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] on malformed bytes.
+pub fn half_signature_from_bytes(
+    curve: &CurveParams,
+    bytes: &[u8],
+) -> Result<HalfSignature, Error> {
+    curve
+        .point_from_bytes(bytes)
+        .map(HalfSignature)
+        .map_err(|_| Error::InvalidSignature)
+}
+
+/// Layout shared by every identity-bound key record:
+/// `u16 id-len ‖ id ‖ compressed point`.
+fn keyed_point_to_bytes(curve: &CurveParams, id: &str, point: &sempair_pairing::G1Affine) -> Vec<u8> {
+    let id_bytes = id.as_bytes();
+    let mut out = Vec::with_capacity(2 + id_bytes.len() + curve.point_len());
+    out.extend_from_slice(&(id_bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(id_bytes);
+    out.extend_from_slice(&curve.point_to_bytes(point));
+    out
+}
+
+fn keyed_point_from_bytes(
+    curve: &CurveParams,
+    bytes: &[u8],
+) -> Result<(String, sempair_pairing::G1Affine), Error> {
+    if bytes.len() < 2 {
+        return Err(Error::InvalidCiphertext);
+    }
+    let id_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+    let expected = 2 + id_len + curve.point_len();
+    if bytes.len() != expected {
+        return Err(Error::InvalidCiphertext);
+    }
+    let id = String::from_utf8(bytes[2..2 + id_len].to_vec())
+        .map_err(|_| Error::InvalidCiphertext)?;
+    let point = curve
+        .point_from_bytes(&bytes[2 + id_len..])
+        .map_err(|_| Error::InvalidCiphertext)?;
+    Ok((id, point))
+}
+
+/// Encodes a user half-key for keystore storage.
+pub fn user_key_to_bytes(curve: &CurveParams, key: &UserKey) -> Vec<u8> {
+    keyed_point_to_bytes(curve, &key.id, &key.point)
+}
+
+/// Decodes [`user_key_to_bytes`] output.
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes.
+pub fn user_key_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<UserKey, Error> {
+    keyed_point_from_bytes(curve, bytes).map(|(id, point)| UserKey { id, point })
+}
+
+/// Encodes a SEM half-key (PKG → SEM provisioning message).
+pub fn sem_key_to_bytes(curve: &CurveParams, key: &SemKey) -> Vec<u8> {
+    keyed_point_to_bytes(curve, &key.id, &key.point)
+}
+
+/// Decodes [`sem_key_to_bytes`] output.
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes.
+pub fn sem_key_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<SemKey, Error> {
+    keyed_point_from_bytes(curve, bytes).map(|(id, point)| SemKey { id, point })
+}
+
+/// Encodes a full (non-mediated) private key.
+pub fn private_key_to_bytes(curve: &CurveParams, key: &PrivateKey) -> Vec<u8> {
+    keyed_point_to_bytes(curve, &key.id, &key.point)
+}
+
+/// Decodes [`private_key_to_bytes`] output.
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes.
+pub fn private_key_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<PrivateKey, Error> {
+    keyed_point_from_bytes(curve, bytes).map(|(id, point)| PrivateKey { id, point })
+}
+
+/// Encodes a threshold key share:
+/// `u32 index ‖ u16 id-len ‖ id ‖ point`.
+pub fn key_share_to_bytes(curve: &CurveParams, share: &IdKeyShare) -> Vec<u8> {
+    let mut out = share.index.to_be_bytes().to_vec();
+    out.extend_from_slice(&keyed_point_to_bytes(curve, &share.id, &share.point));
+    out
+}
+
+/// Decodes [`key_share_to_bytes`] output.
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes.
+pub fn key_share_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<IdKeyShare, Error> {
+    if bytes.len() < 4 {
+        return Err(Error::InvalidCiphertext);
+    }
+    let index = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
+    let (id, point) = keyed_point_from_bytes(curve, &bytes[4..])?;
+    Ok(IdKeyShare { id, index, point })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf_ibe::Pkg;
+    use crate::gdh;
+    use crate::mediated::Sem;
+    use crate::threshold::ThresholdPkg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Pkg, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x31);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        (Pkg::setup(&mut rng, curve), rng)
+    }
+
+    #[test]
+    fn token_roundtrip_and_still_decrypts() {
+        let (pkg, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        let mut sem = Sem::new();
+        sem.install(sem_key);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"over the wire").unwrap();
+        let token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
+        let bytes = token_to_bytes(curve, &token);
+        assert_eq!(bytes.len(), 2 * curve.fp().byte_len());
+        let parsed = token_from_bytes(curve, &bytes).unwrap();
+        assert_eq!(parsed, token);
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &parsed).unwrap(),
+            b"over the wire"
+        );
+        assert!(token_from_bytes(curve, &bytes[1..]).is_err());
+    }
+
+    #[test]
+    fn signature_roundtrip() {
+        let (pkg, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (sk, pk) = gdh::keygen(&mut rng, curve);
+        let sig = gdh::sign(curve, &sk, b"doc");
+        let bytes = signature_to_bytes(curve, &sig);
+        assert_eq!(bytes.len(), curve.point_len());
+        let parsed = signature_from_bytes(curve, &bytes).unwrap();
+        gdh::verify(curve, &pk, b"doc", &parsed).unwrap();
+        // Corrupt a byte: decoding must fail (off-curve or wrong point).
+        let mut bad = bytes.clone();
+        bad[0] ^= 0x01;
+        if let Ok(sig2) = signature_from_bytes(curve, &bad) {
+            assert!(gdh::verify(curve, &pk, b"doc", &sig2).is_err());
+        }
+    }
+
+    #[test]
+    fn half_signature_roundtrip() {
+        let (pkg, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (user, sem_key, pk) = gdh::mediated_keygen(&mut rng, curve, "s");
+        let mut sem = gdh::GdhSem::new();
+        sem.install(sem_key);
+        let half = sem.half_sign(curve, "s", b"m").unwrap();
+        let parsed =
+            half_signature_from_bytes(curve, &half_signature_to_bytes(curve, &half)).unwrap();
+        let sig = user.finish_sign(curve, b"m", &parsed).unwrap();
+        gdh::verify(curve, &pk, b"m", &sig).unwrap();
+    }
+
+    #[test]
+    fn key_records_roundtrip() {
+        let (pkg, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (user, sem_key) = pkg.extract_split(&mut rng, "kiwi@example.com");
+        let full = pkg.extract("kiwi@example.com");
+
+        let u2 = user_key_from_bytes(curve, &user_key_to_bytes(curve, &user)).unwrap();
+        assert_eq!(u2, user);
+        let s2 = sem_key_from_bytes(curve, &sem_key_to_bytes(curve, &sem_key)).unwrap();
+        assert_eq!(s2, sem_key);
+        let f2 = private_key_from_bytes(curve, &private_key_to_bytes(curve, &full)).unwrap();
+        assert_eq!(f2, full);
+        // Recombination still works after the byte trip.
+        assert_eq!(u2.collude(pkg.params(), &s2), full);
+    }
+
+    #[test]
+    fn key_share_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x32);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let tpkg = ThresholdPkg::setup(&mut rng, curve.clone(), 2, 3).unwrap();
+        for share in tpkg.keygen("vault") {
+            let parsed =
+                key_share_from_bytes(&curve, &key_share_to_bytes(&curve, &share)).unwrap();
+            assert_eq!(parsed, share);
+            assert!(tpkg.system().verify_key_share(&parsed));
+        }
+        assert!(key_share_from_bytes(&curve, &[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn malformed_key_records_rejected() {
+        let (pkg, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (user, _) = pkg.extract_split(&mut rng, "x");
+        let bytes = user_key_to_bytes(curve, &user);
+        assert!(user_key_from_bytes(curve, &bytes[..bytes.len() - 1]).is_err());
+        assert!(user_key_from_bytes(curve, &[]).is_err());
+        let mut bad_len = bytes.clone();
+        bad_len[0] = 0xff;
+        bad_len[1] = 0xff;
+        assert!(user_key_from_bytes(curve, &bad_len).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests for the paper's schemes.
+//!
+//! Parameters are generated once (128/64-bit test curve) and shared
+//! across cases; proptest drives messages, identities and split
+//! points.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::Pkg;
+use sempair_core::gdh;
+use sempair_core::mediated::Sem;
+use sempair_core::shamir::{self, Polynomial, Share};
+use sempair_core::threshold::ThresholdPkg;
+use sempair_pairing::CurveParams;
+use std::sync::OnceLock;
+
+fn curve() -> &'static CurveParams {
+    static CURVE: OnceLock<CurveParams> = OnceLock::new();
+    CURVE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        CurveParams::generate(&mut rng, 128, 64).unwrap()
+    })
+}
+
+fn pkg() -> &'static Pkg {
+    static PKG: OnceLock<Pkg> = OnceLock::new();
+    PKG.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        Pkg::setup(&mut rng, curve().clone())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn full_ibe_roundtrips_any_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..300),
+        id in "[a-z]{1,16}@[a-z]{1,10}\\.com",
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = pkg().extract(&id);
+        let c = pkg().params().encrypt_full(&mut rng, &id, &msg).unwrap();
+        prop_assert_eq!(pkg().params().decrypt_full(&key, &c).unwrap(), msg);
+    }
+
+    #[test]
+    fn basic_ibe_roundtrips_any_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..300),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let key = pkg().extract("prop");
+        let c = pkg().params().encrypt_basic(&mut rng, "prop", &msg);
+        prop_assert_eq!(pkg().params().decrypt_basic(&key, &c).unwrap(), msg);
+    }
+
+    #[test]
+    fn mediated_roundtrips_and_revocation_blocks(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (user, sem_key) = pkg().extract_split(&mut rng, "prop-med");
+        let mut sem = Sem::new();
+        sem.install(sem_key);
+        let c = pkg().params().encrypt_full(&mut rng, "prop-med", &msg).unwrap();
+        let token = sem.decrypt_token(pkg().params(), "prop-med", &c.u).unwrap();
+        prop_assert_eq!(user.finish_decrypt(pkg().params(), &c, &token).unwrap(), msg);
+        sem.revoke("prop-med");
+        prop_assert!(sem.decrypt_token(pkg().params(), "prop-med", &c.u).is_err());
+    }
+
+    #[test]
+    fn split_is_additive_and_uniformly_rerandomized(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (u1, s1) = pkg().extract_split(&mut rng, "resplit");
+        let (u2, s2) = pkg().extract_split(&mut rng, "resplit");
+        let full = pkg().extract("resplit");
+        // Different splits, same sum.
+        prop_assert_eq!(u1.collude(pkg().params(), &s1), full.clone());
+        prop_assert_eq!(u2.collude(pkg().params(), &s2), full);
+        prop_assert_ne!(u1.point, u2.point);
+    }
+
+    #[test]
+    fn ciphertext_wire_roundtrip(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = pkg().params().encrypt_full(&mut rng, "wire", &msg).unwrap();
+        let bytes = c.to_bytes(pkg().params());
+        let parsed = sempair_core::bf_ibe::FullCiphertext::from_bytes(pkg().params(), &bytes).unwrap();
+        prop_assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn gdh_sign_verify_any_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = gdh::keygen(&mut rng, curve());
+        let sig = gdh::sign(curve(), &sk, &msg);
+        prop_assert!(gdh::verify(curve(), &pk, &msg, &sig).is_ok());
+        // Any other message fails (overwhelmingly).
+        let mut other = msg.clone();
+        other.push(0x42);
+        prop_assert!(gdh::verify(curve(), &pk, &other, &sig).is_err());
+    }
+
+    #[test]
+    fn threshold_gdh_any_t_subset(seed in any::<u64>(), t in 2usize..5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = t + 2;
+        let (sys, shares) = gdh::ThresholdGdh::setup(&mut rng, curve().clone(), t, n).unwrap();
+        let partials: Vec<_> = shares.iter().map(|s| sys.partial_sign(s, b"prop")).collect();
+        // Random t-subset via seed.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..n {
+            let j = (seed as usize).wrapping_mul(31).wrapping_add(i * 7) % n;
+            idx.swap(i, j);
+        }
+        let subset: Vec<_> = idx[..t].iter().map(|&i| partials[i].clone()).collect();
+        let sig = sys.combine(b"prop", &subset).unwrap();
+        prop_assert!(gdh::verify(curve(), sys.public_key(), b"prop", &sig).is_ok());
+    }
+
+    #[test]
+    fn shamir_reconstructs_from_shifted_subsets(
+        secret in any::<u64>(),
+        t in 1usize..6,
+        extra in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q: sempair_bigint::BigUint = "0xffffffffffffffc5".parse().unwrap();
+        let secret = sempair_bigint::BigUint::from(secret) % &q;
+        let n = t + extra;
+        let poly = Polynomial::sample(&mut rng, &secret, t, &q);
+        let shares = poly.shares(n);
+        // Last t shares (not just the first t).
+        let subset: Vec<Share> = shares[extra..].to_vec();
+        prop_assert_eq!(shamir::reconstruct(&subset, &q).unwrap(), secret);
+    }
+
+    #[test]
+    fn elgamal_roundtrips(
+        msg in proptest::collection::vec(any::<u8>(), 0..150),
+        seed in any::<u64>(),
+    ) {
+        use sempair_core::elgamal;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (user, sem_key, pk) = elgamal::keygen(&mut rng, curve(), "prop-eg");
+        let mut sem = elgamal::ElGamalSem::new();
+        sem.install(sem_key);
+        let c = elgamal::encrypt(&mut rng, curve(), &pk, &msg);
+        let token = sem.decrypt_token(curve(), "prop-eg", &c.u).unwrap();
+        prop_assert_eq!(user.finish_decrypt(curve(), &c, &token).unwrap(), msg);
+    }
+}
+
+/// Threshold IBE roundtrip across random subsets (non-proptest loop to
+/// amortize the dealer setup).
+#[test]
+fn threshold_ibe_random_subsets() {
+    let mut rng = StdRng::seed_from_u64(909);
+    let tpkg = ThresholdPkg::setup(&mut rng, curve().clone(), 3, 6).unwrap();
+    let sys = tpkg.system();
+    let shares = tpkg.keygen("subset-test");
+    for round in 0..6 {
+        let msg = format!("round {round}");
+        let c = sys.params().encrypt_basic(&mut rng, "subset-test", msg.as_bytes());
+        // Rotate which 3 players respond.
+        let chosen = [(round) % 6, (round + 2) % 6, (round + 4) % 6];
+        let dec: Vec<_> = chosen
+            .iter()
+            .map(|&i| sys.decryption_share(&shares[i], &c.u))
+            .collect();
+        assert_eq!(sys.recombine_basic(&c, &dec).unwrap(), msg.as_bytes());
+    }
+}
+
+/// Identity separation: keys never decrypt across identities, for many
+/// random identity pairs.
+#[test]
+fn identity_separation_sweep() {
+    let mut rng = StdRng::seed_from_u64(910);
+    for i in 0..5 {
+        let id_a = format!("user-a-{i}");
+        let id_b = format!("user-b-{i}");
+        let key_b = pkg().extract(&id_b);
+        let c = pkg().params().encrypt_full(&mut rng, &id_a, b"separated").unwrap();
+        assert!(pkg().params().decrypt_full(&key_b, &c).is_err());
+    }
+}

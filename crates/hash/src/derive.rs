@@ -1,0 +1,167 @@
+//! Derivation helpers that instantiate the paper's random oracles.
+//!
+//! The schemes use several hash functions with non-byte ranges:
+//!
+//! * `H1 : {0,1}* → G1` — implemented in `sempair-pairing` on top of
+//!   [`hash_to_field_candidates`];
+//! * `H2 : G2 → {0,1}^n` and `H4 : {0,1}^n → {0,1}^n` — [`kdf`];
+//! * `H3 : {0,1}^n × {0,1}^n → Z_q*` — [`hash_to_scalar`];
+//! * IB-mRSA's `H : ID → {0,1}^l` for the public exponent —
+//!   [`hash_to_bits`].
+//!
+//! All of them are domain-separated by a tag byte string so that the
+//! oracles are independent even though they share SHA-256.
+
+use crate::{mgf1_sha256, Sha256};
+use sempair_bigint::BigUint;
+
+/// Domain-separated variable-length KDF: `MGF1-SHA256(tag || data)`.
+///
+/// Instantiates `H2`/`H4` and any other `{0,1}^n`-valued oracle.
+pub fn kdf(tag: &[u8], data: &[u8], out_len: usize) -> Vec<u8> {
+    let mut seed = Vec::with_capacity(tag.len() + 1 + data.len());
+    seed.extend_from_slice(tag);
+    seed.push(0x1f); // unambiguous tag/data separator
+    seed.extend_from_slice(data);
+    mgf1_sha256(&seed, out_len)
+}
+
+/// Hash onto `Z_q \ {0}` = `[1, q)`, the scalar range of `H3`.
+///
+/// Reduces a 2·|q|-bit MGF1 output modulo `q − 1` and adds one, making
+/// the bias below `2^-|q|`.
+///
+/// # Panics
+///
+/// Panics if `q <= 2`.
+pub fn hash_to_scalar(tag: &[u8], data: &[u8], q: &BigUint) -> BigUint {
+    assert!(q > &BigUint::two(), "scalar modulus too small");
+    let bytes = kdf(tag, data, 2 * q.bits().div_ceil(8));
+    let wide = BigUint::from_be_bytes(&bytes);
+    let q_minus_1 = q - &BigUint::one();
+    &(&wide % &q_minus_1) + &BigUint::one()
+}
+
+/// Hash to exactly `bits` bits, returned as an integer `< 2^bits`.
+///
+/// Instantiates IB-mRSA's identity-to-exponent hash `H : ID → {0,1}^l`.
+pub fn hash_to_bits(tag: &[u8], data: &[u8], bits: usize) -> BigUint {
+    let bytes = kdf(tag, data, bits.div_ceil(8));
+    let mut v = BigUint::from_be_bytes(&bytes);
+    // Trim excess top bits when `bits` is not a byte multiple.
+    let excess = bytes.len() * 8 - bits;
+    if excess > 0 {
+        v = &v >> excess;
+    }
+    v
+}
+
+/// An infinite sequence of field-element candidates for try-and-increment
+/// hashing to a curve (`H1`).
+///
+/// Candidate `i` is `MGF1(tag || data || i) mod p`; the curve layer keeps
+/// probing until it finds an `x` with `x³ + x` a quadratic residue.
+pub fn hash_to_field_candidates<'a>(
+    tag: &'a [u8],
+    data: &'a [u8],
+    p: &'a BigUint,
+) -> impl Iterator<Item = BigUint> + 'a {
+    let byte_len = 2 * p.bits().div_ceil(8);
+    (0u32..).map(move |counter| {
+        let mut seed = Vec::with_capacity(tag.len() + 1 + data.len() + 4);
+        seed.extend_from_slice(tag);
+        seed.push(0x1f);
+        seed.extend_from_slice(data);
+        seed.extend_from_slice(&counter.to_be_bytes());
+        let wide = BigUint::from_be_bytes(&mgf1_sha256(&seed, byte_len));
+        &wide % p
+    })
+}
+
+/// A 32-byte commitment/fingerprint of a transcript, used by the NIZK
+/// robustness proof and the SEM audit log.
+pub fn transcript_hash(tag: &[u8], parts: &[&[u8]]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(tag);
+    h.update(&(parts.len() as u64).to_be_bytes());
+    for part in parts {
+        // Length-prefix each part to prevent concatenation ambiguity.
+        h.update(&(part.len() as u64).to_be_bytes());
+        h.update(part);
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn kdf_domain_separation() {
+        assert_ne!(kdf(b"H2", b"x", 32), kdf(b"H4", b"x", 32));
+        assert_ne!(kdf(b"H2", b"x", 32), kdf(b"H2", b"y", 32));
+        // Tag/data boundary is unambiguous.
+        assert_ne!(kdf(b"ab", b"c", 32), kdf(b"a", b"bc", 32));
+        assert_eq!(kdf(b"t", b"d", 100).len(), 100);
+    }
+
+    #[test]
+    fn hash_to_scalar_in_range() {
+        let q = big("0xffffffffffffffc5");
+        for i in 0..50u32 {
+            let s = hash_to_scalar(b"H3", &i.to_be_bytes(), &q);
+            assert!(!s.is_zero());
+            assert!(s < q);
+        }
+    }
+
+    #[test]
+    fn hash_to_scalar_deterministic() {
+        let q = big("1000003");
+        assert_eq!(hash_to_scalar(b"t", b"m", &q), hash_to_scalar(b"t", b"m", &q));
+        assert_ne!(hash_to_scalar(b"t", b"m1", &q), hash_to_scalar(b"t", b"m2", &q));
+    }
+
+    #[test]
+    fn hash_to_bits_width() {
+        for bits in [1usize, 7, 8, 9, 63, 64, 65, 160] {
+            for i in 0..10u32 {
+                let v = hash_to_bits(b"e", &i.to_be_bytes(), bits);
+                assert!(v.bits() <= bits, "bits={bits}");
+            }
+        }
+        // With enough samples some value should use the full width.
+        let full = (0..40u32)
+            .any(|i| hash_to_bits(b"e", &i.to_be_bytes(), 64).bits() == 64);
+        assert!(full);
+    }
+
+    #[test]
+    fn field_candidates_distinct_and_reduced() {
+        let p = big("0xffffffffffffffffffffffffffffff61");
+        let cands: Vec<_> = hash_to_field_candidates(b"H1", b"alice@example.com", &p)
+            .take(8)
+            .collect();
+        for c in &cands {
+            assert!(c < &p);
+        }
+        for i in 0..cands.len() {
+            for j in i + 1..cands.len() {
+                assert_ne!(cands[i], cands[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn transcript_hash_structure() {
+        let a = transcript_hash(b"nizk", &[b"ab", b"c"]);
+        let b = transcript_hash(b"nizk", &[b"a", b"bc"]);
+        assert_ne!(a, b, "length prefixes must disambiguate");
+        let c = transcript_hash(b"nizk", &[b"ab", b"c", b""]);
+        assert_ne!(a, c, "part count is bound");
+    }
+}

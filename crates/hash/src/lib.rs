@@ -1,0 +1,145 @@
+//! # sempair-hash
+//!
+//! From-scratch hash primitives for the `sempair` workspace: SHA-256 and
+//! SHA-512 (FIPS 180-4), HMAC (RFC 2104), the MGF1 mask generation
+//! function (PKCS #1 v2.1), an HMAC-DRBG-style deterministic random bit
+//! generator, and the derivation helpers the paper's random oracles
+//! (`H1..H4`, OAEP's `G`/`H`) are instantiated with.
+//!
+//! ```
+//! use sempair_hash::Sha256;
+//!
+//! let digest = Sha256::digest(b"abc");
+//! assert_eq!(hex(&digest),
+//!     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+//! # fn hex(b: &[u8]) -> String { b.iter().map(|x| format!("{x:02x}")).collect() }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod drbg;
+mod hmac;
+mod mgf1;
+mod sha256;
+mod sha512;
+
+pub mod derive;
+
+pub use drbg::HmacDrbgRng;
+pub use hmac::{hmac_sha256, hmac_sha512, HmacSha256};
+pub use mgf1::{mgf1_sha256, mgf1_sha512};
+pub use sha256::Sha256;
+pub use sha512::Sha512;
+
+/// A convenience trait over the two digest implementations, so generic
+/// code (OAEP, MGF1 call-sites) can pick a hash at compile time.
+pub trait Digest {
+    /// Digest output length in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Creates a fresh hasher state.
+    fn new() -> Self;
+    /// Absorbs `data`.
+    fn update(&mut self, data: &[u8]);
+    /// Finalizes and returns the digest.
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot digest.
+    fn hash(data: &[u8]) -> Vec<u8>
+    where
+        Self: Sized,
+    {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}
+
+impl Digest for Sha256 {
+    const OUTPUT_LEN: usize = 32;
+    fn new() -> Self {
+        Sha256::new()
+    }
+    fn update(&mut self, data: &[u8]) {
+        Sha256::update(self, data)
+    }
+    fn finalize(self) -> Vec<u8> {
+        Sha256::finalize(self).to_vec()
+    }
+}
+
+impl Digest for Sha512 {
+    const OUTPUT_LEN: usize = 64;
+    fn new() -> Self {
+        Sha512::new()
+    }
+    fn update(&mut self, data: &[u8]) {
+        Sha512::update(self, data)
+    }
+    fn finalize(self) -> Vec<u8> {
+        Sha512::finalize(self).to_vec()
+    }
+}
+
+/// Constant-time byte-slice equality (length must match to return true).
+///
+/// Used when comparing MACs and OAEP padding blocks so the comparison
+/// itself does not leak a matching prefix length.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+/// XORs `mask` into `out` in place (`out.len() <= mask.len()` required).
+///
+/// # Panics
+///
+/// Panics if `mask` is shorter than `out`.
+pub fn xor_in_place(out: &mut [u8], mask: &[u8]) {
+    assert!(mask.len() >= out.len(), "mask too short");
+    for (o, m) in out.iter_mut().zip(mask.iter()) {
+        *o ^= m;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ct_eq_basics() {
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn xor_in_place_works() {
+        let mut a = vec![0xffu8, 0x00, 0xaa];
+        xor_in_place(&mut a, &[0x0f, 0xf0, 0xaa, 0x99]);
+        assert_eq!(a, vec![0xf0, 0xf0, 0x00]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask too short")]
+    fn xor_short_mask_panics() {
+        let mut a = vec![0u8; 4];
+        xor_in_place(&mut a, &[0u8; 3]);
+    }
+
+    #[test]
+    fn digest_trait_one_shot_matches_incremental() {
+        let mut h = <Sha256 as Digest>::new();
+        Digest::update(&mut h, b"hello ");
+        Digest::update(&mut h, b"world");
+        assert_eq!(Digest::finalize(h), <Sha256 as Digest>::hash(b"hello world"));
+    }
+}

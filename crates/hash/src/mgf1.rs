@@ -1,0 +1,71 @@
+//! MGF1 mask generation function (PKCS #1 v2.1, appendix B.2.1).
+//!
+//! Used by RSA-OAEP (the `G` and `H` oracles of the paper's §2) and by
+//! the variable-length random oracles `H2`/`H4` of the Boneh–Franklin
+//! scheme when plaintexts exceed one digest block.
+
+use crate::{Digest, Sha256, Sha512};
+
+/// Generic MGF1 over any [`Digest`].
+fn mgf1<D: Digest>(seed: &[u8], out_len: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(out_len.next_multiple_of(D::OUTPUT_LEN));
+    let mut counter = 0u32;
+    while out.len() < out_len {
+        let mut h = D::new();
+        h.update(seed);
+        h.update(&counter.to_be_bytes());
+        out.extend_from_slice(&h.finalize());
+        counter += 1;
+    }
+    out.truncate(out_len);
+    out
+}
+
+/// MGF1 with SHA-256: expands `seed` into `out_len` pseudo-random bytes.
+pub fn mgf1_sha256(seed: &[u8], out_len: usize) -> Vec<u8> {
+    mgf1::<Sha256>(seed, out_len)
+}
+
+/// MGF1 with SHA-512.
+pub fn mgf1_sha512(seed: &[u8], out_len: usize) -> Vec<u8> {
+    mgf1::<Sha512>(seed, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn counter_encoding_pinned() {
+        // First block must be SHA256(seed || 00000000), second block
+        // SHA256(seed || 00000001) — big-endian 32-bit counter.
+        let b0 = Sha256::digest(b"seed\x00\x00\x00\x00");
+        let b1 = Sha256::digest(b"seed\x00\x00\x00\x01");
+        let out = mgf1_sha256(b"seed", 64);
+        assert_eq!(hex(&out[..32]), hex(&b0));
+        assert_eq!(hex(&out[32..]), hex(&b1));
+    }
+
+    #[test]
+    fn lengths_and_prefix_property() {
+        for len in [0usize, 1, 31, 32, 33, 64, 100] {
+            assert_eq!(mgf1_sha256(b"seed", len).len(), len);
+        }
+        // MGF1 output for a longer request extends the shorter one.
+        let short = mgf1_sha256(b"seed", 20);
+        let long = mgf1_sha256(b"seed", 100);
+        assert_eq!(&long[..20], &short[..]);
+        let s512 = mgf1_sha512(b"seed", 200);
+        assert_eq!(s512.len(), 200);
+        assert_eq!(&mgf1_sha512(b"seed", 64)[..], &s512[..64]);
+    }
+
+    #[test]
+    fn seed_sensitivity() {
+        assert_ne!(mgf1_sha256(b"a", 32), mgf1_sha256(b"b", 32));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the hash substrate.
+
+use proptest::prelude::*;
+use sempair_hash::{hmac_sha256, mgf1_sha256, Digest, HmacDrbgRng, Sha256, Sha512};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha512_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..600),
+        splits in proptest::collection::vec(0usize..600, 0..4),
+    ) {
+        let mut h = Sha512::new();
+        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s.min(data.len())).collect();
+        cuts.sort_unstable();
+        let mut prev = 0;
+        for cut in cuts {
+            h.update(&data[prev..cut]);
+            prev = cut;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), Sha512::digest(&data));
+    }
+
+    #[test]
+    fn sha256_injective_on_samples(
+        a in proptest::collection::vec(any::<u8>(), 0..64),
+        b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        if a != b {
+            prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+        }
+    }
+
+    #[test]
+    fn hmac_distinguishes_key_and_message(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        let tag = hmac_sha256(&key, &msg);
+        let mut key2 = key.clone();
+        key2.push(7);
+        prop_assert_ne!(hmac_sha256(&key2, &msg), tag);
+        let mut msg2 = msg.clone();
+        msg2.push(7);
+        prop_assert_ne!(hmac_sha256(&key, &msg2), tag);
+    }
+
+    #[test]
+    fn mgf1_prefix_consistency(
+        seed in proptest::collection::vec(any::<u8>(), 0..48),
+        short in 0usize..64,
+        extra in 0usize..64,
+    ) {
+        let a = mgf1_sha256(&seed, short);
+        let b = mgf1_sha256(&seed, short + extra);
+        prop_assert_eq!(&b[..short], &a[..]);
+    }
+
+    #[test]
+    fn drbg_reads_are_stream_consistent(
+        seed in proptest::collection::vec(any::<u8>(), 0..32),
+        chunks in proptest::collection::vec(1usize..40, 1..6),
+    ) {
+        use rand::RngCore;
+        let total: usize = chunks.iter().sum();
+        let mut bulk_rng = HmacDrbgRng::new(&seed);
+        let mut bulk = vec![0u8; total];
+        bulk_rng.fill_bytes(&mut bulk);
+
+        let mut chunk_rng = HmacDrbgRng::new(&seed);
+        let mut pieced = Vec::with_capacity(total);
+        for len in chunks {
+            let mut piece = vec![0u8; len];
+            chunk_rng.fill_bytes(&mut piece);
+            pieced.extend_from_slice(&piece);
+        }
+        prop_assert_eq!(pieced, bulk);
+    }
+
+    #[test]
+    fn digest_trait_consistent_with_inherent(
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        prop_assert_eq!(<Sha256 as Digest>::hash(&data), Sha256::digest(&data).to_vec());
+        prop_assert_eq!(<Sha512 as Digest>::hash(&data), Sha512::digest(&data).to_vec());
+    }
+}

@@ -1,0 +1,144 @@
+//! The common-modulus attack the paper's §2 warns about.
+//!
+//! > "We recall that it is completely insecure to have a common modulus
+//! > for several users in classical RSA-OAEP since the knowledge of a
+//! > single private-public pair of exponents allows to factor the
+//! > modulus. It is not the case in IB-mRSA since no user completely
+//! > knows his key pair. […] A collusion between a user and the SEM
+//! > would result in a total break of the scheme."
+//!
+//! This module implements the factorization so that claim is
+//! *executable*: given any full `(e, d)` pair for `n`, [`factor_from_ed`]
+//! recovers `p` and `q` with overwhelming probability, after which every
+//! other user's private exponent follows.
+
+use rand::RngCore;
+use sempair_bigint::{modular, rng as brng, BigUint};
+
+/// Factors `n` given a multiple of the private-key relation,
+/// `e·d − 1 ≡ 0 (mod λ(n))`, using the standard probabilistic
+/// square-root-of-unity search (Miller's algorithm).
+///
+/// Returns `(p, q)` with `p ≤ q`, or `None` if `max_tries` random bases
+/// all failed (probability `≤ 2^-max_tries` for valid input).
+pub fn factor_from_ed(
+    rng: &mut impl RngCore,
+    n: &BigUint,
+    e: &BigUint,
+    d: &BigUint,
+    max_tries: u32,
+) -> Option<(BigUint, BigUint)> {
+    let one = BigUint::one();
+    let k = &(e * d) - &one;
+    if k.is_zero() || k.is_odd() {
+        return None; // e·d − 1 must be even for a valid pair
+    }
+    let s = k.trailing_zeros()?;
+    let t = &k >> s;
+    for _ in 0..max_tries {
+        let g = brng::random_below(rng, n);
+        if g < BigUint::two() {
+            continue;
+        }
+        let shared = g.gcd(n);
+        if !shared.is_one() {
+            // Lucky: g shares a factor outright.
+            let other = n.div_rem(&shared).0;
+            return Some(order_pair(shared, other));
+        }
+        // x = g^t; square repeatedly looking for a non-trivial √1.
+        let mut x = modular::mod_pow(&g, &t, n);
+        if x.is_one() || x == n - &one {
+            continue;
+        }
+        for _ in 0..s {
+            let x_next = modular::mod_mul(&x, &x, n);
+            if x_next.is_one() {
+                // x is a non-trivial square root of 1: gcd(x−1, n) splits n.
+                let f = (&x - &one).gcd(n);
+                if !f.is_one() && &f != n {
+                    let other = n.div_rem(&f).0;
+                    return Some(order_pair(f, other));
+                }
+                break;
+            }
+            if x_next == n - &one {
+                break; // trivial root; try another base
+            }
+            x = x_next;
+        }
+    }
+    None
+}
+
+fn order_pair(a: BigUint, b: BigUint) -> (BigUint, BigUint) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Given the recovered factorization, derives *another* user's full
+/// private exponent — completing the "total break" of IB-mRSA.
+///
+/// Returns `None` if `e` is not invertible (negligible for honest
+/// parameters).
+pub fn recover_other_private_key(
+    p: &BigUint,
+    q: &BigUint,
+    victim_e: &BigUint,
+) -> Option<BigUint> {
+    let phi = sempair_bigint::prime::phi_semiprime(p, q);
+    modular::mod_inv(victim_e, &phi).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::RsaKeyPair;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn factor_recovers_primes() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let kp = RsaKeyPair::generate(&mut rng, 256, 8).unwrap();
+        let (p, q) = kp.modulus.factors();
+        let (fp, fq) =
+            factor_from_ed(&mut rng, &kp.public.n, &kp.public.e, &kp.private.d, 64).unwrap();
+        let mut expect = [p.clone(), q.clone()];
+        expect.sort();
+        assert_eq!((fp, fq), (expect[0].clone(), expect[1].clone()));
+    }
+
+    #[test]
+    fn bogus_pair_rejected() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let kp = RsaKeyPair::generate(&mut rng, 256, 8).unwrap();
+        // d+… wrong relation: k = e·d' − 1 not a multiple of λ(n); the
+        // search should fail (or at least not loop forever).
+        let wrong_d = &kp.private.d + &BigUint::from(2u64);
+        let result = factor_from_ed(&mut rng, &kp.public.n, &kp.public.e, &wrong_d, 8);
+        if let Some((p, q)) = result {
+            // If it *did* find factors, they must be genuine.
+            assert_eq!(&(&p * &q), &kp.public.n);
+        }
+    }
+
+    #[test]
+    fn recovered_key_decrypts_for_other_user() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let kp = RsaKeyPair::generate(&mut rng, 256, 8).unwrap();
+        let (p, q) = factor_from_ed(&mut rng, &kp.public.n, &kp.public.e, &kp.private.d, 64)
+            .expect("factorization");
+        // "Victim" uses the same modulus with a different exponent.
+        let victim_e = BigUint::from(0x10001u64 * 2 + 1); // arbitrary odd e
+        let Some(victim_d) = recover_other_private_key(&p, &q, &victim_e) else {
+            return; // non-invertible e: vanishing probability, skip
+        };
+        let m = BigUint::from(987654321u64);
+        let c = modular::mod_pow(&m, &victim_e, &kp.public.n);
+        assert_eq!(modular::mod_pow(&c, &victim_d, &kp.public.n), m);
+    }
+}

@@ -1,0 +1,367 @@
+//! Mediated Goldwasser–Micali probabilistic encryption.
+//!
+//! The paper's conclusion *conjectures* this exists: "we conjecture the
+//! SEM method can also be integrated into many other existing public
+//! key cryptosystems including the Goldwasser-Micali probabilistic
+//! encryption (\[14\]) … for which efficient threshold adaptations have
+//! been described in \[18\]". This module makes the conjecture
+//! constructive.
+//!
+//! GM encrypts one bit `b` as `c = r²·y^b mod n` where `y` is a
+//! pseudosquare (Jacobi symbol `+1`, but a non-residue). Decryption is
+//! quadratic-residuosity testing. For a Blum modulus (`p ≡ q ≡ 3 mod
+//! 4`) and any Jacobi-`+1` ciphertext,
+//!
+//! ```text
+//! c^{φ(n)/4} ≡ +1 (mod n)  ⟺  c is a QR      (b = 0)
+//! c^{φ(n)/4} ≡ −1 (mod n)  ⟺  c is a pseudosquare (b = 1)
+//! ```
+//!
+//! so decryption is *one modular exponentiation with a fixed secret
+//! exponent* — exactly the shape the SEM split needs (Katz–Yung \[18\]
+//! make the same observation for the threshold case). The dealer
+//! splits `φ(n)/4 = d_user + d_sem (mod φ(n))`; each side
+//! exponentiates; the product of the halves is `±1`.
+
+use crate::rsa::{split_exponent, ModExpCtx, RsaModulus};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, rng as brng, BigUint};
+use std::collections::{HashMap, HashSet};
+
+/// GM public key: the Blum modulus and the pseudosquare `y`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmPublicKey {
+    /// Blum modulus `n = pq`, `p ≡ q ≡ 3 (mod 4)`.
+    pub n: BigUint,
+    /// A pseudosquare: Jacobi `(y/n) = +1` but not a QR.
+    pub y: BigUint,
+}
+
+/// Centralized GM secret: the QR-test exponent `φ(n)/4`.
+#[derive(Debug, Clone)]
+pub struct GmSecretKey {
+    n: BigUint,
+    qr_exp: BigUint,
+}
+
+/// The user's half of a mediated GM key.
+#[derive(Debug, Clone)]
+pub struct GmUser {
+    /// Identity label.
+    pub id: String,
+    /// The public key.
+    pub public: GmPublicKey,
+    d_user: BigUint,
+}
+
+/// The SEM's half-key record.
+#[derive(Debug, Clone)]
+pub struct GmSemKey {
+    /// Identity served.
+    pub id: String,
+    d_sem: BigUint,
+}
+
+/// A SEM token: `cᵢ^{d_sem} mod n` per ciphertext element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GmToken(pub Vec<BigUint>);
+
+/// The GM-serving mediator.
+#[derive(Debug, Default)]
+pub struct GmSem {
+    keys: HashMap<String, (BigUint, ModExpCtx)>,
+    revoked: HashSet<String>,
+}
+
+/// Generates a GM keypair over a fresh Blum modulus.
+///
+/// # Errors
+///
+/// Propagates prime-search failures.
+pub fn keygen(rng: &mut impl RngCore, bits: usize) -> Result<(GmPublicKey, GmSecretKey), Error> {
+    let modulus = RsaModulus::generate(rng, bits)?; // safe primes ⇒ Blum
+    let (p, q) = modulus.factors();
+    // Pseudosquare: (y/p) = (y/q) = −1.
+    let y = loop {
+        let candidate = brng::random_nonzero_below(rng, modulus.n());
+        if modular::jacobi(&candidate, p) == -1 && modular::jacobi(&candidate, q) == -1 {
+            break candidate;
+        }
+    };
+    let public = GmPublicKey { n: modulus.n().clone(), y };
+    let qr_exp = modulus.phi().div_rem(&BigUint::from(4u64)).0;
+    let secret = GmSecretKey { n: modulus.n().clone(), qr_exp };
+    Ok((public, secret))
+}
+
+/// Mediated keygen: fresh Blum modulus + split QR-test exponent, returning
+/// `(public, user, sem_record)`.
+///
+/// # Errors
+///
+/// Propagates prime-search failures.
+pub fn mediated_keygen(
+    rng: &mut impl RngCore,
+    bits: usize,
+    id: &str,
+) -> Result<(GmPublicKey, GmUser, GmSemKey), Error> {
+    let modulus = RsaModulus::generate(rng, bits)?;
+    let (p, q) = modulus.factors();
+    let y = loop {
+        let candidate = brng::random_nonzero_below(rng, modulus.n());
+        if modular::jacobi(&candidate, p) == -1 && modular::jacobi(&candidate, q) == -1 {
+            break candidate;
+        }
+    };
+    let public = GmPublicKey { n: modulus.n().clone(), y };
+    let qr_exp = modulus.phi().div_rem(&BigUint::from(4u64)).0;
+    let (d_user, d_sem) = split_exponent(rng, &qr_exp, modulus.phi());
+    Ok((
+        public.clone(),
+        GmUser { id: id.to_string(), public, d_user },
+        GmSemKey { id: id.to_string(), d_sem },
+    ))
+}
+
+/// Encrypts a bit string, one group element per bit:
+/// `cᵢ = rᵢ²·y^{bᵢ} mod n`.
+pub fn encrypt(rng: &mut impl RngCore, key: &GmPublicKey, bits: &[bool]) -> Vec<BigUint> {
+    bits.iter()
+        .map(|&b| {
+            let r = brng::random_nonzero_below(rng, &key.n);
+            let r2 = modular::mod_mul(&r, &r, &key.n);
+            if b {
+                modular::mod_mul(&r2, &key.y, &key.n)
+            } else {
+                r2
+            }
+        })
+        .collect()
+}
+
+/// Centralized decryption (QR test per element).
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] if an element has Jacobi symbol `≠ +1`
+/// or the exponentiation lands outside `{±1}`.
+pub fn decrypt(key: &GmSecretKey, ciphertext: &[BigUint]) -> Result<Vec<bool>, Error> {
+    let one = BigUint::one();
+    let minus_one = &key.n - &one;
+    ciphertext
+        .iter()
+        .map(|c| {
+            if c >= &key.n || c.is_zero() {
+                return Err(Error::InvalidCiphertext);
+            }
+            let t = modular::mod_pow(c, &key.qr_exp, &key.n);
+            if t == one {
+                Ok(false)
+            } else if t == minus_one {
+                Ok(true)
+            } else {
+                Err(Error::InvalidCiphertext)
+            }
+        })
+        .collect()
+}
+
+impl GmSem {
+    /// Creates an empty SEM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a half-key (needs the modulus for its modexp context).
+    pub fn install(&mut self, n: &BigUint, key: GmSemKey) {
+        self.keys.insert(key.id.clone(), (key.d_sem, ModExpCtx::new(n)));
+    }
+
+    /// Revokes an identity.
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&mut self, id: &str) {
+        self.revoked.remove(id);
+    }
+
+    /// `true` iff revoked.
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.revoked.contains(id)
+    }
+
+    /// Half-decryption: `cᵢ^{d_sem}` for every ciphertext element.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`] or [`Error::UnknownIdentity`].
+    pub fn half_decrypt(&self, id: &str, ciphertext: &[BigUint]) -> Result<GmToken, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let (d_sem, ctx) = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        Ok(GmToken(ciphertext.iter().map(|c| ctx.pow(c, d_sem)).collect()))
+    }
+}
+
+impl GmUser {
+    /// Completes decryption: `cᵢ^{d_user}·tokenᵢ ∈ {±1}` decides bit `i`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCiphertext`] on length mismatch or a combined
+    /// value outside `{±1}` (invalid ciphertext or bogus token).
+    pub fn finish_decrypt(&self, ciphertext: &[BigUint], token: &GmToken) -> Result<Vec<bool>, Error> {
+        if ciphertext.len() != token.0.len() {
+            return Err(Error::InvalidCiphertext);
+        }
+        let n = &self.public.n;
+        let one = BigUint::one();
+        let minus_one = n - &one;
+        ciphertext
+            .iter()
+            .zip(token.0.iter())
+            .map(|(c, t_sem)| {
+                let t_user = modular::mod_pow(c, &self.d_user, n);
+                let t = modular::mod_mul(&t_user, t_sem, n);
+                if t == one {
+                    Ok(false)
+                } else if t == minus_one {
+                    Ok(true)
+                } else {
+                    Err(Error::InvalidCiphertext)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Packs bytes into bits (MSB first) for GM encryption.
+pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
+    bytes
+        .iter()
+        .flat_map(|b| (0..8).rev().map(move |i| (b >> i) & 1 == 1))
+        .collect()
+}
+
+/// Inverse of [`bytes_to_bits`].
+///
+/// # Panics
+///
+/// Panics if `bits.len()` is not a byte multiple.
+pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
+    assert!(bits.len().is_multiple_of(8), "bit count must be a byte multiple");
+    bits.chunks(8)
+        .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (GmPublicKey, GmUser, GmSem, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x6A);
+        let (public, user, sem_key) = mediated_keygen(&mut rng, 256, "alice").unwrap();
+        let mut sem = GmSem::new();
+        sem.install(&public.n, sem_key);
+        (public, user, sem, rng)
+    }
+
+    #[test]
+    fn centralized_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(0x6B);
+        let (public, secret) = keygen(&mut rng, 256).unwrap();
+        let bits = bytes_to_bits(b"GM");
+        let c = encrypt(&mut rng, &public, &bits);
+        assert_eq!(decrypt(&secret, &c).unwrap(), bits);
+    }
+
+    #[test]
+    fn mediated_roundtrip() {
+        let (public, user, sem, mut rng) = setup();
+        let bits = bytes_to_bits(&[0b1010_0110]);
+        let c = encrypt(&mut rng, &public, &bits);
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        let plain = user.finish_decrypt(&c, &token).unwrap();
+        assert_eq!(plain, bits);
+        assert_eq!(bits_to_bytes(&plain), vec![0b1010_0110]);
+    }
+
+    #[test]
+    fn revocation_blocks_tokens() {
+        let (public, user, mut sem, mut rng) = setup();
+        let c = encrypt(&mut rng, &public, &[true, false]);
+        sem.revoke("alice");
+        assert_eq!(sem.half_decrypt("alice", &c), Err(Error::Revoked));
+        sem.unrevoke("alice");
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        assert_eq!(user.finish_decrypt(&c, &token).unwrap(), vec![true, false]);
+    }
+
+    #[test]
+    fn xor_homomorphism() {
+        // GM's claim to fame: c(a)·c(b) decrypts to a ⊕ b.
+        let mut rng = StdRng::seed_from_u64(0x6C);
+        let (public, secret) = keygen(&mut rng, 256).unwrap();
+        for (a, b) in [(false, false), (false, true), (true, false), (true, true)] {
+            let ca = encrypt(&mut rng, &public, &[a]);
+            let cb = encrypt(&mut rng, &public, &[b]);
+            let cab = vec![modular::mod_mul(&ca[0], &cb[0], &public.n)];
+            assert_eq!(decrypt(&secret, &cab).unwrap(), vec![a ^ b], "a={a} b={b}");
+        }
+    }
+
+    #[test]
+    fn bogus_token_detected() {
+        let (public, user, sem, mut rng) = setup();
+        let c = encrypt(&mut rng, &public, &[true]);
+        let mut token = sem.half_decrypt("alice", &c).unwrap();
+        token.0[0] = modular::mod_add(&token.0[0], &BigUint::one(), &public.n);
+        assert_eq!(user.finish_decrypt(&c, &token), Err(Error::InvalidCiphertext));
+    }
+
+    #[test]
+    fn invalid_ciphertext_rejected_centrally() {
+        let mut rng = StdRng::seed_from_u64(0x6D);
+        let (public, secret) = keygen(&mut rng, 256).unwrap();
+        // A Jacobi −1 element is not a valid GM ciphertext.
+        let bad = loop {
+            let candidate = brng::random_nonzero_below(&mut rng, &public.n);
+            if modular::jacobi(&candidate, &public.n) == -1 {
+                break candidate;
+            }
+        };
+        assert_eq!(decrypt(&secret, &[bad]), Err(Error::InvalidCiphertext));
+        assert_eq!(decrypt(&secret, &[BigUint::zero()]), Err(Error::InvalidCiphertext));
+    }
+
+    #[test]
+    fn pseudosquare_has_jacobi_one() {
+        let mut rng = StdRng::seed_from_u64(0x6E);
+        let (public, secret) = keygen(&mut rng, 256).unwrap();
+        assert_eq!(modular::jacobi(&public.y, &public.n), 1);
+        // …but decrypts as 1 (it is NOT a square).
+        assert_eq!(decrypt(&secret, std::slice::from_ref(&public.y)).unwrap(), vec![true]);
+    }
+
+    #[test]
+    fn bit_packing_roundtrip() {
+        for bytes in [&b""[..], b"\x00", b"\xff", b"hello world"] {
+            assert_eq!(bits_to_bytes(&bytes_to_bits(bytes)), bytes);
+        }
+    }
+
+    #[test]
+    fn encryption_is_probabilistic() {
+        let (public, _, _, mut rng) = setup();
+        let c1 = encrypt(&mut rng, &public, &[true]);
+        let c2 = encrypt(&mut rng, &public, &[true]);
+        assert_ne!(c1, c2);
+    }
+}

@@ -1,0 +1,410 @@
+//! IB-mRSA — identity-based mediated RSA (the paper's §2).
+//!
+//! All users share one Blum modulus `n` (generated from safe primes by
+//! the PKG). A user's public exponent is *derived from the identity*:
+//!
+//! ```text
+//! e_ID = 0^s ‖ H(ID) ‖ 1      (k bits total, l-bit hash, trailing 1)
+//! ```
+//!
+//! so anyone can encrypt to `ID` without a certificate. The private
+//! exponent `d = e⁻¹ mod φ(n)` is split `d = d_user + d_sem` exactly as
+//! in mRSA. Crucially — and this is the security contrast the paper
+//! draws in §4 — a user who learns **both** halves learns a full
+//! `(e, d)` pair for the *shared* modulus and can factor `n` (see
+//! [`crate::attack`]), breaking every other user. Hence the SEM must be
+//! fully trusted here, unlike in the mediated IBE.
+
+use crate::oaep::Oaep;
+use crate::rsa::{split_exponent, ModExpCtx, RsaModulus};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, BigUint};
+use sempair_hash::derive;
+use std::collections::{HashMap, HashSet};
+
+/// Public system parameters: the shared modulus and hash width.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IbMrsaPublicParams {
+    /// Shared Blum modulus `n` (all users).
+    pub n: BigUint,
+    /// Identity-hash width `l` in bits (160 in the paper).
+    pub exp_hash_bits: usize,
+    /// OAEP hash length in bytes.
+    pub oaep_hash_len: usize,
+}
+
+impl IbMrsaPublicParams {
+    /// The identity-derived public exponent `e = 0^s ‖ H(ID) ‖ 1`.
+    ///
+    /// The trailing `1` forces `e` odd (overwhelmingly invertible mod
+    /// `φ(n)` for a safe-prime modulus); the leading zeros keep `e`
+    /// well below `n`.
+    pub fn exponent_for(&self, id: &str) -> BigUint {
+        let h = derive::hash_to_bits(b"ib-mrsa-exponent", id.as_bytes(), self.exp_hash_bits);
+        &(&h << 1) + &BigUint::one()
+    }
+
+    /// Encrypts to `id` with RSA-OAEP under the derived exponent —
+    /// "Encrypt is the same as in classical RSA-OAEP" (§2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MessageTooLong`] for oversized messages.
+    pub fn encrypt(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+        message: &[u8],
+    ) -> Result<BigUint, Error> {
+        let e = self.exponent_for(id);
+        let k = self.n.bits().div_ceil(8);
+        let oaep = Oaep::new(k, self.oaep_hash_len);
+        let block = oaep.pad(rng, message, id.as_bytes())?;
+        let m = BigUint::from_be_bytes(&block);
+        Ok(modular::mod_pow(&m, &e, &self.n))
+    }
+
+    /// Verifies an IB-mRSA FDH signature under `id`'s derived exponent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSignature`] on mismatch.
+    pub fn verify(&self, id: &str, message: &[u8], sig: &BigUint) -> Result<(), Error> {
+        if sig >= &self.n {
+            return Err(Error::InvalidSignature);
+        }
+        let e = self.exponent_for(id);
+        let h = crate::rsa::fdh(message, &self.n);
+        if modular::mod_pow(sig, &e, &self.n) == h {
+            Ok(())
+        } else {
+            Err(Error::InvalidSignature)
+        }
+    }
+}
+
+/// The PKG: holds the factorization of the shared modulus and issues
+/// split keys. Must be fully trusted (and so must the SEM — §2).
+#[derive(Debug)]
+pub struct IbMrsaSystem {
+    modulus: RsaModulus,
+    params: IbMrsaPublicParams,
+}
+
+/// The user's half-key.
+#[derive(Debug, Clone)]
+pub struct IbMrsaUser {
+    /// The identity string.
+    pub id: String,
+    /// Public parameters (shared modulus).
+    pub params: IbMrsaPublicParams,
+    d_user: BigUint,
+}
+
+/// The SEM's half-key record for one identity.
+#[derive(Debug, Clone)]
+pub struct IbMrsaSemKey {
+    /// Identity served by this record.
+    pub id: String,
+    d_sem: BigUint,
+}
+
+/// A decryption/signature token from the SEM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token(pub BigUint);
+
+/// The security mediator for the IB-mRSA system (one shared modulus).
+#[derive(Debug)]
+pub struct IbMrsaSem {
+    params: IbMrsaPublicParams,
+    ctx: ModExpCtx,
+    keys: HashMap<String, BigUint>,
+    revoked: HashSet<String>,
+}
+
+impl IbMrsaSystem {
+    /// Generates the shared Blum modulus (`bits` bits, safe primes) and
+    /// fixes the identity-hash width `l = exp_hash_bits`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search failures.
+    pub fn setup(
+        rng: &mut impl RngCore,
+        bits: usize,
+        exp_hash_bits: usize,
+        oaep_hash_len: usize,
+    ) -> Result<Self, Error> {
+        assert!(
+            exp_hash_bits + 2 < bits,
+            "exponent hash must be shorter than the modulus"
+        );
+        let modulus = RsaModulus::generate(rng, bits)?;
+        let params = IbMrsaPublicParams {
+            n: modulus.n().clone(),
+            exp_hash_bits,
+            oaep_hash_len,
+        };
+        Ok(IbMrsaSystem { modulus, params })
+    }
+
+    /// Like [`IbMrsaSystem::setup`] but over *ordinary* primes.
+    ///
+    /// Benchmark-setup only: without safe primes, identity-derived
+    /// exponents have a small chance of sharing a factor with `φ(n)`
+    /// (keygen then fails with [`Error::KeygenFailed`] for that
+    /// identity). Safe primes make that chance negligible, which is why
+    /// production setup pays for them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search failures.
+    pub fn setup_with_plain_primes(
+        rng: &mut impl RngCore,
+        bits: usize,
+        exp_hash_bits: usize,
+        oaep_hash_len: usize,
+    ) -> Result<Self, Error> {
+        assert!(
+            exp_hash_bits + 2 < bits,
+            "exponent hash must be shorter than the modulus"
+        );
+        let modulus = RsaModulus::generate_with_plain_primes(rng, bits)?;
+        let params = IbMrsaPublicParams {
+            n: modulus.n().clone(),
+            exp_hash_bits,
+            oaep_hash_len,
+        };
+        Ok(IbMrsaSystem { modulus, params })
+    }
+
+    /// The certified public parameters.
+    pub fn public_params(&self) -> IbMrsaPublicParams {
+        self.params.clone()
+    }
+
+    /// Issues the split key for `id`: `(user half, SEM half)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeygenFailed`] in the negligible case that the
+    /// derived exponent shares a factor with `φ(n)`.
+    pub fn keygen(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+    ) -> Result<(IbMrsaUser, IbMrsaSemKey), Error> {
+        let e = self.params.exponent_for(id);
+        let d = self.modulus.private_exponent(&e)?;
+        let (d_user, d_sem) = split_exponent(rng, &d, self.modulus.phi());
+        Ok((
+            IbMrsaUser { id: id.to_string(), params: self.params.clone(), d_user },
+            IbMrsaSemKey { id: id.to_string(), d_sem },
+        ))
+    }
+
+    /// Creates an (empty) SEM bound to this system's modulus.
+    pub fn new_sem(&self) -> IbMrsaSem {
+        IbMrsaSem {
+            ctx: ModExpCtx::new(&self.params.n),
+            params: self.params.clone(),
+            keys: HashMap::new(),
+            revoked: HashSet::new(),
+        }
+    }
+
+    /// **Test/attack hook**: the full private exponent for an identity,
+    /// as a colluding SEM+user would reconstruct it. Exposed so the
+    /// common-modulus attack (§2's warning) is demonstrable.
+    pub fn full_exponent_for_attack_demo(&self, id: &str) -> Result<BigUint, Error> {
+        let e = self.params.exponent_for(id);
+        self.modulus.private_exponent(&e)
+    }
+}
+
+impl IbMrsaSem {
+    /// Installs a half-key issued by the PKG.
+    pub fn install(&mut self, key: IbMrsaSemKey) {
+        self.keys.insert(key.id, key.d_sem);
+    }
+
+    /// Revokes an identity (instant, §2's step 1 of the SEM protocol).
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&mut self, id: &str) {
+        self.revoked.remove(id);
+    }
+
+    /// `true` iff revoked.
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.revoked.contains(id)
+    }
+
+    fn serve(&self, id: &str, value: &BigUint) -> Result<Token, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let d_sem = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        if value >= &self.params.n {
+            return Err(Error::ValueOutOfRange);
+        }
+        Ok(Token(self.ctx.pow(value, d_sem)))
+    }
+
+    /// Half-decryption token `c^{d_sem} mod n`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`], [`Error::UnknownIdentity`],
+    /// [`Error::ValueOutOfRange`].
+    pub fn half_decrypt(&self, id: &str, c: &BigUint) -> Result<Token, Error> {
+        self.serve(id, c)
+    }
+
+    /// Half-signature token `H(m)^{d_sem} mod n`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`IbMrsaSem::half_decrypt`].
+    pub fn half_sign(&self, id: &str, message: &[u8]) -> Result<Token, Error> {
+        let h = crate::rsa::fdh(message, &self.params.n);
+        self.serve(id, &h)
+    }
+}
+
+impl IbMrsaUser {
+    /// Completes decryption: `m = OAEP⁻¹(c^{d_user} · token mod n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCiphertext`] on padding failure.
+    pub fn finish_decrypt(&self, c: &BigUint, token: &Token) -> Result<Vec<u8>, Error> {
+        if c >= &self.params.n {
+            return Err(Error::ValueOutOfRange);
+        }
+        let half = modular::mod_pow(c, &self.d_user, &self.params.n);
+        let block = modular::mod_mul(&half, &token.0, &self.params.n);
+        let k = self.params.n.bits().div_ceil(8);
+        let oaep = Oaep::new(k, self.params.oaep_hash_len);
+        oaep.unpad(&block.to_be_bytes_padded(k), self.id.as_bytes())
+    }
+
+    /// Completes and verifies an FDH signature.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] if the combination fails to verify.
+    pub fn finish_sign(&self, message: &[u8], token: &Token) -> Result<BigUint, Error> {
+        let h = crate::rsa::fdh(message, &self.params.n);
+        let half = modular::mod_pow(&h, &self.d_user, &self.params.n);
+        let sig = modular::mod_mul(&half, &token.0, &self.params.n);
+        self.params.verify(&self.id, message, &sig)?;
+        Ok(sig)
+    }
+
+    /// **Attack hook**: the user's exponent half, as a dishonest user
+    /// colluding with the SEM would reveal it.
+    pub fn user_half_for_attack_demo(&self) -> &BigUint {
+        &self.d_user
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (IbMrsaSystem, IbMrsaSem) {
+        let mut rng = StdRng::seed_from_u64(41);
+        let system = IbMrsaSystem::setup(&mut rng, 512, 64, 16).unwrap();
+        let sem = system.new_sem();
+        (system, sem)
+    }
+
+    #[test]
+    fn exponent_derivation_shape() {
+        let (system, _) = setup();
+        let params = system.public_params();
+        let e = params.exponent_for("alice");
+        assert!(e.is_odd(), "trailing 1 forces odd");
+        assert!(e.bits() <= params.exp_hash_bits + 1);
+        assert_eq!(e, params.exponent_for("alice"), "deterministic");
+        assert_ne!(e, params.exponent_for("bob"));
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let (system, mut sem) = setup();
+        let mut rng = StdRng::seed_from_u64(42);
+        let (user, sem_key) = system.keygen(&mut rng, "alice").unwrap();
+        sem.install(sem_key);
+        let params = system.public_params();
+        let c = params.encrypt(&mut rng, "alice", b"identity based!").unwrap();
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        assert_eq!(user.finish_decrypt(&c, &token).unwrap(), b"identity based!");
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let (system, mut sem) = setup();
+        let mut rng = StdRng::seed_from_u64(43);
+        let (user, sem_key) = system.keygen(&mut rng, "alice").unwrap();
+        sem.install(sem_key);
+        let token = sem.half_sign("alice", b"contract").unwrap();
+        let sig = user.finish_sign(b"contract", &token).unwrap();
+        let params = system.public_params();
+        assert!(params.verify("alice", b"contract", &sig).is_ok());
+        assert!(params.verify("alice", b"other", &sig).is_err());
+        assert!(params.verify("bob", b"contract", &sig).is_err());
+    }
+
+    #[test]
+    fn cross_identity_isolation() {
+        // A token for Bob must not decrypt Alice's ciphertext.
+        let (system, mut sem) = setup();
+        let mut rng = StdRng::seed_from_u64(44);
+        let (alice, alice_key) = system.keygen(&mut rng, "alice").unwrap();
+        let (_bob, bob_key) = system.keygen(&mut rng, "bob").unwrap();
+        sem.install(alice_key);
+        sem.install(bob_key);
+        let params = system.public_params();
+        let c = params.encrypt(&mut rng, "alice", b"for alice").unwrap();
+        let wrong_token = sem.half_decrypt("bob", &c).unwrap();
+        assert!(alice.finish_decrypt(&c, &wrong_token).is_err());
+    }
+
+    #[test]
+    fn revocation_is_instant() {
+        let (system, mut sem) = setup();
+        let mut rng = StdRng::seed_from_u64(45);
+        let (user, sem_key) = system.keygen(&mut rng, "alice").unwrap();
+        sem.install(sem_key);
+        let params = system.public_params();
+        let c = params.encrypt(&mut rng, "alice", b"msg").unwrap();
+        sem.revoke("alice");
+        assert_eq!(sem.half_decrypt("alice", &c), Err(Error::Revoked));
+        assert_eq!(sem.half_sign("alice", b"m"), Err(Error::Revoked));
+        sem.unrevoke("alice");
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        assert_eq!(user.finish_decrypt(&c, &token).unwrap(), b"msg");
+    }
+
+    #[test]
+    fn sender_needs_no_certificate() {
+        // Encryption uses only (n, id): no per-user public key material.
+        let (system, mut sem) = setup();
+        let mut rng = StdRng::seed_from_u64(46);
+        let params = system.public_params();
+        // Encrypt BEFORE the recipient's key even exists.
+        let c = params.encrypt(&mut rng, "carol", b"early mail").unwrap();
+        let (carol, carol_key) = system.keygen(&mut rng, "carol").unwrap();
+        sem.install(carol_key);
+        let token = sem.half_decrypt("carol", &c).unwrap();
+        assert_eq!(carol.finish_decrypt(&c, &token).unwrap(), b"early mail");
+    }
+}

@@ -1,0 +1,93 @@
+//! # sempair-mrsa
+//!
+//! The RSA side of the paper: everything from §2, built as the baseline
+//! the pairing-based schemes are compared against.
+//!
+//! * [`rsa`] — textbook RSA keygen over *safe* primes, raw
+//!   exponentiation, OAEP encryption and FDH signatures.
+//! * [`oaep`] — EME-OAEP padding (PKCS #1 v2.1 shape, with a
+//!   configurable hash length so reduced-size test moduli still fit).
+//! * [`mediated`] — mRSA (Boneh–Ding–Tsudik–Wong): the private exponent
+//!   split `d = d_user + d_sem mod φ(n)`, SEM half-operations,
+//!   instant revocation.
+//! * [`ib`] — IB-mRSA (Ding–Tsudik): a shared Blum modulus and
+//!   identity-derived public exponents `e = 0^s ‖ H(ID) ‖ 1`.
+//! * [`attack`] — the common-modulus break the paper warns about: from
+//!   one full `(e, d)` pair, factor `n` and recover *every* user's key
+//!   (why a user+SEM collusion is fatal for IB-mRSA, §2/§4).
+//! * [`threshold`] — Shoup's `(t, l)` threshold RSA signatures \[26\],
+//!   the scheme §6 names as the ancestor of mRSA.
+//! * [`gm`] / [`rabin`] — the conclusion's conjectured mediated
+//!   Goldwasser–Micali encryption and modified-Rabin signatures, made
+//!   constructive (both reduce to one splittable fixed-exponent
+//!   exponentiation, as Katz–Yung \[18\] observed for the threshold case).
+//!
+//! ```
+//! use sempair_mrsa::ib::IbMrsaSystem;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let system = IbMrsaSystem::setup(&mut rng, 512, 64, 16).unwrap();
+//! let (user, sem_key) = system.keygen(&mut rng, "alice@example.com").unwrap();
+//! let mut sem = system.new_sem();
+//! sem.install(sem_key);
+//!
+//! let c = system.public_params().encrypt(&mut rng, "alice@example.com", b"hi").unwrap();
+//! let token = sem.half_decrypt("alice@example.com", &c).unwrap();
+//! assert_eq!(user.finish_decrypt(&c, &token).unwrap(), b"hi");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attack;
+pub mod gm;
+pub mod ib;
+pub mod mediated;
+pub mod oaep;
+pub mod rabin;
+pub mod rsa;
+pub mod threshold;
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors across the RSA family of schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Message too long for the modulus/padding combination.
+    MessageTooLong,
+    /// Ciphertext or signature is not smaller than the modulus.
+    ValueOutOfRange,
+    /// OAEP unpadding failed — invalid ciphertext.
+    InvalidCiphertext,
+    /// Signature rejected.
+    InvalidSignature,
+    /// The identity is revoked; the SEM refuses to serve it.
+    Revoked,
+    /// The SEM holds no key material for this identity.
+    UnknownIdentity,
+    /// Key generation failed (exponent not invertible; retry).
+    KeygenFailed,
+    /// Prime search exhausted its budget.
+    PrimeSearchExhausted,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Error::MessageTooLong => "message too long for modulus",
+            Error::ValueOutOfRange => "value out of range for modulus",
+            Error::InvalidCiphertext => "invalid ciphertext",
+            Error::InvalidSignature => "invalid signature",
+            Error::Revoked => "identity is revoked",
+            Error::UnknownIdentity => "identity unknown to the SEM",
+            Error::KeygenFailed => "key generation failed",
+            Error::PrimeSearchExhausted => "prime search exhausted",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl StdError for Error {}

@@ -1,0 +1,271 @@
+//! Mediated RSA (mRSA) with per-user moduli — Boneh–Ding–Tsudik–Wong
+//! \[4\], reviewed in the paper's §2.
+//!
+//! The CA generates each user's RSA key, splits the private exponent
+//! additively (`d = d_user + d_sem mod φ(n)`) and hands one half to the
+//! user, the other to the security mediator. Every decryption and
+//! signature needs one modular exponentiation from *each* side;
+//! revocation is the SEM refusing its half.
+
+use crate::rsa::{
+    self, encrypt_oaep, fdh, split_exponent, ModExpCtx, RsaKeyPair, RsaPublicKey,
+};
+use crate::{oaep::Oaep, Error};
+use rand::RngCore;
+use sempair_bigint::{modular, BigUint};
+use std::collections::{HashMap, HashSet};
+
+/// The user's half of an mRSA keypair.
+#[derive(Debug, Clone)]
+pub struct MrsaUser {
+    /// User identity label (for SEM bookkeeping).
+    pub id: String,
+    /// The public key (modulus + public exponent).
+    pub public: RsaPublicKey,
+    d_user: BigUint,
+}
+
+/// The SEM's half-key record for one user.
+#[derive(Debug, Clone)]
+pub struct MrsaSemKey {
+    /// User identity this half-key serves.
+    pub id: String,
+    /// The user's modulus.
+    pub n: BigUint,
+    d_sem: BigUint,
+}
+
+/// A half-result produced by the SEM (the "token" of §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HalfResult(pub BigUint);
+
+/// The security mediator: holds `d_sem` for every enrolled user and the
+/// revocation set.
+///
+/// Per §2, in plain mRSA the SEM is *semi-trusted*: it cannot decrypt
+/// alone (it never sees `d_user` or the user's half-results).
+#[derive(Debug, Default)]
+pub struct MrsaSem {
+    keys: HashMap<String, MrsaSemKey>,
+    ctxs: HashMap<String, ModExpCtx>,
+    revoked: HashSet<String>,
+}
+
+/// Generates an mRSA keypair for `id`, returning the user half and the
+/// SEM half. The CA discards `d` and the factorization afterwards.
+///
+/// # Errors
+///
+/// Propagates prime-search failures.
+pub fn keygen(
+    rng: &mut impl RngCore,
+    id: &str,
+    bits: usize,
+    hash_len: usize,
+) -> Result<(MrsaUser, MrsaSemKey), Error> {
+    let kp = RsaKeyPair::generate(rng, bits, hash_len)?;
+    let (d_user, d_sem) = split_exponent(rng, &kp.private.d, kp.modulus.phi());
+    let user = MrsaUser { id: id.to_string(), public: kp.public.clone(), d_user };
+    let sem = MrsaSemKey { id: id.to_string(), n: kp.public.n.clone(), d_sem };
+    Ok((user, sem))
+}
+
+impl MrsaSem {
+    /// Creates an empty SEM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a user's half-key.
+    pub fn install(&mut self, key: MrsaSemKey) {
+        self.ctxs.insert(key.id.clone(), ModExpCtx::new(&key.n));
+        self.keys.insert(key.id.clone(), key);
+    }
+
+    /// Revokes an identity — all further half-operations return
+    /// [`Error::Revoked`] *immediately* (the paper's headline property).
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Reinstates a previously revoked identity.
+    pub fn unrevoke(&mut self, id: &str) {
+        self.revoked.remove(id);
+    }
+
+    /// `true` iff the identity is currently revoked.
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.revoked.contains(id)
+    }
+
+    /// Number of enrolled identities.
+    pub fn enrolled(&self) -> usize {
+        self.keys.len()
+    }
+
+    fn serve(&self, id: &str, value: &BigUint) -> Result<HalfResult, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let key = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        if value >= &key.n {
+            return Err(Error::ValueOutOfRange);
+        }
+        let ctx = &self.ctxs[id];
+        Ok(HalfResult(ctx.pow(value, &key.d_sem)))
+    }
+
+    /// SEM half-decryption: `c^{d_sem} mod n`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`], [`Error::UnknownIdentity`] or
+    /// [`Error::ValueOutOfRange`].
+    pub fn half_decrypt(&self, id: &str, c: &BigUint) -> Result<HalfResult, Error> {
+        self.serve(id, c)
+    }
+
+    /// SEM half-signature on a *hash* the user supplies: `h^{d_sem}`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MrsaSem::half_decrypt`].
+    pub fn half_sign(&self, id: &str, message: &[u8]) -> Result<HalfResult, Error> {
+        let key = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        let h = fdh(message, &key.n);
+        self.serve(id, &h)
+    }
+}
+
+impl MrsaUser {
+    /// Encrypts to this user (any sender can do this with the public
+    /// key; provided here for convenience).
+    ///
+    /// # Errors
+    ///
+    /// Propagates OAEP errors.
+    pub fn encrypt(&self, rng: &mut impl RngCore, message: &[u8]) -> Result<BigUint, Error> {
+        encrypt_oaep(rng, &self.public, message, b"")
+    }
+
+    /// Completes decryption from the SEM token:
+    /// `m = OAEP⁻¹(c^{d_user} · token mod n)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidCiphertext`] on padding failure.
+    pub fn finish_decrypt(&self, c: &BigUint, token: &HalfResult) -> Result<Vec<u8>, Error> {
+        if c >= &self.public.n {
+            return Err(Error::ValueOutOfRange);
+        }
+        let half_user = modular::mod_pow(c, &self.d_user, &self.public.n);
+        let block_int = modular::mod_mul(&half_user, &token.0, &self.public.n);
+        let k = self.public.n.bits().div_ceil(8);
+        let oaep = Oaep::new(k, self.public.hash_len);
+        oaep.unpad(&block_int.to_be_bytes_padded(k), b"")
+    }
+
+    /// Completes an FDH signature from the SEM token and verifies it
+    /// before returning (§2's protocol has the user check the result).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] if the combined signature fails
+    /// verification (e.g. the SEM misbehaved).
+    pub fn finish_sign(&self, message: &[u8], token: &HalfResult) -> Result<BigUint, Error> {
+        let h = fdh(message, &self.public.n);
+        let half_user = modular::mod_pow(&h, &self.d_user, &self.public.n);
+        let sig = modular::mod_mul(&half_user, &token.0, &self.public.n);
+        rsa::verify_fdh(&self.public, message, &sig)?;
+        Ok(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (MrsaUser, MrsaSem) {
+        let mut rng = StdRng::seed_from_u64(31);
+        let (user, sem_key) = keygen(&mut rng, "alice", 256, 8).unwrap();
+        let mut sem = MrsaSem::new();
+        sem.install(sem_key);
+        (user, sem)
+    }
+
+    #[test]
+    fn decrypt_roundtrip() {
+        let (user, sem) = setup();
+        let mut rng = StdRng::seed_from_u64(32);
+        let c = user.encrypt(&mut rng, b"top secret").unwrap();
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        assert_eq!(user.finish_decrypt(&c, &token).unwrap(), b"top secret");
+    }
+
+    #[test]
+    fn sign_roundtrip() {
+        let (user, sem) = setup();
+        let token = sem.half_sign("alice", b"hello").unwrap();
+        let sig = user.finish_sign(b"hello", &token).unwrap();
+        assert!(rsa::verify_fdh(&user.public, b"hello", &sig).is_ok());
+    }
+
+    #[test]
+    fn revocation_blocks_both_operations() {
+        let (user, mut sem) = setup();
+        let mut rng = StdRng::seed_from_u64(33);
+        let c = user.encrypt(&mut rng, b"msg").unwrap();
+        sem.revoke("alice");
+        assert!(sem.is_revoked("alice"));
+        assert_eq!(sem.half_decrypt("alice", &c), Err(Error::Revoked));
+        assert_eq!(sem.half_sign("alice", b"m"), Err(Error::Revoked));
+        // Unrevocation restores service.
+        sem.unrevoke("alice");
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        assert_eq!(user.finish_decrypt(&c, &token).unwrap(), b"msg");
+    }
+
+    #[test]
+    fn user_cannot_decrypt_alone() {
+        let (user, _sem) = setup();
+        let mut rng = StdRng::seed_from_u64(34);
+        let c = user.encrypt(&mut rng, b"msg").unwrap();
+        // Using a bogus token (1) leaves only c^{d_user}: OAEP must fail.
+        let bogus = HalfResult(BigUint::one());
+        assert!(user.finish_decrypt(&c, &bogus).is_err());
+    }
+
+    #[test]
+    fn sem_alone_cannot_decrypt() {
+        let (user, sem) = setup();
+        let mut rng = StdRng::seed_from_u64(35);
+        let c = user.encrypt(&mut rng, b"msg").unwrap();
+        let token = sem.half_decrypt("alice", &c).unwrap();
+        // The SEM half-result alone does not unpad to the message.
+        let k = user.public.n.bits().div_ceil(8);
+        let oaep = Oaep::new(k, user.public.hash_len);
+        assert!(oaep.unpad(&token.0.to_be_bytes_padded(k), b"").is_err());
+    }
+
+    #[test]
+    fn unknown_identity() {
+        let (_, sem) = setup();
+        assert_eq!(
+            sem.half_decrypt("mallory", &BigUint::from(5u64)),
+            Err(Error::UnknownIdentity)
+        );
+    }
+
+    #[test]
+    fn wrong_message_token_mismatch() {
+        let (user, sem) = setup();
+        let token = sem.half_sign("alice", b"message-a").unwrap();
+        // Completing for a different message must fail verification.
+        assert_eq!(
+            user.finish_sign(b"message-b", &token),
+            Err(Error::InvalidSignature)
+        );
+    }
+}

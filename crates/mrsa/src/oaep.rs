@@ -1,0 +1,210 @@
+//! EME-OAEP padding (the shape of PKCS #1 v2.1 §7.1).
+//!
+//! The paper (§2) describes the padding as
+//! `E(m, r) = (s ‖ t)^e` with `s = (m ‖ 0^{k1}) ⊕ G(r)` and
+//! `t = r ⊕ H(s)` — exactly the EME-OAEP data/seed mask structure
+//! implemented here with MGF1-SHA256 for `G`/`H`.
+//!
+//! One deliberate deviation from the RFC: the hash length is a
+//! parameter rather than fixed at 32 bytes, so the reduced-size moduli
+//! used in tests (256–512 bits) still leave room for a message. At the
+//! paper's 1024-bit modulus, `hash_len = 32` gives byte-identical
+//! layout to PKCS #1 v2.1 with SHA-256.
+
+use crate::Error;
+use rand::RngCore;
+use sempair_hash::{ct_eq, mgf1_sha256, xor_in_place, Sha256};
+
+/// OAEP configuration: output width and hash/seed length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Oaep {
+    /// Total encoded-message length in bytes (the modulus byte length).
+    pub k: usize,
+    /// Hash output / seed length in bytes (RFC value: 32 for SHA-256).
+    pub hash_len: usize,
+}
+
+impl Oaep {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `k >= 2*hash_len + 2` (no message would fit) or
+    /// `hash_len == 0`.
+    pub fn new(k: usize, hash_len: usize) -> Self {
+        assert!(hash_len > 0, "hash length must be positive");
+        assert!(k >= 2 * hash_len + 2, "modulus too small for OAEP parameters");
+        Oaep { k, hash_len }
+    }
+
+    /// Maximum plaintext length in bytes.
+    pub fn max_message_len(&self) -> usize {
+        self.k - 2 * self.hash_len - 2
+    }
+
+    /// Truncated label hash `lHash`.
+    fn label_hash(&self, label: &[u8]) -> Vec<u8> {
+        Sha256::digest(label)[..self.hash_len.min(32)]
+            .iter()
+            .copied()
+            .chain(std::iter::repeat_n(0u8, self.hash_len.saturating_sub(32)))
+            .collect()
+    }
+
+    /// Encodes `message` into a `k`-byte block: `00 ‖ maskedSeed ‖ maskedDB`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MessageTooLong`] when the message exceeds
+    /// [`Oaep::max_message_len`].
+    pub fn pad(&self, rng: &mut impl RngCore, message: &[u8], label: &[u8]) -> Result<Vec<u8>, Error> {
+        if message.len() > self.max_message_len() {
+            return Err(Error::MessageTooLong);
+        }
+        let h = self.hash_len;
+        let db_len = self.k - h - 1;
+        // DB = lHash ‖ 0…0 ‖ 0x01 ‖ M
+        let mut db = vec![0u8; db_len];
+        db[..h].copy_from_slice(&self.label_hash(label));
+        let msg_start = db_len - message.len();
+        db[msg_start - 1] = 0x01;
+        db[msg_start..].copy_from_slice(message);
+
+        let mut seed = vec![0u8; h];
+        rng.fill_bytes(&mut seed);
+
+        // maskedDB = DB ⊕ MGF1(seed); maskedSeed = seed ⊕ MGF1(maskedDB)
+        xor_in_place(&mut db, &mgf1_sha256(&seed, db_len));
+        xor_in_place(&mut seed, &mgf1_sha256(&db, h));
+
+        let mut out = Vec::with_capacity(self.k);
+        out.push(0x00);
+        out.extend_from_slice(&seed);
+        out.extend_from_slice(&db);
+        Ok(out)
+    }
+
+    /// Decodes a `k`-byte block, returning the message.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidCiphertext`] on any padding violation —
+    /// deliberately without distinguishing *which* check failed.
+    pub fn unpad(&self, block: &[u8], label: &[u8]) -> Result<Vec<u8>, Error> {
+        if block.len() != self.k {
+            return Err(Error::InvalidCiphertext);
+        }
+        let h = self.hash_len;
+        let db_len = self.k - h - 1;
+        let leading = block[0];
+        let mut seed = block[1..1 + h].to_vec();
+        let mut db = block[1 + h..].to_vec();
+
+        xor_in_place(&mut seed, &mgf1_sha256(&db, h));
+        xor_in_place(&mut db, &mgf1_sha256(&seed, db_len));
+
+        // Single aggregated validity flag.
+        let mut ok = leading == 0x00;
+        ok &= ct_eq(&db[..h], &self.label_hash(label));
+        // Find the 0x01 separator after the PS zeros.
+        let mut sep_index = None;
+        for (i, &b) in db[h..].iter().enumerate() {
+            match b {
+                0x00 => continue,
+                0x01 => {
+                    sep_index = Some(h + i);
+                    break;
+                }
+                _ => break,
+            }
+        }
+        let Some(sep) = sep_index else {
+            return Err(Error::InvalidCiphertext);
+        };
+        if !ok {
+            return Err(Error::InvalidCiphertext);
+        }
+        Ok(db[sep + 1..].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let oaep = Oaep::new(64, 16);
+        let mut rng = rng();
+        for len in [0usize, 1, 5, oaep.max_message_len()] {
+            let msg: Vec<u8> = (0..len as u8).collect();
+            let block = oaep.pad(&mut rng, &msg, b"label").unwrap();
+            assert_eq!(block.len(), 64);
+            assert_eq!(block[0], 0);
+            assert_eq!(oaep.unpad(&block, b"label").unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn message_too_long_rejected() {
+        let oaep = Oaep::new(64, 16);
+        let msg = vec![0u8; oaep.max_message_len() + 1];
+        assert_eq!(oaep.pad(&mut rng(), &msg, b""), Err(Error::MessageTooLong));
+    }
+
+    #[test]
+    fn wrong_label_rejected() {
+        let oaep = Oaep::new(64, 16);
+        let block = oaep.pad(&mut rng(), b"secret", b"label-a").unwrap();
+        assert_eq!(oaep.unpad(&block, b"label-b"), Err(Error::InvalidCiphertext));
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let oaep = Oaep::new(64, 16);
+        let block = oaep.pad(&mut rng(), b"secret", b"").unwrap();
+        for i in 0..block.len() {
+            let mut bad = block.clone();
+            bad[i] ^= 0x40;
+            assert!(oaep.unpad(&bad, b"").is_err(), "flip at byte {i} accepted");
+        }
+    }
+
+    #[test]
+    fn randomized_encoding() {
+        let oaep = Oaep::new(64, 16);
+        let mut rng = rng();
+        let b1 = oaep.pad(&mut rng, b"same message", b"").unwrap();
+        let b2 = oaep.pad(&mut rng, b"same message", b"").unwrap();
+        assert_ne!(b1, b2, "OAEP must be randomized");
+    }
+
+    #[test]
+    fn rfc_sized_parameters() {
+        // 1024-bit modulus with SHA-256: k = 128, hash_len = 32.
+        let oaep = Oaep::new(128, 32);
+        assert_eq!(oaep.max_message_len(), 62);
+        let mut rng = rng();
+        let msg = vec![0xabu8; 62];
+        let block = oaep.pad(&mut rng, &msg, b"").unwrap();
+        assert_eq!(oaep.unpad(&block, b"").unwrap(), msg);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_small_k_panics() {
+        Oaep::new(33, 16);
+    }
+
+    #[test]
+    fn wrong_block_len_rejected() {
+        let oaep = Oaep::new(64, 16);
+        assert_eq!(oaep.unpad(&[0u8; 63], b""), Err(Error::InvalidCiphertext));
+    }
+}

@@ -1,0 +1,333 @@
+//! Mediated modified-Rabin (Rabin–Williams) signatures.
+//!
+//! The second scheme the paper's conclusion conjectures a SEM for:
+//! "… and the modified Rabin signature and encryption schemes (\[24\])
+//! for which efficient threshold adaptations have been described in
+//! \[18\]". Constructive version:
+//!
+//! A Rabin–Williams modulus has `p ≡ 3 (mod 8)`, `q ≡ 7 (mod 8)`, so
+//! `(−1/n) = +1` with `(−1/p) = −1`, and `(2/n) = −1`. For any `h`
+//! coprime to `n` exactly one of `{h, −h, 2h, −2h}` is a quadratic
+//! residue — the *tweak* `(e, f) ∈ {±1}×{1,2}` — and a square root of
+//! the tweaked value is obtained by **one fixed-exponent
+//! exponentiation**: `s = u^{(φ(n)/4 + 1)/2} mod n` satisfies `s² ≡ u`
+//! for every QR `u`. A fixed secret exponent splits additively mod
+//! `φ(n)`, which is all the SEM architecture needs (same shape as
+//! mRSA and the mediated GM of [`crate::gm`]).
+//!
+//! Signature: `(e, f, s)` with `e·f·s² ≡ H(m) (mod n)`; verification is
+//! two multiplications and a square — even cheaper than RSA with
+//! `e = 3`.
+
+use crate::rsa::{fdh, split_exponent, ModExpCtx};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, prime, rng as brng, BigUint};
+use std::collections::{HashMap, HashSet};
+
+/// A Rabin–Williams public key (just the modulus).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RabinPublicKey {
+    /// `n = pq` with `p ≡ 3 (mod 8)`, `q ≡ 7 (mod 8)`.
+    pub n: BigUint,
+}
+
+/// A Rabin–Williams signature `(e, f, s)` with `e·f·s² ≡ H(m)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RabinSignature {
+    /// Sign tweak: `false ⇒ +1`, `true ⇒ −1`.
+    pub negate: bool,
+    /// Factor tweak: `false ⇒ 1`, `true ⇒ 2`.
+    pub double: bool,
+    /// The square root.
+    pub s: BigUint,
+}
+
+/// The user's half of a mediated Rabin signing key.
+#[derive(Debug, Clone)]
+pub struct RabinUser {
+    /// Identity label.
+    pub id: String,
+    /// The public key.
+    pub public: RabinPublicKey,
+    d_user: BigUint,
+}
+
+/// The SEM's half-key record.
+#[derive(Debug, Clone)]
+pub struct RabinSemKey {
+    /// Identity served.
+    pub id: String,
+    d_sem: BigUint,
+}
+
+/// A SEM half-signature token `u^{d_sem} mod n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RabinToken(pub BigUint);
+
+/// The Rabin-serving mediator.
+#[derive(Debug, Default)]
+pub struct RabinSem {
+    keys: HashMap<String, (BigUint, ModExpCtx, BigUint)>,
+    revoked: HashSet<String>,
+}
+
+/// Generates a mediated Rabin–Williams keypair: returns
+/// `(public, user half, SEM record)`.
+///
+/// # Errors
+///
+/// Propagates prime-search failures.
+///
+/// # Panics
+///
+/// Panics if `bits < 32` or odd.
+pub fn mediated_keygen(
+    rng: &mut impl RngCore,
+    bits: usize,
+    id: &str,
+) -> Result<(RabinPublicKey, RabinUser, RabinSemKey), Error> {
+    assert!(bits >= 32 && bits.is_multiple_of(2), "modulus bits must be even and >= 32");
+    // p ≡ 3 (mod 8), q ≡ 7 (mod 8).
+    let p = prime_with_residue(rng, bits / 2, 3)?;
+    let q = prime_with_residue(rng, bits / 2, 7)?;
+    let n = &p * &q;
+    let one = BigUint::one();
+    let phi = (&p - &one) * (&q - &one);
+    // Square-root exponent for QRs: (φ/4 + 1)/2.
+    let sqrt_exp = &(&(&phi >> 2) + &one) >> 1;
+    let (d_user, d_sem) = split_exponent(rng, &sqrt_exp, &phi);
+    let public = RabinPublicKey { n };
+    Ok((
+        public.clone(),
+        RabinUser { id: id.to_string(), public, d_user },
+        RabinSemKey { id: id.to_string(), d_sem },
+    ))
+}
+
+/// Finds a `bits`-bit prime `≡ residue (mod 8)`.
+fn prime_with_residue(
+    rng: &mut impl RngCore,
+    bits: usize,
+    residue: u64,
+) -> Result<BigUint, Error> {
+    for _ in 0..4000 {
+        let mut candidate = brng::random_bits(rng, bits);
+        // Force the low three bits.
+        candidate.set_bit(0, residue & 1 == 1);
+        candidate.set_bit(1, residue & 2 == 2);
+        candidate.set_bit(2, residue & 4 == 4);
+        if candidate.bits() != bits {
+            continue;
+        }
+        if prime::is_probable_prime(&candidate, rng) {
+            return Ok(candidate);
+        }
+    }
+    Err(Error::PrimeSearchExhausted)
+}
+
+/// The Jacobi-normalized message representative the SEM exponentiates:
+/// `u = ±f·H(m)` with Jacobi `+1`. Both sides derive it independently
+/// from the public key, so the user→SEM message is just `(id, m)`.
+fn representative(n: &BigUint, message: &[u8]) -> Result<(BigUint, bool), Error> {
+    let h = fdh(message, n);
+    match modular::jacobi(&h, n) {
+        1 => Ok((h, false)),
+        -1 => Ok((modular::mod_mul(&h, &BigUint::two(), n), true)),
+        _ => Err(Error::KeygenFailed),
+    }
+}
+
+impl RabinSem {
+    /// Creates an empty SEM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a half-key.
+    pub fn install(&mut self, n: &BigUint, key: RabinSemKey) {
+        self.keys
+            .insert(key.id.clone(), (key.d_sem, ModExpCtx::new(n), n.clone()));
+    }
+
+    /// Revokes an identity.
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&mut self, id: &str) {
+        self.revoked.remove(id);
+    }
+
+    /// `true` iff revoked.
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.revoked.contains(id)
+    }
+
+    /// Half-signature: `u^{d_sem}` for the Jacobi-normalized `u`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`] / [`Error::UnknownIdentity`].
+    pub fn half_sign(&self, id: &str, message: &[u8]) -> Result<RabinToken, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let (d_sem, ctx, n) = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        let (u, _) = representative(n, message)?;
+        Ok(RabinToken(ctx.pow(&u, d_sem)))
+    }
+}
+
+impl RabinUser {
+    /// Completes the signature: `s = u^{d_user}·token`; if `s² ≡ −u`
+    /// (the Jacobi-`+1` pseudosquare case) flip the sign tweak.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] if the combined value squares to
+    /// neither `±u` (bogus token / SEM misbehaviour).
+    pub fn finish_sign(&self, message: &[u8], token: &RabinToken) -> Result<RabinSignature, Error> {
+        let n = &self.public.n;
+        let (u, double) = representative(n, message)?;
+        let half = modular::mod_pow(&u, &self.d_user, n);
+        let s = modular::mod_mul(&half, &token.0, n);
+        let s2 = modular::mod_mul(&s, &s, n);
+        let negate = if s2 == u {
+            false
+        } else if s2 == modular::mod_neg(&u, n) {
+            true
+        } else {
+            return Err(Error::InvalidSignature);
+        };
+        Ok(RabinSignature { negate, double, s })
+    }
+}
+
+/// Verifies `e·f·s² ≡ H(m) (mod n)` — two multiplications and a square.
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] on mismatch.
+pub fn verify(key: &RabinPublicKey, message: &[u8], sig: &RabinSignature) -> Result<(), Error> {
+    if sig.s >= key.n {
+        return Err(Error::InvalidSignature);
+    }
+    let h = fdh(message, &key.n);
+    let mut rhs = modular::mod_mul(&sig.s, &sig.s, &key.n);
+    if sig.negate {
+        rhs = modular::mod_neg(&rhs, &key.n);
+    }
+    // Signature covers f·h (not h), so compare against the tweaked h.
+    let lhs = if sig.double {
+        modular::mod_mul(&h, &BigUint::two(), &key.n)
+    } else {
+        h
+    };
+    if lhs == rhs {
+        Ok(())
+    } else {
+        Err(Error::InvalidSignature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (RabinPublicKey, RabinUser, RabinSem, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x4A81);
+        let (public, user, sem_key) = mediated_keygen(&mut rng, 256, "alice").unwrap();
+        let mut sem = RabinSem::new();
+        sem.install(&public.n, sem_key);
+        (public, user, sem, rng)
+    }
+
+    #[test]
+    fn modulus_residues() {
+        let mut rng = StdRng::seed_from_u64(0x4A82);
+        let p = prime_with_residue(&mut rng, 64, 3).unwrap();
+        let q = prime_with_residue(&mut rng, 64, 7).unwrap();
+        assert_eq!(p.limbs()[0] & 7, 3);
+        assert_eq!(q.limbs()[0] & 7, 7);
+        // Character table: (2/p) = −1 for p ≡ 3 (mod 8), +1 for 7 (mod 8).
+        assert_eq!(modular::jacobi(&BigUint::two(), &p), -1);
+        assert_eq!(modular::jacobi(&BigUint::two(), &q), 1);
+    }
+
+    #[test]
+    fn sign_verify_roundtrip_many_messages() {
+        let (public, user, sem, _) = setup();
+        // Different messages exercise all four tweak classes.
+        for i in 0..12u32 {
+            let msg = format!("message {i}");
+            let token = sem.half_sign("alice", msg.as_bytes()).unwrap();
+            let sig = user.finish_sign(msg.as_bytes(), &token).unwrap();
+            verify(&public, msg.as_bytes(), &sig).unwrap();
+            assert!(verify(&public, b"other", &sig).is_err());
+        }
+    }
+
+    #[test]
+    fn all_tweak_classes_appear() {
+        let (public, user, sem, _) = setup();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            let msg = format!("tweak {i}");
+            let token = sem.half_sign("alice", msg.as_bytes()).unwrap();
+            let sig = user.finish_sign(msg.as_bytes(), &token).unwrap();
+            verify(&public, msg.as_bytes(), &sig).unwrap();
+            seen.insert((sig.negate, sig.double));
+        }
+        assert_eq!(seen.len(), 4, "all (±1, ×2) classes exercised: {seen:?}");
+    }
+
+    #[test]
+    fn revocation_blocks_signing() {
+        let (_public, user, mut sem, _) = setup();
+        sem.revoke("alice");
+        assert_eq!(sem.half_sign("alice", b"m"), Err(Error::Revoked));
+        sem.unrevoke("alice");
+        let token = sem.half_sign("alice", b"m").unwrap();
+        user.finish_sign(b"m", &token).unwrap();
+    }
+
+    #[test]
+    fn bogus_token_detected() {
+        let (public, user, sem, _) = setup();
+        let mut token = sem.half_sign("alice", b"m").unwrap();
+        token.0 = modular::mod_add(&token.0, &BigUint::one(), &public.n);
+        assert_eq!(user.finish_sign(b"m", &token), Err(Error::InvalidSignature));
+    }
+
+    #[test]
+    fn forged_signature_rejected() {
+        let (public, _, _, mut rng) = setup();
+        let forged = RabinSignature {
+            negate: false,
+            double: false,
+            s: brng::random_below(&mut rng, &public.n),
+        };
+        assert!(verify(&public, b"m", &forged).is_err());
+        let oversized = RabinSignature { negate: false, double: false, s: public.n.clone() };
+        assert!(verify(&public, b"m", &oversized).is_err());
+    }
+
+    #[test]
+    fn user_cannot_sign_alone() {
+        let (public, user, _sem, _) = setup();
+        let bogus = RabinToken(BigUint::one());
+        match user.finish_sign(b"m", &bogus) {
+            Err(Error::InvalidSignature) => {}
+            Ok(sig) => {
+                // If s² accidentally hit ±u it must still fail verify.
+                assert!(verify(&public, b"m", &sig).is_err());
+            }
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+}

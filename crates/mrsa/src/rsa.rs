@@ -1,0 +1,461 @@
+//! Textbook RSA over safe primes, with OAEP encryption and FDH
+//! signatures — the "classical RSA-OAEP" of the paper's §2.
+
+use crate::oaep::Oaep;
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, prime, rng as brng, BigUint, Montgomery};
+use sempair_hash::derive;
+
+/// The secret factorization of an RSA modulus.
+///
+/// `n = p·q` with `p = 2p' + 1`, `q = 2q' + 1` safe primes (so `n` is a
+/// Blum integer and random odd exponents are overwhelmingly invertible
+/// mod `φ(n)` — both properties §2 relies on).
+#[derive(Debug, Clone)]
+pub struct RsaModulus {
+    n: BigUint,
+    p: BigUint,
+    q: BigUint,
+    phi: BigUint,
+}
+
+impl RsaModulus {
+    /// Generates a modulus of exactly `bits` bits from two safe primes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::PrimeSearchExhausted`] from the prime search.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16` or `bits` is odd.
+    pub fn generate(rng: &mut impl RngCore, bits: usize) -> Result<Self, Error> {
+        assert!(bits >= 16 && bits.is_multiple_of(2), "modulus bits must be even and >= 16");
+        loop {
+            let (p, _) = prime::safe_prime(rng, bits / 2)
+                .map_err(|_| Error::PrimeSearchExhausted)?;
+            let (q, _) = prime::safe_prime(rng, bits / 2)
+                .map_err(|_| Error::PrimeSearchExhausted)?;
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            if n.bits() != bits {
+                continue;
+            }
+            let phi = prime::phi_semiprime(&p, &q);
+            return Ok(RsaModulus { n, p, q, phi });
+        }
+    }
+
+    /// Generates a modulus from *ordinary* random primes (not safe
+    /// primes). Much faster; intended for benchmarks where only the
+    /// arithmetic cost matters, not the exponent-invertibility
+    /// guarantees mediated RSA wants. IB-mRSA setup should use
+    /// [`RsaModulus::generate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Error::PrimeSearchExhausted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits < 16` or `bits` is odd.
+    pub fn generate_with_plain_primes(rng: &mut impl RngCore, bits: usize) -> Result<Self, Error> {
+        assert!(bits >= 16 && bits.is_multiple_of(2), "modulus bits must be even and >= 16");
+        loop {
+            let p = prime::random_prime(rng, bits / 2).map_err(|_| Error::PrimeSearchExhausted)?;
+            let q = prime::random_prime(rng, bits / 2).map_err(|_| Error::PrimeSearchExhausted)?;
+            if p == q {
+                continue;
+            }
+            let n = &p * &q;
+            if n.bits() != bits {
+                continue;
+            }
+            let phi = prime::phi_semiprime(&p, &q);
+            return Ok(RsaModulus { n, p, q, phi });
+        }
+    }
+
+    /// The public modulus `n`.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// `φ(n) = (p−1)(q−1)`.
+    pub fn phi(&self) -> &BigUint {
+        &self.phi
+    }
+
+    /// The secret prime factors `(p, q)`.
+    pub fn factors(&self) -> (&BigUint, &BigUint) {
+        (&self.p, &self.q)
+    }
+
+    /// Modulus length in bytes (OAEP's `k`).
+    pub fn byte_len(&self) -> usize {
+        self.n.bits().div_ceil(8)
+    }
+
+    /// The private exponent for a public exponent `e`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::KeygenFailed`] when `gcd(e, φ(n)) ≠ 1`.
+    pub fn private_exponent(&self, e: &BigUint) -> Result<BigUint, Error> {
+        modular::mod_inv(e, &self.phi).map_err(|_| Error::KeygenFailed)
+    }
+}
+
+/// An RSA public key `(n, e)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RsaPublicKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Public exponent.
+    pub e: BigUint,
+    /// OAEP hash length in bytes (must match the keypair's).
+    pub hash_len: usize,
+}
+
+/// An RSA private key `(n, d)`.
+#[derive(Debug, Clone)]
+pub struct RsaPrivateKey {
+    /// Modulus.
+    pub n: BigUint,
+    /// Private exponent.
+    pub d: BigUint,
+    /// OAEP hash length in bytes.
+    pub hash_len: usize,
+}
+
+/// A full keypair plus the secret factorization.
+#[derive(Debug, Clone)]
+pub struct RsaKeyPair {
+    /// The modulus with its factorization.
+    pub modulus: RsaModulus,
+    /// The public key.
+    pub public: RsaPublicKey,
+    /// The private key.
+    pub private: RsaPrivateKey,
+}
+
+/// Default public exponent (F4).
+pub fn default_e() -> BigUint {
+    BigUint::from(65537u64)
+}
+
+impl RsaKeyPair {
+    /// Generates a keypair with exponent `e = 65537`.
+    ///
+    /// `hash_len` is the OAEP hash length in bytes (32 for a 1024-bit
+    /// modulus; smaller test moduli need smaller values).
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search and keygen failures.
+    pub fn generate(rng: &mut impl RngCore, bits: usize, hash_len: usize) -> Result<Self, Error> {
+        Self::from_modulus_source(bits, hash_len, || RsaModulus::generate(rng, bits))
+    }
+
+    /// Like [`RsaKeyPair::generate`] but over ordinary primes — see
+    /// [`RsaModulus::generate_with_plain_primes`]. Benchmark setup only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search failures.
+    pub fn generate_fast(
+        rng: &mut impl RngCore,
+        bits: usize,
+        hash_len: usize,
+    ) -> Result<Self, Error> {
+        Self::from_modulus_source(bits, hash_len, || {
+            RsaModulus::generate_with_plain_primes(rng, bits)
+        })
+    }
+
+    fn from_modulus_source(
+        _bits: usize,
+        hash_len: usize,
+        mut source: impl FnMut() -> Result<RsaModulus, Error>,
+    ) -> Result<Self, Error> {
+        let e = default_e();
+        loop {
+            let modulus = source()?;
+            let Ok(d) = modulus.private_exponent(&e) else {
+                continue;
+            };
+            let public = RsaPublicKey { n: modulus.n.clone(), e: e.clone(), hash_len };
+            let private = RsaPrivateKey { n: modulus.n.clone(), d, hash_len };
+            return Ok(RsaKeyPair { modulus, public, private });
+        }
+    }
+}
+
+/// Raw RSA: `m^e mod n`.
+///
+/// # Errors
+///
+/// Returns [`Error::ValueOutOfRange`] when `m >= n`.
+pub fn encrypt_raw(key: &RsaPublicKey, m: &BigUint) -> Result<BigUint, Error> {
+    if m >= &key.n {
+        return Err(Error::ValueOutOfRange);
+    }
+    Ok(modular::mod_pow(m, &key.e, &key.n))
+}
+
+/// Raw RSA: `c^d mod n`.
+///
+/// # Errors
+///
+/// Returns [`Error::ValueOutOfRange`] when `c >= n`.
+pub fn decrypt_raw(key: &RsaPrivateKey, c: &BigUint) -> Result<BigUint, Error> {
+    if c >= &key.n {
+        return Err(Error::ValueOutOfRange);
+    }
+    Ok(modular::mod_pow(c, &key.d, &key.n))
+}
+
+/// Raw RSA decryption accelerated with the CRT over the factorization —
+/// the classic ~4× speedup; benchmarked as an ablation (E10).
+///
+/// # Errors
+///
+/// Returns [`Error::ValueOutOfRange`] when `c >= n`.
+pub fn decrypt_raw_crt(modulus: &RsaModulus, d: &BigUint, c: &BigUint) -> Result<BigUint, Error> {
+    if c >= &modulus.n {
+        return Err(Error::ValueOutOfRange);
+    }
+    let one = BigUint::one();
+    let dp = d % &(&modulus.p - &one);
+    let dq = d % &(&modulus.q - &one);
+    let mp = modular::mod_pow(&(c % &modulus.p), &dp, &modulus.p);
+    let mq = modular::mod_pow(&(c % &modulus.q), &dq, &modulus.q);
+    let m = modular::crt_pair(&mp, &modulus.p, &mq, &modulus.q)
+        .map_err(|_| Error::KeygenFailed)?;
+    Ok(&m % &modulus.n)
+}
+
+/// RSA-OAEP encryption of an arbitrary (length-bounded) byte message.
+///
+/// # Errors
+///
+/// Returns [`Error::MessageTooLong`] for oversized messages.
+pub fn encrypt_oaep(
+    rng: &mut impl RngCore,
+    key: &RsaPublicKey,
+    message: &[u8],
+    label: &[u8],
+) -> Result<BigUint, Error> {
+    let k = key.n.bits().div_ceil(8);
+    let oaep = Oaep::new(k, key.hash_len);
+    let block = oaep.pad(rng, message, label)?;
+    let m = BigUint::from_be_bytes(&block);
+    debug_assert!(m < key.n, "leading 0x00 keeps the block below n");
+    encrypt_raw(key, &m)
+}
+
+/// RSA-OAEP decryption.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidCiphertext`] for padding violations and
+/// [`Error::ValueOutOfRange`] for oversized ciphertext values.
+pub fn decrypt_oaep(key: &RsaPrivateKey, c: &BigUint, label: &[u8]) -> Result<Vec<u8>, Error> {
+    let m = decrypt_raw(key, c)?;
+    let k = key.n.bits().div_ceil(8);
+    let oaep = Oaep::new(k, key.hash_len);
+    oaep.unpad(&m.to_be_bytes_padded(k), label)
+}
+
+/// Full-domain hash of a message into `[0, n)` for RSA signatures.
+pub fn fdh(message: &[u8], n: &BigUint) -> BigUint {
+    // hash_to_bits with |n| − 1 bits is always < n.
+    derive::hash_to_bits(b"sempair-rsa-fdh", message, n.bits() - 1)
+}
+
+/// FDH signature: `H(m)^d mod n`.
+pub fn sign_fdh(key: &RsaPrivateKey, message: &[u8]) -> BigUint {
+    let h = fdh(message, &key.n);
+    modular::mod_pow(&h, &key.d, &key.n)
+}
+
+/// Verifies an FDH signature: `σ^e = H(m) mod n`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidSignature`] on mismatch.
+pub fn verify_fdh(key: &RsaPublicKey, message: &[u8], sig: &BigUint) -> Result<(), Error> {
+    if sig >= &key.n {
+        return Err(Error::InvalidSignature);
+    }
+    let h = fdh(message, &key.n);
+    if modular::mod_pow(sig, &key.e, &key.n) == h {
+        Ok(())
+    } else {
+        Err(Error::InvalidSignature)
+    }
+}
+
+/// Blinds/splits a private exponent additively: `d = d_user + d_sem
+/// (mod φ(n))` — the mRSA/IB-mRSA key split of §2 `Keygen` step 4.
+pub fn split_exponent(
+    rng: &mut impl RngCore,
+    d: &BigUint,
+    phi: &BigUint,
+) -> (BigUint, BigUint) {
+    let d_user = brng::random_nonzero_below(rng, phi);
+    let d_sem = modular::mod_sub(d, &d_user, phi);
+    (d_user, d_sem)
+}
+
+/// Montgomery-context cache for repeated operations mod the same `n`
+/// (used by the SEM, which exponentiates under one modulus for its
+/// whole lifetime).
+#[derive(Debug, Clone)]
+pub struct ModExpCtx {
+    ctx: Montgomery,
+}
+
+impl ModExpCtx {
+    /// Builds a context for odd `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is even (RSA moduli are odd).
+    pub fn new(n: &BigUint) -> Self {
+        ModExpCtx { ctx: Montgomery::new(n).expect("RSA modulus is odd") }
+    }
+
+    /// `base^exp mod n`.
+    pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.ctx.from_mont(&self.ctx.pow(&self.ctx.to_mont(base), exp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn keypair() -> RsaKeyPair {
+        RsaKeyPair::generate(&mut rng(), 256, 8).unwrap()
+    }
+
+    #[test]
+    fn modulus_structure() {
+        let kp = keypair();
+        let (p, q) = kp.modulus.factors();
+        assert_eq!(&(p * q), kp.modulus.n());
+        assert_eq!(kp.modulus.n().bits(), 256);
+        let mut r = rng();
+        assert!(prime::is_probable_prime(p, &mut r));
+        assert!(prime::is_probable_prime(q, &mut r));
+        // Safe primes: (p-1)/2 prime.
+        let p_half = &(p - &BigUint::one()) >> 1;
+        assert!(prime::is_probable_prime(&p_half, &mut r));
+        // Blum integer: both ≡ 3 (mod 4).
+        assert_eq!(p.limbs()[0] & 3, 3);
+        assert_eq!(q.limbs()[0] & 3, 3);
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let kp = keypair();
+        let m = BigUint::from(123456789u64);
+        let c = encrypt_raw(&kp.public, &m).unwrap();
+        assert_eq!(decrypt_raw(&kp.private, &c).unwrap(), m);
+        assert_eq!(decrypt_raw_crt(&kp.modulus, &kp.private.d, &c).unwrap(), m);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let kp = keypair();
+        let too_big = kp.public.n.clone();
+        assert_eq!(encrypt_raw(&kp.public, &too_big), Err(Error::ValueOutOfRange));
+        assert_eq!(decrypt_raw(&kp.private, &too_big), Err(Error::ValueOutOfRange));
+    }
+
+    #[test]
+    fn oaep_roundtrip() {
+        let kp = keypair();
+        let mut r = rng();
+        let c = encrypt_oaep(&mut r, &kp.public, b"attack at dawn", b"").unwrap();
+        assert_eq!(decrypt_oaep(&kp.private, &c, b"").unwrap(), b"attack at dawn");
+        // Tampered ciphertext rejected.
+        let bad = modular::mod_mul(&c, &BigUint::from(2u64), &kp.public.n);
+        assert!(decrypt_oaep(&kp.private, &bad, b"").is_err());
+    }
+
+    #[test]
+    fn fdh_signature_roundtrip() {
+        let kp = keypair();
+        let sig = sign_fdh(&kp.private, b"message");
+        assert!(verify_fdh(&kp.public, b"message", &sig).is_ok());
+        assert_eq!(
+            verify_fdh(&kp.public, b"other", &sig),
+            Err(Error::InvalidSignature)
+        );
+        let bad_sig = modular::mod_add(&sig, &BigUint::one(), &kp.public.n);
+        assert_eq!(
+            verify_fdh(&kp.public, b"message", &bad_sig),
+            Err(Error::InvalidSignature)
+        );
+        assert_eq!(
+            verify_fdh(&kp.public, b"message", &kp.public.n),
+            Err(Error::InvalidSignature)
+        );
+    }
+
+    #[test]
+    fn split_exponent_recombines() {
+        let kp = keypair();
+        let mut r = rng();
+        let (d_user, d_sem) = split_exponent(&mut r, &kp.private.d, kp.modulus.phi());
+        assert_eq!(
+            modular::mod_add(&d_user, &d_sem, kp.modulus.phi()),
+            &kp.private.d % kp.modulus.phi()
+        );
+        // Half-decryptions multiply to the full decryption (mRSA core).
+        let m = BigUint::from(31337u64);
+        let c = encrypt_raw(&kp.public, &m).unwrap();
+        let half_u = modular::mod_pow(&c, &d_user, &kp.public.n);
+        let half_s = modular::mod_pow(&c, &d_sem, &kp.public.n);
+        assert_eq!(modular::mod_mul(&half_u, &half_s, &kp.public.n), m);
+    }
+
+    #[test]
+    fn modexp_ctx_matches_plain() {
+        let kp = keypair();
+        let ctx = ModExpCtx::new(&kp.public.n);
+        let base = BigUint::from(987654321u64);
+        assert_eq!(
+            ctx.pow(&base, &kp.public.e),
+            modular::mod_pow(&base, &kp.public.e, &kp.public.n)
+        );
+    }
+
+    #[test]
+    fn fast_keypair_roundtrips() {
+        let mut r = rng();
+        let kp = RsaKeyPair::generate_fast(&mut r, 256, 8).unwrap();
+        assert_eq!(kp.public.n.bits(), 256);
+        let c = encrypt_oaep(&mut r, &kp.public, b"fast path", b"").unwrap();
+        assert_eq!(decrypt_oaep(&kp.private, &c, b"").unwrap(), b"fast path");
+    }
+
+    #[test]
+    fn fdh_below_modulus() {
+        let kp = keypair();
+        for msg in [&b"a"[..], b"b", b"c", b"dddddddddddddddddddd"] {
+            assert!(fdh(msg, &kp.public.n) < kp.public.n);
+        }
+    }
+}

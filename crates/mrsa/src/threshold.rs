@@ -1,0 +1,496 @@
+//! Shoup's practical `(t, l)` threshold RSA signatures.
+//!
+//! The paper's §6 traces the lineage explicitly: *"threshold-RSA
+//! schemes (\[26\]) gave rise to mRSA"* — the SEM architecture is the
+//! 2-out-of-2 special case. This module implements the general scheme
+//! of Shoup (EUROCRYPT 2000) so that lineage is present in the
+//! codebase:
+//!
+//! * the dealer shares `d = e⁻¹ mod m` (with `m = p'q'`, safe primes)
+//!   through a degree-`t−1` polynomial over `Z_m`;
+//! * signature shares are `xᵢ = x^{2Δ·dᵢ} mod n` with `Δ = l!`;
+//! * combination uses *integer* Lagrange coefficients `λᵢ = Δ·Lᵢ(0)`
+//!   (integral precisely because `Δ` clears every denominator), giving
+//!   `w = x^{4Δ²d}`, and one extended-GCD step `a·4Δ² + b·e = 1`
+//!   recovers the standard RSA signature `y = wᵃ·xᵇ = x^d`;
+//! * share correctness is provable with a Fiat–Shamir equality-of-logs
+//!   proof against the verification keys `vᵢ = v^{dᵢ}` over `QR_n` —
+//!   the same proof shape as the paper's §3.2 pairing NIZK, which is
+//!   no coincidence: both make threshold decryption/signing *robust*.
+
+use crate::rsa::{fdh, RsaModulus};
+use crate::Error;
+use rand::RngCore;
+use sempair_bigint::{modular, rng as brng, BigInt, BigUint, Montgomery, Sign};
+use sempair_hash::derive;
+
+/// Public description of a `(t, l)` threshold RSA deployment.
+#[derive(Debug, Clone)]
+pub struct ThresholdRsa {
+    /// The RSA modulus.
+    pub n: BigUint,
+    /// The public exponent (prime, > `l`).
+    pub e: BigUint,
+    t: usize,
+    l: usize,
+    delta: BigUint,
+    /// Verification base `v ∈ QR_n`.
+    v: BigUint,
+    /// Verification keys `vᵢ = v^{dᵢ} mod n`.
+    vks: Vec<BigUint>,
+    mont: Montgomery,
+}
+
+/// Player `i`'s secret key share `dᵢ = f(i) mod m`.
+#[derive(Debug, Clone)]
+pub struct RsaKeyShare {
+    /// Player index (1-based).
+    pub index: u32,
+    d_i: BigUint,
+}
+
+/// A signature share `xᵢ = x^{2Δdᵢ}`, optionally with its correctness
+/// proof.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureShare {
+    /// Player index.
+    pub index: u32,
+    /// The share value.
+    pub value: BigUint,
+    /// Fiat–Shamir proof of share correctness.
+    pub proof: Option<ShareProof>,
+}
+
+/// Compact Fiat–Shamir proof `(c, z)` that
+/// `log_v vᵢ = log_{x^{4Δ}} xᵢ²`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShareProof {
+    c: BigUint,
+    z: BigUint,
+}
+
+impl ThresholdRsa {
+    /// Dealer setup over a fresh safe-prime modulus of `bits` bits.
+    /// Returns the public system and the `l` key shares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prime-search failures;
+    /// [`Error::KeygenFailed`] if parameters are inconsistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= t <= l` and `l < 65537` (the public
+    /// exponent must exceed `l`).
+    pub fn setup(
+        rng: &mut impl RngCore,
+        bits: usize,
+        t: usize,
+        l: usize,
+    ) -> Result<(Self, Vec<RsaKeyShare>), Error> {
+        assert!(t >= 1 && t <= l, "need 1 <= t <= l");
+        assert!(l < 65537, "public exponent must exceed the player count");
+        let e = BigUint::from(65537u64);
+        let modulus = RsaModulus::generate(rng, bits)?;
+        // m = p'q' = φ(n)/4 for safe primes.
+        let m = modulus.phi().div_rem(&BigUint::from(4u64)).0;
+        let d = modular::mod_inv(&e, &m).map_err(|_| Error::KeygenFailed)?;
+        // Polynomial over Z_m.
+        let mut coeffs = vec![d];
+        for _ in 1..t {
+            coeffs.push(brng::random_below(rng, &m));
+        }
+        let eval = |x: u64| -> BigUint {
+            let xb = BigUint::from(x);
+            let mut acc = BigUint::zero();
+            for c in coeffs.iter().rev() {
+                acc = modular::mod_add(&modular::mod_mul(&acc, &xb, &m), c, &m);
+            }
+            acc
+        };
+        let shares: Vec<RsaKeyShare> = (1..=l as u32)
+            .map(|i| RsaKeyShare { index: i, d_i: eval(i as u64) })
+            .collect();
+        // Verification base: a random square (generates QR_n w.h.p.).
+        let n = modulus.n().clone();
+        let root = brng::random_nonzero_below(rng, &n);
+        let v = modular::mod_mul(&root, &root, &n);
+        let mont = Montgomery::new(&n).expect("odd n");
+        let vks = shares
+            .iter()
+            .map(|s| mont.from_mont(&mont.pow(&mont.to_mont(&v), &s.d_i)))
+            .collect();
+        let delta = factorial(l);
+        Ok((ThresholdRsa { n, e, t, l, delta, v, vks, mont }, shares))
+    }
+
+    /// The threshold `t`.
+    pub fn threshold(&self) -> usize {
+        self.t
+    }
+
+    /// The player count `l`.
+    pub fn players(&self) -> usize {
+        self.l
+    }
+
+    /// The full-domain hash this deployment signs (`x = H(m) mod n`).
+    pub fn message_representative(&self, message: &[u8]) -> BigUint {
+        fdh(message, &self.n)
+    }
+
+    /// Exponent applied by each share: `2Δ·dᵢ`.
+    fn share_exponent(&self, share: &RsaKeyShare) -> BigUint {
+        &(&share.d_i * &self.delta) << 1
+    }
+
+    /// Player-side signing: `xᵢ = x^{2Δdᵢ} mod n`.
+    pub fn sign_share(&self, share: &RsaKeyShare, message: &[u8]) -> SignatureShare {
+        let x = self.message_representative(message);
+        let value = self
+            .mont
+            .from_mont(&self.mont.pow(&self.mont.to_mont(&x), &self.share_exponent(share)));
+        SignatureShare { index: share.index, value, proof: None }
+    }
+
+    /// Player-side signing with the correctness proof attached.
+    pub fn sign_share_with_proof(
+        &self,
+        rng: &mut impl RngCore,
+        share: &RsaKeyShare,
+        message: &[u8],
+    ) -> SignatureShare {
+        let mut out = self.sign_share(share, message);
+        let x = self.message_representative(message);
+        // x~ = x^{4Δ}; statement: log_v vᵢ = log_{x~} xᵢ² (both = dᵢ).
+        let x_tilde = self.x_tilde(&x);
+        // Commitment randomness much larger than dᵢ·c.
+        let bound = &(&self.n << 1) << 256;
+        let r = brng::random_below(rng, &bound);
+        let w1 = self.powmod(&self.v, &r);
+        let w2 = self.powmod(&x_tilde, &r);
+        let xi2 = modular::mod_mul(&out.value, &out.value, &self.n);
+        let c = self.challenge(&x_tilde, &self.vks[(share.index - 1) as usize], &xi2, &w1, &w2);
+        let z = &r + &(&share.d_i * &c);
+        out.proof = Some(ShareProof { c, z });
+        out
+    }
+
+    /// Verifies a signature share's proof.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] for out-of-range indices or missing/
+    /// failing proofs.
+    pub fn verify_share(&self, message: &[u8], share: &SignatureShare) -> Result<(), Error> {
+        if share.index == 0 || share.index as usize > self.l {
+            return Err(Error::InvalidSignature);
+        }
+        let Some(proof) = &share.proof else {
+            return Err(Error::InvalidSignature);
+        };
+        let v_i = &self.vks[(share.index - 1) as usize];
+        let x = self.message_representative(message);
+        let x_tilde = self.x_tilde(&x);
+        let xi2 = modular::mod_mul(&share.value, &share.value, &self.n);
+        // Recompute commitments: w1 = v^z · vᵢ^{−c}, w2 = x~^z · (xᵢ²)^{−c}.
+        let v_i_inv = modular::mod_inv(v_i, &self.n).map_err(|_| Error::InvalidSignature)?;
+        let xi2_inv = modular::mod_inv(&xi2, &self.n).map_err(|_| Error::InvalidSignature)?;
+        let w1 = modular::mod_mul(
+            &self.powmod(&self.v, &proof.z),
+            &self.powmod(&v_i_inv, &proof.c),
+            &self.n,
+        );
+        let w2 = modular::mod_mul(
+            &self.powmod(&x_tilde, &proof.z),
+            &self.powmod(&xi2_inv, &proof.c),
+            &self.n,
+        );
+        let expect = self.challenge(&x_tilde, v_i, &xi2, &w1, &w2);
+        if expect == proof.c {
+            Ok(())
+        } else {
+            Err(Error::InvalidSignature)
+        }
+    }
+
+    /// Combines `t` shares into a standard RSA-FDH signature
+    /// (`σ^e = H(m) mod n`), verifying the result.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] on insufficient, duplicate or bogus
+    /// shares.
+    pub fn combine(&self, message: &[u8], shares: &[SignatureShare]) -> Result<BigUint, Error> {
+        if shares.len() < self.t {
+            return Err(Error::InvalidSignature);
+        }
+        let used = &shares[..self.t];
+        let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
+        for (k, &i) in indices.iter().enumerate() {
+            if i == 0 || indices[k + 1..].contains(&i) {
+                return Err(Error::InvalidSignature);
+            }
+        }
+        // w = Π xᵢ^{2λᵢ} with integer λᵢ = Δ·Lᵢ(0).
+        let mut w = BigUint::one();
+        for share in used {
+            let lambda = integer_lagrange(&self.delta, &indices, share.index);
+            let exp = lambda.magnitude() << 1;
+            let mut factor = self.powmod(&share.value, &exp);
+            if lambda.sign() == Sign::Minus {
+                factor = modular::mod_inv(&factor, &self.n)
+                    .map_err(|_| Error::InvalidSignature)?;
+            }
+            w = modular::mod_mul(&w, &factor, &self.n);
+        }
+        // a·4Δ² + b·e = 1  (gcd is 1: e prime > l ≥ all factors of Δ).
+        let four_delta_sq = &(&self.delta * &self.delta) << 2;
+        let (g, a, b) = modular::ext_gcd(&four_delta_sq, &self.e);
+        if !g.is_one() {
+            return Err(Error::InvalidSignature);
+        }
+        let x = self.message_representative(message);
+        let part_w = self.pow_signed(&w, &a)?;
+        let part_x = self.pow_signed(&x, &b)?;
+        let y = modular::mod_mul(&part_w, &part_x, &self.n);
+        // Final check: y^e = x.
+        if self.powmod(&y, &self.e) == x {
+            Ok(y)
+        } else {
+            Err(Error::InvalidSignature)
+        }
+    }
+
+    /// Robust combine: verify every share, drop cheaters, combine.
+    ///
+    /// Returns `(signature, cheater_indices)`.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] if fewer than `t` shares survive.
+    pub fn combine_robust(
+        &self,
+        message: &[u8],
+        shares: &[SignatureShare],
+    ) -> Result<(BigUint, Vec<u32>), Error> {
+        let mut valid = Vec::new();
+        let mut cheaters = Vec::new();
+        for share in shares {
+            match self.verify_share(message, share) {
+                Ok(()) => valid.push(share.clone()),
+                Err(_) => cheaters.push(share.index),
+            }
+        }
+        let sig = self.combine(message, &valid)?;
+        Ok((sig, cheaters))
+    }
+
+    /// Verifies a combined signature like ordinary RSA-FDH.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidSignature`] on mismatch.
+    pub fn verify(&self, message: &[u8], sig: &BigUint) -> Result<(), Error> {
+        if sig >= &self.n {
+            return Err(Error::InvalidSignature);
+        }
+        if self.powmod(sig, &self.e) == self.message_representative(message) {
+            Ok(())
+        } else {
+            Err(Error::InvalidSignature)
+        }
+    }
+
+    fn x_tilde(&self, x: &BigUint) -> BigUint {
+        self.powmod(x, &(&self.delta << 2))
+    }
+
+    fn powmod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
+        self.mont.from_mont(&self.mont.pow(&self.mont.to_mont(base), exp))
+    }
+
+    /// `base^exp mod n` for a signed exponent.
+    fn pow_signed(&self, base: &BigUint, exp: &BigInt) -> Result<BigUint, Error> {
+        let powed = self.powmod(base, exp.magnitude());
+        if exp.sign() == Sign::Minus {
+            modular::mod_inv(&powed, &self.n).map_err(|_| Error::InvalidSignature)
+        } else {
+            Ok(powed)
+        }
+    }
+
+    fn challenge(
+        &self,
+        x_tilde: &BigUint,
+        v_i: &BigUint,
+        xi2: &BigUint,
+        w1: &BigUint,
+        w2: &BigUint,
+    ) -> BigUint {
+        let digest = derive::transcript_hash(
+            b"sempair-threshold-rsa",
+            &[
+                &self.v.to_be_bytes(),
+                &x_tilde.to_be_bytes(),
+                &v_i.to_be_bytes(),
+                &xi2.to_be_bytes(),
+                &w1.to_be_bytes(),
+                &w2.to_be_bytes(),
+            ],
+        );
+        // 128-bit challenge keeps z compact while binding tightly.
+        BigUint::from_be_bytes(&digest[..16])
+    }
+}
+
+/// `l!` as a big integer.
+fn factorial(l: usize) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=l as u64 {
+        acc = &acc * &BigUint::from(i);
+    }
+    acc
+}
+
+/// The integer Lagrange coefficient `λᵢ = Δ·Π_{j≠i} (0−j)/(i−j)`.
+///
+/// Integral because `Δ = l!` contains every `|i − j| ≤ l − 1` factor.
+fn integer_lagrange(delta: &BigUint, indices: &[u32], i: u32) -> BigInt {
+    let mut num = BigInt::from(delta.clone());
+    let mut den = BigInt::one();
+    for &j in indices {
+        if j == i {
+            continue;
+        }
+        num = &num * &BigInt::from(-(j as i64));
+        den = &den * &BigInt::from(i as i64 - j as i64);
+    }
+    // Exact integer division of num by den.
+    let (q, rem) = num.magnitude().div_rem(den.magnitude());
+    debug_assert!(rem.is_zero(), "Δ must clear the denominator");
+    let sign = if num.sign() == den.sign() { Sign::Plus } else { Sign::Minus };
+    BigInt::from_sign_magnitude(sign, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(t: usize, l: usize) -> (ThresholdRsa, Vec<RsaKeyShare>, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x5105);
+        let (sys, shares) = ThresholdRsa::setup(&mut rng, 256, t, l).unwrap();
+        (sys, shares, rng)
+    }
+
+    #[test]
+    fn factorial_values() {
+        assert_eq!(factorial(0), BigUint::one());
+        assert_eq!(factorial(1), BigUint::one());
+        assert_eq!(factorial(5), BigUint::from(120u64));
+    }
+
+    #[test]
+    fn integer_lagrange_is_exact_and_interpolates() {
+        // With Δ = 4! and any 2-subset of {1..4}, λᵢ/Δ are the rational
+        // Lagrange coefficients; check Σ λᵢ·f(i) = Δ·f(0) for a line.
+        let delta = factorial(4);
+        let f = |x: i64| 7 + 3 * x; // f(0) = 7
+        let indices = [2u32, 4];
+        let mut acc = BigInt::zero();
+        for &i in &indices {
+            let li = integer_lagrange(&delta, &indices, i);
+            acc = &acc + &(&li * &BigInt::from(f(i as i64)));
+        }
+        assert_eq!(acc, &BigInt::from(delta) * &BigInt::from(7i64));
+    }
+
+    #[test]
+    fn combine_all_2_of_3_subsets() {
+        let (sys, shares, _) = setup(2, 3);
+        let msg = b"threshold rsa";
+        let sig_shares: Vec<_> = shares.iter().map(|s| sys.sign_share(s, msg)).collect();
+        let mut sigs = Vec::new();
+        for a in 0..3 {
+            for b in a + 1..3 {
+                let sig = sys
+                    .combine(msg, &[sig_shares[a].clone(), sig_shares[b].clone()])
+                    .unwrap();
+                sys.verify(msg, &sig).unwrap();
+                sigs.push(sig);
+            }
+        }
+        // RSA signatures are unique (e-th roots are unique): all equal.
+        assert!(sigs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn three_of_five() {
+        let (sys, shares, _) = setup(3, 5);
+        let msg = b"3 of 5";
+        let sig_shares: Vec<_> = shares[1..4].iter().map(|s| sys.sign_share(s, msg)).collect();
+        let sig = sys.combine(msg, &sig_shares).unwrap();
+        sys.verify(msg, &sig).unwrap();
+        assert!(sys.verify(b"other", &sig).is_err());
+    }
+
+    #[test]
+    fn too_few_or_duplicate_shares_rejected() {
+        let (sys, shares, _) = setup(3, 5);
+        let msg = b"m";
+        let one = sys.sign_share(&shares[0], msg);
+        assert!(sys.combine(msg, &[one.clone(), one.clone()]).is_err());
+        let two: Vec<_> = shares[..2].iter().map(|s| sys.sign_share(s, msg)).collect();
+        assert!(sys.combine(msg, &two).is_err());
+        let dup = vec![one.clone(), one.clone(), sys.sign_share(&shares[1], msg)];
+        assert!(sys.combine(msg, &dup).is_err());
+    }
+
+    #[test]
+    fn share_proofs_verify_and_bind() {
+        let (sys, shares, mut rng) = setup(2, 3);
+        let msg = b"prove it";
+        for s in &shares {
+            let share = sys.sign_share_with_proof(&mut rng, s, msg);
+            sys.verify_share(msg, &share).unwrap();
+            // Bound to the message.
+            assert!(sys.verify_share(b"other message", &share).is_err());
+        }
+        // Unproved share rejected by verify_share.
+        let bare = sys.sign_share(&shares[0], msg);
+        assert!(sys.verify_share(msg, &bare).is_err());
+    }
+
+    #[test]
+    fn cheater_detected_and_bypassed() {
+        let (sys, shares, mut rng) = setup(2, 3);
+        let msg = b"robust";
+        let mut sig_shares: Vec<_> = shares
+            .iter()
+            .map(|s| sys.sign_share_with_proof(&mut rng, s, msg))
+            .collect();
+        // Player 2 swaps in garbage but keeps its (now stale) proof.
+        sig_shares[1].value = BigUint::from(31337u64);
+        let (sig, cheaters) = sys.combine_robust(msg, &sig_shares).unwrap();
+        assert_eq!(cheaters, vec![2]);
+        sys.verify(msg, &sig).unwrap();
+    }
+
+    #[test]
+    fn combined_equals_centralized_fdh() {
+        // The combined signature is literally x^d: verify against a
+        // centralized computation with the same FDH.
+        let (sys, shares, _) = setup(2, 2);
+        let msg = b"uniqueness";
+        let sig_shares: Vec<_> = shares.iter().map(|s| sys.sign_share(s, msg)).collect();
+        let sig = sys.combine(msg, &sig_shares).unwrap();
+        // e·(anything) — recompute d from shares: d = Σ λᵢdᵢ/Δ is not
+        // directly available, so check the defining equation instead:
+        assert_eq!(
+            modular::mod_pow(&sig, &sys.e, &sys.n),
+            sys.message_representative(msg)
+        );
+    }
+}

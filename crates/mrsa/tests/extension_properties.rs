@@ -1,0 +1,82 @@
+//! Property-based tests for the §6 extension schemes (threshold RSA,
+//! mediated GM, mediated Rabin).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_mrsa::gm;
+use sempair_mrsa::rabin;
+use sempair_mrsa::threshold::ThresholdRsa;
+use std::sync::OnceLock;
+
+fn trsa() -> &'static (ThresholdRsa, Vec<sempair_mrsa::threshold::RsaKeyShare>) {
+    static S: OnceLock<(ThresholdRsa, Vec<sempair_mrsa::threshold::RsaKeyShare>)> =
+        OnceLock::new();
+    S.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xE57);
+        ThresholdRsa::setup(&mut rng, 256, 2, 3).unwrap()
+    })
+}
+
+fn gm_world() -> &'static (gm::GmPublicKey, gm::GmUser, gm::GmSem) {
+    static S: OnceLock<(gm::GmPublicKey, gm::GmUser, gm::GmSem)> = OnceLock::new();
+    S.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xE58);
+        let (public, user, sem_key) = gm::mediated_keygen(&mut rng, 256, "prop").unwrap();
+        let mut sem = gm::GmSem::new();
+        sem.install(&public.n, sem_key);
+        (public, user, sem)
+    })
+}
+
+fn rabin_world() -> &'static (rabin::RabinPublicKey, rabin::RabinUser, rabin::RabinSem) {
+    static S: OnceLock<(rabin::RabinPublicKey, rabin::RabinUser, rabin::RabinSem)> =
+        OnceLock::new();
+    S.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xE59);
+        let (public, user, sem_key) = rabin::mediated_keygen(&mut rng, 256, "prop").unwrap();
+        let mut sem = rabin::RabinSem::new();
+        sem.install(&public.n, sem_key);
+        (public, user, sem)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn threshold_rsa_signs_any_message(msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let (sys, shares) = trsa();
+        let sig_shares: Vec<_> = shares[..2].iter().map(|s| sys.sign_share(s, &msg)).collect();
+        let sig = sys.combine(&msg, &sig_shares).unwrap();
+        prop_assert!(sys.verify(&msg, &sig).is_ok());
+        let mut other = msg.clone();
+        other.push(1);
+        prop_assert!(sys.verify(&other, &sig).is_err());
+    }
+
+    #[test]
+    fn gm_roundtrips_any_bits(bits in proptest::collection::vec(any::<bool>(), 1..24), seed in any::<u64>()) {
+        let (public, user, sem) = gm_world();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = gm::encrypt(&mut rng, public, &bits);
+        let token = sem.half_decrypt("prop", &c).unwrap();
+        prop_assert_eq!(user.finish_decrypt(&c, &token).unwrap(), bits);
+    }
+
+    #[test]
+    fn gm_bit_packing(bytes in proptest::collection::vec(any::<u8>(), 0..16)) {
+        prop_assert_eq!(gm::bits_to_bytes(&gm::bytes_to_bits(&bytes)), bytes);
+    }
+
+    #[test]
+    fn rabin_signs_any_message(msg in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let (public, user, sem) = rabin_world();
+        let token = sem.half_sign("prop", &msg).unwrap();
+        let sig = user.finish_sign(&msg, &token).unwrap();
+        prop_assert!(rabin::verify(public, &msg, &sig).is_ok());
+        let mut other = msg.clone();
+        other.push(1);
+        prop_assert!(rabin::verify(public, &other, &sig).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests for the RSA baseline.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_bigint::{modular, BigUint};
+use sempair_mrsa::ib::IbMrsaSystem;
+use sempair_mrsa::oaep::Oaep;
+use sempair_mrsa::rsa::{self, RsaKeyPair};
+use std::sync::OnceLock;
+
+fn keypair() -> &'static RsaKeyPair {
+    static KP: OnceLock<RsaKeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        RsaKeyPair::generate(&mut rng, 384, 8).unwrap()
+    })
+}
+
+fn ib_system() -> &'static IbMrsaSystem {
+    static SYS: OnceLock<IbMrsaSystem> = OnceLock::new();
+    SYS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        IbMrsaSystem::setup(&mut rng, 384, 64, 8).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn oaep_roundtrips_every_message_size(
+        msg in proptest::collection::vec(any::<u8>(), 0..14),
+        label in proptest::collection::vec(any::<u8>(), 0..20),
+        seed in any::<u64>(),
+    ) {
+        let oaep = Oaep::new(48, 16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let block = oaep.pad(&mut rng, &msg, &label).unwrap();
+        prop_assert_eq!(block.len(), 48);
+        prop_assert_eq!(oaep.unpad(&block, &label).unwrap(), msg);
+    }
+
+    #[test]
+    fn oaep_rejects_any_single_byte_flip(
+        msg in proptest::collection::vec(any::<u8>(), 1..10),
+        pos in 0usize..48,
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        let oaep = Oaep::new(48, 16);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut block = oaep.pad(&mut rng, &msg, b"L").unwrap();
+        block[pos] ^= 1 << bit;
+        prop_assert!(oaep.unpad(&block, b"L").is_err());
+    }
+
+    #[test]
+    fn rsa_raw_roundtrips_any_value(seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = sempair_bigint::rng::random_below(&mut rng, &kp.public.n);
+        let c = rsa::encrypt_raw(&kp.public, &m).unwrap();
+        prop_assert_eq!(rsa::decrypt_raw(&kp.private, &c).unwrap(), m.clone());
+        prop_assert_eq!(rsa::decrypt_raw_crt(&kp.modulus, &kp.private.d, &c).unwrap(), m);
+    }
+
+    #[test]
+    fn rsa_oaep_roundtrips(
+        msg in proptest::collection::vec(any::<u8>(), 0..14),
+        seed in any::<u64>(),
+    ) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let c = rsa::encrypt_oaep(&mut rng, &kp.public, &msg, b"").unwrap();
+        prop_assert_eq!(rsa::decrypt_oaep(&kp.private, &c, b"").unwrap(), msg);
+    }
+
+    #[test]
+    fn fdh_signatures_verify_and_bind_message(
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let kp = keypair();
+        let sig = rsa::sign_fdh(&kp.private, &msg);
+        prop_assert!(rsa::verify_fdh(&kp.public, &msg, &sig).is_ok());
+        let mut other = msg.clone();
+        other.push(1);
+        prop_assert!(rsa::verify_fdh(&kp.public, &other, &sig).is_err());
+    }
+
+    #[test]
+    fn exponent_split_recombines(seed in any::<u64>()) {
+        let kp = keypair();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (du, ds) = rsa::split_exponent(&mut rng, &kp.private.d, kp.modulus.phi());
+        let sum = modular::mod_add(&du, &ds, kp.modulus.phi());
+        prop_assert_eq!(sum, &kp.private.d % kp.modulus.phi());
+    }
+
+    #[test]
+    fn ib_mrsa_full_protocol(
+        msg in proptest::collection::vec(any::<u8>(), 0..12),
+        id in "[a-z]{1,12}",
+        seed in any::<u64>(),
+    ) {
+        let system = ib_system();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let Ok((user, sem_key)) = system.keygen(&mut rng, &id) else {
+            // Negligible-probability exponent collision with φ(n).
+            return Ok(());
+        };
+        let mut sem = system.new_sem();
+        sem.install(sem_key);
+        let params = system.public_params();
+        let c = params.encrypt(&mut rng, &id, &msg).unwrap();
+        let token = sem.half_decrypt(&id, &c).unwrap();
+        prop_assert_eq!(user.finish_decrypt(&c, &token).unwrap(), msg.clone());
+        // Signature path too.
+        let stoken = sem.half_sign(&id, &msg).unwrap();
+        let sig = user.finish_sign(&msg, &stoken).unwrap();
+        prop_assert!(params.verify(&id, &msg, &sig).is_ok());
+    }
+
+    #[test]
+    fn identity_exponents_are_odd_and_distinct(
+        id_a in "[a-z]{1,12}", id_b in "[A-Z]{1,12}",
+    ) {
+        let params = ib_system().public_params();
+        let ea = params.exponent_for(&id_a);
+        let eb = params.exponent_for(&id_b);
+        prop_assert!(ea.is_odd());
+        prop_assert!(eb.is_odd());
+        prop_assert_ne!(ea, eb); // disjoint alphabets → distinct ids
+    }
+}
+
+/// Homomorphism sanity: raw RSA is multiplicative — exactly why OAEP is
+/// mandatory (§2 uses OAEP throughout).
+#[test]
+fn raw_rsa_is_multiplicative() {
+    let kp = keypair();
+    let m1 = BigUint::from(11111u64);
+    let m2 = BigUint::from(22222u64);
+    let c1 = rsa::encrypt_raw(&kp.public, &m1).unwrap();
+    let c2 = rsa::encrypt_raw(&kp.public, &m2).unwrap();
+    let c12 = modular::mod_mul(&c1, &c2, &kp.public.n);
+    let m12 = rsa::decrypt_raw(&kp.private, &c12).unwrap();
+    assert_eq!(m12, modular::mod_mul(&m1, &m2, &kp.public.n));
+}

@@ -1,0 +1,32 @@
+//! Regenerates the built-in parameter sets embedded in `params.rs`.
+//!
+//! Run with `cargo run --release -p sempair-pairing --example gen_params`.
+//! Generation is deterministic (fixed DRBG seed) so the printed
+//! constants are reproducible.
+
+use sempair_hash::HmacDrbgRng;
+use sempair_pairing::CurveParams;
+
+fn emit(label: &str, params: &CurveParams) {
+    let spec = params.to_spec();
+    println!("const {label}: (&str, &str, &str, &str) = (");
+    println!("    \"{}\",", spec.p.to_hex());
+    println!("    \"{}\",", spec.r.to_hex());
+    println!("    \"{}\",", spec.gx.to_hex());
+    println!("    \"{}\",", spec.gy.to_hex());
+    println!(");");
+}
+
+fn main() {
+    let mut rng = HmacDrbgRng::new(b"sempair-paper-params-v1");
+    let paper = CurveParams::generate(&mut rng, 512, 160).expect("512/160 generation");
+    emit("PAPER_512_160", &paper);
+
+    let mut rng = HmacDrbgRng::new(b"sempair-fast-params-v1");
+    let fast = CurveParams::generate(&mut rng, 256, 128).expect("256/128 generation");
+    emit("FAST_256_128", &fast);
+
+    let mut rng = HmacDrbgRng::new(b"sempair-short-gdh-params-v1");
+    let short = CurveParams::generate(&mut rng, 176, 160).expect("176/160 generation");
+    emit("SHORT_GDH_176_160", &short);
+}

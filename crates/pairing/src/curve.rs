@@ -1,0 +1,334 @@
+//! Group arithmetic on the supersingular curve `E : y² = x³ + x`.
+//!
+//! Affine points are the public representation; scalar multiplication
+//! runs internally on Jacobian coordinates to avoid per-step inversions.
+
+use crate::fp::{Fp, FpCtx};
+use sempair_bigint::BigUint;
+
+/// A point on `E(F_p)`, affine or the point at infinity.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct G1Affine(Option<(Fp, Fp)>);
+
+impl G1Affine {
+    /// The point at infinity (group identity).
+    pub fn infinity() -> Self {
+        G1Affine(None)
+    }
+
+    /// Builds a point from affine coordinates without checking the curve
+    /// equation (crate-internal; public constructors validate).
+    pub(crate) fn from_xy_unchecked(x: Fp, y: Fp) -> Self {
+        G1Affine(Some((x, y)))
+    }
+
+    /// `true` iff this is the identity.
+    pub fn is_infinity(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// The affine coordinates, or `None` for infinity.
+    pub fn coordinates(&self) -> Option<(&Fp, &Fp)> {
+        self.0.as_ref().map(|(x, y)| (x, y))
+    }
+}
+
+/// `true` iff `(x, y)` satisfies `y² = x³ + x`.
+pub(crate) fn is_on_curve(f: &FpCtx, x: &Fp, y: &Fp) -> bool {
+    let lhs = f.sqr(y);
+    let rhs = f.add(&f.mul(&f.sqr(x), x), x);
+    lhs == rhs
+}
+
+/// `-P`.
+pub(crate) fn neg(f: &FpCtx, p: &G1Affine) -> G1Affine {
+    match &p.0 {
+        None => G1Affine::infinity(),
+        Some((x, y)) => G1Affine(Some((x.clone(), f.neg(y)))),
+    }
+}
+
+/// Affine point addition (handles all cases).
+pub(crate) fn add(f: &FpCtx, p: &G1Affine, q: &G1Affine) -> G1Affine {
+    let (px, py) = match &p.0 {
+        None => return q.clone(),
+        Some(c) => c,
+    };
+    let (qx, qy) = match &q.0 {
+        None => return p.clone(),
+        Some(c) => c,
+    };
+    let lambda = if px == qx {
+        if py != qy || py.is_zero() {
+            // P = -Q (or a 2-torsion doubling): result is infinity.
+            return G1Affine::infinity();
+        }
+        // Tangent: (3x² + 1) / 2y   (curve coefficient a = 1).
+        let num = f.add(&f.add(&f.double(&f.sqr(px)), &f.sqr(px)), &f.one());
+        let den = f.double(py);
+        f.mul(&num, &f.inv(&den).expect("2y != 0"))
+    } else {
+        let num = f.sub(qy, py);
+        let den = f.sub(qx, px);
+        f.mul(&num, &f.inv(&den).expect("qx != px"))
+    };
+    let x3 = f.sub(&f.sub(&f.sqr(&lambda), px), qx);
+    let y3 = f.sub(&f.mul(&lambda, &f.sub(px, &x3)), py);
+    G1Affine(Some((x3, y3)))
+}
+
+/// Internal Jacobian representation: `(X, Y, Z)` with `x = X/Z²`,
+/// `y = Y/Z³`; infinity encoded as `Z = 0`.
+#[derive(Clone, Debug)]
+pub(crate) struct Jacobian {
+    x: Fp,
+    y: Fp,
+    z: Fp,
+}
+
+impl Jacobian {
+    pub(crate) fn infinity(f: &FpCtx) -> Self {
+        Jacobian { x: f.one(), y: f.one(), z: f.zero() }
+    }
+
+    pub(crate) fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    pub(crate) fn to_affine(&self, f: &FpCtx) -> G1Affine {
+        if self.is_infinity() {
+            return G1Affine::infinity();
+        }
+        let z_inv = f.inv(&self.z).expect("nonzero z");
+        let z_inv2 = f.sqr(&z_inv);
+        let z_inv3 = f.mul(&z_inv2, &z_inv);
+        G1Affine(Some((f.mul(&self.x, &z_inv2), f.mul(&self.y, &z_inv3))))
+    }
+
+    /// Point doubling (`a = 1` curve coefficient).
+    pub(crate) fn double(&self, f: &FpCtx) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::infinity(f);
+        }
+        let y2 = f.sqr(&self.y);
+        let s = f.double(&f.double(&f.mul(&self.x, &y2))); // 4XY²
+        let x2 = f.sqr(&self.x);
+        let z2 = f.sqr(&self.z);
+        // M = 3X² + Z⁴  (a = 1)
+        let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
+        let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+        let y4_8 = f.double(&f.double(&f.double(&f.sqr(&y2)))); // 8Y⁴
+        let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &y4_8);
+        let z3 = f.double(&f.mul(&self.y, &self.z));
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+
+    /// Mixed addition with an affine point (`Z2 = 1`).
+    pub(crate) fn add_affine(&self, f: &FpCtx, q: &G1Affine) -> Jacobian {
+        let (qx, qy) = match &q.0 {
+            None => return self.clone(),
+            Some(c) => c,
+        };
+        if self.is_infinity() {
+            return Jacobian { x: qx.clone(), y: qy.clone(), z: f.one() };
+        }
+        let z1z1 = f.sqr(&self.z);
+        let u2 = f.mul(qx, &z1z1);
+        let s2 = f.mul(qy, &f.mul(&z1z1, &self.z));
+        if u2 == self.x {
+            if s2 == self.y {
+                return self.double(f);
+            }
+            return Jacobian::infinity(f);
+        }
+        let h = f.sub(&u2, &self.x);
+        let hh = f.sqr(&h);
+        let hhh = f.mul(&hh, &h);
+        let r = f.sub(&s2, &self.y);
+        let v = f.mul(&self.x, &hh);
+        let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.double(&v));
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&self.y, &hhh));
+        let z3 = f.mul(&self.z, &h);
+        Jacobian { x: x3, y: y3, z: z3 }
+    }
+}
+
+/// Scalar multiplication `k·P` with a 4-bit fixed window over Jacobian
+/// coordinates.
+pub(crate) fn mul(f: &FpCtx, k: &BigUint, p: &G1Affine) -> G1Affine {
+    if k.is_zero() || p.is_infinity() {
+        return G1Affine::infinity();
+    }
+    // Precompute 1P..15P in affine (16 cheap additions, amortized).
+    let mut table: Vec<G1Affine> = Vec::with_capacity(16);
+    table.push(G1Affine::infinity());
+    table.push(p.clone());
+    for i in 2..16 {
+        table.push(add(f, &table[i - 1], p));
+    }
+    let bits = k.bits();
+    let top_window = bits.div_ceil(4) * 4;
+    let mut acc = Jacobian::infinity(f);
+    let mut w = top_window;
+    while w >= 4 {
+        w -= 4;
+        acc = acc.double(f).double(f).double(f).double(f);
+        let mut digit = 0usize;
+        for b in 0..4 {
+            if k.bit(w + b) {
+                digit |= 1 << b;
+            }
+        }
+        if digit != 0 {
+            acc = acc.add_affine(f, &table[digit]);
+        }
+    }
+    acc.to_affine(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-checkable curve: p = 11 (≡ 3 mod 4), E: y² = x³ + x
+    /// over F_11 has 12 = p + 1 points.
+    fn f11() -> FpCtx {
+        FpCtx::new(&BigUint::from(11u64)).unwrap()
+    }
+
+    fn pt(f: &FpCtx, x: u64, y: u64) -> G1Affine {
+        let p = G1Affine::from_xy_unchecked(f.from_u64(x), f.from_u64(y));
+        let (px, py) = p.coordinates().unwrap();
+        assert!(is_on_curve(f, px, py), "({x},{y}) not on curve");
+        p
+    }
+
+    /// Enumerates all affine points of E(F_11) by brute force.
+    fn all_points(f: &FpCtx) -> Vec<G1Affine> {
+        let mut pts = vec![G1Affine::infinity()];
+        for x in 0..11u64 {
+            for y in 0..11u64 {
+                let xe = f.from_u64(x);
+                let ye = f.from_u64(y);
+                if is_on_curve(f, &xe, &ye) {
+                    pts.push(G1Affine::from_xy_unchecked(xe, ye));
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn group_order_is_p_plus_1() {
+        let f = f11();
+        assert_eq!(all_points(&f).len(), 12);
+    }
+
+    #[test]
+    fn every_point_killed_by_group_order() {
+        let f = f11();
+        let order = BigUint::from(12u64);
+        for p in all_points(&f) {
+            assert!(mul(&f, &order, &p).is_infinity(), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn addition_matches_repeated_add() {
+        let f = f11();
+        for p in all_points(&f) {
+            let mut acc = G1Affine::infinity();
+            for k in 1u64..=12 {
+                acc = add(&f, &acc, &p);
+                assert_eq!(mul(&f, &BigUint::from(k), &p), acc, "k={k} p={p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_commutes_and_associates() {
+        let f = f11();
+        let pts = all_points(&f);
+        for a in &pts {
+            for b in &pts {
+                assert_eq!(add(&f, a, b), add(&f, b, a));
+            }
+        }
+        // Associativity spot-check on a few triples.
+        for a in pts.iter().step_by(3) {
+            for b in pts.iter().step_by(4) {
+                for c in pts.iter().step_by(5) {
+                    assert_eq!(
+                        add(&f, &add(&f, a, b), c),
+                        add(&f, a, &add(&f, b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negation_and_identity() {
+        let f = f11();
+        for p in all_points(&f) {
+            assert!(add(&f, &p, &neg(&f, &p)).is_infinity());
+            assert_eq!(add(&f, &p, &G1Affine::infinity()), p);
+        }
+    }
+
+    #[test]
+    fn two_torsion_point_doubles_to_infinity() {
+        let f = f11();
+        // (0, 0) is on the curve and has order 2.
+        let t = pt(&f, 0, 0);
+        assert!(add(&f, &t, &t).is_infinity());
+        assert!(mul(&f, &BigUint::two(), &t).is_infinity());
+        assert_eq!(mul(&f, &BigUint::from(3u64), &t), t);
+    }
+
+    #[test]
+    fn jacobian_affine_agree_on_larger_field() {
+        // 2^89 - 1 is a Mersenne prime ≡ 3 (mod 4).
+        let p = &(BigUint::one() << 89) - &BigUint::one();
+        let f = FpCtx::new(&p).unwrap();
+        // Find a point by scanning x.
+        let mut x = BigUint::one();
+        let point = loop {
+            let xe = f.from_uint(&x);
+            let rhs = f.add(&f.mul(&f.sqr(&xe), &xe), &xe);
+            if let Some(y) = f.sqrt(&rhs) {
+                break G1Affine::from_xy_unchecked(xe, y);
+            }
+            x = &x + &BigUint::one();
+        };
+        // k(P) via affine chain vs windowed Jacobian.
+        let k = BigUint::from(0x123456789abcdefu64);
+        let mut affine_acc = G1Affine::infinity();
+        // Double-and-add in affine.
+        for i in (0..k.bits()).rev() {
+            affine_acc = add(&f, &affine_acc, &affine_acc.clone());
+            if k.bit(i) {
+                affine_acc = add(&f, &affine_acc, &point);
+            }
+        }
+        assert_eq!(mul(&f, &k, &point), affine_acc);
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let f = f11();
+        let pts = all_points(&f);
+        let p = &pts[3];
+        for a in 0u64..13 {
+            for b in 0u64..13 {
+                let lhs = mul(&f, &BigUint::from(a + b), p);
+                let rhs = add(
+                    &f,
+                    &mul(&f, &BigUint::from(a), p),
+                    &mul(&f, &BigUint::from(b), p),
+                );
+                assert_eq!(lhs, rhs, "a={a} b={b}");
+            }
+        }
+    }
+}

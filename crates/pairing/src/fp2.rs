@@ -1,0 +1,236 @@
+//! The quadratic extension `F_p² = F_p[i] / (i² + 1)`.
+//!
+//! Because `p ≡ 3 (mod 4)`, `−1` is a non-residue and `i² = −1` yields a
+//! field. Elements are `c0 + c1·i`. The Frobenius endomorphism
+//! `x ↦ x^p` is plain conjugation, which makes the Tate final
+//! exponentiation cheap (see [`crate::CurveParams::pairing`]).
+
+use crate::fp::{Fp, FpCtx};
+use sempair_bigint::BigUint;
+
+/// An element `c0 + c1·i` of `F_p²`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fp2 {
+    /// Real component.
+    pub c0: Fp,
+    /// Imaginary component (coefficient of `i`).
+    pub c1: Fp,
+}
+
+impl Fp2 {
+    /// `true` iff both components are zero.
+    pub fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+}
+
+/// The zero element.
+pub fn zero(f: &FpCtx) -> Fp2 {
+    Fp2 { c0: f.zero(), c1: f.zero() }
+}
+
+/// The one element.
+pub fn one(f: &FpCtx) -> Fp2 {
+    Fp2 { c0: f.one(), c1: f.zero() }
+}
+
+/// Embeds a base-field element as `a + 0·i`.
+pub fn from_fp(f: &FpCtx, a: Fp) -> Fp2 {
+    Fp2 { c0: a, c1: f.zero() }
+}
+
+/// `true` iff the element equals one.
+pub fn is_one(f: &FpCtx, a: &Fp2) -> bool {
+    a.c1.is_zero() && a.c0 == f.one()
+}
+
+/// `a + b`.
+pub fn add(f: &FpCtx, a: &Fp2, b: &Fp2) -> Fp2 {
+    Fp2 { c0: f.add(&a.c0, &b.c0), c1: f.add(&a.c1, &b.c1) }
+}
+
+/// `a - b`.
+pub fn sub(f: &FpCtx, a: &Fp2, b: &Fp2) -> Fp2 {
+    Fp2 { c0: f.sub(&a.c0, &b.c0), c1: f.sub(&a.c1, &b.c1) }
+}
+
+/// `-a`.
+pub fn neg(f: &FpCtx, a: &Fp2) -> Fp2 {
+    Fp2 { c0: f.neg(&a.c0), c1: f.neg(&a.c1) }
+}
+
+/// `a * b` (Karatsuba: 3 base-field multiplications).
+pub fn mul(f: &FpCtx, a: &Fp2, b: &Fp2) -> Fp2 {
+    let v0 = f.mul(&a.c0, &b.c0);
+    let v1 = f.mul(&a.c1, &b.c1);
+    let s = f.mul(&f.add(&a.c0, &a.c1), &f.add(&b.c0, &b.c1));
+    Fp2 {
+        c0: f.sub(&v0, &v1),
+        c1: f.sub(&f.sub(&s, &v0), &v1),
+    }
+}
+
+/// `a²` (complex squaring: 2 base-field multiplications).
+pub fn sqr(f: &FpCtx, a: &Fp2) -> Fp2 {
+    // (c0 + c1 i)² = (c0+c1)(c0−c1) + 2 c0 c1 i
+    let t0 = f.mul(&f.add(&a.c0, &a.c1), &f.sub(&a.c0, &a.c1));
+    let t1 = f.double(&f.mul(&a.c0, &a.c1));
+    Fp2 { c0: t0, c1: t1 }
+}
+
+/// Multiplies by a base-field scalar.
+pub fn mul_fp(f: &FpCtx, a: &Fp2, s: &Fp) -> Fp2 {
+    Fp2 { c0: f.mul(&a.c0, s), c1: f.mul(&a.c1, s) }
+}
+
+/// Conjugation `c0 − c1·i`, which equals the Frobenius `a^p`.
+pub fn conj(f: &FpCtx, a: &Fp2) -> Fp2 {
+    Fp2 { c0: a.c0.clone(), c1: f.neg(&a.c1) }
+}
+
+/// The norm `a · ā = c0² + c1² ∈ F_p`.
+pub fn norm(f: &FpCtx, a: &Fp2) -> Fp {
+    f.add(&f.sqr(&a.c0), &f.sqr(&a.c1))
+}
+
+/// `a⁻¹`, or `None` for zero: `ā / (c0² + c1²)`.
+pub fn inv(f: &FpCtx, a: &Fp2) -> Option<Fp2> {
+    let n = norm(f, a);
+    let n_inv = f.inv(&n)?;
+    Some(Fp2 {
+        c0: f.mul(&a.c0, &n_inv),
+        c1: f.neg(&f.mul(&a.c1, &n_inv)),
+    })
+}
+
+/// `a^e` by square-and-multiply.
+pub fn pow(f: &FpCtx, a: &Fp2, e: &BigUint) -> Fp2 {
+    let mut acc = one(f);
+    for i in (0..e.bits()).rev() {
+        acc = sqr(f, &acc);
+        if e.bit(i) {
+            acc = mul(f, &acc, a);
+        }
+    }
+    acc
+}
+
+/// Fixed-width canonical encoding: `c0 || c1`, each `byte_len` wide.
+pub fn to_bytes(f: &FpCtx, a: &Fp2) -> Vec<u8> {
+    let mut out = f.to_bytes(&a.c0);
+    out.extend_from_slice(&f.to_bytes(&a.c1));
+    out
+}
+
+/// Decodes [`to_bytes`] output.
+///
+/// # Errors
+///
+/// Returns [`crate::DecodeError`] on wrong length or unreduced limbs.
+pub fn from_bytes(f: &FpCtx, bytes: &[u8]) -> Result<Fp2, crate::DecodeError> {
+    let w = f.byte_len();
+    if bytes.len() != 2 * w {
+        return Err(crate::DecodeError::BadLength { expected: 2 * w, got: bytes.len() });
+    }
+    let c0 = BigUint::from_be_bytes(&bytes[..w]);
+    let c1 = BigUint::from_be_bytes(&bytes[w..]);
+    if &c0 >= f.modulus() || &c1 >= f.modulus() {
+        return Err(crate::DecodeError::NotReduced);
+    }
+    Ok(Fp2 { c0: f.from_uint(&c0), c1: f.from_uint(&c1) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FpCtx {
+        let p = &(BigUint::one() << 127) - &BigUint::one();
+        FpCtx::new(&p).unwrap()
+    }
+
+    fn elem(f: &FpCtx, a: u64, b: u64) -> Fp2 {
+        Fp2 { c0: f.from_u64(a), c1: f.from_u64(b) }
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let f = ctx();
+        let i = elem(&f, 0, 1);
+        let i2 = sqr(&f, &i);
+        assert_eq!(i2, Fp2 { c0: f.neg(&f.one()), c1: f.zero() });
+        assert_eq!(mul(&f, &i, &i), i2);
+    }
+
+    #[test]
+    fn ring_axioms() {
+        let f = ctx();
+        let a = elem(&f, 3, 5);
+        let b = elem(&f, 7, 11);
+        let c = elem(&f, 13, 17);
+        assert_eq!(mul(&f, &a, &b), mul(&f, &b, &a));
+        assert_eq!(
+            mul(&f, &a, &add(&f, &b, &c)),
+            add(&f, &mul(&f, &a, &b), &mul(&f, &a, &c))
+        );
+        assert_eq!(add(&f, &a, &neg(&f, &a)), zero(&f));
+        assert_eq!(mul(&f, &a, &one(&f)), a);
+        assert_eq!(sqr(&f, &a), mul(&f, &a, &a));
+    }
+
+    #[test]
+    fn inversion() {
+        let f = ctx();
+        let a = elem(&f, 1234, 5678);
+        let a_inv = inv(&f, &a).unwrap();
+        assert!(is_one(&f, &mul(&f, &a, &a_inv)));
+        assert!(inv(&f, &zero(&f)).is_none());
+        // Pure-imaginary and pure-real elements invert too.
+        let i = elem(&f, 0, 1);
+        assert!(is_one(&f, &mul(&f, &i, &inv(&f, &i).unwrap())));
+    }
+
+    #[test]
+    fn conjugation_is_frobenius() {
+        let f = ctx();
+        let a = elem(&f, 31337, 999);
+        assert_eq!(pow(&f, &a, f.modulus()), conj(&f, &a));
+        // Norm = a * conj(a) lands in Fp.
+        let n = mul(&f, &a, &conj(&f, &a));
+        assert!(n.c1.is_zero());
+        assert_eq!(n.c0, norm(&f, &a));
+    }
+
+    #[test]
+    fn multiplicative_group_order() {
+        let f = ctx();
+        let a = elem(&f, 42, 43);
+        // a^(p²−1) = 1.
+        let p = f.modulus();
+        let e = &(p * p) - &BigUint::one();
+        assert!(is_one(&f, &pow(&f, &a, &e)));
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let f = ctx();
+        let a = elem(&f, 9, 4);
+        assert!(is_one(&f, &pow(&f, &a, &BigUint::zero())));
+        assert_eq!(pow(&f, &a, &BigUint::one()), a);
+        assert_eq!(pow(&f, &a, &BigUint::two()), sqr(&f, &a));
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let f = ctx();
+        let a = elem(&f, 0xdeadbeef, 0xcafebabe);
+        let bytes = to_bytes(&f, &a);
+        assert_eq!(bytes.len(), 2 * f.byte_len());
+        assert_eq!(from_bytes(&f, &bytes).unwrap(), a);
+        assert!(from_bytes(&f, &bytes[1..]).is_err());
+        // Unreduced encoding rejected.
+        let mut bad = vec![0xffu8; 2 * f.byte_len()];
+        bad[0] = 0xff;
+        assert_eq!(from_bytes(&f, &bad), Err(crate::DecodeError::NotReduced));
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests of the algebraic structures: `F_p`, `F_p²`,
+//! the curve group, and the pairing — the invariants everything above
+//! them silently assumes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_bigint::{modular, BigUint};
+use sempair_pairing::{fp2, CurveParams, FpCtx, G1Affine};
+use std::sync::OnceLock;
+
+/// A fixed 127-bit Mersenne prime field (p ≡ 3 mod 4).
+fn field() -> &'static FpCtx {
+    static F: OnceLock<FpCtx> = OnceLock::new();
+    F.get_or_init(|| {
+        let p = &(BigUint::one() << 127) - &BigUint::one();
+        FpCtx::new(&p).unwrap()
+    })
+}
+
+fn params() -> &'static CurveParams {
+    static P: OnceLock<CurveParams> = OnceLock::new();
+    P.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xA1);
+        CurveParams::generate(&mut rng, 96, 48).unwrap()
+    })
+}
+
+fn fp_elem(limbs: (u64, u64)) -> BigUint {
+    BigUint::from(limbs.0 as u128 | ((limbs.1 as u128) << 64))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fp_field_axioms(a in any::<(u64, u64)>(), b in any::<(u64, u64)>(), c in any::<(u64, u64)>()) {
+        let f = field();
+        let (a, b, c) = (
+            f.from_uint(&fp_elem(a)),
+            f.from_uint(&fp_elem(b)),
+            f.from_uint(&fp_elem(c)),
+        );
+        prop_assert_eq!(f.add(&a, &b), f.add(&b, &a));
+        prop_assert_eq!(f.mul(&a, &b), f.mul(&b, &a));
+        prop_assert_eq!(
+            f.mul(&a, &f.add(&b, &c)),
+            f.add(&f.mul(&a, &b), &f.mul(&a, &c))
+        );
+        prop_assert_eq!(f.add(&a, &f.neg(&a)), f.zero());
+        prop_assert_eq!(f.sub(&a, &b), f.add(&a, &f.neg(&b)));
+        if !a.is_zero() {
+            let inv = f.inv(&a).unwrap();
+            prop_assert_eq!(f.mul(&a, &inv), f.one());
+        }
+    }
+
+    #[test]
+    fn fp_sqrt_of_squares(a in any::<(u64, u64)>()) {
+        let f = field();
+        let a = f.from_uint(&fp_elem(a));
+        let sq = f.sqr(&a);
+        let r = f.sqrt(&sq).expect("square has a root");
+        prop_assert!(r == a || r == f.neg(&a));
+        prop_assert!(f.is_square(&sq));
+    }
+
+    #[test]
+    fn fp2_field_axioms(
+        a in any::<(u64, u64)>(), b in any::<(u64, u64)>(),
+        c in any::<(u64, u64)>(), d in any::<(u64, u64)>(),
+    ) {
+        let f = field();
+        let x = fp2::Fp2 { c0: f.from_uint(&fp_elem(a)), c1: f.from_uint(&fp_elem(b)) };
+        let y = fp2::Fp2 { c0: f.from_uint(&fp_elem(c)), c1: f.from_uint(&fp_elem(d)) };
+        prop_assert_eq!(fp2::mul(f, &x, &y), fp2::mul(f, &y, &x));
+        prop_assert_eq!(fp2::sqr(f, &x), fp2::mul(f, &x, &x));
+        prop_assert_eq!(fp2::add(f, &x, &fp2::neg(f, &x)), fp2::zero(f));
+        if !x.is_zero() {
+            let inv = fp2::inv(f, &x).unwrap();
+            prop_assert!(fp2::is_one(f, &fp2::mul(f, &x, &inv)));
+        }
+        // Conjugation is multiplicative.
+        prop_assert_eq!(
+            fp2::conj(f, &fp2::mul(f, &x, &y)),
+            fp2::mul(f, &fp2::conj(f, &x), &fp2::conj(f, &y))
+        );
+        // Norm is multiplicative.
+        prop_assert_eq!(
+            fp2::norm(f, &fp2::mul(f, &x, &y)),
+            f.mul(&fp2::norm(f, &x), &fp2::norm(f, &y))
+        );
+    }
+
+    #[test]
+    fn group_law_properties(ka in 1u64..1 << 40, kb in 1u64..1 << 40) {
+        let prm = params();
+        let a = prm.mul_generator(&BigUint::from(ka));
+        let b = prm.mul_generator(&BigUint::from(kb));
+        // Commutativity and the homomorphism from scalars.
+        prop_assert_eq!(prm.add(&a, &b), prm.add(&b, &a));
+        prop_assert_eq!(
+            prm.add(&a, &b),
+            prm.mul_generator(&BigUint::from(ka as u128 + kb as u128))
+        );
+        // Inverses and identity.
+        prop_assert!(prm.sub(&a, &a).is_infinity());
+        prop_assert_eq!(prm.add(&a, &G1Affine::infinity()), a.clone());
+        // Compression roundtrip on arbitrary points.
+        let bytes = prm.point_to_bytes(&a);
+        prop_assert_eq!(prm.point_from_bytes(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn scalar_mul_respects_order(k in any::<u64>()) {
+        let prm = params();
+        let k = BigUint::from(k);
+        let direct = prm.mul_generator(&k);
+        let reduced = prm.mul_generator(&(&k % prm.order()));
+        prop_assert_eq!(direct, reduced);
+    }
+
+    #[test]
+    fn pairing_bilinear_small_scalars(a in 1u64..1000, b in 1u64..1000) {
+        let prm = params();
+        let g = prm.generator();
+        let pa = prm.mul_generator(&BigUint::from(a));
+        let pb = prm.mul_generator(&BigUint::from(b));
+        let lhs = prm.pairing(&pa, &pb);
+        let ab = modular::mod_mul(&BigUint::from(a), &BigUint::from(b), prm.order());
+        let rhs = prm.gt_pow(&prm.pairing(g, g), &ab);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn hash_to_g1_always_in_subgroup(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let prm = params();
+        let point = prm.hash_to_g1(b"prop-h1", &data);
+        prop_assert!(prm.is_in_group(&point));
+        prop_assert!(!point.is_infinity());
+    }
+}
+
+/// Deterministic exhaustive check: `n·G` for n in `0..=order` on a tiny
+/// curve walks the whole subgroup and returns to the identity.
+#[test]
+fn generator_orbit_closes() {
+    let mut rng = StdRng::seed_from_u64(0xA2);
+    let prm = CurveParams::generate(&mut rng, 24, 8).unwrap();
+    let order = prm.order().to_u64().unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for n in 1..order {
+        let point = prm.mul_generator(&BigUint::from(n));
+        assert!(!point.is_infinity(), "n={n} < order must not be identity");
+        let bytes = prm.point_to_bytes(&point);
+        assert!(seen.insert(bytes), "n={n} revisited a point early");
+    }
+    assert!(prm.mul_generator(prm.order()).is_infinity());
+}

@@ -1,0 +1,63 @@
+//! Validation of the pre-generated built-in parameter sets.
+
+use sempair_bigint::modular;
+use sempair_pairing::CurveParams;
+
+#[test]
+fn fast_insecure_loads_and_pairs() {
+    let prm = CurveParams::fast_insecure();
+    assert_eq!(prm.modulus().bits(), 256);
+    assert_eq!(prm.order().bits(), 128);
+    let g = prm.generator();
+    let e = prm.pairing(g, g);
+    assert!(!prm.gt_is_one(&e));
+    // ê(2P, 3P) = ê(P,P)^6
+    let p2 = prm.mul(&2u64.into(), g);
+    let p3 = prm.mul(&3u64.into(), g);
+    assert_eq!(prm.pairing(&p2, &p3), prm.gt_pow(&e, &6u64.into()));
+}
+
+#[test]
+fn paper_default_loads_and_pairs() {
+    let prm = CurveParams::paper_default();
+    assert_eq!(prm.modulus().bits(), 512);
+    assert_eq!(prm.order().bits(), 160);
+    let g = prm.generator();
+    let e = prm.pairing(g, g);
+    assert!(!prm.gt_is_one(&e));
+    assert!(prm.gt_is_one(&prm.gt_pow(&e, prm.order())));
+    // §4's size claims: compressed points are ~513 bits = 65 bytes + flag.
+    assert_eq!(prm.point_len(), 65);
+    assert_eq!(prm.gt_to_bytes(&e).len(), 128);
+}
+
+#[test]
+fn bilinearity_with_random_scalars_on_fast_params() {
+    use rand::SeedableRng;
+    let prm = CurveParams::fast_insecure();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let g = prm.generator().clone();
+    for _ in 0..3 {
+        let a = prm.random_scalar(&mut rng);
+        let b = prm.random_scalar(&mut rng);
+        let lhs = prm.pairing(&prm.mul(&a, &g), &prm.mul(&b, &g));
+        let ab = modular::mod_mul(&a, &b, prm.order());
+        let rhs = prm.gt_pow(&prm.pairing(&g, &g), &ab);
+        assert_eq!(lhs, rhs);
+    }
+}
+
+#[test]
+fn gdh_short_loads_and_reproduces_size_claim() {
+    let prm = CurveParams::gdh_short_insecure();
+    assert_eq!(prm.modulus().bits(), 176);
+    assert_eq!(prm.order().bits(), 160);
+    // §5's "160 bits": one compressed point here is 23 bytes = 184 bits
+    // (the x-coordinate plus a flag byte) — the paper's size arithmetic.
+    assert_eq!(prm.point_len() * 8, 184);
+    // It pairs correctly like every other set.
+    let g = prm.generator();
+    let e = prm.pairing(g, g);
+    assert!(!prm.gt_is_one(&e));
+    assert!(prm.gt_is_one(&prm.gt_pow(&e, prm.order())));
+}

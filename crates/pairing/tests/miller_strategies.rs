@@ -1,0 +1,59 @@
+//! The projective (inversion-free, subfield-scaled) Miller loop must
+//! compute exactly the same reduced Tate pairing as the textbook affine
+//! loop, on every input shape.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_pairing::{CurveParams, G1Affine, MillerStrategy};
+
+fn assert_strategies_agree(prm: &CurveParams, a: &G1Affine, b: &G1Affine) {
+    let affine = prm.pairing_with_strategy(a, b, MillerStrategy::Affine);
+    let projective = prm.pairing_with_strategy(a, b, MillerStrategy::Projective);
+    assert_eq!(affine, projective);
+    assert_eq!(prm.pairing(a, b), projective, "default is projective");
+}
+
+#[test]
+fn agree_on_generated_params_random_points() {
+    let mut rng = StdRng::seed_from_u64(777);
+    let prm = CurveParams::generate(&mut rng, 128, 64).unwrap();
+    let g = prm.generator().clone();
+    for _ in 0..8 {
+        let a = prm.mul(&prm.random_scalar(&mut rng), &g);
+        let b = prm.mul(&prm.random_scalar(&mut rng), &g);
+        assert_strategies_agree(&prm, &a, &b);
+    }
+}
+
+#[test]
+fn agree_on_generator_and_small_multiples() {
+    let prm = CurveParams::fast_insecure();
+    let g = prm.generator().clone();
+    for k in 1u64..6 {
+        let kg = prm.mul(&k.into(), &g);
+        assert_strategies_agree(&prm, &g, &kg);
+        assert_strategies_agree(&prm, &kg, &g);
+    }
+}
+
+#[test]
+fn agree_on_negated_and_identity_inputs() {
+    let prm = CurveParams::fast_insecure();
+    let g = prm.generator().clone();
+    assert_strategies_agree(&prm, &g, &prm.neg(&g));
+    assert_strategies_agree(&prm, &prm.neg(&g), &prm.neg(&g));
+    let inf = G1Affine::infinity();
+    assert_strategies_agree(&prm, &inf, &g);
+    assert_strategies_agree(&prm, &g, &inf);
+}
+
+#[test]
+fn projective_bilinearity_on_paper_params() {
+    let prm = CurveParams::paper_default();
+    let g = prm.generator().clone();
+    let e = prm.pairing(&g, &g);
+    assert!(!prm.gt_is_one(&e));
+    let g2 = prm.mul(&2u64.into(), &g);
+    let g3 = prm.mul(&3u64.into(), &g);
+    assert_eq!(prm.pairing(&g2, &g3), prm.gt_pow(&e, &6u64.into()));
+}

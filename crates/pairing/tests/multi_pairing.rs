@@ -1,0 +1,108 @@
+//! The shared-loop pairing product must agree with products of
+//! individual pairings on every input shape.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_pairing::{CurveParams, G1Affine};
+
+fn setup() -> (CurveParams, StdRng) {
+    let mut rng = StdRng::seed_from_u64(31337);
+    (CurveParams::generate(&mut rng, 128, 64).unwrap(), rng)
+}
+
+#[test]
+fn product_of_two_matches_separate_pairings() {
+    let (prm, mut rng) = setup();
+    let g = prm.generator().clone();
+    for _ in 0..5 {
+        let a = prm.mul(&prm.random_scalar(&mut rng), &g);
+        let b = prm.mul(&prm.random_scalar(&mut rng), &g);
+        let c = prm.mul(&prm.random_scalar(&mut rng), &g);
+        let d = prm.mul(&prm.random_scalar(&mut rng), &g);
+        let expect = prm.gt_mul(&prm.pairing(&a, &b), &prm.pairing(&c, &d));
+        assert_eq!(prm.multi_pairing(&[(&a, &b), (&c, &d)]), expect);
+    }
+}
+
+#[test]
+fn product_of_many_matches() {
+    let (prm, mut rng) = setup();
+    let g = prm.generator().clone();
+    let points: Vec<(G1Affine, G1Affine)> = (0..5)
+        .map(|_| {
+            (
+                prm.mul(&prm.random_scalar(&mut rng), &g),
+                prm.mul(&prm.random_scalar(&mut rng), &g),
+            )
+        })
+        .collect();
+    let pairs: Vec<(&G1Affine, &G1Affine)> = points.iter().map(|(a, b)| (a, b)).collect();
+    let mut expect = prm.gt_one();
+    for (a, b) in &points {
+        expect = prm.gt_mul(&expect, &prm.pairing(a, b));
+    }
+    assert_eq!(prm.multi_pairing(&pairs), expect);
+}
+
+#[test]
+fn empty_and_identity_inputs() {
+    let (prm, _) = setup();
+    let g = prm.generator().clone();
+    assert!(prm.gt_is_one(&prm.multi_pairing(&[])));
+    let inf = G1Affine::infinity();
+    assert_eq!(prm.multi_pairing(&[(&inf, &g), (&g, &g)]), prm.pairing(&g, &g));
+    assert_eq!(prm.multi_pairing(&[(&g, &inf)]), prm.gt_one());
+}
+
+#[test]
+fn single_pair_matches_plain_pairing() {
+    let (prm, mut rng) = setup();
+    let g = prm.generator().clone();
+    let a = prm.mul(&prm.random_scalar(&mut rng), &g);
+    assert_eq!(prm.multi_pairing(&[(&a, &g)]), prm.pairing(&a, &g));
+}
+
+#[test]
+fn pairing_equals_accepts_valid_relations() {
+    let (prm, mut rng) = setup();
+    let g = prm.generator().clone();
+    let x = prm.random_scalar(&mut rng);
+    let h = prm.mul(&prm.random_scalar(&mut rng), &g);
+    // The BLS verification relation: ê(P, x·H) = ê(x·P, H).
+    let sig = prm.mul(&x, &h);
+    let pk = prm.mul(&x, &g);
+    assert!(prm.pairing_equals(&g, &sig, &pk, &h));
+    // Perturbed relation rejected.
+    let bad_sig = prm.add(&sig, &g);
+    assert!(!prm.pairing_equals(&g, &bad_sig, &pk, &h));
+}
+
+#[test]
+fn pairing_equals_handles_identities() {
+    let (prm, _) = setup();
+    let g = prm.generator().clone();
+    let inf = G1Affine::infinity();
+    assert!(prm.pairing_equals(&inf, &g, &g, &inf));
+    assert!(!prm.pairing_equals(&inf, &g, &g, &g));
+}
+
+#[test]
+fn negation_cancels_in_product() {
+    let (prm, mut rng) = setup();
+    let g = prm.generator().clone();
+    let a = prm.mul(&prm.random_scalar(&mut rng), &g);
+    let b = prm.mul(&prm.random_scalar(&mut rng), &g);
+    let neg_a = prm.neg(&a);
+    assert!(prm.gt_is_one(&prm.multi_pairing(&[(&a, &b), (&neg_a, &b)])));
+}
+
+#[test]
+fn agrees_on_paper_params() {
+    let prm = CurveParams::paper_default();
+    let g = prm.generator().clone();
+    let g2 = prm.mul(&2u64.into(), &g);
+    let g3 = prm.mul(&3u64.into(), &g);
+    let expect = prm.gt_mul(&prm.pairing(&g2, &g), &prm.pairing(&g, &g3));
+    assert_eq!(prm.multi_pairing(&[(&g2, &g), (&g, &g3)]), expect);
+    assert!(prm.pairing_equals(&g2, &g3, &g3, &g2));
+}

@@ -1,0 +1,220 @@
+//! SEM audit log and bandwidth metering.
+//!
+//! The SEM is *semi-trusted* (§2): it must not be able to decrypt, but
+//! it is trusted to enforce revocation. Operationally that means its
+//! actions must be **accountable** — operators need to see exactly
+//! which identity requested which capability and what the SEM decided.
+//! This module provides the append-only audit log the threaded server
+//! feeds, plus per-identity counters and wire-byte metering that back
+//! the E3/E9 reports.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// What kind of capability a request asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Mediated-IBE decryption token.
+    IbeDecrypt,
+    /// Mediated-GDH half-signature.
+    GdhSign,
+}
+
+/// How the SEM answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Token issued.
+    Served,
+    /// Refused: identity revoked.
+    RefusedRevoked,
+    /// Refused: identity unknown.
+    RefusedUnknown,
+    /// Refused: malformed request (off-curve point, …).
+    RefusedInvalid,
+}
+
+/// One audit record.
+#[derive(Debug, Clone)]
+pub struct AuditRecord {
+    /// Identity named in the request.
+    pub id: String,
+    /// Requested capability.
+    pub capability: Capability,
+    /// Decision.
+    pub outcome: Outcome,
+    /// Response payload size in bytes (0 when refused).
+    pub response_bytes: usize,
+    /// Monotonic request timestamp.
+    pub at: Instant,
+}
+
+/// Aggregated view per identity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IdentityStats {
+    /// Requests served.
+    pub served: u64,
+    /// Requests refused (any reason).
+    pub refused: u64,
+    /// Total bytes returned.
+    pub bytes_out: u64,
+}
+
+/// Thread-safe, append-only audit log.
+///
+/// Appends are O(1) under a mutex; the threaded server calls
+/// [`AuditLog::record`] once per request, which is negligible next to
+/// the pairing it just computed.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    records: Vec<AuditRecord>,
+    by_identity: HashMap<String, IdentityStats>,
+}
+
+impl AuditLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one record.
+    pub fn record(
+        &self,
+        id: &str,
+        capability: Capability,
+        outcome: Outcome,
+        response_bytes: usize,
+    ) {
+        let mut inner = self.inner.lock();
+        let stats = inner.by_identity.entry(id.to_string()).or_default();
+        match outcome {
+            Outcome::Served => {
+                stats.served += 1;
+                stats.bytes_out += response_bytes as u64;
+            }
+            _ => stats.refused += 1,
+        }
+        inner.records.push(AuditRecord {
+            id: id.to_string(),
+            capability,
+            outcome,
+            response_bytes,
+            at: Instant::now(),
+        });
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().records.len()
+    }
+
+    /// `true` iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Aggregate stats for one identity.
+    pub fn stats_for(&self, id: &str) -> IdentityStats {
+        self.inner.lock().by_identity.get(id).copied().unwrap_or_default()
+    }
+
+    /// Snapshot of the full record list.
+    pub fn snapshot(&self) -> Vec<AuditRecord> {
+        self.inner.lock().records.clone()
+    }
+
+    /// Total bytes the SEM has sent to users — the deployment-level E3
+    /// number.
+    pub fn total_bytes_out(&self) -> u64 {
+        self.inner
+            .lock()
+            .by_identity
+            .values()
+            .map(|s| s.bytes_out)
+            .sum()
+    }
+
+    /// Identities whose refusal count exceeds `threshold` — a trivial
+    /// anomaly feed (e.g. someone hammering a revoked identity).
+    pub fn noisy_identities(&self, threshold: u64) -> Vec<String> {
+        let inner = self.inner.lock();
+        let mut out: Vec<String> = inner
+            .by_identity
+            .iter()
+            .filter(|(_, s)| s.refused > threshold)
+            .map(|(id, _)| id.clone())
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_aggregates() {
+        let log = AuditLog::new();
+        assert!(log.is_empty());
+        log.record("alice", Capability::IbeDecrypt, Outcome::Served, 128);
+        log.record("alice", Capability::IbeDecrypt, Outcome::Served, 128);
+        log.record("alice", Capability::GdhSign, Outcome::RefusedRevoked, 0);
+        log.record("bob", Capability::IbeDecrypt, Outcome::RefusedUnknown, 0);
+        assert_eq!(log.len(), 4);
+        let alice = log.stats_for("alice");
+        assert_eq!(alice.served, 2);
+        assert_eq!(alice.refused, 1);
+        assert_eq!(alice.bytes_out, 256);
+        assert_eq!(log.stats_for("bob").refused, 1);
+        assert_eq!(log.stats_for("nobody"), IdentityStats::default());
+        assert_eq!(log.total_bytes_out(), 256);
+    }
+
+    #[test]
+    fn noisy_identities_threshold() {
+        let log = AuditLog::new();
+        for _ in 0..5 {
+            log.record("mallory", Capability::IbeDecrypt, Outcome::RefusedRevoked, 0);
+        }
+        log.record("alice", Capability::IbeDecrypt, Outcome::RefusedInvalid, 0);
+        assert_eq!(log.noisy_identities(3), vec!["mallory".to_string()]);
+        assert_eq!(log.noisy_identities(0).len(), 2);
+        assert!(log.noisy_identities(10).is_empty());
+    }
+
+    #[test]
+    fn snapshot_preserves_order() {
+        let log = AuditLog::new();
+        log.record("a", Capability::IbeDecrypt, Outcome::Served, 1);
+        log.record("b", Capability::GdhSign, Outcome::Served, 2);
+        let snap = log.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].id, "a");
+        assert_eq!(snap[1].id, "b");
+        assert!(snap[0].at <= snap[1].at);
+    }
+
+    #[test]
+    fn concurrent_appends() {
+        let log = std::sync::Arc::new(AuditLog::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        log.record("x", Capability::IbeDecrypt, Outcome::Served, 10);
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 200);
+        assert_eq!(log.stats_for("x").served, 200);
+        assert_eq!(log.total_bytes_out(), 2000);
+    }
+}

@@ -1,0 +1,159 @@
+//! Full-deployment orchestration: PKG → SEM → users lifecycle.
+//!
+//! §4 makes a deployment claim the other modules don't capture alone:
+//!
+//! > "Note that the PKG and the SEM are two distinct entities. The SEM
+//! > remains online all the system's lifetime while the PKG can be put
+//! > offline once it has delivered private keys to all users of the
+//! > system."
+//!
+//! [`Deployment`] wires the pieces together and enforces that
+//! lifecycle: enrolment requires the PKG to be online, is a single
+//! round (PKG splits the key, pushes the SEM half into the running
+//! [`SemServer`], hands the user half back), and once
+//! [`Deployment::take_pkg_offline`] is called, enrolment fails while
+//! *all* mediated operations keep working.
+
+use crate::server::{SemClient, SemServer};
+use rand::RngCore;
+use sempair_core::bf_ibe::{IbePublicParams, Pkg};
+use sempair_core::gdh::{self, GdhPublicKey, GdhUser};
+use sempair_core::mediated::UserKey;
+use sempair_core::Error;
+use sempair_pairing::CurveParams;
+
+/// A running deployment: one SEM server, one (eventually offline) PKG.
+pub struct Deployment {
+    pkg: Option<Pkg>,
+    params: IbePublicParams,
+    server: SemServer,
+}
+
+/// Everything a freshly enrolled user walks away with.
+pub struct Enrollment {
+    /// The user's IBE decryption half-key.
+    pub decryption_key: UserKey,
+    /// The user's GDH signing half-key.
+    pub signing_key: GdhUser,
+    /// The signing public key (verifiers use this).
+    pub signing_public: GdhPublicKey,
+    /// A client handle to the SEM.
+    pub client: SemClient,
+}
+
+impl Deployment {
+    /// Boots a deployment: fresh PKG over `curve`, SEM server with
+    /// `workers` threads.
+    pub fn start(rng: &mut impl RngCore, curve: CurveParams, workers: usize) -> Self {
+        let pkg = Pkg::setup(rng, curve);
+        let params = pkg.params().clone();
+        let server = SemServer::spawn(params.clone(), workers);
+        Deployment { pkg: Some(pkg), params, server }
+    }
+
+    /// The public parameters senders need.
+    pub fn params(&self) -> &IbePublicParams {
+        &self.params
+    }
+
+    /// The SEM server handle (revocation, audit).
+    pub fn server(&self) -> &SemServer {
+        &self.server
+    }
+
+    /// `true` while the PKG can still enrol users.
+    pub fn pkg_online(&self) -> bool {
+        self.pkg.is_some()
+    }
+
+    /// Enrols `id`: the PKG splits both an IBE and a GDH key, the SEM
+    /// halves go straight into the live server, the user halves are
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::UnknownIdentity`] once the PKG has been taken offline
+    /// (there is nobody left who can extract keys).
+    pub fn enroll(&self, rng: &mut impl RngCore, id: &str) -> Result<Enrollment, Error> {
+        let pkg = self.pkg.as_ref().ok_or(Error::UnknownIdentity)?;
+        let (decryption_key, ibe_sem_half) = pkg.extract_split(rng, id);
+        self.server.install_ibe(ibe_sem_half);
+        let (signing_key, gdh_sem_half, signing_public) =
+            gdh::mediated_keygen(rng, self.params.curve(), id);
+        self.server.install_gdh(gdh_sem_half);
+        Ok(Enrollment {
+            decryption_key,
+            signing_key,
+            signing_public,
+            client: self.server.client(),
+        })
+    }
+
+    /// Destroys the PKG (masters and all): after this, no new
+    /// enrolments — but every enrolled user keeps working through the
+    /// SEM. This is the paper's "PKG can be put offline".
+    pub fn take_pkg_offline(&mut self) {
+        self.pkg = None;
+    }
+
+    /// Shuts the whole deployment down.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lifecycle_enroll_offline_operate() {
+        let mut rng = StdRng::seed_from_u64(0xDE);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let mut deployment = Deployment::start(&mut rng, curve, 2);
+        assert!(deployment.pkg_online());
+
+        let alice = deployment.enroll(&mut rng, "alice").unwrap();
+        let bob = deployment.enroll(&mut rng, "bob").unwrap();
+
+        // PKG goes offline; enrolment stops…
+        deployment.take_pkg_offline();
+        assert!(!deployment.pkg_online());
+        assert!(deployment.enroll(&mut rng, "carol").is_err());
+
+        // …but the enrolled users keep decrypting and signing.
+        let params = deployment.params().clone();
+        let c = params.encrypt_full(&mut rng, "alice", b"post-offline mail").unwrap();
+        let token = alice.client.ibe_token("alice", &c.u).unwrap();
+        assert_eq!(
+            alice.decryption_key.finish_decrypt(&params, &c, &token).unwrap(),
+            b"post-offline mail"
+        );
+
+        let half = bob.client.gdh_half_sign("bob", b"doc").unwrap();
+        let sig = bob.signing_key.finish_sign(params.curve(), b"doc", &half).unwrap();
+        gdh::verify(params.curve(), &bob.signing_public, b"doc", &sig).unwrap();
+
+        // Revocation still instant with the PKG gone.
+        deployment.server().revoke("alice");
+        let c2 = params.encrypt_full(&mut rng, "alice", b"too late").unwrap();
+        assert_eq!(alice.client.ibe_token("alice", &c2.u), Err(Error::Revoked));
+
+        deployment.shutdown();
+    }
+
+    #[test]
+    fn audit_visible_through_deployment() {
+        let mut rng = StdRng::seed_from_u64(0xDF);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let deployment = Deployment::start(&mut rng, curve, 1);
+        let alice = deployment.enroll(&mut rng, "alice").unwrap();
+        let params = deployment.params().clone();
+        let c = params.encrypt_full(&mut rng, "alice", b"m").unwrap();
+        alice.client.ibe_token("alice", &c.u).unwrap();
+        assert_eq!(deployment.server().audit_stats("alice").served, 1);
+        deployment.shutdown();
+    }
+}

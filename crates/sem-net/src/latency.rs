@@ -1,0 +1,124 @@
+//! Analytic network cost model.
+//!
+//! Rather than sleeping threads, latency is accounted *analytically*:
+//! a message of `b` bits over a link with one-way delay `d` and
+//! bandwidth `w` costs `d + b/w`. This keeps throughput measurements
+//! honest while still letting the report compare protocol round trips
+//! at realistic 2003-era and modern link speeds.
+
+use std::time::Duration;
+
+/// A symmetric point-to-point link model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Bandwidth in bits per second.
+    pub bits_per_sec: f64,
+}
+
+impl LinkModel {
+    /// A LAN-ish link: 0.5 ms one-way, 100 Mbit/s.
+    pub fn lan() -> Self {
+        LinkModel { one_way: Duration::from_micros(500), bits_per_sec: 100e6 }
+    }
+
+    /// A WAN-ish link: 25 ms one-way, 10 Mbit/s.
+    pub fn wan() -> Self {
+        LinkModel { one_way: Duration::from_millis(25), bits_per_sec: 10e6 }
+    }
+
+    /// A 2003-era DSL link: 15 ms one-way, 1 Mbit/s.
+    pub fn dsl_2003() -> Self {
+        LinkModel { one_way: Duration::from_millis(15), bits_per_sec: 1e6 }
+    }
+
+    /// Time to deliver one message of `bits` bits.
+    pub fn message_time(&self, bits: usize) -> Duration {
+        self.one_way + Duration::from_secs_f64(bits as f64 / self.bits_per_sec)
+    }
+
+    /// Time for a request/response exchange (`req_bits` out,
+    /// `resp_bits` back).
+    pub fn round_trip(&self, req_bits: usize, resp_bits: usize) -> Duration {
+        self.message_time(req_bits) + self.message_time(resp_bits)
+    }
+}
+
+/// End-to-end cost of a mediated operation: local compute on both sides
+/// plus one SEM round trip.
+///
+/// `user_compute` and `sem_compute` run in parallel in the protocol
+/// (§2/§4 say the tasks are performed "in parallel"), so the wall time
+/// is the round trip plus the *maximum* of the two compute legs, plus
+/// the user's final combination step `combine_compute`.
+pub fn mediated_op_time(
+    link: &LinkModel,
+    req_bits: usize,
+    resp_bits: usize,
+    user_compute: Duration,
+    sem_compute: Duration,
+    combine_compute: Duration,
+) -> Duration {
+    // The request must arrive before the SEM computes; the user
+    // overlaps its own leg with the network + SEM time.
+    let sem_path = link.message_time(req_bits) + sem_compute + link.message_time(resp_bits);
+    sem_path.max(user_compute) + combine_compute
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_time_monotone_in_size() {
+        let link = LinkModel::lan();
+        assert!(link.message_time(1024) < link.message_time(1024 * 1024));
+        assert!(link.message_time(0) >= link.one_way);
+    }
+
+    #[test]
+    fn round_trip_is_sum() {
+        let link = LinkModel::wan();
+        assert_eq!(
+            link.round_trip(100, 200),
+            link.message_time(100) + link.message_time(200)
+        );
+    }
+
+    #[test]
+    fn mediated_op_overlaps_user_leg() {
+        let link = LinkModel {
+            one_way: Duration::from_millis(10),
+            bits_per_sec: 1e9,
+        };
+        // Slow user, fast SEM: user compute dominates the round trip.
+        let t = mediated_op_time(
+            &link,
+            1000,
+            1000,
+            Duration::from_millis(100),
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+        );
+        assert_eq!(t, Duration::from_millis(102));
+        // Fast user: network + SEM path dominates.
+        let t = mediated_op_time(
+            &link,
+            1000,
+            1000,
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+            Duration::from_millis(2),
+        );
+        assert!(t > Duration::from_millis(25) && t < Duration::from_millis(30));
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        // LAN beats DSL beats nothing.
+        let bits = 1024;
+        assert!(LinkModel::lan().message_time(bits) < LinkModel::dsl_2003().message_time(bits));
+        assert!(LinkModel::dsl_2003().message_time(bits) < LinkModel::wan().message_time(bits * 200));
+    }
+}

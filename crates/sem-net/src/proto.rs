@@ -1,0 +1,223 @@
+//! Binary wire protocol for SEM request/response frames.
+//!
+//! Every exchange is one length-prefixed frame each way:
+//!
+//! ```text
+//! frame   := u32 length ‖ payload             (length = |payload|)
+//! request := u8 op ‖ u16 id-len ‖ id ‖ u32 body-len ‖ body
+//! response:= u8 status ‖ u32 body-len ‖ body
+//! ```
+//!
+//! * op `1` (IBE token): body is a compressed `U` point; ok-body is the
+//!   `F_p²` token.
+//! * op `2` (GDH half-sign): body is the message; ok-body is a
+//!   compressed half-signature point.
+//!
+//! The sizes on this wire are exactly the E3 numbers — the protocol is
+//! the paper's bandwidth table made concrete.
+
+use bytes::{Buf, BufMut, BytesMut};
+use sempair_core::Error;
+
+/// Request operation codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Mediated-IBE decryption token.
+    IbeToken = 1,
+    /// Mediated-GDH half-signature.
+    GdhHalfSign = 2,
+}
+
+impl Op {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(Op::IbeToken),
+            2 => Some(Op::GdhHalfSign),
+            _ => None,
+        }
+    }
+}
+
+/// Response status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Request served; body carries the token.
+    Ok = 0,
+    /// Identity revoked.
+    Revoked = 1,
+    /// Identity unknown.
+    Unknown = 2,
+    /// Malformed request or off-curve point.
+    Invalid = 3,
+}
+
+impl Status {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(Status::Ok),
+            1 => Some(Status::Revoked),
+            2 => Some(Status::Unknown),
+            3 => Some(Status::Invalid),
+            _ => None,
+        }
+    }
+
+    /// Maps a SEM-side error to its wire status.
+    pub fn from_error(err: &Error) -> Self {
+        match err {
+            Error::Revoked => Status::Revoked,
+            Error::UnknownIdentity => Status::Unknown,
+            _ => Status::Invalid,
+        }
+    }
+
+    /// Maps a non-ok status back to the library error.
+    pub fn to_error(self) -> Option<Error> {
+        match self {
+            Status::Ok => None,
+            Status::Revoked => Some(Error::Revoked),
+            Status::Unknown => Some(Error::UnknownIdentity),
+            Status::Invalid => Some(Error::InvalidCiphertext),
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Requested operation.
+    pub op: Op,
+    /// Identity named in the request.
+    pub id: String,
+    /// Operation body (point bytes or message).
+    pub body: Vec<u8>,
+}
+
+/// A parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Outcome.
+    pub status: Status,
+    /// Token bytes when [`Status::Ok`], empty otherwise.
+    pub body: Vec<u8>,
+}
+
+/// Hard cap on frame payloads (1 MiB) — a remote peer cannot make the
+/// server allocate unboundedly.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Encodes a request frame (including the length prefix).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let payload_len = 1 + 2 + request.id.len() + 4 + request.body.len();
+    let mut buf = BytesMut::with_capacity(4 + payload_len);
+    buf.put_u32(payload_len as u32);
+    buf.put_u8(request.op as u8);
+    buf.put_u16(request.id.len() as u16);
+    buf.put_slice(request.id.as_bytes());
+    buf.put_u32(request.body.len() as u32);
+    buf.put_slice(&request.body);
+    buf.to_vec()
+}
+
+/// Decodes a request payload (after the length prefix was consumed).
+///
+/// Returns `None` for malformed payloads.
+pub fn decode_request(payload: &[u8]) -> Option<Request> {
+    let mut buf = payload;
+    if buf.remaining() < 3 {
+        return None;
+    }
+    let op = Op::from_u8(buf.get_u8())?;
+    let id_len = buf.get_u16() as usize;
+    if buf.remaining() < id_len + 4 {
+        return None;
+    }
+    let id = String::from_utf8(buf[..id_len].to_vec()).ok()?;
+    buf.advance(id_len);
+    let body_len = buf.get_u32() as usize;
+    if buf.remaining() != body_len {
+        return None;
+    }
+    Some(Request { op, id, body: buf.to_vec() })
+}
+
+/// Encodes a response frame (including the length prefix).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let payload_len = 1 + 4 + response.body.len();
+    let mut buf = BytesMut::with_capacity(4 + payload_len);
+    buf.put_u32(payload_len as u32);
+    buf.put_u8(response.status as u8);
+    buf.put_u32(response.body.len() as u32);
+    buf.put_slice(&response.body);
+    buf.to_vec()
+}
+
+/// Decodes a response payload (after the length prefix was consumed).
+pub fn decode_response(payload: &[u8]) -> Option<Response> {
+    let mut buf = payload;
+    if buf.remaining() < 5 {
+        return None;
+    }
+    let status = Status::from_u8(buf.get_u8())?;
+    let body_len = buf.get_u32() as usize;
+    if buf.remaining() != body_len {
+        return None;
+    }
+    Some(Response { status, body: buf.to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        let req = Request { op: Op::IbeToken, id: "alice@example.com".into(), body: vec![1, 2, 3] };
+        let frame = encode_request(&req);
+        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, frame.len() - 4);
+        assert_eq!(decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for status in [Status::Ok, Status::Revoked, Status::Unknown, Status::Invalid] {
+            let resp = Response {
+                status,
+                body: if status == Status::Ok { vec![9u8; 64] } else { vec![] },
+            };
+            let frame = encode_response(&resp);
+            assert_eq!(decode_response(&frame[4..]).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert!(decode_request(&[]).is_none());
+        assert!(decode_request(&[9, 0, 0]).is_none()); // bad op
+        assert!(decode_request(&[1, 0, 5, b'a']).is_none()); // short id
+        // Body length mismatch.
+        let mut frame = encode_request(&Request { op: Op::GdhHalfSign, id: "x".into(), body: vec![7] });
+        frame.pop();
+        assert!(decode_request(&frame[4..]).is_none());
+        assert!(decode_response(&[]).is_none());
+        assert!(decode_response(&[7, 0, 0, 0, 0]).is_none()); // bad status
+    }
+
+    #[test]
+    fn status_error_mapping_roundtrips() {
+        use sempair_core::Error;
+        assert_eq!(Status::from_error(&Error::Revoked), Status::Revoked);
+        assert_eq!(Status::from_error(&Error::UnknownIdentity), Status::Unknown);
+        assert_eq!(Status::from_error(&Error::InvalidCiphertext), Status::Invalid);
+        assert_eq!(Status::Revoked.to_error(), Some(Error::Revoked));
+        assert_eq!(Status::Ok.to_error(), None);
+    }
+
+    #[test]
+    fn non_utf8_identity_rejected() {
+        let mut frame = encode_request(&Request { op: Op::IbeToken, id: "ab".into(), body: vec![] });
+        frame[7] = 0xff; // corrupt an id byte into invalid UTF-8
+        assert!(decode_request(&frame[4..]).is_none());
+    }
+}

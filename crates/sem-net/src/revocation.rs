@@ -1,0 +1,223 @@
+//! The revocation-strategy comparison (§1, §4; experiment E8).
+//!
+//! Two ways to revoke identity-based keys:
+//!
+//! 1. **SEM** (the paper's construction): one revocation-list insert;
+//!    effective on the next token request. Constant cost, zero
+//!    revocation latency, no PKG involvement.
+//! 2. **Validity periods** (the built-in method of \[5\] that §4 argues
+//!    against): identities are `ID ‖ epoch`; the PKG re-issues a fresh
+//!    private key for every *unrevoked* user each epoch and must stay
+//!    online. A revocation only takes effect when the current epoch
+//!    expires — on average half an epoch of exposure.
+
+use sempair_core::bf_ibe::{IbePublicParams, Pkg, PrivateKey};
+use sempair_core::Error;
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A PKG operating the validity-period scheme with a fixed epoch
+/// length.
+#[derive(Debug)]
+pub struct ValidityPeriodPkg {
+    pkg: Pkg,
+    epoch: u64,
+    epoch_len: Duration,
+    users: Vec<String>,
+    revoked: HashSet<String>,
+    /// Total `Extract` operations performed over the PKG's lifetime —
+    /// the work metric E8 sweeps.
+    extract_count: u64,
+}
+
+impl ValidityPeriodPkg {
+    /// Wraps a PKG with epoch-based revocation for `users`.
+    pub fn new(pkg: Pkg, epoch_len: Duration, users: Vec<String>) -> Self {
+        ValidityPeriodPkg { pkg, epoch: 0, epoch_len, users, revoked: HashSet::new(), extract_count: 0 }
+    }
+
+    /// The composite identity string used on the wire: senders encrypt
+    /// to `ID ‖ epoch` and never consult a revocation list.
+    pub fn epoch_identity(id: &str, epoch: u64) -> String {
+        format!("{id}|epoch:{epoch}")
+    }
+
+    /// Current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Configured epoch length.
+    pub fn epoch_len(&self) -> Duration {
+        self.epoch_len
+    }
+
+    /// Public parameters (what senders need).
+    pub fn params(&self) -> &IbePublicParams {
+        self.pkg.params()
+    }
+
+    /// Number of `Extract` operations performed so far.
+    pub fn extract_count(&self) -> u64 {
+        self.extract_count
+    }
+
+    /// Marks `id` revoked. Takes effect at the *next* epoch rollover —
+    /// keys already issued for the current epoch keep working, which is
+    /// precisely the coarseness §4 criticizes.
+    pub fn revoke(&mut self, id: &str) {
+        self.revoked.insert(id.to_string());
+    }
+
+    /// Rolls over to the next epoch, re-issuing keys for every
+    /// unrevoked user (the PKG's periodic workload). Returns the fresh
+    /// keys it would push to users.
+    pub fn rotate_epoch(&mut self) -> Vec<PrivateKey> {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut issued = Vec::new();
+        for id in &self.users {
+            if self.revoked.contains(id) {
+                continue;
+            }
+            issued.push(self.pkg.extract(&Self::epoch_identity(id, epoch)));
+            self.extract_count += 1;
+        }
+        issued
+    }
+
+    /// The key a user holds for the current epoch, or
+    /// [`Error::Revoked`]-style refusal.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Revoked`] once the revocation has taken effect;
+    /// [`Error::UnknownIdentity`] for unenrolled users.
+    pub fn current_key(&mut self, id: &str) -> Result<PrivateKey, Error> {
+        if !self.users.iter().any(|u| u == id) {
+            return Err(Error::UnknownIdentity);
+        }
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        self.extract_count += 1;
+        Ok(self.pkg.extract(&Self::epoch_identity(id, self.epoch)))
+    }
+
+    /// Worst-case revocation latency of this scheme: a revocation
+    /// lodged right after a rollover stays ineffective for a full
+    /// epoch. (The SEM's counterpart is zero.)
+    pub fn worst_case_revocation_latency(&self) -> Duration {
+        self.epoch_len
+    }
+
+    /// Expected revocation latency (uniform arrival): half an epoch.
+    pub fn expected_revocation_latency(&self) -> Duration {
+        self.epoch_len / 2
+    }
+}
+
+/// Summary row for the E8 comparison at `n_users`.
+#[derive(Debug, Clone, Copy)]
+pub struct RevocationCost {
+    /// Enrolled (unrevoked) users.
+    pub n_users: usize,
+    /// PKG `Extract` calls per epoch (validity-period scheme).
+    pub rekeys_per_epoch: usize,
+    /// SEM list operations per revocation (SEM scheme).
+    pub sem_ops_per_revocation: usize,
+}
+
+/// The analytic cost model behind E8: validity-period work is linear in
+/// the user count per epoch; SEM work is a constant per revocation.
+pub fn revocation_cost(n_users: usize) -> RevocationCost {
+    RevocationCost { n_users, rekeys_per_epoch: n_users, sem_ops_per_revocation: 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sempair_pairing::CurveParams;
+
+    fn setup(users: &[&str]) -> (ValidityPeriodPkg, StdRng) {
+        let mut rng = StdRng::seed_from_u64(121);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let vp = ValidityPeriodPkg::new(
+            pkg,
+            Duration::from_secs(86_400),
+            users.iter().map(|s| s.to_string()).collect(),
+        );
+        (vp, rng)
+    }
+
+    #[test]
+    fn epoch_keys_decrypt_epoch_ciphertexts() {
+        let (mut vp, mut rng) = setup(&["alice", "bob"]);
+        vp.rotate_epoch();
+        let key = vp.current_key("alice").unwrap();
+        let wire_id = ValidityPeriodPkg::epoch_identity("alice", vp.epoch());
+        let c = vp.params().encrypt_full(&mut rng, &wire_id, b"epoch mail").unwrap();
+        assert_eq!(vp.params().decrypt_full(&key, &c).unwrap(), b"epoch mail");
+    }
+
+    #[test]
+    fn old_epoch_key_fails_on_new_epoch_ciphertext() {
+        let (mut vp, mut rng) = setup(&["alice"]);
+        vp.rotate_epoch();
+        let old_key = vp.current_key("alice").unwrap();
+        vp.rotate_epoch();
+        let wire_id = ValidityPeriodPkg::epoch_identity("alice", vp.epoch());
+        let c = vp.params().encrypt_full(&mut rng, &wire_id, b"new epoch").unwrap();
+        assert!(vp.params().decrypt_full(&old_key, &c).is_err());
+    }
+
+    #[test]
+    fn revocation_lags_until_rollover() {
+        let (mut vp, mut rng) = setup(&["alice"]);
+        vp.rotate_epoch();
+        let key = vp.current_key("alice").unwrap();
+        vp.revoke("alice");
+        // Current-epoch ciphertexts still decrypt: the window the paper
+        // criticizes.
+        let wire_id = ValidityPeriodPkg::epoch_identity("alice", vp.epoch());
+        let c = vp.params().encrypt_full(&mut rng, &wire_id, b"leaky window").unwrap();
+        assert_eq!(vp.params().decrypt_full(&key, &c).unwrap(), b"leaky window");
+        // After rollover the PKG refuses to issue and stops re-keying.
+        vp.rotate_epoch();
+        assert_eq!(vp.current_key("alice"), Err(Error::Revoked));
+    }
+
+    #[test]
+    fn rekey_work_is_linear_in_users() {
+        let users: Vec<String> = (0..10).map(|i| format!("user{i}")).collect();
+        let refs: Vec<&str> = users.iter().map(|s| s.as_str()).collect();
+        let (mut vp, _) = setup(&refs);
+        let issued = vp.rotate_epoch();
+        assert_eq!(issued.len(), 10);
+        assert_eq!(vp.extract_count(), 10);
+        vp.revoke("user3");
+        vp.revoke("user7");
+        let issued = vp.rotate_epoch();
+        assert_eq!(issued.len(), 8);
+        assert_eq!(vp.extract_count(), 18);
+    }
+
+    #[test]
+    fn latency_model() {
+        let (vp, _) = setup(&["alice"]);
+        assert_eq!(vp.worst_case_revocation_latency(), Duration::from_secs(86_400));
+        assert_eq!(vp.expected_revocation_latency(), Duration::from_secs(43_200));
+        let cost = revocation_cost(1000);
+        assert_eq!(cost.rekeys_per_epoch, 1000);
+        assert_eq!(cost.sem_ops_per_revocation, 1);
+    }
+
+    #[test]
+    fn unknown_user_rejected() {
+        let (mut vp, _) = setup(&["alice"]);
+        assert_eq!(vp.current_key("mallory"), Err(Error::UnknownIdentity));
+    }
+}

@@ -1,0 +1,415 @@
+//! A multi-threaded SEM server.
+//!
+//! Models the deployment §4 describes: one always-online mediator
+//! serving token requests for many users concurrently, with a shared
+//! revocation list that takes effect on the very next request. Workers
+//! pull jobs from a crossbeam channel; the key table and revocation
+//! list sit behind a `parking_lot::RwLock` (reads dominate — every
+//! token request — while revocations are rare writes).
+
+use crate::audit::{AuditLog, Capability, Outcome};
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::RwLock;
+use sempair_core::bf_ibe::IbePublicParams;
+use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
+use sempair_core::mediated::{DecryptToken, Sem, SemKey};
+use sempair_core::Error;
+use sempair_pairing::G1Affine;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Jobs processed by SEM workers.
+enum Job {
+    /// Terminates one worker (sent once per worker at shutdown, so
+    /// joins cannot deadlock on client handles that still hold senders).
+    Shutdown,
+    IbeToken {
+        id: String,
+        u: G1Affine,
+        reply: Sender<Result<DecryptToken, Error>>,
+    },
+    GdhHalfSign {
+        id: String,
+        message: Vec<u8>,
+        reply: Sender<Result<HalfSignature, Error>>,
+    },
+}
+
+struct State {
+    params: IbePublicParams,
+    inner: RwLock<Inner>,
+    audit: AuditLog,
+}
+
+#[derive(Default)]
+struct Inner {
+    ibe: Sem,
+    gdh: GdhSem,
+}
+
+/// A running SEM server (owns its worker threads).
+pub struct SemServer {
+    state: Arc<State>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A cheap, cloneable client handle to a [`SemServer`].
+#[derive(Clone)]
+pub struct SemClient {
+    tx: Sender<Job>,
+}
+
+impl SemServer {
+    /// Spawns a server with `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn(params: IbePublicParams, workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        let state = Arc::new(State {
+            params,
+            inner: RwLock::new(Inner::default()),
+            audit: AuditLog::new(),
+        });
+        let (tx, rx) = unbounded::<Job>();
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        match job {
+                            Job::Shutdown => break,
+                            Job::IbeToken { id, u, reply } => {
+                                let result = {
+                                    let inner = state.inner.read();
+                                    inner.ibe.decrypt_token(&state.params, &id, &u)
+                                };
+                                let bytes = result
+                                    .as_ref()
+                                    .map(|t| state.params.curve().gt_to_bytes(&t.0).len())
+                                    .unwrap_or(0);
+                                state.audit.record(
+                                    &id,
+                                    Capability::IbeDecrypt,
+                                    outcome_of(&result),
+                                    bytes,
+                                );
+                                let _ = reply.send(result);
+                            }
+                            Job::GdhHalfSign { id, message, reply } => {
+                                let result = {
+                                    let inner = state.inner.read();
+                                    inner.gdh.half_sign(state.params.curve(), &id, &message)
+                                };
+                                let bytes = result
+                                    .as_ref()
+                                    .map(|h| state.params.curve().point_to_bytes(&h.0).len())
+                                    .unwrap_or(0);
+                                state.audit.record(
+                                    &id,
+                                    Capability::GdhSign,
+                                    outcome_of(&result),
+                                    bytes,
+                                );
+                                let _ = reply.send(result);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        SemServer { state, tx: Some(tx), workers: handles }
+    }
+
+    /// Installs an IBE half-key.
+    pub fn install_ibe(&self, key: SemKey) {
+        self.state.inner.write().ibe.install(key);
+    }
+
+    /// Installs a GDH signing half-key.
+    pub fn install_gdh(&self, key: GdhSemKey) {
+        self.state.inner.write().gdh.install(key);
+    }
+
+    /// Revokes an identity across *all* capabilities — effective for
+    /// every request admitted after this call returns.
+    pub fn revoke(&self, id: &str) {
+        let mut inner = self.state.inner.write();
+        inner.ibe.revoke(id);
+        inner.gdh.revoke(id);
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&self, id: &str) {
+        let mut inner = self.state.inner.write();
+        inner.ibe.unrevoke(id);
+        inner.gdh.unrevoke(id);
+    }
+
+    /// `true` iff `id` is revoked (either capability).
+    pub fn is_revoked(&self, id: &str) -> bool {
+        self.state.inner.read().ibe.is_revoked(id)
+    }
+
+    /// Aggregate audit statistics for one identity.
+    pub fn audit_stats(&self, id: &str) -> crate::audit::IdentityStats {
+        self.state.audit.stats_for(id)
+    }
+
+    /// Total bytes the SEM has returned to users (the E3 deployment
+    /// counter).
+    pub fn audit_bytes_out(&self) -> u64 {
+        self.state.audit.total_bytes_out()
+    }
+
+    /// Identities with more than `threshold` refusals (anomaly feed).
+    pub fn audit_noisy_identities(&self, threshold: u64) -> Vec<String> {
+        self.state.audit.noisy_identities(threshold)
+    }
+
+    /// A client handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`SemServer::shutdown`].
+    pub fn client(&self) -> SemClient {
+        SemClient { tx: self.tx.as_ref().expect("server running").clone() }
+    }
+
+    /// Stops accepting requests and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            for _ in 0..self.workers.len() {
+                let _ = tx.send(Job::Shutdown);
+            }
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for SemServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl SemClient {
+    /// Requests a mediated-IBE decryption token (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the SEM-side error ([`Error::Revoked`] etc.);
+    /// returns [`Error::UnknownIdentity`] if the server is gone.
+    pub fn ibe_token(&self, id: &str, u: &G1Affine) -> Result<DecryptToken, Error> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Job::IbeToken { id: id.to_string(), u: u.clone(), reply })
+            .map_err(|_| Error::UnknownIdentity)?;
+        rx.recv().map_err(|_| Error::UnknownIdentity)?
+    }
+
+    /// Requests a mediated-GDH half-signature (blocking).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SemClient::ibe_token`].
+    pub fn gdh_half_sign(&self, id: &str, message: &[u8]) -> Result<HalfSignature, Error> {
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Job::GdhHalfSign { id: id.to_string(), message: message.to_vec(), reply })
+            .map_err(|_| Error::UnknownIdentity)?;
+        rx.recv().map_err(|_| Error::UnknownIdentity)?
+    }
+}
+
+/// Maps a service result onto an audit outcome.
+fn outcome_of<T>(result: &Result<T, Error>) -> Outcome {
+    match result {
+        Ok(_) => Outcome::Served,
+        Err(Error::Revoked) => Outcome::RefusedRevoked,
+        Err(Error::UnknownIdentity) => Outcome::RefusedUnknown,
+        Err(_) => Outcome::RefusedInvalid,
+    }
+}
+
+/// Result of a throughput run.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputResult {
+    /// Requests completed.
+    pub requests: usize,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ThroughputResult {
+    /// Completed requests per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Drives `total_requests` token requests from `client_threads`
+/// concurrent clients against the server (the E9 experiment).
+///
+/// All requests target `id` with ciphertext component `u`.
+pub fn drive_throughput(
+    server: &SemServer,
+    id: &str,
+    u: &G1Affine,
+    client_threads: usize,
+    total_requests: usize,
+) -> ThroughputResult {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let per_client = total_requests / client_threads;
+        for _ in 0..client_threads {
+            let client = server.client();
+            let u = u.clone();
+            let id = id.to_string();
+            scope.spawn(move || {
+                for _ in 0..per_client {
+                    client.ibe_token(&id, &u).expect("token");
+                }
+            });
+        }
+    });
+    ThroughputResult {
+        requests: (total_requests / client_threads) * client_threads,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sempair_core::bf_ibe::Pkg;
+    use sempair_core::gdh;
+    use sempair_pairing::CurveParams;
+
+    fn setup(workers: usize) -> (Pkg, SemServer, sempair_core::mediated::UserKey, StdRng) {
+        let mut rng = StdRng::seed_from_u64(111);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let server = SemServer::spawn(pkg.params().clone(), workers);
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        (pkg, server, user, rng)
+    }
+
+    #[test]
+    fn token_service_roundtrip() {
+        let (pkg, server, user, mut rng) = setup(2);
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"through the server").unwrap();
+        let token = client.ibe_token("alice", &c.u).unwrap();
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+            b"through the server"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_all_served() {
+        let (pkg, server, user, mut rng) = setup(4);
+        let ciphertexts: Vec<_> = (0..8)
+            .map(|i| {
+                pkg.params()
+                    .encrypt_full(&mut rng, "alice", format!("msg {i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, c) in ciphertexts.iter().enumerate() {
+                let client = server.client();
+                let user = &user;
+                let pkg = &pkg;
+                scope.spawn(move || {
+                    let token = client.ibe_token("alice", &c.u).unwrap();
+                    let m = user.finish_decrypt(pkg.params(), c, &token).unwrap();
+                    assert_eq!(m, format!("msg {i}").as_bytes());
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn revocation_visible_to_inflight_clients() {
+        let (pkg, server, _user, mut rng) = setup(2);
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        assert!(client.ibe_token("alice", &c.u).is_ok());
+        server.revoke("alice");
+        assert_eq!(client.ibe_token("alice", &c.u), Err(Error::Revoked));
+        server.unrevoke("alice");
+        assert!(client.ibe_token("alice", &c.u).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn gdh_half_sign_via_server() {
+        let (pkg, server, _user, mut rng) = setup(2);
+        let curve = pkg.params().curve();
+        let (gdh_user, sem_key, pk) = gdh::mediated_keygen(&mut rng, curve, "signer");
+        server.install_gdh(sem_key);
+        let client = server.client();
+        let half = client.gdh_half_sign("signer", b"payload").unwrap();
+        let sig = gdh_user.finish_sign(curve, b"payload", &half).unwrap();
+        gdh::verify(curve, &pk, b"payload", &sig).unwrap();
+        // Revocation hits GDH too.
+        server.revoke("signer");
+        assert_eq!(client.gdh_half_sign("signer", b"x"), Err(Error::Revoked));
+        server.shutdown();
+    }
+
+    #[test]
+    fn throughput_driver_completes() {
+        let (pkg, server, _user, mut rng) = setup(2);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        let result = drive_throughput(&server, "alice", &c.u, 2, 16);
+        assert_eq!(result.requests, 16);
+        assert!(result.ops_per_sec() > 0.0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn audit_log_tracks_decisions() {
+        let (pkg, server, _user, mut rng) = setup(2);
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        client.ibe_token("alice", &c.u).unwrap();
+        client.ibe_token("alice", &c.u).unwrap();
+        server.revoke("alice");
+        let _ = client.ibe_token("alice", &c.u);
+        let _ = client.ibe_token("ghost", &c.u);
+        let stats = server.audit_stats("alice");
+        assert_eq!(stats.served, 2);
+        assert_eq!(stats.refused, 1);
+        assert!(server.audit_bytes_out() > 0);
+        assert_eq!(server.audit_stats("ghost").refused, 1);
+        assert!(server.audit_noisy_identities(0).contains(&"alice".to_string()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_identity_propagates() {
+        let (_pkg, server, _user, _rng) = setup(1);
+        let client = server.client();
+        let g = G1Affine::infinity();
+        assert_eq!(client.ibe_token("ghost", &g), Err(Error::UnknownIdentity));
+        server.shutdown();
+    }
+}

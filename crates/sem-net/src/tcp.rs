@@ -1,0 +1,448 @@
+//! A TCP SEM daemon speaking the [`crate::proto`] frame protocol.
+//!
+//! The paper's SEM is an online network service; this module makes the
+//! reproduction one too: [`TcpSemServer`] binds a listener, serves
+//! token requests over real sockets (one handler thread per
+//! connection, shared revocation state), and [`TcpSemClient`] is the
+//! user-side stub. The bytes that cross this socket are the paper's §4
+//! and §5 bandwidth numbers, observable with any packet capture.
+
+use crate::audit::{AuditLog, Capability, Outcome};
+use crate::proto::{self, Op, Request, Response, Status};
+use parking_lot::RwLock;
+use sempair_core::bf_ibe::IbePublicParams;
+use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
+use sempair_core::mediated::{DecryptToken, Sem, SemKey};
+use sempair_core::Error;
+use sempair_pairing::G1Affine;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Shared {
+    params: IbePublicParams,
+    inner: RwLock<Inner>,
+    shutdown: AtomicBool,
+    audit: AuditLog,
+}
+
+#[derive(Default)]
+struct Inner {
+    ibe: Sem,
+    gdh: GdhSem,
+}
+
+/// A running TCP SEM daemon.
+pub struct TcpSemServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// A connected client stub (one TCP connection, reusable for many
+/// requests).
+pub struct TcpSemClient {
+    stream: TcpStream,
+    params: IbePublicParams,
+}
+
+/// Reads one length-prefixed frame payload; `Ok(None)` on clean EOF.
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > proto::MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+impl TcpSemServer {
+    /// Binds and starts serving. Use addr `"127.0.0.1:0"` to let the OS
+    /// pick a port (see [`TcpSemServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind(addr: impl ToSocketAddrs, params: IbePublicParams) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            params,
+            inner: RwLock::new(Inner::default()),
+            shutdown: AtomicBool::new(false),
+            audit: AuditLog::new(),
+        });
+        let acceptor_shared = Arc::clone(&shared);
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_shared = Arc::clone(&acceptor_shared);
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &conn_shared);
+                });
+            }
+        });
+        Ok(TcpSemServer { shared, local_addr, acceptor: Some(acceptor) })
+    }
+
+    /// The bound address (for clients).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Installs an IBE half-key.
+    pub fn install_ibe(&self, key: SemKey) {
+        self.shared.inner.write().ibe.install(key);
+    }
+
+    /// Installs a GDH half-key.
+    pub fn install_gdh(&self, key: GdhSemKey) {
+        self.shared.inner.write().gdh.install(key);
+    }
+
+    /// Revokes an identity across all capabilities (instant).
+    pub fn revoke(&self, id: &str) {
+        let mut inner = self.shared.inner.write();
+        inner.ibe.revoke(id);
+        inner.gdh.revoke(id);
+    }
+
+    /// Reinstates an identity.
+    pub fn unrevoke(&self, id: &str) {
+        let mut inner = self.shared.inner.write();
+        inner.ibe.unrevoke(id);
+        inner.gdh.unrevoke(id);
+    }
+
+    /// Aggregate audit statistics for one identity.
+    pub fn audit_stats(&self, id: &str) -> crate::audit::IdentityStats {
+        self.shared.audit.stats_for(id)
+    }
+
+    /// Total bytes the daemon has returned to clients.
+    pub fn audit_bytes_out(&self) -> u64 {
+        self.shared.audit.total_bytes_out()
+    }
+
+    /// Stops accepting new connections (existing connections drain on
+    /// their own as clients disconnect).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Nudge the blocking accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TcpSemServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Handles one client connection until EOF.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    while let Some(payload) = read_frame(&mut stream)? {
+        let response = match proto::decode_request(&payload) {
+            None => Response { status: Status::Invalid, body: vec![] },
+            Some(request) => handle_request(&request, shared),
+        };
+        stream.write_all(&proto::encode_response(&response))?;
+    }
+    Ok(())
+}
+
+fn handle_request(request: &Request, shared: &Shared) -> Response {
+    let params = &shared.params;
+    let (capability, response) = match request.op {
+        Op::IbeToken => {
+            let response = match params.curve().point_from_bytes(&request.body) {
+                Err(_) => Response { status: Status::Invalid, body: vec![] },
+                Ok(u) => {
+                    let result = {
+                        let inner = shared.inner.read();
+                        inner.ibe.decrypt_token(params, &request.id, &u)
+                    };
+                    match result {
+                        Ok(token) => Response {
+                            status: Status::Ok,
+                            body: params.curve().gt_to_bytes(&token.0),
+                        },
+                        Err(e) => Response { status: Status::from_error(&e), body: vec![] },
+                    }
+                }
+            };
+            (Capability::IbeDecrypt, response)
+        }
+        Op::GdhHalfSign => {
+            let result = {
+                let inner = shared.inner.read();
+                inner.gdh.half_sign(params.curve(), &request.id, &request.body)
+            };
+            let response = match result {
+                Ok(half) => Response {
+                    status: Status::Ok,
+                    body: params.curve().point_to_bytes(&half.0),
+                },
+                Err(e) => Response { status: Status::from_error(&e), body: vec![] },
+            };
+            (Capability::GdhSign, response)
+        }
+    };
+    let outcome = match response.status {
+        Status::Ok => Outcome::Served,
+        Status::Revoked => Outcome::RefusedRevoked,
+        Status::Unknown => Outcome::RefusedUnknown,
+        Status::Invalid => Outcome::RefusedInvalid,
+    };
+    shared.audit.record(&request.id, capability, outcome, response.body.len());
+    response
+}
+
+impl TcpSemClient {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs, params: IbePublicParams) -> std::io::Result<Self> {
+        Ok(TcpSemClient { stream: TcpStream::connect(addr)?, params })
+    }
+
+    fn exchange(&mut self, request: &Request) -> Result<Response, Error> {
+        self.stream
+            .write_all(&proto::encode_request(request))
+            .map_err(|_| Error::UnknownIdentity)?;
+        let payload = read_frame(&mut self.stream)
+            .ok()
+            .flatten()
+            .ok_or(Error::UnknownIdentity)?;
+        proto::decode_response(&payload).ok_or(Error::InvalidCiphertext)
+    }
+
+    /// Requests a mediated-IBE decryption token over the wire.
+    ///
+    /// # Errors
+    ///
+    /// SEM-side refusals mapped back ([`Error::Revoked`] etc.), or
+    /// transport failures as [`Error::UnknownIdentity`].
+    pub fn ibe_token(&mut self, id: &str, u: &G1Affine) -> Result<DecryptToken, Error> {
+        let request = Request {
+            op: Op::IbeToken,
+            id: id.to_string(),
+            body: self.params.curve().point_to_bytes(u),
+        };
+        let response = self.exchange(&request)?;
+        if let Some(err) = response.status.to_error() {
+            return Err(err);
+        }
+        self.params
+            .curve()
+            .gt_from_bytes(&response.body)
+            .map(DecryptToken)
+            .map_err(|_| Error::InvalidCiphertext)
+    }
+
+    /// Requests a mediated-GDH half-signature over the wire.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TcpSemClient::ibe_token`].
+    pub fn gdh_half_sign(&mut self, id: &str, message: &[u8]) -> Result<HalfSignature, Error> {
+        let request = Request {
+            op: Op::GdhHalfSign,
+            id: id.to_string(),
+            body: message.to_vec(),
+        };
+        let response = self.exchange(&request)?;
+        if let Some(err) = response.status.to_error() {
+            return Err(err);
+        }
+        self.params
+            .curve()
+            .point_from_bytes(&response.body)
+            .map(HalfSignature)
+            .map_err(|_| Error::InvalidCiphertext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sempair_core::bf_ibe::Pkg;
+    use sempair_core::gdh;
+    use sempair_pairing::CurveParams;
+
+    fn setup() -> (Pkg, TcpSemServer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x7C9);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let server = TcpSemServer::bind("127.0.0.1:0", pkg.params().clone()).unwrap();
+        (pkg, server, rng)
+    }
+
+    #[test]
+    fn decrypt_through_real_sockets() {
+        let (pkg, server, mut rng) = setup();
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let mut client =
+            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"over tcp").unwrap();
+        let token = client.ibe_token("alice", &c.u).unwrap();
+        assert_eq!(user.finish_decrypt(pkg.params(), &c, &token).unwrap(), b"over tcp");
+        // Several requests over one connection.
+        for i in 0..3 {
+            let c = pkg
+                .params()
+                .encrypt_full(&mut rng, "alice", format!("msg {i}").as_bytes())
+                .unwrap();
+            let token = client.ibe_token("alice", &c.u).unwrap();
+            assert_eq!(
+                user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+                format!("msg {i}").as_bytes()
+            );
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn sign_through_real_sockets() {
+        let (pkg, server, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (user, sem_key, pk) = gdh::mediated_keygen(&mut rng, curve, "signer");
+        server.install_gdh(sem_key);
+        let mut client =
+            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let half = client.gdh_half_sign("signer", b"tcp doc").unwrap();
+        let sig = user.finish_sign(curve, b"tcp doc", &half).unwrap();
+        gdh::verify(curve, &pk, b"tcp doc", &sig).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn revocation_and_errors_over_the_wire() {
+        let (pkg, server, mut rng) = setup();
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let mut client =
+            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        assert!(client.ibe_token("alice", &c.u).is_ok());
+        server.revoke("alice");
+        assert_eq!(client.ibe_token("alice", &c.u), Err(Error::Revoked));
+        server.unrevoke("alice");
+        assert!(client.ibe_token("alice", &c.u).is_ok());
+        assert_eq!(
+            client.ibe_token("nobody", &c.u),
+            Err(Error::UnknownIdentity)
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn daemon_audits_every_request() {
+        let (pkg, server, mut rng) = setup();
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let mut client =
+            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        client.ibe_token("alice", &c.u).unwrap();
+        server.revoke("alice");
+        let _ = client.ibe_token("alice", &c.u);
+        let stats = server.audit_stats("alice");
+        assert_eq!(stats.served, 1);
+        assert_eq!(stats.refused, 1);
+        assert!(server.audit_bytes_out() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections() {
+        let (pkg, server, mut rng) = setup();
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let ciphertexts: Vec<_> = (0..4)
+            .map(|i| {
+                pkg.params()
+                    .encrypt_full(&mut rng, "alice", format!("c{i}").as_bytes())
+                    .unwrap()
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, c) in ciphertexts.iter().enumerate() {
+                let addr = server.local_addr();
+                let params = pkg.params().clone();
+                let user = &user;
+                scope.spawn(move || {
+                    let mut client = TcpSemClient::connect(addr, params.clone()).unwrap();
+                    let token = client.ibe_token("alice", &c.u).unwrap();
+                    let m = user.finish_decrypt(&params, c, &token).unwrap();
+                    assert_eq!(m, format!("c{i}").as_bytes());
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_frames_get_invalid_status() {
+        let (pkg, server, _) = setup();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Garbage payload of length 3.
+        stream.write_all(&3u32.to_be_bytes()).unwrap();
+        stream.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let response = proto::decode_response(&payload).unwrap();
+        assert_eq!(response.status, Status::Invalid);
+        // The connection survives and serves a valid request afterwards.
+        let curve = pkg.params().curve();
+        let req = Request {
+            op: Op::IbeToken,
+            id: "ghost".into(),
+            body: curve.point_to_bytes(curve.generator()),
+        };
+        stream.write_all(&proto::encode_request(&req)).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(proto::decode_response(&payload).unwrap().status, Status::Unknown);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let (_, server, _) = setup();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(&((proto::MAX_FRAME + 1) as u32).to_be_bytes())
+            .unwrap();
+        stream.write_all(&[0u8; 16]).unwrap();
+        // Server closes the connection: next read returns EOF/err.
+        let result = read_frame(&mut stream);
+        assert!(matches!(result, Ok(None) | Err(_)));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,141 @@
+//! Wire-format accounting: the §4/§5 bandwidth comparison as code.
+//!
+//! Every mediated operation is one request/response exchange with the
+//! SEM. These functions compute the exact bit counts for each protocol
+//! so the E3 report regenerates the paper's numbers ("the SEM only has
+//! to send 160 bits to the user with respect to 1024 bits for the mRSA
+//! signature", "about 1000 bits" for the mediated IBE token).
+
+use sempair_core::bf_ibe::IbePublicParams;
+use sempair_pairing::CurveParams;
+
+/// Per-operation SEM→user and user→SEM message sizes, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeBits {
+    /// Bits the user (or ciphertext relay) sends to the SEM.
+    pub request: usize,
+    /// Bits the SEM returns (the token / half-result).
+    pub response: usize,
+}
+
+/// Mediated BF-IBE decryption (§4): the user forwards `U` (compressed
+/// point) plus the identity; the SEM returns `g_sem ∈ G2 = F_p²`
+/// (~`2|p|` bits — the "about 1000 bits" remark at 512-bit `p`).
+pub fn mediated_ibe_decrypt(curve: &CurveParams, id_len_bytes: usize) -> ExchangeBits {
+    ExchangeBits {
+        request: (curve.point_len() + id_len_bytes) * 8,
+        response: 2 * curve.fp().byte_len() * 8,
+    }
+}
+
+/// Mediated GDH signing (§5): the user sends the hashed message point
+/// (compressed); the SEM returns one compressed `G1` point
+/// (~`|p|+8` bits — "160 bits" on a 160-bit curve).
+pub fn mediated_gdh_sign(curve: &CurveParams, id_len_bytes: usize) -> ExchangeBits {
+    ExchangeBits {
+        request: (curve.point_len() + id_len_bytes) * 8,
+        response: curve.point_len() * 8,
+    }
+}
+
+/// mRSA / IB-mRSA half-operation (§2): the user sends the ciphertext or
+/// message hash (`|n|` bits); the SEM returns an `|n|`-bit half-result
+/// (1024 bits at the paper's modulus size).
+pub fn mrsa_half_op(modulus_bits: usize, id_len_bytes: usize) -> ExchangeBits {
+    ExchangeBits {
+        request: modulus_bits + id_len_bytes * 8,
+        response: modulus_bits,
+    }
+}
+
+/// Key-material sizes (bits) for the E1 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeySizes {
+    /// The user's half (or full) private key.
+    pub user_private: usize,
+    /// A full ciphertext for a reference plaintext length.
+    pub ciphertext: usize,
+    /// A signature.
+    pub signature: usize,
+}
+
+/// Mediated IBE key/ciphertext/— sizes; `msg_len` in bytes.
+pub fn mediated_ibe_sizes(params: &IbePublicParams, msg_len: usize) -> KeySizes {
+    let curve = params.curve();
+    KeySizes {
+        // d_user: one compressed point.
+        user_private: curve.point_len() * 8,
+        // <U, V, W>: point + σ + message-length body + 4-byte length.
+        ciphertext: (curve.point_len() + sempair_core::bf_ibe::SIGMA_LEN + 4 + msg_len) * 8,
+        signature: 0,
+    }
+}
+
+/// Mediated GDH signature sizes.
+pub fn mediated_gdh_sizes(curve: &CurveParams) -> KeySizes {
+    KeySizes {
+        user_private: curve.order().bits(),
+        ciphertext: 0,
+        signature: curve.point_len() * 8,
+    }
+}
+
+/// IB-mRSA sizes at `modulus_bits`.
+pub fn ib_mrsa_sizes(modulus_bits: usize) -> KeySizes {
+    KeySizes {
+        user_private: modulus_bits, // d_user ∈ Z_φ(n) ≈ |n| bits
+        ciphertext: modulus_bits,
+        signature: modulus_bits,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_curve() -> CurveParams {
+        CurveParams::paper_default()
+    }
+
+    #[test]
+    fn paper_claim_gdh_token_much_smaller_than_mrsa() {
+        // §5: SEM sends ~160 bits (point on a short curve) vs 1024 for
+        // mRSA. At our paper-default 512-bit p the GDH token is one
+        // compressed point = 520 bits, still half of 1024; on the
+        // 160-bit-p curve [6] proposes it is ~168. Assert the ordering.
+        let curve = paper_curve();
+        let gdh = mediated_gdh_sign(&curve, 5);
+        let mrsa = mrsa_half_op(1024, 5);
+        assert!(gdh.response < mrsa.response);
+        assert_eq!(mrsa.response, 1024);
+        assert_eq!(gdh.response, curve.point_len() * 8);
+    }
+
+    #[test]
+    fn paper_claim_ibe_token_about_1000_bits() {
+        // §4: "about 1000 bits have to be sent by the SEM" — the token
+        // is an F_p² element = 2·512 = 1024 bits at 512-bit p.
+        let curve = paper_curve();
+        let x = mediated_ibe_decrypt(&curve, 5);
+        assert_eq!(x.response, 1024);
+    }
+
+    #[test]
+    fn paper_claim_short_private_keys() {
+        // §4: mediated-IBE private keys are one compressed point
+        // (513 bits at 512-bit p, "512 or even 160 bits" with point
+        // compression) vs 1024 bits for IB-mRSA.
+        let curve = paper_curve();
+        let pkg_key_bits = (curve.point_len()) * 8;
+        assert!(pkg_key_bits < 1024);
+        assert_eq!(ib_mrsa_sizes(1024).user_private, 1024);
+    }
+
+    #[test]
+    fn exchange_bits_are_consistent() {
+        let curve = CurveParams::fast_insecure();
+        let e = mediated_ibe_decrypt(&curve, 10);
+        assert_eq!(e.request, (curve.point_len() + 10) * 8);
+        assert_eq!(e.response, 2 * curve.fp().byte_len() * 8);
+    }
+}

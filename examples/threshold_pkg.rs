@@ -1,0 +1,95 @@
+//! Threshold IBE: distributing decryption across `n` servers (§3).
+//!
+//! Run with `cargo run --release --example threshold_pkg`.
+//!
+//! A (3, 5) deployment: five decryption servers, any three of which can
+//! serve a decryption — and with the §3.2 robustness proofs, cheating
+//! servers are identified, bypassed, and even have their key share
+//! reconstructed by the honest majority.
+
+use rand::SeedableRng;
+use sempair::core::threshold::{DecryptionShare, ThresholdPkg};
+use sempair::pairing::CurveParams;
+
+fn main() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3003);
+    let curve = CurveParams::fast_insecure();
+
+    println!("== Setup: (t=3, n=5) threshold IBE ==");
+    let pkg = ThresholdPkg::setup(&mut rng, curve, 3, 5).expect("setup");
+    let sys = pkg.system();
+
+    // Each player sanity-checks the dealer before accepting (§3.2).
+    sys.check_dealer_consistency(&[1, 2, 3]).expect("dealer consistent");
+    sys.check_dealer_consistency(&[2, 4, 5]).expect("dealer consistent");
+    println!("dealer consistency verified by two independent 3-subsets");
+
+    // Key issuance for an identity; every player verifies its share.
+    let shares = pkg.keygen("vault@example.com");
+    for share in &shares {
+        assert!(sys.verify_key_share(share), "player {} got a bad share", share.index);
+    }
+    println!("all 5 key shares verified against the public verification keys");
+
+    // Encrypt (plain BasicIdent — senders are oblivious to the sharing).
+    let secret = b"launch code: 0000";
+    let c = sys.params().encrypt_basic(&mut rng, "vault@example.com", secret);
+
+    println!("\n== Scenario A: three honest servers decrypt ==");
+    let dec: Vec<DecryptionShare> = shares[..3]
+        .iter()
+        .map(|ks| sys.decryption_share(ks, &c.u))
+        .collect();
+    let m = sys.recombine_basic(&c, &dec).expect("recombine");
+    assert_eq!(m, secret);
+    println!("recovered: {:?}", String::from_utf8_lossy(&m));
+
+    println!("\n== Scenario B: server 2 cheats; robustness saves the day ==");
+    let mut dec: Vec<DecryptionShare> = shares
+        .iter()
+        .map(|ks| sys.decryption_share_robust(&mut rng, ks, &c.u))
+        .collect();
+    // Server 2 publishes garbage (keeps its stale proof).
+    let curve = sys.params().curve();
+    dec[1].value = curve.pairing(curve.generator(), curve.generator());
+    let (m, cheaters) = sys.recombine_basic_robust("vault@example.com", &c, &dec).expect("robust");
+    assert_eq!(m, secret);
+    println!("cheaters detected: {cheaters:?}; plaintext still recovered");
+
+    println!("\n== Scenario C: honest majority reconstructs the cheater's share ==");
+    let honest: Vec<_> = shares
+        .iter()
+        .filter(|s| !cheaters.contains(&s.index))
+        .cloned()
+        .collect();
+    let recovered = sys.recover_key_share(&honest[..3], cheaters[0]).expect("recover");
+    assert_eq!(recovered, shares[(cheaters[0] - 1) as usize]);
+    println!("share of player {} reconstructed from 3 honest shares", cheaters[0]);
+
+    println!("\n== Scenario D: checked ciphertexts — servers pre-validate (§3.3) ==");
+    {
+        use sempair::core::checked;
+        let cc = checked::encrypt_checked(&mut rng, sys.params(), "vault@example.com", b"cca route");
+        // Honest ciphertext: servers serve.
+        let dec: Vec<DecryptionShare> = shares[..3]
+            .iter()
+            .map(|ks| sys.decryption_share_checked(ks, &cc).expect("valid"))
+            .collect();
+        assert_eq!(sys.recombine_checked(&cc, &dec).unwrap(), b"cca route");
+        // Mauled ciphertext: refused BEFORE any share is produced.
+        let mut mauled = cc.clone();
+        mauled.inner.v[0] ^= 1;
+        assert!(sys.decryption_share_checked(&shares[0], &mauled).is_err());
+        println!("validity proof verified by each server; mauled ciphertext refused share-free");
+    }
+
+    println!("\n== Scenario E: two servers are not enough ==");
+    let dec: Vec<DecryptionShare> = shares[3..]
+        .iter()
+        .map(|ks| sys.decryption_share(ks, &c.u))
+        .collect();
+    assert!(sys.recombine_basic(&c, &dec).is_err());
+    println!("recombination with 2 < t shares correctly refused");
+
+    println!("\nthreshold_pkg completed successfully");
+}

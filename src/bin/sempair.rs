@@ -1,0 +1,448 @@
+//! `sempair` — a file-backed command-line demo of the full system.
+//!
+//! Simulates all three roles (PKG, SEM, users) against a state
+//! directory, so the complete lifecycle is driveable from a shell:
+//!
+//! ```text
+//! sempair setup --dir /tmp/demo --fast
+//! sempair enroll --dir /tmp/demo alice@example.com
+//! sempair encrypt --dir /tmp/demo alice@example.com "hello" > ct.hex
+//! sempair decrypt --dir /tmp/demo alice@example.com "$(cat ct.hex)"
+//! sempair sign   --dir /tmp/demo alice@example.com "contract v1" > sig.hex
+//! sempair verify --dir /tmp/demo alice@example.com "contract v1" "$(cat sig.hex)"
+//! sempair revoke --dir /tmp/demo alice@example.com
+//! sempair decrypt --dir /tmp/demo alice@example.com "$(cat ct.hex)"   # refused
+//! sempair audit  --dir /tmp/demo
+//! ```
+//!
+//! State layout under `--dir` (default `./sempair-state`):
+//! `system.json` (curve spec + PKG master), `users/<id>.ibe` /
+//! `users/<id>.gdh` (user halves), `sem/<id>.ibe` / `sem/<id>.gdh`
+//! (SEM halves), `sem/revoked.txt`, `sem/audit.log`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair::core::bf_ibe::{FullCiphertext, Pkg};
+use sempair::core::gdh::{self, GdhSem, GdhSemKey, GdhUser};
+use sempair::core::mediated::Sem;
+use sempair::core::wire;
+use sempair::net::tcp::{TcpSemClient, TcpSemServer};
+use sempair::pairing::{CurveParams, CurveParamsSpec};
+use sempair_bigint::BigUint;
+use std::collections::HashSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    command: String,
+    dir: PathBuf,
+    fast: bool,
+    /// Address of a remote SEM daemon; when set, decrypt/sign go over
+    /// TCP instead of reading the local SEM state.
+    sem_addr: Option<String>,
+    positional: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut dir = PathBuf::from("sempair-state");
+    let mut fast = false;
+    let mut sem_addr = None;
+    let mut positional = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => dir = PathBuf::from(args.next().ok_or("--dir needs a value")?),
+            "--fast" => fast = true,
+            "--paper" => fast = false,
+            "--sem" => sem_addr = Some(args.next().ok_or("--sem needs an address")?),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok(Args { command, dir, fast, sem_addr, positional })
+}
+
+fn usage() -> String {
+    "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|serve> \
+     [--dir DIR] [--fast|--paper] [--sem ADDR] [args...]"
+        .to_string()
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    match args.command.as_str() {
+        "setup" => cmd_setup(&args),
+        "enroll" => cmd_enroll(&args),
+        "encrypt" => cmd_encrypt(&args),
+        "decrypt" => cmd_decrypt(&args),
+        "sign" => cmd_sign(&args),
+        "verify" => cmd_verify(&args),
+        "revoke" => cmd_set_revoked(&args, true),
+        "unrevoke" => cmd_set_revoked(&args, false),
+        "status" => cmd_status(&args),
+        "audit" => cmd_audit(&args),
+        "serve" => cmd_serve(&args),
+        _ => Err(usage()),
+    }
+}
+
+// --- state persistence -------------------------------------------------------
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct SystemState {
+    curve: CurveParamsSpec,
+    /// PKG master key (hex). A real deployment would keep this offline;
+    /// the demo stores it so `enroll` works across invocations.
+    master: BigUint,
+}
+
+fn load_system(dir: &Path) -> Result<(CurveParams, Pkg), String> {
+    let raw = fs::read_to_string(dir.join("system.json"))
+        .map_err(|e| format!("cannot read system.json (run `setup` first?): {e}"))?;
+    let state: SystemState =
+        serde_json::from_str(&raw).map_err(|e| format!("corrupt system.json: {e}"))?;
+    let mut rng = sempair::hash::HmacDrbgRng::new(b"sempair-cli-validate");
+    let curve = CurveParams::from_spec(&state.curve, &mut rng)
+        .map_err(|e| format!("invalid curve parameters: {e}"))?;
+    let pkg = Pkg::from_master(curve.clone(), state.master);
+    Ok((curve, pkg))
+}
+
+fn revoked_path(dir: &Path) -> PathBuf {
+    dir.join("sem").join("revoked.txt")
+}
+
+fn load_revoked(dir: &Path) -> HashSet<String> {
+    fs::read_to_string(revoked_path(dir))
+        .map(|s| s.lines().map(str::to_string).collect())
+        .unwrap_or_default()
+}
+
+fn store_revoked(dir: &Path, revoked: &HashSet<String>) -> Result<(), String> {
+    let mut lines: Vec<&str> = revoked.iter().map(String::as_str).collect();
+    lines.sort_unstable();
+    fs::write(revoked_path(dir), lines.join("\n")).map_err(|e| e.to_string())
+}
+
+fn append_audit(dir: &Path, line: &str) {
+    use std::io::Write;
+    if let Ok(mut f) = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join("sem").join("audit.log"))
+    {
+        let _ = writeln!(f, "{line}");
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
+    let s = s.trim();
+    if s.len() % 2 != 0 {
+        return Err("hex input has odd length".into());
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).map_err(|e| e.to_string()))
+        .collect()
+}
+
+fn need_id(args: &Args) -> Result<&str, String> {
+    args.positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| "missing <identity> argument".to_string())
+}
+
+// --- commands ----------------------------------------------------------------
+
+fn cmd_setup(args: &Args) -> Result<(), String> {
+    if args.dir.join("system.json").exists() {
+        return Err(format!("{} already contains a system", args.dir.display()));
+    }
+    fs::create_dir_all(args.dir.join("users")).map_err(|e| e.to_string())?;
+    fs::create_dir_all(args.dir.join("sem")).map_err(|e| e.to_string())?;
+    let curve = if args.fast {
+        CurveParams::fast_insecure()
+    } else {
+        CurveParams::paper_default()
+    };
+    let mut rng = StdRng::from_entropy();
+    // Sample the master directly so it can be persisted (demo only;
+    // see the SystemState docs) and rebuild the PKG from it.
+    let master = curve.random_scalar(&mut rng);
+    let pkg = Pkg::from_master(curve.clone(), master.clone());
+    let state = SystemState { curve: curve.to_spec(), master };
+    fs::write(
+        args.dir.join("system.json"),
+        serde_json::to_string_pretty(&state).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "system initialized in {} ({}-bit field, {}-bit group order)",
+        args.dir.display(),
+        pkg.params().curve().modulus().bits(),
+        pkg.params().curve().order().bits()
+    );
+    Ok(())
+}
+
+fn cmd_enroll(args: &Args) -> Result<(), String> {
+    let id = need_id(args)?;
+    let (curve, pkg) = load_system(&args.dir)?;
+    let mut rng = StdRng::from_entropy();
+    // IBE halves.
+    let (user_key, sem_key) = pkg.extract_split(&mut rng, id);
+    fs::write(
+        args.dir.join("users").join(format!("{id}.ibe")),
+        hex_encode(&wire::user_key_to_bytes(&curve, &user_key)),
+    )
+    .map_err(|e| e.to_string())?;
+    fs::write(
+        args.dir.join("sem").join(format!("{id}.ibe")),
+        hex_encode(&wire::sem_key_to_bytes(&curve, &sem_key)),
+    )
+    .map_err(|e| e.to_string())?;
+    // GDH halves.
+    let (gdh_user, gdh_sem, _pk) = gdh::mediated_keygen(&mut rng, &curve, id);
+    fs::write(
+        args.dir.join("users").join(format!("{id}.gdh")),
+        hex_encode(&gdh_user.to_bytes(&curve)),
+    )
+    .map_err(|e| e.to_string())?;
+    fs::write(
+        args.dir.join("sem").join(format!("{id}.gdh")),
+        hex_encode(&gdh_sem.to_bytes(&curve)),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("enrolled {id}: decryption + signing halves issued");
+    Ok(())
+}
+
+fn load_ibe_user(dir: &Path, curve: &CurveParams, id: &str) -> Result<sempair::core::mediated::UserKey, String> {
+    let raw = fs::read_to_string(dir.join("users").join(format!("{id}.ibe")))
+        .map_err(|_| format!("{id} is not enrolled (no user key)"))?;
+    wire::user_key_from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())
+}
+
+fn build_sem(dir: &Path, curve: &CurveParams, id: &str) -> Result<(Sem, GdhSem), String> {
+    let mut sem = Sem::new();
+    let mut gdh_sem = GdhSem::new();
+    if let Ok(raw) = fs::read_to_string(dir.join("sem").join(format!("{id}.ibe"))) {
+        sem.install(wire::sem_key_from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?);
+    }
+    if let Ok(raw) = fs::read_to_string(dir.join("sem").join(format!("{id}.gdh"))) {
+        gdh_sem.install(GdhSemKey::from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?);
+    }
+    for revoked in load_revoked(dir) {
+        sem.revoke(&revoked);
+        gdh_sem.revoke(&revoked);
+    }
+    Ok((sem, gdh_sem))
+}
+
+fn cmd_encrypt(args: &Args) -> Result<(), String> {
+    let id = need_id(args)?;
+    let message = args.positional.get(1).ok_or("missing <message> argument")?;
+    let (_, pkg) = load_system(&args.dir)?;
+    let mut rng = StdRng::from_entropy();
+    let ct = pkg
+        .params()
+        .encrypt_full(&mut rng, id, message.as_bytes())
+        .map_err(|e| e.to_string())?;
+    println!("{}", hex_encode(&ct.to_bytes(pkg.params())));
+    Ok(())
+}
+
+fn cmd_decrypt(args: &Args) -> Result<(), String> {
+    let id = need_id(args)?;
+    let ct_hex = args.positional.get(1).ok_or("missing <ciphertext-hex> argument")?;
+    let (curve, pkg) = load_system(&args.dir)?;
+    let ct = FullCiphertext::from_bytes(pkg.params(), &hex_decode(ct_hex)?)
+        .map_err(|e| format!("bad ciphertext: {e}"))?;
+    // SEM step: remote daemon if --sem, local state otherwise.
+    let token = if let Some(addr) = &args.sem_addr {
+        let mut client = TcpSemClient::connect(addr.as_str(), pkg.params().clone())
+            .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
+        client
+            .ibe_token(id, &ct.u)
+            .map_err(|e| format!("SEM refused: {e}"))?
+    } else {
+        let (sem, _) = build_sem(&args.dir, &curve, id)?;
+        match sem.decrypt_token(pkg.params(), id, &ct.u) {
+            Ok(token) => {
+                append_audit(&args.dir, &format!("decrypt {id} served"));
+                token
+            }
+            Err(e) => {
+                append_audit(&args.dir, &format!("decrypt {id} refused: {e}"));
+                return Err(format!("SEM refused: {e}"));
+            }
+        }
+    };
+    // User step.
+    let user_key = load_ibe_user(&args.dir, &curve, id)?;
+    let plain = user_key
+        .finish_decrypt(pkg.params(), &ct, &token)
+        .map_err(|e| e.to_string())?;
+    println!("{}", String::from_utf8_lossy(&plain));
+    Ok(())
+}
+
+fn cmd_sign(args: &Args) -> Result<(), String> {
+    let id = need_id(args)?;
+    let message = args.positional.get(1).ok_or("missing <message> argument")?;
+    let (curve, _) = load_system(&args.dir)?;
+    let raw = fs::read_to_string(args.dir.join("users").join(format!("{id}.gdh")))
+        .map_err(|_| format!("{id} is not enrolled (no signing key)"))?;
+    let user = GdhUser::from_bytes(&curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?;
+    let half = if let Some(addr) = &args.sem_addr {
+        let (_, pkg) = load_system(&args.dir)?;
+        let mut client = TcpSemClient::connect(addr.as_str(), pkg.params().clone())
+            .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
+        client
+            .gdh_half_sign(id, message.as_bytes())
+            .map_err(|e| format!("SEM refused: {e}"))?
+    } else {
+        let (_, gdh_sem) = build_sem(&args.dir, &curve, id)?;
+        match gdh_sem.half_sign(&curve, id, message.as_bytes()) {
+            Ok(half) => {
+                append_audit(&args.dir, &format!("sign {id} served"));
+                half
+            }
+            Err(e) => {
+                append_audit(&args.dir, &format!("sign {id} refused: {e}"));
+                return Err(format!("SEM refused: {e}"));
+            }
+        }
+    };
+    let sig = user
+        .finish_sign(&curve, message.as_bytes(), &half)
+        .map_err(|e| e.to_string())?;
+    println!("{}", hex_encode(&wire::signature_to_bytes(&curve, &sig)));
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let id = need_id(args)?;
+    let message = args.positional.get(1).ok_or("missing <message> argument")?;
+    let sig_hex = args.positional.get(2).ok_or("missing <signature-hex> argument")?;
+    let (curve, _) = load_system(&args.dir)?;
+    // The verifier only needs the public key, read from the user record
+    // (in a real deployment it would come from a directory).
+    let raw = fs::read_to_string(args.dir.join("users").join(format!("{id}.gdh")))
+        .map_err(|_| format!("no public key on file for {id}"))?;
+    let user = GdhUser::from_bytes(&curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?;
+    let sig = wire::signature_from_bytes(&curve, &hex_decode(sig_hex)?)
+        .map_err(|e| e.to_string())?;
+    match gdh::verify(&curve, &user.public, message.as_bytes(), &sig) {
+        Ok(()) => {
+            println!("signature VALID for {id}");
+            Ok(())
+        }
+        Err(_) => Err("signature INVALID".into()),
+    }
+}
+
+fn cmd_set_revoked(args: &Args, revoke: bool) -> Result<(), String> {
+    let id = need_id(args)?;
+    let mut revoked = load_revoked(&args.dir);
+    if revoke {
+        revoked.insert(id.to_string());
+        append_audit(&args.dir, &format!("revoke {id}"));
+        println!("{id} revoked — effective on the next SEM request");
+    } else {
+        revoked.remove(id);
+        append_audit(&args.dir, &format!("unrevoke {id}"));
+        println!("{id} reinstated");
+    }
+    store_revoked(&args.dir, &revoked)
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let id = need_id(args)?;
+    let revoked = load_revoked(&args.dir);
+    let enrolled = args.dir.join("users").join(format!("{id}.ibe")).exists();
+    println!(
+        "{id}: {}{}",
+        if enrolled { "enrolled" } else { "not enrolled" },
+        if revoked.contains(id) { ", REVOKED" } else { "" }
+    );
+    Ok(())
+}
+
+fn cmd_audit(args: &Args) -> Result<(), String> {
+    let log = fs::read_to_string(args.dir.join("sem").join("audit.log"))
+        .unwrap_or_else(|_| "(empty)".to_string());
+    print!("{log}");
+    if !log.ends_with('\n') {
+        println!();
+    }
+    Ok(())
+}
+
+/// `serve`: run the SEM daemon over the state directory. Loads every
+/// `sem/*.ibe` and `sem/*.gdh` half-key plus the revocation list and
+/// listens on the given address (default `127.0.0.1:7003`).
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let addr = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7003");
+    let (curve, pkg) = load_system(&args.dir)?;
+    let server = TcpSemServer::bind(addr, pkg.params().clone())
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let mut installed = 0usize;
+    let sem_dir = args.dir.join("sem");
+    if let Ok(entries) = fs::read_dir(&sem_dir) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let Some(ext) = path.extension().and_then(|e| e.to_str()) else { continue };
+            let Ok(raw) = fs::read_to_string(&path) else { continue };
+            match ext {
+                "ibe" => {
+                    if let Ok(key) = wire::sem_key_from_bytes(&curve, &hex_decode(&raw)?) {
+                        server.install_ibe(key);
+                        installed += 1;
+                    }
+                }
+                "gdh" => {
+                    if let Ok(key) = GdhSemKey::from_bytes(&curve, &hex_decode(&raw)?) {
+                        server.install_gdh(key);
+                        installed += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    for revoked in load_revoked(&args.dir) {
+        server.revoke(&revoked);
+    }
+    println!(
+        "SEM daemon listening on {} ({installed} half-keys installed); Ctrl-C to stop",
+        server.local_addr()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

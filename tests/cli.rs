@@ -1,0 +1,87 @@
+//! End-to-end test of the `sempair` CLI binary: the full lifecycle
+//! driven through the process boundary and the on-disk state format.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_sempair")
+}
+
+fn run(dir: &PathBuf, args: &[&str]) -> Output {
+    Command::new(bin())
+        .arg(args[0])
+        .arg("--dir")
+        .arg(dir)
+        .args(&args[1..])
+        .output()
+        .expect("spawn sempair")
+}
+
+fn stdout(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout).trim().to_string()
+}
+
+#[test]
+fn cli_full_lifecycle() {
+    let dir = std::env::temp_dir().join(format!("sempair-cli-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // setup + enroll
+    let out = run(&dir, &["setup", "--fast"]);
+    assert!(out.status.success(), "setup failed: {out:?}");
+    let out = run(&dir, &["enroll", "bob@example.com"]);
+    assert!(out.status.success(), "enroll failed: {out:?}");
+
+    // double setup refused
+    let out = run(&dir, &["setup", "--fast"]);
+    assert!(!out.status.success(), "second setup must fail");
+
+    // encrypt / decrypt roundtrip across process invocations
+    let out = run(&dir, &["encrypt", "bob@example.com", "cli secret"]);
+    assert!(out.status.success());
+    let ct = stdout(&out);
+    assert!(ct.len() > 100, "ciphertext hex expected");
+    let out = run(&dir, &["decrypt", "bob@example.com", &ct]);
+    assert!(out.status.success(), "decrypt failed: {out:?}");
+    assert_eq!(stdout(&out), "cli secret");
+
+    // sign / verify
+    let out = run(&dir, &["sign", "bob@example.com", "the deal"]);
+    assert!(out.status.success());
+    let sig = stdout(&out);
+    let out = run(&dir, &["verify", "bob@example.com", "the deal", &sig]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("VALID"));
+    let out = run(&dir, &["verify", "bob@example.com", "another deal", &sig]);
+    assert!(!out.status.success(), "forged verify must fail");
+
+    // revocation blocks decrypt and sign, unrevoke restores
+    let out = run(&dir, &["revoke", "bob@example.com"]);
+    assert!(out.status.success());
+    let out = run(&dir, &["decrypt", "bob@example.com", &ct]);
+    assert!(!out.status.success(), "revoked decrypt must fail");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("revoked"));
+    let out = run(&dir, &["sign", "bob@example.com", "x"]);
+    assert!(!out.status.success(), "revoked sign must fail");
+    let out = run(&dir, &["unrevoke", "bob@example.com"]);
+    assert!(out.status.success());
+    let out = run(&dir, &["decrypt", "bob@example.com", &ct]);
+    assert!(out.status.success());
+    assert_eq!(stdout(&out), "cli secret");
+
+    // status + audit reflect the history
+    let out = run(&dir, &["status", "bob@example.com"]);
+    assert!(stdout(&out).contains("enrolled"));
+    let out = run(&dir, &["audit"]);
+    let log = stdout(&out);
+    assert!(log.contains("served"));
+    assert!(log.contains("refused"));
+    assert!(log.contains("revoke bob@example.com"));
+
+    // unknown identity errors cleanly
+    let out = run(&dir, &["decrypt", "mallory@example.com", &ct]);
+    assert!(!out.status.success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,73 @@
+//! The whole stack in one scenario: a company runs a TCP SEM daemon;
+//! employees signcrypt through it; the PKG is run as a (3,5) threshold
+//! dealer whose servers can also decrypt escrow copies; an off-boarded
+//! employee loses every capability at once.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair::core::bf_ibe::Pkg;
+use sempair::core::gdh;
+use sempair::core::signcryption;
+use sempair::core::threshold::ThresholdPkg;
+use sempair::net::tcp::{TcpSemClient, TcpSemServer};
+use sempair::pairing::CurveParams;
+
+#[test]
+fn company_scenario_end_to_end() {
+    let mut rng = StdRng::seed_from_u64(0x51A6);
+    let curve = CurveParams::fast_insecure();
+
+    // --- infrastructure -----------------------------------------------------
+    let pkg = Pkg::setup(&mut rng, curve.clone());
+    let sem = TcpSemServer::bind("127.0.0.1:0", pkg.params().clone()).unwrap();
+
+    // Employees: heidi (sender), ivan (recipient).
+    let (heidi_sign, heidi_sign_sem, heidi_pk) =
+        gdh::mediated_keygen(&mut rng, pkg.params().curve(), "heidi");
+    sem.install_gdh(heidi_sign_sem);
+    let (ivan_key, ivan_sem) = pkg.extract_split(&mut rng, "ivan");
+    sem.install_ibe(ivan_sem);
+
+    // --- signcrypt through the daemon ---------------------------------------
+    let mut heidi_client = TcpSemClient::connect(sem.local_addr(), pkg.params().clone()).unwrap();
+    let msg = b"merger term sheet, rev 3";
+    let content = signcryption::content_to_sign("ivan", msg);
+    let half = heidi_client.gdh_half_sign("heidi", &content).unwrap();
+    let sc = signcryption::signcrypt(&mut rng, pkg.params(), &heidi_sign, &half, "ivan", msg)
+        .unwrap();
+
+    // --- designcrypt through the daemon --------------------------------------
+    let mut ivan_client = TcpSemClient::connect(sem.local_addr(), pkg.params().clone()).unwrap();
+    let token = ivan_client.ibe_token("ivan", &sc.ciphertext.u).unwrap();
+    let (sender, plain) =
+        signcryption::designcrypt(pkg.params(), &ivan_key, &token, &sc, &heidi_pk).unwrap();
+    assert_eq!(sender, "heidi");
+    assert_eq!(plain, msg);
+
+    // --- threshold escrow: the same plaintext, escrowed to a (3,5) vault -----
+    let vault = ThresholdPkg::setup(&mut rng, curve.clone(), 3, 5).unwrap();
+    let escrow_ct = vault
+        .system()
+        .params()
+        .encrypt_basic(&mut rng, "escrow", &plain);
+    let shares = vault.keygen("escrow");
+    let dec: Vec<_> = [0usize, 2, 4]
+        .iter()
+        .map(|&i| vault.system().decryption_share(&shares[i], &escrow_ct.u))
+        .collect();
+    assert_eq!(vault.system().recombine_basic(&escrow_ct, &dec).unwrap(), plain);
+
+    // --- off-boarding: one revocation call kills both capabilities -----------
+    sem.revoke("heidi");
+    assert!(heidi_client.gdh_half_sign("heidi", &content).is_err());
+    sem.revoke("ivan");
+    assert!(ivan_client.ibe_token("ivan", &sc.ciphertext.u).is_err());
+
+    // The audit log tells the story.
+    assert_eq!(sem.audit_stats("heidi").served, 1);
+    assert_eq!(sem.audit_stats("heidi").refused, 1);
+    assert_eq!(sem.audit_stats("ivan").served, 1);
+    assert_eq!(sem.audit_stats("ivan").refused, 1);
+
+    sem.shutdown();
+}

@@ -1,0 +1,322 @@
+//! Executable versions of the paper's security arguments.
+//!
+//! These integration tests span the pairing schemes (`sempair-core`)
+//! and the RSA baseline (`sempair-mrsa`) to check the *comparative*
+//! claims of §2/§4 — the ones that motivate the whole paper.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use sempair::core::bf_ibe::Pkg;
+use sempair::core::mediated::{DecryptToken, Sem};
+use sempair::mrsa::attack;
+use sempair::mrsa::ib::IbMrsaSystem;
+use sempair::pairing::CurveParams;
+use sempair_bigint::{modular, BigUint};
+
+fn curve() -> CurveParams {
+    CurveParams::fast_insecure()
+}
+
+/// §2 + §4: in IB-mRSA, a single user colluding with the SEM factors
+/// the shared modulus and decrypts EVERY other user's mail — the
+/// "total break".
+#[test]
+fn ib_mrsa_collusion_breaks_all_users() {
+    let mut rng = StdRng::seed_from_u64(1001);
+    let system = IbMrsaSystem::setup(&mut rng, 512, 64, 16).unwrap();
+    let params = system.public_params();
+
+    // Honest victim.
+    let (victim, victim_sem) = system.keygen(&mut rng, "victim@example.com").unwrap();
+    let mut sem = system.new_sem();
+    sem.install(victim_sem);
+
+    // Attacker enrolls normally…
+    let (attacker, attacker_sem_key) = system.keygen(&mut rng, "attacker@example.com").unwrap();
+    // …then corrupts the SEM and reconstitutes a FULL (e, d) pair. We
+    // model the leak with the PKG-side demo hook, which equals
+    // d_user + d_sem mod φ(n).
+    let full_d = system.full_exponent_for_attack_demo("attacker@example.com").unwrap();
+    let e_attacker = params.exponent_for("attacker@example.com");
+    drop((attacker, attacker_sem_key));
+
+    // The classical common-modulus attack factors n…
+    let (p, q) = attack::factor_from_ed(&mut rng, &params.n, &e_attacker, &full_d, 64)
+        .expect("factorization succeeds");
+    assert_eq!(&(&p * &q), &params.n);
+
+    // …and recovers the VICTIM's private exponent.
+    let e_victim = params.exponent_for("victim@example.com");
+    let d_victim = attack::recover_other_private_key(&p, &q, &e_victim).unwrap();
+
+    // Decrypt the victim's mail with no help from SEM or victim.
+    let c = params.encrypt(&mut rng, "victim@example.com", b"board minutes").unwrap();
+    // Raw RSA proves key recovery; then confirm the full OAEP path by
+    // emulating user+SEM with d_victim split trivially.
+    let m_block = modular::mod_pow(&c, &d_victim, &params.n);
+    let k = params.n.bits().div_ceil(8);
+    let oaep = sempair::mrsa::oaep::Oaep::new(k, params.oaep_hash_len);
+    let plain = oaep
+        .unpad(&m_block.to_be_bytes_padded(k), "victim@example.com".as_bytes())
+        .expect("attacker reads victim mail");
+    assert_eq!(plain, b"board minutes");
+    // The legitimate path agrees.
+    let token = sem.half_decrypt("victim@example.com", &c).unwrap();
+    assert_eq!(victim.finish_decrypt(&c, &token).unwrap(), plain);
+}
+
+/// §4: in the mediated IBE, the same collusion recovers only the
+/// *colluder's* key. Other identities' ciphertexts stay sealed: the
+/// colluders hold d_alice = s·Q_alice but would need s (or d_bob) to
+/// touch Bob's mail.
+#[test]
+fn mediated_ibe_collusion_contained_to_one_identity() {
+    let mut rng = StdRng::seed_from_u64(1002);
+    let pkg = Pkg::setup(&mut rng, curve());
+    let mut sem = Sem::new();
+
+    let (alice, alice_sem) = pkg.extract_split(&mut rng, "alice");
+    let (_bob, bob_sem) = pkg.extract_split(&mut rng, "bob");
+    sem.install(alice_sem);
+    sem.install(bob_sem);
+
+    // Alice corrupts the SEM: full key for herself.
+    let alice_full = alice.collude(pkg.params(), sem.leak_key_for_attack_demo("alice").unwrap());
+    assert!(pkg.params().verify_private_key(&alice_full));
+
+    // She can now bypass her own revocation…
+    sem.revoke("alice");
+    let c_alice = pkg.params().encrypt_full(&mut rng, "alice", b"alice mail").unwrap();
+    assert_eq!(
+        pkg.params().decrypt_full(&alice_full, &c_alice).unwrap(),
+        b"alice mail"
+    );
+
+    // …and can even grab Bob's SEM half, but the assembled point is NOT
+    // Bob's key (it is d_alice,user + d_bob,sem): Bob's mail stays safe.
+    let bob_sem_leak = sem.leak_key_for_attack_demo("bob").unwrap();
+    let franken = sempair::core::bf_ibe::PrivateKey {
+        id: "bob".into(),
+        point: alice.collude(pkg.params(), bob_sem_leak).point,
+    };
+    let c_bob = pkg.params().encrypt_full(&mut rng, "bob", b"bob mail").unwrap();
+    assert!(pkg.params().decrypt_full(&franken, &c_bob).is_err());
+    assert!(!pkg.params().verify_private_key(&franken));
+}
+
+/// §2's proof flaw, made executable: the SEM cannot tell valid from
+/// invalid ciphertexts. It serves a token for a ciphertext whose FO
+/// check will fail — so any security proof that needs the SEM (or its
+/// simulator) to reject invalid ciphertexts is stuck, exactly the
+/// obstacle the paper identifies for insider-CCA security.
+#[test]
+fn sem_cannot_validate_ciphertexts() {
+    let mut rng = StdRng::seed_from_u64(1003);
+    let pkg = Pkg::setup(&mut rng, curve());
+    let (alice, alice_sem) = pkg.extract_split(&mut rng, "alice");
+    let mut sem = Sem::new();
+    sem.install(alice_sem);
+
+    // A syntactically fine but semantically invalid ciphertext: real U,
+    // garbage V/W.
+    let mut c = pkg.params().encrypt_full(&mut rng, "alice", b"valid").unwrap();
+    c.w[0] ^= 0xff;
+
+    // The SEM happily issues a token (it only sees U)…
+    let token = sem
+        .decrypt_token(pkg.params(), "alice", &c.u)
+        .expect("SEM cannot reject — it cannot check validity");
+    // …and the invalidity only surfaces at the END of user decryption.
+    assert!(alice.finish_decrypt(pkg.params(), &c, &token).is_err());
+}
+
+/// §4: the token is a one-time, ciphertext-bound value. Reusing it on a
+/// different ciphertext (same identity!) fails, because `U = H3(σ, M)P`
+/// pins it.
+#[test]
+fn tokens_are_single_use_across_ciphertexts() {
+    let mut rng = StdRng::seed_from_u64(1004);
+    let pkg = Pkg::setup(&mut rng, curve());
+    let (alice, alice_sem) = pkg.extract_split(&mut rng, "alice");
+    let mut sem = Sem::new();
+    sem.install(alice_sem);
+
+    let c1 = pkg.params().encrypt_full(&mut rng, "alice", b"message one").unwrap();
+    let c2 = pkg.params().encrypt_full(&mut rng, "alice", b"message two").unwrap();
+    let t1 = sem.decrypt_token(pkg.params(), "alice", &c1.u).unwrap();
+    assert_eq!(alice.finish_decrypt(pkg.params(), &c1, &t1).unwrap(), b"message one");
+    assert!(alice.finish_decrypt(pkg.params(), &c2, &t1).is_err());
+}
+
+/// §4: the token reveals nothing useful about d_sem — concretely, the
+/// trivial "divide out" attacks fail: the token for one U cannot be
+/// transformed into the token for another U by any scalar the attacker
+/// knows, unless they solve CDH. We check the algebraic consistency the
+/// argument rests on: tokens for U and 2U satisfy t(2U) = t(U)², so a
+/// *known* relation between the U's does translate — that is inherent —
+/// but a fresh honestly-generated U has an unknown discrete log, so the
+/// relation is useless. The test pins the algebra both ways.
+#[test]
+fn token_algebra_matches_pairing_bilinearity() {
+    let mut rng = StdRng::seed_from_u64(1005);
+    let pkg = Pkg::setup(&mut rng, curve());
+    let (_, alice_sem) = pkg.extract_split(&mut rng, "alice");
+    let mut sem = Sem::new();
+    sem.install(alice_sem);
+    let curve = pkg.params().curve();
+
+    let u = curve.mul_generator(&BigUint::from(7u64));
+    let u2 = curve.mul_generator(&BigUint::from(14u64));
+    let t_u = sem.decrypt_token(pkg.params(), "alice", &u).unwrap();
+    let t_u2 = sem.decrypt_token(pkg.params(), "alice", &u2).unwrap();
+    assert_eq!(DecryptToken(curve.gt_pow(&t_u.0, &BigUint::two())), t_u2);
+}
+
+/// §4.1 Theorem 4.1's simulator mechanics: B answers user-key,
+/// SEM-key and token queries with lazily sampled splits that are
+/// mutually consistent (d_user + d_sem = d_ID) — the property the
+/// reduction's perfect simulation rests on. We replay the lazy-sampling
+/// strategy and check consistency against the real PKG.
+#[test]
+fn reduction_simulator_consistency() {
+    let mut rng = StdRng::seed_from_u64(1006);
+    let pkg = Pkg::setup(&mut rng, curve());
+    let params = pkg.params();
+    let curve = params.curve();
+
+    // B's lazy table: on first touch of an identity, sample d_sem at
+    // random; answer SEM queries with ê(U, d_sem) and user-key queries
+    // with d_ID − d_sem (using its extraction oracle = our pkg).
+    let d_sem_alice = curve.mul_generator(&curve.random_scalar(&mut rng));
+
+    // SEM query on (alice, U): simulated token.
+    let u = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let simulated_token = curve.pairing(&u, &d_sem_alice);
+
+    // User-key query on alice: d_user = d_ID − d_sem.
+    let d_id = pkg.extract("alice");
+    let d_user = curve.sub(&d_id.point, &d_sem_alice);
+
+    // Consistency: the adversary's own recomputation
+    // ê(U, d_user)·token must equal ê(U, d_ID) — i.e. decryption with
+    // the simulated pieces behaves exactly like the real scheme.
+    let recombined = curve.gt_mul(&curve.pairing(&u, &d_user), &simulated_token);
+    assert_eq!(recombined, curve.pairing(&u, &d_id.point));
+
+    // And a full decryption through the simulated pieces succeeds.
+    let c = params.encrypt_full(&mut rng, "alice", b"reduction check").unwrap();
+    let token = curve.pairing(&c.u, &d_sem_alice);
+    let user = sempair::core::mediated::UserKey { id: "alice".into(), point: d_user };
+    let m = user
+        .finish_decrypt(params, &c, &DecryptToken(token))
+        .unwrap();
+    assert_eq!(m, b"reduction check");
+}
+
+/// The paper's §3 threshold-security intuition: t−1 shares are
+/// statistically independent of the master key. We verify the exact
+/// algebraic fact behind the proof of Thm 3.1: for any fixed t−1
+/// shares, EVERY candidate master value is consistent with some
+/// polynomial — demonstrated by constructing two dealers with different
+/// masters that produce identical first t−1 shares.
+#[test]
+fn threshold_shares_below_t_reveal_nothing() {
+    use sempair::core::shamir::{lagrange_coefficient_at, Share};
+    let mut rng = StdRng::seed_from_u64(1007);
+    let q: BigUint = "0xffffffffffffffc5".parse().unwrap();
+
+    // Fix t−1 = 2 observed shares.
+    let observed = [Share { index: 1, value: sempair_bigint::rng::random_below(&mut rng, &q) },
+        Share { index: 2, value: sempair_bigint::rng::random_below(&mut rng, &q) }];
+    // For ANY claimed secret s*, interpolation through
+    // (0, s*), (1, y1), (2, y2) is a valid degree-2 polynomial, so the
+    // observed shares are consistent with every secret. Verify by
+    // recomputing share 3 twice and checking both are well-defined but
+    // different (the polynomials differ), while shares 1, 2 agree.
+    let indices = [0u32.wrapping_add(3), 1, 2]; // {3,1,2} for interpolation sets below
+    let _ = indices;
+    let mut third_shares = Vec::new();
+    for s_star in [BigUint::from(5u64), BigUint::from(6u64)] {
+        // Points (0, s*), (1, y1), (2, y2) — evaluate at x = 3.
+        let pts = [
+            (0u32, s_star.clone()),
+            (1u32, observed[0].value.clone()),
+            (2u32, observed[1].value.clone()),
+        ];
+        // Lagrange at x=3 over support {0,1,2}: treat index 0 via the
+        // generalized helper by shifting support — do it manually.
+        let support: Vec<u32> = pts.iter().map(|(i, _)| *i + 1).collect(); // shift +1 to avoid 0
+        let mut acc = BigUint::zero();
+        for (k, (_, y)) in pts.iter().enumerate() {
+            let li = lagrange_coefficient_at(&support, support[k], 4, &q).unwrap();
+            acc = modular::mod_add(&acc, &modular::mod_mul(&li, y, &q), &q);
+        }
+        third_shares.push(acc);
+    }
+    assert_ne!(third_shares[0], third_shares[1], "different secrets remain consistent");
+}
+
+/// E11: the IND-ID-TCPA game of Definition 2, run statistically. An
+/// adversary holding `t−1` key shares mounts a concrete distinguishing
+/// strategy (complete the Lagrange product pretending the missing share
+/// is trivial, then pick the plaintext closer in Hamming distance). If
+/// the scheme leaks through `t−1` shares, this succeeds well above 1/2;
+/// the test asserts its success stays within the binomial noise band of
+/// a coin flip over 120 independent games.
+#[test]
+fn threshold_tcpa_game_statistical() {
+    use sempair::core::shamir;
+    use sempair::core::threshold::ThresholdPkg;
+
+    let mut rng = StdRng::seed_from_u64(0xE11);
+    let curve = CurveParams::fast_insecure();
+    let pkg = ThresholdPkg::setup(&mut rng, curve, 3, 5).unwrap();
+    let sys = pkg.system();
+    let shares = pkg.keygen("target");
+    let corrupted = &shares[..2]; // t − 1 = 2 corrupted players
+
+    let m0 = vec![0u8; 32];
+    let m1 = vec![0xffu8; 32];
+    let mut wins = 0u32;
+    const GAMES: u32 = 120;
+    for game in 0..GAMES {
+        let b = (rng.next_u32() & 1) as usize;
+        let challenge = if b == 0 { &m0 } else { &m1 };
+        let ct = sys.params().encrypt_basic(&mut rng, "target", challenge);
+
+        // Adversary: decryption shares from its corrupted players…
+        let dec: Vec<_> = corrupted
+            .iter()
+            .map(|ks| sys.decryption_share(ks, &ct.u))
+            .collect();
+        // …Lagrange-combined over the full t-set {1, 2, 3}, with the
+        // honest player 3's (unknown) share replaced by the identity.
+        let indices = [1u32, 2, 3];
+        let curve = sys.params().curve();
+        let q = curve.order();
+        let mut g = curve.gt_one();
+        for share in &dec {
+            let li = shamir::lagrange_coefficient(&indices, share.index, q).unwrap();
+            g = curve.gt_mul(&g, &curve.gt_pow(&share.value, &li));
+        }
+        // Unmask with the (wrong) g and guess by Hamming distance.
+        let mask = {
+            // The adversary recomputes H2(g) the public way.
+            sempair::hash::derive::kdf(b"sempair-bf-h2", &curve.gt_to_bytes(&g), 32)
+        };
+        let candidate: Vec<u8> = ct.v.iter().zip(mask.iter()).map(|(a, m)| a ^ m).collect();
+        let dist = |x: &[u8], y: &[u8]| -> u32 {
+            x.iter().zip(y).map(|(a, b)| (a ^ b).count_ones()).sum()
+        };
+        let guess = usize::from(dist(&candidate, &m1) < dist(&candidate, &m0));
+        if guess == b {
+            wins += 1;
+        }
+        let _ = game;
+    }
+    // Coin-flip band: 120 trials, p = 1/2 → σ ≈ 5.5; allow ±4σ.
+    assert!(
+        (38..=82).contains(&wins),
+        "adversary with t−1 shares won {wins}/{GAMES} games — outside the coin-flip band"
+    );
+}
