@@ -3,14 +3,16 @@
 //! windowed-Jacobian vs affine double-and-add scalar multiplication,
 //! cached pairing base in encryption, and CRT vs plain RSA decryption.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sempair_bigint::{modular, BigUint, Montgomery};
 use sempair_core::bf_ibe::Pkg;
+use sempair_core::encryptor::IbeEncryptor;
+use sempair_core::gdh;
 use sempair_mrsa::rsa::{self, RsaKeyPair};
 use sempair_pairing::CurveParams;
+use std::time::Duration;
 
 /// Schoolbook square-and-multiply with division-based reduction — the
 /// baseline Montgomery replaces.
@@ -44,9 +46,7 @@ fn bench_modexp(c: &mut Criterion) {
     group.bench_function("montgomery_prebuilt_ctx", |b| {
         b.iter(|| ctx.pow(&base_m, &exp))
     });
-    group.bench_function("schoolbook", |b| {
-        b.iter(|| naive_mod_pow(&base, &exp, &p))
-    });
+    group.bench_function("schoolbook", |b| b.iter(|| naive_mod_pow(&base, &exp, &p)));
     group.finish();
 }
 
@@ -77,7 +77,9 @@ fn bench_scalar_mul(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(1));
     group.warm_up_time(Duration::from_millis(300));
     group.bench_function("windowed_jacobian", |b| b.iter(|| curve.mul(&k, &g)));
-    group.bench_function("fixed_base_comb_generator", |b| b.iter(|| curve.mul_generator(&k)));
+    group.bench_function("fixed_base_comb_generator", |b| {
+        b.iter(|| curve.mul_generator(&k))
+    });
     group.bench_function("affine_double_and_add", |b| {
         b.iter(|| {
             let mut acc = sempair_pairing::G1Affine::infinity();
@@ -164,6 +166,88 @@ fn bench_pairing_cache(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_prepared_pairing(c: &mut Criterion) {
+    let curve = CurveParams::paper_default();
+    let mut rng = StdRng::seed_from_u64(10009);
+    let p = curve.mul_generator(&curve.random_scalar(&mut rng));
+    let q = curve.mul_generator(&curve.random_scalar(&mut rng));
+
+    let mut group = c.benchmark_group("e10/prepared_vs_fresh_pairing");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    // Fixed first argument (P_pub, a public key, …): preparing once
+    // moves the Miller-loop point arithmetic out of every evaluation.
+    group.bench_function("fresh_pairing", |b| b.iter(|| curve.pairing(&p, &q)));
+    let prepared = curve.prepare_g1(&p);
+    group.bench_function("prepared_eval", |b| {
+        b.iter(|| curve.pairing_prepared(&prepared, &q))
+    });
+    group.bench_function("prepare_then_eval_once", |b| {
+        b.iter(|| {
+            let fresh = curve.prepare_g1(&p);
+            curve.pairing_prepared(&fresh, &q)
+        })
+    });
+    // The end-to-end effect on the encryption hot path.
+    let pkg = Pkg::setup(&mut rng, CurveParams::paper_default());
+    let enc = IbeEncryptor::new(pkg.params().clone());
+    enc.identity_base("alice");
+    let msg = [0u8; 32];
+    group.bench_function("encrypt_full_uncached", |b| {
+        b.iter(|| pkg.params().encrypt_full(&mut rng, "alice", &msg).unwrap())
+    });
+    group.bench_function("encrypt_full_cached_encryptor", |b| {
+        b.iter(|| enc.encrypt_full(&mut rng, "alice", &msg).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_batch_verify(c: &mut Criterion) {
+    let curve = CurveParams::fast_insecure();
+    let mut rng = StdRng::seed_from_u64(10010);
+    let (sk, pk) = gdh::keygen(&mut rng, &curve);
+    let messages: Vec<Vec<u8>> = (0..32)
+        .map(|i| format!("statement {i}").into_bytes())
+        .collect();
+    let sigs: Vec<gdh::Signature> = messages.iter().map(|m| gdh::sign(&curve, &sk, m)).collect();
+    let entries: Vec<(&[u8], &gdh::Signature)> = messages
+        .iter()
+        .map(|m| m.as_slice())
+        .zip(sigs.iter())
+        .collect();
+
+    let mut group = c.benchmark_group("e10/batch_vs_individual_verify");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    // 2n pairings vs 2 pairings plus two 32-term multi-scalar-muls.
+    group.bench_function("individual_32", |b| {
+        b.iter(|| {
+            for (m, s) in &entries {
+                gdh::verify(&curve, &pk, m, s).unwrap();
+            }
+        })
+    });
+    group.bench_function("batch_32", |b| {
+        b.iter(|| gdh::batch_verify(&curve, &pk, &entries).unwrap())
+    });
+    group.bench_function("batch_localize_one_forgery_32", |b| {
+        let mut forged = sigs.clone();
+        forged[17] = gdh::sign(&curve, &sk, b"some other statement");
+        let entries: Vec<(&[u8], &gdh::Signature)> = messages
+            .iter()
+            .map(|m| m.as_slice())
+            .zip(forged.iter())
+            .collect();
+        b.iter(|| {
+            let bad = gdh::batch_find_invalid(&curve, &pk, &entries);
+            assert_eq!(bad, vec![17]);
+        })
+    });
+    group.finish();
+}
+
 fn bench_rsa_crt(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(10004);
     let kp = RsaKeyPair::generate_fast(&mut rng, 1024, 32).unwrap();
@@ -208,6 +292,8 @@ criterion_group!(
     bench_miller_strategies,
     bench_multi_pairing,
     bench_pairing_cache,
+    bench_prepared_pairing,
+    bench_batch_verify,
     bench_rsa_crt,
     bench_point_codec
 );

@@ -5,13 +5,13 @@
 //! significantly less efficient than IB-mRSA" — i.e. RSA encryption
 //! should win by a wide margin; we reproduce the *shape* (who wins).
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sempair_core::bf_ibe::Pkg;
 use sempair_mrsa::ib::IbMrsaSystem;
 use sempair_pairing::CurveParams;
+use std::time::Duration;
 
 fn bench_ibe_encrypt(c: &mut Criterion) {
     let mut group = c.benchmark_group("e4/ibe_encrypt");

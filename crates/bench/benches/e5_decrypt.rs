@@ -6,7 +6,6 @@
 //! per operation — the paper concedes the efficiency point and argues
 //! trust instead.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,6 +13,7 @@ use sempair_core::bf_ibe::Pkg;
 use sempair_core::mediated::Sem;
 use sempair_mrsa::ib::IbMrsaSystem;
 use sempair_pairing::CurveParams;
+use std::time::Duration;
 
 fn bench_mediated_ibe_decrypt(c: &mut Criterion) {
     let mut group = c.benchmark_group("e5/mediated_ibe");
@@ -29,7 +29,10 @@ fn bench_mediated_ibe_decrypt(c: &mut Criterion) {
         let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
         let mut sem = Sem::new();
         sem.install(sem_key);
-        let ct = pkg.params().encrypt_full(&mut rng, "alice", &[0u8; 64]).unwrap();
+        let ct = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", &[0u8; 64])
+            .unwrap();
 
         group.bench_function(BenchmarkId::new("sem_token", label), |b| {
             b.iter(|| sem.decrypt_token(pkg.params(), "alice", &ct.u).unwrap())

@@ -5,13 +5,13 @@
 //! computation overhead is the only disadvantage of mediated GDH when
 //! compared to the mRSA signature".
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sempair_core::gdh::{self, GdhSem};
 use sempair_mrsa::ib::IbMrsaSystem;
 use sempair_pairing::CurveParams;
+use std::time::Duration;
 
 fn bench_mediated_gdh(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6/mediated_gdh");
@@ -68,9 +68,10 @@ fn bench_ib_mrsa_sign(c: &mut Criterion) {
             b.iter(|| sem.half_sign(&id, msg).unwrap())
         });
         let token = sem.half_sign(&id, msg).unwrap();
-        group.bench_function(BenchmarkId::new("user_finish_sign", format!("n{bits}")), |b| {
-            b.iter(|| user.finish_sign(msg, &token).unwrap())
-        });
+        group.bench_function(
+            BenchmarkId::new("user_finish_sign", format!("n{bits}")),
+            |b| b.iter(|| user.finish_sign(msg, &token).unwrap()),
+        );
         let sig = user.finish_sign(msg, &token).unwrap();
         group.bench_function(BenchmarkId::new("verify_modexp", format!("n{bits}")), |b| {
             b.iter(|| params.verify(&id, msg, &sig).unwrap())

@@ -5,12 +5,12 @@
 //! target-group exponentiations (linear in `t`), and the robustness
 //! NIZK costs a few extra pairings per share on each side.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sempair_core::threshold::{DecryptionShare, ThresholdPkg};
 use sempair_pairing::CurveParams;
+use std::time::Duration;
 
 fn bench_threshold(c: &mut Criterion) {
     let curve = CurveParams::fast_insecure();
@@ -27,21 +27,25 @@ fn bench_threshold(c: &mut Criterion) {
         let shares = pkg.keygen("vault");
         let ct = sys.params().encrypt_basic(&mut rng, "vault", &[0u8; 32]);
 
-        group.bench_function(BenchmarkId::new("keygen_all_shares", format!("t{t}_n{n}")), |b| {
-            b.iter(|| pkg.keygen("vault"))
-        });
+        group.bench_function(
+            BenchmarkId::new("keygen_all_shares", format!("t{t}_n{n}")),
+            |b| b.iter(|| pkg.keygen("vault")),
+        );
 
-        group.bench_function(BenchmarkId::new("share_decrypt", format!("t{t}_n{n}")), |b| {
-            b.iter(|| sys.decryption_share(&shares[0], &ct.u))
-        });
+        group.bench_function(
+            BenchmarkId::new("share_decrypt", format!("t{t}_n{n}")),
+            |b| b.iter(|| sys.decryption_share(&shares[0], &ct.u)),
+        );
 
         group.bench_function(
             BenchmarkId::new("share_decrypt_robust", format!("t{t}_n{n}")),
             |b| b.iter(|| sys.decryption_share_robust(&mut rng, &shares[0], &ct.u)),
         );
 
-        let plain: Vec<DecryptionShare> =
-            shares.iter().map(|ks| sys.decryption_share(ks, &ct.u)).collect();
+        let plain: Vec<DecryptionShare> = shares
+            .iter()
+            .map(|ks| sys.decryption_share(ks, &ct.u))
+            .collect();
         group.bench_function(BenchmarkId::new("recombine", format!("t{t}_n{n}")), |b| {
             b.iter(|| sys.recombine_basic(&ct, &plain).unwrap())
         });
@@ -52,7 +56,12 @@ fn bench_threshold(c: &mut Criterion) {
             .collect();
         group.bench_function(
             BenchmarkId::new("verify_one_share", format!("t{t}_n{n}")),
-            |b| b.iter(|| sys.verify_decryption_share("vault", &ct.u, &robust[0]).unwrap()),
+            |b| {
+                b.iter(|| {
+                    sys.verify_decryption_share("vault", &ct.u, &robust[0])
+                        .unwrap()
+                })
+            },
         );
         group.bench_function(
             BenchmarkId::new("recombine_robust", format!("t{t}_n{n}")),

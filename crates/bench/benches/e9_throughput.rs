@@ -3,20 +3,23 @@
 //! Paper claim (§4): one online SEM serves the whole system; this bench
 //! measures how token service scales with worker threads on one host.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use sempair_core::bf_ibe::Pkg;
-use sempair_net::server::{drive_throughput, SemServer};
+use sempair_net::server::{drive_throughput, drive_throughput_batched, SemServer};
 use sempair_pairing::CurveParams;
+use std::time::Duration;
 
 fn bench_server_throughput(c: &mut Criterion) {
     let curve = CurveParams::fast_insecure();
     let mut rng = StdRng::seed_from_u64(9001);
     let pkg = Pkg::setup(&mut rng, curve);
     let (_, sem_key) = pkg.extract_split(&mut rng, "load");
-    let ct = pkg.params().encrypt_full(&mut rng, "load", &[0u8; 32]).unwrap();
+    let ct = pkg
+        .params()
+        .encrypt_full(&mut rng, "load", &[0u8; 32])
+        .unwrap();
 
     let mut group = c.benchmark_group("e9/server_throughput");
     group.sample_size(10);
@@ -35,5 +38,37 @@ fn bench_server_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_server_throughput);
+fn bench_batched_endpoint(c: &mut Criterion) {
+    let curve = CurveParams::fast_insecure();
+    let mut rng = StdRng::seed_from_u64(9002);
+    let pkg = Pkg::setup(&mut rng, curve);
+    let (_, sem_key) = pkg.extract_split(&mut rng, "load");
+    let ct = pkg
+        .params()
+        .encrypt_full(&mut rng, "load", &[0u8; 32])
+        .unwrap();
+
+    let mut group = c.benchmark_group("e9/batched_endpoint");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(1));
+    group.warm_up_time(Duration::from_millis(300));
+    const REQUESTS: usize = 64;
+    group.throughput(Throughput::Elements(REQUESTS as u64));
+    // Same request stream, same pairing work per token — the deltas
+    // below are pure channel-hop and lock-acquisition amortization.
+    let server = SemServer::spawn(pkg.params().clone(), 4);
+    server.install_ibe(sem_key.clone());
+    group.bench_function("single_requests", |b| {
+        b.iter(|| drive_throughput(&server, "load", &ct.u, 2, REQUESTS))
+    });
+    for batch in [4usize, 16, 32] {
+        group.bench_function(BenchmarkId::new("batched", format!("b{batch}")), |b| {
+            b.iter(|| drive_throughput_batched(&server, "load", &ct.u, 2, REQUESTS, batch))
+        });
+    }
+    server.shutdown();
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_throughput, bench_batched_endpoint);
 criterion_main!(benches);

@@ -40,12 +40,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Plus, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: BigUint::one(),
+        }
     }
 
     /// Builds a signed value from a sign and magnitude.
@@ -102,22 +108,34 @@ impl BigInt {
 
 impl From<&BigUint> for BigInt {
     fn from(v: &BigUint) -> Self {
-        BigInt { sign: Sign::Plus, mag: v.clone() }
+        BigInt {
+            sign: Sign::Plus,
+            mag: v.clone(),
+        }
     }
 }
 
 impl From<BigUint> for BigInt {
     fn from(mag: BigUint) -> Self {
-        BigInt { sign: Sign::Plus, mag }
+        BigInt {
+            sign: Sign::Plus,
+            mag,
+        }
     }
 }
 
 impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         if v < 0 {
-            BigInt { sign: Sign::Minus, mag: BigUint::from(v.unsigned_abs()) }
+            BigInt {
+                sign: Sign::Minus,
+                mag: BigUint::from(v.unsigned_abs()),
+            }
         } else {
-            BigInt { sign: Sign::Plus, mag: BigUint::from(v as u64) }
+            BigInt {
+                sign: Sign::Plus,
+                mag: BigUint::from(v as u64),
+            }
         }
     }
 }
@@ -132,7 +150,10 @@ impl Neg for BigInt {
                 Sign::Plus => Sign::Minus,
                 Sign::Minus => Sign::Plus,
             };
-            BigInt { sign, mag: self.mag }
+            BigInt {
+                sign,
+                mag: self.mag,
+            }
         }
     }
 }
@@ -168,7 +189,11 @@ impl Sub<&BigInt> for &BigInt {
 impl Mul<&BigInt> for &BigInt {
     type Output = BigInt;
     fn mul(self, rhs: &BigInt) -> BigInt {
-        let sign = if self.sign == rhs.sign { Sign::Plus } else { Sign::Minus };
+        let sign = if self.sign == rhs.sign {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        };
         BigInt::from_sign_magnitude(sign, &self.mag * &rhs.mag)
     }
 }

@@ -293,7 +293,10 @@ mod tests {
         let m = big("13");
         assert_eq!(mod_pow(&big("5"), &BigUint::zero(), &m), BigUint::one());
         assert_eq!(mod_pow(&BigUint::zero(), &big("5"), &m), BigUint::zero());
-        assert_eq!(mod_pow(&big("5"), &big("5"), &BigUint::one()), BigUint::zero());
+        assert_eq!(
+            mod_pow(&big("5"), &big("5"), &BigUint::one()),
+            BigUint::zero()
+        );
     }
 
     #[test]
@@ -315,7 +318,10 @@ mod tests {
             assert_eq!(mod_mul(&a, &inv, &p), BigUint::one());
         }
         assert_eq!(mod_inv(&big("6"), &big("9")), Err(Error::NotInvertible));
-        assert_eq!(mod_inv(&big("5"), &BigUint::zero()), Err(Error::ZeroModulus));
+        assert_eq!(
+            mod_inv(&big("5"), &BigUint::zero()),
+            Err(Error::ZeroModulus)
+        );
     }
 
     #[test]
@@ -324,7 +330,12 @@ mod tests {
         let n = big("7");
         let expect = [1, 1, -1, 1, -1, -1];
         for (i, e) in expect.iter().enumerate() {
-            assert_eq!(jacobi(&BigUint::from((i + 1) as u64), &n), *e, "a={}", i + 1);
+            assert_eq!(
+                jacobi(&BigUint::from((i + 1) as u64), &n),
+                *e,
+                "a={}",
+                i + 1
+            );
         }
         assert_eq!(jacobi(&big("14"), &n), 0);
         // Composite: (2/15) = 1 even though 2 is a non-residue mod 15.
@@ -350,7 +361,7 @@ mod tests {
     #[test]
     fn sqrt_mod_3mod4() {
         let p = big("0xffffffffffffffc5"); // ≡ 1 mod 4? 2^64-59: 59 ≡ 3 mod 4 so p ≡ ...
-        // Just compute and verify both branches over a set of squares.
+                                           // Just compute and verify both branches over a set of squares.
         for a in 2u64..20 {
             let a = BigUint::from(a);
             let sq = mod_mul(&a, &a, &p);

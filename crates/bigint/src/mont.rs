@@ -26,7 +26,7 @@ pub struct Montgomery {
     n: BigUint,
     limbs: Vec<u64>, // modulus limbs, length k
     k: usize,
-    n0_inv: u64, // -n^{-1} mod 2^64
+    n0_inv: u64,  // -n^{-1} mod 2^64
     r1: Vec<u64>, // R mod n (Montgomery form of 1)
     r2: Vec<u64>, // R^2 mod n
 }
@@ -166,12 +166,16 @@ impl Montgomery {
 
     /// The Montgomery form of `0`.
     pub fn zero(&self) -> MontElem {
-        MontElem { limbs: vec![0u64; self.k] }
+        MontElem {
+            limbs: vec![0u64; self.k],
+        }
     }
 
     /// The Montgomery form of `1`.
     pub fn one(&self) -> MontElem {
-        MontElem { limbs: self.r1.clone() }
+        MontElem {
+            limbs: self.r1.clone(),
+        }
     }
 
     /// CIOS Montgomery multiplication: `out = a * b * R^{-1} mod n`.
@@ -352,7 +356,10 @@ mod tests {
         }
         // Values above the modulus are reduced.
         let c97 = ctx("97");
-        assert_eq!(c97.from_mont(&c97.to_mont(&big("1000"))), big("1000") % big("97"));
+        assert_eq!(
+            c97.from_mont(&c97.to_mont(&big("1000"))),
+            big("1000") % big("97")
+        );
     }
 
     #[test]

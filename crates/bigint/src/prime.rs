@@ -10,9 +10,9 @@ use rand::RngCore;
 
 /// Small primes used for trial-division pre-sieving.
 const SMALL_PRIMES: [u64; 60] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251, 257, 263, 269, 271, 277, 281,
 ];
 
 /// Number of Miller–Rabin rounds used by the convenience wrappers.
@@ -212,8 +212,16 @@ mod tests {
     #[test]
     fn known_primes_accepted() {
         let mut r = rng();
-        for p in ["2", "3", "281", "283", "65537", "0xffffffffffffffc5",
-                  "0xffffffffffffffffffffffffffffff61", "1000000007"] {
+        for p in [
+            "2",
+            "3",
+            "281",
+            "283",
+            "65537",
+            "0xffffffffffffffc5",
+            "0xffffffffffffffffffffffffffffff61",
+            "1000000007",
+        ] {
             assert!(is_probable_prime(&big(p), &mut r), "{p} is prime");
         }
     }
@@ -221,7 +229,9 @@ mod tests {
     #[test]
     fn known_composites_rejected() {
         let mut r = rng();
-        for c in ["0", "1", "4", "100", "65536", "3277", "561", "41041", "825265"] {
+        for c in [
+            "0", "1", "4", "100", "65536", "3277", "561", "41041", "825265",
+        ] {
             // 561, 41041, 825265 are Carmichael numbers.
             assert!(!is_probable_prime(&big(c), &mut r), "{c} is composite");
         }

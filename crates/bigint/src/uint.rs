@@ -208,18 +208,23 @@ impl BigUint {
     /// Parses a (case-insensitive) hexadecimal string, with or without a
     /// `0x` prefix.
     pub fn from_hex(s: &str) -> Result<Self, ParseBigUintError> {
-        let s = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")).unwrap_or(s);
+        let s = s
+            .strip_prefix("0x")
+            .or_else(|| s.strip_prefix("0X"))
+            .unwrap_or(s);
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut out = BigUint::zero();
         for c in s.chars() {
             if c == '_' {
                 continue;
             }
-            let digit = c
-                .to_digit(16)
-                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let digit = c.to_digit(16).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             out = (&out << 4) + BigUint::from(digit as u64);
         }
         Ok(out)
@@ -244,7 +249,9 @@ impl BigUint {
     /// Parses a decimal string.
     pub fn from_dec(s: &str) -> Result<Self, ParseBigUintError> {
         if s.is_empty() {
-            return Err(ParseBigUintError { kind: ParseErrorKind::Empty });
+            return Err(ParseBigUintError {
+                kind: ParseErrorKind::Empty,
+            });
         }
         let mut out = BigUint::zero();
         let ten = BigUint::from(10u64);
@@ -252,9 +259,9 @@ impl BigUint {
             if c == '_' {
                 continue;
             }
-            let digit = c
-                .to_digit(10)
-                .ok_or(ParseBigUintError { kind: ParseErrorKind::InvalidDigit(c) })?;
+            let digit = c.to_digit(10).ok_or(ParseBigUintError {
+                kind: ParseErrorKind::InvalidDigit(c),
+            })?;
             out = &out * &ten + BigUint::from(digit as u64);
         }
         Ok(out)
@@ -334,9 +341,7 @@ impl BigUint {
             let mut qhat = top / v_hi as u128;
             let mut rhat = top % v_hi as u128;
             // Correct qhat: it can be at most 2 too large.
-            while qhat >> 64 != 0
-                || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * v_next as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += v_hi as u128;
                 if rhat >> 64 != 0 {
@@ -531,7 +536,8 @@ impl Sub<&BigUint> for &BigUint {
     /// # Panics
     /// Panics on underflow; use [`BigUint::checked_sub`] to handle it.
     fn sub(self, rhs: &BigUint) -> BigUint {
-        self.checked_sub(rhs).expect("BigUint subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("BigUint subtraction underflow")
     }
 }
 
@@ -916,7 +922,12 @@ mod tests {
 
     #[test]
     fn decimal_display_roundtrip() {
-        let cases = ["0", "1", "10000000000000000000", "123456789012345678901234567890123"];
+        let cases = [
+            "0",
+            "1",
+            "10000000000000000000",
+            "123456789012345678901234567890123",
+        ];
         for c in cases {
             assert_eq!(big(c).to_string(), c);
         }

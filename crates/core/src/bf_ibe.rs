@@ -81,7 +81,10 @@ impl Pkg {
     pub fn setup(rng: &mut impl RngCore, curve: CurveParams) -> Self {
         let master = curve.random_scalar(rng);
         let p_pub = curve.mul_generator(&master);
-        Pkg { params: IbePublicParams { curve, p_pub }, master }
+        Pkg {
+            params: IbePublicParams { curve, p_pub },
+            master,
+        }
     }
 
     /// Reconstructs a PKG from an existing master key (used by the
@@ -89,7 +92,10 @@ impl Pkg {
     pub fn from_master(curve: CurveParams, master: BigUint) -> Self {
         let master = &master % curve.order();
         let p_pub = curve.mul_generator(&master);
-        Pkg { params: IbePublicParams { curve, p_pub }, master }
+        Pkg {
+            params: IbePublicParams { curve, p_pub },
+            master,
+        }
     }
 
     /// The public parameters to distribute.
@@ -107,7 +113,10 @@ impl Pkg {
     /// `Extract`: the full private key `d_ID = s·H1(ID)`.
     pub fn extract(&self, id: &str) -> PrivateKey {
         let q_id = self.params.hash_identity(id);
-        PrivateKey { id: id.to_string(), point: self.params.curve.mul(&self.master, &q_id) }
+        PrivateKey {
+            id: id.to_string(),
+            point: self.params.curve.mul(&self.master, &q_id),
+        }
     }
 }
 
@@ -161,8 +170,21 @@ impl IbePublicParams {
     /// `BasicIdent` encryption with caller-chosen randomness (the FO
     /// transform and the threshold tests need this determinism).
     pub fn encrypt_basic_with_r(&self, id: &str, message: &[u8], r: &BigUint) -> BasicCiphertext {
+        self.encrypt_basic_with_base(&self.identity_base(id), message, r)
+    }
+
+    /// [`IbePublicParams::encrypt_basic_with_r`] with the identity base
+    /// `g_ID` supplied by the caller — the hook
+    /// [`crate::encryptor::IbeEncryptor`] uses to skip the per-call
+    /// pairing.
+    pub(crate) fn encrypt_basic_with_base(
+        &self,
+        base: &Gt,
+        message: &[u8],
+        r: &BigUint,
+    ) -> BasicCiphertext {
         let u = self.curve.mul_generator(r);
-        let g_r = self.curve.gt_pow(&self.identity_base(id), r);
+        let g_r = self.curve.gt_pow(base, r);
         let mut v = message.to_vec();
         let mask = self.mask_h2(&g_r, v.len());
         xor_in_place(&mut v, &mask);
@@ -208,9 +230,21 @@ impl IbePublicParams {
         message: &[u8],
         sigma: &[u8; SIGMA_LEN],
     ) -> FullCiphertext {
+        self.encrypt_full_with_base(&self.identity_base(id), message, sigma)
+    }
+
+    /// [`IbePublicParams::encrypt_full_with_sigma`] with the identity
+    /// base `g_ID` supplied by the caller (see
+    /// [`crate::encryptor::IbeEncryptor`]).
+    pub(crate) fn encrypt_full_with_base(
+        &self,
+        base: &Gt,
+        message: &[u8],
+        sigma: &[u8; SIGMA_LEN],
+    ) -> FullCiphertext {
         let r = self.fo_randomness(sigma, message);
         let u = self.curve.mul_generator(&r);
-        let g_r = self.curve.gt_pow(&self.identity_base(id), &r);
+        let g_r = self.curve.gt_pow(base, &r);
         let mut v = sigma.to_vec();
         xor_in_place(&mut v, &self.mask_h2(&g_r, SIGMA_LEN));
         let mut w = message.to_vec();
@@ -301,12 +335,16 @@ impl FullCiphertext {
             .point_from_bytes(&bytes[..pl])
             .map_err(|_| Error::InvalidCiphertext)?;
         let v = bytes[pl..pl + SIGMA_LEN].to_vec();
-        let w_len = u32::from_be_bytes(bytes[pl + SIGMA_LEN..header].try_into().expect("4 bytes"))
-            as usize;
+        let w_len =
+            u32::from_be_bytes(bytes[pl + SIGMA_LEN..header].try_into().expect("4 bytes")) as usize;
         if bytes.len() != header + w_len {
             return Err(Error::InvalidCiphertext);
         }
-        Ok(FullCiphertext { u, v, w: bytes[header..].to_vec() })
+        Ok(FullCiphertext {
+            u,
+            v,
+            w: bytes[header..].to_vec(),
+        })
     }
 }
 
@@ -327,8 +365,13 @@ mod tests {
         let pkg = pkg();
         let mut rng = StdRng::seed_from_u64(72);
         let key = pkg.extract("alice");
-        let c = pkg.params().encrypt_basic(&mut rng, "alice", b"basic message");
-        assert_eq!(pkg.params().decrypt_basic(&key, &c).unwrap(), b"basic message");
+        let c = pkg
+            .params()
+            .encrypt_basic(&mut rng, "alice", b"basic message");
+        assert_eq!(
+            pkg.params().decrypt_basic(&key, &c).unwrap(),
+            b"basic message"
+        );
     }
 
     #[test]
@@ -339,7 +382,11 @@ mod tests {
         for len in [0usize, 1, 31, 32, 33, 200] {
             let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
             let c = pkg.params().encrypt_full(&mut rng, "alice", &msg).unwrap();
-            assert_eq!(pkg.params().decrypt_full(&key, &c).unwrap(), msg, "len={len}");
+            assert_eq!(
+                pkg.params().decrypt_full(&key, &c).unwrap(),
+                msg,
+                "len={len}"
+            );
         }
     }
 
@@ -348,7 +395,10 @@ mod tests {
         let pkg = pkg();
         let mut rng = StdRng::seed_from_u64(74);
         let bob_key = pkg.extract("bob");
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"for alice").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"for alice")
+            .unwrap();
         assert_eq!(
             pkg.params().decrypt_full(&bob_key, &c),
             Err(Error::InvalidCiphertext)
@@ -365,7 +415,10 @@ mod tests {
         let pkg = pkg();
         let mut rng = StdRng::seed_from_u64(75);
         let key = pkg.extract("alice");
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"payload!").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"payload!")
+            .unwrap();
         // Flip a bit of W.
         let mut bad = c.clone();
         bad.w[0] ^= 1;
@@ -390,7 +443,10 @@ mod tests {
         let c = pkg.params().encrypt_basic(&mut rng, "alice", b"pay 1 euro");
         let mut mauled = c.clone();
         mauled.v[4] ^= b'1' ^ b'9';
-        assert_eq!(pkg.params().decrypt_basic(&key, &mauled).unwrap(), b"pay 9 euro");
+        assert_eq!(
+            pkg.params().decrypt_basic(&key, &mauled).unwrap(),
+            b"pay 9 euro"
+        );
     }
 
     #[test]
@@ -398,7 +454,10 @@ mod tests {
         let pkg = pkg();
         let key = pkg.extract("alice");
         assert!(pkg.params().verify_private_key(&key));
-        let forged = PrivateKey { id: "alice".into(), point: pkg.extract("bob").point };
+        let forged = PrivateKey {
+            id: "alice".into(),
+            point: pkg.extract("bob").point,
+        };
         assert!(!pkg.params().verify_private_key(&forged));
     }
 
@@ -406,7 +465,10 @@ mod tests {
     fn ciphertext_wire_roundtrip() {
         let pkg = pkg();
         let mut rng = StdRng::seed_from_u64(77);
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"wire format").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"wire format")
+            .unwrap();
         let bytes = c.to_bytes(pkg.params());
         let back = FullCiphertext::from_bytes(pkg.params(), &bytes).unwrap();
         assert_eq!(back, c);

@@ -75,7 +75,11 @@ pub fn encrypt_checked(
     let commitment = curve.mul_generator(&k);
     let c = challenge(params, id, &inner, &commitment);
     let z = modular::mod_add(&k, &modular::mod_mul(&c, &r, curve.order()), curve.order());
-    CheckedCiphertext { inner, id: id.to_string(), proof: ValidityProof { commitment, z } }
+    CheckedCiphertext {
+        inner,
+        id: id.to_string(),
+        proof: ValidityProof { commitment, z },
+    }
 }
 
 /// Public validity check: `z·P = A + c·U` (and group membership).
@@ -209,7 +213,10 @@ mod tests {
         let sys = pkg.system();
         let curve = sys.params().curve();
         let u = curve.mul_generator(&curve.random_scalar(&mut rng));
-        let inner = BasicCiphertext { u, v: vec![0u8; 16] };
+        let inner = BasicCiphertext {
+            u,
+            v: vec![0u8; 16],
+        };
         let forged = CheckedCiphertext {
             inner,
             id: "vault".into(),
@@ -233,6 +240,9 @@ mod tests {
             .collect();
         let mut mauled = ct.clone();
         mauled.inner.v[0] ^= 1;
-        assert_eq!(sys.recombine_checked(&mauled, &dec), Err(Error::InvalidCiphertext));
+        assert_eq!(
+            sys.recombine_checked(&mauled, &dec),
+            Err(Error::InvalidCiphertext)
+        );
     }
 }

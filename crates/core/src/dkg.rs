@@ -43,7 +43,11 @@ impl DkgDealer {
         assert!(t >= 1, "threshold must be positive");
         let coeffs: Vec<BigUint> = (0..t).map(|_| curve.random_scalar(rng)).collect();
         let commitments = coeffs.iter().map(|a| curve.mul_generator(a)).collect();
-        DkgDealer { index, coeffs, commitments }
+        DkgDealer {
+            index,
+            coeffs,
+            commitments,
+        }
     }
 
     /// The broadcast Feldman commitments `Aₖ = aₖ·P`.
@@ -123,8 +127,7 @@ pub fn run_dkg(
         .collect();
 
     // Cheaters send corrupted shares to player 1 (enough for detection).
-    let corrupted =
-        |dealer: u32, recipient: u32| cheaters.contains(&dealer) && recipient == 1;
+    let corrupted = |dealer: u32, recipient: u32| cheaters.contains(&dealer) && recipient == 1;
 
     // Round 2: share distribution + verification → qualified set.
     let q = curve.order();
@@ -159,15 +162,20 @@ pub fn run_dkg(
             for dealer in &qualified {
                 acc = modular::mod_add(&acc, &dealer.share_for(curve, j), q);
             }
-            GdhKeyShare { index: j, scalar: acc }
+            GdhKeyShare {
+                index: j,
+                scalar: acc,
+            }
         })
         .collect();
     let mut public = G1Affine::infinity();
     for dealer in &qualified {
         public = curve.add(&public, &dealer.commitments()[0]);
     }
-    let verification_keys: Vec<G1Affine> =
-        shares.iter().map(|s| curve.mul_generator(&s.scalar)).collect();
+    let verification_keys: Vec<G1Affine> = shares
+        .iter()
+        .map(|s| curve.mul_generator(&s.scalar))
+        .collect();
 
     let system = ThresholdGdh::from_parts(
         curve.clone(),
@@ -176,7 +184,11 @@ pub fn run_dkg(
         GdhPublicKey { point: public },
         verification_keys,
     );
-    Ok(DkgOutcome { system, shares, disqualified })
+    Ok(DkgOutcome {
+        system,
+        shares,
+        disqualified,
+    })
 }
 
 #[cfg(test)]
@@ -235,7 +247,10 @@ mod tests {
         let outcome = run_dkg(&mut rng, &curve, 3, 5, &[]).unwrap();
         let subset: Vec<Share> = outcome.shares[..3]
             .iter()
-            .map(|s| Share { index: s.index, value: s.scalar.clone() })
+            .map(|s| Share {
+                index: s.index,
+                value: s.scalar.clone(),
+            })
             .collect();
         let x = shamir::reconstruct(&subset, curve.order()).unwrap();
         assert_eq!(&curve.mul_generator(&x), &outcome.system.public_key().point);
@@ -288,7 +303,9 @@ mod tests {
             .map(|s| sys.partial_sign(s, b"interop"))
             .collect();
         let sig = sys.combine(b"interop", &partials).unwrap();
-        let pk = gdh::GdhPublicKey { point: sys.public_key().point.clone() };
+        let pk = gdh::GdhPublicKey {
+            point: sys.public_key().point.clone(),
+        };
         gdh::verify(&curve, &pk, b"interop", &sig).unwrap();
     }
 }

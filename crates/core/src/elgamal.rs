@@ -90,10 +90,19 @@ pub fn keygen(
     let x_user = curve.random_scalar(rng);
     let x_sem = curve.random_scalar(rng);
     let x = modular::mod_add(&x_user, &x_sem, curve.order());
-    let public = ElGamalPublicKey { point: curve.mul_generator(&x) };
+    let public = ElGamalPublicKey {
+        point: curve.mul_generator(&x),
+    };
     (
-        ElGamalUser { id: id.to_string(), public: public.clone(), x_user },
-        ElGamalSemKey { id: id.to_string(), x_sem },
+        ElGamalUser {
+            id: id.to_string(),
+            public: public.clone(),
+            x_user,
+        },
+        ElGamalSemKey {
+            id: id.to_string(),
+            x_sem,
+        },
         public,
     )
 }
@@ -280,11 +289,28 @@ impl ThresholdElGamal {
         let x = curve.random_scalar(rng);
         let poly = crate::shamir::Polynomial::sample(rng, &x, t, curve.order());
         let shares: Vec<ElGamalKeyShare> = (1..=n as u32)
-            .map(|i| ElGamalKeyShare { index: i, scalar: poly.eval_index(i) })
+            .map(|i| ElGamalKeyShare {
+                index: i,
+                scalar: poly.eval_index(i),
+            })
             .collect();
-        let verification_keys = shares.iter().map(|s| curve.mul_generator(&s.scalar)).collect();
-        let public = ElGamalPublicKey { point: curve.mul_generator(&x) };
-        Ok((ThresholdElGamal { curve, t, n, public, verification_keys }, shares))
+        let verification_keys = shares
+            .iter()
+            .map(|s| curve.mul_generator(&s.scalar))
+            .collect();
+        let public = ElGamalPublicKey {
+            point: curve.mul_generator(&x),
+        };
+        Ok((
+            ThresholdElGamal {
+                curve,
+                t,
+                n,
+                public,
+                verification_keys,
+            },
+            shares,
+        ))
     }
 
     /// The combined public key.
@@ -339,7 +365,11 @@ impl ThresholdElGamal {
             &modular::mod_mul(&ch, &share.scalar, curve.order()),
             curve.order(),
         );
-        ElGamalDecShare { index: share.index, point, proof: Some(DleqProof { a1, a2, z }) }
+        ElGamalDecShare {
+            index: share.index,
+            point,
+            proof: Some(DleqProof { a1, a2, z }),
+        }
     }
 
     /// Verifies a decryption share:
@@ -354,7 +384,9 @@ impl ThresholdElGamal {
         share: &ElGamalDecShare,
     ) -> Result<(), Error> {
         if share.index == 0 || share.index as usize > self.n {
-            return Err(Error::InvalidShare { player: share.index });
+            return Err(Error::InvalidShare {
+                player: share.index,
+            });
         }
         let Some(proof) = &share.proof else {
             return Err(Error::InvalidProof);
@@ -388,7 +420,10 @@ impl ThresholdElGamal {
         shares: &[ElGamalDecShare],
     ) -> Result<Vec<u8>, Error> {
         if shares.len() < self.t {
-            return Err(Error::NotEnoughShares { needed: self.t, got: shares.len() });
+            return Err(Error::NotEnoughShares {
+                needed: self.t,
+                got: shares.len(),
+            });
         }
         let used = &shares[..self.t];
         let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
@@ -448,7 +483,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (CurveParams, ElGamalUser, ElGamalSem, ElGamalPublicKey, StdRng) {
+    fn setup() -> (
+        CurveParams,
+        ElGamalUser,
+        ElGamalSem,
+        ElGamalPublicKey,
+        StdRng,
+    ) {
         let mut rng = StdRng::seed_from_u64(131);
         let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
         let (user, sem_key, pk) = keygen(&mut rng, &curve, "alice");
@@ -464,7 +505,11 @@ mod tests {
             let msg: Vec<u8> = (0..len).map(|i| i as u8).collect();
             let c = encrypt(&mut rng, &curve, &pk, &msg);
             let token = sem.decrypt_token(&curve, "alice", &c.u).unwrap();
-            assert_eq!(user.finish_decrypt(&curve, &c, &token).unwrap(), msg, "len={len}");
+            assert_eq!(
+                user.finish_decrypt(&curve, &c, &token).unwrap(),
+                msg,
+                "len={len}"
+            );
         }
     }
 
@@ -473,7 +518,10 @@ mod tests {
         let (curve, user, mut sem, pk, mut rng) = setup();
         let c = encrypt(&mut rng, &curve, &pk, b"m");
         sem.revoke("alice");
-        assert_eq!(sem.decrypt_token(&curve, "alice", &c.u), Err(Error::Revoked));
+        assert_eq!(
+            sem.decrypt_token(&curve, "alice", &c.u),
+            Err(Error::Revoked)
+        );
         sem.unrevoke("alice");
         let token = sem.decrypt_token(&curve, "alice", &c.u).unwrap();
         assert_eq!(user.finish_decrypt(&curve, &c, &token).unwrap(), b"m");
@@ -496,7 +544,10 @@ mod tests {
             } else {
                 token.clone()
             };
-            assert!(user.finish_decrypt(&curve, &bad, &tok).is_err(), "mutation {mutate}");
+            assert!(
+                user.finish_decrypt(&curve, &bad, &tok).is_err(),
+                "mutation {mutate}"
+            );
         }
     }
 
@@ -529,7 +580,9 @@ mod tests {
             .collect();
         for a in 0..4 {
             for b in a + 1..4 {
-                let m = sys.recombine(&c, &[dec[a].clone(), dec[b].clone()]).unwrap();
+                let m = sys
+                    .recombine(&c, &[dec[a].clone(), dec[b].clone()])
+                    .unwrap();
                 assert_eq!(m, b"threshold elgamal");
             }
         }

@@ -1,0 +1,328 @@
+//! Identity-base caching for the encryption hot path.
+//!
+//! Every Boneh–Franklin encryption starts from the same expensive
+//! value, the per-identity mask base `g_ID = ê(P_pub, Q_ID)` — one
+//! hash-to-curve plus one full pairing that depends only on the public
+//! parameters and the recipient identity, never on the message or the
+//! randomness. A mail gateway encrypting a thread to the same few
+//! recipients recomputes it on every message for nothing.
+//!
+//! [`IbeEncryptor`] is a long-lived encryption handle that
+//!
+//! * caches `g_ID` per identity in a bounded FIFO map guarded by a
+//!   [`parking_lot::Mutex`] (share the handle across threads via
+//!   `Arc`), and
+//! * computes cache misses through a [`PreparedG1`] of `P_pub`, so
+//!   even the first encryption to an identity skips the
+//!   point-arithmetic half of the Miller loop.
+//!
+//! # Cache invalidation
+//!
+//! Entries are keyed by the identity string alone, which is sound
+//! because an encryptor owns an immutable clone of its
+//! [`IbePublicParams`]: `g_ID` is a pure function of `(params, id)` and
+//! the params half is fixed at construction. The invalidation rule is
+//! therefore *per-handle*: if the system parameters or `P_pub` ever
+//! change (new PKG, rotated master key), drop the encryptor and build a
+//! new one — never reuse a handle across parameter sets.
+
+use crate::bf_ibe::{BasicCiphertext, FullCiphertext, IbePublicParams, SIGMA_LEN};
+use crate::Error;
+use parking_lot::Mutex;
+use rand::RngCore;
+use sempair_bigint::BigUint;
+use sempair_pairing::{Gt, PreparedG1};
+use std::collections::{HashMap, VecDeque};
+
+/// Default identity-cache capacity (entries).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Cache hit/miss counters (see [`IbeEncryptor::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute the pairing.
+    pub misses: u64,
+    /// Identities currently cached.
+    pub entries: usize,
+}
+
+/// Bounded FIFO map `identity → g_ID`.
+///
+/// FIFO (not LRU) keeps the lock critical section to two `HashMap`
+/// operations; for the intended workloads (a stable working set far
+/// below capacity) the eviction policy is irrelevant.
+#[derive(Debug)]
+struct BaseCache {
+    map: HashMap<String, Gt>,
+    order: VecDeque<String>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl BaseCache {
+    fn get(&mut self, id: &str) -> Option<Gt> {
+        match self.map.get(id) {
+            Some(g) => {
+                self.hits += 1;
+                Some(g.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, id: &str, base: Gt) {
+        if self.map.insert(id.to_string(), base).is_none() {
+            self.order.push_back(id.to_string());
+            while self.order.len() > self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// A long-lived encryption handle caching per-identity mask bases.
+///
+/// Produces ciphertexts byte-identical to the uncached
+/// [`IbePublicParams`] methods (property-tested in
+/// `tests/properties.rs`), decryptable by the plain, mediated and
+/// threshold decryption paths alike — only the encryptor's cost profile
+/// differs. Thread-safe behind `&self`; wrap in `Arc` to share.
+#[derive(Debug)]
+pub struct IbeEncryptor {
+    params: IbePublicParams,
+    /// `P_pub` with precomputed Miller-loop coefficients: cache misses
+    /// pay only the line-evaluation half of the pairing.
+    prepared_p_pub: PreparedG1,
+    cache: Mutex<BaseCache>,
+}
+
+impl IbeEncryptor {
+    /// Wraps public parameters with a [`DEFAULT_CACHE_CAPACITY`]-entry
+    /// cache.
+    pub fn new(params: IbePublicParams) -> Self {
+        Self::with_capacity(params, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wraps public parameters with an explicit cache capacity
+    /// (`capacity = 0` disables caching but keeps the prepared-pairing
+    /// speedup).
+    pub fn with_capacity(params: IbePublicParams, capacity: usize) -> Self {
+        let prepared_p_pub = params.curve().prepare_g1(params.p_pub());
+        IbeEncryptor {
+            params,
+            prepared_p_pub,
+            cache: Mutex::new(BaseCache {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity,
+                hits: 0,
+                misses: 0,
+            }),
+        }
+    }
+
+    /// The wrapped public parameters.
+    pub fn params(&self) -> &IbePublicParams {
+        &self.params
+    }
+
+    /// The cached-or-computed mask base `g_ID = ê(P_pub, Q_ID)`.
+    pub fn identity_base(&self, id: &str) -> Gt {
+        if let Some(g) = self.cache.lock().get(id) {
+            return g;
+        }
+        // Pairing computed outside the lock: concurrent misses on the
+        // same identity duplicate work instead of serializing it.
+        let q_id = self.params.hash_identity(id);
+        let base = self
+            .params
+            .curve()
+            .pairing_prepared(&self.prepared_p_pub, &q_id);
+        self.cache.lock().insert(id, base.clone());
+        base
+    }
+
+    /// Cached-base `BasicIdent` encryption
+    /// (cf. [`IbePublicParams::encrypt_basic`]).
+    pub fn encrypt_basic(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+        message: &[u8],
+    ) -> BasicCiphertext {
+        let r = self.params.curve().random_scalar(rng);
+        self.encrypt_basic_with_r(id, message, &r)
+    }
+
+    /// Cached-base deterministic `BasicIdent` encryption
+    /// (cf. [`IbePublicParams::encrypt_basic_with_r`]).
+    pub fn encrypt_basic_with_r(&self, id: &str, message: &[u8], r: &BigUint) -> BasicCiphertext {
+        self.params
+            .encrypt_basic_with_base(&self.identity_base(id), message, r)
+    }
+
+    /// Cached-base `FullIdent` encryption
+    /// (cf. [`IbePublicParams::encrypt_full`]).
+    ///
+    /// # Errors
+    ///
+    /// Infallible today; returns `Result` for interface stability.
+    pub fn encrypt_full(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+        message: &[u8],
+    ) -> Result<FullCiphertext, Error> {
+        let mut sigma = [0u8; SIGMA_LEN];
+        rng.fill_bytes(&mut sigma);
+        Ok(self.encrypt_full_with_sigma(id, message, &sigma))
+    }
+
+    /// Cached-base deterministic `FullIdent` encryption
+    /// (cf. [`IbePublicParams::encrypt_full_with_sigma`]).
+    pub fn encrypt_full_with_sigma(
+        &self,
+        id: &str,
+        message: &[u8],
+        sigma: &[u8; SIGMA_LEN],
+    ) -> FullCiphertext {
+        self.params
+            .encrypt_full_with_base(&self.identity_base(id), message, sigma)
+    }
+
+    /// Hit/miss/occupancy counters since construction.
+    pub fn cache_stats(&self) -> CacheStats {
+        let cache = self.cache.lock();
+        CacheStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            entries: cache.map.len(),
+        }
+    }
+
+    /// Drops every cached base (counters are kept).
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock();
+        cache.map.clear();
+        cache.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bf_ibe::Pkg;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sempair_pairing::CurveParams;
+
+    fn pkg() -> Pkg {
+        let mut rng = StdRng::seed_from_u64(171);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        Pkg::setup(&mut rng, curve)
+    }
+
+    #[test]
+    fn cached_base_matches_uncached() {
+        let pkg = pkg();
+        let enc = IbeEncryptor::new(pkg.params().clone());
+        for id in ["alice", "bob", "alice"] {
+            assert_eq!(enc.identity_base(id), pkg.params().identity_base(id));
+        }
+        let stats = enc.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 2));
+    }
+
+    #[test]
+    fn ciphertexts_identical_to_uncached_and_decryptable() {
+        let pkg = pkg();
+        let enc = IbeEncryptor::new(pkg.params().clone());
+        let sigma = [9u8; SIGMA_LEN];
+        let c_cached = enc.encrypt_full_with_sigma("alice", b"payload", &sigma);
+        let c_plain = pkg
+            .params()
+            .encrypt_full_with_sigma("alice", b"payload", &sigma);
+        assert_eq!(c_cached, c_plain, "caching must not change the ciphertext");
+        let key = pkg.extract("alice");
+        assert_eq!(
+            pkg.params().decrypt_full(&key, &c_cached).unwrap(),
+            b"payload"
+        );
+
+        let r = BigUint::from(123_456u64);
+        let b_cached = enc.encrypt_basic_with_r("alice", b"basic", &r);
+        let b_plain = pkg.params().encrypt_basic_with_r("alice", b"basic", &r);
+        assert_eq!(b_cached, b_plain);
+        assert_eq!(
+            pkg.params().decrypt_basic(&key, &b_cached).unwrap(),
+            b"basic"
+        );
+    }
+
+    #[test]
+    fn mediated_decryption_of_cached_ciphertext() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(172);
+        let (user, sem_key) = pkg.extract_split(&mut rng, "carol");
+        let mut sem = crate::mediated::Sem::new();
+        sem.install(sem_key);
+        let enc = IbeEncryptor::new(pkg.params().clone());
+        let c = enc.encrypt_full(&mut rng, "carol", b"via sem").unwrap();
+        let token = sem.decrypt_token(pkg.params(), "carol", &c.u).unwrap();
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+            b"via sem"
+        );
+    }
+
+    #[test]
+    fn cache_is_bounded_fifo() {
+        let pkg = pkg();
+        let enc = IbeEncryptor::with_capacity(pkg.params().clone(), 2);
+        enc.identity_base("a");
+        enc.identity_base("b");
+        enc.identity_base("c"); // evicts "a"
+        assert_eq!(enc.cache_stats().entries, 2);
+        enc.identity_base("b"); // still cached
+        assert_eq!(enc.cache_stats().hits, 1);
+        enc.identity_base("a"); // was evicted: miss
+        assert_eq!(enc.cache_stats().misses, 4);
+        enc.clear_cache();
+        assert_eq!(enc.cache_stats().entries, 0);
+        // Zero capacity: never caches, never breaks.
+        let enc0 = IbeEncryptor::with_capacity(pkg.params().clone(), 0);
+        enc0.identity_base("x");
+        enc0.identity_base("x");
+        assert_eq!(enc0.cache_stats().entries, 0);
+        assert_eq!(enc0.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let pkg = pkg();
+        let enc = std::sync::Arc::new(IbeEncryptor::new(pkg.params().clone()));
+        let expected = pkg.params().identity_base("dave");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let enc = std::sync::Arc::clone(&enc);
+                let expected = expected.clone();
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        assert_eq!(enc.identity_base("dave"), expected);
+                    }
+                });
+            }
+        });
+        let stats = enc.cache_stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+        assert_eq!(stats.entries, 1);
+    }
+}

@@ -19,6 +19,7 @@ use crate::shamir::{self, Polynomial, Share};
 use crate::Error;
 use rand::RngCore;
 use sempair_bigint::{modular, BigUint};
+use sempair_hash::derive;
 use sempair_pairing::{CurveParams, G1Affine};
 use std::collections::{HashMap, HashSet};
 
@@ -82,6 +83,203 @@ pub fn verify(
     }
 }
 
+// --- batch verification ------------------------------------------------------
+
+/// Domain tag for batch-verification coefficient derivation.
+const BATCH_TAG: &[u8] = b"sempair-gdh-batch";
+
+/// Small-exponent soundness parameter: coefficients are `ℓ`-bit, so a
+/// bad batch survives the combined check with probability `≈ 2⁻ℓ`.
+const BATCH_COEFF_BITS: usize = 64;
+
+/// Hash-derived batch coefficients bound to the batch transcript
+/// (Fiat–Shamir style, so callers need no RNG): the signatures are
+/// fixed *before* the combination that tests them is known, which is
+/// what makes the random-linear-combination check sound against
+/// adversarially correlated forgeries.
+///
+/// Coefficients use the small-exponents test (Bellare–Garay–Rabin):
+/// `cᵢ ∈ [1, 2^ℓ)` with `ℓ = 64` (capped below the group order for toy
+/// curves) keeps the failure probability at `2⁻ℓ` while making the
+/// combiner's multi-scalar multiplications run over `ℓ`-bit scalars
+/// instead of full-width ones.
+fn batch_coefficients(
+    tag: &[u8],
+    curve: &CurveParams,
+    transcript: &[u8],
+    n: usize,
+) -> Vec<BigUint> {
+    let ell = BATCH_COEFF_BITS.min(curve.order().bits() - 1);
+    let bound = BigUint::one() << ell;
+    (0..n)
+        .map(|i| {
+            let mut input = Vec::with_capacity(transcript.len() + 8);
+            input.extend_from_slice(transcript);
+            input.extend_from_slice(&(i as u64).to_be_bytes());
+            derive::hash_to_scalar(tag, &input, &bound)
+        })
+        .collect()
+}
+
+/// The 2-pairing random-linear-combination check for a same-key batch.
+/// Assumes every signature already passed the group-membership check.
+fn batch_check_same_key(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    entries: &[(&[u8], &Signature)],
+) -> bool {
+    let mut transcript = curve.point_to_bytes(&key.point);
+    for (message, sig) in entries {
+        transcript.extend_from_slice(&(message.len() as u64).to_be_bytes());
+        transcript.extend_from_slice(message);
+        transcript.extend_from_slice(&curve.point_to_bytes(&sig.0));
+    }
+    let coeffs = batch_coefficients(BATCH_TAG, curve, &transcript, entries.len());
+    let sig_terms: Vec<(BigUint, G1Affine)> = coeffs
+        .iter()
+        .zip(entries)
+        .map(|(c, (_, sig))| (c.clone(), sig.0.clone()))
+        .collect();
+    // Combine the *pre-cofactor-clearing* hash candidates and clear
+    // once: Σ cᵢ·H(mᵢ) = cofactor · Σ cᵢ·Candᵢ — one cofactor
+    // multiplication for the whole batch instead of one per message.
+    let hash_terms: Vec<(BigUint, G1Affine)> = coeffs
+        .iter()
+        .zip(entries)
+        .map(|(c, (message, _))| (c.clone(), curve.hash_to_g1_candidate(MSG_TAG, message)))
+        .collect();
+    let combined_sig = curve.multi_mul(&sig_terms);
+    let combined_hash = curve.mul(curve.cofactor(), &curve.multi_mul(&hash_terms));
+    curve.pairing_equals(curve.generator(), &combined_sig, &key.point, &combined_hash)
+}
+
+/// Domain tag separating membership-check coefficients from the
+/// verification-equation coefficients.
+const MEMBERSHIP_TAG: &[u8] = b"sempair-gdh-batch-membership";
+
+/// Batched order-`r` subgroup check: every signature is checked to be
+/// on the curve (a few field multiplications each), then **one** random
+/// combination `Σ dᵢ·σᵢ` is multiplied by `r`. Writing each point as
+/// `σᵢ = sᵢ + tᵢ` with `sᵢ` in the order-`r` subgroup and `tᵢ` in the
+/// cofactor subgroup, `r·Σdᵢσᵢ = Σdᵢ(r·tᵢ)` — zero for all `σᵢ` in the
+/// subgroup, and nonzero except with probability `≈ 2⁻ℓ` over the
+/// coefficients if any `tᵢ ≠ 0`. Replaces `n` order-`r` scalar
+/// multiplications with one multi-scalar multiplication plus one.
+fn batch_membership_check(curve: &CurveParams, points: &[&G1Affine]) -> bool {
+    if points.iter().any(|point| !curve.is_on_curve(point)) {
+        return false;
+    }
+    match points {
+        [] => true,
+        [point] => curve.is_in_group(point),
+        _ => {
+            let mut transcript = Vec::new();
+            for point in points {
+                transcript.extend_from_slice(&curve.point_to_bytes(point));
+            }
+            let coeffs = batch_coefficients(MEMBERSHIP_TAG, curve, &transcript, points.len());
+            let terms: Vec<(BigUint, G1Affine)> = coeffs
+                .into_iter()
+                .zip(points)
+                .map(|(d, point)| (d, (*point).clone()))
+                .collect();
+            curve
+                .mul(curve.order(), &curve.multi_mul(&terms))
+                .is_infinity()
+        }
+    }
+}
+
+/// Batch verification of `n` signatures under **one** public key.
+///
+/// Checks `ê(P, Σcᵢσᵢ) = ê(R, ΣcᵢH(mᵢ))` with hash-derived random
+/// coefficients `cᵢ` — two pairings total instead of `2n`. Since each
+/// signature verifies as `ê(P, σᵢ) = ê(R, H(mᵢ))`, the combined
+/// equation holds whenever all do; a batch containing an invalid
+/// signature passes only with probability `≈ 1/q` over the coefficient
+/// choice. Use [`batch_find_invalid`] to localize a failure.
+///
+/// An empty batch is vacuously valid.
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] if any signature is outside the group or
+/// the combined check fails.
+pub fn batch_verify(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    entries: &[(&[u8], &Signature)],
+) -> Result<(), Error> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let points: Vec<&G1Affine> = entries.iter().map(|(_, sig)| &sig.0).collect();
+    if !batch_membership_check(curve, &points) {
+        return Err(Error::InvalidSignature);
+    }
+    if batch_check_same_key(curve, key, entries) {
+        Ok(())
+    } else {
+        Err(Error::InvalidSignature)
+    }
+}
+
+/// Locates the invalid signatures in a batch by recursive bisection.
+///
+/// A passing sub-batch costs one 2-pairing check regardless of size, so
+/// `k` bad signatures among `n` are localized with `O(k·log n)` batch
+/// checks instead of `n` individual verifications. Returns the indices
+/// (into `entries`, ascending) that fail; empty means the whole batch
+/// verifies.
+pub fn batch_find_invalid(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    entries: &[(&[u8], &Signature)],
+) -> Vec<usize> {
+    // Group-membership failures are individually attributable without
+    // any pairing work; the all-good case costs one batched check.
+    let mut bad: Vec<usize> = Vec::new();
+    let mut candidates: Vec<usize> = Vec::new();
+    let points: Vec<&G1Affine> = entries.iter().map(|(_, sig)| &sig.0).collect();
+    if batch_membership_check(curve, &points) {
+        candidates = (0..entries.len()).collect();
+    } else {
+        for (i, (_, sig)) in entries.iter().enumerate() {
+            if curve.is_in_group(&sig.0) {
+                candidates.push(i);
+            } else {
+                bad.push(i);
+            }
+        }
+    }
+    bisect_same_key(curve, key, entries, &candidates, &mut bad);
+    bad.sort_unstable();
+    bad
+}
+
+fn bisect_same_key(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    entries: &[(&[u8], &Signature)],
+    indices: &[usize],
+    bad: &mut Vec<usize>,
+) {
+    if indices.is_empty() {
+        return;
+    }
+    let subset: Vec<(&[u8], &Signature)> = indices.iter().map(|&i| entries[i]).collect();
+    if batch_check_same_key(curve, key, &subset) {
+        return;
+    }
+    if indices.len() == 1 {
+        bad.push(indices[0]);
+        return;
+    }
+    let mid = indices.len() / 2;
+    bisect_same_key(curve, key, entries, &indices[..mid], bad);
+    bisect_same_key(curve, key, entries, &indices[mid..], bad);
+}
+
 // --- threshold GDH (Boldyreva) ----------------------------------------------
 
 /// A `(t, n)` threshold GDH signature deployment.
@@ -134,11 +332,28 @@ impl ThresholdGdh {
         let shares: Vec<GdhKeyShare> = poly
             .shares(n)
             .into_iter()
-            .map(|Share { index, value }| GdhKeyShare { index, scalar: value })
+            .map(|Share { index, value }| GdhKeyShare {
+                index,
+                scalar: value,
+            })
             .collect();
-        let verification_keys = shares.iter().map(|s| curve.mul_generator(&s.scalar)).collect();
-        let public = GdhPublicKey { point: curve.mul_generator(&x) };
-        Ok((ThresholdGdh { curve, t, n, public, verification_keys }, shares))
+        let verification_keys = shares
+            .iter()
+            .map(|s| curve.mul_generator(&s.scalar))
+            .collect();
+        let public = GdhPublicKey {
+            point: curve.mul_generator(&x),
+        };
+        Ok((
+            ThresholdGdh {
+                curve,
+                t,
+                n,
+                public,
+                verification_keys,
+            },
+            shares,
+        ))
     }
 
     /// Assembles a threshold system from externally generated parts
@@ -152,7 +367,13 @@ impl ThresholdGdh {
         verification_keys: Vec<G1Affine>,
     ) -> Self {
         debug_assert_eq!(verification_keys.len(), n);
-        ThresholdGdh { curve, t, n, public, verification_keys }
+        ThresholdGdh {
+            curve,
+            t,
+            n,
+            public,
+            verification_keys,
+        }
     }
 
     /// The combined public key `R = xP`.
@@ -174,7 +395,9 @@ impl ThresholdGdh {
     pub fn partial_sign(&self, share: &GdhKeyShare, message: &[u8]) -> PartialSignature {
         PartialSignature {
             index: share.index,
-            point: self.curve.mul(&share.scalar, &hash_message(&self.curve, message)),
+            point: self
+                .curve
+                .mul(&share.scalar, &hash_message(&self.curve, message)),
         }
     }
 
@@ -186,13 +409,18 @@ impl ThresholdGdh {
     ///
     /// [`Error::InvalidShare`] when the check fails.
     pub fn verify_partial(&self, message: &[u8], partial: &PartialSignature) -> Result<(), Error> {
-        let err = Error::InvalidShare { player: partial.index };
+        let err = Error::InvalidShare {
+            player: partial.index,
+        };
         if partial.index == 0 || partial.index as usize > self.n {
             return Err(err);
         }
         let vk = &self.verification_keys[(partial.index - 1) as usize];
         let h = hash_message(&self.curve, message);
-        if self.curve.pairing_equals(self.curve.generator(), &partial.point, vk, &h) {
+        if self
+            .curve
+            .pairing_equals(self.curve.generator(), &partial.point, vk, &h)
+        {
             Ok(())
         } else {
             Err(err)
@@ -213,7 +441,10 @@ impl ThresholdGdh {
         partials: &[PartialSignature],
     ) -> Result<Signature, Error> {
         if partials.len() < self.t {
-            return Err(Error::NotEnoughShares { needed: self.t, got: partials.len() });
+            return Err(Error::NotEnoughShares {
+                needed: self.t,
+                got: partials.len(),
+            });
         }
         let used = &partials[..self.t];
         let indices: Vec<u32> = used.iter().map(|p| p.index).collect();
@@ -228,8 +459,135 @@ impl ThresholdGdh {
         Ok(sig)
     }
 
-    /// Robust combine: verifies each partial first, discards bad ones,
-    /// returns the signature and the cheater list.
+    /// Batch verification of partial signatures on one message:
+    /// `ê(P, Σcᵢσᵢ) = ê(ΣcᵢRᵢ, H(m))` with hash-derived coefficients —
+    /// two pairings for the whole set instead of two per partial
+    /// (exploiting that all partials share `H(m)` while differing in
+    /// verification key, the dual of [`batch_verify`]'s shape).
+    ///
+    /// An empty set is vacuously valid.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidShare`] naming the first offending player when
+    /// an index is out of range; [`Error::InvalidSignature`] when the
+    /// combined check fails (use
+    /// [`ThresholdGdh::find_invalid_partials`] to attribute it).
+    pub fn batch_verify_partials(
+        &self,
+        message: &[u8],
+        partials: &[PartialSignature],
+    ) -> Result<(), Error> {
+        if partials.is_empty() {
+            return Ok(());
+        }
+        for partial in partials {
+            if partial.index == 0 || partial.index as usize > self.n {
+                return Err(Error::InvalidShare {
+                    player: partial.index,
+                });
+            }
+        }
+        let h = hash_message(&self.curve, message);
+        if self.batch_check_partials(&h, message, partials) {
+            Ok(())
+        } else {
+            Err(Error::InvalidSignature)
+        }
+    }
+
+    /// Indices (into `partials`, ascending) of the partial signatures
+    /// that fail verification, localized by bisection over the
+    /// 2-pairing batch check — empty when everything verifies, which
+    /// costs a single batch check.
+    pub fn find_invalid_partials(
+        &self,
+        message: &[u8],
+        partials: &[PartialSignature],
+    ) -> Vec<usize> {
+        // Out-of-range indices are individually attributable.
+        let mut bad: Vec<usize> = Vec::new();
+        let mut candidates: Vec<usize> = Vec::new();
+        for (i, partial) in partials.iter().enumerate() {
+            if partial.index == 0 || partial.index as usize > self.n {
+                bad.push(i);
+            } else {
+                candidates.push(i);
+            }
+        }
+        let h = hash_message(&self.curve, message);
+        self.bisect_partials(&h, message, partials, &candidates, &mut bad);
+        bad.sort_unstable();
+        bad
+    }
+
+    /// The 2-pairing check for a subset of partials (indices assumed in
+    /// range).
+    fn batch_check_partials(
+        &self,
+        h: &G1Affine,
+        message: &[u8],
+        partials: &[PartialSignature],
+    ) -> bool {
+        let curve = &self.curve;
+        let mut transcript = curve.point_to_bytes(&self.public.point);
+        transcript.extend_from_slice(&(message.len() as u64).to_be_bytes());
+        transcript.extend_from_slice(message);
+        for partial in partials {
+            transcript.extend_from_slice(&partial.index.to_be_bytes());
+            transcript.extend_from_slice(&curve.point_to_bytes(&partial.point));
+        }
+        let coeffs = batch_coefficients(BATCH_TAG, curve, &transcript, partials.len());
+        let sig_terms: Vec<(BigUint, G1Affine)> = coeffs
+            .iter()
+            .zip(partials)
+            .map(|(c, partial)| (c.clone(), partial.point.clone()))
+            .collect();
+        let vk_terms: Vec<(BigUint, G1Affine)> = coeffs
+            .iter()
+            .zip(partials)
+            .map(|(c, partial)| {
+                (
+                    c.clone(),
+                    self.verification_keys[(partial.index - 1) as usize].clone(),
+                )
+            })
+            .collect();
+        let combined_sig = curve.multi_mul(&sig_terms);
+        let combined_vk = curve.multi_mul(&vk_terms);
+        curve.pairing_equals(curve.generator(), &combined_sig, &combined_vk, h)
+    }
+
+    fn bisect_partials(
+        &self,
+        h: &G1Affine,
+        message: &[u8],
+        partials: &[PartialSignature],
+        indices: &[usize],
+        bad: &mut Vec<usize>,
+    ) {
+        if indices.is_empty() {
+            return;
+        }
+        let subset: Vec<PartialSignature> = indices.iter().map(|&i| partials[i].clone()).collect();
+        if self.batch_check_partials(h, message, &subset) {
+            return;
+        }
+        if indices.len() == 1 {
+            bad.push(indices[0]);
+            return;
+        }
+        let mid = indices.len() / 2;
+        self.bisect_partials(h, message, partials, &indices[..mid], bad);
+        self.bisect_partials(h, message, partials, &indices[mid..], bad);
+    }
+
+    /// Robust combine: discards invalid partials, returns the signature
+    /// and the cheater list.
+    ///
+    /// The honest-majority fast path costs one 2-pairing batch check
+    /// for the whole set (via [`ThresholdGdh::find_invalid_partials`]);
+    /// only a batch containing actual cheaters pays for localization.
     ///
     /// # Errors
     ///
@@ -239,14 +597,14 @@ impl ThresholdGdh {
         message: &[u8],
         partials: &[PartialSignature],
     ) -> Result<(Signature, Vec<u32>), Error> {
-        let mut valid = Vec::new();
-        let mut cheaters = Vec::new();
-        for partial in partials {
-            match self.verify_partial(message, partial) {
-                Ok(()) => valid.push(partial.clone()),
-                Err(_) => cheaters.push(partial.index),
-            }
-        }
+        let bad = self.find_invalid_partials(message, partials);
+        let cheaters: Vec<u32> = bad.iter().map(|&i| partials[i].index).collect();
+        let valid: Vec<PartialSignature> = partials
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !bad.contains(i))
+            .map(|(_, partial)| partial.clone())
+            .collect();
         let sig = self.combine(message, &valid)?;
         Ok((sig, cheaters))
     }
@@ -290,8 +648,10 @@ pub fn verify_aggregate(
     }
     // ê(−P, σ)·Π ê(Rᵢ, H(mᵢ)) = 1
     let neg_p = curve.neg(curve.generator());
-    let hashes: Vec<G1Affine> =
-        entries.iter().map(|(_, m)| hash_message(curve, m)).collect();
+    let hashes: Vec<G1Affine> = entries
+        .iter()
+        .map(|(_, m)| hash_message(curve, m))
+        .collect();
     let mut pairs: Vec<(&G1Affine, &G1Affine)> = vec![(&neg_p, &sig.0)];
     for ((pk, _), h) in entries.iter().zip(hashes.iter()) {
         pairs.push((&pk.point, h));
@@ -377,10 +737,19 @@ pub fn mediated_keygen(
     let x_user = curve.random_scalar(rng);
     let x_sem = curve.random_scalar(rng);
     let sum = modular::mod_add(&x_user, &x_sem, curve.order());
-    let public = GdhPublicKey { point: curve.mul_generator(&sum) };
+    let public = GdhPublicKey {
+        point: curve.mul_generator(&sum),
+    };
     (
-        GdhUser { id: id.to_string(), public: public.clone(), x_user },
-        GdhSemKey { id: id.to_string(), x_sem },
+        GdhUser {
+            id: id.to_string(),
+            public: public.clone(),
+            x_user,
+        },
+        GdhSemKey {
+            id: id.to_string(),
+            x_sem,
+        },
         public,
     )
 }
@@ -452,7 +821,11 @@ impl GdhUser {
         if &x_user >= curve.order() {
             return Err(Error::InvalidSignature);
         }
-        Ok(GdhUser { id, public: GdhPublicKey { point }, x_user })
+        Ok(GdhUser {
+            id,
+            public: GdhPublicKey { point },
+            x_user,
+        })
     }
 }
 
@@ -534,7 +907,9 @@ impl GdhSem {
             return Err(Error::Revoked);
         }
         let key = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
-        Ok(HalfSignature(curve.mul(&key.x_sem, &hash_message(curve, message))))
+        Ok(HalfSignature(
+            curve.mul(&key.x_sem, &hash_message(curve, message)),
+        ))
     }
 }
 
@@ -576,9 +951,15 @@ mod tests {
         let (sk, pk) = keygen(&mut rng, &curve);
         let sig = sign(&curve, &sk, b"message");
         verify(&curve, &pk, b"message", &sig).unwrap();
-        assert_eq!(verify(&curve, &pk, b"other", &sig), Err(Error::InvalidSignature));
+        assert_eq!(
+            verify(&curve, &pk, b"other", &sig),
+            Err(Error::InvalidSignature)
+        );
         let (_, pk2) = keygen(&mut rng, &curve);
-        assert_eq!(verify(&curve, &pk2, b"message", &sig), Err(Error::InvalidSignature));
+        assert_eq!(
+            verify(&curve, &pk2, b"message", &sig),
+            Err(Error::InvalidSignature)
+        );
     }
 
     #[test]
@@ -595,8 +976,10 @@ mod tests {
     fn threshold_roundtrip_all_subsets() {
         let (curve, mut rng) = curve();
         let (sys, shares) = ThresholdGdh::setup(&mut rng, curve, 2, 4).unwrap();
-        let partials: Vec<PartialSignature> =
-            shares.iter().map(|s| sys.partial_sign(s, b"vote")).collect();
+        let partials: Vec<PartialSignature> = shares
+            .iter()
+            .map(|s| sys.partial_sign(s, b"vote"))
+            .collect();
         for a in 0..4 {
             for b in a + 1..4 {
                 let sig = sys
@@ -640,6 +1023,123 @@ mod tests {
         let (curve, mut rng) = curve();
         assert!(ThresholdGdh::setup(&mut rng, curve.clone(), 0, 2).is_err());
         assert!(ThresholdGdh::setup(&mut rng, curve, 3, 2).is_err());
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_batch() {
+        let (curve, mut rng) = curve();
+        let (sk, pk) = keygen(&mut rng, &curve);
+        let msgs: Vec<Vec<u8>> = (0..8).map(|i| format!("msg {i}").into_bytes()).collect();
+        let sigs: Vec<Signature> = msgs.iter().map(|m| sign(&curve, &sk, m)).collect();
+        let entries: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        batch_verify(&curve, &pk, &entries).unwrap();
+        assert!(batch_find_invalid(&curve, &pk, &entries).is_empty());
+        // Empty batch is vacuously valid.
+        batch_verify(&curve, &pk, &[]).unwrap();
+    }
+
+    #[test]
+    fn batch_verify_rejects_and_localizes_forgeries() {
+        let (curve, mut rng) = curve();
+        let (sk, pk) = keygen(&mut rng, &curve);
+        let msgs: Vec<Vec<u8>> = (0..9).map(|i| format!("msg {i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| sign(&curve, &sk, m)).collect();
+        // Forge two signatures: a wrong-but-in-group point and a
+        // signature swapped onto the wrong message.
+        sigs[2] = Signature(curve.mul_generator(&BigUint::from(99u64)));
+        sigs[7] = sign(&curve, &sk, b"some other message");
+        let entries: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert_eq!(
+            batch_verify(&curve, &pk, &entries),
+            Err(Error::InvalidSignature)
+        );
+        assert_eq!(batch_find_invalid(&curve, &pk, &entries), vec![2, 7]);
+        // Swapping a pair of signatures breaks both positions even
+        // though their sum still matches: the random coefficients see
+        // through the cancellation a fixed-weight check would miss.
+        let mut swapped: Vec<Signature> = msgs.iter().map(|m| sign(&curve, &sk, m)).collect();
+        swapped.swap(0, 1);
+        let entries: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&swapped)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert_eq!(batch_find_invalid(&curve, &pk, &entries), vec![0, 1]);
+    }
+
+    #[test]
+    fn batch_verify_rejects_out_of_subgroup_point() {
+        let (curve, mut rng) = curve();
+        let (sk, pk) = keygen(&mut rng, &curve);
+        let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("msg {i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| sign(&curve, &sk, m)).collect();
+        // An on-curve point outside the order-r subgroup: only the
+        // batched membership check can catch it, the pairing equation
+        // is not even defined for it.
+        let mut x = BigUint::two();
+        let rogue = loop {
+            if let Some((point, _)) = curve.lift_x(&x) {
+                if !curve.is_in_group(&point) {
+                    break point;
+                }
+            }
+            x = &x + &BigUint::one();
+        };
+        assert!(curve.is_on_curve(&rogue));
+        sigs[1] = Signature(rogue);
+        let entries: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert_eq!(
+            batch_verify(&curve, &pk, &entries),
+            Err(Error::InvalidSignature)
+        );
+        assert_eq!(batch_find_invalid(&curve, &pk, &entries), vec![1]);
+    }
+
+    #[test]
+    fn batch_verify_partials_matches_individual() {
+        let (curve, mut rng) = curve();
+        let (sys, shares) = ThresholdGdh::setup(&mut rng, curve.clone(), 3, 6).unwrap();
+        let mut partials: Vec<PartialSignature> = shares
+            .iter()
+            .map(|s| sys.partial_sign(s, b"ballot"))
+            .collect();
+        sys.batch_verify_partials(b"ballot", &partials).unwrap();
+        assert!(sys.find_invalid_partials(b"ballot", &partials).is_empty());
+        // Corrupt two partials; localization must agree with the
+        // per-partial verifier.
+        partials[1].point = curve.mul_generator(&BigUint::from(5u64));
+        partials[4].point = curve.generator().clone();
+        assert_eq!(
+            sys.batch_verify_partials(b"ballot", &partials),
+            Err(Error::InvalidSignature)
+        );
+        assert_eq!(sys.find_invalid_partials(b"ballot", &partials), vec![1, 4]);
+        for (i, partial) in partials.iter().enumerate() {
+            let individually_ok = sys.verify_partial(b"ballot", partial).is_ok();
+            assert_eq!(individually_ok, ![1usize, 4].contains(&i));
+        }
+        // Out-of-range index reported by player number.
+        partials[0].index = 99;
+        assert_eq!(
+            sys.batch_verify_partials(b"ballot", &partials),
+            Err(Error::InvalidShare { player: 99 })
+        );
+        assert_eq!(
+            sys.find_invalid_partials(b"ballot", &partials),
+            vec![0, 1, 4]
+        );
     }
 
     #[test]
@@ -694,7 +1194,11 @@ mod tests {
         let blind_sig = blind_sign(&curve, &sk, &blinded);
         let sig = unblind(&curve, &pk, &factor, &blind_sig);
         verify(&curve, &pk, msg, &sig).unwrap();
-        assert_eq!(sig, sign(&curve, &sk, msg), "unblinds to the unique BLS signature");
+        assert_eq!(
+            sig,
+            sign(&curve, &sk, msg),
+            "unblinds to the unique BLS signature"
+        );
         // Wrong blinding factor yields garbage.
         let (_, wrong_factor) = blind(&mut rng, &curve, msg);
         let bad = unblind(&curve, &pk, &wrong_factor, &blind_sig);

@@ -19,6 +19,9 @@
 //!   single short group element.
 //! * [`elgamal`] — the §4 closing remark: mediated FO-ElGamal (a plain
 //!   public-key scheme with SEM revocation, no pairing needed).
+//! * [`encryptor`] — a long-lived encryption handle caching the
+//!   per-identity mask base `ê(P_pub, Q_ID)` behind a bounded map, with
+//!   cache misses computed through a prepared pairing.
 //! * [`signcryption`] — the conclusion's future-work item: a mediated
 //!   signcryption where *both* the sender's and the receiver's
 //!   capabilities are instantly revocable.
@@ -49,6 +52,7 @@ pub mod bf_ibe;
 pub mod checked;
 pub mod dkg;
 pub mod elgamal;
+pub mod encryptor;
 pub mod gdh;
 pub mod mediated;
 pub mod shamir;

@@ -67,8 +67,14 @@ impl Pkg {
         let d_user = curve.mul_generator(&blind);
         let d_sem = curve.sub(&full.point, &d_user);
         (
-            UserKey { id: id.to_string(), point: d_user },
-            SemKey { id: id.to_string(), point: d_sem },
+            UserKey {
+                id: id.to_string(),
+                point: d_user,
+            },
+            SemKey {
+                id: id.to_string(),
+                point: d_sem,
+            },
         )
     }
 }
@@ -186,9 +192,9 @@ impl UserKey {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sempair_pairing::CurveParams;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sempair_pairing::CurveParams;
 
     fn setup() -> (Pkg, Sem, UserKey, StdRng) {
         let mut rng = StdRng::seed_from_u64(91);
@@ -203,7 +209,10 @@ mod tests {
     #[test]
     fn mediated_decrypt_roundtrip() {
         let (pkg, sem, user, mut rng) = setup();
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"mediated hello").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"mediated hello")
+            .unwrap();
         let token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
         assert_eq!(
             user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
@@ -223,7 +232,10 @@ mod tests {
     #[test]
     fn revocation_blocks_tokens_instantly() {
         let (pkg, mut sem, user, mut rng) = setup();
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"msg").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"msg")
+            .unwrap();
         sem.revoke("alice");
         assert_eq!(
             sem.decrypt_token(pkg.params(), "alice", &c.u),
@@ -233,13 +245,19 @@ mod tests {
         // only un/re-revoke, not decrypt).
         sem.unrevoke("alice");
         let token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
-        assert_eq!(user.finish_decrypt(pkg.params(), &c, &token).unwrap(), b"msg");
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+            b"msg"
+        );
     }
 
     #[test]
     fn user_cannot_decrypt_without_token() {
         let (pkg, _, user, mut rng) = setup();
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"msg").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"msg")
+            .unwrap();
         // Identity token (1 ∈ G2) leaves g = g_user: FO check must fail.
         let bogus = DecryptToken(pkg.params().curve().gt_one());
         assert_eq!(
@@ -253,11 +271,20 @@ mod tests {
         // §4: "the user cannot use the same decryption token twice" —
         // a token for c1 must not decrypt c2.
         let (pkg, sem, user, mut rng) = setup();
-        let c1 = pkg.params().encrypt_full(&mut rng, "alice", b"first").unwrap();
-        let c2 = pkg.params().encrypt_full(&mut rng, "alice", b"second").unwrap();
+        let c1 = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"first")
+            .unwrap();
+        let c2 = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"second")
+            .unwrap();
         let token1 = sem.decrypt_token(pkg.params(), "alice", &c1.u).unwrap();
         assert!(user.finish_decrypt(pkg.params(), &c2, &token1).is_err());
-        assert_eq!(user.finish_decrypt(pkg.params(), &c1, &token1).unwrap(), b"first");
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c1, &token1).unwrap(),
+            b"first"
+        );
     }
 
     #[test]
@@ -267,7 +294,10 @@ mod tests {
         let (pkg, mut sem, _alice, mut rng) = setup();
         let (bob, bob_sem) = pkg.extract_split(&mut rng, "bob");
         sem.install(bob_sem);
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"for alice").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"for alice")
+            .unwrap();
         let alice_token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
         assert!(bob.finish_decrypt(pkg.params(), &c, &alice_token).is_err());
     }
@@ -309,16 +339,29 @@ mod tests {
         let (pkg, mut sem, alice, mut rng) = setup();
         let (_bob_key, bob_sem) = pkg.extract_split(&mut rng, "bob");
         sem.install(bob_sem);
-        let full_alice = alice.collude(pkg.params(), sem.leak_key_for_attack_demo("alice").unwrap());
+        let full_alice =
+            alice.collude(pkg.params(), sem.leak_key_for_attack_demo("alice").unwrap());
         // Colluders decrypt alice's mail directly, bypassing revocation…
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"alice mail").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"alice mail")
+            .unwrap();
         sem.revoke("alice");
-        assert_eq!(pkg.params().decrypt_full(&full_alice, &c).unwrap(), b"alice mail");
+        assert_eq!(
+            pkg.params().decrypt_full(&full_alice, &c).unwrap(),
+            b"alice mail"
+        );
         // …but a key assembled from alice's user half and bob's SEM half
         // is NOT bob's key: decryption of bob's mail fails.
         let franken = alice.collude(pkg.params(), sem.leak_key_for_attack_demo("bob").unwrap());
-        let cb = pkg.params().encrypt_full(&mut rng, "bob", b"bob mail").unwrap();
-        let franken_bob = crate::bf_ibe::PrivateKey { id: "bob".into(), point: franken.point };
+        let cb = pkg
+            .params()
+            .encrypt_full(&mut rng, "bob", b"bob mail")
+            .unwrap();
+        let franken_bob = crate::bf_ibe::PrivateKey {
+            id: "bob".into(),
+            point: franken.point,
+        };
         assert!(pkg.params().decrypt_full(&franken_bob, &cb).is_err());
     }
 }

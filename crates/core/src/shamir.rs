@@ -32,7 +32,10 @@ impl Polynomial {
         for _ in 1..t {
             coeffs.push(brng::random_below(rng, q));
         }
-        Polynomial { coeffs, q: q.clone() }
+        Polynomial {
+            coeffs,
+            q: q.clone(),
+        }
     }
 
     /// The shared secret `f(0)`.
@@ -67,7 +70,10 @@ impl Polynomial {
     pub fn shares(&self, n: usize) -> Vec<Share> {
         assert!(n >= self.threshold(), "need n >= t");
         (1..=n as u32)
-            .map(|i| Share { index: i, value: self.eval_index(i) })
+            .map(|i| Share {
+                index: i,
+                value: self.eval_index(i),
+            })
             .collect()
     }
 }
@@ -146,7 +152,9 @@ pub fn reconstruct(shares: &[Share], q: &BigUint) -> Result<BigUint, Error> {
 fn check_indices(indices: &[u32]) -> Result<(), Error> {
     for (k, &i) in indices.iter().enumerate() {
         if i == 0 {
-            return Err(Error::BadThresholdParams("player index 0 is the secret position"));
+            return Err(Error::BadThresholdParams(
+                "player index 0 is the secret position",
+            ));
         }
         if indices[k + 1..].contains(&i) {
             return Err(Error::DuplicateShare { player: i });
@@ -214,12 +222,27 @@ mod tests {
     fn duplicate_and_zero_indices_rejected() {
         let q = q();
         let shares = vec![
-            Share { index: 2, value: BigUint::from(1u64) },
-            Share { index: 2, value: BigUint::from(2u64) },
+            Share {
+                index: 2,
+                value: BigUint::from(1u64),
+            },
+            Share {
+                index: 2,
+                value: BigUint::from(2u64),
+            },
         ];
-        assert_eq!(reconstruct(&shares, &q), Err(Error::DuplicateShare { player: 2 }));
-        let shares = vec![Share { index: 0, value: BigUint::one() }];
-        assert!(matches!(reconstruct(&shares, &q), Err(Error::BadThresholdParams(_))));
+        assert_eq!(
+            reconstruct(&shares, &q),
+            Err(Error::DuplicateShare { player: 2 })
+        );
+        let shares = vec![Share {
+            index: 0,
+            value: BigUint::one(),
+        }];
+        assert!(matches!(
+            reconstruct(&shares, &q),
+            Err(Error::BadThresholdParams(_))
+        ));
         assert!(reconstruct(&[], &q).is_err());
     }
 
@@ -258,7 +281,11 @@ mod tests {
     fn polynomial_eval_matches_manual() {
         let q = BigUint::from(97u64);
         let poly = Polynomial {
-            coeffs: vec![BigUint::from(3u64), BigUint::from(5u64), BigUint::from(7u64)],
+            coeffs: vec![
+                BigUint::from(3u64),
+                BigUint::from(5u64),
+                BigUint::from(7u64),
+            ],
             q: q.clone(),
         };
         // f(x) = 3 + 5x + 7x² mod 97; f(10) = 3 + 50 + 700 = 753 ≡ 73.

@@ -22,6 +22,7 @@
 //! component guarantees: EUF from §5, weak IND-CCA from §4.)
 
 use crate::bf_ibe::{FullCiphertext, IbePublicParams};
+use crate::encryptor::IbeEncryptor;
 use crate::gdh::{self, GdhPublicKey, GdhUser, HalfSignature, Signature};
 use crate::mediated::{DecryptToken, UserKey};
 use crate::Error;
@@ -36,7 +37,12 @@ pub struct Signcrypted {
 
 /// The signed payload layout: `u16 sender-id len ‖ sender-id ‖
 /// compressed signature point ‖ message`.
-fn encode_payload(params: &IbePublicParams, sender_id: &str, sig: &Signature, message: &[u8]) -> Vec<u8> {
+fn encode_payload(
+    params: &IbePublicParams,
+    sender_id: &str,
+    sig: &Signature,
+    message: &[u8],
+) -> Vec<u8> {
     let sid = sender_id.as_bytes();
     let mut out = Vec::with_capacity(2 + sid.len() + params.curve().point_len() + message.len());
     out.extend_from_slice(&(sid.len() as u16).to_be_bytes());
@@ -58,8 +64,8 @@ fn decode_payload(
     if payload.len() < 2 + id_len + point_len {
         return Err(Error::InvalidCiphertext);
     }
-    let sender_id = String::from_utf8(payload[2..2 + id_len].to_vec())
-        .map_err(|_| Error::InvalidCiphertext)?;
+    let sender_id =
+        String::from_utf8(payload[2..2 + id_len].to_vec()).map_err(|_| Error::InvalidCiphertext)?;
     let sig_point = params
         .curve()
         .point_from_bytes(&payload[2 + id_len..2 + id_len + point_len])
@@ -108,6 +114,31 @@ pub fn signcrypt(
     let sig = sender.finish_sign(params.curve(), &content, sender_half)?;
     let payload = encode_payload(params, &sender.id, &sig, message);
     let ciphertext = params.encrypt_full(rng, recipient_id, &payload)?;
+    Ok(Signcrypted { ciphertext })
+}
+
+/// [`signcrypt`] through a caching [`IbeEncryptor`]: a gateway
+/// signcrypting a stream of messages to the same recipients pays the
+/// `ê(P_pub, Q_ID)` pairing once per recipient instead of once per
+/// message. Output is identical to [`signcrypt`] for the same
+/// randomness.
+///
+/// # Errors
+///
+/// [`Error::InvalidSignature`] if the half-signature does not combine.
+pub fn signcrypt_with(
+    rng: &mut impl RngCore,
+    encryptor: &IbeEncryptor,
+    sender: &GdhUser,
+    sender_half: &HalfSignature,
+    recipient_id: &str,
+    message: &[u8],
+) -> Result<Signcrypted, Error> {
+    let params = encryptor.params();
+    let content = signed_content(recipient_id, message);
+    let sig = sender.finish_sign(params.curve(), &content, sender_half)?;
+    let payload = encode_payload(params, &sender.id, &sig, message);
+    let ciphertext = encryptor.encrypt_full(rng, recipient_id, &payload)?;
     Ok(Signcrypted { ciphertext })
 }
 
@@ -167,7 +198,15 @@ mod tests {
         let (bob, bob_sem) = pkg.extract_split(&mut rng, "bob");
         let mut ibe_sem = Sem::new();
         ibe_sem.install(bob_sem);
-        World { pkg, ibe_sem, gdh_sem, alice, alice_pk, bob, rng }
+        World {
+            pkg,
+            ibe_sem,
+            gdh_sem,
+            alice,
+            alice_pk,
+            bob,
+            rng,
+        }
     }
 
     fn do_signcrypt(w: &mut World, msg: &[u8]) -> Signcrypted {
@@ -187,10 +226,35 @@ mod tests {
             .ibe_sem
             .decrypt_token(w.pkg.params(), "bob", &sc.ciphertext.u)
             .unwrap();
-        let (sender, msg) =
-            designcrypt(w.pkg.params(), &w.bob, &token, &sc, &w.alice_pk).unwrap();
+        let (sender, msg) = designcrypt(w.pkg.params(), &w.bob, &token, &sc, &w.alice_pk).unwrap();
         assert_eq!(sender, "alice");
         assert_eq!(msg, b"signed and sealed");
+    }
+
+    #[test]
+    fn cached_encryptor_roundtrip() {
+        let mut w = setup();
+        let enc = IbeEncryptor::new(w.pkg.params().clone());
+        for i in 0..3 {
+            let msg = format!("stream item {i}").into_bytes();
+            let content = content_to_sign("bob", &msg);
+            let half = w
+                .gdh_sem
+                .half_sign(w.pkg.params().curve(), "alice", &content)
+                .unwrap();
+            let sc = signcrypt_with(&mut w.rng, &enc, &w.alice, &half, "bob", &msg).unwrap();
+            let token = w
+                .ibe_sem
+                .decrypt_token(w.pkg.params(), "bob", &sc.ciphertext.u)
+                .unwrap();
+            let (sender, got) =
+                designcrypt(w.pkg.params(), &w.bob, &token, &sc, &w.alice_pk).unwrap();
+            assert_eq!(sender, "alice");
+            assert_eq!(got, msg);
+        }
+        // One miss for "bob", hits for the rest of the stream.
+        let stats = enc.cache_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
     }
 
     #[test]
@@ -199,7 +263,8 @@ mod tests {
         w.gdh_sem.revoke("alice");
         let content = content_to_sign("bob", b"m");
         assert_eq!(
-            w.gdh_sem.half_sign(w.pkg.params().curve(), "alice", &content),
+            w.gdh_sem
+                .half_sign(w.pkg.params().curve(), "alice", &content),
             Err(Error::Revoked)
         );
     }
@@ -210,7 +275,8 @@ mod tests {
         let sc = do_signcrypt(&mut w, b"m");
         w.ibe_sem.revoke("bob");
         assert_eq!(
-            w.ibe_sem.decrypt_token(w.pkg.params(), "bob", &sc.ciphertext.u),
+            w.ibe_sem
+                .decrypt_token(w.pkg.params(), "bob", &sc.ciphertext.u),
             Err(Error::Revoked)
         );
     }
@@ -253,7 +319,11 @@ mod tests {
             s.install(sk);
             (k, s)
         };
-        let ct = w.pkg.params().encrypt_full(&mut w.rng, "carol", &payload).unwrap();
+        let ct = w
+            .pkg
+            .params()
+            .encrypt_full(&mut w.rng, "carol", &payload)
+            .unwrap();
         let rewrapped = Signcrypted { ciphertext: ct };
         let token = carol_sem
             .decrypt_token(w.pkg.params(), "carol", &rewrapped.ciphertext.u)

@@ -101,7 +101,15 @@ impl ThresholdPkg {
             .map(|i| curve.mul_generator(&poly.eval_index(i)))
             .collect();
         let params = IbePublicParams::from_parts(curve, p_pub);
-        Ok(ThresholdPkg { system: ThresholdSystem { params, t, n, verification_keys }, poly })
+        Ok(ThresholdPkg {
+            system: ThresholdSystem {
+                params,
+                t,
+                n,
+                verification_keys,
+            },
+            poly,
+        })
     }
 
     /// The public system description.
@@ -117,7 +125,11 @@ impl ThresholdPkg {
             .map(|i| IdKeyShare {
                 id: id.to_string(),
                 index: i,
-                point: self.system.params.curve().mul(&self.poly.eval_index(i), &q_id),
+                point: self
+                    .system
+                    .params
+                    .curve()
+                    .mul(&self.poly.eval_index(i), &q_id),
             })
             .collect()
     }
@@ -223,7 +235,11 @@ impl ThresholdSystem {
         let e = self.proof_challenge(&g_i, &v_i, &w1, &w2);
         // V = R + e·d_IDᵢ.
         let v = curve.add(&r_point, &curve.mul(&e, &key_share.point));
-        DecryptionShare { index: key_share.index, value: g_i, proof: Some(EqProof { w1, w2, e, v }) }
+        DecryptionShare {
+            index: key_share.index,
+            value: g_i,
+            proof: Some(EqProof { w1, w2, e, v }),
+        }
     }
 
     /// Verifies a robust decryption share for identity `id` and
@@ -240,7 +256,9 @@ impl ThresholdSystem {
         share: &DecryptionShare,
     ) -> Result<(), Error> {
         if share.index == 0 || share.index as usize > self.n {
-            return Err(Error::InvalidShare { player: share.index });
+            return Err(Error::InvalidShare {
+                player: share.index,
+            });
         }
         let Some(proof) = &share.proof else {
             return Err(Error::InvalidProof);
@@ -281,7 +299,10 @@ impl ThresholdSystem {
         shares: &[DecryptionShare],
     ) -> Result<Vec<u8>, Error> {
         if shares.len() < self.t {
-            return Err(Error::NotEnoughShares { needed: self.t, got: shares.len() });
+            return Err(Error::NotEnoughShares {
+                needed: self.t,
+                got: shares.len(),
+            });
         }
         let used = &shares[..self.t];
         let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
@@ -335,7 +356,10 @@ impl ThresholdSystem {
     /// [`Error::NotEnoughShares`] or index errors.
     pub fn recover_key_share(&self, shares: &[IdKeyShare], j: u32) -> Result<IdKeyShare, Error> {
         if shares.len() < self.t {
-            return Err(Error::NotEnoughShares { needed: self.t, got: shares.len() });
+            return Err(Error::NotEnoughShares {
+                needed: self.t,
+                got: shares.len(),
+            });
         }
         let used = &shares[..self.t];
         let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
@@ -422,9 +446,13 @@ mod tests {
         let (pkg, mut rng) = setup(3, 5);
         let sys = pkg.system();
         let shares = pkg.keygen("alice");
-        let c = sys.params().encrypt_basic(&mut rng, "alice", b"threshold msg");
-        let dec: Vec<DecryptionShare> =
-            shares.iter().map(|ks| sys.decryption_share(ks, &c.u)).collect();
+        let c = sys
+            .params()
+            .encrypt_basic(&mut rng, "alice", b"threshold msg");
+        let dec: Vec<DecryptionShare> = shares
+            .iter()
+            .map(|ks| sys.decryption_share(ks, &c.u))
+            .collect();
         for a in 0..5 {
             for b in a + 1..5 {
                 for cc in b + 1..5 {
@@ -457,10 +485,8 @@ mod tests {
         // master would produce.
         let (pkg, mut rng) = setup(2, 3);
         let sys = pkg.system();
-        let central = Pkg::from_master(
-            sys.params().curve().clone(),
-            pkg.master_for_tests().clone(),
-        );
+        let central =
+            Pkg::from_master(sys.params().curve().clone(), pkg.master_for_tests().clone());
         assert_eq!(central.params().p_pub(), sys.params().p_pub());
         let c = sys.params().encrypt_basic(&mut rng, "carol", b"same msg");
         let key = central.extract("carol");
@@ -552,13 +578,22 @@ mod tests {
         let proof = good.proof.clone().unwrap();
         let curve = sys.params().curve();
         let mut bad = good.clone();
-        bad.proof = Some(EqProof { e: &proof.e + &BigUint::one(), ..proof.clone() });
+        bad.proof = Some(EqProof {
+            e: &proof.e + &BigUint::one(),
+            ..proof.clone()
+        });
         assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
         let mut bad = good.clone();
-        bad.proof = Some(EqProof { v: curve.mul_generator(&BigUint::from(5u64)), ..proof.clone() });
+        bad.proof = Some(EqProof {
+            v: curve.mul_generator(&BigUint::from(5u64)),
+            ..proof.clone()
+        });
         assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
         let mut bad = good.clone();
-        bad.proof = Some(EqProof { w1: curve.gt_one(), ..proof.clone() });
+        bad.proof = Some(EqProof {
+            w1: curve.gt_one(),
+            ..proof.clone()
+        });
         assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
     }
 }

@@ -70,7 +70,11 @@ pub fn half_signature_from_bytes(
 
 /// Layout shared by every identity-bound key record:
 /// `u16 id-len ‖ id ‖ compressed point`.
-fn keyed_point_to_bytes(curve: &CurveParams, id: &str, point: &sempair_pairing::G1Affine) -> Vec<u8> {
+fn keyed_point_to_bytes(
+    curve: &CurveParams,
+    id: &str,
+    point: &sempair_pairing::G1Affine,
+) -> Vec<u8> {
     let id_bytes = id.as_bytes();
     let mut out = Vec::with_capacity(2 + id_bytes.len() + curve.point_len());
     out.extend_from_slice(&(id_bytes.len() as u16).to_be_bytes());
@@ -91,8 +95,8 @@ fn keyed_point_from_bytes(
     if bytes.len() != expected {
         return Err(Error::InvalidCiphertext);
     }
-    let id = String::from_utf8(bytes[2..2 + id_len].to_vec())
-        .map_err(|_| Error::InvalidCiphertext)?;
+    let id =
+        String::from_utf8(bytes[2..2 + id_len].to_vec()).map_err(|_| Error::InvalidCiphertext)?;
     let point = curve
         .point_from_bytes(&bytes[2 + id_len..])
         .map_err(|_| Error::InvalidCiphertext)?;
@@ -186,7 +190,10 @@ mod tests {
         let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
         let mut sem = Sem::new();
         sem.install(sem_key);
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"over the wire").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"over the wire")
+            .unwrap();
         let token = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
         let bytes = token_to_bytes(curve, &token);
         assert_eq!(bytes.len(), 2 * curve.fp().byte_len());
@@ -254,8 +261,7 @@ mod tests {
         let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
         let tpkg = ThresholdPkg::setup(&mut rng, curve.clone(), 2, 3).unwrap();
         for share in tpkg.keygen("vault") {
-            let parsed =
-                key_share_from_bytes(&curve, &key_share_to_bytes(&curve, &share)).unwrap();
+            let parsed = key_share_from_bytes(&curve, &key_share_to_bytes(&curve, &share)).unwrap();
             assert_eq!(parsed, share);
             assert!(tpkg.system().verify_key_share(&parsed));
         }

@@ -6,8 +6,9 @@
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
-use sempair_core::bf_ibe::Pkg;
+use rand::{RngCore, SeedableRng};
+use sempair_core::bf_ibe::{Pkg, SIGMA_LEN};
+use sempair_core::encryptor::IbeEncryptor;
 use sempair_core::gdh;
 use sempair_core::mediated::Sem;
 use sempair_core::shamir::{self, Polynomial, Share};
@@ -29,6 +30,12 @@ fn pkg() -> &'static Pkg {
         let mut rng = StdRng::seed_from_u64(0xBEEF);
         Pkg::setup(&mut rng, curve().clone())
     })
+}
+
+/// Shared across cases so later cases exercise the cache-hit path.
+fn encryptor() -> &'static IbeEncryptor {
+    static ENC: OnceLock<IbeEncryptor> = OnceLock::new();
+    ENC.get_or_init(|| IbeEncryptor::new(pkg().params().clone()))
 }
 
 proptest! {
@@ -113,6 +120,61 @@ proptest! {
     }
 
     #[test]
+    fn prepared_pairing_matches_fresh(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = curve().mul_generator(&curve().random_scalar(&mut rng));
+        let q = curve().mul_generator(&curve().random_scalar(&mut rng));
+        let prepared = curve().prepare_g1(&p);
+        prop_assert_eq!(curve().pairing_prepared(&prepared, &q), curve().pairing(&p, &q));
+        // The prepared handle is reusable across second arguments.
+        let q2 = curve().mul_generator(&curve().random_scalar(&mut rng));
+        prop_assert_eq!(curve().pairing_prepared(&prepared, &q2), curve().pairing(&p, &q2));
+    }
+
+    #[test]
+    fn batch_verify_accepts_valid_and_localizes_forgery(
+        n in 1usize..10,
+        forge_slot in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (sk, pk) = gdh::keygen(&mut rng, curve());
+        let messages: Vec<Vec<u8>> = (0..n).map(|i| format!("m{i}").into_bytes()).collect();
+        let mut sigs: Vec<gdh::Signature> =
+            messages.iter().map(|m| gdh::sign(curve(), &sk, m)).collect();
+        {
+            let entries: Vec<(&[u8], &gdh::Signature)> =
+                messages.iter().map(|m| m.as_slice()).zip(sigs.iter()).collect();
+            prop_assert!(gdh::batch_verify(curve(), &pk, &entries).is_ok());
+            prop_assert!(gdh::batch_find_invalid(curve(), &pk, &entries).is_empty());
+        }
+        // Forge one position: the batch must fail and the bisection
+        // must name exactly that index.
+        let forged_at = forge_slot % n;
+        sigs[forged_at] = gdh::sign(curve(), &sk, b"some other statement");
+        let entries: Vec<(&[u8], &gdh::Signature)> =
+            messages.iter().map(|m| m.as_slice()).zip(sigs.iter()).collect();
+        prop_assert!(gdh::batch_verify(curve(), &pk, &entries).is_err());
+        prop_assert_eq!(gdh::batch_find_invalid(curve(), &pk, &entries), vec![forged_at]);
+    }
+
+    #[test]
+    fn cached_encryptor_ciphertexts_identical_and_decryptable(
+        msg in proptest::collection::vec(any::<u8>(), 0..200),
+        id in "[a-z]{1,12}",
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sigma = [0u8; SIGMA_LEN];
+        rng.fill_bytes(&mut sigma);
+        let c_cached = encryptor().encrypt_full_with_sigma(&id, &msg, &sigma);
+        let c_plain = pkg().params().encrypt_full_with_sigma(&id, &msg, &sigma);
+        prop_assert_eq!(&c_cached, &c_plain);
+        let key = pkg().extract(&id);
+        prop_assert_eq!(pkg().params().decrypt_full(&key, &c_cached).unwrap(), msg);
+    }
+
+    #[test]
     fn threshold_gdh_any_t_subset(seed in any::<u64>(), t in 2usize..5) {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = t + 2;
@@ -173,7 +235,9 @@ fn threshold_ibe_random_subsets() {
     let shares = tpkg.keygen("subset-test");
     for round in 0..6 {
         let msg = format!("round {round}");
-        let c = sys.params().encrypt_basic(&mut rng, "subset-test", msg.as_bytes());
+        let c = sys
+            .params()
+            .encrypt_basic(&mut rng, "subset-test", msg.as_bytes());
         // Rotate which 3 players respond.
         let chosen = [(round) % 6, (round + 2) % 6, (round + 4) % 6];
         let dec: Vec<_> = chosen
@@ -193,7 +257,10 @@ fn identity_separation_sweep() {
         let id_a = format!("user-a-{i}");
         let id_b = format!("user-b-{i}");
         let key_b = pkg().extract(&id_b);
-        let c = pkg().params().encrypt_full(&mut rng, &id_a, b"separated").unwrap();
+        let c = pkg()
+            .params()
+            .encrypt_full(&mut rng, &id_a, b"separated")
+            .unwrap();
         assert!(pkg().params().decrypt_full(&key_b, &c).is_err());
     }
 }

@@ -122,8 +122,14 @@ mod tests {
     #[test]
     fn hash_to_scalar_deterministic() {
         let q = big("1000003");
-        assert_eq!(hash_to_scalar(b"t", b"m", &q), hash_to_scalar(b"t", b"m", &q));
-        assert_ne!(hash_to_scalar(b"t", b"m1", &q), hash_to_scalar(b"t", b"m2", &q));
+        assert_eq!(
+            hash_to_scalar(b"t", b"m", &q),
+            hash_to_scalar(b"t", b"m", &q)
+        );
+        assert_ne!(
+            hash_to_scalar(b"t", b"m1", &q),
+            hash_to_scalar(b"t", b"m2", &q)
+        );
     }
 
     #[test]
@@ -135,8 +141,7 @@ mod tests {
             }
         }
         // With enough samples some value should use the full width.
-        let full = (0..40u32)
-            .any(|i| hash_to_bits(b"e", &i.to_be_bytes(), 64).bits() == 64);
+        let full = (0..40u32).any(|i| hash_to_bits(b"e", &i.to_be_bytes(), 64).bits() == 64);
         assert!(full);
     }
 

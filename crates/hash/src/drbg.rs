@@ -34,7 +34,11 @@ pub struct HmacDrbgRng {
 impl HmacDrbgRng {
     /// Creates a generator from a seed (any length, including empty).
     pub fn new(seed: &[u8]) -> Self {
-        let mut drbg = HmacDrbgRng { key: [0u8; 32], value: [1u8; 32], buffer: Vec::new() };
+        let mut drbg = HmacDrbgRng {
+            key: [0u8; 32],
+            value: [1u8; 32],
+            buffer: Vec::new(),
+        };
         drbg.absorb(seed);
         drbg
     }

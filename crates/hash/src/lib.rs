@@ -140,6 +140,9 @@ mod tests {
         let mut h = <Sha256 as Digest>::new();
         Digest::update(&mut h, b"hello ");
         Digest::update(&mut h, b"world");
-        assert_eq!(Digest::finalize(h), <Sha256 as Digest>::hash(b"hello world"));
+        assert_eq!(
+            Digest::finalize(h),
+            <Sha256 as Digest>::hash(b"hello world")
+        );
     }
 }

@@ -84,11 +84,7 @@ fn order_pair(a: BigUint, b: BigUint) -> (BigUint, BigUint) {
 ///
 /// Returns `None` if `e` is not invertible (negligible for honest
 /// parameters).
-pub fn recover_other_private_key(
-    p: &BigUint,
-    q: &BigUint,
-    victim_e: &BigUint,
-) -> Option<BigUint> {
+pub fn recover_other_private_key(p: &BigUint, q: &BigUint, victim_e: &BigUint) -> Option<BigUint> {
     let phi = sempair_bigint::prime::phi_semiprime(p, q);
     modular::mod_inv(victim_e, &phi).ok()
 }

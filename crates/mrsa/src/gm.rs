@@ -89,9 +89,15 @@ pub fn keygen(rng: &mut impl RngCore, bits: usize) -> Result<(GmPublicKey, GmSec
             break candidate;
         }
     };
-    let public = GmPublicKey { n: modulus.n().clone(), y };
+    let public = GmPublicKey {
+        n: modulus.n().clone(),
+        y,
+    };
     let qr_exp = modulus.phi().div_rem(&BigUint::from(4u64)).0;
-    let secret = GmSecretKey { n: modulus.n().clone(), qr_exp };
+    let secret = GmSecretKey {
+        n: modulus.n().clone(),
+        qr_exp,
+    };
     Ok((public, secret))
 }
 
@@ -114,13 +120,23 @@ pub fn mediated_keygen(
             break candidate;
         }
     };
-    let public = GmPublicKey { n: modulus.n().clone(), y };
+    let public = GmPublicKey {
+        n: modulus.n().clone(),
+        y,
+    };
     let qr_exp = modulus.phi().div_rem(&BigUint::from(4u64)).0;
     let (d_user, d_sem) = split_exponent(rng, &qr_exp, modulus.phi());
     Ok((
         public.clone(),
-        GmUser { id: id.to_string(), public, d_user },
-        GmSemKey { id: id.to_string(), d_sem },
+        GmUser {
+            id: id.to_string(),
+            public,
+            d_user,
+        },
+        GmSemKey {
+            id: id.to_string(),
+            d_sem,
+        },
     ))
 }
 
@@ -175,7 +191,8 @@ impl GmSem {
 
     /// Installs a half-key (needs the modulus for its modexp context).
     pub fn install(&mut self, n: &BigUint, key: GmSemKey) {
-        self.keys.insert(key.id.clone(), (key.d_sem, ModExpCtx::new(n)));
+        self.keys
+            .insert(key.id.clone(), (key.d_sem, ModExpCtx::new(n)));
     }
 
     /// Revokes an identity.
@@ -203,7 +220,9 @@ impl GmSem {
             return Err(Error::Revoked);
         }
         let (d_sem, ctx) = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
-        Ok(GmToken(ciphertext.iter().map(|c| ctx.pow(c, d_sem)).collect()))
+        Ok(GmToken(
+            ciphertext.iter().map(|c| ctx.pow(c, d_sem)).collect(),
+        ))
     }
 }
 
@@ -214,7 +233,11 @@ impl GmUser {
     ///
     /// [`Error::InvalidCiphertext`] on length mismatch or a combined
     /// value outside `{±1}` (invalid ciphertext or bogus token).
-    pub fn finish_decrypt(&self, ciphertext: &[BigUint], token: &GmToken) -> Result<Vec<bool>, Error> {
+    pub fn finish_decrypt(
+        &self,
+        ciphertext: &[BigUint],
+        token: &GmToken,
+    ) -> Result<Vec<bool>, Error> {
         if ciphertext.len() != token.0.len() {
             return Err(Error::InvalidCiphertext);
         }
@@ -253,7 +276,10 @@ pub fn bytes_to_bits(bytes: &[u8]) -> Vec<bool> {
 ///
 /// Panics if `bits.len()` is not a byte multiple.
 pub fn bits_to_bytes(bits: &[bool]) -> Vec<u8> {
-    assert!(bits.len().is_multiple_of(8), "bit count must be a byte multiple");
+    assert!(
+        bits.len().is_multiple_of(8),
+        "bit count must be a byte multiple"
+    );
     bits.chunks(8)
         .map(|chunk| chunk.iter().fold(0u8, |acc, &b| (acc << 1) | u8::from(b)))
         .collect()
@@ -323,7 +349,10 @@ mod tests {
         let c = encrypt(&mut rng, &public, &[true]);
         let mut token = sem.half_decrypt("alice", &c).unwrap();
         token.0[0] = modular::mod_add(&token.0[0], &BigUint::one(), &public.n);
-        assert_eq!(user.finish_decrypt(&c, &token), Err(Error::InvalidCiphertext));
+        assert_eq!(
+            user.finish_decrypt(&c, &token),
+            Err(Error::InvalidCiphertext)
+        );
     }
 
     #[test]
@@ -338,7 +367,10 @@ mod tests {
             }
         };
         assert_eq!(decrypt(&secret, &[bad]), Err(Error::InvalidCiphertext));
-        assert_eq!(decrypt(&secret, &[BigUint::zero()]), Err(Error::InvalidCiphertext));
+        assert_eq!(
+            decrypt(&secret, &[BigUint::zero()]),
+            Err(Error::InvalidCiphertext)
+        );
     }
 
     #[test]
@@ -347,7 +379,10 @@ mod tests {
         let (public, secret) = keygen(&mut rng, 256).unwrap();
         assert_eq!(modular::jacobi(&public.y, &public.n), 1);
         // …but decrypts as 1 (it is NOT a square).
-        assert_eq!(decrypt(&secret, std::slice::from_ref(&public.y)).unwrap(), vec![true]);
+        assert_eq!(
+            decrypt(&secret, std::slice::from_ref(&public.y)).unwrap(),
+            vec![true]
+        );
     }
 
     #[test]

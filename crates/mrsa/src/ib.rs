@@ -199,8 +199,15 @@ impl IbMrsaSystem {
         let d = self.modulus.private_exponent(&e)?;
         let (d_user, d_sem) = split_exponent(rng, &d, self.modulus.phi());
         Ok((
-            IbMrsaUser { id: id.to_string(), params: self.params.clone(), d_user },
-            IbMrsaSemKey { id: id.to_string(), d_sem },
+            IbMrsaUser {
+                id: id.to_string(),
+                params: self.params.clone(),
+                d_user,
+            },
+            IbMrsaSemKey {
+                id: id.to_string(),
+                d_sem,
+            },
         ))
     }
 
@@ -344,7 +351,9 @@ mod tests {
         let (user, sem_key) = system.keygen(&mut rng, "alice").unwrap();
         sem.install(sem_key);
         let params = system.public_params();
-        let c = params.encrypt(&mut rng, "alice", b"identity based!").unwrap();
+        let c = params
+            .encrypt(&mut rng, "alice", b"identity based!")
+            .unwrap();
         let token = sem.half_decrypt("alice", &c).unwrap();
         assert_eq!(user.finish_decrypt(&c, &token).unwrap(), b"identity based!");
     }

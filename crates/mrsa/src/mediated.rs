@@ -7,9 +7,7 @@
 //! signature needs one modular exponentiation from *each* side;
 //! revocation is the SEM refusing its half.
 
-use crate::rsa::{
-    self, encrypt_oaep, fdh, split_exponent, ModExpCtx, RsaKeyPair, RsaPublicKey,
-};
+use crate::rsa::{self, encrypt_oaep, fdh, split_exponent, ModExpCtx, RsaKeyPair, RsaPublicKey};
 use crate::{oaep::Oaep, Error};
 use rand::RngCore;
 use sempair_bigint::{modular, BigUint};
@@ -65,8 +63,16 @@ pub fn keygen(
 ) -> Result<(MrsaUser, MrsaSemKey), Error> {
     let kp = RsaKeyPair::generate(rng, bits, hash_len)?;
     let (d_user, d_sem) = split_exponent(rng, &kp.private.d, kp.modulus.phi());
-    let user = MrsaUser { id: id.to_string(), public: kp.public.clone(), d_user };
-    let sem = MrsaSemKey { id: id.to_string(), n: kp.public.n.clone(), d_sem };
+    let user = MrsaUser {
+        id: id.to_string(),
+        public: kp.public.clone(),
+        d_user,
+    };
+    let sem = MrsaSemKey {
+        id: id.to_string(),
+        n: kp.public.n.clone(),
+        d_sem,
+    };
     Ok((user, sem))
 }
 

@@ -33,7 +33,10 @@ impl Oaep {
     /// `hash_len == 0`.
     pub fn new(k: usize, hash_len: usize) -> Self {
         assert!(hash_len > 0, "hash length must be positive");
-        assert!(k >= 2 * hash_len + 2, "modulus too small for OAEP parameters");
+        assert!(
+            k >= 2 * hash_len + 2,
+            "modulus too small for OAEP parameters"
+        );
         Oaep { k, hash_len }
     }
 
@@ -57,7 +60,12 @@ impl Oaep {
     ///
     /// Returns [`Error::MessageTooLong`] when the message exceeds
     /// [`Oaep::max_message_len`].
-    pub fn pad(&self, rng: &mut impl RngCore, message: &[u8], label: &[u8]) -> Result<Vec<u8>, Error> {
+    pub fn pad(
+        &self,
+        rng: &mut impl RngCore,
+        message: &[u8],
+        label: &[u8],
+    ) -> Result<Vec<u8>, Error> {
         if message.len() > self.max_message_len() {
             return Err(Error::MessageTooLong);
         }
@@ -162,7 +170,10 @@ mod tests {
     fn wrong_label_rejected() {
         let oaep = Oaep::new(64, 16);
         let block = oaep.pad(&mut rng(), b"secret", b"label-a").unwrap();
-        assert_eq!(oaep.unpad(&block, b"label-b"), Err(Error::InvalidCiphertext));
+        assert_eq!(
+            oaep.unpad(&block, b"label-b"),
+            Err(Error::InvalidCiphertext)
+        );
     }
 
     #[test]

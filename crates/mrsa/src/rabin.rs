@@ -87,7 +87,10 @@ pub fn mediated_keygen(
     bits: usize,
     id: &str,
 ) -> Result<(RabinPublicKey, RabinUser, RabinSemKey), Error> {
-    assert!(bits >= 32 && bits.is_multiple_of(2), "modulus bits must be even and >= 32");
+    assert!(
+        bits >= 32 && bits.is_multiple_of(2),
+        "modulus bits must be even and >= 32"
+    );
     // p ≡ 3 (mod 8), q ≡ 7 (mod 8).
     let p = prime_with_residue(rng, bits / 2, 3)?;
     let q = prime_with_residue(rng, bits / 2, 7)?;
@@ -100,17 +103,20 @@ pub fn mediated_keygen(
     let public = RabinPublicKey { n };
     Ok((
         public.clone(),
-        RabinUser { id: id.to_string(), public, d_user },
-        RabinSemKey { id: id.to_string(), d_sem },
+        RabinUser {
+            id: id.to_string(),
+            public,
+            d_user,
+        },
+        RabinSemKey {
+            id: id.to_string(),
+            d_sem,
+        },
     ))
 }
 
 /// Finds a `bits`-bit prime `≡ residue (mod 8)`.
-fn prime_with_residue(
-    rng: &mut impl RngCore,
-    bits: usize,
-    residue: u64,
-) -> Result<BigUint, Error> {
+fn prime_with_residue(rng: &mut impl RngCore, bits: usize, residue: u64) -> Result<BigUint, Error> {
     for _ in 0..4000 {
         let mut candidate = brng::random_bits(rng, bits);
         // Force the low three bits.
@@ -313,7 +319,11 @@ mod tests {
             s: brng::random_below(&mut rng, &public.n),
         };
         assert!(verify(&public, b"m", &forged).is_err());
-        let oversized = RabinSignature { negate: false, double: false, s: public.n.clone() };
+        let oversized = RabinSignature {
+            negate: false,
+            double: false,
+            s: public.n.clone(),
+        };
         assert!(verify(&public, b"m", &oversized).is_err());
     }
 

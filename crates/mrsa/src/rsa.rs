@@ -31,12 +31,15 @@ impl RsaModulus {
     ///
     /// Panics if `bits < 16` or `bits` is odd.
     pub fn generate(rng: &mut impl RngCore, bits: usize) -> Result<Self, Error> {
-        assert!(bits >= 16 && bits.is_multiple_of(2), "modulus bits must be even and >= 16");
+        assert!(
+            bits >= 16 && bits.is_multiple_of(2),
+            "modulus bits must be even and >= 16"
+        );
         loop {
-            let (p, _) = prime::safe_prime(rng, bits / 2)
-                .map_err(|_| Error::PrimeSearchExhausted)?;
-            let (q, _) = prime::safe_prime(rng, bits / 2)
-                .map_err(|_| Error::PrimeSearchExhausted)?;
+            let (p, _) =
+                prime::safe_prime(rng, bits / 2).map_err(|_| Error::PrimeSearchExhausted)?;
+            let (q, _) =
+                prime::safe_prime(rng, bits / 2).map_err(|_| Error::PrimeSearchExhausted)?;
             if p == q {
                 continue;
             }
@@ -63,7 +66,10 @@ impl RsaModulus {
     ///
     /// Panics if `bits < 16` or `bits` is odd.
     pub fn generate_with_plain_primes(rng: &mut impl RngCore, bits: usize) -> Result<Self, Error> {
-        assert!(bits >= 16 && bits.is_multiple_of(2), "modulus bits must be even and >= 16");
+        assert!(
+            bits >= 16 && bits.is_multiple_of(2),
+            "modulus bits must be even and >= 16"
+        );
         loop {
             let p = prime::random_prime(rng, bits / 2).map_err(|_| Error::PrimeSearchExhausted)?;
             let q = prime::random_prime(rng, bits / 2).map_err(|_| Error::PrimeSearchExhausted)?;
@@ -187,9 +193,21 @@ impl RsaKeyPair {
             let Ok(d) = modulus.private_exponent(&e) else {
                 continue;
             };
-            let public = RsaPublicKey { n: modulus.n.clone(), e: e.clone(), hash_len };
-            let private = RsaPrivateKey { n: modulus.n.clone(), d, hash_len };
-            return Ok(RsaKeyPair { modulus, public, private });
+            let public = RsaPublicKey {
+                n: modulus.n.clone(),
+                e: e.clone(),
+                hash_len,
+            };
+            let private = RsaPrivateKey {
+                n: modulus.n.clone(),
+                d,
+                hash_len,
+            };
+            return Ok(RsaKeyPair {
+                modulus,
+                public,
+                private,
+            });
         }
     }
 }
@@ -233,8 +251,7 @@ pub fn decrypt_raw_crt(modulus: &RsaModulus, d: &BigUint, c: &BigUint) -> Result
     let dq = d % &(&modulus.q - &one);
     let mp = modular::mod_pow(&(c % &modulus.p), &dp, &modulus.p);
     let mq = modular::mod_pow(&(c % &modulus.q), &dq, &modulus.q);
-    let m = modular::crt_pair(&mp, &modulus.p, &mq, &modulus.q)
-        .map_err(|_| Error::KeygenFailed)?;
+    let m = modular::crt_pair(&mp, &modulus.p, &mq, &modulus.q).map_err(|_| Error::KeygenFailed)?;
     Ok(&m % &modulus.n)
 }
 
@@ -301,11 +318,7 @@ pub fn verify_fdh(key: &RsaPublicKey, message: &[u8], sig: &BigUint) -> Result<(
 
 /// Blinds/splits a private exponent additively: `d = d_user + d_sem
 /// (mod φ(n))` — the mRSA/IB-mRSA key split of §2 `Keygen` step 4.
-pub fn split_exponent(
-    rng: &mut impl RngCore,
-    d: &BigUint,
-    phi: &BigUint,
-) -> (BigUint, BigUint) {
+pub fn split_exponent(rng: &mut impl RngCore, d: &BigUint, phi: &BigUint) -> (BigUint, BigUint) {
     let d_user = brng::random_nonzero_below(rng, phi);
     let d_sem = modular::mod_sub(d, &d_user, phi);
     (d_user, d_sem)
@@ -326,12 +339,15 @@ impl ModExpCtx {
     ///
     /// Panics if `n` is even (RSA moduli are odd).
     pub fn new(n: &BigUint) -> Self {
-        ModExpCtx { ctx: Montgomery::new(n).expect("RSA modulus is odd") }
+        ModExpCtx {
+            ctx: Montgomery::new(n).expect("RSA modulus is odd"),
+        }
     }
 
     /// `base^exp mod n`.
     pub fn pow(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        self.ctx.from_mont(&self.ctx.pow(&self.ctx.to_mont(base), exp))
+        self.ctx
+            .from_mont(&self.ctx.pow(&self.ctx.to_mont(base), exp))
     }
 }
 
@@ -379,8 +395,14 @@ mod tests {
     fn out_of_range_rejected() {
         let kp = keypair();
         let too_big = kp.public.n.clone();
-        assert_eq!(encrypt_raw(&kp.public, &too_big), Err(Error::ValueOutOfRange));
-        assert_eq!(decrypt_raw(&kp.private, &too_big), Err(Error::ValueOutOfRange));
+        assert_eq!(
+            encrypt_raw(&kp.public, &too_big),
+            Err(Error::ValueOutOfRange)
+        );
+        assert_eq!(
+            decrypt_raw(&kp.private, &too_big),
+            Err(Error::ValueOutOfRange)
+        );
     }
 
     #[test]
@@ -388,7 +410,10 @@ mod tests {
         let kp = keypair();
         let mut r = rng();
         let c = encrypt_oaep(&mut r, &kp.public, b"attack at dawn", b"").unwrap();
-        assert_eq!(decrypt_oaep(&kp.private, &c, b"").unwrap(), b"attack at dawn");
+        assert_eq!(
+            decrypt_oaep(&kp.private, &c, b"").unwrap(),
+            b"attack at dawn"
+        );
         // Tampered ciphertext rejected.
         let bad = modular::mod_mul(&c, &BigUint::from(2u64), &kp.public.n);
         assert!(decrypt_oaep(&kp.private, &bad, b"").is_err());

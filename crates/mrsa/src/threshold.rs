@@ -109,7 +109,10 @@ impl ThresholdRsa {
             acc
         };
         let shares: Vec<RsaKeyShare> = (1..=l as u32)
-            .map(|i| RsaKeyShare { index: i, d_i: eval(i as u64) })
+            .map(|i| RsaKeyShare {
+                index: i,
+                d_i: eval(i as u64),
+            })
             .collect();
         // Verification base: a random square (generates QR_n w.h.p.).
         let n = modulus.n().clone();
@@ -121,7 +124,19 @@ impl ThresholdRsa {
             .map(|s| mont.from_mont(&mont.pow(&mont.to_mont(&v), &s.d_i)))
             .collect();
         let delta = factorial(l);
-        Ok((ThresholdRsa { n, e, t, l, delta, v, vks, mont }, shares))
+        Ok((
+            ThresholdRsa {
+                n,
+                e,
+                t,
+                l,
+                delta,
+                v,
+                vks,
+                mont,
+            },
+            shares,
+        ))
     }
 
     /// The threshold `t`.
@@ -147,10 +162,16 @@ impl ThresholdRsa {
     /// Player-side signing: `xᵢ = x^{2Δdᵢ} mod n`.
     pub fn sign_share(&self, share: &RsaKeyShare, message: &[u8]) -> SignatureShare {
         let x = self.message_representative(message);
-        let value = self
-            .mont
-            .from_mont(&self.mont.pow(&self.mont.to_mont(&x), &self.share_exponent(share)));
-        SignatureShare { index: share.index, value, proof: None }
+        let value = self.mont.from_mont(
+            &self
+                .mont
+                .pow(&self.mont.to_mont(&x), &self.share_exponent(share)),
+        );
+        SignatureShare {
+            index: share.index,
+            value,
+            proof: None,
+        }
     }
 
     /// Player-side signing with the correctness proof attached.
@@ -170,7 +191,13 @@ impl ThresholdRsa {
         let w1 = self.powmod(&self.v, &r);
         let w2 = self.powmod(&x_tilde, &r);
         let xi2 = modular::mod_mul(&out.value, &out.value, &self.n);
-        let c = self.challenge(&x_tilde, &self.vks[(share.index - 1) as usize], &xi2, &w1, &w2);
+        let c = self.challenge(
+            &x_tilde,
+            &self.vks[(share.index - 1) as usize],
+            &xi2,
+            &w1,
+            &w2,
+        );
         let z = &r + &(&share.d_i * &c);
         out.proof = Some(ShareProof { c, z });
         out
@@ -239,8 +266,7 @@ impl ThresholdRsa {
             let exp = lambda.magnitude() << 1;
             let mut factor = self.powmod(&share.value, &exp);
             if lambda.sign() == Sign::Minus {
-                factor = modular::mod_inv(&factor, &self.n)
-                    .map_err(|_| Error::InvalidSignature)?;
+                factor = modular::mod_inv(&factor, &self.n).map_err(|_| Error::InvalidSignature)?;
             }
             w = modular::mod_mul(&w, &factor, &self.n);
         }
@@ -307,7 +333,8 @@ impl ThresholdRsa {
     }
 
     fn powmod(&self, base: &BigUint, exp: &BigUint) -> BigUint {
-        self.mont.from_mont(&self.mont.pow(&self.mont.to_mont(base), exp))
+        self.mont
+            .from_mont(&self.mont.pow(&self.mont.to_mont(base), exp))
     }
 
     /// `base^exp mod n` for a signed exponent.
@@ -369,7 +396,11 @@ fn integer_lagrange(delta: &BigUint, indices: &[u32], i: u32) -> BigInt {
     // Exact integer division of num by den.
     let (q, rem) = num.magnitude().div_rem(den.magnitude());
     debug_assert!(rem.is_zero(), "Δ must clear the denominator");
-    let sign = if num.sign() == den.sign() { Sign::Plus } else { Sign::Minus };
+    let sign = if num.sign() == den.sign() {
+        Sign::Plus
+    } else {
+        Sign::Minus
+    };
     BigInt::from_sign_magnitude(sign, q)
 }
 
@@ -430,7 +461,10 @@ mod tests {
     fn three_of_five() {
         let (sys, shares, _) = setup(3, 5);
         let msg = b"3 of 5";
-        let sig_shares: Vec<_> = shares[1..4].iter().map(|s| sys.sign_share(s, msg)).collect();
+        let sig_shares: Vec<_> = shares[1..4]
+            .iter()
+            .map(|s| sys.sign_share(s, msg))
+            .collect();
         let sig = sys.combine(msg, &sig_shares).unwrap();
         sys.verify(msg, &sig).unwrap();
         assert!(sys.verify(b"other", &sig).is_err());

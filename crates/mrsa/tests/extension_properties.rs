@@ -10,8 +10,7 @@ use sempair_mrsa::threshold::ThresholdRsa;
 use std::sync::OnceLock;
 
 fn trsa() -> &'static (ThresholdRsa, Vec<sempair_mrsa::threshold::RsaKeyShare>) {
-    static S: OnceLock<(ThresholdRsa, Vec<sempair_mrsa::threshold::RsaKeyShare>)> =
-        OnceLock::new();
+    static S: OnceLock<(ThresholdRsa, Vec<sempair_mrsa::threshold::RsaKeyShare>)> = OnceLock::new();
     S.get_or_init(|| {
         let mut rng = StdRng::seed_from_u64(0xE57);
         ThresholdRsa::setup(&mut rng, 256, 2, 3).unwrap()

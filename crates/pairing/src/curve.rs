@@ -88,7 +88,11 @@ pub(crate) struct Jacobian {
 
 impl Jacobian {
     pub(crate) fn infinity(f: &FpCtx) -> Self {
-        Jacobian { x: f.one(), y: f.one(), z: f.zero() }
+        Jacobian {
+            x: f.one(),
+            y: f.one(),
+            z: f.zero(),
+        }
     }
 
     pub(crate) fn is_infinity(&self) -> bool {
@@ -120,7 +124,46 @@ impl Jacobian {
         let y4_8 = f.double(&f.double(&f.double(&f.sqr(&y2)))); // 8Y⁴
         let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &y4_8);
         let z3 = f.double(&f.mul(&self.y, &self.z));
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Full Jacobian–Jacobian addition (handles all cases).
+    pub(crate) fn add_jacobian(&self, f: &FpCtx, q: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return q.clone();
+        }
+        if q.is_infinity() {
+            return self.clone();
+        }
+        let z1z1 = f.sqr(&self.z);
+        let z2z2 = f.sqr(&q.z);
+        let u1 = f.mul(&self.x, &z2z2);
+        let u2 = f.mul(&q.x, &z1z1);
+        let s1 = f.mul(&self.y, &f.mul(&z2z2, &q.z));
+        let s2 = f.mul(&q.y, &f.mul(&z1z1, &self.z));
+        if u1 == u2 {
+            if s1 == s2 {
+                return self.double(f);
+            }
+            return Jacobian::infinity(f);
+        }
+        let h = f.sub(&u2, &u1);
+        let hh = f.sqr(&h);
+        let hhh = f.mul(&hh, &h);
+        let r = f.sub(&s2, &s1);
+        let v = f.mul(&u1, &hh);
+        let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.double(&v));
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&s1, &hhh));
+        let z3 = f.mul(&h, &f.mul(&self.z, &q.z));
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point (`Z2 = 1`).
@@ -130,7 +173,11 @@ impl Jacobian {
             Some(c) => c,
         };
         if self.is_infinity() {
-            return Jacobian { x: qx.clone(), y: qy.clone(), z: f.one() };
+            return Jacobian {
+                x: qx.clone(),
+                y: qy.clone(),
+                z: f.one(),
+            };
         }
         let z1z1 = f.sqr(&self.z);
         let u2 = f.mul(qx, &z1z1);
@@ -149,7 +196,11 @@ impl Jacobian {
         let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.double(&v));
         let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&self.y, &hhh));
         let z3 = f.mul(&self.z, &h);
-        Jacobian { x: x3, y: y3, z: z3 }
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 }
 
@@ -182,6 +233,67 @@ pub(crate) fn mul(f: &FpCtx, k: &BigUint, p: &G1Affine) -> G1Affine {
         if digit != 0 {
             acc = acc.add_affine(f, &table[digit]);
         }
+    }
+    acc.to_affine(f)
+}
+
+/// Multi-scalar multiplication `Σ kᵢ·Pᵢ` via Pippenger's bucket method.
+///
+/// Each `c`-bit window makes one pass over the terms, dropping each
+/// point into the bucket for its window digit, then collapses the
+/// buckets with the running-sum trick (`Σ j·Bⱼ` in `2·(2^c − 2)`
+/// additions). Cost is `⌈bits/c⌉ · (n + 2^(c+1))` group operations
+/// instead of the naive `n` independent scalar mults — the win grows
+/// with the term count, which is why the window widens with `n`.
+pub(crate) fn multi_mul(f: &FpCtx, terms: &[(BigUint, G1Affine)]) -> G1Affine {
+    let live: Vec<&(BigUint, G1Affine)> = terms
+        .iter()
+        .filter(|(k, p)| !k.is_zero() && !p.is_infinity())
+        .collect();
+    if live.is_empty() {
+        return G1Affine::infinity();
+    }
+    if live.len() == 1 {
+        return mul(f, &live[0].0, &live[0].1);
+    }
+    // Window width: the usual n / log n balance point.
+    let c = match live.len() {
+        0..=3 => 2,
+        4..=15 => 3,
+        16..=63 => 4,
+        64..=255 => 5,
+        _ => 6,
+    };
+    let max_bits = live.iter().map(|(k, _)| k.bits()).max().expect("nonempty");
+    let windows = max_bits.div_ceil(c);
+    let mut acc = Jacobian::infinity(f);
+    let mut buckets: Vec<Jacobian> = vec![Jacobian::infinity(f); (1 << c) - 1];
+    for w in (0..windows).rev() {
+        for _ in 0..c {
+            acc = acc.double(f);
+        }
+        for bucket in buckets.iter_mut() {
+            *bucket = Jacobian::infinity(f);
+        }
+        for (k, point) in &live {
+            let mut digit = 0usize;
+            for b in 0..c {
+                if k.bit(w * c + b) {
+                    digit |= 1 << b;
+                }
+            }
+            if digit != 0 {
+                buckets[digit - 1] = buckets[digit - 1].add_affine(f, point);
+            }
+        }
+        // Σ j·Bⱼ: running partial sums from the top bucket down.
+        let mut running = Jacobian::infinity(f);
+        let mut window_sum = Jacobian::infinity(f);
+        for bucket in buckets.iter().rev() {
+            running = running.add_jacobian(f, bucket);
+            window_sum = window_sum.add_jacobian(f, &running);
+        }
+        acc = acc.add_jacobian(f, &window_sum);
     }
     acc.to_affine(f)
 }
@@ -258,10 +370,7 @@ mod tests {
         for a in pts.iter().step_by(3) {
             for b in pts.iter().step_by(4) {
                 for c in pts.iter().step_by(5) {
-                    assert_eq!(
-                        add(&f, &add(&f, a, b), c),
-                        add(&f, a, &add(&f, b, c))
-                    );
+                    assert_eq!(add(&f, &add(&f, a, b), c), add(&f, a, &add(&f, b, c)));
                 }
             }
         }
@@ -312,6 +421,41 @@ mod tests {
             }
         }
         assert_eq!(mul(&f, &k, &point), affine_acc);
+    }
+
+    #[test]
+    fn jacobian_add_matches_affine_exhaustively() {
+        let f = f11();
+        let pts = all_points(&f);
+        for a in &pts {
+            for b in &pts {
+                let ja = Jacobian::infinity(&f).add_affine(&f, a);
+                let jb = Jacobian::infinity(&f).add_affine(&f, b);
+                assert_eq!(ja.add_jacobian(&f, &jb).to_affine(&f), add(&f, a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_mul_matches_term_by_term() {
+        let f = f11();
+        let pts = all_points(&f);
+        // All digit patterns over the tiny group, many term counts.
+        for n in 0..8usize {
+            let terms: Vec<(BigUint, G1Affine)> = (0..n)
+                .map(|i| {
+                    (
+                        BigUint::from((3 * i + 1) as u64),
+                        pts[(i * 5 + 1) % pts.len()].clone(),
+                    )
+                })
+                .collect();
+            let mut expect = G1Affine::infinity();
+            for (k, p) in &terms {
+                expect = add(&f, &expect, &mul(&f, k, p));
+            }
+            assert_eq!(multi_mul(&f, &terms), expect, "n={n}");
+        }
     }
 
     #[test]

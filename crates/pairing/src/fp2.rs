@@ -26,17 +26,26 @@ impl Fp2 {
 
 /// The zero element.
 pub fn zero(f: &FpCtx) -> Fp2 {
-    Fp2 { c0: f.zero(), c1: f.zero() }
+    Fp2 {
+        c0: f.zero(),
+        c1: f.zero(),
+    }
 }
 
 /// The one element.
 pub fn one(f: &FpCtx) -> Fp2 {
-    Fp2 { c0: f.one(), c1: f.zero() }
+    Fp2 {
+        c0: f.one(),
+        c1: f.zero(),
+    }
 }
 
 /// Embeds a base-field element as `a + 0·i`.
 pub fn from_fp(f: &FpCtx, a: Fp) -> Fp2 {
-    Fp2 { c0: a, c1: f.zero() }
+    Fp2 {
+        c0: a,
+        c1: f.zero(),
+    }
 }
 
 /// `true` iff the element equals one.
@@ -46,17 +55,26 @@ pub fn is_one(f: &FpCtx, a: &Fp2) -> bool {
 
 /// `a + b`.
 pub fn add(f: &FpCtx, a: &Fp2, b: &Fp2) -> Fp2 {
-    Fp2 { c0: f.add(&a.c0, &b.c0), c1: f.add(&a.c1, &b.c1) }
+    Fp2 {
+        c0: f.add(&a.c0, &b.c0),
+        c1: f.add(&a.c1, &b.c1),
+    }
 }
 
 /// `a - b`.
 pub fn sub(f: &FpCtx, a: &Fp2, b: &Fp2) -> Fp2 {
-    Fp2 { c0: f.sub(&a.c0, &b.c0), c1: f.sub(&a.c1, &b.c1) }
+    Fp2 {
+        c0: f.sub(&a.c0, &b.c0),
+        c1: f.sub(&a.c1, &b.c1),
+    }
 }
 
 /// `-a`.
 pub fn neg(f: &FpCtx, a: &Fp2) -> Fp2 {
-    Fp2 { c0: f.neg(&a.c0), c1: f.neg(&a.c1) }
+    Fp2 {
+        c0: f.neg(&a.c0),
+        c1: f.neg(&a.c1),
+    }
 }
 
 /// `a * b` (Karatsuba: 3 base-field multiplications).
@@ -80,12 +98,18 @@ pub fn sqr(f: &FpCtx, a: &Fp2) -> Fp2 {
 
 /// Multiplies by a base-field scalar.
 pub fn mul_fp(f: &FpCtx, a: &Fp2, s: &Fp) -> Fp2 {
-    Fp2 { c0: f.mul(&a.c0, s), c1: f.mul(&a.c1, s) }
+    Fp2 {
+        c0: f.mul(&a.c0, s),
+        c1: f.mul(&a.c1, s),
+    }
 }
 
 /// Conjugation `c0 − c1·i`, which equals the Frobenius `a^p`.
 pub fn conj(f: &FpCtx, a: &Fp2) -> Fp2 {
-    Fp2 { c0: a.c0.clone(), c1: f.neg(&a.c1) }
+    Fp2 {
+        c0: a.c0.clone(),
+        c1: f.neg(&a.c1),
+    }
 }
 
 /// The norm `a · ā = c0² + c1² ∈ F_p`.
@@ -130,14 +154,20 @@ pub fn to_bytes(f: &FpCtx, a: &Fp2) -> Vec<u8> {
 pub fn from_bytes(f: &FpCtx, bytes: &[u8]) -> Result<Fp2, crate::DecodeError> {
     let w = f.byte_len();
     if bytes.len() != 2 * w {
-        return Err(crate::DecodeError::BadLength { expected: 2 * w, got: bytes.len() });
+        return Err(crate::DecodeError::BadLength {
+            expected: 2 * w,
+            got: bytes.len(),
+        });
     }
     let c0 = BigUint::from_be_bytes(&bytes[..w]);
     let c1 = BigUint::from_be_bytes(&bytes[w..]);
     if &c0 >= f.modulus() || &c1 >= f.modulus() {
         return Err(crate::DecodeError::NotReduced);
     }
-    Ok(Fp2 { c0: f.from_uint(&c0), c1: f.from_uint(&c1) })
+    Ok(Fp2 {
+        c0: f.from_uint(&c0),
+        c1: f.from_uint(&c1),
+    })
 }
 
 #[cfg(test)]
@@ -150,7 +180,10 @@ mod tests {
     }
 
     fn elem(f: &FpCtx, a: u64, b: u64) -> Fp2 {
-        Fp2 { c0: f.from_u64(a), c1: f.from_u64(b) }
+        Fp2 {
+            c0: f.from_u64(a),
+            c1: f.from_u64(b),
+        }
     }
 
     #[test]
@@ -158,7 +191,13 @@ mod tests {
         let f = ctx();
         let i = elem(&f, 0, 1);
         let i2 = sqr(&f, &i);
-        assert_eq!(i2, Fp2 { c0: f.neg(&f.one()), c1: f.zero() });
+        assert_eq!(
+            i2,
+            Fp2 {
+                c0: f.neg(&f.one()),
+                c1: f.zero()
+            }
+        );
         assert_eq!(mul(&f, &i, &i), i2);
     }
 

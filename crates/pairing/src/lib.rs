@@ -54,7 +54,7 @@ pub mod fp2;
 pub use curve::G1Affine;
 pub use fp::{Fp, FpCtx};
 pub use fp2::Fp2;
-pub use pairing_impl::{Gt, MillerStrategy};
+pub use pairing_impl::{Gt, MillerStrategy, PreparedG1};
 pub use params::{CurveParams, CurveParamsSpec, ParamsError};
 
 use std::error::Error as StdError;

@@ -55,7 +55,10 @@ fn line_eval(f: &FpCtx, tx: &Fp, ty: &Fp, lambda: &Fp, s: &Distorted) -> Fp2 {
     // x_S = neg_x, so x_S − x_T = neg_x − tx and
     // l = y_S − y_T − λ(x_S − x_T) = (−y_T − λ(neg_x − tx)) + y_Q·i.
     let c0 = f.sub(&f.mul(lambda, &f.sub(tx, &s.neg_x)), ty);
-    Fp2 { c0, c1: s.y.clone() }
+    Fp2 {
+        c0,
+        c1: s.y.clone(),
+    }
 }
 
 /// Vertical line through `t` evaluated at `s`: `x_S − x_T ∈ F_p`.
@@ -74,7 +77,10 @@ fn vertical_eval(f: &FpCtx, tx: &Fp, s: &Distorted) -> Fp2 {
 fn miller_loop(f: &FpCtx, r: &BigUint, p: &G1Affine, q: &G1Affine) -> Fp2 {
     let (px, py) = p.coordinates().expect("non-infinity P");
     let (qx, qy) = q.coordinates().expect("non-infinity Q");
-    let s = Distorted { neg_x: f.neg(qx), y: qy.clone() };
+    let s = Distorted {
+        neg_x: f.neg(qx),
+        y: qy.clone(),
+    };
 
     let mut acc = fp2::one(f);
     let mut tx = px.clone();
@@ -121,10 +127,7 @@ fn miller_loop(f: &FpCtx, r: &BigUint, p: &G1Affine, q: &G1Affine) -> Fp2 {
                     t_is_infinity = true;
                 }
             } else {
-                let lambda = f.mul(
-                    &f.sub(py, &ty),
-                    &f.inv(&f.sub(px, &tx)).expect("px != tx"),
-                );
+                let lambda = f.mul(&f.sub(py, &ty), &f.inv(&f.sub(px, &tx)).expect("px != tx"));
                 acc = fp2::mul(f, &acc, &line_eval(f, &tx, &ty, &lambda, &s));
                 let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), px);
                 let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
@@ -167,11 +170,8 @@ fn miller_loop_projective(f: &FpCtx, r: &BigUint, p: &G1Affine, q: &G1Affine) ->
                 let y2 = f.sqr(&ty); // Y²
                 let z2 = f.sqr(&tz); // Z²
                 let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2)); // 3X² + Z⁴
-                // l' = (M(X + Z²·x_Q) − 2Y²) + (2YZ³·y_Q)·i
-                let c0 = f.sub(
-                    &f.mul(&m, &f.add(&tx, &f.mul(&z2, qx))),
-                    &f.double(&y2),
-                );
+                                                                                         // l' = (M(X + Z²·x_Q) − 2Y²) + (2YZ³·y_Q)·i
+                let c0 = f.sub(&f.mul(&m, &f.add(&tx, &f.mul(&z2, qx))), &f.double(&y2));
                 let c1 = f.mul(&f.double(&f.mul(&ty, &f.mul(&z2, &tz))), qy);
                 acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
                 // T <- 2T (standard Jacobian doubling).
@@ -242,6 +242,266 @@ fn miller_loop_projective(f: &FpCtx, r: &BigUint, p: &G1Affine, q: &G1Affine) ->
     acc
 }
 
+/// Precomputed Miller-loop line coefficients for a fixed first pairing
+/// argument.
+///
+/// The Jacobian point chain `T = P, 2P, 2P±P, …` that
+/// [`miller_loop_projective`] walks depends only on `P` and the group
+/// order `r` — never on `Q`. Every line the loop multiplies in factors
+/// through the distorted second argument as
+///
+/// ```text
+/// l'(Q) = (a·x_Q + b) + (c·y_Q)·i
+/// ```
+///
+/// with `(a, b, c) ∈ F_p³` functions of the chain alone (tangent step:
+/// `a = M·Z²`, `b = M·X − 2Y²`, `c = 2YZ³`; chord step: `a = R`,
+/// `b = R·x_P − ZH·y_P`, `c = ZH`). Preparing `P` caches those triples
+/// once, so each later pairing against `P` replays the loop with three
+/// `F_p` multiplications per line instead of the full point arithmetic
+/// — the encrypt (`ê(P_pub, ·)`) and verify (`ê(P, ·)`, `ê(R, ·)`) hot
+/// paths skip roughly half their work.
+///
+/// A prepared point is bound to the parameter set whose `prepare` built
+/// it; evaluating it under different [`crate::CurveParams`] yields
+/// garbage (safely — no panics, just a wrong group element).
+#[derive(Clone, Debug)]
+pub struct PreparedG1 {
+    /// Line-coefficient triples in loop consumption order: for each
+    /// Miller iteration one doubling entry, then one addition entry
+    /// when the corresponding bit of `r` is set. The vector ends early
+    /// iff the chain hit the point at infinity (every later line lies
+    /// in the subfield `F_p` and is annihilated by the final
+    /// exponentiation).
+    steps: Vec<LineCoeffs>,
+    /// `true` iff the prepared point itself is the identity, in which
+    /// case every pairing against it is 1.
+    infinity: bool,
+}
+
+/// One cached line: `l'(Q) = (a·x_Q + b) + (c·y_Q)·i`.
+#[derive(Clone, Debug)]
+struct LineCoeffs {
+    a: Fp,
+    b: Fp,
+    c: Fp,
+}
+
+impl PreparedG1 {
+    /// `true` iff the underlying point is the group identity.
+    pub fn is_infinity(&self) -> bool {
+        self.infinity
+    }
+
+    /// Number of cached line-coefficient triples (diagnostics).
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` iff no lines are cached (identity input).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+/// Walks the Jacobian chain of [`miller_loop_projective`] for `p`
+/// alone, caching each line's `(a, b, c)` coefficients.
+pub(crate) fn prepare_g1(f: &FpCtx, r: &BigUint, p: &G1Affine) -> PreparedG1 {
+    let Some((px, py)) = p.coordinates() else {
+        return PreparedG1 {
+            steps: Vec::new(),
+            infinity: true,
+        };
+    };
+
+    // bits − 1 doublings plus one addition per set bit of r.
+    let capacity = (r.bits() - 1) + (0..r.bits()).filter(|&i| r.bit(i)).count();
+    let mut steps = Vec::with_capacity(capacity);
+    let mut tx = px.clone();
+    let mut ty = py.clone();
+    let mut tz = f.one();
+
+    'outer: for i in (0..r.bits() - 1).rev() {
+        if ty.is_zero() {
+            // Tangent at a 2-torsion point is vertical (subfield): the
+            // chain is done, as in the live loop.
+            break;
+        }
+        // Doubling step: same formulas as miller_loop_projective with
+        // the Q-dependent products left symbolic.
+        let y2 = f.sqr(&ty);
+        let z2 = f.sqr(&tz);
+        let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2));
+        steps.push(LineCoeffs {
+            a: f.mul(&m, &z2),
+            b: f.sub(&f.mul(&m, &tx), &f.double(&y2)),
+            c: f.double(&f.mul(&ty, &f.mul(&z2, &tz))),
+        });
+        let s = f.double(&f.double(&f.mul(&tx, &y2)));
+        let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+        let y3 = f.sub(
+            &f.mul(&m, &f.sub(&s, &x3)),
+            &f.double(&f.double(&f.double(&f.sqr(&y2)))),
+        );
+        let z3 = f.double(&f.mul(&ty, &tz));
+        tx = x3;
+        ty = y3;
+        tz = z3;
+
+        if r.bit(i) {
+            // Mixed addition step.
+            let z2 = f.sqr(&tz);
+            let u2 = f.mul(px, &z2);
+            let s2 = f.mul(py, &f.mul(&z2, &tz));
+            let h = f.sub(&u2, &tx);
+            let rr = f.sub(&s2, &ty);
+            if h.is_zero() {
+                if rr.is_zero() && !py.is_zero() {
+                    // T = P: doubling-style line at P (cannot occur
+                    // mid-loop for a prime-order point; mirrored from
+                    // the live loop for exactness).
+                    let m = f.add(&f.add(&f.double(&f.sqr(px)), &f.sqr(px)), &f.one());
+                    steps.push(LineCoeffs {
+                        a: m.clone(),
+                        b: f.sub(&f.mul(&m, px), &f.double(&f.sqr(py))),
+                        c: f.double(py),
+                    });
+                    let y2 = f.sqr(&ty);
+                    let z2 = f.sqr(&tz);
+                    let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2));
+                    let s = f.double(&f.double(&f.mul(&tx, &y2)));
+                    let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+                    let y3 = f.sub(
+                        &f.mul(&m, &f.sub(&s, &x3)),
+                        &f.double(&f.double(&f.double(&f.sqr(&y2)))),
+                    );
+                    let z3 = f.double(&f.mul(&ty, &tz));
+                    tx = x3;
+                    ty = y3;
+                    tz = z3;
+                } else {
+                    // T = −P: vertical chord (subfield); chain is done.
+                    break 'outer;
+                }
+            } else {
+                steps.push(LineCoeffs {
+                    a: rr.clone(),
+                    b: f.sub(&f.mul(&rr, px), &f.mul(&f.mul(&tz, &h), py)),
+                    c: f.mul(&tz, &h),
+                });
+                let hh = f.sqr(&h);
+                let hhh = f.mul(&hh, &h);
+                let v = f.mul(&tx, &hh);
+                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
+                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&ty, &hhh));
+                let z3 = f.mul(&tz, &h);
+                tx = x3;
+                ty = y3;
+                tz = z3;
+            }
+        }
+    }
+    PreparedG1 {
+        steps,
+        infinity: false,
+    }
+}
+
+/// Evaluates one cached line at `Q = (qx, qy)`.
+fn eval_line(f: &FpCtx, line: &LineCoeffs, qx: &Fp, qy: &Fp) -> Fp2 {
+    Fp2 {
+        c0: f.add(&f.mul(&line.a, qx), &line.b),
+        c1: f.mul(&line.c, qy),
+    }
+}
+
+/// Miller loop replaying cached line coefficients against a fresh `Q`.
+///
+/// Produces bit-for-bit the same Miller value as
+/// [`miller_loop_projective`] on the original `P`: the squaring chain
+/// and line order are identical, and an early end of `steps` replays
+/// the live loop's point-at-infinity skip.
+fn miller_loop_prepared(f: &FpCtx, r: &BigUint, prepared: &PreparedG1, q: &G1Affine) -> Fp2 {
+    let (qx, qy) = q.coordinates().expect("non-infinity Q");
+    let mut acc = fp2::one(f);
+    let mut pos = 0usize;
+    for i in (0..r.bits() - 1).rev() {
+        acc = fp2::sqr(f, &acc);
+        if pos < prepared.steps.len() {
+            acc = fp2::mul(f, &acc, &eval_line(f, &prepared.steps[pos], qx, qy));
+            pos += 1;
+        }
+        if r.bit(i) && pos < prepared.steps.len() {
+            acc = fp2::mul(f, &acc, &eval_line(f, &prepared.steps[pos], qx, qy));
+            pos += 1;
+        }
+    }
+    acc
+}
+
+/// Full pairing against a prepared first argument.
+pub(crate) fn tate_pairing_prepared(
+    f: &FpCtx,
+    r: &BigUint,
+    cofactor: &BigUint,
+    p: &PreparedG1,
+    q: &G1Affine,
+) -> Gt {
+    if p.infinity || q.is_infinity() {
+        return Gt(fp2::one(f));
+    }
+    let m = miller_loop_prepared(f, r, p, q);
+    let m_inv = fp2::inv(f, &m).expect("miller value nonzero");
+    let unitary = fp2::mul(f, &fp2::conj(f, &m), &m_inv);
+    Gt(fp2::pow(f, &unitary, cofactor))
+}
+
+/// Product of pairings `Π ê(Pᵢ, Qᵢ)` where every `Pᵢ` is prepared:
+/// one shared accumulator squaring chain plus three `F_p`
+/// multiplications per cached line per pair.
+pub(crate) fn multi_tate_pairing_prepared(
+    f: &FpCtx,
+    r: &BigUint,
+    cofactor: &BigUint,
+    pairs: &[(&PreparedG1, &G1Affine)],
+) -> Gt {
+    // Identity on either side contributes the factor 1.
+    let live: Vec<(&PreparedG1, &Fp, &Fp)> = pairs
+        .iter()
+        .filter(|(p, _)| !p.infinity)
+        .filter_map(|(p, q)| q.coordinates().map(|(qx, qy)| (*p, qx, qy)))
+        .collect();
+    let mut acc = fp2::one(f);
+    if live.is_empty() {
+        return Gt(acc);
+    }
+    let mut positions = vec![0usize; live.len()];
+    for i in (0..r.bits() - 1).rev() {
+        acc = fp2::sqr(f, &acc);
+        for (k, (p, qx, qy)) in live.iter().enumerate() {
+            if positions[k] < p.steps.len() {
+                acc = fp2::mul(f, &acc, &eval_line(f, &p.steps[positions[k]], qx, qy));
+                positions[k] += 1;
+            }
+        }
+        if r.bit(i) {
+            for (k, (p, qx, qy)) in live.iter().enumerate() {
+                if positions[k] < p.steps.len() {
+                    acc = fp2::mul(f, &acc, &eval_line(f, &p.steps[positions[k]], qx, qy));
+                    positions[k] += 1;
+                }
+            }
+        }
+    }
+    if acc.is_zero() {
+        // Cannot happen for valid inputs; guard as multi_tate_pairing.
+        return Gt(fp2::one(f));
+    }
+    let m_inv = fp2::inv(f, &acc).expect("nonzero miller value");
+    let unitary = fp2::mul(f, &fp2::conj(f, &acc), &m_inv);
+    Gt(fp2::pow(f, &unitary, cofactor))
+}
+
 /// Per-pair state for the shared multi-Miller loop.
 struct PairState {
     tx: Fp,
@@ -296,8 +556,14 @@ fn multi_miller_projective(f: &FpCtx, r: &BigUint, pairs: &[(&G1Affine, &G1Affin
             }
             let y2 = f.sqr(&st.ty);
             let z2 = f.sqr(&st.tz);
-            let m = f.add(&f.add(&f.double(&f.sqr(&st.tx)), &f.sqr(&st.tx)), &f.sqr(&z2));
-            let c0 = f.sub(&f.mul(&m, &f.add(&st.tx, &f.mul(&z2, &st.qx))), &f.double(&y2));
+            let m = f.add(
+                &f.add(&f.double(&f.sqr(&st.tx)), &f.sqr(&st.tx)),
+                &f.sqr(&z2),
+            );
+            let c0 = f.sub(
+                &f.mul(&m, &f.add(&st.tx, &f.mul(&z2, &st.qx))),
+                &f.double(&y2),
+            );
             let c1 = f.mul(&f.double(&f.mul(&st.ty, &f.mul(&z2, &st.tz))), &st.qy);
             acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
             let s = f.double(&f.double(&f.mul(&st.tx, &y2)));
@@ -486,11 +752,73 @@ mod tests {
     }
 
     #[test]
+    fn prepared_matches_fresh_on_tiny_curve() {
+        let (f, r, c) = setup();
+        let p = order3_point(&f);
+        let p2 = curve::mul(&f, &BigUint::two(), &p);
+        for first in [&p, &p2] {
+            let prep = prepare_g1(&f, &r, first);
+            for second in [&p, &p2] {
+                let fresh = tate_pairing(&f, &r, &c, first, second);
+                let via_prep = tate_pairing_prepared(&f, &r, &c, &prep, second);
+                assert_eq!(fresh, via_prep, "prepared pairing must equal fresh");
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_handles_infinity() {
+        let (f, r, c) = setup();
+        let p = order3_point(&f);
+        let inf = G1Affine::infinity();
+        let prep_inf = prepare_g1(&f, &r, &inf);
+        assert!(prep_inf.is_infinity());
+        assert!(prep_inf.is_empty());
+        assert!(fp2::is_one(
+            &f,
+            &tate_pairing_prepared(&f, &r, &c, &prep_inf, &p).0
+        ));
+        let prep_p = prepare_g1(&f, &r, &p);
+        assert!(!prep_p.is_infinity());
+        assert!(!prep_p.is_empty());
+        assert!(fp2::is_one(
+            &f,
+            &tate_pairing_prepared(&f, &r, &c, &prep_p, &inf).0
+        ));
+    }
+
+    #[test]
+    fn multi_prepared_matches_multi_fresh() {
+        let (f, r, c) = setup();
+        let p = order3_point(&f);
+        let p2 = curve::mul(&f, &BigUint::two(), &p);
+        let fresh = multi_tate_pairing(&f, &r, &c, &[(&p, &p2), (&p2, &p)]);
+        let prep_a = prepare_g1(&f, &r, &p);
+        let prep_b = prepare_g1(&f, &r, &p2);
+        let prepared = multi_tate_pairing_prepared(&f, &r, &c, &[(&prep_a, &p2), (&prep_b, &p)]);
+        assert_eq!(fresh, prepared);
+        // Infinity on either side drops out of the product.
+        let inf = G1Affine::infinity();
+        let prep_inf = prepare_g1(&f, &r, &inf);
+        let with_inf = multi_tate_pairing_prepared(
+            &f,
+            &r,
+            &c,
+            &[(&prep_a, &p2), (&prep_inf, &p), (&prep_b, &inf)],
+        );
+        let just_first = tate_pairing_prepared(&f, &r, &c, &prep_a, &p2);
+        assert_eq!(with_inf, just_first);
+    }
+
+    #[test]
     fn pairing_antisymmetric_under_negation() {
         let (f, r, c) = setup();
         let p = order3_point(&f);
         let e = tate_pairing(&f, &r, &c, &p, &p);
         let e_neg = tate_pairing(&f, &r, &c, &curve::neg(&f, &p), &p);
-        assert!(fp2::is_one(&f, &fp2::mul(&f, &e.0, &e_neg.0)), "ê(−P,P)·ê(P,P) = 1");
+        assert!(
+            fp2::is_one(&f, &fp2::mul(&f, &e.0, &e_neg.0)),
+            "ê(−P,P)·ê(P,P) = 1"
+        );
     }
 }

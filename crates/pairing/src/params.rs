@@ -1,9 +1,9 @@
 //! Curve parameter sets: generation, validation and serialization.
 
-use crate::curve::{self, G1Affine, Jacobian};
+use crate::curve::{self, G1Affine};
 use crate::fp::FpCtx;
 use crate::fp2;
-use crate::pairing_impl::{self, Gt, MillerStrategy};
+use crate::pairing_impl::{self, Gt, MillerStrategy, PreparedG1};
 use crate::DecodeError;
 use sempair_bigint::{prime, rng as brng, BigUint};
 use sempair_hash::derive;
@@ -53,7 +53,7 @@ pub struct CurveParams {
 }
 
 /// Serializable wire form of a parameter set.
-#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CurveParamsSpec {
     /// Field characteristic `p`.
     pub p: BigUint,
@@ -63,6 +63,33 @@ pub struct CurveParamsSpec {
     pub gx: BigUint,
     /// Generator y-coordinate (canonical integer).
     pub gy: BigUint,
+}
+
+// Manual serde impls: the vendored serde shim has no derive macro
+// (shims/README.md), and the field list doubles as the on-disk schema.
+impl serde::Serialize for CurveParamsSpec {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("CurveParamsSpec", 4)?;
+        st.serialize_field("p", &self.p)?;
+        st.serialize_field("r", &self.r)?;
+        st.serialize_field("gx", &self.gx)?;
+        st.serialize_field("gy", &self.gy)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for CurveParamsSpec {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::StructAccess;
+        let mut st = deserializer.deserialize_struct("CurveParamsSpec", &["p", "r", "gx", "gy"])?;
+        Ok(CurveParamsSpec {
+            p: st.field("p")?,
+            r: st.field("r")?,
+            gx: st.field("gx")?,
+            gy: st.field("gy")?,
+        })
+    }
 }
 
 impl CurveParams {
@@ -93,7 +120,14 @@ impl CurveParams {
         let fp = FpCtx::new(&p).expect("p is odd");
         let generator = derive_generator(&fp, &r, &cofactor)
             .ok_or(ParamsError::Invalid("no generator found"))?;
-        Ok(CurveParams { p, r, cofactor, fp, generator, gen_table: std::sync::OnceLock::new() })
+        Ok(CurveParams {
+            p,
+            r,
+            cofactor,
+            fp,
+            generator,
+            gen_table: std::sync::OnceLock::new(),
+        })
     }
 
     /// Reconstructs a parameter set from its serialized spec, validating
@@ -292,12 +326,18 @@ impl CurveParams {
     /// `true` iff `point` lies on the curve **and** in the order-`r`
     /// subgroup.
     pub fn is_in_group(&self, point: &G1Affine) -> bool {
+        self.is_on_curve(point)
+            && (point.is_infinity() || curve::mul(&self.fp, &self.r, point).is_infinity())
+    }
+
+    /// `true` iff `point` satisfies the curve equation — weaker (and
+    /// much cheaper) than [`CurveParams::is_in_group`]: no order-`r`
+    /// check. Batch verifiers use this per item and amortize the
+    /// subgroup check over the whole batch.
+    pub fn is_on_curve(&self, point: &G1Affine) -> bool {
         match point.coordinates() {
             None => true,
-            Some((x, y)) => {
-                curve::is_on_curve(&self.fp, x, y)
-                    && curve::mul(&self.fp, &self.r, point).is_infinity()
-            }
+            Some((x, y)) => curve::is_on_curve(&self.fp, x, y),
         }
     }
 
@@ -305,6 +345,27 @@ impl CurveParams {
     /// `H1`): try-and-increment on the x-coordinate followed by
     /// cofactor clearing, with a hash-derived choice between `±y`.
     pub fn hash_to_g1(&self, tag: &[u8], data: &[u8]) -> G1Affine {
+        let cleared = curve::mul(
+            &self.fp,
+            &self.cofactor,
+            &self.hash_to_g1_candidate(tag, data),
+        );
+        debug_assert!(self.is_in_group(&cleared));
+        cleared
+    }
+
+    /// The pre-cofactor-clearing candidate behind
+    /// [`CurveParams::hash_to_g1`]:
+    /// `hash_to_g1(tag, data) = cofactor · hash_to_g1_candidate(tag, data)`.
+    ///
+    /// Lets batch combiners pull the clearing out of a linear
+    /// combination — `Σ cᵢ·H(mᵢ) = cofactor · Σ cᵢ·Candᵢ` — so `n`
+    /// hashes cost one cofactor multiplication instead of `n`.
+    /// (A candidate lands entirely in the cofactor subgroup — making
+    /// `H` the identity — only for a `1/r` fraction of inputs, the same
+    /// class of probability as a hash collision; no input with that
+    /// property is known or findable.)
+    pub fn hash_to_g1_candidate(&self, tag: &[u8], data: &[u8]) -> G1Affine {
         let f = &self.fp;
         for (attempt, x) in derive::hash_to_field_candidates(tag, data, &self.p)
             .take(256)
@@ -321,15 +382,13 @@ impl CurveParams {
                 if (sign == 1) != f.parity(&y) {
                     y = f.neg(&y);
                 }
-                let candidate = G1Affine::from_xy_unchecked(xe, y);
-                let cleared = curve::mul(f, &self.cofactor, &candidate);
-                if !cleared.is_infinity() {
-                    debug_assert!(self.is_in_group(&cleared));
-                    return cleared;
-                }
+                return G1Affine::from_xy_unchecked(xe, y);
             }
         }
-        unreachable!("256 try-and-increment attempts all failed (p ≈ 2^{})", self.p.bits())
+        unreachable!(
+            "256 try-and-increment attempts all failed (p ≈ 2^{})",
+            self.p.bits()
+        )
     }
 
     // --- target group (the paper's G2) -------------------------------------
@@ -364,6 +423,35 @@ impl CurveParams {
         let neg_a1 = curve::neg(&self.fp, a1);
         let product = self.multi_pairing(&[(&neg_a1, b1), (a2, b2)]);
         self.gt_is_one(&product)
+    }
+
+    /// Precomputes the Miller-loop line coefficients of `p` for reuse
+    /// as a fixed first pairing argument.
+    ///
+    /// Costs about one pairing's worth of point arithmetic once; every
+    /// subsequent [`CurveParams::pairing_prepared`] against the result
+    /// skips that work entirely. Worth it from the second pairing
+    /// onward — the encrypt path (`ê(P_pub, Q_ID)`) and the verify
+    /// path (`ê(P, σ)`, `ê(R, H(m))`) reuse one fixed point across
+    /// every call.
+    ///
+    /// The result is bound to **this** parameter set; evaluating it
+    /// under different parameters yields a wrong (but safely computed)
+    /// group element.
+    pub fn prepare_g1(&self, p: &G1Affine) -> PreparedG1 {
+        pairing_impl::prepare_g1(&self.fp, &self.r, p)
+    }
+
+    /// [`CurveParams::pairing`] with a prepared first argument:
+    /// identical output, roughly half the Miller-loop work.
+    pub fn pairing_prepared(&self, p: &PreparedG1, q: &G1Affine) -> Gt {
+        pairing_impl::tate_pairing_prepared(&self.fp, &self.r, &self.cofactor, p, q)
+    }
+
+    /// [`CurveParams::multi_pairing`] where every first argument is
+    /// prepared: one shared squaring chain, no point arithmetic.
+    pub fn multi_pairing_prepared(&self, pairs: &[(&PreparedG1, &G1Affine)]) -> Gt {
+        pairing_impl::multi_tate_pairing_prepared(&self.fp, &self.r, &self.cofactor, pairs)
     }
 
     /// The pairing with an explicit Miller-loop strategy (used by the
@@ -448,7 +536,10 @@ impl CurveParams {
     /// Returns a [`DecodeError`] for malformed or off-curve input.
     pub fn point_from_bytes(&self, bytes: &[u8]) -> Result<G1Affine, DecodeError> {
         if bytes.len() != self.point_len() {
-            return Err(DecodeError::BadLength { expected: self.point_len(), got: bytes.len() });
+            return Err(DecodeError::BadLength {
+                expected: self.point_len(),
+                got: bytes.len(),
+            });
         }
         match bytes[0] {
             0x00 => {
@@ -479,16 +570,12 @@ impl CurveParams {
         }
     }
 
-    /// Simultaneous multi-scalar helper: `Σ kᵢ·Pᵢ` (used by Lagrange
-    /// recombination in the threshold schemes).
+    /// Simultaneous multi-scalar multiplication `Σ kᵢ·Pᵢ` (Pippenger's
+    /// bucket method) — used by Lagrange recombination in the threshold
+    /// schemes and by the GDH batch-verification combiner, where the
+    /// term count is what makes batching pay.
     pub fn multi_mul(&self, terms: &[(BigUint, G1Affine)]) -> G1Affine {
-        // Straightforward sum; interpolation sets are small (t ≤ 16).
-        let mut acc = Jacobian::infinity(&self.fp);
-        for (k, point) in terms {
-            let part = curve::mul(&self.fp, k, point);
-            acc = acc.add_affine(&self.fp, &part);
-        }
-        acc.to_affine(&self.fp)
+        curve::multi_mul(&self.fp, terms)
     }
 }
 
@@ -568,9 +655,9 @@ const FAST_256_128: (&str, &str, &str, &str) = (
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sempair_bigint::modular;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use sempair_bigint::modular;
 
     fn params() -> CurveParams {
         let mut rng = StdRng::seed_from_u64(77);
@@ -663,11 +750,17 @@ mod tests {
         }
         // Infinity.
         let inf_bytes = prm.point_to_bytes(&G1Affine::infinity());
-        assert_eq!(prm.point_from_bytes(&inf_bytes).unwrap(), G1Affine::infinity());
+        assert_eq!(
+            prm.point_from_bytes(&inf_bytes).unwrap(),
+            G1Affine::infinity()
+        );
         // Bad flag / length.
         let mut bad = prm.point_to_bytes(prm.generator());
         bad[0] = 0x05;
-        assert!(matches!(prm.point_from_bytes(&bad), Err(DecodeError::BadFlag(0x05))));
+        assert!(matches!(
+            prm.point_from_bytes(&bad),
+            Err(DecodeError::BadFlag(0x05))
+        ));
         assert!(prm.point_from_bytes(&bad[1..]).is_err());
     }
 
@@ -675,19 +768,25 @@ mod tests {
     fn multi_mul_matches_naive() {
         let prm = params();
         let mut rng = StdRng::seed_from_u64(5);
-        let terms: Vec<(BigUint, G1Affine)> = (0..4)
-            .map(|_| {
-                let k = prm.random_scalar(&mut rng);
-                let point = prm.mul_generator(&prm.random_scalar(&mut rng));
-                (k, point)
-            })
-            .collect();
-        let got = prm.multi_mul(&terms);
-        let mut expect = G1Affine::infinity();
-        for (k, point) in &terms {
-            expect = prm.add(&expect, &prm.mul(k, point));
+        // Sweep term counts across the bucket-method window tiers.
+        for n in [0usize, 1, 2, 4, 17, 40] {
+            let mut terms: Vec<(BigUint, G1Affine)> = (0..n)
+                .map(|_| {
+                    let k = prm.random_scalar(&mut rng);
+                    let point = prm.mul_generator(&prm.random_scalar(&mut rng));
+                    (k, point)
+                })
+                .collect();
+            // Degenerate terms must drop out.
+            terms.push((BigUint::zero(), prm.mul_generator(&BigUint::two())));
+            terms.push((prm.random_scalar(&mut rng), G1Affine::infinity()));
+            let got = prm.multi_mul(&terms);
+            let mut expect = G1Affine::infinity();
+            for (k, point) in &terms {
+                expect = prm.add(&expect, &prm.mul(k, point));
+            }
+            assert_eq!(got, expect, "n={n}");
         }
-        assert_eq!(got, expect);
     }
 
     #[test]
@@ -703,9 +802,34 @@ mod tests {
         assert_eq!(prm.mul_generator(&BigUint::one()), *prm.generator());
         // Scalars ≥ r reduce mod r (generator has order r).
         let big_k = prm.order() + &BigUint::from(5u64);
-        assert_eq!(prm.mul_generator(&big_k), prm.mul_generator(&BigUint::from(5u64)));
+        assert_eq!(
+            prm.mul_generator(&big_k),
+            prm.mul_generator(&BigUint::from(5u64))
+        );
         // r·P = O.
         assert!(prm.mul_generator(prm.order()).is_infinity());
+    }
+
+    #[test]
+    fn prepared_pairing_matches_fresh() {
+        let prm = params();
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = prm.generator().clone();
+        let prep_g = prm.prepare_g1(&g);
+        for _ in 0..5 {
+            let q = prm.mul_generator(&prm.random_scalar(&mut rng));
+            assert_eq!(prm.pairing_prepared(&prep_g, &q), prm.pairing(&g, &q));
+        }
+        // Multi-pairing with mixed prepared points, including the
+        // verification-equation shape ê(−P, σ)·ê(R, H(m)).
+        let a = prm.mul_generator(&prm.random_scalar(&mut rng));
+        let b = prm.mul_generator(&prm.random_scalar(&mut rng));
+        let neg_g = prm.neg(&g);
+        let prep_neg = prm.prepare_g1(&neg_g);
+        let prep_a = prm.prepare_g1(&a);
+        let fresh = prm.multi_pairing(&[(&neg_g, &b), (&a, &b)]);
+        let prepared = prm.multi_pairing_prepared(&[(&prep_neg, &b), (&prep_a, &b)]);
+        assert_eq!(fresh, prepared);
     }
 
     #[test]

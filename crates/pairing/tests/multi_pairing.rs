@@ -50,7 +50,10 @@ fn empty_and_identity_inputs() {
     let g = prm.generator().clone();
     assert!(prm.gt_is_one(&prm.multi_pairing(&[])));
     let inf = G1Affine::infinity();
-    assert_eq!(prm.multi_pairing(&[(&inf, &g), (&g, &g)]), prm.pairing(&g, &g));
+    assert_eq!(
+        prm.multi_pairing(&[(&inf, &g), (&g, &g)]),
+        prm.pairing(&g, &g)
+    );
     assert_eq!(prm.multi_pairing(&[(&g, &inf)]), prm.gt_one());
 }
 

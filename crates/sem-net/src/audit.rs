@@ -60,6 +60,20 @@ pub struct IdentityStats {
     pub bytes_out: u64,
 }
 
+/// How requests reached the SEM: one job/frame each, or amortized
+/// inside batch envelopes. The `batches : batched_items` ratio is the
+/// E9 amortization factor (channel hops and revocation-list lock
+/// acquisitions saved).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Requests that arrived as standalone jobs/frames.
+    pub single: u64,
+    /// Requests that arrived inside a batch envelope.
+    pub batched_items: u64,
+    /// Batch envelopes processed.
+    pub batches: u64,
+}
+
 /// Thread-safe, append-only audit log.
 ///
 /// Appends are O(1) under a mutex; the threaded server calls
@@ -74,6 +88,7 @@ pub struct AuditLog {
 struct Inner {
     records: Vec<AuditRecord>,
     by_identity: HashMap<String, IdentityStats>,
+    transport: TransportStats,
 }
 
 impl AuditLog {
@@ -82,7 +97,7 @@ impl AuditLog {
         Self::default()
     }
 
-    /// Appends one record.
+    /// Appends one record for a request that arrived on its own.
     pub fn record(
         &self,
         id: &str,
@@ -90,7 +105,41 @@ impl AuditLog {
         outcome: Outcome,
         response_bytes: usize,
     ) {
+        self.record_inner(id, capability, outcome, response_bytes, false);
+    }
+
+    /// Appends one record for a request that arrived inside a batch
+    /// envelope (call [`AuditLog::note_batch`] once per envelope).
+    pub fn record_batched(
+        &self,
+        id: &str,
+        capability: Capability,
+        outcome: Outcome,
+        response_bytes: usize,
+    ) {
+        self.record_inner(id, capability, outcome, response_bytes, true);
+    }
+
+    /// Counts one batch envelope (independent of its item count, which
+    /// [`AuditLog::record_batched`] tracks per item).
+    pub fn note_batch(&self) {
+        self.inner.lock().transport.batches += 1;
+    }
+
+    fn record_inner(
+        &self,
+        id: &str,
+        capability: Capability,
+        outcome: Outcome,
+        response_bytes: usize,
+        batched: bool,
+    ) {
         let mut inner = self.inner.lock();
+        if batched {
+            inner.transport.batched_items += 1;
+        } else {
+            inner.transport.single += 1;
+        }
         let stats = inner.by_identity.entry(id.to_string()).or_default();
         match outcome {
             Outcome::Served => {
@@ -108,6 +157,11 @@ impl AuditLog {
         });
     }
 
+    /// Single-vs-batched transport counters.
+    pub fn transport_stats(&self) -> TransportStats {
+        self.inner.lock().transport
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.inner.lock().records.len()
@@ -120,7 +174,12 @@ impl AuditLog {
 
     /// Aggregate stats for one identity.
     pub fn stats_for(&self, id: &str) -> IdentityStats {
-        self.inner.lock().by_identity.get(id).copied().unwrap_or_default()
+        self.inner
+            .lock()
+            .by_identity
+            .get(id)
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Snapshot of the full record list.
@@ -180,12 +239,41 @@ mod tests {
     fn noisy_identities_threshold() {
         let log = AuditLog::new();
         for _ in 0..5 {
-            log.record("mallory", Capability::IbeDecrypt, Outcome::RefusedRevoked, 0);
+            log.record(
+                "mallory",
+                Capability::IbeDecrypt,
+                Outcome::RefusedRevoked,
+                0,
+            );
         }
         log.record("alice", Capability::IbeDecrypt, Outcome::RefusedInvalid, 0);
         assert_eq!(log.noisy_identities(3), vec!["mallory".to_string()]);
         assert_eq!(log.noisy_identities(0).len(), 2);
         assert!(log.noisy_identities(10).is_empty());
+    }
+
+    #[test]
+    fn transport_counters_split_single_and_batched() {
+        let log = AuditLog::new();
+        log.record("a", Capability::IbeDecrypt, Outcome::Served, 64);
+        log.note_batch();
+        log.record_batched("a", Capability::IbeDecrypt, Outcome::Served, 64);
+        log.record_batched("b", Capability::GdhSign, Outcome::RefusedRevoked, 0);
+        log.note_batch();
+        log.record_batched("a", Capability::IbeDecrypt, Outcome::Served, 64);
+        let t = log.transport_stats();
+        assert_eq!(
+            t,
+            TransportStats {
+                single: 1,
+                batched_items: 3,
+                batches: 2
+            }
+        );
+        // Per-identity aggregation is transport-agnostic.
+        assert_eq!(log.stats_for("a").served, 3);
+        assert_eq!(log.stats_for("b").refused, 1);
+        assert_eq!(log.len(), 4);
     }
 
     #[test]

@@ -48,7 +48,11 @@ impl Deployment {
         let pkg = Pkg::setup(rng, curve);
         let params = pkg.params().clone();
         let server = SemServer::spawn(params.clone(), workers);
-        Deployment { pkg: Some(pkg), params, server }
+        Deployment {
+            pkg: Some(pkg),
+            params,
+            server,
+        }
     }
 
     /// The public parameters senders need.
@@ -125,15 +129,23 @@ mod tests {
 
         // …but the enrolled users keep decrypting and signing.
         let params = deployment.params().clone();
-        let c = params.encrypt_full(&mut rng, "alice", b"post-offline mail").unwrap();
+        let c = params
+            .encrypt_full(&mut rng, "alice", b"post-offline mail")
+            .unwrap();
         let token = alice.client.ibe_token("alice", &c.u).unwrap();
         assert_eq!(
-            alice.decryption_key.finish_decrypt(&params, &c, &token).unwrap(),
+            alice
+                .decryption_key
+                .finish_decrypt(&params, &c, &token)
+                .unwrap(),
             b"post-offline mail"
         );
 
         let half = bob.client.gdh_half_sign("bob", b"doc").unwrap();
-        let sig = bob.signing_key.finish_sign(params.curve(), b"doc", &half).unwrap();
+        let sig = bob
+            .signing_key
+            .finish_sign(params.curve(), b"doc", &half)
+            .unwrap();
         gdh::verify(params.curve(), &bob.signing_public, b"doc", &sig).unwrap();
 
         // Revocation still instant with the PKG gone.

@@ -20,17 +20,26 @@ pub struct LinkModel {
 impl LinkModel {
     /// A LAN-ish link: 0.5 ms one-way, 100 Mbit/s.
     pub fn lan() -> Self {
-        LinkModel { one_way: Duration::from_micros(500), bits_per_sec: 100e6 }
+        LinkModel {
+            one_way: Duration::from_micros(500),
+            bits_per_sec: 100e6,
+        }
     }
 
     /// A WAN-ish link: 25 ms one-way, 10 Mbit/s.
     pub fn wan() -> Self {
-        LinkModel { one_way: Duration::from_millis(25), bits_per_sec: 10e6 }
+        LinkModel {
+            one_way: Duration::from_millis(25),
+            bits_per_sec: 10e6,
+        }
     }
 
     /// A 2003-era DSL link: 15 ms one-way, 1 Mbit/s.
     pub fn dsl_2003() -> Self {
-        LinkModel { one_way: Duration::from_millis(15), bits_per_sec: 1e6 }
+        LinkModel {
+            one_way: Duration::from_millis(15),
+            bits_per_sec: 1e6,
+        }
     }
 
     /// Time to deliver one message of `bits` bits.
@@ -119,6 +128,8 @@ mod tests {
         // LAN beats DSL beats nothing.
         let bits = 1024;
         assert!(LinkModel::lan().message_time(bits) < LinkModel::dsl_2003().message_time(bits));
-        assert!(LinkModel::dsl_2003().message_time(bits) < LinkModel::wan().message_time(bits * 200));
+        assert!(
+            LinkModel::dsl_2003().message_time(bits) < LinkModel::wan().message_time(bits * 200)
+        );
     }
 }

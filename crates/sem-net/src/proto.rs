@@ -12,6 +12,19 @@
 //!   `F_p²` token.
 //! * op `2` (GDH half-sign): body is the message; ok-body is a
 //!   compressed half-signature point.
+//! * op `3` (batch): the id field is empty and the body is a
+//!   count-prefixed sequence of op-1/op-2 items, each in the single
+//!   request layout minus the frame prefix:
+//!
+//!   ```text
+//!   batch-body := u16 count ‖ item*
+//!   item       := u8 op ‖ u16 id-len ‖ id ‖ u32 body-len ‖ body
+//!   ```
+//!
+//!   The ok-response body mirrors it with per-item statuses
+//!   (`u16 count ‖ (u8 status ‖ u32 body-len ‖ body)*`), so one revoked
+//!   identity inside a batch refuses only its own item. Batches cannot
+//!   nest, and a whole batch must fit in [`MAX_FRAME`].
 //!
 //! The sizes on this wire are exactly the E3 numbers — the protocol is
 //! the paper's bandwidth table made concrete.
@@ -26,6 +39,8 @@ pub enum Op {
     IbeToken = 1,
     /// Mediated-GDH half-signature.
     GdhHalfSign = 2,
+    /// Batch envelope carrying op-1/op-2 items.
+    Batch = 3,
 }
 
 impl Op {
@@ -33,6 +48,7 @@ impl Op {
         match v {
             1 => Some(Op::IbeToken),
             2 => Some(Op::GdhHalfSign),
+            3 => Some(Op::Batch),
             _ => None,
         }
     }
@@ -138,7 +154,11 @@ pub fn decode_request(payload: &[u8]) -> Option<Request> {
     if buf.remaining() != body_len {
         return None;
     }
-    Some(Request { op, id, body: buf.to_vec() })
+    Some(Request {
+        op,
+        id,
+        body: buf.to_vec(),
+    })
 }
 
 /// Encodes a response frame (including the length prefix).
@@ -163,7 +183,131 @@ pub fn decode_response(payload: &[u8]) -> Option<Response> {
     if buf.remaining() != body_len {
         return None;
     }
-    Some(Response { status, body: buf.to_vec() })
+    Some(Response {
+        status,
+        body: buf.to_vec(),
+    })
+}
+
+/// Encodes the body of an [`Op::Batch`] request from op-1/op-2 items.
+///
+/// Wrap the result in `Request { op: Op::Batch, id: String::new(), .. }`
+/// before framing with [`encode_request`].
+///
+/// # Panics
+///
+/// Panics if an item is itself [`Op::Batch`] (batches cannot nest) or
+/// the batch exceeds `u16` items.
+pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
+    assert!(
+        items.len() <= u16::MAX as usize,
+        "batch exceeds u16 item count"
+    );
+    let mut buf = BytesMut::new();
+    buf.put_u16(items.len() as u16);
+    for item in items {
+        assert!(item.op != Op::Batch, "batches cannot nest");
+        buf.put_u8(item.op as u8);
+        buf.put_u16(item.id.len() as u16);
+        buf.put_slice(item.id.as_bytes());
+        buf.put_u32(item.body.len() as u32);
+        buf.put_slice(&item.body);
+    }
+    buf.to_vec()
+}
+
+/// Decodes an [`Op::Batch`] request body into its items.
+///
+/// Returns `None` for malformed bodies, nested batches, or trailing
+/// garbage.
+pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
+    let mut buf = body;
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let count = buf.get_u16() as usize;
+    let mut items = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 3 {
+            return None;
+        }
+        let op = Op::from_u8(buf.get_u8())?;
+        if op == Op::Batch {
+            return None;
+        }
+        let id_len = buf.get_u16() as usize;
+        if buf.remaining() < id_len + 4 {
+            return None;
+        }
+        let id = String::from_utf8(buf[..id_len].to_vec()).ok()?;
+        buf.advance(id_len);
+        let body_len = buf.get_u32() as usize;
+        if buf.remaining() < body_len {
+            return None;
+        }
+        let item_body = buf[..body_len].to_vec();
+        buf.advance(body_len);
+        items.push(Request {
+            op,
+            id,
+            body: item_body,
+        });
+    }
+    if buf.remaining() != 0 {
+        return None;
+    }
+    Some(items)
+}
+
+/// Encodes the ok-body of an [`Op::Batch`] response from per-item
+/// responses.
+///
+/// # Panics
+///
+/// Panics if the batch exceeds `u16` items.
+pub fn encode_batch_replies(replies: &[Response]) -> Vec<u8> {
+    assert!(
+        replies.len() <= u16::MAX as usize,
+        "batch exceeds u16 item count"
+    );
+    let mut buf = BytesMut::new();
+    buf.put_u16(replies.len() as u16);
+    for reply in replies {
+        buf.put_u8(reply.status as u8);
+        buf.put_u32(reply.body.len() as u32);
+        buf.put_slice(&reply.body);
+    }
+    buf.to_vec()
+}
+
+/// Decodes an [`Op::Batch`] response ok-body into per-item responses.
+pub fn decode_batch_replies(body: &[u8]) -> Option<Vec<Response>> {
+    let mut buf = body;
+    if buf.remaining() < 2 {
+        return None;
+    }
+    let count = buf.get_u16() as usize;
+    let mut replies = Vec::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 5 {
+            return None;
+        }
+        let status = Status::from_u8(buf.get_u8())?;
+        let body_len = buf.get_u32() as usize;
+        if buf.remaining() < body_len {
+            return None;
+        }
+        let item_body = buf[..body_len].to_vec();
+        buf.advance(body_len);
+        replies.push(Response {
+            status,
+            body: item_body,
+        });
+    }
+    if buf.remaining() != 0 {
+        return None;
+    }
+    Some(replies)
 }
 
 #[cfg(test)]
@@ -172,7 +316,11 @@ mod tests {
 
     #[test]
     fn request_roundtrip() {
-        let req = Request { op: Op::IbeToken, id: "alice@example.com".into(), body: vec![1, 2, 3] };
+        let req = Request {
+            op: Op::IbeToken,
+            id: "alice@example.com".into(),
+            body: vec![1, 2, 3],
+        };
         let frame = encode_request(&req);
         let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
         assert_eq!(len, frame.len() - 4);
@@ -181,10 +329,19 @@ mod tests {
 
     #[test]
     fn response_roundtrip() {
-        for status in [Status::Ok, Status::Revoked, Status::Unknown, Status::Invalid] {
+        for status in [
+            Status::Ok,
+            Status::Revoked,
+            Status::Unknown,
+            Status::Invalid,
+        ] {
             let resp = Response {
                 status,
-                body: if status == Status::Ok { vec![9u8; 64] } else { vec![] },
+                body: if status == Status::Ok {
+                    vec![9u8; 64]
+                } else {
+                    vec![]
+                },
             };
             let frame = encode_response(&resp);
             assert_eq!(decode_response(&frame[4..]).unwrap(), resp);
@@ -196,8 +353,12 @@ mod tests {
         assert!(decode_request(&[]).is_none());
         assert!(decode_request(&[9, 0, 0]).is_none()); // bad op
         assert!(decode_request(&[1, 0, 5, b'a']).is_none()); // short id
-        // Body length mismatch.
-        let mut frame = encode_request(&Request { op: Op::GdhHalfSign, id: "x".into(), body: vec![7] });
+                                                             // Body length mismatch.
+        let mut frame = encode_request(&Request {
+            op: Op::GdhHalfSign,
+            id: "x".into(),
+            body: vec![7],
+        });
         frame.pop();
         assert!(decode_request(&frame[4..]).is_none());
         assert!(decode_response(&[]).is_none());
@@ -205,18 +366,109 @@ mod tests {
     }
 
     #[test]
+    fn batch_items_roundtrip() {
+        let items = vec![
+            Request {
+                op: Op::IbeToken,
+                id: "alice".into(),
+                body: vec![1, 2, 3],
+            },
+            Request {
+                op: Op::GdhHalfSign,
+                id: "signer".into(),
+                body: b"doc".to_vec(),
+            },
+            Request {
+                op: Op::IbeToken,
+                id: String::new(),
+                body: vec![],
+            },
+        ];
+        let body = encode_batch_items(&items);
+        assert_eq!(decode_batch_items(&body).unwrap(), items);
+        // An empty batch is representable.
+        assert_eq!(
+            decode_batch_items(&encode_batch_items(&[])).unwrap(),
+            vec![]
+        );
+        // The envelope survives the outer framing too.
+        let outer = Request {
+            op: Op::Batch,
+            id: String::new(),
+            body,
+        };
+        let frame = encode_request(&outer);
+        assert_eq!(decode_request(&frame[4..]).unwrap(), outer);
+    }
+
+    #[test]
+    fn batch_replies_roundtrip() {
+        let replies = vec![
+            Response {
+                status: Status::Ok,
+                body: vec![9u8; 64],
+            },
+            Response {
+                status: Status::Revoked,
+                body: vec![],
+            },
+            Response {
+                status: Status::Ok,
+                body: vec![7u8; 33],
+            },
+        ];
+        let body = encode_batch_replies(&replies);
+        assert_eq!(decode_batch_replies(&body).unwrap(), replies);
+    }
+
+    #[test]
+    fn malformed_batches_rejected() {
+        // Truncated count.
+        assert!(decode_batch_items(&[0]).is_none());
+        // Count promises more items than present.
+        assert!(decode_batch_items(&[0, 2, 1, 0, 0, 0, 0, 0, 0]).is_none());
+        // Nested batch op.
+        let mut nested = vec![0, 1];
+        nested.extend_from_slice(&[3, 0, 0, 0, 0, 0, 0]);
+        assert!(decode_batch_items(&nested).is_none());
+        // Trailing garbage after the last item.
+        let mut body = encode_batch_items(&[Request {
+            op: Op::IbeToken,
+            id: "x".into(),
+            body: vec![],
+        }]);
+        body.push(0xee);
+        assert!(decode_batch_items(&body).is_none());
+        // Truncated reply list.
+        assert!(decode_batch_replies(&[0, 1, 0, 0, 0, 0]).is_none());
+        let mut replies = encode_batch_replies(&[Response {
+            status: Status::Ok,
+            body: vec![1],
+        }]);
+        replies.push(0xee);
+        assert!(decode_batch_replies(&replies).is_none());
+    }
+
+    #[test]
     fn status_error_mapping_roundtrips() {
         use sempair_core::Error;
         assert_eq!(Status::from_error(&Error::Revoked), Status::Revoked);
         assert_eq!(Status::from_error(&Error::UnknownIdentity), Status::Unknown);
-        assert_eq!(Status::from_error(&Error::InvalidCiphertext), Status::Invalid);
+        assert_eq!(
+            Status::from_error(&Error::InvalidCiphertext),
+            Status::Invalid
+        );
         assert_eq!(Status::Revoked.to_error(), Some(Error::Revoked));
         assert_eq!(Status::Ok.to_error(), None);
     }
 
     #[test]
     fn non_utf8_identity_rejected() {
-        let mut frame = encode_request(&Request { op: Op::IbeToken, id: "ab".into(), body: vec![] });
+        let mut frame = encode_request(&Request {
+            op: Op::IbeToken,
+            id: "ab".into(),
+            body: vec![],
+        });
         frame[7] = 0xff; // corrupt an id byte into invalid UTF-8
         assert!(decode_request(&frame[4..]).is_none());
     }

@@ -33,7 +33,14 @@ pub struct ValidityPeriodPkg {
 impl ValidityPeriodPkg {
     /// Wraps a PKG with epoch-based revocation for `users`.
     pub fn new(pkg: Pkg, epoch_len: Duration, users: Vec<String>) -> Self {
-        ValidityPeriodPkg { pkg, epoch: 0, epoch_len, users, revoked: HashSet::new(), extract_count: 0 }
+        ValidityPeriodPkg {
+            pkg,
+            epoch: 0,
+            epoch_len,
+            users,
+            revoked: HashSet::new(),
+            extract_count: 0,
+        }
     }
 
     /// The composite identity string used on the wire: senders encrypt
@@ -131,7 +138,11 @@ pub struct RevocationCost {
 /// The analytic cost model behind E8: validity-period work is linear in
 /// the user count per epoch; SEM work is a constant per revocation.
 pub fn revocation_cost(n_users: usize) -> RevocationCost {
-    RevocationCost { n_users, rekeys_per_epoch: n_users, sem_ops_per_revocation: 1 }
+    RevocationCost {
+        n_users,
+        rekeys_per_epoch: n_users,
+        sem_ops_per_revocation: 1,
+    }
 }
 
 #[cfg(test)]
@@ -159,7 +170,10 @@ mod tests {
         vp.rotate_epoch();
         let key = vp.current_key("alice").unwrap();
         let wire_id = ValidityPeriodPkg::epoch_identity("alice", vp.epoch());
-        let c = vp.params().encrypt_full(&mut rng, &wire_id, b"epoch mail").unwrap();
+        let c = vp
+            .params()
+            .encrypt_full(&mut rng, &wire_id, b"epoch mail")
+            .unwrap();
         assert_eq!(vp.params().decrypt_full(&key, &c).unwrap(), b"epoch mail");
     }
 
@@ -170,7 +184,10 @@ mod tests {
         let old_key = vp.current_key("alice").unwrap();
         vp.rotate_epoch();
         let wire_id = ValidityPeriodPkg::epoch_identity("alice", vp.epoch());
-        let c = vp.params().encrypt_full(&mut rng, &wire_id, b"new epoch").unwrap();
+        let c = vp
+            .params()
+            .encrypt_full(&mut rng, &wire_id, b"new epoch")
+            .unwrap();
         assert!(vp.params().decrypt_full(&old_key, &c).is_err());
     }
 
@@ -183,7 +200,10 @@ mod tests {
         // Current-epoch ciphertexts still decrypt: the window the paper
         // criticizes.
         let wire_id = ValidityPeriodPkg::epoch_identity("alice", vp.epoch());
-        let c = vp.params().encrypt_full(&mut rng, &wire_id, b"leaky window").unwrap();
+        let c = vp
+            .params()
+            .encrypt_full(&mut rng, &wire_id, b"leaky window")
+            .unwrap();
         assert_eq!(vp.params().decrypt_full(&key, &c).unwrap(), b"leaky window");
         // After rollover the PKG refuses to issue and stops re-keying.
         vp.rotate_epoch();
@@ -208,8 +228,14 @@ mod tests {
     #[test]
     fn latency_model() {
         let (vp, _) = setup(&["alice"]);
-        assert_eq!(vp.worst_case_revocation_latency(), Duration::from_secs(86_400));
-        assert_eq!(vp.expected_revocation_latency(), Duration::from_secs(43_200));
+        assert_eq!(
+            vp.worst_case_revocation_latency(),
+            Duration::from_secs(86_400)
+        );
+        assert_eq!(
+            vp.expected_revocation_latency(),
+            Duration::from_secs(43_200)
+        );
         let cost = revocation_cost(1000);
         assert_eq!(cost.rekeys_per_epoch, 1000);
         assert_eq!(cost.sem_ops_per_revocation, 1);

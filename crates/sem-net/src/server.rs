@@ -34,6 +34,43 @@ enum Job {
         message: Vec<u8>,
         reply: Sender<Result<HalfSignature, Error>>,
     },
+    Batch {
+        items: Vec<BatchItem>,
+        reply: Sender<Vec<BatchReply>>,
+    },
+}
+
+/// One request inside a batched SEM call (see [`SemClient::batch`]).
+///
+/// A batch crosses the worker channel as a single job and is served
+/// under a single revocation-list read-lock acquisition, amortizing
+/// both costs over its items. Results come back per item — one bad
+/// request never poisons its neighbours.
+#[derive(Debug, Clone)]
+pub enum BatchItem {
+    /// Mediated-IBE decryption token request.
+    IbeToken {
+        /// Identity named in the request.
+        id: String,
+        /// Ciphertext component `U`.
+        u: G1Affine,
+    },
+    /// Mediated-GDH half-signature request.
+    GdhHalfSign {
+        /// Identity named in the request.
+        id: String,
+        /// Message to half-sign.
+        message: Vec<u8>,
+    },
+}
+
+/// Per-item outcome of a batched SEM call, in request order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchReply {
+    /// Outcome of a [`BatchItem::IbeToken`] request.
+    IbeToken(Result<DecryptToken, Error>),
+    /// Outcome of a [`BatchItem::GdhHalfSign`] request.
+    GdhHalfSign(Result<HalfSignature, Error>),
 }
 
 struct State {
@@ -117,12 +154,44 @@ impl SemServer {
                                 );
                                 let _ = reply.send(result);
                             }
+                            Job::Batch { items, reply } => {
+                                // One read-lock acquisition for the
+                                // whole batch — the amortization the
+                                // batched endpoint exists for.
+                                let results: Vec<BatchReply> = {
+                                    let inner = state.inner.read();
+                                    items
+                                        .iter()
+                                        .map(|item| match item {
+                                            BatchItem::IbeToken { id, u } => BatchReply::IbeToken(
+                                                inner.ibe.decrypt_token(&state.params, id, u),
+                                            ),
+                                            BatchItem::GdhHalfSign { id, message } => {
+                                                BatchReply::GdhHalfSign(inner.gdh.half_sign(
+                                                    state.params.curve(),
+                                                    id,
+                                                    message,
+                                                ))
+                                            }
+                                        })
+                                        .collect()
+                                };
+                                state.audit.note_batch();
+                                for (item, result) in items.iter().zip(&results) {
+                                    audit_batch_item(&state, item, result);
+                                }
+                                let _ = reply.send(results);
+                            }
                         }
                     }
                 })
             })
             .collect();
-        SemServer { state, tx: Some(tx), workers: handles }
+        SemServer {
+            state,
+            tx: Some(tx),
+            workers: handles,
+        }
     }
 
     /// Installs an IBE half-key.
@@ -171,13 +240,20 @@ impl SemServer {
         self.state.audit.noisy_identities(threshold)
     }
 
+    /// Single-vs-batched transport counters.
+    pub fn audit_transport(&self) -> crate::audit::TransportStats {
+        self.state.audit.transport_stats()
+    }
+
     /// A client handle.
     ///
     /// # Panics
     ///
     /// Panics if called after [`SemServer::shutdown`].
     pub fn client(&self) -> SemClient {
-        SemClient { tx: self.tx.as_ref().expect("server running").clone() }
+        SemClient {
+            tx: self.tx.as_ref().expect("server running").clone(),
+        }
     }
 
     /// Stops accepting requests and joins the workers.
@@ -213,7 +289,11 @@ impl SemClient {
     pub fn ibe_token(&self, id: &str, u: &G1Affine) -> Result<DecryptToken, Error> {
         let (reply, rx) = bounded(1);
         self.tx
-            .send(Job::IbeToken { id: id.to_string(), u: u.clone(), reply })
+            .send(Job::IbeToken {
+                id: id.to_string(),
+                u: u.clone(),
+                reply,
+            })
             .map_err(|_| Error::UnknownIdentity)?;
         rx.recv().map_err(|_| Error::UnknownIdentity)?
     }
@@ -226,9 +306,64 @@ impl SemClient {
     pub fn gdh_half_sign(&self, id: &str, message: &[u8]) -> Result<HalfSignature, Error> {
         let (reply, rx) = bounded(1);
         self.tx
-            .send(Job::GdhHalfSign { id: id.to_string(), message: message.to_vec(), reply })
+            .send(Job::GdhHalfSign {
+                id: id.to_string(),
+                message: message.to_vec(),
+                reply,
+            })
             .map_err(|_| Error::UnknownIdentity)?;
         rx.recv().map_err(|_| Error::UnknownIdentity)?
+    }
+
+    /// Submits a mixed batch of requests as **one** worker job and
+    /// returns the per-item outcomes in request order (blocking).
+    ///
+    /// The whole batch is served under a single revocation-list
+    /// read-lock acquisition and a single channel round trip; per-item
+    /// failures (revoked, unknown, …) come back inside the
+    /// [`BatchReply`] entries rather than failing the call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownIdentity`] only when the server is gone;
+    /// an empty batch short-circuits to `Ok(vec![])`.
+    pub fn batch(&self, items: Vec<BatchItem>) -> Result<Vec<BatchReply>, Error> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (reply, rx) = bounded(1);
+        self.tx
+            .send(Job::Batch { items, reply })
+            .map_err(|_| Error::UnknownIdentity)?;
+        rx.recv().map_err(|_| Error::UnknownIdentity)
+    }
+
+    /// Convenience wrapper: one batch of token requests for a single
+    /// identity (the SEM-side shape of decrypting a mailbox backlog).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SemClient::batch`].
+    pub fn ibe_token_batch(
+        &self,
+        id: &str,
+        us: &[G1Affine],
+    ) -> Result<Vec<Result<DecryptToken, Error>>, Error> {
+        let items = us
+            .iter()
+            .map(|u| BatchItem::IbeToken {
+                id: id.to_string(),
+                u: u.clone(),
+            })
+            .collect();
+        Ok(self
+            .batch(items)?
+            .into_iter()
+            .map(|r| match r {
+                BatchReply::IbeToken(result) => result,
+                BatchReply::GdhHalfSign(_) => Err(Error::InvalidCiphertext),
+            })
+            .collect())
     }
 }
 
@@ -239,6 +374,32 @@ fn outcome_of<T>(result: &Result<T, Error>) -> Outcome {
         Err(Error::Revoked) => Outcome::RefusedRevoked,
         Err(Error::UnknownIdentity) => Outcome::RefusedUnknown,
         Err(_) => Outcome::RefusedInvalid,
+    }
+}
+
+/// Audits one item of a processed batch (items and replies are zipped
+/// in request order, so the shapes always correspond).
+fn audit_batch_item(state: &State, item: &BatchItem, result: &BatchReply) {
+    match (item, result) {
+        (BatchItem::IbeToken { id, .. }, BatchReply::IbeToken(result)) => {
+            let bytes = result
+                .as_ref()
+                .map(|t| state.params.curve().gt_to_bytes(&t.0).len())
+                .unwrap_or(0);
+            state
+                .audit
+                .record_batched(id, Capability::IbeDecrypt, outcome_of(result), bytes);
+        }
+        (BatchItem::GdhHalfSign { id, .. }, BatchReply::GdhHalfSign(result)) => {
+            let bytes = result
+                .as_ref()
+                .map(|h| state.params.curve().point_to_bytes(&h.0).len())
+                .unwrap_or(0);
+            state
+                .audit
+                .record_batched(id, Capability::GdhSign, outcome_of(result), bytes);
+        }
+        _ => unreachable!("batch replies are produced in item order"),
     }
 }
 
@@ -289,6 +450,51 @@ pub fn drive_throughput(
     }
 }
 
+/// Batched counterpart of [`drive_throughput`]: the same request
+/// stream, but each client submits `batch_size` token requests per
+/// channel message via [`SemClient::batch`].
+///
+/// Comparing the two at equal `total_requests` isolates the
+/// channel-hop and lock-acquisition amortization of the batched
+/// endpoint (the pairing work per token is identical).
+pub fn drive_throughput_batched(
+    server: &SemServer,
+    id: &str,
+    u: &G1Affine,
+    client_threads: usize,
+    total_requests: usize,
+    batch_size: usize,
+) -> ThroughputResult {
+    assert!(batch_size > 0, "batch_size must be positive");
+    let start = Instant::now();
+    let per_client = total_requests / client_threads;
+    std::thread::scope(|scope| {
+        for _ in 0..client_threads {
+            let client = server.client();
+            let u = u.clone();
+            let id = id.to_string();
+            scope.spawn(move || {
+                let mut remaining = per_client;
+                while remaining > 0 {
+                    let n = remaining.min(batch_size);
+                    let tokens = client
+                        .ibe_token_batch(&id, &vec![u.clone(); n])
+                        .expect("batch");
+                    assert_eq!(tokens.len(), n);
+                    for token in tokens {
+                        token.expect("token");
+                    }
+                    remaining -= n;
+                }
+            });
+        }
+    });
+    ThroughputResult {
+        requests: per_client * client_threads,
+        elapsed: start.elapsed(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,7 +518,10 @@ mod tests {
     fn token_service_roundtrip() {
         let (pkg, server, user, mut rng) = setup(2);
         let client = server.client();
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"through the server").unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"through the server")
+            .unwrap();
         let token = client.ibe_token("alice", &c.u).unwrap();
         assert_eq!(
             user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
@@ -400,7 +609,128 @@ mod tests {
         assert_eq!(stats.refused, 1);
         assert!(server.audit_bytes_out() > 0);
         assert_eq!(server.audit_stats("ghost").refused, 1);
-        assert!(server.audit_noisy_identities(0).contains(&"alice".to_string()));
+        assert!(server
+            .audit_noisy_identities(0)
+            .contains(&"alice".to_string()));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_serves_mixed_items_in_order() {
+        let (pkg, server, user, mut rng) = setup(2);
+        let curve = pkg.params().curve();
+        let (gdh_user, sem_key, pk) = gdh::mediated_keygen(&mut rng, curve, "signer");
+        server.install_gdh(sem_key);
+        let client = server.client();
+        let c0 = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"first")
+            .unwrap();
+        let c1 = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"second")
+            .unwrap();
+        let replies = client
+            .batch(vec![
+                BatchItem::IbeToken {
+                    id: "alice".into(),
+                    u: c0.u.clone(),
+                },
+                BatchItem::GdhHalfSign {
+                    id: "signer".into(),
+                    message: b"doc".to_vec(),
+                },
+                BatchItem::IbeToken {
+                    id: "alice".into(),
+                    u: c1.u.clone(),
+                },
+                BatchItem::IbeToken {
+                    id: "ghost".into(),
+                    u: c0.u.clone(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(replies.len(), 4);
+        let BatchReply::IbeToken(Ok(t0)) = &replies[0] else {
+            panic!("item 0")
+        };
+        let BatchReply::GdhHalfSign(Ok(half)) = &replies[1] else {
+            panic!("item 1")
+        };
+        let BatchReply::IbeToken(Ok(t1)) = &replies[2] else {
+            panic!("item 2")
+        };
+        assert_eq!(
+            replies[3],
+            BatchReply::IbeToken(Err(Error::UnknownIdentity))
+        );
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c0, t0).unwrap(),
+            b"first"
+        );
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c1, t1).unwrap(),
+            b"second"
+        );
+        let sig = gdh_user.finish_sign(curve, b"doc", half).unwrap();
+        gdh::verify(curve, &pk, b"doc", &sig).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_respects_revocation_per_item() {
+        let (pkg, server, _user, mut rng) = setup(1);
+        let (_, bob_sem) = pkg.extract_split(&mut rng, "bob");
+        server.install_ibe(bob_sem);
+        server.revoke("alice");
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        let d = pkg.params().encrypt_full(&mut rng, "bob", b"m").unwrap();
+        let replies = client
+            .batch(vec![
+                BatchItem::IbeToken {
+                    id: "alice".into(),
+                    u: c.u.clone(),
+                },
+                BatchItem::IbeToken {
+                    id: "bob".into(),
+                    u: d.u.clone(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(replies[0], BatchReply::IbeToken(Err(Error::Revoked)));
+        assert!(matches!(&replies[1], BatchReply::IbeToken(Ok(_))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_audited_with_transport_counters() {
+        let (pkg, server, _user, mut rng) = setup(2);
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        client.ibe_token("alice", &c.u).unwrap();
+        let tokens = client
+            .ibe_token_batch("alice", &[c.u.clone(), c.u.clone(), c.u.clone()])
+            .unwrap();
+        assert!(tokens.into_iter().all(|t| t.is_ok()));
+        assert!(client.batch(vec![]).unwrap().is_empty());
+        let t = server.audit_transport();
+        assert_eq!((t.single, t.batched_items, t.batches), (1, 3, 1));
+        assert_eq!(server.audit_stats("alice").served, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn batched_throughput_driver_completes() {
+        let (pkg, server, _user, mut rng) = setup(2);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        let result = drive_throughput_batched(&server, "alice", &c.u, 2, 16, 5);
+        assert_eq!(result.requests, 16);
+        assert!(result.ops_per_sec() > 0.0);
+        let t = server.audit_transport();
+        assert_eq!(t.batched_items, 16);
+        // Each client covers 8 requests in batches of 5: ⌈8/5⌉ = 2.
+        assert_eq!(t.batches, 4);
         server.shutdown();
     }
 

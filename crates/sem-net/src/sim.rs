@@ -91,7 +91,11 @@ pub struct SimResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Event {
     /// A request arrives at the SEM queue (client, issue time).
-    Arrival { at_ns: u64, client: usize, issued_ns: u64 },
+    Arrival {
+        at_ns: u64,
+        client: usize,
+        issued_ns: u64,
+    },
     /// A worker finishes its current job.
     WorkerFree { at_ns: u64, worker: usize },
 }
@@ -170,7 +174,9 @@ pub fn run(config: &SimConfig) -> SimResult {
         let now = event.at();
         last_event_ns = last_event_ns.max(now);
         match event {
-            Event::Arrival { client, issued_ns, .. } => {
+            Event::Arrival {
+                client, issued_ns, ..
+            } => {
                 queue.push((client, issued_ns));
             }
             Event::WorkerFree { .. } => {
@@ -183,7 +189,10 @@ pub fn run(config: &SimConfig) -> SimResult {
             workers_free -= 1;
             busy_ns += service;
             let done_at_sem = now + service;
-            events.push(Reverse(Event::WorkerFree { at_ns: done_at_sem, worker: 0 }));
+            events.push(Reverse(Event::WorkerFree {
+                at_ns: done_at_sem,
+                worker: 0,
+            }));
             // Complete the operation on the user side.
             let sem_path = done_at_sem + response_net - issued_ns;
             let total = sem_path.max(user_leg) + combine;
@@ -192,8 +201,7 @@ pub fn run(config: &SimConfig) -> SimResult {
             if requests_sent[client] < config.requests_per_client {
                 requests_sent[client] += 1;
                 let step = client * config.requests_per_client + requests_sent[client];
-                let think =
-                    (up_ns(config.think_time) as f64 * jitter_factor(step)) as u64;
+                let think = (up_ns(config.think_time) as f64 * jitter_factor(step)) as u64;
                 let next_issue = issued_ns + total + think;
                 events.push(Reverse(Event::Arrival {
                     at_ns: next_issue + request_net,
@@ -232,7 +240,10 @@ mod tests {
     fn all_requests_complete() {
         let config = base_config();
         let result = run(&config);
-        assert_eq!(result.completed, config.clients * config.requests_per_client);
+        assert_eq!(
+            result.completed,
+            config.clients * config.requests_per_client
+        );
         assert!(result.p50 <= result.p95);
         assert!(result.p95 <= result.max);
         assert!(result.worker_utilization > 0.0 && result.worker_utilization <= 1.0);
@@ -268,7 +279,12 @@ mod tests {
         let one = run(&congested);
         congested.workers = 8;
         let eight = run(&congested);
-        assert!(eight.p95 <= one.p95, "8 workers {:?} vs 1 worker {:?}", eight.p95, one.p95);
+        assert!(
+            eight.p95 <= one.p95,
+            "8 workers {:?} vs 1 worker {:?}",
+            eight.p95,
+            one.p95
+        );
         // And utilization per worker drops.
         assert!(eight.worker_utilization <= one.worker_utilization);
     }

@@ -9,6 +9,7 @@
 
 use crate::audit::{AuditLog, Capability, Outcome};
 use crate::proto::{self, Op, Request, Response, Status};
+use crate::server::{BatchItem, BatchReply};
 use parking_lot::RwLock;
 use sempair_core::bf_ibe::IbePublicParams;
 use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
@@ -97,7 +98,11 @@ impl TcpSemServer {
                 });
             }
         });
-        Ok(TcpSemServer { shared, local_addr, acceptor: Some(acceptor) })
+        Ok(TcpSemServer {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+        })
     }
 
     /// The bound address (for clients).
@@ -139,6 +144,11 @@ impl TcpSemServer {
         self.shared.audit.total_bytes_out()
     }
 
+    /// Single-vs-batched transport counters.
+    pub fn audit_transport(&self) -> crate::audit::TransportStats {
+        self.shared.audit.transport_stats()
+    }
+
     /// Stops accepting new connections (existing connections drain on
     /// their own as clients disconnect).
     pub fn shutdown(mut self) {
@@ -165,7 +175,10 @@ impl Drop for TcpSemServer {
 fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     while let Some(payload) = read_frame(&mut stream)? {
         let response = match proto::decode_request(&payload) {
-            None => Response { status: Status::Invalid, body: vec![] },
+            None => Response {
+                status: Status::Invalid,
+                body: vec![],
+            },
             Some(request) => handle_request(&request, shared),
         };
         stream.write_all(&proto::encode_response(&response))?;
@@ -174,50 +187,114 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<(
 }
 
 fn handle_request(request: &Request, shared: &Shared) -> Response {
+    match request.op {
+        Op::Batch => match proto::decode_batch_items(&request.body) {
+            // Like an undecodable frame, an undecodable batch body is
+            // answered without an audit record — there is no item to
+            // attribute it to.
+            None => Response {
+                status: Status::Invalid,
+                body: vec![],
+            },
+            Some(items) => handle_batch(&items, shared),
+        },
+        op => {
+            let (capability, response) = {
+                let inner = shared.inner.read();
+                serve_item(op, &request.id, &request.body, shared, &inner)
+            };
+            shared.audit.record(
+                &request.id,
+                capability,
+                outcome_for(response.status),
+                response.body.len(),
+            );
+            response
+        }
+    }
+}
+
+/// Serves a whole decoded batch under one read-lock acquisition and
+/// wraps the per-item responses into one ok-frame.
+fn handle_batch(items: &[Request], shared: &Shared) -> Response {
+    let served: Vec<(Capability, Response)> = {
+        let inner = shared.inner.read();
+        items
+            .iter()
+            .map(|item| serve_item(item.op, &item.id, &item.body, shared, &inner))
+            .collect()
+    };
+    shared.audit.note_batch();
+    for (item, (capability, response)) in items.iter().zip(&served) {
+        shared.audit.record_batched(
+            &item.id,
+            *capability,
+            outcome_for(response.status),
+            response.body.len(),
+        );
+    }
+    let replies: Vec<Response> = served.into_iter().map(|(_, response)| response).collect();
+    Response {
+        status: Status::Ok,
+        body: proto::encode_batch_replies(&replies),
+    }
+}
+
+/// Serves one op-1/op-2 request against an already-acquired lock guard
+/// (shared by the single path and every batch item).
+fn serve_item(
+    op: Op,
+    id: &str,
+    body: &[u8],
+    shared: &Shared,
+    inner: &Inner,
+) -> (Capability, Response) {
     let params = &shared.params;
-    let (capability, response) = match request.op {
+    match op {
         Op::IbeToken => {
-            let response = match params.curve().point_from_bytes(&request.body) {
-                Err(_) => Response { status: Status::Invalid, body: vec![] },
-                Ok(u) => {
-                    let result = {
-                        let inner = shared.inner.read();
-                        inner.ibe.decrypt_token(params, &request.id, &u)
-                    };
-                    match result {
-                        Ok(token) => Response {
-                            status: Status::Ok,
-                            body: params.curve().gt_to_bytes(&token.0),
-                        },
-                        Err(e) => Response { status: Status::from_error(&e), body: vec![] },
-                    }
-                }
+            let response = match params.curve().point_from_bytes(body) {
+                Err(_) => Response {
+                    status: Status::Invalid,
+                    body: vec![],
+                },
+                Ok(u) => match inner.ibe.decrypt_token(params, id, &u) {
+                    Ok(token) => Response {
+                        status: Status::Ok,
+                        body: params.curve().gt_to_bytes(&token.0),
+                    },
+                    Err(e) => Response {
+                        status: Status::from_error(&e),
+                        body: vec![],
+                    },
+                },
             };
             (Capability::IbeDecrypt, response)
         }
         Op::GdhHalfSign => {
-            let result = {
-                let inner = shared.inner.read();
-                inner.gdh.half_sign(params.curve(), &request.id, &request.body)
-            };
-            let response = match result {
+            let response = match inner.gdh.half_sign(params.curve(), id, body) {
                 Ok(half) => Response {
                     status: Status::Ok,
                     body: params.curve().point_to_bytes(&half.0),
                 },
-                Err(e) => Response { status: Status::from_error(&e), body: vec![] },
+                Err(e) => Response {
+                    status: Status::from_error(&e),
+                    body: vec![],
+                },
             };
             (Capability::GdhSign, response)
         }
-    };
-    let outcome = match response.status {
+        Op::Batch => unreachable!("nested batches are rejected at decode"),
+    }
+}
+
+/// Maps a wire status onto an audit outcome.
+fn outcome_for(status: Status) -> Outcome {
+    match status {
         Status::Ok => Outcome::Served,
         Status::Revoked => Outcome::RefusedRevoked,
         Status::Unknown => Outcome::RefusedUnknown,
         Status::Invalid => Outcome::RefusedInvalid,
-    };
-    shared.audit.record(&request.id, capability, outcome, response.body.len());
-    response
+    }
 }
 
 impl TcpSemClient {
@@ -227,7 +304,10 @@ impl TcpSemClient {
     ///
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs, params: IbePublicParams) -> std::io::Result<Self> {
-        Ok(TcpSemClient { stream: TcpStream::connect(addr)?, params })
+        Ok(TcpSemClient {
+            stream: TcpStream::connect(addr)?,
+            params,
+        })
     }
 
     fn exchange(&mut self, request: &Request) -> Result<Response, Error> {
@@ -285,6 +365,79 @@ impl TcpSemClient {
             .map(HalfSignature)
             .map_err(|_| Error::InvalidCiphertext)
     }
+
+    /// Sends a mixed batch of requests as **one** frame each way and
+    /// returns the per-item outcomes in request order.
+    ///
+    /// The daemon serves the whole batch under a single
+    /// revocation-list read-lock acquisition; per-item refusals come
+    /// back inside the [`BatchReply`] entries. The encoded batch must
+    /// fit in [`proto::MAX_FRAME`].
+    ///
+    /// # Errors
+    ///
+    /// Transport failures as [`Error::UnknownIdentity`]; a malformed
+    /// or item-count-mismatched reply as [`Error::InvalidCiphertext`].
+    pub fn batch(&mut self, items: &[BatchItem]) -> Result<Vec<BatchReply>, Error> {
+        if items.is_empty() {
+            return Ok(Vec::new());
+        }
+        let encoded: Vec<Request> = {
+            let curve = self.params.curve();
+            items
+                .iter()
+                .map(|item| match item {
+                    BatchItem::IbeToken { id, u } => Request {
+                        op: Op::IbeToken,
+                        id: id.clone(),
+                        body: curve.point_to_bytes(u),
+                    },
+                    BatchItem::GdhHalfSign { id, message } => Request {
+                        op: Op::GdhHalfSign,
+                        id: id.clone(),
+                        body: message.clone(),
+                    },
+                })
+                .collect()
+        };
+        let request = Request {
+            op: Op::Batch,
+            id: String::new(),
+            body: proto::encode_batch_items(&encoded),
+        };
+        let response = self.exchange(&request)?;
+        if let Some(err) = response.status.to_error() {
+            return Err(err);
+        }
+        let replies =
+            proto::decode_batch_replies(&response.body).ok_or(Error::InvalidCiphertext)?;
+        if replies.len() != items.len() {
+            return Err(Error::InvalidCiphertext);
+        }
+        let curve = self.params.curve();
+        Ok(items
+            .iter()
+            .zip(replies)
+            .map(|(item, reply)| match item {
+                BatchItem::IbeToken { .. } => BatchReply::IbeToken(match reply.status.to_error() {
+                    Some(err) => Err(err),
+                    None => curve
+                        .gt_from_bytes(&reply.body)
+                        .map(DecryptToken)
+                        .map_err(|_| Error::InvalidCiphertext),
+                }),
+                BatchItem::GdhHalfSign { .. } => {
+                    BatchReply::GdhHalfSign(match reply.status.to_error() {
+                        Some(err) => Err(err),
+                        None => curve
+                            .point_from_bytes(&reply.body)
+                            .map(HalfSignature)
+                            .map_err(|_| Error::InvalidCiphertext),
+                    })
+                }
+            })
+            .collect())
+    }
 }
 
 #[cfg(test)]
@@ -309,11 +462,16 @@ mod tests {
         let (pkg, server, mut rng) = setup();
         let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
         server.install_ibe(sem_key);
-        let mut client =
-            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
-        let c = pkg.params().encrypt_full(&mut rng, "alice", b"over tcp").unwrap();
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"over tcp")
+            .unwrap();
         let token = client.ibe_token("alice", &c.u).unwrap();
-        assert_eq!(user.finish_decrypt(pkg.params(), &c, &token).unwrap(), b"over tcp");
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+            b"over tcp"
+        );
         // Several requests over one connection.
         for i in 0..3 {
             let c = pkg
@@ -335,8 +493,7 @@ mod tests {
         let curve = pkg.params().curve();
         let (user, sem_key, pk) = gdh::mediated_keygen(&mut rng, curve, "signer");
         server.install_gdh(sem_key);
-        let mut client =
-            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
         let half = client.gdh_half_sign("signer", b"tcp doc").unwrap();
         let sig = user.finish_sign(curve, b"tcp doc", &half).unwrap();
         gdh::verify(curve, &pk, b"tcp doc", &sig).unwrap();
@@ -348,8 +505,7 @@ mod tests {
         let (pkg, server, mut rng) = setup();
         let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
         server.install_ibe(sem_key);
-        let mut client =
-            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
         let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
         assert!(client.ibe_token("alice", &c.u).is_ok());
         server.revoke("alice");
@@ -368,8 +524,7 @@ mod tests {
         let (pkg, server, mut rng) = setup();
         let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
         server.install_ibe(sem_key);
-        let mut client =
-            TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
         let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
         client.ibe_token("alice", &c.u).unwrap();
         server.revoke("alice");
@@ -428,7 +583,102 @@ mod tests {
         };
         stream.write_all(&proto::encode_request(&req)).unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
-        assert_eq!(proto::decode_response(&payload).unwrap().status, Status::Unknown);
+        assert_eq!(
+            proto::decode_response(&payload).unwrap().status,
+            Status::Unknown
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn batch_over_real_sockets() {
+        let (pkg, server, mut rng) = setup();
+        let curve = pkg.params().curve();
+        let (user, ibe_sem) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(ibe_sem);
+        let (gdh_user, gdh_sem, pk) = gdh::mediated_keygen(&mut rng, curve, "signer");
+        server.install_gdh(gdh_sem);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"batched")
+            .unwrap();
+        let replies = client
+            .batch(&[
+                BatchItem::IbeToken {
+                    id: "alice".into(),
+                    u: c.u.clone(),
+                },
+                BatchItem::GdhHalfSign {
+                    id: "signer".into(),
+                    message: b"doc".to_vec(),
+                },
+                BatchItem::IbeToken {
+                    id: "ghost".into(),
+                    u: c.u.clone(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(replies.len(), 3);
+        let BatchReply::IbeToken(Ok(token)) = &replies[0] else {
+            panic!("item 0")
+        };
+        let BatchReply::GdhHalfSign(Ok(half)) = &replies[1] else {
+            panic!("item 1")
+        };
+        assert_eq!(
+            replies[2],
+            BatchReply::IbeToken(Err(Error::UnknownIdentity))
+        );
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, token).unwrap(),
+            b"batched"
+        );
+        let sig = gdh_user.finish_sign(curve, b"doc", half).unwrap();
+        gdh::verify(curve, &pk, b"doc", &sig).unwrap();
+        // Transport counters: one envelope, three batched items.
+        let t = server.audit_transport();
+        assert_eq!((t.single, t.batched_items, t.batches), (0, 3, 1));
+        // A revoked identity refuses only its own item.
+        server.revoke("alice");
+        let replies = client
+            .batch(&[
+                BatchItem::IbeToken {
+                    id: "alice".into(),
+                    u: c.u.clone(),
+                },
+                BatchItem::GdhHalfSign {
+                    id: "signer".into(),
+                    message: b"doc".to_vec(),
+                },
+            ])
+            .unwrap();
+        assert_eq!(replies[0], BatchReply::IbeToken(Err(Error::Revoked)));
+        assert!(matches!(&replies[1], BatchReply::GdhHalfSign(Ok(_))));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_batch_body_gets_invalid_status() {
+        let (pkg, server, _) = setup();
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        let req = Request {
+            op: Op::Batch,
+            id: String::new(),
+            body: vec![0xde, 0xad],
+        };
+        stream.write_all(&proto::encode_request(&req)).unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        assert_eq!(
+            proto::decode_response(&payload).unwrap().status,
+            Status::Invalid
+        );
+        // No audit record and no transport tick for an unattributable body.
+        assert_eq!(
+            server.audit_transport(),
+            crate::audit::TransportStats::default()
+        );
+        drop(pkg);
         server.shutdown();
     }
 

@@ -40,7 +40,8 @@ fn main() {
 
     println!("\n== 2. Mediated signcryption: both sides revocable ==");
     let pkg = Pkg::setup(&mut rng, curve.clone());
-    let (heidi, heidi_sem, heidi_pk) = gdh::mediated_keygen(&mut rng, pkg.params().curve(), "heidi");
+    let (heidi, heidi_sem, heidi_pk) =
+        gdh::mediated_keygen(&mut rng, pkg.params().curve(), "heidi");
     let mut sign_sem = gdh::GdhSem::new();
     sign_sem.install(heidi_sem);
     let (ivan, ivan_sem) = pkg.extract_split(&mut rng, "ivan");
@@ -58,9 +59,14 @@ fn main() {
         .expect("ivan not revoked");
     let (from, plain) =
         signcryption::designcrypt(pkg.params(), &ivan, &token, &sc, &heidi_pk).unwrap();
-    println!("ivan received {:?} from {from}", String::from_utf8_lossy(&plain));
+    println!(
+        "ivan received {:?} from {from}",
+        String::from_utf8_lossy(&plain)
+    );
     sign_sem.revoke("heidi");
-    assert!(sign_sem.half_sign(pkg.params().curve(), "heidi", &content).is_err());
+    assert!(sign_sem
+        .half_sign(pkg.params().curve(), "heidi", &content)
+        .is_err());
     println!("heidi revoked: can no longer signcrypt");
 
     println!("\n== 3. Dealer-free threshold GDH (DKG), with a cheating dealer ==");
@@ -75,8 +81,17 @@ fn main() {
         .take(2)
         .map(|s| outcome.system.partial_sign(s, b"no dealer was trusted"))
         .collect();
-    let sig = outcome.system.combine(b"no dealer was trusted", &partials).unwrap();
-    gdh::verify(&curve, outcome.system.public_key(), b"no dealer was trusted", &sig).unwrap();
+    let sig = outcome
+        .system
+        .combine(b"no dealer was trusted", &partials)
+        .unwrap();
+    gdh::verify(
+        &curve,
+        outcome.system.public_key(),
+        b"no dealer was trusted",
+        &sig,
+    )
+    .unwrap();
     println!("2-of-4 signature verified under the jointly generated key");
 
     println!("\n== 4. Shoup threshold RSA (the ancestor of mRSA) ==");
@@ -87,7 +102,9 @@ fn main() {
         .collect();
     // Player 1 cheats; the share proofs expose it.
     sig_shares[0].value = sempair_bigint::BigUint::from(4u64);
-    let (sig, cheaters) = trsa.combine_robust(b"dividend resolution", &sig_shares).unwrap();
+    let (sig, cheaters) = trsa
+        .combine_robust(b"dividend resolution", &sig_shares)
+        .unwrap();
     trsa.verify(b"dividend resolution", &sig).unwrap();
     println!("cheater {cheaters:?} bypassed; combined RSA signature verifies (σ^e = H(m))");
 

@@ -19,7 +19,11 @@ fn main() {
     //    use `CurveParams::paper_default()` for the paper's 512/160.
     println!("== Setup ==");
     let curve = CurveParams::fast_insecure();
-    println!("field size: {} bits, group order: {} bits", curve.modulus().bits(), curve.order().bits());
+    println!(
+        "field size: {} bits, group order: {} bits",
+        curve.modulus().bits(),
+        curve.order().bits()
+    );
     let pkg = Pkg::setup(&mut rng, curve);
 
     // 2. Key issuance. Bob's key is split: half to Bob, half to the SEM.
@@ -36,7 +40,11 @@ fn main() {
         .params()
         .encrypt_full(&mut rng, "bob@example.com", message)
         .expect("encrypt");
-    println!("ciphertext: U (point) + {} + {} bytes", c.v.len(), c.w.len());
+    println!(
+        "ciphertext: U (point) + {} + {} bytes",
+        c.v.len(),
+        c.w.len()
+    );
 
     // 4. Decryption. Bob forwards U to the SEM; the SEM checks its
     //    revocation list and returns a token; Bob combines.

@@ -34,17 +34,30 @@ fn main() {
     sem.install(bob_sem);
 
     let mail = b"Q3 numbers attached. Don't forward.";
-    let c = pkg.params().encrypt_full(&mut rng, "bob@corp.example", mail).unwrap();
-    println!("alice -> bob: {} ciphertext bytes, zero certificate lookups", c.to_bytes(pkg.params()).len());
+    let c = pkg
+        .params()
+        .encrypt_full(&mut rng, "bob@corp.example", mail)
+        .unwrap();
+    println!(
+        "alice -> bob: {} ciphertext bytes, zero certificate lookups",
+        c.to_bytes(pkg.params()).len()
+    );
 
-    let token = sem.decrypt_token(pkg.params(), "bob@corp.example", &c.u).unwrap();
+    let token = sem
+        .decrypt_token(pkg.params(), "bob@corp.example", &c.u)
+        .unwrap();
     let plain = bob_key.finish_decrypt(pkg.params(), &c, &token).unwrap();
     println!("bob reads: {:?}", String::from_utf8_lossy(&plain));
 
     // Bob leaves the company at 17:00. One SEM update:
     sem.revoke("bob@corp.example");
-    let c2 = pkg.params().encrypt_full(&mut rng, "bob@corp.example", b"offer letter v2").unwrap();
-    assert!(sem.decrypt_token(pkg.params(), "bob@corp.example", &c2.u).is_err());
+    let c2 = pkg
+        .params()
+        .encrypt_full(&mut rng, "bob@corp.example", b"offer letter v2")
+        .unwrap();
+    assert!(sem
+        .decrypt_token(pkg.params(), "bob@corp.example", &c2.u)
+        .is_err());
     println!("17:00 revocation -> 17:00 enforcement. Mail sent at 17:01 is unreadable.");
 
     println!("\n=== Act 2: the same mail over IB-mRSA (baseline, §2) ===");
@@ -53,7 +66,9 @@ fn main() {
     let mut rsa_sem = system.new_sem();
     rsa_sem.install(carol_sem);
     let params = system.public_params();
-    let c = params.encrypt(&mut rng, "carol@corp.example", b"same flow, RSA flavour").unwrap();
+    let c = params
+        .encrypt(&mut rng, "carol@corp.example", b"same flow, RSA flavour")
+        .unwrap();
     let token = rsa_sem.half_decrypt("carol@corp.example", &c).unwrap();
     let plain = carol.finish_decrypt(&c, &token).unwrap();
     println!("carol reads: {:?}", String::from_utf8_lossy(&plain));
@@ -74,7 +89,10 @@ fn main() {
     vp.revoke("dave@corp.example");
     // Revoked at 09:00 — but today's key keeps working until midnight:
     let wire_id = ValidityPeriodPkg::epoch_identity("dave@corp.example", vp.epoch());
-    let c = vp.params().encrypt_full(&mut rng, &wire_id, b"pre-rollover mail").unwrap();
+    let c = vp
+        .params()
+        .encrypt_full(&mut rng, &wire_id, b"pre-rollover mail")
+        .unwrap();
     assert!(vp.params().decrypt_full(&dave_key, &c).is_ok());
     println!(
         "dave revoked at 09:00 still reads mail until the epoch rolls over \

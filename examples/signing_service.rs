@@ -10,9 +10,9 @@
 //! directors (3-of-5 countersignature).
 
 use rand::SeedableRng;
+use sempair::core::bf_ibe::Pkg;
 use sempair::core::gdh::{self, GdhSem, ThresholdGdh};
 use sempair::net::server::SemServer;
-use sempair::core::bf_ibe::Pkg;
 use sempair::pairing::CurveParams;
 
 fn main() {
@@ -59,12 +59,15 @@ fn main() {
     println!("\n== The same service, fronted by the threaded SEM server ==");
     let pkg = Pkg::setup(&mut rng, curve.clone());
     let server = SemServer::spawn(pkg.params().clone(), 4);
-    let (frank, frank_sem, frank_pk) = gdh::mediated_keygen(&mut rng, pkg.params().curve(), "frank");
+    let (frank, frank_sem, frank_pk) =
+        gdh::mediated_keygen(&mut rng, pkg.params().curve(), "frank");
     server.install_gdh(frank_sem);
     let client = server.client();
     let doc = b"expense report #99";
     let half = client.gdh_half_sign("frank", doc).expect("served");
-    let sig = frank.finish_sign(pkg.params().curve(), doc, &half).expect("combine");
+    let sig = frank
+        .finish_sign(pkg.params().curve(), doc, &half)
+        .expect("combine");
     gdh::verify(pkg.params().curve(), &frank_pk, doc, &sig).expect("verifies");
     println!("token served by a 4-worker SEM server and verified");
     server.shutdown();

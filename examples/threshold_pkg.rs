@@ -20,20 +20,28 @@ fn main() {
     let sys = pkg.system();
 
     // Each player sanity-checks the dealer before accepting (§3.2).
-    sys.check_dealer_consistency(&[1, 2, 3]).expect("dealer consistent");
-    sys.check_dealer_consistency(&[2, 4, 5]).expect("dealer consistent");
+    sys.check_dealer_consistency(&[1, 2, 3])
+        .expect("dealer consistent");
+    sys.check_dealer_consistency(&[2, 4, 5])
+        .expect("dealer consistent");
     println!("dealer consistency verified by two independent 3-subsets");
 
     // Key issuance for an identity; every player verifies its share.
     let shares = pkg.keygen("vault@example.com");
     for share in &shares {
-        assert!(sys.verify_key_share(share), "player {} got a bad share", share.index);
+        assert!(
+            sys.verify_key_share(share),
+            "player {} got a bad share",
+            share.index
+        );
     }
     println!("all 5 key shares verified against the public verification keys");
 
     // Encrypt (plain BasicIdent — senders are oblivious to the sharing).
     let secret = b"launch code: 0000";
-    let c = sys.params().encrypt_basic(&mut rng, "vault@example.com", secret);
+    let c = sys
+        .params()
+        .encrypt_basic(&mut rng, "vault@example.com", secret);
 
     println!("\n== Scenario A: three honest servers decrypt ==");
     let dec: Vec<DecryptionShare> = shares[..3]
@@ -52,7 +60,9 @@ fn main() {
     // Server 2 publishes garbage (keeps its stale proof).
     let curve = sys.params().curve();
     dec[1].value = curve.pairing(curve.generator(), curve.generator());
-    let (m, cheaters) = sys.recombine_basic_robust("vault@example.com", &c, &dec).expect("robust");
+    let (m, cheaters) = sys
+        .recombine_basic_robust("vault@example.com", &c, &dec)
+        .expect("robust");
     assert_eq!(m, secret);
     println!("cheaters detected: {cheaters:?}; plaintext still recovered");
 
@@ -62,14 +72,20 @@ fn main() {
         .filter(|s| !cheaters.contains(&s.index))
         .cloned()
         .collect();
-    let recovered = sys.recover_key_share(&honest[..3], cheaters[0]).expect("recover");
+    let recovered = sys
+        .recover_key_share(&honest[..3], cheaters[0])
+        .expect("recover");
     assert_eq!(recovered, shares[(cheaters[0] - 1) as usize]);
-    println!("share of player {} reconstructed from 3 honest shares", cheaters[0]);
+    println!(
+        "share of player {} reconstructed from 3 honest shares",
+        cheaters[0]
+    );
 
     println!("\n== Scenario D: checked ciphertexts — servers pre-validate (§3.3) ==");
     {
         use sempair::core::checked;
-        let cc = checked::encrypt_checked(&mut rng, sys.params(), "vault@example.com", b"cca route");
+        let cc =
+            checked::encrypt_checked(&mut rng, sys.params(), "vault@example.com", b"cca route");
         // Honest ciphertext: servers serve.
         let dec: Vec<DecryptionShare> = shares[..3]
             .iter()

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, tier-1 build + tests.
+#
+# Run from anywhere; everything executes at the workspace root. This is
+# what CI (and the next contributor) should run before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "ALL CHECKS PASSED"

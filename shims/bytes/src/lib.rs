@@ -1,0 +1,174 @@
+//! Offline subset of the `bytes` crate API (see `shims/README.md`).
+//!
+//! Provides [`BytesMut`] plus the [`Buf`]/[`BufMut`] cursor traits with
+//! the big-endian accessors the SEM wire protocol uses.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        BytesMut { inner: Vec::new() }
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// `true` iff nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(buf: BytesMut) -> Vec<u8> {
+        buf.inner
+    }
+}
+
+/// Read cursor over a byte source. Integer reads are big-endian, as in
+/// the real `bytes` crate.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let v = u16::from_be_bytes(self[..2].try_into().unwrap());
+        *self = &self[2..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let v = u32::from_be_bytes(self[..4].try_into().unwrap());
+        *self = &self[4..];
+        v
+    }
+}
+
+/// Write cursor onto a growable byte sink. Integer writes are
+/// big-endian, as in the real `bytes` crate.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a big-endian `u16`.
+    fn put_u16(&mut self, v: u16);
+    /// Appends a big-endian `u32`.
+    fn put_u32(&mut self, v: u32);
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.inner.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_big_endian() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u8(7);
+        buf.put_u16(0x0102);
+        buf.put_u32(0xdead_beef);
+        buf.put_slice(b"xy");
+        let bytes = buf.to_vec();
+        let mut cursor: &[u8] = &bytes;
+        assert_eq!(cursor.get_u8(), 7);
+        assert_eq!(cursor.get_u16(), 0x0102);
+        assert_eq!(cursor.get_u32(), 0xdead_beef);
+        assert_eq!(cursor.remaining(), 2);
+        cursor.advance(1);
+        assert_eq!(cursor, b"y");
+    }
+}

@@ -1,0 +1,146 @@
+//! Offline subset of the `serde` data-model traits (see
+//! `shims/README.md`).
+//!
+//! The trait shapes follow real serde where sempair touches them —
+//! `Serialize`/`Serializer::serialize_str`/`ser::SerializeStruct`,
+//! `Deserialize`/`de::Error::custom` — so the manual impls in
+//! `sempair-bigint` compile unchanged against either crate. The
+//! deserializer side is simplified: instead of the visitor machinery,
+//! [`Deserializer`] exposes the two entry points the workspace needs
+//! (borrowed strings and named-field structs). There is no `derive`
+//! proc-macro; structs implement the traits by hand.
+
+use std::fmt::Display;
+
+/// Serialization support for the `serde` data model subset.
+pub trait Serialize {
+    /// Serializes `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A sink for the serialization data model.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error produced on failure.
+    type Error: ser::Error;
+    /// Sub-serializer for struct fields.
+    type SerializeStruct: ser::SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+
+    /// Serializes a string.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Begins serializing a struct with `len` fields.
+    fn serialize_struct(
+        self,
+        name: &'static str,
+        len: usize,
+    ) -> Result<Self::SerializeStruct, Self::Error>;
+}
+
+/// Serializer-side helper traits.
+pub mod ser {
+    use super::{Display, Serialize};
+
+    /// Errors a serializer can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Field-by-field struct serialization.
+    pub trait SerializeStruct {
+        /// Value produced on success.
+        type Ok;
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Serializes one named field.
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Self::Error>;
+
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+/// Deserialization support for the `serde` data model subset.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A source for the deserialization data model.
+///
+/// Simplified relative to real serde: no visitors — the two shapes the
+/// workspace persists (strings and named-field structs) are exposed
+/// directly.
+pub trait Deserializer<'de>: Sized {
+    /// Error produced on failure.
+    type Error: de::Error;
+    /// Accessor for the fields of a struct value.
+    type Struct: de::StructAccess<'de, Error = Self::Error>;
+
+    /// Expects a string, borrowed from the input.
+    fn deserialize_str(self) -> Result<&'de str, Self::Error>;
+
+    /// Expects a struct (map) with the given named fields.
+    fn deserialize_struct(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+    ) -> Result<Self::Struct, Self::Error>;
+}
+
+/// Deserializer-side helper traits.
+pub mod de {
+    use super::{Deserialize, Display};
+
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized + std::error::Error {
+        /// Builds an error from any displayable message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Field lookup on a struct value.
+    pub trait StructAccess<'de> {
+        /// Error produced on failure.
+        type Error: Error;
+
+        /// Deserializes the field named `key`.
+        fn field<T: Deserialize<'de>>(&mut self, key: &'static str) -> Result<T, Self::Error>;
+    }
+}
+
+impl<'de> Deserialize<'de> for &'de str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_str()
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}

@@ -1,0 +1,402 @@
+//! Offline subset of `serde_json` (see `shims/README.md`).
+//!
+//! Supports exactly the JSON the workspace persists: objects whose
+//! values are strings or nested objects (`system.json`, the BigUint
+//! test round-trip). Escape sequences other than `\"`, `\\`, `\n`,
+//! `\r`, `\t` are rejected on input so borrowed-string deserialization
+//! stays zero-copy; the emitter never produces them for the data
+//! sempair stores (hex digits, decimal digits, identity strings).
+
+use std::fmt;
+
+/// Serialization/deserialization failure.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------
+
+struct Emitter {
+    out: String,
+    pretty: bool,
+    depth: usize,
+}
+
+impl Emitter {
+    fn write_string(&mut self, s: &str) {
+        self.out.push('"');
+        for ch in s.chars() {
+            match ch {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+}
+
+struct JsonSerializer<'a> {
+    emitter: &'a mut Emitter,
+}
+
+struct JsonStructSerializer<'a> {
+    emitter: &'a mut Emitter,
+    first: bool,
+}
+
+impl<'a> serde::Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeStruct = JsonStructSerializer<'a>;
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        self.emitter.write_string(v);
+        Ok(())
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<JsonStructSerializer<'a>, Error> {
+        self.emitter.out.push('{');
+        self.emitter.depth += 1;
+        Ok(JsonStructSerializer {
+            emitter: self.emitter,
+            first: true,
+        })
+    }
+}
+
+impl serde::ser::SerializeStruct for JsonStructSerializer<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: serde::Serialize + ?Sized>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        if !self.first {
+            self.emitter.out.push(',');
+        }
+        self.first = false;
+        self.emitter.newline_indent();
+        self.emitter.write_string(key);
+        self.emitter.out.push(':');
+        if self.emitter.pretty {
+            self.emitter.out.push(' ');
+        }
+        value.serialize(JsonSerializer {
+            emitter: self.emitter,
+        })
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.emitter.depth -= 1;
+        self.emitter.newline_indent();
+        self.emitter.out.push('}');
+        Ok(())
+    }
+}
+
+fn serialize_with<T: serde::Serialize>(value: &T, pretty: bool) -> Result<String, Error> {
+    let mut emitter = Emitter {
+        out: String::new(),
+        pretty,
+        depth: 0,
+    };
+    value.serialize(JsonSerializer {
+        emitter: &mut emitter,
+    })?;
+    Ok(emitter.out)
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    serialize_with(value, false)
+}
+
+/// Serializes `value` as two-space-indented JSON.
+///
+/// # Errors
+///
+/// Propagates errors from the value's `Serialize` impl.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    serialize_with(value, true)
+}
+
+// ---------------------------------------------------------------------
+// Deserialization
+// ---------------------------------------------------------------------
+
+enum Value<'de> {
+    Str(&'de str),
+    Object(Vec<(&'de str, Value<'de>)>),
+}
+
+struct Parser<'de> {
+    input: &'de str,
+    pos: usize,
+}
+
+impl<'de> Parser<'de> {
+    fn skip_ws(&mut self) {
+        let rest = &self.input[self.pos..];
+        let trimmed = rest.trim_start_matches([' ', '\t', '\n', '\r']);
+        self.pos += rest.len() - trimmed.len();
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.as_bytes().get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<&'de str, Error> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        let bytes = self.input.as_bytes();
+        while let Some(&b) = bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = &self.input[start..self.pos];
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                // Zero-copy borrowing cannot represent unescaped
+                // content; the workspace never stores strings needing
+                // escapes, so reject rather than silently mangle.
+                b'\\' => {
+                    return Err(Error::new(
+                        "escape sequences unsupported by the offline serde_json shim",
+                    ))
+                }
+                _ => self.pos += 1,
+            }
+        }
+        Err(Error::new("unterminated string"))
+    }
+
+    fn parse_value(&mut self) -> Result<Value<'de>, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'{') => {
+                self.pos += 1;
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(entries));
+                        }
+                        _ => return Err(Error::new("expected ',' or '}' in object")),
+                    }
+                }
+            }
+            Some(other) => Err(Error::new(format!(
+                "unsupported JSON value starting with '{}' (the offline shim \
+                 handles strings and objects only)",
+                other as char
+            ))),
+            None => Err(Error::new("unexpected end of input")),
+        }
+    }
+}
+
+struct ObjectAccess<'a, 'de> {
+    entries: &'a [(&'de str, Value<'de>)],
+}
+
+struct ObjectDeserializer<'a, 'de> {
+    value: &'a Value<'de>,
+}
+
+impl<'a, 'de> serde::Deserializer<'de> for ObjectDeserializer<'a, 'de> {
+    type Error = Error;
+    type Struct = ObjectAccess<'a, 'de>;
+
+    fn deserialize_str(self) -> Result<&'de str, Error> {
+        match self.value {
+            Value::Str(s) => Ok(s),
+            Value::Object(_) => Err(Error::new("expected string, found object")),
+        }
+    }
+
+    fn deserialize_struct(
+        self,
+        _name: &'static str,
+        _fields: &'static [&'static str],
+    ) -> Result<ObjectAccess<'a, 'de>, Error> {
+        match self.value {
+            Value::Object(entries) => Ok(ObjectAccess { entries }),
+            Value::Str(_) => Err(Error::new("expected object, found string")),
+        }
+    }
+}
+
+impl<'de> serde::de::StructAccess<'de> for ObjectAccess<'_, 'de> {
+    type Error = Error;
+
+    fn field<T: serde::Deserialize<'de>>(&mut self, key: &'static str) -> Result<T, Error> {
+        let (_, value) = self
+            .entries
+            .iter()
+            .find(|(k, _)| *k == key)
+            .ok_or_else(|| Error::new(format!("missing field `{key}`")))?;
+        T::deserialize(ObjectDeserializer { value })
+    }
+}
+
+/// Deserializes a value from a JSON string slice.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, on JSON shapes outside the shim's subset,
+/// or when the value's `Deserialize` impl rejects the data.
+pub fn from_str<'de, T: serde::Deserialize<'de>>(input: &'de str) -> Result<T, Error> {
+    let mut parser = Parser { input, pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != input.len() {
+        return Err(Error::new("trailing characters after JSON value"));
+    }
+    T::deserialize(ObjectDeserializer { value: &value })
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::de::StructAccess;
+    use serde::ser::SerializeStruct;
+
+    struct Pair {
+        left: String,
+        right: String,
+    }
+
+    impl serde::Serialize for Pair {
+        fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+            let mut st = serializer.serialize_struct("Pair", 2)?;
+            st.serialize_field("left", &self.left)?;
+            st.serialize_field("right", &self.right)?;
+            st.end()
+        }
+    }
+
+    impl<'de> serde::Deserialize<'de> for Pair {
+        fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+            let mut st = deserializer.deserialize_struct("Pair", &["left", "right"])?;
+            Ok(Pair {
+                left: st.field("left")?,
+                right: st.field("right")?,
+            })
+        }
+    }
+
+    #[test]
+    fn struct_roundtrip_compact_and_pretty() {
+        let pair = Pair {
+            left: "abc123".into(),
+            right: "ff00".into(),
+        };
+        let compact = super::to_string(&pair).unwrap();
+        assert_eq!(compact, r#"{"left":"abc123","right":"ff00"}"#);
+        let pretty = super::to_string_pretty(&pair).unwrap();
+        assert!(pretty.contains("\n  \"left\": \"abc123\""));
+        for json in [compact, pretty] {
+            let back: Pair = super::from_str(&json).unwrap();
+            assert_eq!(back.left, "abc123");
+            assert_eq!(back.right, "ff00");
+        }
+    }
+
+    #[test]
+    fn bare_string_roundtrip() {
+        let json = super::to_string(&"deadbeef".to_string()).unwrap();
+        assert_eq!(json, "\"deadbeef\"");
+        let back: String = super::from_str(&json).unwrap();
+        assert_eq!(back, "deadbeef");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(super::from_str::<String>("").is_err());
+        assert!(super::from_str::<String>("\"unterminated").is_err());
+        assert!(super::from_str::<String>("{\"a\" \"b\"}").is_err());
+        assert!(super::from_str::<String>("42").is_err());
+        assert!(super::from_str::<Pair>(r#"{"left":"x"}"#).is_err());
+    }
+}

@@ -73,7 +73,13 @@ fn parse_args() -> Result<Args, String> {
             other => positional.push(other.to_string()),
         }
     }
-    Ok(Args { command, dir, fast, sem_addr, positional })
+    Ok(Args {
+        command,
+        dir,
+        fast,
+        sem_addr,
+        positional,
+    })
 }
 
 fn usage() -> String {
@@ -102,12 +108,34 @@ fn run() -> Result<(), String> {
 
 // --- state persistence -------------------------------------------------------
 
-#[derive(serde::Serialize, serde::Deserialize)]
 struct SystemState {
     curve: CurveParamsSpec,
     /// PKG master key (hex). A real deployment would keep this offline;
     /// the demo stores it so `enroll` works across invocations.
     master: BigUint,
+}
+
+// Manual serde impls: the vendored serde shim has no derive macro
+// (shims/README.md).
+impl serde::Serialize for SystemState {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut st = serializer.serialize_struct("SystemState", 2)?;
+        st.serialize_field("curve", &self.curve)?;
+        st.serialize_field("master", &self.master)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for SystemState {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::StructAccess;
+        let mut st = deserializer.deserialize_struct("SystemState", &["curve", "master"])?;
+        Ok(SystemState {
+            curve: st.field("curve")?,
+            master: st.field("master")?,
+        })
+    }
 }
 
 fn load_system(dir: &Path) -> Result<(CurveParams, Pkg), String> {
@@ -155,7 +183,7 @@ fn hex_encode(bytes: &[u8]) -> String {
 
 fn hex_decode(s: &str) -> Result<Vec<u8>, String> {
     let s = s.trim();
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return Err("hex input has odd length".into());
     }
     (0..s.len())
@@ -189,7 +217,10 @@ fn cmd_setup(args: &Args) -> Result<(), String> {
     // see the SystemState docs) and rebuild the PKG from it.
     let master = curve.random_scalar(&mut rng);
     let pkg = Pkg::from_master(curve.clone(), master.clone());
-    let state = SystemState { curve: curve.to_spec(), master };
+    let state = SystemState {
+        curve: curve.to_spec(),
+        master,
+    };
     fs::write(
         args.dir.join("system.json"),
         serde_json::to_string_pretty(&state).map_err(|e| e.to_string())?,
@@ -236,7 +267,11 @@ fn cmd_enroll(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_ibe_user(dir: &Path, curve: &CurveParams, id: &str) -> Result<sempair::core::mediated::UserKey, String> {
+fn load_ibe_user(
+    dir: &Path,
+    curve: &CurveParams,
+    id: &str,
+) -> Result<sempair::core::mediated::UserKey, String> {
     let raw = fs::read_to_string(dir.join("users").join(format!("{id}.ibe")))
         .map_err(|_| format!("{id} is not enrolled (no user key)"))?;
     wire::user_key_from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())
@@ -246,10 +281,13 @@ fn build_sem(dir: &Path, curve: &CurveParams, id: &str) -> Result<(Sem, GdhSem),
     let mut sem = Sem::new();
     let mut gdh_sem = GdhSem::new();
     if let Ok(raw) = fs::read_to_string(dir.join("sem").join(format!("{id}.ibe"))) {
-        sem.install(wire::sem_key_from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?);
+        sem.install(
+            wire::sem_key_from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?,
+        );
     }
     if let Ok(raw) = fs::read_to_string(dir.join("sem").join(format!("{id}.gdh"))) {
-        gdh_sem.install(GdhSemKey::from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?);
+        gdh_sem
+            .install(GdhSemKey::from_bytes(curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?);
     }
     for revoked in load_revoked(dir) {
         sem.revoke(&revoked);
@@ -273,7 +311,10 @@ fn cmd_encrypt(args: &Args) -> Result<(), String> {
 
 fn cmd_decrypt(args: &Args) -> Result<(), String> {
     let id = need_id(args)?;
-    let ct_hex = args.positional.get(1).ok_or("missing <ciphertext-hex> argument")?;
+    let ct_hex = args
+        .positional
+        .get(1)
+        .ok_or("missing <ciphertext-hex> argument")?;
     let (curve, pkg) = load_system(&args.dir)?;
     let ct = FullCiphertext::from_bytes(pkg.params(), &hex_decode(ct_hex)?)
         .map_err(|e| format!("bad ciphertext: {e}"))?;
@@ -343,15 +384,18 @@ fn cmd_sign(args: &Args) -> Result<(), String> {
 fn cmd_verify(args: &Args) -> Result<(), String> {
     let id = need_id(args)?;
     let message = args.positional.get(1).ok_or("missing <message> argument")?;
-    let sig_hex = args.positional.get(2).ok_or("missing <signature-hex> argument")?;
+    let sig_hex = args
+        .positional
+        .get(2)
+        .ok_or("missing <signature-hex> argument")?;
     let (curve, _) = load_system(&args.dir)?;
     // The verifier only needs the public key, read from the user record
     // (in a real deployment it would come from a directory).
     let raw = fs::read_to_string(args.dir.join("users").join(format!("{id}.gdh")))
         .map_err(|_| format!("no public key on file for {id}"))?;
     let user = GdhUser::from_bytes(&curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?;
-    let sig = wire::signature_from_bytes(&curve, &hex_decode(sig_hex)?)
-        .map_err(|e| e.to_string())?;
+    let sig =
+        wire::signature_from_bytes(&curve, &hex_decode(sig_hex)?).map_err(|e| e.to_string())?;
     match gdh::verify(&curve, &user.public, message.as_bytes(), &sig) {
         Ok(()) => {
             println!("signature VALID for {id}");
@@ -383,7 +427,11 @@ fn cmd_status(args: &Args) -> Result<(), String> {
     println!(
         "{id}: {}{}",
         if enrolled { "enrolled" } else { "not enrolled" },
-        if revoked.contains(id) { ", REVOKED" } else { "" }
+        if revoked.contains(id) {
+            ", REVOKED"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -415,8 +463,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if let Ok(entries) = fs::read_dir(&sem_dir) {
         for entry in entries.flatten() {
             let path = entry.path();
-            let Some(ext) = path.extension().and_then(|e| e.to_str()) else { continue };
-            let Ok(raw) = fs::read_to_string(&path) else { continue };
+            let Some(ext) = path.extension().and_then(|e| e.to_str()) else {
+                continue;
+            };
+            let Ok(raw) = fs::read_to_string(&path) else {
+                continue;
+            };
             match ext {
                 "ibe" => {
                     if let Ok(key) = wire::sem_key_from_bytes(&curve, &hex_decode(&raw)?) {

@@ -11,16 +11,16 @@
 
 /// Arbitrary-precision integer substrate.
 pub use sempair_bigint as bigint;
-/// SHA-2, HMAC, MGF1 and derivation utilities.
-pub use sempair_hash as hash;
-/// Supersingular-curve groups and the Tate pairing.
-pub use sempair_pairing as pairing;
-/// RSA-OAEP / mediated RSA / IB-mRSA baseline.
-pub use sempair_mrsa as mrsa;
 /// The paper's schemes: BF-IBE, threshold IBE, mediated IBE, GDH signatures.
 pub use sempair_core as core;
+/// SHA-2, HMAC, MGF1 and derivation utilities.
+pub use sempair_hash as hash;
+/// RSA-OAEP / mediated RSA / IB-mRSA baseline.
+pub use sempair_mrsa as mrsa;
 /// Multi-threaded SEM deployment simulation.
 pub use sempair_net as net;
+/// Supersingular-curve groups and the Tate pairing.
+pub use sempair_pairing as pairing;
 
 /// The types most applications need, in one import.
 ///

@@ -28,7 +28,10 @@ fn full_stack_mail_through_wire_formats() {
     server.install_ibe(bob_sem);
 
     // Sender side: encrypt and serialize.
-    let c = pkg.params().encrypt_full(&mut rng, "bob", b"wire-format mail").unwrap();
+    let c = pkg
+        .params()
+        .encrypt_full(&mut rng, "bob", b"wire-format mail")
+        .unwrap();
     let wire_bytes = c.to_bytes(pkg.params());
 
     // Recipient side: parse, request token, decrypt.
@@ -63,12 +66,17 @@ fn multi_user_server_with_selective_revocation() {
 
     let client = server.client();
     for (id, key) in &users {
-        let c = pkg.params().encrypt_full(&mut rng, id, id.as_bytes()).unwrap();
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, id, id.as_bytes())
+            .unwrap();
         let token = client.ibe_token(id, &c.u);
         if id == "user3@example.com" {
             assert_eq!(token, Err(sempair::core::Error::Revoked));
         } else {
-            let m = key.finish_decrypt(pkg.params(), &c, &token.unwrap()).unwrap();
+            let m = key
+                .finish_decrypt(pkg.params(), &c, &token.unwrap())
+                .unwrap();
             assert_eq!(&m, id.as_bytes());
         }
     }

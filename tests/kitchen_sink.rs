@@ -33,8 +33,8 @@ fn company_scenario_end_to_end() {
     let msg = b"merger term sheet, rev 3";
     let content = signcryption::content_to_sign("ivan", msg);
     let half = heidi_client.gdh_half_sign("heidi", &content).unwrap();
-    let sc = signcryption::signcrypt(&mut rng, pkg.params(), &heidi_sign, &half, "ivan", msg)
-        .unwrap();
+    let sc =
+        signcryption::signcrypt(&mut rng, pkg.params(), &heidi_sign, &half, "ivan", msg).unwrap();
 
     // --- designcrypt through the daemon --------------------------------------
     let mut ivan_client = TcpSemClient::connect(sem.local_addr(), pkg.params().clone()).unwrap();
@@ -55,7 +55,10 @@ fn company_scenario_end_to_end() {
         .iter()
         .map(|&i| vault.system().decryption_share(&shares[i], &escrow_ct.u))
         .collect();
-    assert_eq!(vault.system().recombine_basic(&escrow_ct, &dec).unwrap(), plain);
+    assert_eq!(
+        vault.system().recombine_basic(&escrow_ct, &dec).unwrap(),
+        plain
+    );
 
     // --- off-boarding: one revocation call kills both capabilities -----------
     sem.revoke("heidi");

@@ -36,7 +36,9 @@ fn ib_mrsa_collusion_breaks_all_users() {
     // …then corrupts the SEM and reconstitutes a FULL (e, d) pair. We
     // model the leak with the PKG-side demo hook, which equals
     // d_user + d_sem mod φ(n).
-    let full_d = system.full_exponent_for_attack_demo("attacker@example.com").unwrap();
+    let full_d = system
+        .full_exponent_for_attack_demo("attacker@example.com")
+        .unwrap();
     let e_attacker = params.exponent_for("attacker@example.com");
     drop((attacker, attacker_sem_key));
 
@@ -50,14 +52,19 @@ fn ib_mrsa_collusion_breaks_all_users() {
     let d_victim = attack::recover_other_private_key(&p, &q, &e_victim).unwrap();
 
     // Decrypt the victim's mail with no help from SEM or victim.
-    let c = params.encrypt(&mut rng, "victim@example.com", b"board minutes").unwrap();
+    let c = params
+        .encrypt(&mut rng, "victim@example.com", b"board minutes")
+        .unwrap();
     // Raw RSA proves key recovery; then confirm the full OAEP path by
     // emulating user+SEM with d_victim split trivially.
     let m_block = modular::mod_pow(&c, &d_victim, &params.n);
     let k = params.n.bits().div_ceil(8);
     let oaep = sempair::mrsa::oaep::Oaep::new(k, params.oaep_hash_len);
     let plain = oaep
-        .unpad(&m_block.to_be_bytes_padded(k), "victim@example.com".as_bytes())
+        .unpad(
+            &m_block.to_be_bytes_padded(k),
+            "victim@example.com".as_bytes(),
+        )
         .expect("attacker reads victim mail");
     assert_eq!(plain, b"board minutes");
     // The legitimate path agrees.
@@ -86,7 +93,10 @@ fn mediated_ibe_collusion_contained_to_one_identity() {
 
     // She can now bypass her own revocation…
     sem.revoke("alice");
-    let c_alice = pkg.params().encrypt_full(&mut rng, "alice", b"alice mail").unwrap();
+    let c_alice = pkg
+        .params()
+        .encrypt_full(&mut rng, "alice", b"alice mail")
+        .unwrap();
     assert_eq!(
         pkg.params().decrypt_full(&alice_full, &c_alice).unwrap(),
         b"alice mail"
@@ -99,7 +109,10 @@ fn mediated_ibe_collusion_contained_to_one_identity() {
         id: "bob".into(),
         point: alice.collude(pkg.params(), bob_sem_leak).point,
     };
-    let c_bob = pkg.params().encrypt_full(&mut rng, "bob", b"bob mail").unwrap();
+    let c_bob = pkg
+        .params()
+        .encrypt_full(&mut rng, "bob", b"bob mail")
+        .unwrap();
     assert!(pkg.params().decrypt_full(&franken, &c_bob).is_err());
     assert!(!pkg.params().verify_private_key(&franken));
 }
@@ -119,7 +132,10 @@ fn sem_cannot_validate_ciphertexts() {
 
     // A syntactically fine but semantically invalid ciphertext: real U,
     // garbage V/W.
-    let mut c = pkg.params().encrypt_full(&mut rng, "alice", b"valid").unwrap();
+    let mut c = pkg
+        .params()
+        .encrypt_full(&mut rng, "alice", b"valid")
+        .unwrap();
     c.w[0] ^= 0xff;
 
     // The SEM happily issues a token (it only sees U)…
@@ -141,10 +157,19 @@ fn tokens_are_single_use_across_ciphertexts() {
     let mut sem = Sem::new();
     sem.install(alice_sem);
 
-    let c1 = pkg.params().encrypt_full(&mut rng, "alice", b"message one").unwrap();
-    let c2 = pkg.params().encrypt_full(&mut rng, "alice", b"message two").unwrap();
+    let c1 = pkg
+        .params()
+        .encrypt_full(&mut rng, "alice", b"message one")
+        .unwrap();
+    let c2 = pkg
+        .params()
+        .encrypt_full(&mut rng, "alice", b"message two")
+        .unwrap();
     let t1 = sem.decrypt_token(pkg.params(), "alice", &c1.u).unwrap();
-    assert_eq!(alice.finish_decrypt(pkg.params(), &c1, &t1).unwrap(), b"message one");
+    assert_eq!(
+        alice.finish_decrypt(pkg.params(), &c1, &t1).unwrap(),
+        b"message one"
+    );
     assert!(alice.finish_decrypt(pkg.params(), &c2, &t1).is_err());
 }
 
@@ -204,9 +229,14 @@ fn reduction_simulator_consistency() {
     assert_eq!(recombined, curve.pairing(&u, &d_id.point));
 
     // And a full decryption through the simulated pieces succeeds.
-    let c = params.encrypt_full(&mut rng, "alice", b"reduction check").unwrap();
+    let c = params
+        .encrypt_full(&mut rng, "alice", b"reduction check")
+        .unwrap();
     let token = curve.pairing(&c.u, &d_sem_alice);
-    let user = sempair::core::mediated::UserKey { id: "alice".into(), point: d_user };
+    let user = sempair::core::mediated::UserKey {
+        id: "alice".into(),
+        point: d_user,
+    };
     let m = user
         .finish_decrypt(params, &c, &DecryptToken(token))
         .unwrap();
@@ -226,8 +256,16 @@ fn threshold_shares_below_t_reveal_nothing() {
     let q: BigUint = "0xffffffffffffffc5".parse().unwrap();
 
     // Fix t−1 = 2 observed shares.
-    let observed = [Share { index: 1, value: sempair_bigint::rng::random_below(&mut rng, &q) },
-        Share { index: 2, value: sempair_bigint::rng::random_below(&mut rng, &q) }];
+    let observed = [
+        Share {
+            index: 1,
+            value: sempair_bigint::rng::random_below(&mut rng, &q),
+        },
+        Share {
+            index: 2,
+            value: sempair_bigint::rng::random_below(&mut rng, &q),
+        },
+    ];
     // For ANY claimed secret s*, interpolation through
     // (0, s*), (1, y1), (2, y2) is a valid degree-2 polynomial, so the
     // observed shares are consistent with every secret. Verify by
@@ -253,7 +291,10 @@ fn threshold_shares_below_t_reveal_nothing() {
         }
         third_shares.push(acc);
     }
-    assert_ne!(third_shares[0], third_shares[1], "different secrets remain consistent");
+    assert_ne!(
+        third_shares[0], third_shares[1],
+        "different secrets remain consistent"
+    );
 }
 
 /// E11: the IND-ID-TCPA game of Definition 2, run statistically. An
