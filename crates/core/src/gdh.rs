@@ -123,11 +123,75 @@ fn batch_coefficients(
 
 /// The 2-pairing random-linear-combination check for a same-key batch.
 /// Assumes every signature already passed the group-membership check.
+///
+/// Hash side, fast path first: combine the *pre-cofactor-clearing*
+/// first candidates and clear once — `Σ cᵢ·H(mᵢ) = cofactor ·
+/// Σ cᵢ·Candᵢ`, one cofactor multiplication per batch instead of one
+/// per message. The identity fails only for inputs whose first
+/// candidate clears to infinity (`hash_to_g1`'s retry guard then picks
+/// the next candidate), so a fast-path mismatch is re-checked against
+/// the exact per-message hashes before the batch is declared bad:
+/// completeness is exact, and a fast-path *accept* diverging from the
+/// exact hashes would require an input found by `≈ r` hash evaluations
+/// (collision-search class, see
+/// [`CurveParams::hash_to_g1_candidate`]).
 fn batch_check_same_key(
     curve: &CurveParams,
     key: &GdhPublicKey,
     entries: &[(&[u8], &Signature)],
 ) -> bool {
+    let fast = batch_check_fast(curve, key, entries);
+    if fast.accepted {
+        return true;
+    }
+    // Exact fallback: only differs from the fast path when a candidate
+    // tripped the infinity guard, so skip the second pairing otherwise.
+    let hash_terms: Vec<(BigUint, G1Affine)> = fast
+        .coeffs
+        .iter()
+        .zip(entries)
+        .map(|(c, (message, _))| (c.clone(), hash_message(curve, message)))
+        .collect();
+    let exact_hash = curve.multi_mul(&hash_terms);
+    fast.recheck_exact(curve, key, &exact_hash)
+}
+
+/// Outcome of the candidate fast path, carrying what the exact
+/// fallback needs so callers that already hold (or go on to compute)
+/// the per-message hashes never redo the transcript/MSM work.
+struct FastBatchCheck {
+    accepted: bool,
+    coeffs: Vec<BigUint>,
+    combined_sig: G1Affine,
+    fast_hash: G1Affine,
+}
+
+impl FastBatchCheck {
+    /// The exact-fallback decision given the combined exact hash.
+    fn recheck_exact(
+        &self,
+        curve: &CurveParams,
+        key: &GdhPublicKey,
+        exact_hash: &G1Affine,
+    ) -> bool {
+        if *exact_hash == self.fast_hash {
+            // Same combined point the fast pairing already rejected.
+            return false;
+        }
+        curve.pairing_equals(
+            curve.generator(),
+            &self.combined_sig,
+            &key.point,
+            exact_hash,
+        )
+    }
+}
+
+fn batch_check_fast(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    entries: &[(&[u8], &Signature)],
+) -> FastBatchCheck {
     let mut transcript = curve.point_to_bytes(&key.point);
     for (message, sig) in entries {
         transcript.extend_from_slice(&(message.len() as u64).to_be_bytes());
@@ -140,54 +204,36 @@ fn batch_check_same_key(
         .zip(entries)
         .map(|(c, (_, sig))| (c.clone(), sig.0.clone()))
         .collect();
-    // Combine the *pre-cofactor-clearing* hash candidates and clear
-    // once: Σ cᵢ·H(mᵢ) = cofactor · Σ cᵢ·Candᵢ — one cofactor
-    // multiplication for the whole batch instead of one per message.
-    let hash_terms: Vec<(BigUint, G1Affine)> = coeffs
+    let combined_sig = curve.multi_mul(&sig_terms);
+    let candidate_terms: Vec<(BigUint, G1Affine)> = coeffs
         .iter()
         .zip(entries)
         .map(|(c, (message, _))| (c.clone(), curve.hash_to_g1_candidate(MSG_TAG, message)))
         .collect();
-    let combined_sig = curve.multi_mul(&sig_terms);
-    let combined_hash = curve.mul(curve.cofactor(), &curve.multi_mul(&hash_terms));
-    curve.pairing_equals(curve.generator(), &combined_sig, &key.point, &combined_hash)
+    let fast_hash = curve.mul(curve.cofactor(), &curve.multi_mul(&candidate_terms));
+    let accepted = curve.pairing_equals(curve.generator(), &combined_sig, &key.point, &fast_hash);
+    FastBatchCheck {
+        accepted,
+        coeffs,
+        combined_sig,
+        fast_hash,
+    }
 }
 
-/// Domain tag separating membership-check coefficients from the
-/// verification-equation coefficients.
-const MEMBERSHIP_TAG: &[u8] = b"sempair-gdh-batch-membership";
-
-/// Batched order-`r` subgroup check: every signature is checked to be
-/// on the curve (a few field multiplications each), then **one** random
-/// combination `Σ dᵢ·σᵢ` is multiplied by `r`. Writing each point as
-/// `σᵢ = sᵢ + tᵢ` with `sᵢ` in the order-`r` subgroup and `tᵢ` in the
-/// cofactor subgroup, `r·Σdᵢσᵢ = Σdᵢ(r·tᵢ)` — zero for all `σᵢ` in the
-/// subgroup, and nonzero except with probability `≈ 2⁻ℓ` over the
-/// coefficients if any `tᵢ ≠ 0`. Replaces `n` order-`r` scalar
-/// multiplications with one multi-scalar multiplication plus one.
-fn batch_membership_check(curve: &CurveParams, points: &[&G1Affine]) -> bool {
-    if points.iter().any(|point| !curve.is_on_curve(point)) {
-        return false;
-    }
-    match points {
-        [] => true,
-        [point] => curve.is_in_group(point),
-        _ => {
-            let mut transcript = Vec::new();
-            for point in points {
-                transcript.extend_from_slice(&curve.point_to_bytes(point));
-            }
-            let coeffs = batch_coefficients(MEMBERSHIP_TAG, curve, &transcript, points.len());
-            let terms: Vec<(BigUint, G1Affine)> = coeffs
-                .into_iter()
-                .zip(points)
-                .map(|(d, point)| (d, (*point).clone()))
-                .collect();
-            curve
-                .mul(curve.order(), &curve.multi_mul(&terms))
-                .is_infinity()
-        }
-    }
+/// Per-point order-`r` subgroup check over a batch.
+///
+/// Deliberately **not** batched with a random linear combination: the
+/// cofactor `(p+1)/r` is always even (`p` odd, `r` an odd prime), so
+/// the curve carries 2-torsion outside the order-`r` subgroup, and an
+/// `ℓ`-bit combination `Σ dᵢ·σᵢ` is blind to order-2 components
+/// whenever the tainted positions' coefficients sum to an even number
+/// — probability 1/2, not `2⁻ℓ`. With transcript-derived coefficients
+/// an attacker grinds signatures locally until the cancellation
+/// happens, so a batched membership check would accept points that
+/// [`verify`] rejects. Soundness of the 2-pairing batch equation rests
+/// on each point individually having order dividing `r`.
+fn points_in_group(curve: &CurveParams, points: &[&G1Affine]) -> bool {
+    points.iter().all(|point| curve.is_in_group(point))
 }
 
 /// Batch verification of `n` signatures under **one** public key.
@@ -195,9 +241,11 @@ fn batch_membership_check(curve: &CurveParams, points: &[&G1Affine]) -> bool {
 /// Checks `ê(P, Σcᵢσᵢ) = ê(R, ΣcᵢH(mᵢ))` with hash-derived random
 /// coefficients `cᵢ` — two pairings total instead of `2n`. Since each
 /// signature verifies as `ê(P, σᵢ) = ê(R, H(mᵢ))`, the combined
-/// equation holds whenever all do; a batch containing an invalid
-/// signature passes only with probability `≈ 1/q` over the coefficient
-/// choice. Use [`batch_find_invalid`] to localize a failure.
+/// equation holds whenever all do; once every signature has passed the
+/// per-point order-`r` check, a batch containing an invalid signature
+/// survives the combined equation only with probability `≈ 2⁻ℓ`
+/// (`ℓ = 64`) over the coefficient choice. Use [`batch_find_invalid`]
+/// to localize a failure.
 ///
 /// An empty batch is vacuously valid.
 ///
@@ -214,7 +262,7 @@ pub fn batch_verify(
         return Ok(());
     }
     let points: Vec<&G1Affine> = entries.iter().map(|(_, sig)| &sig.0).collect();
-    if !batch_membership_check(curve, &points) {
+    if !points_in_group(curve, &points) {
         return Err(Error::InvalidSignature);
     }
     if batch_check_same_key(curve, key, entries) {
@@ -237,47 +285,102 @@ pub fn batch_find_invalid(
     entries: &[(&[u8], &Signature)],
 ) -> Vec<usize> {
     // Group-membership failures are individually attributable without
-    // any pairing work; the all-good case costs one batched check.
+    // any pairing work (the check is per point — see
+    // [`points_in_group`] for why it cannot be batched soundly).
     let mut bad: Vec<usize> = Vec::new();
     let mut candidates: Vec<usize> = Vec::new();
-    let points: Vec<&G1Affine> = entries.iter().map(|(_, sig)| &sig.0).collect();
-    if batch_membership_check(curve, &points) {
-        candidates = (0..entries.len()).collect();
-    } else {
-        for (i, (_, sig)) in entries.iter().enumerate() {
-            if curve.is_in_group(&sig.0) {
-                candidates.push(i);
-            } else {
-                bad.push(i);
-            }
+    for (i, (_, sig)) in entries.iter().enumerate() {
+        if curve.is_in_group(&sig.0) {
+            candidates.push(i);
+        } else {
+            bad.push(i);
         }
     }
-    bisect_same_key(curve, key, entries, &candidates, &mut bad);
+    let subset: Vec<(&[u8], &Signature)> = candidates.iter().map(|&i| entries[i]).collect();
+    let fast = batch_check_fast(curve, key, &subset);
+    if !fast.accepted {
+        // The batch looks bad: hash every message exactly once, redo
+        // the root check against the exact hashes (reusing the fast
+        // path's coefficients and combined signature), and only bisect
+        // if it still fails — no sub-batch ever re-hashes.
+        let hashes: Vec<G1Affine> = entries
+            .iter()
+            .map(|(message, _)| hash_message(curve, message))
+            .collect();
+        let exact_terms: Vec<(BigUint, G1Affine)> = fast
+            .coeffs
+            .iter()
+            .zip(&candidates)
+            .map(|(c, &i)| (c.clone(), hashes[i].clone()))
+            .collect();
+        let exact_hash = curve.multi_mul(&exact_terms);
+        if !fast.recheck_exact(curve, key, &exact_hash) {
+            bisect_same_key(curve, key, entries, &hashes, &candidates, &mut bad);
+        }
+    }
     bad.sort_unstable();
     bad
+}
+
+/// The 2-pairing subset check of the bisection path, over exact cached
+/// hashes (no candidate fast path needed: hashing is already paid).
+fn batch_check_cached(
+    curve: &CurveParams,
+    key: &GdhPublicKey,
+    entries: &[(&[u8], &Signature)],
+    hashes: &[G1Affine],
+    indices: &[usize],
+) -> bool {
+    let mut transcript = curve.point_to_bytes(&key.point);
+    for &i in indices {
+        let (message, sig) = entries[i];
+        transcript.extend_from_slice(&(message.len() as u64).to_be_bytes());
+        transcript.extend_from_slice(message);
+        transcript.extend_from_slice(&curve.point_to_bytes(&sig.0));
+    }
+    let coeffs = batch_coefficients(BATCH_TAG, curve, &transcript, indices.len());
+    let sig_terms: Vec<(BigUint, G1Affine)> = coeffs
+        .iter()
+        .zip(indices)
+        .map(|(c, &i)| (c.clone(), entries[i].1 .0.clone()))
+        .collect();
+    let hash_terms: Vec<(BigUint, G1Affine)> = coeffs
+        .iter()
+        .zip(indices)
+        .map(|(c, &i)| (c.clone(), hashes[i].clone()))
+        .collect();
+    let combined_sig = curve.multi_mul(&sig_terms);
+    let combined_hash = curve.multi_mul(&hash_terms);
+    curve.pairing_equals(curve.generator(), &combined_sig, &key.point, &combined_hash)
 }
 
 fn bisect_same_key(
     curve: &CurveParams,
     key: &GdhPublicKey,
     entries: &[(&[u8], &Signature)],
+    hashes: &[G1Affine],
     indices: &[usize],
     bad: &mut Vec<usize>,
 ) {
     if indices.is_empty() {
         return;
     }
-    let subset: Vec<(&[u8], &Signature)> = indices.iter().map(|&i| entries[i]).collect();
-    if batch_check_same_key(curve, key, &subset) {
+    if let [index] = indices {
+        // Leaf: the individual pairing equation against the exact hash
+        // (membership already passed), so the localization agrees with
+        // [`verify`] by construction.
+        let sig = entries[*index].1;
+        if !curve.pairing_equals(curve.generator(), &sig.0, &key.point, &hashes[*index]) {
+            bad.push(*index);
+        }
         return;
     }
-    if indices.len() == 1 {
-        bad.push(indices[0]);
+    if batch_check_cached(curve, key, entries, hashes, indices) {
         return;
     }
     let mid = indices.len() / 2;
-    bisect_same_key(curve, key, entries, &indices[..mid], bad);
-    bisect_same_key(curve, key, entries, &indices[mid..], bad);
+    bisect_same_key(curve, key, entries, hashes, &indices[..mid], bad);
+    bisect_same_key(curve, key, entries, hashes, &indices[mid..], bad);
 }
 
 // --- threshold GDH (Boldyreva) ----------------------------------------------
@@ -1082,7 +1185,7 @@ mod tests {
         let msgs: Vec<Vec<u8>> = (0..4).map(|i| format!("msg {i}").into_bytes()).collect();
         let mut sigs: Vec<Signature> = msgs.iter().map(|m| sign(&curve, &sk, m)).collect();
         // An on-curve point outside the order-r subgroup: only the
-        // batched membership check can catch it, the pairing equation
+        // per-point membership check can catch it, the pairing equation
         // is not even defined for it.
         let mut x = BigUint::two();
         let rogue = loop {
@@ -1105,6 +1208,41 @@ mod tests {
             Err(Error::InvalidSignature)
         );
         assert_eq!(batch_find_invalid(&curve, &pk, &entries), vec![1]);
+    }
+
+    #[test]
+    fn batch_verify_rejects_paired_two_torsion_tampering() {
+        // The cofactor (p+1)/r is even, so (0, 0) — the 2-torsion point
+        // of y² = x³ + x — always exists. Adding it to an *even number*
+        // of valid signatures is the malleability a randomly-combined
+        // membership check is blind to half the time (and that grinding
+        // on transcript-derived coefficients makes reliable); the
+        // per-point check must reject every tampered position
+        // unconditionally, agreeing with individual verification.
+        let (curve, mut rng) = curve();
+        let (sk, pk) = keygen(&mut rng, &curve);
+        let (two_torsion, _) = curve.lift_x(&BigUint::zero()).unwrap();
+        assert!(!two_torsion.is_infinity());
+        assert!(curve.is_on_curve(&two_torsion) && !curve.is_in_group(&two_torsion));
+        assert!(curve.add(&two_torsion, &two_torsion).is_infinity());
+        let msgs: Vec<Vec<u8>> = (0..6).map(|i| format!("msg {i}").into_bytes()).collect();
+        let mut sigs: Vec<Signature> = msgs.iter().map(|m| sign(&curve, &sk, m)).collect();
+        for i in [0usize, 3] {
+            sigs[i] = Signature(curve.add(&sigs[i].0, &two_torsion));
+        }
+        let entries: Vec<(&[u8], &Signature)> = msgs
+            .iter()
+            .zip(&sigs)
+            .map(|(m, s)| (m.as_slice(), s))
+            .collect();
+        assert_eq!(
+            batch_verify(&curve, &pk, &entries),
+            Err(Error::InvalidSignature)
+        );
+        assert_eq!(batch_find_invalid(&curve, &pk, &entries), vec![0, 3]);
+        for (i, ((m, s), _)) in entries.iter().zip(&msgs).enumerate() {
+            assert_eq!(verify(&curve, &pk, m, s).is_ok(), ![0usize, 3].contains(&i));
+        }
     }
 
     #[test]

@@ -332,8 +332,9 @@ impl CurveParams {
 
     /// `true` iff `point` satisfies the curve equation — weaker (and
     /// much cheaper) than [`CurveParams::is_in_group`]: no order-`r`
-    /// check. Batch verifiers use this per item and amortize the
-    /// subgroup check over the whole batch.
+    /// check. A cheap first filter before paying for the subgroup
+    /// check; never a substitute for it (the even cofactor means the
+    /// curve always carries small-order torsion off the subgroup).
     pub fn is_on_curve(&self, point: &G1Affine) -> bool {
         match point.coordinates() {
             None => true,
@@ -341,39 +342,21 @@ impl CurveParams {
         }
     }
 
-    /// Hashes an arbitrary byte string onto `G1` (the scheme oracle
-    /// `H1`): try-and-increment on the x-coordinate followed by
-    /// cofactor clearing, with a hash-derived choice between `±y`.
-    pub fn hash_to_g1(&self, tag: &[u8], data: &[u8]) -> G1Affine {
-        let cleared = curve::mul(
-            &self.fp,
-            &self.cofactor,
-            &self.hash_to_g1_candidate(tag, data),
-        );
-        debug_assert!(self.is_in_group(&cleared));
-        cleared
-    }
-
-    /// The pre-cofactor-clearing candidate behind
-    /// [`CurveParams::hash_to_g1`]:
-    /// `hash_to_g1(tag, data) = cofactor · hash_to_g1_candidate(tag, data)`.
-    ///
-    /// Lets batch combiners pull the clearing out of a linear
-    /// combination — `Σ cᵢ·H(mᵢ) = cofactor · Σ cᵢ·Candᵢ` — so `n`
-    /// hashes cost one cofactor multiplication instead of `n`.
-    /// (A candidate lands entirely in the cofactor subgroup — making
-    /// `H` the identity — only for a `1/r` fraction of inputs, the same
-    /// class of probability as a hash collision; no input with that
-    /// property is known or findable.)
-    pub fn hash_to_g1_candidate(&self, tag: &[u8], data: &[u8]) -> G1Affine {
+    /// Successive on-curve (pre-cofactor-clearing) candidate points of
+    /// the try-and-increment hash, with the hash-derived `±y` choice.
+    fn g1_candidates<'a>(
+        &'a self,
+        tag: &'a [u8],
+        data: &'a [u8],
+    ) -> impl Iterator<Item = G1Affine> + 'a {
         let f = &self.fp;
-        for (attempt, x) in derive::hash_to_field_candidates(tag, data, &self.p)
+        derive::hash_to_field_candidates(tag, data, &self.p)
             .take(256)
             .enumerate()
-        {
-            let xe = f.from_uint(&x);
-            let rhs = f.add(&f.mul(&f.sqr(&xe), &xe), &xe);
-            if let Some(mut y) = f.sqrt(&rhs) {
+            .filter_map(move |(attempt, x)| {
+                let xe = f.from_uint(&x);
+                let rhs = f.add(&f.mul(&f.sqr(&xe), &xe), &xe);
+                let mut y = f.sqrt(&rhs)?;
                 // Deterministic sign choice bound to the attempt index.
                 let sign = derive::transcript_hash(
                     b"sempair-h1-sign",
@@ -382,13 +365,51 @@ impl CurveParams {
                 if (sign == 1) != f.parity(&y) {
                     y = f.neg(&y);
                 }
-                return G1Affine::from_xy_unchecked(xe, y);
+                Some(G1Affine::from_xy_unchecked(xe, y))
+            })
+    }
+
+    /// Hashes an arbitrary byte string onto `G1` (the scheme oracle
+    /// `H1`): try-and-increment on the x-coordinate followed by
+    /// cofactor clearing, with a hash-derived choice between `±y`.
+    ///
+    /// Candidates whose cofactor-cleared image is the point at infinity
+    /// are skipped and the search continues — `H(m) = O` would make
+    /// `σ = O` a valid GDH signature under *every* key and degenerate
+    /// `Q_ID` in IBE, so the guard is load-bearing even though only a
+    /// `1/r` fraction of candidates trip it (findable on the small-order
+    /// test parameter sets even if not at paper sizes).
+    pub fn hash_to_g1(&self, tag: &[u8], data: &[u8]) -> G1Affine {
+        for candidate in self.g1_candidates(tag, data) {
+            let cleared = curve::mul(&self.fp, &self.cofactor, &candidate);
+            if !cleared.is_infinity() {
+                debug_assert!(self.is_in_group(&cleared));
+                return cleared;
             }
         }
         unreachable!(
             "256 try-and-increment attempts all failed (p ≈ 2^{})",
             self.p.bits()
         )
+    }
+
+    /// The *first on-curve candidate* behind [`CurveParams::hash_to_g1`],
+    /// before cofactor clearing.
+    ///
+    /// `hash_to_g1(tag, data) = cofactor · hash_to_g1_candidate(tag, data)`
+    /// **unless** the candidate clears to the point at infinity — a
+    /// `1/r` fraction of inputs that `hash_to_g1`'s retry guard skips
+    /// but this accessor cannot detect without paying for the clearing.
+    /// Batch combiners use it for a fast path
+    /// (`Σ cᵢ·H(mᵢ) = cofactor · Σ cᵢ·Candᵢ`, one clearing per batch)
+    /// and MUST fall back to per-message [`CurveParams::hash_to_g1`]
+    /// before treating a combined-equation mismatch as a failure;
+    /// finding an input on which the two disagree costs `≈ r` hash
+    /// evaluations (the same class of work as a collision search).
+    pub fn hash_to_g1_candidate(&self, tag: &[u8], data: &[u8]) -> G1Affine {
+        self.g1_candidates(tag, data)
+            .next()
+            .unwrap_or_else(|| unreachable!("256 try-and-increment attempts all failed"))
     }
 
     // --- target group (the paper's G2) -------------------------------------

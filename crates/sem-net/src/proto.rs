@@ -226,7 +226,11 @@ pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
         return None;
     }
     let count = buf.get_u16() as usize;
-    let mut items = Vec::with_capacity(count);
+    // Cap the pre-allocation by what the buffer could actually hold
+    // (headers alone are 7 bytes per item), so a short frame declaring
+    // a huge count cannot trigger a multi-megabyte allocation; the
+    // per-item length checks below then reject the frame.
+    let mut items = Vec::with_capacity(count.min(buf.remaining() / 7));
     for _ in 0..count {
         if buf.remaining() < 3 {
             return None;
@@ -287,7 +291,10 @@ pub fn decode_batch_replies(body: &[u8]) -> Option<Vec<Response>> {
         return None;
     }
     let count = buf.get_u16() as usize;
-    let mut replies = Vec::with_capacity(count);
+    // Same allocation cap as `decode_batch_items`: reply headers are
+    // 5 bytes each, so the declared count cannot out-allocate the
+    // frame that carries it.
+    let mut replies = Vec::with_capacity(count.min(buf.remaining() / 5));
     for _ in 0..count {
         if buf.remaining() < 5 {
             return None;
@@ -447,6 +454,16 @@ mod tests {
         }]);
         replies.push(0xee);
         assert!(decode_batch_replies(&replies).is_none());
+    }
+
+    #[test]
+    fn huge_declared_count_rejected_without_allocation() {
+        // A 2-byte frame declaring u16::MAX items must be rejected by
+        // the per-item checks without the count driving a pre-allocation
+        // (the capacity cap bounds it by the actual buffer size).
+        assert!(decode_batch_items(&[0xff, 0xff]).is_none());
+        assert!(decode_batch_replies(&[0xff, 0xff]).is_none());
+        assert!(decode_batch_items(&[0xff, 0xff, 1, 0, 0, 0, 0, 0, 0]).is_none());
     }
 
     #[test]
