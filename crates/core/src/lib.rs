@@ -97,6 +97,13 @@ pub enum Error {
     InvalidProof,
     /// Threshold parameters are inconsistent (`t = 0`, `t > n`, index 0…).
     BadThresholdParams(&'static str),
+    /// A wire frame (or one of its fields) exceeds the protocol size
+    /// limits and was rejected at encode time rather than emitted
+    /// corrupt.
+    FrameTooLarge,
+    /// The transport to the SEM failed (connection refused, torn, or
+    /// deadline exceeded) after exhausting any configured retries.
+    Transport,
 }
 
 impl fmt::Display for Error {
@@ -115,6 +122,8 @@ impl fmt::Display for Error {
             Error::InvalidSignature => write!(f, "invalid signature"),
             Error::InvalidProof => write!(f, "invalid zero-knowledge proof"),
             Error::BadThresholdParams(why) => write!(f, "bad threshold parameters: {why}"),
+            Error::FrameTooLarge => write!(f, "frame exceeds protocol size limits"),
+            Error::Transport => write!(f, "transport failure talking to the SEM"),
         }
     }
 }

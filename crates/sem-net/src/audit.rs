@@ -19,6 +19,9 @@ pub enum Capability {
     IbeDecrypt,
     /// Mediated-GDH half-signature.
     GdhSign,
+    /// Connection admission itself (records produced by the daemon's
+    /// accept loop, before any request is read).
+    Connect,
 }
 
 /// How the SEM answered.
@@ -32,6 +35,9 @@ pub enum Outcome {
     RefusedUnknown,
     /// Refused: malformed request (off-curve point, …).
     RefusedInvalid,
+    /// Refused: the daemon is at its connection cap and dropped the
+    /// socket before reading a request.
+    RefusedOverload,
 }
 
 /// One audit record.
@@ -72,6 +78,12 @@ pub struct TransportStats {
     pub batched_items: u64,
     /// Batch envelopes processed.
     pub batches: u64,
+    /// Connections closed because a socket deadline (idle or mid-frame
+    /// read) expired — the slowloris counter.
+    pub timeouts: u64,
+    /// Connections dropped at accept time because the daemon was at
+    /// its `max_connections` cap.
+    pub refused_conns: u64,
 }
 
 /// Thread-safe, append-only audit log.
@@ -124,6 +136,35 @@ impl AuditLog {
     /// [`AuditLog::record_batched`] tracks per item).
     pub fn note_batch(&self) {
         self.inner.lock().transport.batches += 1;
+    }
+
+    /// Counts one connection closed by a socket deadline (idle or
+    /// mid-frame read timeout).
+    pub fn note_timeout(&self) {
+        self.inner.lock().transport.timeouts += 1;
+    }
+
+    /// Counts one connection refused at the `max_connections` cap and
+    /// appends an [`Outcome::RefusedOverload`] record under `peer` (the
+    /// remote address — no identity was ever read from the socket).
+    ///
+    /// Unlike [`AuditLog::record`], this does not tick the
+    /// single-request transport counter: no request was served.
+    pub fn note_refused_conn(&self, peer: &str) {
+        let mut inner = self.inner.lock();
+        inner.transport.refused_conns += 1;
+        inner
+            .by_identity
+            .entry(peer.to_string())
+            .or_default()
+            .refused += 1;
+        inner.records.push(AuditRecord {
+            id: peer.to_string(),
+            capability: Capability::Connect,
+            outcome: Outcome::RefusedOverload,
+            response_bytes: 0,
+            at: Instant::now(),
+        });
     }
 
     fn record_inner(
@@ -267,13 +308,33 @@ mod tests {
             TransportStats {
                 single: 1,
                 batched_items: 3,
-                batches: 2
+                batches: 2,
+                ..TransportStats::default()
             }
         );
         // Per-identity aggregation is transport-agnostic.
         assert_eq!(log.stats_for("a").served, 3);
         assert_eq!(log.stats_for("b").refused, 1);
         assert_eq!(log.len(), 4);
+    }
+
+    #[test]
+    fn fault_counters_tracked() {
+        let log = AuditLog::new();
+        log.note_timeout();
+        log.note_timeout();
+        log.note_refused_conn("127.0.0.1:55555");
+        let t = log.transport_stats();
+        assert_eq!(t.timeouts, 2);
+        assert_eq!(t.refused_conns, 1);
+        // A refused connection is a real audit record, but not a
+        // served/single request.
+        assert_eq!((t.single, t.batched_items, t.batches), (0, 0, 0));
+        assert_eq!(log.len(), 1);
+        let rec = &log.snapshot()[0];
+        assert_eq!(rec.capability, Capability::Connect);
+        assert_eq!(rec.outcome, Outcome::RefusedOverload);
+        assert_eq!(log.stats_for("127.0.0.1:55555").refused, 1);
     }
 
     #[test]

@@ -1,0 +1,575 @@
+//! Deterministic fault injection for the SEM TCP transport.
+//!
+//! A [`FaultProxy`] sits between a [`crate::tcp::TcpSemClient`] and a
+//! [`crate::tcp::TcpSemServer`], forwarding the frame protocol while
+//! injecting faults — delays, dropped frames, mid-frame truncations,
+//! and byte corruption — either from an explicit per-frame script or
+//! deterministically from a seed ([`FaultPlan`]). Same plan, same
+//! traffic → same faults, so chaos tests are reproducible.
+//!
+//! The proxy is frame-aware: it parses the `u32 length ‖ payload`
+//! framing of [`crate::proto`] so a fault hits an entire protocol
+//! message, the unit the paper's §4/§5 bandwidth accounting is stated
+//! in. Faults are scheduled per *direction* (client→server and
+//! server→client have independent plans) with frame indices counted
+//! globally across reconnects — a plan that drops frame 0 of the
+//! server→client direction drops exactly one response, which is what
+//! lets a test assert "the client retried through one lost reply".
+
+use parking_lot::Mutex;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Accept-loop poll interval (mirrors the server's non-blocking
+/// acceptor).
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// One fault applied to one forwarded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward the frame untouched.
+    Forward,
+    /// Hold the frame for the given duration, then forward it.
+    Delay(Duration),
+    /// Swallow the frame entirely; the connection stays up.
+    Drop,
+    /// Forward the length prefix and only the first `n` payload bytes,
+    /// then close the connection — the receiver sees a mid-frame EOF.
+    Truncate(usize),
+    /// XOR the payload byte at `offset % len` with `xor` (a non-zero
+    /// `xor` guarantees the byte changes). Framing stays intact, so
+    /// the receiver gets a well-delimited but corrupt payload.
+    Corrupt {
+        /// Payload offset (taken modulo the payload length).
+        offset: usize,
+        /// XOR mask applied to the byte.
+        xor: u8,
+    },
+}
+
+/// Per-mille fault rates for seeded plans; whatever remains is
+/// forwarded clean.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultProfile {
+    /// ‰ of frames swallowed.
+    pub drop_per_mille: u16,
+    /// ‰ of frames corrupted (offset and mask drawn from the seed).
+    pub corrupt_per_mille: u16,
+    /// ‰ of frames truncated mid-payload.
+    pub truncate_per_mille: u16,
+    /// ‰ of frames delayed by [`FaultProfile::delay`].
+    pub delay_per_mille: u16,
+    /// Delay applied to delayed frames.
+    pub delay: Duration,
+}
+
+/// `xorshift64*`-style generator — deterministic, dependency-free, and
+/// emphatically not cryptographic (it schedules test faults).
+struct Xorshift64 {
+    state: u64,
+}
+
+impl Xorshift64 {
+    fn new(seed: u64) -> Self {
+        // Splitmix-style stir so seed 0 (a fixed point of xorshift)
+        // still produces a usable stream.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        Xorshift64 {
+            state: z ^ (z >> 31),
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state = x;
+        x
+    }
+}
+
+enum PlanMode {
+    /// Frame `i` gets `script[i]`; frames past the end are forwarded.
+    Script(Vec<Fault>),
+    /// Every frame draws its fault from the seeded generator.
+    Seeded(Xorshift64, FaultProfile),
+}
+
+/// A deterministic schedule of faults for one direction of traffic.
+pub struct FaultPlan {
+    mode: PlanMode,
+    next_frame: usize,
+}
+
+impl FaultPlan {
+    /// Forwards everything untouched (the control arm).
+    pub fn clean() -> Self {
+        Self::script(Vec::new())
+    }
+
+    /// Applies `script[i]` to the `i`-th frame of this direction
+    /// (counted across reconnects); later frames are forwarded.
+    pub fn script(script: Vec<Fault>) -> Self {
+        FaultPlan {
+            mode: PlanMode::Script(script),
+            next_frame: 0,
+        }
+    }
+
+    /// Draws every frame's fault deterministically from `seed` at the
+    /// profile's rates: same seed and traffic → same fault sequence.
+    pub fn seeded(seed: u64, profile: FaultProfile) -> Self {
+        FaultPlan {
+            mode: PlanMode::Seeded(Xorshift64::new(seed), profile),
+            next_frame: 0,
+        }
+    }
+
+    /// The fault for the next frame in this direction.
+    fn next(&mut self) -> Fault {
+        let index = self.next_frame;
+        self.next_frame += 1;
+        match &mut self.mode {
+            PlanMode::Script(script) => script.get(index).cloned().unwrap_or(Fault::Forward),
+            PlanMode::Seeded(rng, profile) => {
+                let roll = (rng.next() % 1000) as u16;
+                let aux = rng.next(); // always drawn → stream stays aligned
+                let d = profile.drop_per_mille;
+                let c = d + profile.corrupt_per_mille;
+                let t = c + profile.truncate_per_mille;
+                let y = t + profile.delay_per_mille;
+                if roll < d {
+                    Fault::Drop
+                } else if roll < c {
+                    Fault::Corrupt {
+                        offset: (aux >> 8) as usize,
+                        xor: (aux as u8) | 1,
+                    }
+                } else if roll < t {
+                    Fault::Truncate((aux % 16) as usize)
+                } else if roll < y {
+                    Fault::Delay(profile.delay)
+                } else {
+                    Fault::Forward
+                }
+            }
+        }
+    }
+}
+
+/// Counters of what the proxy did (all directions combined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Frames forwarded untouched (including after a delay).
+    pub forwarded: u64,
+    /// Frames swallowed.
+    pub dropped: u64,
+    /// Frames forwarded with a corrupted byte.
+    pub corrupted: u64,
+    /// Frames cut mid-payload (connection closed).
+    pub truncated: u64,
+    /// Frames held back before forwarding.
+    pub delayed: u64,
+}
+
+#[derive(Default)]
+struct StatsInner {
+    forwarded: AtomicU64,
+    dropped: AtomicU64,
+    corrupted: AtomicU64,
+    truncated: AtomicU64,
+    delayed: AtomicU64,
+}
+
+/// A frame-aware TCP proxy injecting faults between a SEM client and
+/// server (see module docs).
+pub struct FaultProxy {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stats: Arc<StatsInner>,
+}
+
+impl FaultProxy {
+    /// Binds a loopback port and forwards every connection to
+    /// `upstream`, applying `c2s` to client→server frames and `s2c` to
+    /// server→client frames.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the bind.
+    pub fn spawn(upstream: SocketAddr, c2s: FaultPlan, s2c: FaultPlan) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let pumps = Arc::new(Mutex::new(Vec::new()));
+        let stats = Arc::new(StatsInner::default());
+        let c2s = Arc::new(Mutex::new(c2s));
+        let s2c = Arc::new(Mutex::new(s2c));
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            let conns = Arc::clone(&conns);
+            let pumps = Arc::clone(&pumps);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || loop {
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((client, _)) => {
+                        let _ = client.set_nonblocking(false);
+                        let Ok(server) = TcpStream::connect(upstream) else {
+                            continue;
+                        };
+                        let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone())
+                        else {
+                            continue;
+                        };
+                        {
+                            // Registry clones, so shutdown() can
+                            // force-close both halves.
+                            let mut conns = conns.lock();
+                            if let Ok(s) = client.try_clone() {
+                                conns.push(s);
+                            }
+                            if let Ok(s) = server.try_clone() {
+                                conns.push(s);
+                            }
+                        }
+                        let mut pumps = pumps.lock();
+                        pumps.push(spawn_pump(
+                            client,
+                            server,
+                            Arc::clone(&c2s),
+                            Arc::clone(&stats),
+                        ));
+                        pumps.push(spawn_pump(
+                            server2,
+                            client2,
+                            Arc::clone(&s2c),
+                            Arc::clone(&stats),
+                        ));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            })
+        };
+        Ok(FaultProxy {
+            local_addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            conns,
+            pumps,
+            stats,
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// What the proxy has done so far.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            forwarded: self.stats.forwarded.load(Ordering::SeqCst),
+            dropped: self.stats.dropped.load(Ordering::SeqCst),
+            corrupted: self.stats.corrupted.load(Ordering::SeqCst),
+            truncated: self.stats.truncated.load(Ordering::SeqCst),
+            delayed: self.stats.delayed.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Stops accepting, closes every proxied connection, and joins the
+    /// pump threads.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for stream in self.conns.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self.pumps.lock().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Reads frames from `from` and forwards them to `to` per the plan.
+/// Exits (closing both halves) on EOF, socket error, or a truncation
+/// fault.
+fn spawn_pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: Arc<Mutex<FaultPlan>>,
+    stats: Arc<StatsInner>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Ok(Some(payload)) = read_raw_frame(&mut from) {
+            // Draw under the lock, apply outside it: a Delay must not
+            // stall the opposite direction's plan.
+            let fault = plan.lock().next();
+            if apply_fault(&fault, &payload, &mut to, &stats).is_err() {
+                break;
+            }
+        }
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    })
+}
+
+/// Applies one fault; `Err(())` means the pump should stop.
+fn apply_fault(
+    fault: &Fault,
+    payload: &[u8],
+    to: &mut TcpStream,
+    stats: &StatsInner,
+) -> Result<(), ()> {
+    let forward = |to: &mut TcpStream, payload: &[u8]| -> Result<(), ()> {
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(payload);
+        to.write_all(&frame).map_err(|_| ())
+    };
+    match fault {
+        Fault::Forward => {
+            forward(to, payload)?;
+            stats.forwarded.fetch_add(1, Ordering::SeqCst);
+        }
+        Fault::Delay(duration) => {
+            std::thread::sleep(*duration);
+            forward(to, payload)?;
+            stats.delayed.fetch_add(1, Ordering::SeqCst);
+            stats.forwarded.fetch_add(1, Ordering::SeqCst);
+        }
+        Fault::Drop => {
+            stats.dropped.fetch_add(1, Ordering::SeqCst);
+        }
+        Fault::Truncate(keep) => {
+            // Announce the full length, deliver only a prefix, then
+            // hang up: the receiver is left mid-frame.
+            let keep = (*keep).min(payload.len());
+            let mut partial = Vec::with_capacity(4 + keep);
+            partial.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+            partial.extend_from_slice(&payload[..keep]);
+            let _ = to.write_all(&partial);
+            stats.truncated.fetch_add(1, Ordering::SeqCst);
+            return Err(());
+        }
+        Fault::Corrupt { offset, xor } => {
+            let mut payload = payload.to_vec();
+            if !payload.is_empty() {
+                let at = offset % payload.len();
+                payload[at] ^= xor;
+            }
+            forward(to, &payload)?;
+            stats.corrupted.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    Ok(())
+}
+
+/// Reads one length-prefixed frame payload without interpreting it;
+/// `Ok(None)` on clean EOF. Unlike the server, the proxy forwards
+/// oversized frames untouched — it injects faults, it doesn't police.
+fn read_raw_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(plan: &mut FaultPlan, n: usize) -> Vec<Fault> {
+        (0..n).map(|_| plan.next()).collect()
+    }
+
+    #[test]
+    fn script_plan_applies_in_order_then_forwards() {
+        let mut plan = FaultPlan::script(vec![
+            Fault::Drop,
+            Fault::Corrupt {
+                offset: 0,
+                xor: 0xff,
+            },
+            Fault::Truncate(3),
+        ]);
+        assert_eq!(
+            drain(&mut plan, 5),
+            vec![
+                Fault::Drop,
+                Fault::Corrupt {
+                    offset: 0,
+                    xor: 0xff
+                },
+                Fault::Truncate(3),
+                Fault::Forward,
+                Fault::Forward,
+            ]
+        );
+        assert_eq!(drain(&mut FaultPlan::clean(), 3), vec![Fault::Forward; 3]);
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic() {
+        let profile = FaultProfile {
+            drop_per_mille: 200,
+            corrupt_per_mille: 200,
+            truncate_per_mille: 100,
+            delay_per_mille: 100,
+            delay: Duration::from_millis(1),
+        };
+        let a = drain(&mut FaultPlan::seeded(42, profile), 64);
+        let b = drain(&mut FaultPlan::seeded(42, profile), 64);
+        assert_eq!(a, b);
+        // A different seed produces a different schedule.
+        let c = drain(&mut FaultPlan::seeded(43, profile), 64);
+        assert_ne!(a, c);
+        // At these rates, 64 draws hit several fault kinds.
+        assert!(a.contains(&Fault::Drop));
+        assert!(a.iter().any(|f| matches!(f, Fault::Corrupt { .. })));
+        assert!(a.contains(&Fault::Forward));
+    }
+
+    #[test]
+    fn seeded_corrupt_mask_never_zero() {
+        let profile = FaultProfile {
+            drop_per_mille: 0,
+            corrupt_per_mille: 1000,
+            truncate_per_mille: 0,
+            delay_per_mille: 0,
+            delay: Duration::ZERO,
+        };
+        let mut plan = FaultPlan::seeded(7, profile);
+        for fault in drain(&mut plan, 128) {
+            let Fault::Corrupt { xor, .. } = fault else {
+                panic!("profile corrupts every frame")
+            };
+            assert_ne!(xor, 0, "a zero mask would be a silent no-op");
+        }
+    }
+
+    #[test]
+    fn proxy_forwards_and_drops_per_script() {
+        // An echo "server": reads frames, echoes payloads back.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let echo = std::thread::spawn(move || {
+            let (mut stream, _) = upstream.accept().unwrap();
+            while let Ok(Some(payload)) = read_raw_frame(&mut stream) {
+                let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+                frame.extend_from_slice(&payload);
+                if stream.write_all(&frame).is_err() {
+                    break;
+                }
+            }
+        });
+        // Drop the second response; everything else flows.
+        let proxy = FaultProxy::spawn(
+            upstream_addr,
+            FaultPlan::clean(),
+            FaultPlan::script(vec![Fault::Forward, Fault::Drop]),
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        // Generous deadline for reads that *should* succeed, so a
+        // loaded test machine doesn't turn a slow hop into a failure.
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let send = |client: &mut TcpStream, payload: &[u8]| {
+            let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+            frame.extend_from_slice(payload);
+            client.write_all(&frame).unwrap();
+        };
+        // Frame 0 round-trips.
+        send(&mut client, b"first");
+        assert_eq!(read_raw_frame(&mut client).unwrap().unwrap(), b"first");
+        // Frame 1's response is swallowed: a short read times out.
+        client
+            .set_read_timeout(Some(Duration::from_millis(300)))
+            .unwrap();
+        send(&mut client, b"second");
+        assert!(read_raw_frame(&mut client).is_err());
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Frame 2 flows again on the same connection.
+        send(&mut client, b"third");
+        assert_eq!(read_raw_frame(&mut client).unwrap().unwrap(), b"third");
+        // The pump bumps its counters after forwarding, so give the
+        // stats a moment to catch up with the bytes we observed.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while proxy.stats().forwarded < 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = proxy.stats();
+        assert_eq!(stats.dropped, 1);
+        // 3 requests forwarded + 2 responses forwarded.
+        assert_eq!(stats.forwarded, 5);
+        drop(client);
+        proxy.shutdown();
+        let _ = echo.join();
+    }
+
+    #[test]
+    fn proxy_truncation_closes_mid_frame() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap();
+        let sink = std::thread::spawn(move || {
+            let (mut stream, _) = upstream.accept().unwrap();
+            // The server side sees a mid-frame EOF: read_exact fails.
+            let result = read_raw_frame(&mut stream);
+            assert!(result.is_err() || result.unwrap().is_none());
+        });
+        let proxy = FaultProxy::spawn(
+            upstream_addr,
+            FaultPlan::script(vec![Fault::Truncate(2)]),
+            FaultPlan::clean(),
+        )
+        .unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        let payload = b"truncate me";
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(payload);
+        client.write_all(&frame).unwrap();
+        sink.join().unwrap();
+        assert_eq!(proxy.stats().truncated, 1);
+        proxy.shutdown();
+    }
+}

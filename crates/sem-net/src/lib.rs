@@ -18,12 +18,19 @@
 //! * §5 — per-operation SEM→user traffic: one `G2` element for
 //!   mediated IBE, one compressed `G1` point for mediated GDH, one
 //!   `|n|`-bit value for IB-mRSA ([`wire`]).
+//!
+//! Because §4 keeps the SEM online "all the system's lifetime", the
+//! TCP transport is hardened against misbehaving clients and flaky
+//! links: socket deadlines, connection caps, graceful drain, and
+//! client retry with backoff ([`tcp`]), all exercised by a
+//! deterministic fault-injection harness ([`faults`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
 pub mod deployment;
+pub mod faults;
 pub mod latency;
 pub mod proto;
 pub mod revocation;

@@ -123,8 +123,21 @@ pub struct Response {
 pub const MAX_FRAME: usize = 1 << 20;
 
 /// Encodes a request frame (including the length prefix).
-pub fn encode_request(request: &Request) -> Vec<u8> {
+///
+/// # Errors
+///
+/// [`Error::FrameTooLarge`] when the identity exceeds the `u16`
+/// id-length field or the assembled payload exceeds [`MAX_FRAME`] —
+/// the frame is rejected here instead of emitting bytes whose length
+/// fields silently truncated (which a peer would read as garbage).
+pub fn encode_request(request: &Request) -> Result<Vec<u8>, Error> {
+    if request.id.len() > u16::MAX as usize {
+        return Err(Error::FrameTooLarge);
+    }
     let payload_len = 1 + 2 + request.id.len() + 4 + request.body.len();
+    if payload_len > MAX_FRAME {
+        return Err(Error::FrameTooLarge);
+    }
     let mut buf = BytesMut::with_capacity(4 + payload_len);
     buf.put_u32(payload_len as u32);
     buf.put_u8(request.op as u8);
@@ -132,7 +145,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
     buf.put_slice(request.id.as_bytes());
     buf.put_u32(request.body.len() as u32);
     buf.put_slice(&request.body);
-    buf.to_vec()
+    Ok(buf.to_vec())
 }
 
 /// Decodes a request payload (after the length prefix was consumed).
@@ -328,7 +341,7 @@ mod tests {
             id: "alice@example.com".into(),
             body: vec![1, 2, 3],
         };
-        let frame = encode_request(&req);
+        let frame = encode_request(&req).unwrap();
         let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
         assert_eq!(len, frame.len() - 4);
         assert_eq!(decode_request(&frame[4..]).unwrap(), req);
@@ -365,7 +378,8 @@ mod tests {
             op: Op::GdhHalfSign,
             id: "x".into(),
             body: vec![7],
-        });
+        })
+        .unwrap();
         frame.pop();
         assert!(decode_request(&frame[4..]).is_none());
         assert!(decode_response(&[]).is_none());
@@ -404,7 +418,7 @@ mod tests {
             id: String::new(),
             body,
         };
-        let frame = encode_request(&outer);
+        let frame = encode_request(&outer).unwrap();
         assert_eq!(decode_request(&frame[4..]).unwrap(), outer);
     }
 
@@ -467,6 +481,37 @@ mod tests {
     }
 
     #[test]
+    fn oversized_requests_rejected_at_encode() {
+        // Identity longer than the u16 id-length field: without the
+        // encode-time check the length silently truncates and the peer
+        // reads the frame as garbage.
+        let req = Request {
+            op: Op::IbeToken,
+            id: "x".repeat(u16::MAX as usize + 1),
+            body: vec![],
+        };
+        assert_eq!(encode_request(&req), Err(Error::FrameTooLarge));
+        // A body pushing the payload over MAX_FRAME: the server would
+        // drop the connection on the length prefix anyway, so refuse to
+        // emit it.
+        let req = Request {
+            op: Op::GdhHalfSign,
+            id: "signer".into(),
+            body: vec![0u8; MAX_FRAME],
+        };
+        assert_eq!(encode_request(&req), Err(Error::FrameTooLarge));
+        // A payload of exactly MAX_FRAME is accepted and round-trips.
+        let req = Request {
+            op: Op::GdhHalfSign,
+            id: String::new(),
+            body: vec![7u8; MAX_FRAME - 7],
+        };
+        let frame = encode_request(&req).unwrap();
+        assert_eq!(frame.len(), 4 + MAX_FRAME);
+        assert_eq!(decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    #[test]
     fn status_error_mapping_roundtrips() {
         use sempair_core::Error;
         assert_eq!(Status::from_error(&Error::Revoked), Status::Revoked);
@@ -485,7 +530,8 @@ mod tests {
             op: Op::IbeToken,
             id: "ab".into(),
             body: vec![],
-        });
+        })
+        .unwrap();
         frame[7] = 0xff; // corrupt an id byte into invalid UTF-8
         assert!(decode_request(&frame[4..]).is_none());
     }

@@ -6,27 +6,108 @@
 //! connection, shared revocation state), and [`TcpSemClient`] is the
 //! user-side stub. The bytes that cross this socket are the paper's §4
 //! and §5 bandwidth numbers, observable with any packet capture.
+//!
+//! Because the SEM "remains online all the system's lifetime" (§4),
+//! the transport must survive misbehaving clients and flaky links:
+//!
+//! * **Deadlines** — every handler socket carries an idle deadline
+//!   (waiting for the next frame), a read deadline (finishing a frame
+//!   that was started), and a write deadline, so a client that
+//!   connects and sends nothing — or half a frame — cannot pin a
+//!   handler thread forever ([`ServerConfig`]).
+//! * **Admission** — the acceptor enforces `max_connections`; sockets
+//!   beyond the cap are dropped with an
+//!   [`Outcome::RefusedOverload`] audit record.
+//! * **Graceful drain** — live handler sockets are tracked in shared
+//!   state, so [`TcpSemServer::shutdown`] force-closes them and joins
+//!   every handler thread before returning ([`DrainReport`]).
+//! * **Client resilience** — [`TcpSemClient`] reconnects and retries
+//!   through transport faults with bounded exponential backoff under a
+//!   per-request deadline ([`ClientConfig`]), so one torn connection
+//!   no longer poisons the stub.
+//!
+//! The chaos suite in `tests/chaos.rs` drives all of this through the
+//! [`crate::faults`] injection harness.
 
 use crate::audit::{AuditLog, Capability, Outcome};
 use crate::proto::{self, Op, Request, Response, Status};
 use crate::server::{BatchItem, BatchReply};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use sempair_core::bf_ibe::IbePublicParams;
 use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
 use sempair_core::mediated::{DecryptToken, Sem, SemKey};
 use sempair_core::Error;
 use sempair_pairing::G1Affine;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often the non-blocking accept loop polls for new connections
+/// and re-checks the shutdown flag. Polling (instead of a blocking
+/// `accept`) is what lets `shutdown()` work without the brittle
+/// self-connect nudge, which breaks under wildcard binds like
+/// `0.0.0.0:p` where the bound address is not a connectable peer.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Socket-deadline and admission knobs for [`TcpSemServer`].
+///
+/// A zero duration disables that deadline.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Max wait for the first byte of the *next* frame on an open
+    /// connection. An idle client is disconnected (and counted in
+    /// [`crate::audit::TransportStats::timeouts`]) when it expires —
+    /// the slowloris deadline.
+    pub idle_timeout: Duration,
+    /// Max wait for the remainder of a frame once its length prefix
+    /// arrived: a peer that starts a frame must finish it.
+    pub read_timeout: Duration,
+    /// Max wait for a response write to drain.
+    pub write_timeout: Duration,
+    /// Max simultaneous connections. The acceptor drops sockets beyond
+    /// the cap before reading anything from them.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            idle_timeout: Duration::from_secs(60),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_connections: 256,
+        }
+    }
+}
+
+/// What [`TcpSemServer::shutdown`] tore down, as proof of drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Connections still open when shutdown began. Each was either
+    /// drained by its own handler (it noticed the flag between frames)
+    /// or force-closed out of a blocking read/write.
+    pub connections_closed: usize,
+    /// Handler threads joined (both live and already finished).
+    pub handlers_joined: usize,
+}
 
 struct Shared {
     params: IbePublicParams,
     inner: RwLock<Inner>,
     shutdown: AtomicBool,
     audit: AuditLog,
+    config: ServerConfig,
+    /// Live handler sockets by connection id. Handlers remove their
+    /// own entry on exit; `shutdown()` force-closes whatever remains
+    /// so blocked reads/writes return immediately.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Current connection count (the `max_connections` gauge).
+    live: AtomicUsize,
+    next_conn_id: AtomicU64,
 }
 
 #[derive(Default)]
@@ -40,27 +121,75 @@ pub struct TcpSemServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
-/// A connected client stub (one TCP connection, reusable for many
-/// requests).
+/// Reconnect/retry/deadline knobs for [`TcpSemClient`].
+///
+/// A zero duration disables that deadline.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing (or re-establishing) the connection.
+    pub connect_timeout: Duration,
+    /// Socket deadline applied to each request's write and read.
+    pub request_timeout: Duration,
+    /// Transparent re-sends after a transport failure (`0` fails
+    /// fast). Requests are pure functions of their bytes — the SEM
+    /// computes the same token twice — so re-sending is safe.
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            request_timeout: Duration::from_secs(10),
+            max_retries: 2,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Client-side resilience counters (see [`TcpSemClient::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests re-sent after a transport failure.
+    pub retries: u64,
+    /// Connections re-established after the initial connect.
+    pub reconnects: u64,
+}
+
+/// A client stub (one TCP connection, reusable for many requests,
+/// self-healing across transport faults per its [`ClientConfig`]).
 pub struct TcpSemClient {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    stream: Option<TcpStream>,
     params: IbePublicParams,
+    config: ClientConfig,
+    stats: ClientStats,
 }
 
 /// Reads one length-prefixed frame payload; `Ok(None)` on clean EOF.
+///
+/// Uses whatever read deadline is already set on the socket (the
+/// client's per-request deadline; none in tests that probe raw
+/// sockets).
 fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     match stream.read_exact(&mut len_buf) {
         Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > proto::MAX_FRAME {
         return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
+            ErrorKind::InvalidData,
             "frame exceeds MAX_FRAME",
         ));
     }
@@ -69,45 +198,115 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Option<Vec<u8>>> {
     Ok(Some(payload))
 }
 
+/// Server-side frame read under two deadlines: `idle` bounds the wait
+/// for the length prefix, `read` the wait for the rest of the frame.
+fn read_frame_deadlines(
+    stream: &mut TcpStream,
+    idle: Duration,
+    read: Duration,
+) -> std::io::Result<Option<Vec<u8>>> {
+    set_read_deadline(stream, idle)?;
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > proto::MAX_FRAME {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    set_read_deadline(stream, read)?;
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+fn set_read_deadline(stream: &TcpStream, deadline: Duration) -> std::io::Result<()> {
+    stream.set_read_timeout((!deadline.is_zero()).then_some(deadline))
+}
+
+/// `true` for the error kinds an expired `SO_RCVTIMEO`/`SO_SNDTIMEO`
+/// produces (platform-dependent: `WouldBlock` on Unix, `TimedOut` on
+/// Windows).
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
 impl TcpSemServer {
-    /// Binds and starts serving. Use addr `"127.0.0.1:0"` to let the OS
-    /// pick a port (see [`TcpSemServer::local_addr`]).
+    /// Binds and starts serving with default deadlines. Use addr
+    /// `"127.0.0.1:0"` to let the OS pick a port (see
+    /// [`TcpSemServer::local_addr`]).
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn bind(addr: impl ToSocketAddrs, params: IbePublicParams) -> std::io::Result<Self> {
+        Self::bind_with(addr, params, ServerConfig::default())
+    }
+
+    /// [`TcpSemServer::bind`] with explicit deadline/admission knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn bind_with(
+        addr: impl ToSocketAddrs,
+        params: IbePublicParams,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        // Poll-based accept loop: see ACCEPT_POLL.
+        listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             params,
             inner: RwLock::new(Inner::default()),
             shutdown: AtomicBool::new(false),
             audit: AuditLog::new(),
+            config,
+            conns: Mutex::new(HashMap::new()),
+            live: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(0),
         });
+        let handlers = Arc::new(Mutex::new(Vec::new()));
         let acceptor_shared = Arc::clone(&shared);
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if acceptor_shared.shutdown.load(Ordering::SeqCst) {
-                    break;
+        let acceptor_handlers = Arc::clone(&handlers);
+        let acceptor = std::thread::spawn(move || loop {
+            if acceptor_shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, peer)) => {
+                    accept_connection(&acceptor_shared, &acceptor_handlers, stream, peer);
                 }
-                let Ok(stream) = stream else { continue };
-                let conn_shared = Arc::clone(&acceptor_shared);
-                std::thread::spawn(move || {
-                    let _ = serve_connection(stream, &conn_shared);
-                });
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                // Transient accept failure (EMFILE, aborted handshake…):
+                // keep serving.
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
             }
         });
         Ok(TcpSemServer {
             shared,
             local_addr,
             acceptor: Some(acceptor),
+            handlers,
         })
     }
 
     /// The bound address (for clients).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Connections currently open (the `max_connections` gauge).
+    pub fn live_connections(&self) -> usize {
+        self.shared.live.load(Ordering::SeqCst)
     }
 
     /// Installs an IBE half-key.
@@ -144,23 +343,45 @@ impl TcpSemServer {
         self.shared.audit.total_bytes_out()
     }
 
-    /// Single-vs-batched transport counters.
+    /// Transport counters: single-vs-batched traffic plus the fault
+    /// counters (deadline disconnects, refused connections).
     pub fn audit_transport(&self) -> crate::audit::TransportStats {
         self.shared.audit.transport_stats()
     }
 
-    /// Stops accepting new connections (existing connections drain on
-    /// their own as clients disconnect).
-    pub fn shutdown(mut self) {
-        self.stop();
+    /// Stops the acceptor, force-closes every live connection, and
+    /// joins every handler thread: when this returns, no thread of the
+    /// daemon is running and no socket is open.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.stop()
     }
 
-    fn stop(&mut self) {
+    fn stop(&mut self) -> DrainReport {
+        // Snapshot the gauge *before* raising the flag: handlers that
+        // happen to be between frames notice the flag and drain
+        // themselves (removing their own registry entry), and they
+        // must still be counted as connections this shutdown closed.
+        let connections_closed = self.shared.live.load(Ordering::SeqCst);
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Nudge the blocking accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // The acceptor polls, so it notices the flag within ACCEPT_POLL
+        // without any self-connect nudge.
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
+        }
+        // Force-close surviving sockets so handlers blocked in read or
+        // write return immediately instead of waiting out a deadline.
+        let live: Vec<TcpStream> = self.shared.conns.lock().drain().map(|(_, s)| s).collect();
+        for stream in &live {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<JoinHandle<()>> = self.handlers.lock().drain(..).collect();
+        let handlers_joined = handles.len();
+        for handle in handles {
+            let _ = handle.join();
+        }
+        DrainReport {
+            connections_closed,
+            handlers_joined,
         }
     }
 }
@@ -171,9 +392,74 @@ impl Drop for TcpSemServer {
     }
 }
 
-/// Handles one client connection until EOF.
+/// Admits (or refuses) one accepted socket and spawns its handler.
+fn accept_connection(
+    shared: &Arc<Shared>,
+    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    stream: TcpStream,
+    peer: SocketAddr,
+) {
+    if shared.live.load(Ordering::SeqCst) >= shared.config.max_connections {
+        shared.audit.note_refused_conn(&peer.to_string());
+        // Dropping the socket closes it before any request is read.
+        return;
+    }
+    // Accepted sockets inherit non-blocking mode from the listener on
+    // some platforms; handlers want blocking reads under deadlines.
+    if stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    shared.live.fetch_add(1, Ordering::SeqCst);
+    if let Ok(clone) = stream.try_clone() {
+        shared.conns.lock().insert(conn_id, clone);
+    }
+    let conn_shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        let _ = serve_connection(stream, &conn_shared);
+        conn_shared.conns.lock().remove(&conn_id);
+        conn_shared.live.fetch_sub(1, Ordering::SeqCst);
+    });
+    let mut handlers = handlers.lock();
+    // Reap finished handlers so the vec stays bounded by the number of
+    // *live* connections on a long-running daemon.
+    let mut i = 0;
+    while i < handlers.len() {
+        if handlers[i].is_finished() {
+            let _ = handlers.swap_remove(i).join();
+        } else {
+            i += 1;
+        }
+    }
+    handlers.push(handle);
+}
+
+/// Handles one client connection until EOF, deadline expiry, or
+/// shutdown.
 fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    while let Some(payload) = read_frame(&mut stream)? {
+    stream.set_write_timeout(
+        (!shared.config.write_timeout.is_zero()).then_some(shared.config.write_timeout),
+    )?;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let payload = match read_frame_deadlines(
+            &mut stream,
+            shared.config.idle_timeout,
+            shared.config.read_timeout,
+        ) {
+            Ok(Some(payload)) => payload,
+            Ok(None) => return Ok(()),
+            Err(e) if is_timeout(&e) => {
+                // Idle or mid-frame deadline expired: disconnect the
+                // peer and account for it.
+                shared.audit.note_timeout();
+                let _ = stream.shutdown(Shutdown::Both);
+                return Err(e);
+            }
+            Err(e) => return Err(e),
+        };
         let response = match proto::decode_request(&payload) {
             None => Response {
                 status: Status::Invalid,
@@ -181,9 +467,20 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<(
             },
             Some(request) => handle_request(&request, shared),
         };
-        stream.write_all(&proto::encode_response(&response))?;
+        let frame = proto::encode_response(&response);
+        // A response that cannot fit the protocol (a pathological
+        // batch reply) is replaced by an empty Invalid instead of
+        // emitting a frame the client must tear the connection on.
+        let frame = if frame.len() > 4 + proto::MAX_FRAME {
+            proto::encode_response(&Response {
+                status: Status::Invalid,
+                body: vec![],
+            })
+        } else {
+            frame
+        };
+        stream.write_all(&frame)?;
     }
-    Ok(())
 }
 
 fn handle_request(request: &Request, shared: &Shared) -> Response {
@@ -297,36 +594,133 @@ fn outcome_for(status: Status) -> Outcome {
     }
 }
 
+/// Bounded exponential backoff: `base · 2^attempt`, capped.
+fn backoff_delay(base: Duration, cap: Duration, attempt: u32) -> Duration {
+    base.checked_mul(1u32 << attempt.min(16))
+        .unwrap_or(cap)
+        .min(cap)
+}
+
 impl TcpSemClient {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon with default resilience knobs.
     ///
     /// # Errors
     ///
-    /// Propagates socket errors.
+    /// Propagates socket errors from the initial connect.
     pub fn connect(addr: impl ToSocketAddrs, params: IbePublicParams) -> std::io::Result<Self> {
-        Ok(TcpSemClient {
-            stream: TcpStream::connect(addr)?,
-            params,
-        })
+        Self::connect_with(addr, params, ClientConfig::default())
     }
 
+    /// [`TcpSemClient::connect`] with explicit retry/deadline knobs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the initial connect.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        params: IbePublicParams,
+        config: ClientConfig,
+    ) -> std::io::Result<Self> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut client = TcpSemClient {
+            addrs,
+            stream: None,
+            params,
+            config,
+            stats: ClientStats::default(),
+        };
+        client.reconnect()?;
+        Ok(client)
+    }
+
+    /// Cumulative retry/reconnect counters for this stub.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// (Re-)establishes the connection and applies the per-request
+    /// socket deadlines.
+    fn reconnect(&mut self) -> std::io::Result<()> {
+        self.stream = None;
+        let mut last: Option<std::io::Error> = None;
+        for addr in &self.addrs {
+            let attempt = if self.config.connect_timeout.is_zero() {
+                TcpStream::connect(addr)
+            } else {
+                TcpStream::connect_timeout(addr, self.config.connect_timeout)
+            };
+            match attempt {
+                Ok(stream) => {
+                    let deadline = (!self.config.request_timeout.is_zero())
+                        .then_some(self.config.request_timeout);
+                    stream.set_read_timeout(deadline)?;
+                    stream.set_write_timeout(deadline)?;
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::AddrNotAvailable, "no addresses to connect to")
+        }))
+    }
+
+    /// One write/read round trip over the current connection,
+    /// reconnecting first if it is torn. `Ok(None)` means the response
+    /// frame arrived but did not decode.
+    fn exchange_once(&mut self, frame: &[u8]) -> std::io::Result<Option<Response>> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+            self.stats.reconnects += 1;
+        }
+        let stream = self.stream.as_mut().expect("connected");
+        stream.write_all(frame)?;
+        let payload = read_frame(stream)?.ok_or_else(|| {
+            std::io::Error::new(ErrorKind::UnexpectedEof, "connection closed mid-exchange")
+        })?;
+        Ok(proto::decode_response(&payload))
+    }
+
+    /// Sends one request, transparently retrying through transport
+    /// faults per the [`ClientConfig`] (requests are idempotent: the
+    /// SEM computes the same answer for the same bytes).
     fn exchange(&mut self, request: &Request) -> Result<Response, Error> {
-        self.stream
-            .write_all(&proto::encode_request(request))
-            .map_err(|_| Error::UnknownIdentity)?;
-        let payload = read_frame(&mut self.stream)
-            .ok()
-            .flatten()
-            .ok_or(Error::UnknownIdentity)?;
-        proto::decode_response(&payload).ok_or(Error::InvalidCiphertext)
+        let frame = proto::encode_request(request)?;
+        let mut attempt: u32 = 0;
+        loop {
+            match self.exchange_once(&frame) {
+                Ok(Some(response)) => return Ok(response),
+                // An intact frame that fails to decode is a protocol
+                // error, not a transport fault — retrying won't help.
+                Ok(None) => return Err(Error::InvalidCiphertext),
+                Err(_) if attempt < self.config.max_retries => {
+                    self.stream = None;
+                    self.stats.retries += 1;
+                    std::thread::sleep(backoff_delay(
+                        self.config.backoff_base,
+                        self.config.backoff_cap,
+                        attempt,
+                    ));
+                    attempt += 1;
+                }
+                Err(_) => {
+                    // Leave the stub reusable: the next request starts
+                    // from a fresh reconnect.
+                    self.stream = None;
+                    return Err(Error::Transport);
+                }
+            }
+        }
     }
 
     /// Requests a mediated-IBE decryption token over the wire.
     ///
     /// # Errors
     ///
-    /// SEM-side refusals mapped back ([`Error::Revoked`] etc.), or
-    /// transport failures as [`Error::UnknownIdentity`].
+    /// SEM-side refusals mapped back ([`Error::Revoked`] etc.);
+    /// [`Error::Transport`] once the retry budget is exhausted;
+    /// [`Error::FrameTooLarge`] if the request cannot be encoded.
     pub fn ibe_token(&mut self, id: &str, u: &G1Affine) -> Result<DecryptToken, Error> {
         let request = Request {
             op: Op::IbeToken,
@@ -376,8 +770,10 @@ impl TcpSemClient {
     ///
     /// # Errors
     ///
-    /// Transport failures as [`Error::UnknownIdentity`]; a malformed
-    /// or item-count-mismatched reply as [`Error::InvalidCiphertext`].
+    /// [`Error::Transport`] once the retry budget is exhausted;
+    /// [`Error::FrameTooLarge`] for a batch that overflows
+    /// [`proto::MAX_FRAME`]; a malformed or item-count-mismatched
+    /// reply as [`Error::InvalidCiphertext`].
     pub fn batch(&mut self, items: &[BatchItem]) -> Result<Vec<BatchReply>, Error> {
         if items.is_empty() {
             return Ok(Vec::new());
@@ -448,12 +844,21 @@ mod tests {
     use sempair_core::bf_ibe::Pkg;
     use sempair_core::gdh;
     use sempair_pairing::CurveParams;
+    use std::time::Instant;
 
     fn setup() -> (Pkg, TcpSemServer, StdRng) {
         let mut rng = StdRng::seed_from_u64(0x7C9);
         let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
         let pkg = Pkg::setup(&mut rng, curve);
         let server = TcpSemServer::bind("127.0.0.1:0", pkg.params().clone()).unwrap();
+        (pkg, server, rng)
+    }
+
+    fn setup_with(config: ServerConfig) -> (Pkg, TcpSemServer, StdRng) {
+        let mut rng = StdRng::seed_from_u64(0x7C9);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let server = TcpSemServer::bind_with("127.0.0.1:0", pkg.params().clone(), config).unwrap();
         (pkg, server, rng)
     }
 
@@ -484,6 +889,8 @@ mod tests {
                 format!("msg {i}").as_bytes()
             );
         }
+        // A healthy session never retried.
+        assert_eq!(client.stats(), ClientStats::default());
         server.shutdown();
     }
 
@@ -581,7 +988,9 @@ mod tests {
             id: "ghost".into(),
             body: curve.point_to_bytes(curve.generator()),
         };
-        stream.write_all(&proto::encode_request(&req)).unwrap();
+        stream
+            .write_all(&proto::encode_request(&req).unwrap())
+            .unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert_eq!(
             proto::decode_response(&payload).unwrap().status,
@@ -667,7 +1076,9 @@ mod tests {
             id: String::new(),
             body: vec![0xde, 0xad],
         };
-        stream.write_all(&proto::encode_request(&req)).unwrap();
+        stream
+            .write_all(&proto::encode_request(&req).unwrap())
+            .unwrap();
         let payload = read_frame(&mut stream).unwrap().unwrap();
         assert_eq!(
             proto::decode_response(&payload).unwrap().status,
@@ -694,5 +1105,113 @@ mod tests {
         let result = read_frame(&mut stream);
         assert!(matches!(result, Ok(None) | Err(_)));
         server.shutdown();
+    }
+
+    #[test]
+    fn oversized_identity_rejected_client_side() {
+        let (pkg, server, mut rng) = setup();
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        // An identity over the u16 id-length field never reaches the
+        // wire: encode rejects it instead of emitting a corrupt frame.
+        let huge = "x".repeat(u16::MAX as usize + 1);
+        assert_eq!(client.ibe_token(&huge, &c.u), Err(Error::FrameTooLarge));
+        assert_eq!(
+            client.gdh_half_sign(&huge, b"doc"),
+            Err(Error::FrameTooLarge)
+        );
+        // The connection is still healthy for well-formed requests.
+        assert_eq!(
+            client.ibe_token("nobody", &c.u),
+            Err(Error::UnknownIdentity)
+        );
+        assert_eq!(client.stats(), ClientStats::default());
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_client_disconnected_at_deadline() {
+        let (_, server, _) = setup_with(ServerConfig {
+            idle_timeout: Duration::from_millis(150),
+            ..ServerConfig::default()
+        });
+        // A slowloris: connect and send nothing.
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let start = Instant::now();
+        // The server closes the socket at the idle deadline: our read
+        // sees EOF (or a reset), well before our own 5 s guard.
+        let mut buf = [0u8; 1];
+        let got = stream.read(&mut buf);
+        assert!(matches!(got, Ok(0) | Err(_)));
+        assert!(start.elapsed() < Duration::from_secs(4));
+        // Give the handler a beat to finish its audit record.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(server.audit_transport().timeouts, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_live_handlers() {
+        let (pkg, server, mut rng) = setup();
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        client.ibe_token("alice", &c.u).unwrap();
+        assert_eq!(server.live_connections(), 1);
+        // The connection is idle (default 60 s deadline). shutdown()
+        // must not wait for it: it closes the socket, joins the
+        // handler, and reports the drain.
+        let start = Instant::now();
+        let report = server.shutdown();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(report.connections_closed, 1);
+        assert!(report.handlers_joined >= 1);
+    }
+
+    #[test]
+    fn connection_cap_refuses_excess() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        // Complete a request so the first connection is registered.
+        client.ibe_token("alice", &c.u).unwrap();
+        // The second connection is dropped at accept: reads see EOF.
+        let mut extra = TcpStream::connect(server.local_addr()).unwrap();
+        extra
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        let got = extra.read(&mut buf);
+        assert!(matches!(got, Ok(0) | Err(_)));
+        // The refusal is audited against the peer address.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while server.audit_transport().refused_conns == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.audit_transport().refused_conns, 1);
+        // The admitted connection still works.
+        client.ibe_token("alice", &c.u).unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_bounded() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(1);
+        assert_eq!(backoff_delay(base, cap, 0), Duration::from_millis(25));
+        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(50));
+        assert_eq!(backoff_delay(base, cap, 2), Duration::from_millis(100));
+        // Deep attempts saturate at the cap instead of overflowing.
+        assert_eq!(backoff_delay(base, cap, 40), cap);
+        assert_eq!(backoff_delay(Duration::from_secs(1 << 40), cap, 16), cap);
     }
 }

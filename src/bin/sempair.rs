@@ -26,7 +26,7 @@ use sempair::core::bf_ibe::{FullCiphertext, Pkg};
 use sempair::core::gdh::{self, GdhSem, GdhSemKey, GdhUser};
 use sempair::core::mediated::Sem;
 use sempair::core::wire;
-use sempair::net::tcp::{TcpSemClient, TcpSemServer};
+use sempair::net::tcp::{ClientConfig, ServerConfig, TcpSemClient, TcpSemServer};
 use sempair::pairing::{CurveParams, CurveParamsSpec};
 use sempair_bigint::BigUint;
 use std::collections::HashSet;
@@ -51,7 +51,20 @@ struct Args {
     /// Address of a remote SEM daemon; when set, decrypt/sign go over
     /// TCP instead of reading the local SEM state.
     sem_addr: Option<String>,
+    /// Daemon socket deadlines and admission cap (`serve`).
+    server_config: ServerConfig,
+    /// Client retry/deadline knobs (`decrypt`/`sign` with `--sem`).
+    client_config: ClientConfig,
     positional: Vec<String>,
+}
+
+/// Parses a whole number of seconds into a deadline (`0` disables it).
+fn parse_secs(flag: &str, value: Option<String>) -> Result<std::time::Duration, String> {
+    let raw = value.ok_or_else(|| format!("{flag} needs a value (seconds, 0 disables)"))?;
+    let secs: u64 = raw
+        .parse()
+        .map_err(|_| format!("{flag}: `{raw}` is not a whole number of seconds"))?;
+    Ok(std::time::Duration::from_secs(secs))
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
     let mut dir = PathBuf::from("sempair-state");
     let mut fast = false;
     let mut sem_addr = None;
+    let mut server_config = ServerConfig::default();
+    let mut client_config = ClientConfig::default();
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -67,6 +82,30 @@ fn parse_args() -> Result<Args, String> {
             "--fast" => fast = true,
             "--paper" => fast = false,
             "--sem" => sem_addr = Some(args.next().ok_or("--sem needs an address")?),
+            "--idle-timeout" => {
+                server_config.idle_timeout = parse_secs("--idle-timeout", args.next())?;
+            }
+            "--read-timeout" => {
+                server_config.read_timeout = parse_secs("--read-timeout", args.next())?;
+            }
+            "--write-timeout" => {
+                server_config.write_timeout = parse_secs("--write-timeout", args.next())?;
+            }
+            "--max-conns" => {
+                let raw = args.next().ok_or("--max-conns needs a value")?;
+                server_config.max_connections = raw
+                    .parse()
+                    .map_err(|_| format!("--max-conns: `{raw}` is not a number"))?;
+            }
+            "--sem-timeout" => {
+                client_config.request_timeout = parse_secs("--sem-timeout", args.next())?;
+            }
+            "--sem-retries" => {
+                let raw = args.next().ok_or("--sem-retries needs a value")?;
+                client_config.max_retries = raw
+                    .parse()
+                    .map_err(|_| format!("--sem-retries: `{raw}` is not a number"))?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -78,13 +117,16 @@ fn parse_args() -> Result<Args, String> {
         dir,
         fast,
         sem_addr,
+        server_config,
+        client_config,
         positional,
     })
 }
 
 fn usage() -> String {
     "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|serve> \
-     [--dir DIR] [--fast|--paper] [--sem ADDR] [args...]"
+     [--dir DIR] [--fast|--paper] [--sem ADDR] [--sem-timeout SECS] [--sem-retries N] \
+     [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] [args...]"
         .to_string()
 }
 
@@ -320,8 +362,12 @@ fn cmd_decrypt(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("bad ciphertext: {e}"))?;
     // SEM step: remote daemon if --sem, local state otherwise.
     let token = if let Some(addr) = &args.sem_addr {
-        let mut client = TcpSemClient::connect(addr.as_str(), pkg.params().clone())
-            .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
+        let mut client = TcpSemClient::connect_with(
+            addr.as_str(),
+            pkg.params().clone(),
+            args.client_config.clone(),
+        )
+        .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
         client
             .ibe_token(id, &ct.u)
             .map_err(|e| format!("SEM refused: {e}"))?
@@ -356,8 +402,12 @@ fn cmd_sign(args: &Args) -> Result<(), String> {
     let user = GdhUser::from_bytes(&curve, &hex_decode(&raw)?).map_err(|e| e.to_string())?;
     let half = if let Some(addr) = &args.sem_addr {
         let (_, pkg) = load_system(&args.dir)?;
-        let mut client = TcpSemClient::connect(addr.as_str(), pkg.params().clone())
-            .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
+        let mut client = TcpSemClient::connect_with(
+            addr.as_str(),
+            pkg.params().clone(),
+            args.client_config.clone(),
+        )
+        .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
         client
             .gdh_half_sign(id, message.as_bytes())
             .map_err(|e| format!("SEM refused: {e}"))?
@@ -456,7 +506,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .map(String::as_str)
         .unwrap_or("127.0.0.1:7003");
     let (curve, pkg) = load_system(&args.dir)?;
-    let server = TcpSemServer::bind(addr, pkg.params().clone())
+    let server = TcpSemServer::bind_with(addr, pkg.params().clone(), args.server_config.clone())
         .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let mut installed = 0usize;
     let sem_dir = args.dir.join("sem");
@@ -490,8 +540,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         server.revoke(&revoked);
     }
     println!(
-        "SEM daemon listening on {} ({installed} half-keys installed); Ctrl-C to stop",
-        server.local_addr()
+        "SEM daemon listening on {} ({installed} half-keys installed, \
+         idle {}s / read {}s / write {}s deadlines, {} conns max); Ctrl-C to stop",
+        server.local_addr(),
+        args.server_config.idle_timeout.as_secs(),
+        args.server_config.read_timeout.as_secs(),
+        args.server_config.write_timeout.as_secs(),
+        args.server_config.max_connections,
     );
     // Serve until killed.
     loop {
