@@ -1,16 +1,38 @@
-//! SEM audit log and bandwidth metering.
+//! SEM observability: bounded audit log, metering, and exportable
+//! metrics.
 //!
 //! The SEM is *semi-trusted* (§2): it must not be able to decrypt, but
 //! it is trusted to enforce revocation. Operationally that means its
 //! actions must be **accountable** — operators need to see exactly
 //! which identity requested which capability and what the SEM decided.
-//! This module provides the append-only audit log the threaded server
-//! feeds, plus per-identity counters and wire-byte metering that back
-//! the E3/E9 reports.
+//! Because the SEM also "remains online all the system's lifetime"
+//! (§4), every piece of that accountability state must be **bounded**:
+//! a daemon serving millions of users (or one misbehaving client
+//! hammering it) must not grow its memory with traffic.
+//!
+//! Three bounded structures back the E3/E9 reports and the
+//! `sempair stats` endpoint:
+//!
+//! * a **ring buffer** of the most recent [`AuditRecord`]s
+//!   (`audit_cap` entries, oldest evicted first, evictions counted in
+//!   `records_dropped`);
+//! * a **cardinality-capped** per-identity counter map: at most
+//!   `identity_cap` distinct identities are tracked individually;
+//!   everything beyond the cap aggregates into the
+//!   [`OVERFLOW_IDENTITY`] bucket, so attacker-minted identity strings
+//!   cannot grow the map;
+//! * **log-spaced histograms** ([`Histogram`], power-of-two buckets)
+//!   for per-capability request service latency and batch envelope
+//!   sizes, plus flat transport counters ([`TransportStats`]).
+//!
+//! Everything is exportable as a [`MetricsSnapshot`] with a
+//! Prometheus-style text encoding that round-trips
+//! ([`MetricsSnapshot::to_prometheus_text`] /
+//! [`MetricsSnapshot::from_prometheus_text`]).
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
-use std::time::Instant;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// What kind of capability a request asked for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -22,6 +44,42 @@ pub enum Capability {
     /// Connection admission itself (records produced by the daemon's
     /// accept loop, before any request is read).
     Connect,
+}
+
+impl Capability {
+    /// The request capabilities that carry a service-latency histogram
+    /// ([`Capability::Connect`] is an admission decision, not a served
+    /// request, so it has none).
+    pub const REQUESTS: [Capability; 2] = [Capability::IbeDecrypt, Capability::GdhSign];
+
+    /// Stable label used in the metrics exposition.
+    pub fn label(self) -> &'static str {
+        match self {
+            Capability::IbeDecrypt => "ibe_decrypt",
+            Capability::GdhSign => "gdh_sign",
+            Capability::Connect => "connect",
+        }
+    }
+
+    /// Inverse of [`Capability::label`].
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "ibe_decrypt" => Some(Capability::IbeDecrypt),
+            "gdh_sign" => Some(Capability::GdhSign),
+            "connect" => Some(Capability::Connect),
+            _ => None,
+        }
+    }
+
+    /// Index into the latency-histogram array, `None` for capabilities
+    /// without one.
+    fn latency_index(self) -> Option<usize> {
+        match self {
+            Capability::IbeDecrypt => Some(0),
+            Capability::GdhSign => Some(1),
+            Capability::Connect => None,
+        }
+    }
 }
 
 /// How the SEM answered.
@@ -41,6 +99,10 @@ pub enum Outcome {
 }
 
 /// One audit record.
+///
+/// `at` is a [`Duration`] offset from the owning [`AuditLog`]'s
+/// creation (not an `Instant`), so records — and snapshots derived
+/// from them — are serializable and comparable across exports.
 #[derive(Debug, Clone)]
 pub struct AuditRecord {
     /// Identity named in the request.
@@ -51,8 +113,8 @@ pub struct AuditRecord {
     pub outcome: Outcome,
     /// Response payload size in bytes (0 when refused).
     pub response_bytes: usize,
-    /// Monotonic request timestamp.
-    pub at: Instant,
+    /// Offset from the audit log's creation (server start).
+    pub at: Duration,
 }
 
 /// Aggregated view per identity.
@@ -86,38 +148,502 @@ pub struct TransportStats {
     pub refused_conns: u64,
 }
 
-/// Thread-safe, append-only audit log.
+/// Memory bounds for an [`AuditLog`].
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Maximum retained [`AuditRecord`]s. Older records are evicted
+    /// (oldest first) and counted in `records_dropped`. `0` retains no
+    /// records at all (aggregates still update).
+    pub audit_cap: usize,
+    /// Maximum distinct identities tracked individually; requests for
+    /// further identities aggregate into the [`OVERFLOW_IDENTITY`]
+    /// bucket (which does not count against the cap).
+    pub identity_cap: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        AuditConfig {
+            audit_cap: 4096,
+            identity_cap: 1024,
+        }
+    }
+}
+
+/// Aggregate bucket for identities beyond
+/// [`AuditConfig::identity_cap`]. A request legitimately naming this
+/// string merges into the bucket — acceptable for a reserved name.
+pub const OVERFLOW_IDENTITY: &str = "__overflow__";
+
+/// Number of latency buckets: powers of two from 1 µs up to
+/// ~2 s (2²¹ µs), plus the unbounded overflow bucket.
+const LATENCY_BUCKETS: usize = 22;
+
+/// Number of batch-size buckets: powers of two up to 2¹⁰ items, plus
+/// overflow (the wire caps batches at `u16` items).
+const BATCH_BUCKETS: usize = 12;
+
+/// A fixed-size log-spaced histogram.
+///
+/// Bucket `i` counts observations `v` with `⌊log₂(max(v, 1))⌋ == i`,
+/// i.e. `v ∈ [2^i, 2^(i+1))` (with 0 landing in bucket 0); the last
+/// bucket absorbs everything larger. Constant memory regardless of
+/// traffic — the histogram counterpart of the ring buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `buckets` bins (≥ 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets < 2`.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets >= 2, "a histogram needs at least two buckets");
+        Histogram {
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn bucket_index(&self, v: u64) -> usize {
+        let i = (u64::BITS - 1 - v.max(1).leading_zeros()) as usize;
+        i.min(self.counts.len() - 1)
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: u64) {
+        let i = self.bucket_index(v);
+        self.counts[i] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Number of buckets.
+    pub fn buckets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Observations in bucket `i`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// Inclusive upper bound of bucket `i` (`u64::MAX` for the last,
+    /// unbounded bucket).
+    pub fn bucket_upper_bound(&self, i: usize) -> u64 {
+        if i + 1 == self.counts.len() {
+            u64::MAX
+        } else {
+            (1u64 << (i + 1)) - 1
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// observation (0 for an empty histogram). A bucket-resolution
+    /// estimate — good enough for p50/p95 report lines.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_upper_bound(i);
+            }
+        }
+        self.bucket_upper_bound(self.counts.len() - 1)
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// Serializable point-in-time view of an [`AuditLog`] — everything an
+/// operator dashboard or the `sempair stats` subcommand needs, with no
+/// unbounded parts and no `Instant`s.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Time since the audit log (server) started.
+    pub uptime: Duration,
+    /// Records currently retained in the ring buffer.
+    pub records_len: usize,
+    /// Ring-buffer capacity.
+    pub audit_cap: usize,
+    /// Records evicted from the ring buffer since start.
+    pub records_dropped: u64,
+    /// Distinct identities tracked individually (excludes the overflow
+    /// bucket).
+    pub identities_tracked: usize,
+    /// Identity-map cardinality cap.
+    pub identity_cap: usize,
+    /// Global request totals (served/refused/bytes across *all*
+    /// identities, tracked independently of the capped map).
+    pub totals: IdentityStats,
+    /// The [`OVERFLOW_IDENTITY`] aggregate bucket.
+    pub overflow: IdentityStats,
+    /// Transport counters.
+    pub transport: TransportStats,
+    /// Service-latency histograms (microseconds) per request
+    /// capability, in [`Capability::REQUESTS`] order.
+    pub latency_us: Vec<(Capability, Histogram)>,
+    /// Batch envelope sizes (items per envelope).
+    pub batch_sizes: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Encodes the snapshot in a Prometheus-style text exposition.
+    ///
+    /// All values are integers (latencies in microseconds) so the
+    /// encoding round-trips exactly through
+    /// [`MetricsSnapshot::from_prometheus_text`].
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write;
+        fn scalar_into(out: &mut String, name: &str, v: u64) {
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let mut out = String::new();
+        out.push_str("# sempair SEM metrics (Prometheus-style; integer values only)\n");
+        let scalar = scalar_into;
+        scalar(
+            &mut out,
+            "sem_uptime_microseconds",
+            self.uptime.as_micros() as u64,
+        );
+        scalar(&mut out, "sem_audit_records", self.records_len as u64);
+        scalar(&mut out, "sem_audit_records_cap", self.audit_cap as u64);
+        scalar(
+            &mut out,
+            "sem_audit_records_dropped_total",
+            self.records_dropped,
+        );
+        scalar(
+            &mut out,
+            "sem_audit_identities_tracked",
+            self.identities_tracked as u64,
+        );
+        scalar(
+            &mut out,
+            "sem_audit_identities_cap",
+            self.identity_cap as u64,
+        );
+        scalar(&mut out, "sem_requests_served_total", self.totals.served);
+        scalar(&mut out, "sem_requests_refused_total", self.totals.refused);
+        scalar(&mut out, "sem_response_bytes_total", self.totals.bytes_out);
+        scalar(&mut out, "sem_overflow_served_total", self.overflow.served);
+        scalar(
+            &mut out,
+            "sem_overflow_refused_total",
+            self.overflow.refused,
+        );
+        scalar(
+            &mut out,
+            "sem_overflow_bytes_total",
+            self.overflow.bytes_out,
+        );
+        let _ = writeln!(
+            out,
+            "sem_transport_requests_total{{mode=\"single\"}} {}",
+            self.transport.single
+        );
+        let _ = writeln!(
+            out,
+            "sem_transport_requests_total{{mode=\"batched\"}} {}",
+            self.transport.batched_items
+        );
+        scalar(
+            &mut out,
+            "sem_transport_batches_total",
+            self.transport.batches,
+        );
+        scalar(
+            &mut out,
+            "sem_transport_timeouts_total",
+            self.transport.timeouts,
+        );
+        scalar(
+            &mut out,
+            "sem_transport_refused_conns_total",
+            self.transport.refused_conns,
+        );
+        for (capability, hist) in &self.latency_us {
+            let name = "sem_request_latency_us";
+            let label = capability.label();
+            let mut cumulative = 0u64;
+            for i in 0..hist.buckets() {
+                cumulative += hist.bucket_count(i);
+                let le = le_label(hist, i);
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{capability=\"{label}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_count{{capability=\"{label}\"}} {}",
+                hist.count()
+            );
+            let _ = writeln!(out, "{name}_sum{{capability=\"{label}\"}} {}", hist.sum());
+        }
+        let hist = &self.batch_sizes;
+        let mut cumulative = 0u64;
+        for i in 0..hist.buckets() {
+            cumulative += hist.bucket_count(i);
+            let le = le_label(hist, i);
+            let _ = writeln!(out, "sem_batch_size_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "sem_batch_size_count {}", hist.count());
+        let _ = writeln!(out, "sem_batch_size_sum {}", hist.sum());
+        out
+    }
+
+    /// Parses a snapshot back out of
+    /// [`MetricsSnapshot::to_prometheus_text`] output.
+    ///
+    /// Returns `None` for text that is not a complete, well-formed
+    /// exposition.
+    pub fn from_prometheus_text(text: &str) -> Option<Self> {
+        let mut scalars: HashMap<&str, u64> = HashMap::new();
+        let mut transport_modes: HashMap<String, u64> = HashMap::new();
+        let mut latency: Vec<LatencySeries> = Vec::new();
+        let mut batch_buckets: Vec<u64> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (name, labels, value) = parse_metric_line(line)?;
+            match name {
+                "sem_transport_requests_total" => {
+                    let mode = label_value(&labels, "mode")?;
+                    transport_modes.insert(mode.to_string(), value);
+                }
+                "sem_request_latency_us_bucket" => {
+                    let capability = label_value(&labels, "capability")?;
+                    let entry = latency_entry(&mut latency, capability);
+                    entry.1.push(value);
+                }
+                "sem_request_latency_us_count" => {
+                    let capability = label_value(&labels, "capability")?;
+                    latency_entry(&mut latency, capability).2 = Some(value);
+                }
+                "sem_request_latency_us_sum" => {
+                    let capability = label_value(&labels, "capability")?;
+                    latency_entry(&mut latency, capability).3 = Some(value);
+                }
+                "sem_batch_size_bucket" => batch_buckets.push(value),
+                _ if labels.is_empty() => {
+                    scalars.insert(name, value);
+                }
+                _ => return None,
+            }
+        }
+        let get = |name: &str| scalars.get(name).copied();
+        let latency_us = latency
+            .into_iter()
+            .map(|(label, buckets, count, sum)| {
+                let capability = Capability::from_label(&label)?;
+                let hist = histogram_from_cumulative(&buckets, count?, sum?)?;
+                Some((capability, hist))
+            })
+            .collect::<Option<Vec<_>>>()?;
+        let batch_sizes = histogram_from_cumulative(
+            &batch_buckets,
+            get("sem_batch_size_count")?,
+            get("sem_batch_size_sum")?,
+        )?;
+        Some(MetricsSnapshot {
+            uptime: Duration::from_micros(get("sem_uptime_microseconds")?),
+            records_len: get("sem_audit_records")? as usize,
+            audit_cap: get("sem_audit_records_cap")? as usize,
+            records_dropped: get("sem_audit_records_dropped_total")?,
+            identities_tracked: get("sem_audit_identities_tracked")? as usize,
+            identity_cap: get("sem_audit_identities_cap")? as usize,
+            totals: IdentityStats {
+                served: get("sem_requests_served_total")?,
+                refused: get("sem_requests_refused_total")?,
+                bytes_out: get("sem_response_bytes_total")?,
+            },
+            overflow: IdentityStats {
+                served: get("sem_overflow_served_total")?,
+                refused: get("sem_overflow_refused_total")?,
+                bytes_out: get("sem_overflow_bytes_total")?,
+            },
+            transport: TransportStats {
+                single: *transport_modes.get("single")?,
+                batched_items: *transport_modes.get("batched")?,
+                batches: get("sem_transport_batches_total")?,
+                timeouts: get("sem_transport_timeouts_total")?,
+                refused_conns: get("sem_transport_refused_conns_total")?,
+            },
+            latency_us,
+            batch_sizes,
+        })
+    }
+}
+
+/// Parsing accumulator for one capability's latency series:
+/// `(capability label, cumulative buckets, count, sum)`.
+type LatencySeries = (String, Vec<u64>, Option<u64>, Option<u64>);
+
+/// One parsed exposition line: `(metric name, labels, value)`.
+type MetricLine<'a> = (&'a str, Vec<(&'a str, &'a str)>, u64);
+
+fn le_label(hist: &Histogram, i: usize) -> String {
+    if i + 1 == hist.buckets() {
+        "+Inf".to_string()
+    } else {
+        hist.bucket_upper_bound(i).to_string()
+    }
+}
+
+/// Splits `name{label="v",…} value` (labels optional) into parts.
+fn parse_metric_line(line: &str) -> Option<MetricLine<'_>> {
+    let (head, value) = line.rsplit_once(' ')?;
+    let value: u64 = value.parse().ok()?;
+    match head.split_once('{') {
+        None => Some((head, Vec::new(), value)),
+        Some((name, rest)) => {
+            let inner = rest.strip_suffix('}')?;
+            let mut labels = Vec::new();
+            for pair in inner.split(',') {
+                let (k, v) = pair.split_once('=')?;
+                let v = v.strip_prefix('"')?.strip_suffix('"')?;
+                labels.push((k, v));
+            }
+            Some((name, labels, value))
+        }
+    }
+}
+
+fn label_value<'a>(labels: &[(&'a str, &'a str)], key: &str) -> Option<&'a str> {
+    labels.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+}
+
+fn latency_entry<'a>(
+    latency: &'a mut Vec<LatencySeries>,
+    capability: &str,
+) -> &'a mut LatencySeries {
+    if let Some(i) = latency.iter().position(|(l, ..)| l == capability) {
+        &mut latency[i]
+    } else {
+        latency.push((capability.to_string(), Vec::new(), None, None));
+        latency.last_mut().expect("just pushed")
+    }
+}
+
+/// Rebuilds per-bucket counts from the cumulative `le` series.
+fn histogram_from_cumulative(cumulative: &[u64], count: u64, sum: u64) -> Option<Histogram> {
+    if cumulative.len() < 2 || *cumulative.last()? != count {
+        return None;
+    }
+    let mut hist = Histogram::new(cumulative.len());
+    let mut prev = 0u64;
+    for (i, &c) in cumulative.iter().enumerate() {
+        hist.counts[i] = c.checked_sub(prev)?;
+        prev = c;
+    }
+    hist.count = count;
+    hist.sum = sum;
+    Some(hist)
+}
+
+/// Thread-safe, **bounded** audit log and metrics registry.
 ///
 /// Appends are O(1) under a mutex; the threaded server calls
 /// [`AuditLog::record`] once per request, which is negligible next to
-/// the pairing it just computed.
-#[derive(Debug, Default)]
+/// the pairing it just computed. Memory is constant in request count
+/// and identity count: see [`AuditConfig`].
+#[derive(Debug)]
 pub struct AuditLog {
+    started: Instant,
     inner: Mutex<Inner>,
 }
 
-#[derive(Debug, Default)]
+impl Default for AuditLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug)]
 struct Inner {
-    records: Vec<AuditRecord>,
+    config: AuditConfig,
+    records: VecDeque<AuditRecord>,
+    records_dropped: u64,
     by_identity: HashMap<String, IdentityStats>,
+    totals: IdentityStats,
     transport: TransportStats,
+    latency_us: [Histogram; Capability::REQUESTS.len()],
+    batch_sizes: Histogram,
 }
 
 impl AuditLog {
-    /// Creates an empty log.
+    /// Creates a log with default bounds ([`AuditConfig::default`]).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(AuditConfig::default())
+    }
+
+    /// Creates a log with explicit bounds.
+    pub fn with_config(config: AuditConfig) -> Self {
+        AuditLog {
+            started: Instant::now(),
+            inner: Mutex::new(Inner {
+                config,
+                records: VecDeque::new(),
+                records_dropped: 0,
+                by_identity: HashMap::new(),
+                totals: IdentityStats::default(),
+                transport: TransportStats::default(),
+                latency_us: [
+                    Histogram::new(LATENCY_BUCKETS),
+                    Histogram::new(LATENCY_BUCKETS),
+                ],
+                batch_sizes: Histogram::new(BATCH_BUCKETS),
+            }),
+        }
+    }
+
+    /// The configured bounds.
+    pub fn config(&self) -> AuditConfig {
+        self.inner.lock().config.clone()
     }
 
     /// Appends one record for a request that arrived on its own.
+    /// `latency` is the service time (measured by the caller around
+    /// the crypto work) fed into the per-capability histogram.
     pub fn record(
         &self,
         id: &str,
         capability: Capability,
         outcome: Outcome,
         response_bytes: usize,
+        latency: Duration,
     ) {
-        self.record_inner(id, capability, outcome, response_bytes, false);
+        self.record_inner(id, capability, outcome, response_bytes, latency, false);
     }
 
     /// Appends one record for a request that arrived inside a batch
@@ -128,14 +654,17 @@ impl AuditLog {
         capability: Capability,
         outcome: Outcome,
         response_bytes: usize,
+        latency: Duration,
     ) {
-        self.record_inner(id, capability, outcome, response_bytes, true);
+        self.record_inner(id, capability, outcome, response_bytes, latency, true);
     }
 
-    /// Counts one batch envelope (independent of its item count, which
-    /// [`AuditLog::record_batched`] tracks per item).
-    pub fn note_batch(&self) {
-        self.inner.lock().transport.batches += 1;
+    /// Counts one batch envelope of `items` requests (the per-item
+    /// records come through [`AuditLog::record_batched`]).
+    pub fn note_batch(&self, items: usize) {
+        let mut inner = self.inner.lock();
+        inner.transport.batches += 1;
+        inner.batch_sizes.observe(items as u64);
     }
 
     /// Counts one connection closed by a socket deadline (idle or
@@ -145,25 +674,34 @@ impl AuditLog {
     }
 
     /// Counts one connection refused at the `max_connections` cap and
-    /// appends an [`Outcome::RefusedOverload`] record under `peer` (the
-    /// remote address — no identity was ever read from the socket).
+    /// appends an [`Outcome::RefusedOverload`] record.
+    ///
+    /// `peer` is keyed by **IP only**: the port of an `ip:port`
+    /// rendering is stripped, so a reconnect storm cycling ephemeral
+    /// ports maps to one identity entry instead of minting a fresh one
+    /// per source port (and the whole thing stays under the
+    /// cardinality cap regardless).
     ///
     /// Unlike [`AuditLog::record`], this does not tick the
     /// single-request transport counter: no request was served.
     pub fn note_refused_conn(&self, peer: &str) {
+        let key = peer_ip(peer);
+        let at = self.started.elapsed();
         let mut inner = self.inner.lock();
         inner.transport.refused_conns += 1;
+        inner.totals.refused += 1;
+        let tracked_as = inner.identity_key(key);
         inner
             .by_identity
-            .entry(peer.to_string())
+            .entry(tracked_as.clone())
             .or_default()
             .refused += 1;
-        inner.records.push(AuditRecord {
-            id: peer.to_string(),
+        inner.push_record(AuditRecord {
+            id: tracked_as,
             capability: Capability::Connect,
             outcome: Outcome::RefusedOverload,
             response_bytes: 0,
-            at: Instant::now(),
+            at,
         });
     }
 
@@ -173,28 +711,39 @@ impl AuditLog {
         capability: Capability,
         outcome: Outcome,
         response_bytes: usize,
+        latency: Duration,
         batched: bool,
     ) {
+        let at = self.started.elapsed();
         let mut inner = self.inner.lock();
         if batched {
             inner.transport.batched_items += 1;
         } else {
             inner.transport.single += 1;
         }
-        let stats = inner.by_identity.entry(id.to_string()).or_default();
+        if let Some(i) = capability.latency_index() {
+            inner.latency_us[i].observe(latency.as_micros() as u64);
+        }
+        let tracked_as = inner.identity_key(id);
+        let stats = inner.by_identity.entry(tracked_as.clone()).or_default();
         match outcome {
             Outcome::Served => {
                 stats.served += 1;
                 stats.bytes_out += response_bytes as u64;
+                inner.totals.served += 1;
+                inner.totals.bytes_out += response_bytes as u64;
             }
-            _ => stats.refused += 1,
+            _ => {
+                stats.refused += 1;
+                inner.totals.refused += 1;
+            }
         }
-        inner.records.push(AuditRecord {
-            id: id.to_string(),
+        inner.push_record(AuditRecord {
+            id: tracked_as,
             capability,
             outcome,
             response_bytes,
-            at: Instant::now(),
+            at,
         });
     }
 
@@ -203,17 +752,31 @@ impl AuditLog {
         self.inner.lock().transport
     }
 
-    /// Number of records.
+    /// Number of retained records (≤ the configured `audit_cap`).
     pub fn len(&self) -> usize {
         self.inner.lock().records.len()
     }
 
-    /// `true` iff nothing has been recorded.
+    /// `true` iff no records are retained.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Aggregate stats for one identity.
+    /// Records evicted from the ring buffer since start.
+    pub fn records_dropped(&self) -> u64 {
+        self.inner.lock().records_dropped
+    }
+
+    /// Distinct identities tracked individually (excludes the overflow
+    /// bucket).
+    pub fn identities_tracked(&self) -> usize {
+        let inner = self.inner.lock();
+        inner.tracked_identities()
+    }
+
+    /// Aggregate stats for one identity. Identities folded into the
+    /// overflow bucket report under [`OVERFLOW_IDENTITY`], not their
+    /// own name.
     pub fn stats_for(&self, id: &str) -> IdentityStats {
         self.inner
             .lock()
@@ -223,24 +786,22 @@ impl AuditLog {
             .unwrap_or_default()
     }
 
-    /// Snapshot of the full record list.
+    /// Snapshot of the retained records, oldest first.
     pub fn snapshot(&self) -> Vec<AuditRecord> {
-        self.inner.lock().records.clone()
+        self.inner.lock().records.iter().cloned().collect()
     }
 
     /// Total bytes the SEM has sent to users — the deployment-level E3
-    /// number.
+    /// number. Tracked globally, so it stays exact even when identity
+    /// entries fold into the overflow bucket.
     pub fn total_bytes_out(&self) -> u64 {
-        self.inner
-            .lock()
-            .by_identity
-            .values()
-            .map(|s| s.bytes_out)
-            .sum()
+        self.inner.lock().totals.bytes_out
     }
 
     /// Identities whose refusal count exceeds `threshold` — a trivial
-    /// anomaly feed (e.g. someone hammering a revoked identity).
+    /// anomaly feed (e.g. someone hammering a revoked identity). May
+    /// include [`OVERFLOW_IDENTITY`] when the aggregate bucket is
+    /// noisy.
     pub fn noisy_identities(&self, threshold: u64) -> Vec<String> {
         let inner = self.inner.lock();
         let mut out: Vec<String> = inner
@@ -252,20 +813,130 @@ impl AuditLog {
         out.sort();
         out
     }
+
+    /// Serializable point-in-time metrics view.
+    ///
+    /// `uptime` is truncated to microsecond resolution — the unit of
+    /// the text exposition — so a snapshot compares equal to its own
+    /// encode/decode round trip.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let uptime = Duration::from_micros(self.started.elapsed().as_micros() as u64);
+        let inner = self.inner.lock();
+        MetricsSnapshot {
+            uptime,
+            records_len: inner.records.len(),
+            audit_cap: inner.config.audit_cap,
+            records_dropped: inner.records_dropped,
+            identities_tracked: inner.tracked_identities(),
+            identity_cap: inner.config.identity_cap,
+            totals: inner.totals,
+            overflow: inner
+                .by_identity
+                .get(OVERFLOW_IDENTITY)
+                .copied()
+                .unwrap_or_default(),
+            transport: inner.transport,
+            latency_us: Capability::REQUESTS
+                .iter()
+                .zip(&inner.latency_us)
+                .map(|(&c, h)| (c, h.clone()))
+                .collect(),
+            batch_sizes: inner.batch_sizes.clone(),
+        }
+    }
+}
+
+impl Inner {
+    /// Distinct identities tracked individually.
+    fn tracked_identities(&self) -> usize {
+        self.by_identity.len() - usize::from(self.by_identity.contains_key(OVERFLOW_IDENTITY))
+    }
+
+    /// The key `id` is tracked under: itself while the map has room
+    /// (or already tracks it), the overflow bucket otherwise.
+    fn identity_key(&self, id: &str) -> String {
+        if self.by_identity.contains_key(id) || self.tracked_identities() < self.config.identity_cap
+        {
+            id.to_string()
+        } else {
+            OVERFLOW_IDENTITY.to_string()
+        }
+    }
+
+    /// Appends to the ring buffer, evicting the oldest record (and
+    /// counting it) at the cap.
+    fn push_record(&mut self, record: AuditRecord) {
+        if self.config.audit_cap == 0 {
+            self.records_dropped += 1;
+            return;
+        }
+        if self.records.len() >= self.config.audit_cap {
+            self.records.pop_front();
+            self.records_dropped += 1;
+        }
+        self.records.push_back(record);
+    }
+}
+
+/// Strips the `:port` suffix from a `SocketAddr`-style rendering
+/// (`1.2.3.4:5678`, `[::1]:5678`), returning the input unchanged when
+/// it does not look like one.
+fn peer_ip(peer: &str) -> &str {
+    if let Some(end) = peer.rfind(']') {
+        // Bracketed IPv6: `[::1]:port` → `[::1]`.
+        return &peer[..=end];
+    }
+    match peer.rsplit_once(':') {
+        // A bare IPv6 address has multiple colons; `ip:port` has one.
+        Some((host, port))
+            if !host.contains(':')
+                && !host.is_empty()
+                && port.chars().all(|c| c.is_ascii_digit()) =>
+        {
+            host
+        }
+        _ => peer,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const NO_LAT: Duration = Duration::ZERO;
+
     #[test]
     fn records_and_aggregates() {
         let log = AuditLog::new();
         assert!(log.is_empty());
-        log.record("alice", Capability::IbeDecrypt, Outcome::Served, 128);
-        log.record("alice", Capability::IbeDecrypt, Outcome::Served, 128);
-        log.record("alice", Capability::GdhSign, Outcome::RefusedRevoked, 0);
-        log.record("bob", Capability::IbeDecrypt, Outcome::RefusedUnknown, 0);
+        log.record(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            128,
+            NO_LAT,
+        );
+        log.record(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            128,
+            NO_LAT,
+        );
+        log.record(
+            "alice",
+            Capability::GdhSign,
+            Outcome::RefusedRevoked,
+            0,
+            NO_LAT,
+        );
+        log.record(
+            "bob",
+            Capability::IbeDecrypt,
+            Outcome::RefusedUnknown,
+            0,
+            NO_LAT,
+        );
         assert_eq!(log.len(), 4);
         let alice = log.stats_for("alice");
         assert_eq!(alice.served, 2);
@@ -274,6 +945,7 @@ mod tests {
         assert_eq!(log.stats_for("bob").refused, 1);
         assert_eq!(log.stats_for("nobody"), IdentityStats::default());
         assert_eq!(log.total_bytes_out(), 256);
+        assert_eq!(log.identities_tracked(), 2);
     }
 
     #[test]
@@ -285,9 +957,16 @@ mod tests {
                 Capability::IbeDecrypt,
                 Outcome::RefusedRevoked,
                 0,
+                NO_LAT,
             );
         }
-        log.record("alice", Capability::IbeDecrypt, Outcome::RefusedInvalid, 0);
+        log.record(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::RefusedInvalid,
+            0,
+            NO_LAT,
+        );
         assert_eq!(log.noisy_identities(3), vec!["mallory".to_string()]);
         assert_eq!(log.noisy_identities(0).len(), 2);
         assert!(log.noisy_identities(10).is_empty());
@@ -296,12 +975,12 @@ mod tests {
     #[test]
     fn transport_counters_split_single_and_batched() {
         let log = AuditLog::new();
-        log.record("a", Capability::IbeDecrypt, Outcome::Served, 64);
-        log.note_batch();
-        log.record_batched("a", Capability::IbeDecrypt, Outcome::Served, 64);
-        log.record_batched("b", Capability::GdhSign, Outcome::RefusedRevoked, 0);
-        log.note_batch();
-        log.record_batched("a", Capability::IbeDecrypt, Outcome::Served, 64);
+        log.record("a", Capability::IbeDecrypt, Outcome::Served, 64, NO_LAT);
+        log.note_batch(2);
+        log.record_batched("a", Capability::IbeDecrypt, Outcome::Served, 64, NO_LAT);
+        log.record_batched("b", Capability::GdhSign, Outcome::RefusedRevoked, 0, NO_LAT);
+        log.note_batch(1);
+        log.record_batched("a", Capability::IbeDecrypt, Outcome::Served, 64, NO_LAT);
         let t = log.transport_stats();
         assert_eq!(
             t,
@@ -316,6 +995,10 @@ mod tests {
         assert_eq!(log.stats_for("a").served, 3);
         assert_eq!(log.stats_for("b").refused, 1);
         assert_eq!(log.len(), 4);
+        // Batch sizes landed in the histogram.
+        let m = log.metrics();
+        assert_eq!(m.batch_sizes.count(), 2);
+        assert_eq!(m.batch_sizes.sum(), 3);
     }
 
     #[test]
@@ -334,19 +1017,253 @@ mod tests {
         let rec = &log.snapshot()[0];
         assert_eq!(rec.capability, Capability::Connect);
         assert_eq!(rec.outcome, Outcome::RefusedOverload);
-        assert_eq!(log.stats_for("127.0.0.1:55555").refused, 1);
+        // Keyed by IP, not ip:port.
+        assert_eq!(log.stats_for("127.0.0.1").refused, 1);
+        assert_eq!(log.stats_for("127.0.0.1:55555"), IdentityStats::default());
+    }
+
+    #[test]
+    fn refused_conns_from_rotating_ports_share_one_entry() {
+        let log = AuditLog::new();
+        for port in 50000..50100 {
+            log.note_refused_conn(&format!("10.0.0.9:{port}"));
+        }
+        log.note_refused_conn("[2001:db8::1]:443");
+        log.note_refused_conn("[2001:db8::1]:444");
+        assert_eq!(log.identities_tracked(), 2);
+        assert_eq!(log.stats_for("10.0.0.9").refused, 100);
+        assert_eq!(log.stats_for("[2001:db8::1]").refused, 2);
+        assert_eq!(log.transport_stats().refused_conns, 102);
+    }
+
+    #[test]
+    fn peer_ip_strips_only_ports() {
+        assert_eq!(peer_ip("1.2.3.4:80"), "1.2.3.4");
+        assert_eq!(peer_ip("[::1]:8080"), "[::1]");
+        assert_eq!(peer_ip("::1"), "::1"); // bare IPv6 untouched
+        assert_eq!(peer_ip("noport"), "noport");
+        assert_eq!(peer_ip("host:name"), "host:name"); // non-numeric port
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest_and_counts_drops() {
+        let log = AuditLog::with_config(AuditConfig {
+            audit_cap: 8,
+            identity_cap: 1024,
+        });
+        for i in 0..20 {
+            log.record(
+                &format!("u{i}"),
+                Capability::IbeDecrypt,
+                Outcome::Served,
+                1,
+                NO_LAT,
+            );
+        }
+        assert_eq!(log.len(), 8);
+        assert_eq!(log.records_dropped(), 12);
+        let snap = log.snapshot();
+        // Oldest-first eviction: the survivors are the 8 newest.
+        assert_eq!(snap.first().unwrap().id, "u12");
+        assert_eq!(snap.last().unwrap().id, "u19");
+        // Aggregates are unaffected by eviction.
+        assert_eq!(log.total_bytes_out(), 20);
+        assert_eq!(log.metrics().totals.served, 20);
+    }
+
+    #[test]
+    fn zero_audit_cap_retains_nothing() {
+        let log = AuditLog::with_config(AuditConfig {
+            audit_cap: 0,
+            identity_cap: 16,
+        });
+        log.record("a", Capability::IbeDecrypt, Outcome::Served, 7, NO_LAT);
+        assert!(log.is_empty());
+        assert_eq!(log.records_dropped(), 1);
+        assert_eq!(log.stats_for("a").served, 1);
+        assert_eq!(log.total_bytes_out(), 7);
+    }
+
+    #[test]
+    fn identity_cardinality_capped_with_overflow_bucket() {
+        let log = AuditLog::with_config(AuditConfig {
+            audit_cap: 64,
+            identity_cap: 3,
+        });
+        for i in 0..10 {
+            log.record(
+                &format!("u{i}"),
+                Capability::IbeDecrypt,
+                Outcome::Served,
+                10,
+                NO_LAT,
+            );
+        }
+        // Only the first 3 are tracked by name; the rest aggregate.
+        assert_eq!(log.identities_tracked(), 3);
+        assert_eq!(log.stats_for("u0").served, 1);
+        assert_eq!(log.stats_for("u5"), IdentityStats::default());
+        let overflow = log.stats_for(OVERFLOW_IDENTITY);
+        assert_eq!(overflow.served, 7);
+        assert_eq!(overflow.bytes_out, 70);
+        // Already-tracked identities keep accumulating under their name.
+        log.record("u1", Capability::IbeDecrypt, Outcome::Served, 10, NO_LAT);
+        assert_eq!(log.stats_for("u1").served, 2);
+        // Global totals are exact regardless of folding.
+        assert_eq!(log.total_bytes_out(), 110);
+        assert_eq!(log.metrics().totals.served, 11);
+    }
+
+    #[test]
+    fn latency_histograms_are_per_capability() {
+        let log = AuditLog::new();
+        log.record(
+            "a",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            1,
+            Duration::from_micros(100),
+        );
+        log.record(
+            "a",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            1,
+            Duration::from_micros(300),
+        );
+        log.record(
+            "a",
+            Capability::GdhSign,
+            Outcome::Served,
+            1,
+            Duration::from_micros(50),
+        );
+        let m = log.metrics();
+        let ibe = &m
+            .latency_us
+            .iter()
+            .find(|(c, _)| *c == Capability::IbeDecrypt)
+            .unwrap()
+            .1;
+        let gdh = &m
+            .latency_us
+            .iter()
+            .find(|(c, _)| *c == Capability::GdhSign)
+            .unwrap()
+            .1;
+        assert_eq!(ibe.count(), 2);
+        assert_eq!(ibe.sum(), 400);
+        assert_eq!(gdh.count(), 1);
+        assert_eq!(gdh.sum(), 50);
+        // Quantiles return log-bucket upper bounds.
+        assert!(ibe.quantile(0.5) >= 100);
+        assert!(gdh.quantile(0.99) >= 50);
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log_spaced() {
+        let mut h = Histogram::new(5);
+        for v in [0, 1, 2, 3, 4, 8, 1_000_000] {
+            h.observe(v);
+        }
+        // Buckets: [0,1] [2,3] [4,7] [8,15] [16,∞)
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 2);
+        assert_eq!(h.bucket_count(2), 1);
+        assert_eq!(h.bucket_count(3), 1);
+        assert_eq!(h.bucket_count(4), 1); // overflow bucket
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.bucket_upper_bound(0), 1);
+        assert_eq!(h.bucket_upper_bound(3), 15);
+        assert_eq!(h.bucket_upper_bound(4), u64::MAX);
+        assert_eq!(Histogram::new(4).quantile(0.5), 0);
+        assert!(h.mean() > 0.0);
     }
 
     #[test]
     fn snapshot_preserves_order() {
         let log = AuditLog::new();
-        log.record("a", Capability::IbeDecrypt, Outcome::Served, 1);
-        log.record("b", Capability::GdhSign, Outcome::Served, 2);
+        log.record("a", Capability::IbeDecrypt, Outcome::Served, 1, NO_LAT);
+        log.record("b", Capability::GdhSign, Outcome::Served, 2, NO_LAT);
         let snap = log.snapshot();
         assert_eq!(snap.len(), 2);
         assert_eq!(snap[0].id, "a");
         assert_eq!(snap[1].id, "b");
+        // `at` is a serializable offset from log creation.
         assert!(snap[0].at <= snap[1].at);
+    }
+
+    #[test]
+    fn prometheus_text_round_trips() {
+        let log = AuditLog::with_config(AuditConfig {
+            audit_cap: 4,
+            identity_cap: 2,
+        });
+        log.record(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            128,
+            Duration::from_micros(250),
+        );
+        log.record(
+            "bob",
+            Capability::GdhSign,
+            Outcome::RefusedRevoked,
+            0,
+            Duration::from_micros(90),
+        );
+        log.record(
+            "carol",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            128,
+            Duration::from_micros(4000),
+        );
+        log.note_batch(3);
+        log.record_batched(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            128,
+            NO_LAT,
+        );
+        log.note_timeout();
+        log.note_refused_conn("10.1.1.1:4444");
+        for i in 0..10 {
+            log.record(
+                &format!("x{i}"),
+                Capability::IbeDecrypt,
+                Outcome::Served,
+                1,
+                NO_LAT,
+            );
+        }
+        let snapshot = log.metrics();
+        assert!(snapshot.records_dropped > 0);
+        assert_eq!(snapshot.records_len, 4);
+        let text = snapshot.to_prometheus_text();
+        let parsed = MetricsSnapshot::from_prometheus_text(&text).expect("parseable");
+        assert_eq!(parsed, snapshot);
+        // Spot-check the exposition itself.
+        assert!(text.contains("sem_audit_records_dropped_total"));
+        assert!(text.contains("sem_request_latency_us_bucket{capability=\"ibe_decrypt\""));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("sem_transport_requests_total{mode=\"single\"}"));
+    }
+
+    #[test]
+    fn malformed_prometheus_text_rejected() {
+        assert!(MetricsSnapshot::from_prometheus_text("").is_none());
+        assert!(MetricsSnapshot::from_prometheus_text("sem_uptime_microseconds 1").is_none());
+        let log = AuditLog::new();
+        let good = log.metrics().to_prometheus_text();
+        // Truncating the exposition breaks it.
+        let truncated = &good[..good.len() / 2];
+        assert!(MetricsSnapshot::from_prometheus_text(truncated).is_none());
+        // A non-integer value breaks it.
+        let bad = good.replace("sem_batch_size_sum 0", "sem_batch_size_sum x");
+        assert!(MetricsSnapshot::from_prometheus_text(&bad).is_none());
     }
 
     #[test]
@@ -357,7 +1274,7 @@ mod tests {
                 let log = std::sync::Arc::clone(&log);
                 scope.spawn(move || {
                     for _ in 0..50 {
-                        log.record("x", Capability::IbeDecrypt, Outcome::Served, 10);
+                        log.record("x", Capability::IbeDecrypt, Outcome::Served, 10, NO_LAT);
                     }
                 });
             }

@@ -65,6 +65,13 @@ impl Deployment {
         &self.server
     }
 
+    /// The SEM's bounded metrics snapshot — the deployment-level
+    /// observability feed (counters, identity metering, latency and
+    /// batch-size histograms).
+    pub fn metrics(&self) -> crate::audit::MetricsSnapshot {
+        self.server.metrics()
+    }
+
     /// `true` while the PKG can still enrol users.
     pub fn pkg_online(&self) -> bool {
         self.pkg.is_some()
@@ -166,6 +173,16 @@ mod tests {
         let c = params.encrypt_full(&mut rng, "alice", b"m").unwrap();
         alice.client.ibe_token("alice", &c.u).unwrap();
         assert_eq!(deployment.server().audit_stats("alice").served, 1);
+        // The bounded metrics feed sees the same request, and its
+        // exposition round-trips at this level too.
+        let m = deployment.metrics();
+        assert_eq!(m.totals.served, 1);
+        assert_eq!(m.latency_us[0].1.count(), 1);
+        let text = m.to_prometheus_text();
+        assert_eq!(
+            crate::audit::MetricsSnapshot::from_prometheus_text(&text),
+            Some(m)
+        );
         deployment.shutdown();
     }
 }

@@ -24,6 +24,13 @@
 //! links: socket deadlines, connection caps, graceful drain, and
 //! client retry with backoff ([`tcp`]), all exercised by a
 //! deterministic fault-injection harness ([`faults`]).
+//!
+//! For the same reason, everything the SEM records about its traffic
+//! is **bounded**: the audit log is a capped ring buffer, per-identity
+//! metering is cardinality-capped with an overflow bucket, and latency
+//! and batch-size distributions live in fixed-size log-spaced
+//! histograms — all exportable as a serializable snapshot over the
+//! wire (op 4) or via `sempair stats` ([`audit`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -25,6 +25,9 @@
 //!   (`u16 count ‖ (u8 status ‖ u32 body-len ‖ body)*`), so one revoked
 //!   identity inside a batch refuses only its own item. Batches cannot
 //!   nest, and a whole batch must fit in [`MAX_FRAME`].
+//! * op `4` (stats): the id and body are empty; the ok-body is the
+//!   daemon's [`crate::audit::MetricsSnapshot`] in its Prometheus-style
+//!   text exposition (UTF-8). Stats requests are not batchable.
 //!
 //! The sizes on this wire are exactly the E3 numbers — the protocol is
 //! the paper's bandwidth table made concrete.
@@ -41,6 +44,9 @@ pub enum Op {
     GdhHalfSign = 2,
     /// Batch envelope carrying op-1/op-2 items.
     Batch = 3,
+    /// Metrics snapshot request (empty id/body; ok-body is the
+    /// Prometheus-style text exposition).
+    Stats = 4,
 }
 
 impl Op {
@@ -49,6 +55,7 @@ impl Op {
             1 => Some(Op::IbeToken),
             2 => Some(Op::GdhHalfSign),
             3 => Some(Op::Batch),
+            4 => Some(Op::Stats),
             _ => None,
         }
     }
@@ -210,7 +217,8 @@ pub fn decode_response(payload: &[u8]) -> Option<Response> {
 /// # Panics
 ///
 /// Panics if an item is itself [`Op::Batch`] (batches cannot nest) or
-/// the batch exceeds `u16` items.
+/// [`Op::Stats`] (stats requests are not batchable), or the batch
+/// exceeds `u16` items.
 pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
     assert!(
         items.len() <= u16::MAX as usize,
@@ -220,6 +228,7 @@ pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
     buf.put_u16(items.len() as u16);
     for item in items {
         assert!(item.op != Op::Batch, "batches cannot nest");
+        assert!(item.op != Op::Stats, "stats requests are not batchable");
         buf.put_u8(item.op as u8);
         buf.put_u16(item.id.len() as u16);
         buf.put_slice(item.id.as_bytes());
@@ -231,8 +240,8 @@ pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
 
 /// Decodes an [`Op::Batch`] request body into its items.
 ///
-/// Returns `None` for malformed bodies, nested batches, or trailing
-/// garbage.
+/// Returns `None` for malformed bodies, nested batches, batched stats
+/// requests, or trailing garbage.
 pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
     let mut buf = body;
     if buf.remaining() < 2 {
@@ -249,7 +258,7 @@ pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
             return None;
         }
         let op = Op::from_u8(buf.get_u8())?;
-        if op == Op::Batch {
+        if op == Op::Batch || op == Op::Stats {
             return None;
         }
         let id_len = buf.get_u16() as usize;
@@ -369,6 +378,17 @@ mod tests {
     }
 
     #[test]
+    fn stats_request_roundtrip() {
+        let req = Request {
+            op: Op::Stats,
+            id: String::new(),
+            body: vec![],
+        };
+        let frame = encode_request(&req).unwrap();
+        assert_eq!(decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    #[test]
     fn malformed_payloads_rejected() {
         assert!(decode_request(&[]).is_none());
         assert!(decode_request(&[9, 0, 0]).is_none()); // bad op
@@ -452,6 +472,10 @@ mod tests {
         let mut nested = vec![0, 1];
         nested.extend_from_slice(&[3, 0, 0, 0, 0, 0, 0]);
         assert!(decode_batch_items(&nested).is_none());
+        // Batched stats op.
+        let mut stats = vec![0, 1];
+        stats.extend_from_slice(&[4, 0, 0, 0, 0, 0, 0]);
+        assert!(decode_batch_items(&stats).is_none());
         // Trailing garbage after the last item.
         let mut body = encode_batch_items(&[Request {
             op: Op::IbeToken,

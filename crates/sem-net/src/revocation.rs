@@ -25,9 +25,13 @@ pub struct ValidityPeriodPkg {
     epoch_len: Duration,
     users: Vec<String>,
     revoked: HashSet<String>,
-    /// Total `Extract` operations performed over the PKG's lifetime —
-    /// the work metric E8 sweeps.
+    /// `Extract` operations performed by epoch rotation — the
+    /// *issuance* work metric E8 sweeps. Key lookups are counted
+    /// separately in `lookup_count`, so queries cannot inflate the
+    /// rotation cost curve.
     extract_count: u64,
+    /// `current_key` queries answered (both grants and refusals).
+    lookup_count: u64,
 }
 
 impl ValidityPeriodPkg {
@@ -40,6 +44,7 @@ impl ValidityPeriodPkg {
             users,
             revoked: HashSet::new(),
             extract_count: 0,
+            lookup_count: 0,
         }
     }
 
@@ -64,9 +69,16 @@ impl ValidityPeriodPkg {
         self.pkg.params()
     }
 
-    /// Number of `Extract` operations performed so far.
+    /// Number of `Extract` operations performed by epoch rotations so
+    /// far (the E8 issuance-work metric).
     pub fn extract_count(&self) -> u64 {
         self.extract_count
+    }
+
+    /// Number of [`ValidityPeriodPkg::current_key`] queries answered so
+    /// far (granted or refused).
+    pub fn lookup_count(&self) -> u64 {
+        self.lookup_count
     }
 
     /// Marks `id` revoked. Takes effect at the *next* epoch rollover —
@@ -101,13 +113,13 @@ impl ValidityPeriodPkg {
     /// [`Error::Revoked`] once the revocation has taken effect;
     /// [`Error::UnknownIdentity`] for unenrolled users.
     pub fn current_key(&mut self, id: &str) -> Result<PrivateKey, Error> {
+        self.lookup_count += 1;
         if !self.users.iter().any(|u| u == id) {
             return Err(Error::UnknownIdentity);
         }
         if self.revoked.contains(id) {
             return Err(Error::Revoked);
         }
-        self.extract_count += 1;
         Ok(self.pkg.extract(&Self::epoch_identity(id, self.epoch)))
     }
 
@@ -218,11 +230,19 @@ mod tests {
         let issued = vp.rotate_epoch();
         assert_eq!(issued.len(), 10);
         assert_eq!(vp.extract_count(), 10);
+        // Key queries are lookups, NOT issuance work: E8's rotation
+        // curve must stay flat under them.
+        vp.current_key("user0").unwrap();
+        vp.current_key("user0").unwrap();
+        assert_eq!(vp.current_key("mallory"), Err(Error::UnknownIdentity));
+        assert_eq!(vp.extract_count(), 10);
+        assert_eq!(vp.lookup_count(), 3);
         vp.revoke("user3");
         vp.revoke("user7");
         let issued = vp.rotate_epoch();
         assert_eq!(issued.len(), 8);
         assert_eq!(vp.extract_count(), 18);
+        assert_eq!(vp.lookup_count(), 3);
     }
 
     #[test]

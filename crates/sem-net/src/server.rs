@@ -7,7 +7,7 @@
 //! list sit behind a `parking_lot::RwLock` (reads dominate — every
 //! token request — while revocations are rare writes).
 
-use crate::audit::{AuditLog, Capability, Outcome};
+use crate::audit::{AuditConfig, AuditLog, Capability, MetricsSnapshot, Outcome};
 use crossbeam::channel::{bounded, unbounded, Sender};
 use parking_lot::RwLock;
 use sempair_core::bf_ibe::IbePublicParams;
@@ -99,17 +99,26 @@ pub struct SemClient {
 }
 
 impl SemServer {
-    /// Spawns a server with `workers` threads.
+    /// Spawns a server with `workers` threads and default audit bounds.
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0`.
     pub fn spawn(params: IbePublicParams, workers: usize) -> Self {
+        Self::spawn_with(params, workers, AuditConfig::default())
+    }
+
+    /// [`SemServer::spawn`] with explicit audit/metering memory bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn spawn_with(params: IbePublicParams, workers: usize, audit: AuditConfig) -> Self {
         assert!(workers > 0, "need at least one worker");
         let state = Arc::new(State {
             params,
             inner: RwLock::new(Inner::default()),
-            audit: AuditLog::new(),
+            audit: AuditLog::with_config(audit),
         });
         let (tx, rx) = unbounded::<Job>();
         let handles = (0..workers)
@@ -121,10 +130,12 @@ impl SemServer {
                         match job {
                             Job::Shutdown => break,
                             Job::IbeToken { id, u, reply } => {
+                                let started = Instant::now();
                                 let result = {
                                     let inner = state.inner.read();
                                     inner.ibe.decrypt_token(&state.params, &id, &u)
                                 };
+                                let latency = started.elapsed();
                                 let bytes = result
                                     .as_ref()
                                     .map(|t| state.params.curve().gt_to_bytes(&t.0).len())
@@ -134,14 +145,17 @@ impl SemServer {
                                     Capability::IbeDecrypt,
                                     outcome_of(&result),
                                     bytes,
+                                    latency,
                                 );
                                 let _ = reply.send(result);
                             }
                             Job::GdhHalfSign { id, message, reply } => {
+                                let started = Instant::now();
                                 let result = {
                                     let inner = state.inner.read();
                                     inner.gdh.half_sign(state.params.curve(), &id, &message)
                                 };
+                                let latency = started.elapsed();
                                 let bytes = result
                                     .as_ref()
                                     .map(|h| state.params.curve().point_to_bytes(&h.0).len())
@@ -151,6 +165,7 @@ impl SemServer {
                                     Capability::GdhSign,
                                     outcome_of(&result),
                                     bytes,
+                                    latency,
                                 );
                                 let _ = reply.send(result);
                             }
@@ -158,28 +173,38 @@ impl SemServer {
                                 // One read-lock acquisition for the
                                 // whole batch — the amortization the
                                 // batched endpoint exists for.
-                                let results: Vec<BatchReply> = {
+                                let served: Vec<(BatchReply, Duration)> = {
                                     let inner = state.inner.read();
                                     items
                                         .iter()
-                                        .map(|item| match item {
-                                            BatchItem::IbeToken { id, u } => BatchReply::IbeToken(
-                                                inner.ibe.decrypt_token(&state.params, id, u),
-                                            ),
-                                            BatchItem::GdhHalfSign { id, message } => {
-                                                BatchReply::GdhHalfSign(inner.gdh.half_sign(
-                                                    state.params.curve(),
-                                                    id,
-                                                    message,
-                                                ))
-                                            }
+                                        .map(|item| {
+                                            let started = Instant::now();
+                                            let result = match item {
+                                                BatchItem::IbeToken { id, u } => {
+                                                    BatchReply::IbeToken(inner.ibe.decrypt_token(
+                                                        &state.params,
+                                                        id,
+                                                        u,
+                                                    ))
+                                                }
+                                                BatchItem::GdhHalfSign { id, message } => {
+                                                    BatchReply::GdhHalfSign(inner.gdh.half_sign(
+                                                        state.params.curve(),
+                                                        id,
+                                                        message,
+                                                    ))
+                                                }
+                                            };
+                                            (result, started.elapsed())
                                         })
                                         .collect()
                                 };
-                                state.audit.note_batch();
-                                for (item, result) in items.iter().zip(&results) {
-                                    audit_batch_item(&state, item, result);
+                                state.audit.note_batch(items.len());
+                                for (item, (result, latency)) in items.iter().zip(&served) {
+                                    audit_batch_item(&state, item, result, *latency);
                                 }
+                                let results: Vec<BatchReply> =
+                                    served.into_iter().map(|(result, _)| result).collect();
                                 let _ = reply.send(results);
                             }
                         }
@@ -243,6 +268,17 @@ impl SemServer {
     /// Single-vs-batched transport counters.
     pub fn audit_transport(&self) -> crate::audit::TransportStats {
         self.state.audit.transport_stats()
+    }
+
+    /// Retained audit records (bounded by the configured ring cap).
+    pub fn audit_len(&self) -> usize {
+        self.state.audit.len()
+    }
+
+    /// Serializable point-in-time metrics view (counters, identity
+    /// metering, latency and batch-size histograms).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.state.audit.metrics()
     }
 
     /// A client handle.
@@ -379,16 +415,20 @@ fn outcome_of<T>(result: &Result<T, Error>) -> Outcome {
 
 /// Audits one item of a processed batch (items and replies are zipped
 /// in request order, so the shapes always correspond).
-fn audit_batch_item(state: &State, item: &BatchItem, result: &BatchReply) {
+fn audit_batch_item(state: &State, item: &BatchItem, result: &BatchReply, latency: Duration) {
     match (item, result) {
         (BatchItem::IbeToken { id, .. }, BatchReply::IbeToken(result)) => {
             let bytes = result
                 .as_ref()
                 .map(|t| state.params.curve().gt_to_bytes(&t.0).len())
                 .unwrap_or(0);
-            state
-                .audit
-                .record_batched(id, Capability::IbeDecrypt, outcome_of(result), bytes);
+            state.audit.record_batched(
+                id,
+                Capability::IbeDecrypt,
+                outcome_of(result),
+                bytes,
+                latency,
+            );
         }
         (BatchItem::GdhHalfSign { id, .. }, BatchReply::GdhHalfSign(result)) => {
             let bytes = result
@@ -397,7 +437,7 @@ fn audit_batch_item(state: &State, item: &BatchItem, result: &BatchReply) {
                 .unwrap_or(0);
             state
                 .audit
-                .record_batched(id, Capability::GdhSign, outcome_of(result), bytes);
+                .record_batched(id, Capability::GdhSign, outcome_of(result), bytes, latency);
         }
         _ => unreachable!("batch replies are produced in item order"),
     }
@@ -731,6 +771,43 @@ mod tests {
         assert_eq!(t.batched_items, 16);
         // Each client covers 8 requests in batches of 5: ⌈8/5⌉ = 2.
         assert_eq!(t.batches, 4);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bounded_audit_and_metrics_via_spawn_with() {
+        let mut rng = StdRng::seed_from_u64(111);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let server = SemServer::spawn_with(
+            pkg.params().clone(),
+            2,
+            AuditConfig {
+                audit_cap: 4,
+                identity_cap: 2,
+            },
+        );
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        for _ in 0..10 {
+            client.ibe_token("alice", &c.u).unwrap();
+        }
+        // Mint more identities than the cap: extras fold into overflow.
+        for i in 0..5 {
+            let _ = client.ibe_token(&format!("ghost{i}"), &c.u);
+        }
+        assert_eq!(server.audit_len(), 4);
+        let m = server.metrics();
+        assert_eq!(m.records_len, 4);
+        assert_eq!(m.records_dropped, 11);
+        assert!(m.identities_tracked <= 2);
+        assert_eq!(m.totals.served + m.totals.refused, 15);
+        // Latency got measured for every request.
+        let (_, ibe_latency) = &m.latency_us[0];
+        assert_eq!(ibe_latency.count(), 15);
+        assert!(ibe_latency.sum() > 0);
         server.shutdown();
     }
 

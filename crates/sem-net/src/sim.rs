@@ -21,6 +21,7 @@
 //! Outputs are latency percentiles and worker utilization — the
 //! capacity-planning numbers for E12.
 
+use crate::audit::Histogram;
 use crate::latency::LinkModel;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -70,8 +71,14 @@ impl SimConfig {
     }
 }
 
+/// Number of buckets in [`SimResult::latency_hist`]: powers of two
+/// from 1 µs up to ~2 s, plus the overflow bucket (mirrors the live
+/// server's latency histograms, so simulated and measured
+/// distributions are directly comparable).
+const SIM_LATENCY_BUCKETS: usize = 22;
+
 /// Latency statistics over all completed operations.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Completed operations.
     pub completed: usize,
@@ -85,6 +92,9 @@ pub struct SimResult {
     pub worker_utilization: f64,
     /// Total simulated wall time.
     pub makespan: Duration,
+    /// Full end-to-end latency distribution (microseconds), in the
+    /// same log-spaced shape the live daemon exports.
+    pub latency_hist: Histogram,
 }
 
 /// One pending simulation event.
@@ -217,6 +227,10 @@ pub fn run(config: &SimConfig) -> SimResult {
         let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
         Duration::from_nanos(latencies[idx])
     };
+    let mut latency_hist = Histogram::new(SIM_LATENCY_BUCKETS);
+    for &ns in &latencies {
+        latency_hist.observe(ns / 1_000);
+    }
     let total_worker_ns = last_event_ns.max(1) * config.workers as u64;
     SimResult {
         completed: latencies.len(),
@@ -225,6 +239,7 @@ pub fn run(config: &SimConfig) -> SimResult {
         max: Duration::from_nanos(*latencies.last().expect("some ops")),
         worker_utilization: busy_ns as f64 / total_worker_ns as f64,
         makespan: Duration::from_nanos(last_event_ns),
+        latency_hist,
     }
 }
 
@@ -247,6 +262,15 @@ mod tests {
         assert!(result.p50 <= result.p95);
         assert!(result.p95 <= result.max);
         assert!(result.worker_utilization > 0.0 && result.worker_utilization <= 1.0);
+        // Every completed operation is in the histogram, and its
+        // bucket-resolution median brackets the exact one.
+        assert_eq!(result.latency_hist.count() as usize, result.completed);
+        assert!(
+            Duration::from_micros(result.latency_hist.quantile(0.5)) * 2 >= result.p50,
+            "histogram median {}µs far below exact {:?}",
+            result.latency_hist.quantile(0.5),
+            result.p50
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! The chaos suite in `tests/chaos.rs` drives all of this through the
 //! [`crate::faults`] injection harness.
 
-use crate::audit::{AuditLog, Capability, Outcome};
+use crate::audit::{AuditConfig, AuditLog, Capability, MetricsSnapshot, Outcome};
 use crate::proto::{self, Op, Request, Response, Status};
 use crate::server::{BatchItem, BatchReply};
 use parking_lot::{Mutex, RwLock};
@@ -44,7 +44,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often the non-blocking accept loop polls for new connections
 /// and re-checks the shutdown flag. Polling (instead of a blocking
@@ -71,6 +71,9 @@ pub struct ServerConfig {
     /// Max simultaneous connections. The acceptor drops sockets beyond
     /// the cap before reading anything from them.
     pub max_connections: usize,
+    /// Memory bounds for the daemon's audit log and identity metering
+    /// (ring-buffer cap, identity-cardinality cap).
+    pub audit: AuditConfig,
 }
 
 impl Default for ServerConfig {
@@ -80,6 +83,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_connections: 256,
+            audit: AuditConfig::default(),
         }
     }
 }
@@ -266,7 +270,7 @@ impl TcpSemServer {
             params,
             inner: RwLock::new(Inner::default()),
             shutdown: AtomicBool::new(false),
-            audit: AuditLog::new(),
+            audit: AuditLog::with_config(config.audit.clone()),
             config,
             conns: Mutex::new(HashMap::new()),
             live: AtomicUsize::new(0),
@@ -347,6 +351,17 @@ impl TcpSemServer {
     /// counters (deadline disconnects, refused connections).
     pub fn audit_transport(&self) -> crate::audit::TransportStats {
         self.shared.audit.transport_stats()
+    }
+
+    /// Retained audit records (bounded by the configured ring cap).
+    pub fn audit_len(&self) -> usize {
+        self.shared.audit.len()
+    }
+
+    /// Serializable point-in-time metrics view — what the `stats` wire
+    /// op (and `sempair stats`) returns.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.audit.metrics()
     }
 
     /// Stops the acceptor, force-closes every live connection, and
@@ -495,7 +510,15 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
             },
             Some(items) => handle_batch(&items, shared),
         },
+        // An operator metrics pull, not a user request: answered from
+        // the audit log itself and (deliberately) not audited, so
+        // polling a dashboard never perturbs the numbers it reads.
+        Op::Stats => Response {
+            status: Status::Ok,
+            body: shared.audit.metrics().to_prometheus_text().into_bytes(),
+        },
         op => {
+            let started = Instant::now();
             let (capability, response) = {
                 let inner = shared.inner.read();
                 serve_item(op, &request.id, &request.body, shared, &inner)
@@ -505,6 +528,7 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
                 capability,
                 outcome_for(response.status),
                 response.body.len(),
+                started.elapsed(),
             );
             response
         }
@@ -514,23 +538,32 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
 /// Serves a whole decoded batch under one read-lock acquisition and
 /// wraps the per-item responses into one ok-frame.
 fn handle_batch(items: &[Request], shared: &Shared) -> Response {
-    let served: Vec<(Capability, Response)> = {
+    let served: Vec<(Capability, Response, Duration)> = {
         let inner = shared.inner.read();
         items
             .iter()
-            .map(|item| serve_item(item.op, &item.id, &item.body, shared, &inner))
+            .map(|item| {
+                let started = Instant::now();
+                let (capability, response) =
+                    serve_item(item.op, &item.id, &item.body, shared, &inner);
+                (capability, response, started.elapsed())
+            })
             .collect()
     };
-    shared.audit.note_batch();
-    for (item, (capability, response)) in items.iter().zip(&served) {
+    shared.audit.note_batch(items.len());
+    for (item, (capability, response, latency)) in items.iter().zip(&served) {
         shared.audit.record_batched(
             &item.id,
             *capability,
             outcome_for(response.status),
             response.body.len(),
+            *latency,
         );
     }
-    let replies: Vec<Response> = served.into_iter().map(|(_, response)| response).collect();
+    let replies: Vec<Response> = served
+        .into_iter()
+        .map(|(_, response, _)| response)
+        .collect();
     Response {
         status: Status::Ok,
         body: proto::encode_batch_replies(&replies),
@@ -581,6 +614,7 @@ fn serve_item(
             (Capability::GdhSign, response)
         }
         Op::Batch => unreachable!("nested batches are rejected at decode"),
+        Op::Stats => unreachable!("stats is handled before item dispatch"),
     }
 }
 
@@ -758,6 +792,38 @@ impl TcpSemClient {
             .point_from_bytes(&response.body)
             .map(HalfSignature)
             .map_err(|_| Error::InvalidCiphertext)
+    }
+
+    /// Pulls the daemon's metrics snapshot in its Prometheus-style
+    /// text exposition (the raw `sempair stats` output).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] once the retry budget is exhausted; a
+    /// non-UTF-8 reply body as [`Error::InvalidCiphertext`].
+    pub fn stats_text(&mut self) -> Result<String, Error> {
+        let request = Request {
+            op: Op::Stats,
+            id: String::new(),
+            body: vec![],
+        };
+        let response = self.exchange(&request)?;
+        if let Some(err) = response.status.to_error() {
+            return Err(err);
+        }
+        String::from_utf8(response.body).map_err(|_| Error::InvalidCiphertext)
+    }
+
+    /// [`TcpSemClient::stats_text`] parsed back into a
+    /// [`MetricsSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TcpSemClient::stats_text`]; an exposition
+    /// that fails to parse as [`Error::InvalidCiphertext`].
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, Error> {
+        let text = self.stats_text()?;
+        MetricsSnapshot::from_prometheus_text(&text).ok_or(Error::InvalidCiphertext)
     }
 
     /// Sends a mixed batch of requests as **one** frame each way and
@@ -940,6 +1006,44 @@ mod tests {
         assert_eq!(stats.served, 1);
         assert_eq!(stats.refused, 1);
         assert!(server.audit_bytes_out() > 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_op_exposes_parseable_metrics() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            audit: AuditConfig {
+                audit_cap: 2,
+                identity_cap: 8,
+            },
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        for _ in 0..5 {
+            client.ibe_token("alice", &c.u).unwrap();
+        }
+        let text = client.stats_text().unwrap();
+        assert!(text.contains("sem_requests_served_total 5"));
+        let snapshot = client.metrics().unwrap();
+        // Identical to the in-process view modulo the clock.
+        let mut local = server.metrics();
+        let mut remote = snapshot.clone();
+        local.uptime = Duration::ZERO;
+        remote.uptime = Duration::ZERO;
+        assert_eq!(remote, local);
+        assert_eq!(snapshot.records_len, 2);
+        assert_eq!(snapshot.records_dropped, 3);
+        assert_eq!(snapshot.totals.served, 5);
+        let (_, ibe_latency) = &snapshot.latency_us[0];
+        assert_eq!(ibe_latency.count(), 5);
+        // The metrics pull itself is not audited: pulling twice
+        // changes nothing.
+        let again = client.metrics().unwrap();
+        assert_eq!(again.totals, snapshot.totals);
+        assert_eq!(again.transport, snapshot.transport);
         server.shutdown();
     }
 

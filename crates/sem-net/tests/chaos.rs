@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use sempair_core::bf_ibe::{FullCiphertext, Pkg};
 use sempair_core::mediated::UserKey;
 use sempair_core::Error;
+use sempair_net::audit::AuditConfig;
 use sempair_net::faults::{Fault, FaultPlan, FaultProfile, FaultProxy};
 use sempair_net::proto;
 use sempair_net::tcp::{ClientConfig, ServerConfig, TcpSemClient, TcpSemServer};
@@ -288,6 +289,52 @@ fn oversized_identity_never_reaches_the_wire() {
     );
     client.ibe_token("alice", &c.u).unwrap();
     proxy.shutdown();
+    server.shutdown();
+}
+
+/// A reconnect storm hammering a full daemon cannot grow its memory:
+/// every refused connection is counted, but the audit ring stays at
+/// its cap and the identity map cannot exceed its cardinality cap —
+/// cycling ephemeral source ports mints no new identities because
+/// refused peers are keyed by IP.
+#[test]
+fn refused_connection_storm_cannot_grow_audit_state() {
+    const STORM: usize = 40;
+    let (pkg, server, _, c) = setup(ServerConfig {
+        max_connections: 1,
+        audit: AuditConfig {
+            audit_cap: 8,
+            identity_cap: 4,
+        },
+        ..ServerConfig::default()
+    });
+    // Occupy the only admission slot with a served request, so every
+    // storm connection below is refused at accept.
+    let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+    let _ = client.ibe_token("alice", &c.u);
+    // The storm: each connect uses a fresh ephemeral port.
+    for _ in 0..STORM {
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 1];
+        let got = conn.read(&mut buf);
+        assert!(matches!(got, Ok(0) | Err(_)), "storm conn must be refused");
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while (server.audit_transport().refused_conns as usize) < STORM && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let m = server.metrics();
+    assert_eq!(m.transport.refused_conns as usize, STORM);
+    // Bounded: the ring stayed at its cap and evictions were counted.
+    assert_eq!(m.records_len, 8);
+    assert!(m.records_dropped > 0);
+    // All storm peers share one IP → exactly one refused-conn identity
+    // (plus "alice"), and in any case no more than the cardinality cap.
+    assert!(m.identities_tracked <= 4);
+    assert_eq!(server.audit_stats("127.0.0.1").refused as usize, STORM);
+    // The admitted connection still works through the storm's wake.
+    let _ = client.ibe_token("alice", &c.u);
     server.shutdown();
 }
 

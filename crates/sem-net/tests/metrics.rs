@@ -1,0 +1,130 @@
+//! Bounded-observability regression suite.
+//!
+//! The SEM stays online for the system's lifetime (§4), so its audit
+//! and metering state must be constant-size in traffic and identity
+//! count. These tests soak the bounded structures far past their caps
+//! and pull the metrics snapshot end-to-end over the wire — the
+//! ISSUE 3 acceptance scenario.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::Pkg;
+use sempair_net::audit::{
+    AuditConfig, AuditLog, Capability, MetricsSnapshot, Outcome, OVERFLOW_IDENTITY,
+};
+use sempair_net::tcp::{ServerConfig, TcpSemClient, TcpSemServer};
+use sempair_pairing::CurveParams;
+use std::time::Duration;
+
+/// The tentpole soak: ≥100k appends against a small ring cap. Memory
+/// must stay at the cap (len never exceeds it), the eviction counter
+/// must account for every displaced record, and the identity map must
+/// stay under its cardinality cap even with every identity distinct.
+#[test]
+fn soak_100k_records_stays_bounded() {
+    const SOAK: usize = 100_000;
+    const AUDIT_CAP: usize = 512;
+    const IDENTITY_CAP: usize = 64;
+    let log = AuditLog::with_config(AuditConfig {
+        audit_cap: AUDIT_CAP,
+        identity_cap: IDENTITY_CAP,
+    });
+    let mut peak_len = 0;
+    for i in 0..SOAK {
+        // Every request names a fresh identity — the adversarial shape
+        // that used to grow both the record vec and the identity map
+        // without bound.
+        log.record(
+            &format!("user-{i}"),
+            if i % 2 == 0 {
+                Capability::IbeDecrypt
+            } else {
+                Capability::GdhSign
+            },
+            Outcome::Served,
+            64,
+            Duration::from_micros((i % 1000) as u64),
+        );
+        if i % 1000 == 0 {
+            peak_len = peak_len.max(log.len());
+        }
+    }
+    assert_eq!(log.len(), AUDIT_CAP);
+    assert!(peak_len <= AUDIT_CAP, "ring exceeded its cap: {peak_len}");
+    assert_eq!(log.records_dropped(), (SOAK - AUDIT_CAP) as u64);
+    assert!(log.identities_tracked() <= IDENTITY_CAP);
+    // Aggregates stay exact despite the folding and eviction.
+    let m = log.metrics();
+    assert_eq!(m.totals.served, SOAK as u64);
+    assert_eq!(m.totals.bytes_out, (SOAK * 64) as u64);
+    let overflow = log.stats_for(OVERFLOW_IDENTITY);
+    assert_eq!(overflow.served, (SOAK - IDENTITY_CAP) as u64);
+    // Every observation landed in a latency histogram.
+    let observed: u64 = m.latency_us.iter().map(|(_, h)| h.count()).sum();
+    assert_eq!(observed, SOAK as u64);
+    // And the whole snapshot round-trips through the text exposition.
+    let text = m.to_prometheus_text();
+    assert!(text.contains(&format!(
+        "sem_audit_records_dropped_total {}",
+        SOAK - AUDIT_CAP
+    )));
+    assert_eq!(MetricsSnapshot::from_prometheus_text(&text), Some(m));
+}
+
+/// The acceptance scenario over real sockets: a daemon bound with
+/// explicit `--audit-cap`-style bounds serves a request storm; the
+/// ring holds exactly the cap, and the `stats` wire op returns a
+/// parseable snapshot carrying latency histograms and the drop
+/// counter.
+#[test]
+fn wire_stats_after_storm_parse_and_report_drops() {
+    const REQUESTS: usize = 50;
+    const AUDIT_CAP: usize = 16;
+    const IDENTITY_CAP: usize = 8;
+    let mut rng = StdRng::seed_from_u64(0x0B5);
+    let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+    let pkg = Pkg::setup(&mut rng, curve);
+    let server = TcpSemServer::bind_with(
+        "127.0.0.1:0",
+        pkg.params().clone(),
+        ServerConfig {
+            audit: AuditConfig {
+                audit_cap: AUDIT_CAP,
+                identity_cap: IDENTITY_CAP,
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+    server.install_ibe(sem_key);
+    let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+    let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+    for i in 0..REQUESTS {
+        if i % 5 == 0 {
+            // Sprinkle fresh identities past the cardinality cap.
+            let _ = client.ibe_token(&format!("ghost-{i}"), &c.u);
+        } else {
+            client.ibe_token("alice", &c.u).unwrap();
+        }
+    }
+    assert_eq!(server.audit_len(), AUDIT_CAP);
+    // Pull the snapshot over the wire, as `sempair stats` does.
+    let text = client.stats_text().unwrap();
+    let snapshot = MetricsSnapshot::from_prometheus_text(&text).expect("parseable exposition");
+    assert_eq!(snapshot.records_len, AUDIT_CAP);
+    assert_eq!(snapshot.audit_cap, AUDIT_CAP);
+    assert_eq!(snapshot.records_dropped, (REQUESTS - AUDIT_CAP) as u64);
+    assert!(snapshot.identities_tracked <= IDENTITY_CAP);
+    assert_eq!(
+        snapshot.totals.served + snapshot.totals.refused,
+        REQUESTS as u64
+    );
+    // Latency histograms made it across the wire intact.
+    let (capability, ibe_latency) = &snapshot.latency_us[0];
+    assert_eq!(*capability, Capability::IbeDecrypt);
+    assert_eq!(ibe_latency.count(), REQUESTS as u64);
+    assert!(ibe_latency.sum() > 0);
+    assert!(ibe_latency.quantile(0.95) >= ibe_latency.quantile(0.5));
+    server.shutdown();
+}

@@ -18,6 +18,13 @@ cargo build --release
 echo "== tier-1: cargo test -q (workspace minus network crate)"
 cargo test -q --workspace --exclude sempair-net
 
+# The bounded-observability suite soaks the audit ring past 100k
+# records and pulls metrics over live sockets; run it first and alone
+# so a regression in the bounds (or a wedged stats handler) is named
+# directly instead of drowning in the full suite.
+echo "== tier-1: cargo test -q -p sempair-net --test metrics (under hard timeout)"
+timeout --kill-after=10s 120s cargo test -q -p sempair-net --test metrics
+
 # The network crate opens real sockets; a reintroduced hang (a handler
 # that never honors its deadline, a drain that never joins) must fail
 # the gate fast instead of wedging it. `timeout` kills the whole test

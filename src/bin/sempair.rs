@@ -13,6 +13,7 @@
 //! sempair revoke --dir /tmp/demo alice@example.com
 //! sempair decrypt --dir /tmp/demo alice@example.com "$(cat ct.hex)"   # refused
 //! sempair audit  --dir /tmp/demo
+//! sempair stats  --dir /tmp/demo --sem 127.0.0.1:7003   # live daemon metrics
 //! ```
 //!
 //! State layout under `--dir` (default `./sempair-state`):
@@ -26,6 +27,7 @@ use sempair::core::bf_ibe::{FullCiphertext, Pkg};
 use sempair::core::gdh::{self, GdhSem, GdhSemKey, GdhUser};
 use sempair::core::mediated::Sem;
 use sempair::core::wire;
+use sempair::net::audit::MetricsSnapshot;
 use sempair::net::tcp::{ClientConfig, ServerConfig, TcpSemClient, TcpSemServer};
 use sempair::pairing::{CurveParams, CurveParamsSpec};
 use sempair_bigint::BigUint;
@@ -106,6 +108,18 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--sem-retries: `{raw}` is not a number"))?;
             }
+            "--audit-cap" => {
+                let raw = args.next().ok_or("--audit-cap needs a value")?;
+                server_config.audit.audit_cap = raw
+                    .parse()
+                    .map_err(|_| format!("--audit-cap: `{raw}` is not a number"))?;
+            }
+            "--identity-cap" => {
+                let raw = args.next().ok_or("--identity-cap needs a value")?;
+                server_config.audit.identity_cap = raw
+                    .parse()
+                    .map_err(|_| format!("--identity-cap: `{raw}` is not a number"))?;
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -124,9 +138,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|serve> \
+    "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|stats|serve> \
      [--dir DIR] [--fast|--paper] [--sem ADDR] [--sem-timeout SECS] [--sem-retries N] \
-     [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] [args...]"
+     [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] \
+     [--audit-cap N] [--identity-cap N] [args...]"
         .to_string()
 }
 
@@ -143,6 +158,7 @@ fn run() -> Result<(), String> {
         "unrevoke" => cmd_set_revoked(&args, false),
         "status" => cmd_status(&args),
         "audit" => cmd_audit(&args),
+        "stats" => cmd_stats(&args),
         "serve" => cmd_serve(&args),
         _ => Err(usage()),
     }
@@ -496,6 +512,51 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `stats`: pull the bounded-observability snapshot from a running SEM
+/// daemon (`--sem ADDR`) and print it in Prometheus text exposition
+/// format, followed by a short human summary (request totals, drop
+/// counter, per-capability latency quantiles).
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let addr = args
+        .sem_addr
+        .as_deref()
+        .ok_or("stats needs --sem ADDR (a running `sempair serve` daemon)")?;
+    let (_, pkg) = load_system(&args.dir)?;
+    let mut client =
+        TcpSemClient::connect_with(addr, pkg.params().clone(), args.client_config.clone())
+            .map_err(|e| format!("cannot reach SEM at {addr}: {e}"))?;
+    let text = client
+        .stats_text()
+        .map_err(|e| format!("SEM refused stats: {e}"))?;
+    print!("{text}");
+    let Some(snapshot) = MetricsSnapshot::from_prometheus_text(&text) else {
+        return Err("daemon returned an unparseable metrics snapshot".into());
+    };
+    println!(
+        "# summary: {} served / {} refused, {} audit records kept (cap {}), {} dropped, \
+         {} identities tracked (cap {})",
+        snapshot.totals.served,
+        snapshot.totals.refused,
+        snapshot.records_len,
+        snapshot.audit_cap,
+        snapshot.records_dropped,
+        snapshot.identities_tracked,
+        snapshot.identity_cap,
+    );
+    for (capability, hist) in &snapshot.latency_us {
+        if hist.count() > 0 {
+            println!(
+                "# summary: {} latency ~p50 {}us / ~p95 {}us over {} requests",
+                capability.label(),
+                hist.quantile(0.5),
+                hist.quantile(0.95),
+                hist.count(),
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `serve`: run the SEM daemon over the state directory. Loads every
 /// `sem/*.ibe` and `sem/*.gdh` half-key plus the revocation list and
 /// listens on the given address (default `127.0.0.1:7003`).
@@ -541,12 +602,15 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     }
     println!(
         "SEM daemon listening on {} ({installed} half-keys installed, \
-         idle {}s / read {}s / write {}s deadlines, {} conns max); Ctrl-C to stop",
+         idle {}s / read {}s / write {}s deadlines, {} conns max, \
+         audit ring {} records / {} identities); Ctrl-C to stop",
         server.local_addr(),
         args.server_config.idle_timeout.as_secs(),
         args.server_config.read_timeout.as_secs(),
         args.server_config.write_timeout.as_secs(),
         args.server_config.max_connections,
+        args.server_config.audit.audit_cap,
+        args.server_config.audit.identity_cap,
     );
     // Serve until killed.
     loop {
