@@ -103,9 +103,8 @@ impl Pkg {
         &self.params
     }
 
-    /// The master key (test hook for cross-checking the threshold and
-    /// split constructions against the centralized scheme).
-    #[cfg(test)]
+    /// The master key. Crate-internal: the threshold and split
+    /// constructions re-deal `s` without exposing it to callers.
     pub(crate) fn master(&self) -> &BigUint {
         &self.master
     }

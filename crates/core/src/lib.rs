@@ -104,6 +104,9 @@ pub enum Error {
     /// The transport to the SEM failed (connection refused, torn, or
     /// deadline exceeded) after exhausting any configured retries.
     Transport,
+    /// Fewer than `t` live, honest SEM replicas answered: the quorum
+    /// needed to combine a token no longer exists.
+    QuorumLost,
 }
 
 impl fmt::Display for Error {
@@ -124,6 +127,7 @@ impl fmt::Display for Error {
             Error::BadThresholdParams(why) => write!(f, "bad threshold parameters: {why}"),
             Error::FrameTooLarge => write!(f, "frame exceeds protocol size limits"),
             Error::Transport => write!(f, "transport failure talking to the SEM"),
+            Error::QuorumLost => write!(f, "fewer than t live honest SEM replicas"),
         }
     }
 }

@@ -15,7 +15,8 @@
 //! their shares and even *reconstruct* the cheater's key share from `t`
 //! honest ones (implemented as [`ThresholdSystem::recover_key_share`]).
 
-use crate::bf_ibe::{BasicCiphertext, IbePublicParams};
+use crate::bf_ibe::{BasicCiphertext, IbePublicParams, Pkg};
+use crate::mediated::UserKey;
 use crate::shamir::{self, Polynomial};
 use crate::Error;
 use rand::RngCore;
@@ -95,6 +96,33 @@ impl ThresholdPkg {
             return Err(Error::BadThresholdParams("t cannot exceed n"));
         }
         let master = curve.random_scalar(rng);
+        Self::from_master(rng, curve, master, t, n)
+    }
+
+    /// Deals a caller-supplied master secret instead of sampling one.
+    ///
+    /// This is how a SEM cluster dealer shares an *existing* secret
+    /// (e.g. the SEM half `s − b` of a mediated key split) across `n`
+    /// replicas: the constant term is fixed, only the blinding
+    /// coefficients are random.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadThresholdParams`] unless `1 ≤ t ≤ n`.
+    pub fn from_master(
+        rng: &mut impl RngCore,
+        curve: CurveParams,
+        master: BigUint,
+        t: usize,
+        n: usize,
+    ) -> Result<Self, Error> {
+        if t == 0 {
+            return Err(Error::BadThresholdParams("t must be at least 1"));
+        }
+        if t > n {
+            return Err(Error::BadThresholdParams("t cannot exceed n"));
+        }
+        let master = &master % curve.order();
         let poly = Polynomial::sample(rng, &master, t, curve.order());
         let p_pub = curve.mul_generator(&master);
         let verification_keys = (1..=n as u32)
@@ -224,22 +252,7 @@ impl ThresholdSystem {
         key_share: &IdKeyShare,
         u: &G1Affine,
     ) -> DecryptionShare {
-        let curve = self.params.curve();
-        let g_i = curve.pairing(u, &key_share.point);
-        let v_i = curve.pairing(curve.generator(), &key_share.point);
-        // Commitment.
-        let rho = curve.random_scalar(rng);
-        let r_point = curve.mul_generator(&rho);
-        let w1 = curve.pairing(curve.generator(), &r_point);
-        let w2 = curve.pairing(u, &r_point);
-        let e = self.proof_challenge(&g_i, &v_i, &w1, &w2);
-        // V = R + e·d_IDᵢ.
-        let v = curve.add(&r_point, &curve.mul(&e, &key_share.point));
-        DecryptionShare {
-            index: key_share.index,
-            value: g_i,
-            proof: Some(EqProof { w1, w2, e, v }),
-        }
+        robust_decryption_share(self.params.curve(), rng, key_share, u)
     }
 
     /// Verifies a robust decryption share for identity `id` and
@@ -379,18 +392,314 @@ impl ThresholdSystem {
 
     /// Fiat–Shamir challenge `e = H(g_i, v_i, w1, w2) mod q`.
     fn proof_challenge(&self, g_i: &Gt, v_i: &Gt, w1: &Gt, w2: &Gt) -> BigUint {
-        let curve = self.params.curve();
-        let digest = derive::transcript_hash(
-            b"sempair-threshold-eqproof",
-            &[
-                &curve.gt_to_bytes(g_i),
-                &curve.gt_to_bytes(v_i),
-                &curve.gt_to_bytes(w1),
-                &curve.gt_to_bytes(w2),
-            ],
-        );
-        &BigUint::from_be_bytes(&digest) % curve.order()
+        eq_proof_challenge(self.params.curve(), g_i, v_i, w1, w2)
     }
+
+    /// Verifies every share, discards invalid ones, and combines the
+    /// first `t` valid shares in the *group*:
+    /// `g = Π ê(U, d_IDᵢ)^{Lᵢ} = ê(U, s·Q_ID)`.
+    ///
+    /// This is the token-level analogue of
+    /// [`recombine_basic_robust`](Self::recombine_basic_robust): a
+    /// mediated deployment hands the combined `Gt` element to the user
+    /// as a decryption token instead of unmasking a `BasicIdent`
+    /// ciphertext. Returns `(token, cheater_indices)`; duplicate player
+    /// indices beyond the first occurrence are discarded, not treated
+    /// as cheating.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::NotEnoughShares`] if fewer than `t` distinct shares
+    /// survive verification, or propagated Lagrange failures.
+    pub fn combine_token_robust(
+        &self,
+        id: &str,
+        u: &G1Affine,
+        shares: &[DecryptionShare],
+    ) -> Result<(Gt, Vec<u32>), Error> {
+        let mut valid: Vec<&DecryptionShare> = Vec::new();
+        let mut cheaters = Vec::new();
+        for share in shares {
+            if valid.iter().any(|s| s.index == share.index) {
+                continue;
+            }
+            match self.verify_decryption_share(id, u, share) {
+                Ok(()) => valid.push(share),
+                Err(_) => cheaters.push(share.index),
+            }
+        }
+        if valid.len() < self.t {
+            return Err(Error::NotEnoughShares {
+                needed: self.t,
+                got: valid.len(),
+            });
+        }
+        let used = &valid[..self.t];
+        let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
+        let curve = self.params.curve();
+        let q = curve.order();
+        let mut g = curve.gt_one();
+        for share in used {
+            let li = shamir::lagrange_coefficient(&indices, share.index, q)?;
+            g = curve.gt_mul(&g, &curve.gt_pow(&share.value, &li));
+        }
+        Ok((g, cheaters))
+    }
+}
+
+impl Pkg {
+    /// Mediated `Keygen` for a *replicated* SEM (§4 meets §3.2): the
+    /// full key `d_ID = s·Q_ID` splits into a user half
+    /// `d_user = b·Q_ID` (uniform `b`) and a SEM half
+    /// `(s − b)·Q_ID` that is never materialized anywhere — instead
+    /// the scalar `s − b` is Shamir-dealt across `n` replicas as a
+    /// per-identity [`ThresholdPkg`], so no single SEM box ever holds
+    /// enough to issue a token alone.
+    ///
+    /// The returned [`ThresholdSystem`] (via
+    /// [`ThresholdPkg::system`]) carries the verification keys a
+    /// quorum client needs to NIZK-check each replica's partial token;
+    /// `t` verified partials Lagrange-combine
+    /// ([`ThresholdSystem::combine_token_robust`]) to
+    /// `ê(U, (s − b)·Q_ID)`, which
+    /// [`UserKey::finish_decrypt`](crate::mediated::UserKey::finish_decrypt)
+    /// completes with `ê(U, b·Q_ID)` exactly like a single-SEM token.
+    ///
+    /// Note the user half is `b·Q_ID`, not the `b·P` of
+    /// [`Pkg::extract_split`]: anchoring both halves on `Q_ID` is what
+    /// makes the SEM half a *scalar* multiple of `Q_ID`, and therefore
+    /// dealable through the §3.2 polynomial machinery with its share
+    /// verification intact.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::BadThresholdParams`] unless `1 ≤ t ≤ n`.
+    pub fn extract_split_threshold(
+        &self,
+        rng: &mut impl RngCore,
+        id: &str,
+        t: usize,
+        n: usize,
+    ) -> Result<(UserKey, ThresholdPkg, Vec<IdKeyShare>), Error> {
+        let curve = self.params().curve();
+        let q = curve.order();
+        let blind = &curve.random_scalar(rng) % q;
+        let q_id = self.params().hash_identity(id);
+        let d_user = curve.mul(&blind, &q_id);
+        // s − b mod q, kept non-negative by adding q first.
+        let sem_scalar = &(&(self.master() % q) + q) - &blind;
+        let tpkg = ThresholdPkg::from_master(rng, curve.clone(), sem_scalar, t, n)?;
+        let shares = tpkg.keygen(id);
+        Ok((
+            UserKey {
+                id: id.to_string(),
+                point: d_user,
+            },
+            tpkg,
+            shares,
+        ))
+    }
+}
+
+/// Computes a robust decryption share (`ê(U, d_IDᵢ)` plus the §3.2
+/// NIZK) from the curve alone — the SEM-replica-side entry point, which
+/// holds a key share but not the cluster's `ThresholdSystem`.
+pub fn robust_decryption_share(
+    curve: &CurveParams,
+    rng: &mut impl RngCore,
+    key_share: &IdKeyShare,
+    u: &G1Affine,
+) -> DecryptionShare {
+    let g_i = curve.pairing(u, &key_share.point);
+    let v_i = curve.pairing(curve.generator(), &key_share.point);
+    // Commitment.
+    let rho = curve.random_scalar(rng);
+    let r_point = curve.mul_generator(&rho);
+    let w1 = curve.pairing(curve.generator(), &r_point);
+    let w2 = curve.pairing(u, &r_point);
+    let e = eq_proof_challenge(curve, &g_i, &v_i, &w1, &w2);
+    // V = R + e·d_IDᵢ.
+    let v = curve.add(&r_point, &curve.mul(&e, &key_share.point));
+    DecryptionShare {
+        index: key_share.index,
+        value: g_i,
+        proof: Some(EqProof { w1, w2, e, v }),
+    }
+}
+
+/// Fiat–Shamir challenge `e = H(g_i, v_i, w1, w2) mod q` shared by
+/// prover and verifier.
+fn eq_proof_challenge(curve: &CurveParams, g_i: &Gt, v_i: &Gt, w1: &Gt, w2: &Gt) -> BigUint {
+    let digest = derive::transcript_hash(
+        b"sempair-threshold-eqproof",
+        &[
+            &curve.gt_to_bytes(g_i),
+            &curve.gt_to_bytes(v_i),
+            &curve.gt_to_bytes(w1),
+            &curve.gt_to_bytes(w2),
+        ],
+    );
+    &BigUint::from_be_bytes(&digest) % curve.order()
+}
+
+// --- wire codec --------------------------------------------------------------
+//
+// `EqProof`'s fields are deliberately private (a proof is opaque), so
+// the byte layout lives here rather than in `crate::wire`. Layout:
+// `u32 index ‖ u8 has_proof ‖ u16 |g| ‖ g` and, when a proof rides
+// along, `u16 |w1| ‖ w1 ‖ u16 |w2| ‖ w2 ‖ u16 |e| ‖ e ‖ point V`
+// (compressed, fixed `point_len`). Trailing bytes are rejected.
+
+fn push_chunk(out: &mut Vec<u8>, bytes: &[u8]) {
+    debug_assert!(bytes.len() <= u16::MAX as usize);
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn take_chunk<'a>(bytes: &mut &'a [u8]) -> Result<&'a [u8], Error> {
+    if bytes.len() < 2 {
+        return Err(Error::InvalidCiphertext);
+    }
+    let len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+    if bytes.len() < 2 + len {
+        return Err(Error::InvalidCiphertext);
+    }
+    let chunk = &bytes[2..2 + len];
+    *bytes = &bytes[2 + len..];
+    Ok(chunk)
+}
+
+/// Encodes a decryption share (with its robustness proof, if any) for
+/// the wire.
+pub fn decryption_share_to_bytes(curve: &CurveParams, share: &DecryptionShare) -> Vec<u8> {
+    let mut out = share.index.to_be_bytes().to_vec();
+    match &share.proof {
+        None => {
+            out.push(0);
+            push_chunk(&mut out, &curve.gt_to_bytes(&share.value));
+        }
+        Some(proof) => {
+            out.push(1);
+            push_chunk(&mut out, &curve.gt_to_bytes(&share.value));
+            push_chunk(&mut out, &curve.gt_to_bytes(&proof.w1));
+            push_chunk(&mut out, &curve.gt_to_bytes(&proof.w2));
+            push_chunk(&mut out, &proof.e.to_be_bytes());
+            out.extend_from_slice(&curve.point_to_bytes(&proof.v));
+        }
+    }
+    out
+}
+
+/// Decodes [`decryption_share_to_bytes`] output.
+///
+/// Decoding validates shape only (group membership of `V`, well-formed
+/// `Gt` elements); whether the share is *honest* is decided by
+/// [`ThresholdSystem::verify_decryption_share`].
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes.
+pub fn decryption_share_from_bytes(
+    curve: &CurveParams,
+    bytes: &[u8],
+) -> Result<DecryptionShare, Error> {
+    if bytes.len() < 5 {
+        return Err(Error::InvalidCiphertext);
+    }
+    let index = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
+    let has_proof = match bytes[4] {
+        0 => false,
+        1 => true,
+        _ => return Err(Error::InvalidCiphertext),
+    };
+    let mut rest = &bytes[5..];
+    let value = curve
+        .gt_from_bytes(take_chunk(&mut rest)?)
+        .map_err(|_| Error::InvalidCiphertext)?;
+    let proof = if has_proof {
+        let w1 = curve
+            .gt_from_bytes(take_chunk(&mut rest)?)
+            .map_err(|_| Error::InvalidCiphertext)?;
+        let w2 = curve
+            .gt_from_bytes(take_chunk(&mut rest)?)
+            .map_err(|_| Error::InvalidCiphertext)?;
+        let e = BigUint::from_be_bytes(take_chunk(&mut rest)?);
+        if rest.len() != curve.point_len() {
+            return Err(Error::InvalidCiphertext);
+        }
+        let v = curve
+            .point_from_bytes(rest)
+            .map_err(|_| Error::InvalidCiphertext)?;
+        rest = &[];
+        Some(EqProof { w1, w2, e, v })
+    } else {
+        None
+    };
+    if !rest.is_empty() {
+        return Err(Error::InvalidCiphertext);
+    }
+    Ok(DecryptionShare {
+        index,
+        value,
+        proof,
+    })
+}
+
+/// Encodes a [`ThresholdSystem`] for persistence: `u32 t ‖ u32 n ‖
+/// P_pub ‖ P_pub^(1) ‖ … ‖ P_pub^(n)` (all points compressed, fixed
+/// `point_len`). The curve itself is *not* serialized — the decoder
+/// supplies it, so one stored curve spec can back many systems.
+pub fn threshold_system_to_bytes(system: &ThresholdSystem) -> Vec<u8> {
+    let curve = system.params.curve();
+    let mut out = (system.t as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(&(system.n as u32).to_be_bytes());
+    out.extend_from_slice(&curve.point_to_bytes(system.params.p_pub()));
+    for vk in &system.verification_keys {
+        out.extend_from_slice(&curve.point_to_bytes(vk));
+    }
+    out
+}
+
+/// Decodes [`threshold_system_to_bytes`] output against `curve`.
+///
+/// # Errors
+///
+/// [`Error::InvalidCiphertext`] on malformed bytes;
+/// [`Error::BadThresholdParams`] when the embedded `(t, n)` are not
+/// `1 ≤ t ≤ n`.
+pub fn threshold_system_from_bytes(
+    curve: &CurveParams,
+    bytes: &[u8],
+) -> Result<ThresholdSystem, Error> {
+    if bytes.len() < 8 {
+        return Err(Error::InvalidCiphertext);
+    }
+    let t = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
+    let n = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    if t == 0 {
+        return Err(Error::BadThresholdParams("t must be at least 1"));
+    }
+    if t > n {
+        return Err(Error::BadThresholdParams("t cannot exceed n"));
+    }
+    let point_len = curve.point_len();
+    let rest = &bytes[8..];
+    if rest.len() != point_len * (n + 1) {
+        return Err(Error::InvalidCiphertext);
+    }
+    let mut points = rest.chunks_exact(point_len).map(|chunk| {
+        curve
+            .point_from_bytes(chunk)
+            .map_err(|_| Error::InvalidCiphertext)
+    });
+    let p_pub = points.next().expect("length checked above")?;
+    let verification_keys = points.collect::<Result<Vec<_>, _>>()?;
+    Ok(ThresholdSystem {
+        params: IbePublicParams::from_parts(curve.clone(), p_pub),
+        t,
+        n,
+        verification_keys,
+    })
 }
 
 #[cfg(test)]
@@ -595,5 +904,160 @@ mod tests {
             ..proof.clone()
         });
         assert!(sys.verify_decryption_share("alice", &c.u, &bad).is_err());
+    }
+
+    #[test]
+    fn from_master_deals_the_given_secret() {
+        let mut rng = StdRng::seed_from_u64(91);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let master = curve.random_scalar(&mut rng);
+        let pkg = ThresholdPkg::from_master(&mut rng, curve.clone(), master.clone(), 2, 3).unwrap();
+        assert_eq!(pkg.master_for_tests(), &master);
+        // P_pub must be master·P, so it matches a centralized PKG.
+        let central = Pkg::from_master(curve, master);
+        assert_eq!(central.params().p_pub(), pkg.system().params().p_pub());
+        // Dealt shares pass the standard player-side validation.
+        for share in pkg.keygen("alice") {
+            assert!(pkg.system().verify_key_share(&share));
+        }
+        pkg.system().check_dealer_consistency(&[1, 3]).unwrap();
+    }
+
+    #[test]
+    fn combine_token_robust_matches_direct_pairing_and_names_cheaters() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"m");
+        let curve = sys.params().curve();
+        let mut dec: Vec<DecryptionShare> = shares
+            .iter()
+            .map(|ks| sys.decryption_share_robust(&mut rng, ks, &c.u))
+            .collect();
+        // Corrupt player 1's share value.
+        dec[0].value = curve.gt_mul(&dec[0].value, &dec[1].value);
+        let (token, cheaters) = sys.combine_token_robust("alice", &c.u, &dec).unwrap();
+        assert_eq!(cheaters, vec![1]);
+        // The combined token equals ê(U, s·Q_ID).
+        let q_id = sys.params().hash_identity("alice");
+        let d_id = curve.mul(pkg.master_for_tests(), &q_id);
+        assert_eq!(token, curve.pairing(&c.u, &d_id));
+        // A duplicated index is skipped, not double-counted.
+        let dup = vec![dec[1].clone(), dec[1].clone(), dec[2].clone()];
+        let (token2, cheaters2) = sys.combine_token_robust("alice", &c.u, &dup).unwrap();
+        assert_eq!(token2, token);
+        assert!(cheaters2.is_empty());
+        // Fewer than t valid shares is a typed failure.
+        assert_eq!(
+            sys.combine_token_robust("alice", &c.u, &dec[..1]),
+            Err(Error::NotEnoughShares { needed: 2, got: 0 })
+        );
+    }
+
+    #[test]
+    fn free_function_share_verifies_under_the_system() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"m");
+        // Replica-side path: curve only, no ThresholdSystem in scope.
+        let ds = robust_decryption_share(sys.params().curve(), &mut rng, &shares[0], &c.u);
+        sys.verify_decryption_share("alice", &c.u, &ds).unwrap();
+    }
+
+    #[test]
+    fn decryption_share_codec_roundtrip() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let curve = sys.params().curve();
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"m");
+        // With proof.
+        let robust = sys.decryption_share_robust(&mut rng, &shares[0], &c.u);
+        let bytes = decryption_share_to_bytes(curve, &robust);
+        let back = decryption_share_from_bytes(curve, &bytes).unwrap();
+        assert_eq!(back, robust);
+        sys.verify_decryption_share("alice", &c.u, &back).unwrap();
+        // Without proof.
+        let plain = sys.decryption_share(&shares[1], &c.u);
+        let bytes = decryption_share_to_bytes(curve, &plain);
+        assert_eq!(decryption_share_from_bytes(curve, &bytes).unwrap(), plain);
+        // Malformed inputs are rejected, never panic.
+        assert!(decryption_share_from_bytes(curve, &[]).is_err());
+        let bytes = decryption_share_to_bytes(curve, &robust);
+        assert!(decryption_share_from_bytes(curve, &bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(decryption_share_from_bytes(curve, &trailing).is_err());
+        let mut bad_flag = bytes;
+        bad_flag[4] = 7;
+        assert!(decryption_share_from_bytes(curve, &bad_flag).is_err());
+    }
+
+    #[test]
+    fn threshold_system_codec_roundtrip() {
+        let (pkg, mut rng) = setup(2, 3);
+        let sys = pkg.system();
+        let curve = sys.params().curve();
+        let bytes = threshold_system_to_bytes(sys);
+        let back = threshold_system_from_bytes(curve, &bytes).unwrap();
+        assert_eq!(back.threshold(), 2);
+        assert_eq!(back.players(), 3);
+        assert_eq!(back.params().p_pub(), sys.params().p_pub());
+        // The decoded system verifies live shares like the original.
+        let shares = pkg.keygen("alice");
+        let c = sys.params().encrypt_basic(&mut rng, "alice", b"m");
+        let ds = robust_decryption_share(curve, &mut rng, &shares[0], &c.u);
+        back.verify_decryption_share("alice", &c.u, &ds).unwrap();
+        // Malformed inputs are rejected, never panic.
+        assert!(threshold_system_from_bytes(curve, &[]).is_err());
+        assert!(threshold_system_from_bytes(curve, &bytes[..bytes.len() - 1]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(threshold_system_from_bytes(curve, &trailing).is_err());
+        let mut bad_t = bytes.clone();
+        bad_t[..4].copy_from_slice(&9u32.to_be_bytes());
+        assert!(threshold_system_from_bytes(curve, &bad_t).is_err());
+        let mut zero_t = bytes;
+        zero_t[..4].copy_from_slice(&0u32.to_be_bytes());
+        assert!(threshold_system_from_bytes(curve, &zero_t).is_err());
+    }
+
+    #[test]
+    fn mediated_threshold_split_decrypts_end_to_end() {
+        use crate::mediated::DecryptToken;
+        let mut rng = StdRng::seed_from_u64(91);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let (user, tpkg, shares) = pkg
+            .extract_split_threshold(&mut rng, "alice", 2, 3)
+            .unwrap();
+        // Every dealt share verifies against the per-identity system.
+        for share in &shares {
+            assert!(tpkg.system().verify_key_share(share));
+        }
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"quorum mail")
+            .unwrap();
+        // Replicas emit robust partials; two of three combine.
+        let curve = pkg.params().curve();
+        let partials: Vec<DecryptionShare> = shares[..2]
+            .iter()
+            .map(|s| robust_decryption_share(curve, &mut rng, s, &c.u))
+            .collect();
+        let (g, cheaters) = tpkg
+            .system()
+            .combine_token_robust("alice", &c.u, &partials)
+            .unwrap();
+        assert!(cheaters.is_empty());
+        // The combined Gt element is a drop-in mediated token.
+        let m = user
+            .finish_decrypt(pkg.params(), &c, &DecryptToken(g))
+            .unwrap();
+        assert_eq!(m, b"quorum mail");
+        // Bad params surface as typed errors.
+        assert!(pkg.extract_split_threshold(&mut rng, "x", 0, 3).is_err());
+        assert!(pkg.extract_split_threshold(&mut rng, "x", 4, 3).is_err());
     }
 }

@@ -272,6 +272,19 @@ impl Histogram {
         self.bucket_upper_bound(self.counts.len() - 1)
     }
 
+    /// Adds `other`'s observations bucket-wise. Works across layouts:
+    /// `other`'s buckets beyond `self`'s last fold into `self`'s
+    /// overflow bucket, which preserves the "last bucket absorbs
+    /// everything larger" reading (at bucket resolution).
+    pub fn merge(&mut self, other: &Histogram) {
+        let last = self.counts.len() - 1;
+        for (i, &c) in other.counts.iter().enumerate() {
+            self.counts[i.min(last)] += c;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Mean observation (0.0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -280,6 +293,21 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+}
+
+/// Health of one SEM replica in a clustered deployment, as seen by
+/// whoever assembled the snapshot (the cluster orchestrator knows
+/// liveness; a quorum client additionally knows cheat counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaHealth {
+    /// Replica index (1-based, matching the threshold player index).
+    pub index: u32,
+    /// `false` once the replica stopped answering (crashed, partitioned,
+    /// or killed).
+    pub reachable: bool,
+    /// Partial tokens from this replica that failed NIZK verification —
+    /// each one is a *caught* byzantine reply, not a served request.
+    pub cheats: u64,
 }
 
 /// Serializable point-in-time view of an [`AuditLog`] — everything an
@@ -312,6 +340,10 @@ pub struct MetricsSnapshot {
     pub latency_us: Vec<(Capability, Histogram)>,
     /// Batch envelope sizes (items per envelope).
     pub batch_sizes: Histogram,
+    /// Per-replica health rows for clustered deployments, sorted by
+    /// replica index. Empty for a single SEM — a snapshot taken from a
+    /// lone [`AuditLog`] never invents replicas.
+    pub replicas: Vec<ReplicaHealth>,
 }
 
 impl MetricsSnapshot {
@@ -417,6 +449,19 @@ impl MetricsSnapshot {
         }
         let _ = writeln!(out, "sem_batch_size_count {}", hist.count());
         let _ = writeln!(out, "sem_batch_size_sum {}", hist.sum());
+        for replica in &self.replicas {
+            let i = replica.index;
+            let _ = writeln!(
+                out,
+                "sem_replica_reachable{{replica=\"{i}\"}} {}",
+                u64::from(replica.reachable)
+            );
+            let _ = writeln!(
+                out,
+                "sem_replica_cheats_total{{replica=\"{i}\"}} {}",
+                replica.cheats
+            );
+        }
         out
     }
 
@@ -430,6 +475,8 @@ impl MetricsSnapshot {
         let mut transport_modes: HashMap<String, u64> = HashMap::new();
         let mut latency: Vec<LatencySeries> = Vec::new();
         let mut batch_buckets: Vec<u64> = Vec::new();
+        // replica index → (reachable, cheats); both series required.
+        let mut replica_rows: HashMap<u32, (Option<bool>, Option<u64>)> = HashMap::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -455,6 +502,17 @@ impl MetricsSnapshot {
                     latency_entry(&mut latency, capability).3 = Some(value);
                 }
                 "sem_batch_size_bucket" => batch_buckets.push(value),
+                "sem_replica_reachable" => {
+                    let index: u32 = label_value(&labels, "replica")?.parse().ok()?;
+                    if value > 1 {
+                        return None;
+                    }
+                    replica_rows.entry(index).or_default().0 = Some(value == 1);
+                }
+                "sem_replica_cheats_total" => {
+                    let index: u32 = label_value(&labels, "replica")?.parse().ok()?;
+                    replica_rows.entry(index).or_default().1 = Some(value);
+                }
                 _ if labels.is_empty() => {
                     scalars.insert(name, value);
                 }
@@ -475,6 +533,17 @@ impl MetricsSnapshot {
             get("sem_batch_size_count")?,
             get("sem_batch_size_sum")?,
         )?;
+        let mut replicas: Vec<ReplicaHealth> = replica_rows
+            .into_iter()
+            .map(|(index, (reachable, cheats))| {
+                Some(ReplicaHealth {
+                    index,
+                    reachable: reachable?,
+                    cheats: cheats?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        replicas.sort_by_key(|r| r.index);
         Some(MetricsSnapshot {
             uptime: Duration::from_micros(get("sem_uptime_microseconds")?),
             records_len: get("sem_audit_records")? as usize,
@@ -501,7 +570,46 @@ impl MetricsSnapshot {
             },
             latency_us,
             batch_sizes,
+            replicas,
         })
+    }
+
+    /// Folds `other` into `self` — the cluster-wide view: counters and
+    /// histograms add, `uptime` takes the longest-lived replica, and
+    /// the per-replica health rows concatenate (then sort by index).
+    ///
+    /// The capacity fields (`audit_cap`, `identity_cap`) add too: the
+    /// merged snapshot describes the cluster's total bounded memory,
+    /// and the bucket invariants (`records_len ≤ audit_cap`,
+    /// `identities_tracked ≤ identity_cap`) keep holding.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        fn add(a: &mut IdentityStats, b: &IdentityStats) {
+            a.served += b.served;
+            a.refused += b.refused;
+            a.bytes_out += b.bytes_out;
+        }
+        self.uptime = self.uptime.max(other.uptime);
+        self.records_len += other.records_len;
+        self.audit_cap += other.audit_cap;
+        self.records_dropped += other.records_dropped;
+        self.identities_tracked += other.identities_tracked;
+        self.identity_cap += other.identity_cap;
+        add(&mut self.totals, &other.totals);
+        add(&mut self.overflow, &other.overflow);
+        self.transport.single += other.transport.single;
+        self.transport.batched_items += other.transport.batched_items;
+        self.transport.batches += other.transport.batches;
+        self.transport.timeouts += other.transport.timeouts;
+        self.transport.refused_conns += other.transport.refused_conns;
+        for (capability, hist) in &other.latency_us {
+            match self.latency_us.iter_mut().find(|(c, _)| c == capability) {
+                Some((_, mine)) => mine.merge(hist),
+                None => self.latency_us.push((*capability, hist.clone())),
+            }
+        }
+        self.batch_sizes.merge(&other.batch_sizes);
+        self.replicas.extend(other.replicas.iter().copied());
+        self.replicas.sort_by_key(|r| r.index);
     }
 }
 
@@ -842,6 +950,7 @@ impl AuditLog {
                 .map(|(&c, h)| (c, h.clone()))
                 .collect(),
             batch_sizes: inner.batch_sizes.clone(),
+            replicas: Vec::new(),
         }
     }
 }
@@ -1264,6 +1373,103 @@ mod tests {
         // A non-integer value breaks it.
         let bad = good.replace("sem_batch_size_sum 0", "sem_batch_size_sum x");
         assert!(MetricsSnapshot::from_prometheus_text(&bad).is_none());
+    }
+
+    #[test]
+    fn replica_rows_round_trip() {
+        let log = AuditLog::new();
+        log.record("alice", Capability::IbeDecrypt, Outcome::Served, 32, NO_LAT);
+        let mut snapshot = log.metrics();
+        snapshot.replicas = vec![
+            ReplicaHealth {
+                index: 1,
+                reachable: true,
+                cheats: 0,
+            },
+            ReplicaHealth {
+                index: 2,
+                reachable: false,
+                cheats: 3,
+            },
+        ];
+        let text = snapshot.to_prometheus_text();
+        assert!(text.contains("sem_replica_reachable{replica=\"1\"} 1"));
+        assert!(text.contains("sem_replica_reachable{replica=\"2\"} 0"));
+        assert!(text.contains("sem_replica_cheats_total{replica=\"2\"} 3"));
+        let parsed = MetricsSnapshot::from_prometheus_text(&text).expect("parseable");
+        assert_eq!(parsed, snapshot);
+        // A replica with only one of the two series is malformed.
+        let missing = text.replace("sem_replica_cheats_total{replica=\"2\"} 3\n", "");
+        assert!(MetricsSnapshot::from_prometheus_text(&missing).is_none());
+        // Reachability must be 0/1.
+        let bad = text.replace(
+            "sem_replica_reachable{replica=\"2\"} 0",
+            "sem_replica_reachable{replica=\"2\"} 7",
+        );
+        assert!(MetricsSnapshot::from_prometheus_text(&bad).is_none());
+    }
+
+    #[test]
+    fn snapshot_merge_accumulates() {
+        let a_log = AuditLog::new();
+        a_log.record(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            100,
+            Duration::from_micros(200),
+        );
+        a_log.note_timeout();
+        let b_log = AuditLog::new();
+        b_log.record(
+            "alice",
+            Capability::IbeDecrypt,
+            Outcome::Served,
+            50,
+            Duration::from_micros(900),
+        );
+        b_log.record(
+            "bob",
+            Capability::GdhSign,
+            Outcome::RefusedRevoked,
+            0,
+            Duration::from_micros(40),
+        );
+        b_log.note_batch(2);
+        let mut merged = a_log.metrics();
+        merged.replicas.push(ReplicaHealth {
+            index: 1,
+            reachable: true,
+            cheats: 0,
+        });
+        let mut b = b_log.metrics();
+        b.replicas.push(ReplicaHealth {
+            index: 2,
+            reachable: true,
+            cheats: 1,
+        });
+        merged.merge(&b);
+        assert_eq!(merged.totals.served, 2);
+        assert_eq!(merged.totals.refused, 1);
+        assert_eq!(merged.totals.bytes_out, 150);
+        assert_eq!(merged.transport.timeouts, 1);
+        assert_eq!(merged.batch_sizes.count, 1);
+        let decrypt_hist = merged
+            .latency_us
+            .iter()
+            .find(|(c, _)| *c == Capability::IbeDecrypt)
+            .map(|(_, h)| h)
+            .expect("ibe_decrypt histogram");
+        assert_eq!(decrypt_hist.count, 2);
+        assert_eq!(decrypt_hist.sum, 1100);
+        assert_eq!(merged.replicas.len(), 2);
+        assert_eq!(merged.replicas[1].cheats, 1);
+        // Merged snapshots still round-trip through the codec.
+        let text = merged.to_prometheus_text();
+        assert_eq!(
+            MetricsSnapshot::from_prometheus_text(&text).expect("parseable"),
+            merged
+        );
     }
 
     #[test]

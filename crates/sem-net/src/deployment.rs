@@ -100,6 +100,27 @@ impl Deployment {
         })
     }
 
+    /// Boots a *replicated* mediation tier instead of the in-process
+    /// [`SemServer`]: a fresh PKG whose per-identity SEM scalars are
+    /// Shamir-dealt across `n` journal-backed TCP replicas, any `t` of
+    /// which form a token quorum (see [`crate::cluster::SemCluster`]).
+    /// Journals live under `state_dir`, so a cluster restarted on the
+    /// same directory replays its revocation state.
+    ///
+    /// # Errors
+    ///
+    /// Socket / journal I/O errors; `InvalidInput` for bad `(t, n)`.
+    pub fn start_cluster(
+        rng: &mut impl RngCore,
+        curve: CurveParams,
+        t: usize,
+        n: usize,
+        state_dir: impl Into<std::path::PathBuf>,
+    ) -> std::io::Result<crate::cluster::SemCluster> {
+        let pkg = Pkg::setup(rng, curve);
+        crate::cluster::SemCluster::start(pkg, t, n, crate::tcp::ServerConfig::default(), state_dir)
+    }
+
     /// Destroys the PKG (masters and all): after this, no new
     /// enrolments — but every enrolled user keeps working through the
     /// SEM. This is the paper's "PKG can be put offline".
@@ -161,6 +182,31 @@ mod tests {
         assert_eq!(alice.client.ibe_token("alice", &c2.u), Err(Error::Revoked));
 
         deployment.shutdown();
+    }
+
+    #[test]
+    fn start_cluster_boots_a_usable_quorum() {
+        let mut rng = StdRng::seed_from_u64(0xE0);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let dir = std::env::temp_dir().join(format!("sempair-deploy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cluster = Deployment::start_cluster(&mut rng, curve, 2, 3, &dir).unwrap();
+        let user = cluster.enroll(&mut rng, "alice").unwrap();
+        let client = cluster.client().unwrap();
+        let params = cluster.params().clone();
+        let c = params
+            .encrypt_full(&mut rng, "alice", b"clustered")
+            .unwrap();
+        let outcome = client.token("alice", &c.u).unwrap();
+        assert_eq!(
+            user.finish_decrypt(&params, &c, &outcome.token).unwrap(),
+            b"clustered"
+        );
+        // The cluster-wide snapshot carries one health row per replica.
+        let snapshot = cluster.metrics().expect("live cluster");
+        assert_eq!(snapshot.replicas.len(), 3);
+        cluster.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

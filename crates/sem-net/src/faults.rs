@@ -15,11 +15,20 @@
 //! globally across reconnects — a plan that drops frame 0 of the
 //! server→client direction drops exactly one response, which is what
 //! lets a test assert "the client retried through one lost reply".
+//!
+//! Beyond per-frame faults, a proxy can *crash* wholesale via
+//! [`CrashMode`]: `Refuse` closes the listening socket (connect fails
+//! fast, as if the process died), `DropAfterAccept` completes the TCP
+//! handshake and then hangs up (the half-crash that only surfaces
+//! after connecting). Both modes also sever already-proxied
+//! connections, and `Normal` revives the replica — which is how the
+//! cluster chaos tests kill a specific SEM mid-workload and later
+//! bring it back.
 
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -49,6 +58,33 @@ pub enum Fault {
         /// XOR mask applied to the byte.
         xor: u8,
     },
+}
+
+/// How the proxy treats *inbound connections* — the knob chaos tests
+/// turn to crash (and later revive) one SEM replica without touching
+/// the replica process itself. Orthogonal to the per-frame
+/// [`FaultPlan`]s, which only see connections that were accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Accept and pump connections normally.
+    Normal,
+    /// Close the listening socket: `connect()` fails fast with
+    /// connection-refused, exactly as if the process were gone.
+    Refuse,
+    /// Complete the TCP handshake, then immediately close the socket —
+    /// the "process up, service wedged" half-crash where clients only
+    /// learn the replica is dead after connecting.
+    DropAfterAccept,
+}
+
+impl CrashMode {
+    fn from_u8(v: u8) -> CrashMode {
+        match v {
+            1 => CrashMode::Refuse,
+            2 => CrashMode::DropAfterAccept,
+            _ => CrashMode::Normal,
+        }
+    }
 }
 
 /// Per-mille fault rates for seeded plans; whatever remains is
@@ -193,6 +229,7 @@ struct StatsInner {
 pub struct FaultProxy {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    crash: Arc<AtomicU8>,
     acceptor: Option<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<TcpStream>>>,
     pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -212,6 +249,7 @@ impl FaultProxy {
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let crash = Arc::new(AtomicU8::new(0));
         let conns = Arc::new(Mutex::new(Vec::new()));
         let pumps = Arc::new(Mutex::new(Vec::new()));
         let stats = Arc::new(StatsInner::default());
@@ -219,15 +257,42 @@ impl FaultProxy {
         let s2c = Arc::new(Mutex::new(s2c));
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
+            let crash = Arc::clone(&crash);
             let conns = Arc::clone(&conns);
             let pumps = Arc::clone(&pumps);
             let stats = Arc::clone(&stats);
+            // The acceptor owns the listener so Refuse mode can drop it
+            // (std's TcpListener binds with SO_REUSEADDR on Unix, so
+            // the later rebind on the same port succeeds even with
+            // lingering TIME_WAIT connections).
+            let mut listener = Some(listener);
             std::thread::spawn(move || loop {
                 if shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                match listener.accept() {
+                let mode = CrashMode::from_u8(crash.load(Ordering::SeqCst));
+                if mode == CrashMode::Refuse {
+                    // Dropping the socket makes connect() fail fast.
+                    listener = None;
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                }
+                if listener.is_none() {
+                    match TcpListener::bind(local_addr) {
+                        Ok(l) if l.set_nonblocking(true).is_ok() => listener = Some(l),
+                        _ => {
+                            std::thread::sleep(ACCEPT_POLL);
+                            continue;
+                        }
+                    }
+                }
+                let accepted = listener.as_ref().expect("rebound above").accept();
+                match accepted {
                     Ok((client, _)) => {
+                        if mode == CrashMode::DropAfterAccept {
+                            let _ = client.shutdown(Shutdown::Both);
+                            continue;
+                        }
                         let _ = client.set_nonblocking(false);
                         let Ok(server) = TcpStream::connect(upstream) else {
                             continue;
@@ -271,6 +336,7 @@ impl FaultProxy {
         Ok(FaultProxy {
             local_addr,
             shutdown,
+            crash,
             acceptor: Some(acceptor),
             conns,
             pumps,
@@ -281,6 +347,32 @@ impl FaultProxy {
     /// The address clients should connect to.
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// Switches how inbound connections are treated. Entering any
+    /// non-[`CrashMode::Normal`] mode also force-closes every
+    /// connection already proxied, so a replica "crashes" for its
+    /// existing clients too, not just new ones. Takes effect within
+    /// one accept-poll interval (~5 ms).
+    pub fn set_crash_mode(&self, mode: CrashMode) {
+        self.crash.store(
+            match mode {
+                CrashMode::Normal => 0,
+                CrashMode::Refuse => 1,
+                CrashMode::DropAfterAccept => 2,
+            },
+            Ordering::SeqCst,
+        );
+        if mode != CrashMode::Normal {
+            for stream in self.conns.lock().drain(..) {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// The currently configured crash mode.
+    pub fn crash_mode(&self) -> CrashMode {
+        CrashMode::from_u8(self.crash.load(Ordering::SeqCst))
     }
 
     /// What the proxy has done so far.
@@ -544,6 +636,126 @@ mod tests {
         assert_eq!(stats.forwarded, 5);
         drop(client);
         proxy.shutdown();
+        let _ = echo.join();
+    }
+
+    /// Echo upstream used by the crash-mode tests: accepts any number
+    /// of connections, echoing frames on each.
+    fn spawn_echo() -> (SocketAddr, Arc<AtomicBool>, JoinHandle<()>) {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = upstream.local_addr().unwrap();
+        upstream.set_nonblocking(true).unwrap();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut workers = Vec::new();
+            while !stop2.load(Ordering::SeqCst) {
+                match upstream.accept() {
+                    Ok((mut stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        workers.push(std::thread::spawn(move || {
+                            while let Ok(Some(payload)) = read_raw_frame(&mut stream) {
+                                let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+                                frame.extend_from_slice(&payload);
+                                if stream.write_all(&frame).is_err() {
+                                    break;
+                                }
+                            }
+                        }));
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+            for w in workers {
+                let _ = w.join();
+            }
+        });
+        (addr, stop, handle)
+    }
+
+    /// One frame echoed through a fresh connection to `addr`.
+    fn echo_once(addr: SocketAddr) -> std::io::Result<Vec<u8>> {
+        let mut client = TcpStream::connect(addr)?;
+        client.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let payload = b"ping";
+        let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+        frame.extend_from_slice(payload);
+        client.write_all(&frame)?;
+        read_raw_frame(&mut client)?
+            .ok_or_else(|| std::io::Error::new(ErrorKind::UnexpectedEof, "closed"))
+    }
+
+    #[test]
+    fn crash_refuse_then_recover() {
+        let (addr, stop, echo) = spawn_echo();
+        let proxy = FaultProxy::spawn(addr, FaultPlan::clean(), FaultPlan::clean()).unwrap();
+        assert_eq!(proxy.crash_mode(), CrashMode::Normal);
+        assert_eq!(echo_once(proxy.local_addr()).unwrap(), b"ping");
+        proxy.set_crash_mode(CrashMode::Refuse);
+        // Within one poll interval the listener is gone: connects fail.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if echo_once(proxy.local_addr()).is_err() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "refuse mode never took effect"
+            );
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        // Reviving the replica rebinds the same port.
+        proxy.set_crash_mode(CrashMode::Normal);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(reply) = echo_once(proxy.local_addr()) {
+                assert_eq!(reply, b"ping");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "proxy never came back after refuse"
+            );
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        proxy.shutdown();
+        stop.store(true, Ordering::SeqCst);
+        let _ = echo.join();
+    }
+
+    #[test]
+    fn crash_drop_after_accept_severs_connections() {
+        let (addr, stop, echo) = spawn_echo();
+        let proxy = FaultProxy::spawn(addr, FaultPlan::clean(), FaultPlan::clean()).unwrap();
+        proxy.set_crash_mode(CrashMode::DropAfterAccept);
+        // Connects may still land (or race the mode flip), but no
+        // request ever completes once the mode is active.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if echo_once(proxy.local_addr()).is_err() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "drop-after-accept never took effect"
+            );
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        proxy.set_crash_mode(CrashMode::Normal);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if let Ok(reply) = echo_once(proxy.local_addr()) {
+                assert_eq!(reply, b"ping");
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "proxy never recovered from drop-after-accept"
+            );
+            std::thread::sleep(ACCEPT_POLL);
+        }
+        proxy.shutdown();
+        stop.store(true, Ordering::SeqCst);
         let _ = echo.join();
     }
 

@@ -31,11 +31,19 @@
 //! and batch-size distributions live in fixed-size log-spaced
 //! histograms — all exportable as a serializable snapshot over the
 //! wire (op 4) or via `sempair stats` ([`audit`]).
+//!
+//! Finally, the single SEM — the architecture's one point of failure —
+//! is replaced by a replicated **(t, n) quorum** ([`cluster`]): each
+//! user's SEM half-key is Shamir-dealt across `n` replicas, a
+//! [`cluster::QuorumClient`] NIZK-verifies every partial token before
+//! combining `t` of them, and per-replica revocation state survives
+//! restarts through an append-only checksummed journal ([`store`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod audit;
+pub mod cluster;
 pub mod deployment;
 pub mod faults;
 pub mod latency;
@@ -43,5 +51,6 @@ pub mod proto;
 pub mod revocation;
 pub mod server;
 pub mod sim;
+pub mod store;
 pub mod tcp;
 pub mod wire;

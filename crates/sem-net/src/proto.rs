@@ -28,6 +28,13 @@
 //! * op `4` (stats): the id and body are empty; the ok-body is the
 //!   daemon's [`crate::audit::MetricsSnapshot`] in its Prometheus-style
 //!   text exposition (UTF-8). Stats requests are not batchable.
+//! * op `5` (token share): body is a compressed `U` point; the ok-body
+//!   is a [`sempair_core::threshold::DecryptionShare`] carrying the
+//!   replica's partial token *and* its §3.2 pairing-equality NIZK
+//!   (`threshold::decryption_share_to_bytes` layout), so the quorum
+//!   client can verify the share against the replica's verification
+//!   key before combining. Token-share requests are not batchable
+//!   (quorum fan-out already parallelizes across replicas).
 //!
 //! The sizes on this wire are exactly the E3 numbers — the protocol is
 //! the paper's bandwidth table made concrete.
@@ -47,6 +54,9 @@ pub enum Op {
     /// Metrics snapshot request (empty id/body; ok-body is the
     /// Prometheus-style text exposition).
     Stats = 4,
+    /// Mediated-IBE partial decryption token with its robustness NIZK
+    /// (one replica of a (t, n) SEM cluster).
+    TokenShare = 5,
 }
 
 impl Op {
@@ -56,6 +66,7 @@ impl Op {
             2 => Some(Op::GdhHalfSign),
             3 => Some(Op::Batch),
             4 => Some(Op::Stats),
+            5 => Some(Op::TokenShare),
             _ => None,
         }
     }
@@ -216,9 +227,9 @@ pub fn decode_response(payload: &[u8]) -> Option<Response> {
 ///
 /// # Panics
 ///
-/// Panics if an item is itself [`Op::Batch`] (batches cannot nest) or
-/// [`Op::Stats`] (stats requests are not batchable), or the batch
-/// exceeds `u16` items.
+/// Panics if an item is itself [`Op::Batch`] (batches cannot nest),
+/// [`Op::Stats`], or [`Op::TokenShare`] (neither is batchable), or the
+/// batch exceeds `u16` items.
 pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
     assert!(
         items.len() <= u16::MAX as usize,
@@ -229,6 +240,10 @@ pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
     for item in items {
         assert!(item.op != Op::Batch, "batches cannot nest");
         assert!(item.op != Op::Stats, "stats requests are not batchable");
+        assert!(
+            item.op != Op::TokenShare,
+            "token-share requests are not batchable"
+        );
         buf.put_u8(item.op as u8);
         buf.put_u16(item.id.len() as u16);
         buf.put_slice(item.id.as_bytes());
@@ -241,7 +256,7 @@ pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
 /// Decodes an [`Op::Batch`] request body into its items.
 ///
 /// Returns `None` for malformed bodies, nested batches, batched stats
-/// requests, or trailing garbage.
+/// or token-share requests, or trailing garbage.
 pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
     let mut buf = body;
     if buf.remaining() < 2 {
@@ -258,7 +273,7 @@ pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
             return None;
         }
         let op = Op::from_u8(buf.get_u8())?;
-        if op == Op::Batch || op == Op::Stats {
+        if op == Op::Batch || op == Op::Stats || op == Op::TokenShare {
             return None;
         }
         let id_len = buf.get_u16() as usize;
@@ -389,6 +404,17 @@ mod tests {
     }
 
     #[test]
+    fn token_share_request_roundtrip() {
+        let req = Request {
+            op: Op::TokenShare,
+            id: "alice@example.com".into(),
+            body: vec![2, 4, 6, 8],
+        };
+        let frame = encode_request(&req).unwrap();
+        assert_eq!(decode_request(&frame[4..]).unwrap(), req);
+    }
+
+    #[test]
     fn malformed_payloads_rejected() {
         assert!(decode_request(&[]).is_none());
         assert!(decode_request(&[9, 0, 0]).is_none()); // bad op
@@ -476,6 +502,10 @@ mod tests {
         let mut stats = vec![0, 1];
         stats.extend_from_slice(&[4, 0, 0, 0, 0, 0, 0]);
         assert!(decode_batch_items(&stats).is_none());
+        // Batched token-share op.
+        let mut share = vec![0, 1];
+        share.extend_from_slice(&[5, 0, 0, 0, 0, 0, 0]);
+        assert!(decode_batch_items(&share).is_none());
         // Trailing garbage after the last item.
         let mut body = encode_batch_items(&[Request {
             op: Op::IbeToken,

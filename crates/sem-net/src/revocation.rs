@@ -11,9 +11,11 @@
 //!    online. A revocation only takes effect when the current epoch
 //!    expires — on average half an epoch of exposure.
 
+use crate::store::{Journal, Record};
 use sempair_core::bf_ibe::{IbePublicParams, Pkg, PrivateKey};
 use sempair_core::Error;
 use std::collections::HashSet;
+use std::path::Path;
 use std::time::Duration;
 
 /// A PKG operating the validity-period scheme with a fixed epoch
@@ -32,10 +34,17 @@ pub struct ValidityPeriodPkg {
     extract_count: u64,
     /// `current_key` queries answered (both grants and refusals).
     lookup_count: u64,
+    /// Durable revocation + epoch state. Without it, a PKG restart
+    /// forgets every revocation and the next rotation happily
+    /// re-issues keys for revoked users — the bug
+    /// [`ValidityPeriodPkg::with_journal`] exists to close.
+    journal: Option<Journal>,
 }
 
 impl ValidityPeriodPkg {
-    /// Wraps a PKG with epoch-based revocation for `users`.
+    /// Wraps a PKG with epoch-based revocation for `users`
+    /// (memory-only state — see [`ValidityPeriodPkg::with_journal`]
+    /// for the crash-safe variant).
     pub fn new(pkg: Pkg, epoch_len: Duration, users: Vec<String>) -> Self {
         ValidityPeriodPkg {
             pkg,
@@ -45,7 +54,30 @@ impl ValidityPeriodPkg {
             revoked: HashSet::new(),
             extract_count: 0,
             lookup_count: 0,
+            journal: None,
         }
+    }
+
+    /// [`ValidityPeriodPkg::new`] backed by the append-only journal at
+    /// `path`: revocations and epoch rollovers replay on construction,
+    /// so a restarted PKG refuses to re-key users revoked before the
+    /// crash instead of silently re-issuing their epoch keys.
+    ///
+    /// # Errors
+    ///
+    /// Journal open/replay I/O errors.
+    pub fn with_journal(
+        pkg: Pkg,
+        epoch_len: Duration,
+        users: Vec<String>,
+        path: impl AsRef<Path>,
+    ) -> std::io::Result<Self> {
+        let (journal, replayed) = Journal::open(path)?;
+        let mut vp = Self::new(pkg, epoch_len, users);
+        vp.epoch = replayed.epoch;
+        vp.revoked = replayed.revoked;
+        vp.journal = Some(journal);
+        Ok(vp)
     }
 
     /// The composite identity string used on the wire: senders encrypt
@@ -85,15 +117,30 @@ impl ValidityPeriodPkg {
     /// keys already issued for the current epoch keep working, which is
     /// precisely the coarseness §4 criticizes.
     pub fn revoke(&mut self, id: &str) {
+        // Durability first: the revocation must survive a crash that
+        // happens before the next rotation, or the restarted PKG will
+        // re-key the user.
+        if let Some(journal) = &mut self.journal {
+            let _ = journal.append(&Record::Revoke(id.to_string()));
+        }
         self.revoked.insert(id.to_string());
     }
 
     /// Rolls over to the next epoch, re-issuing keys for every
     /// unrevoked user (the PKG's periodic workload). Returns the fresh
     /// keys it would push to users.
+    ///
+    /// The rollover is journaled *before* any issuance: a crash
+    /// mid-rotation resumes in the new epoch rather than replaying an
+    /// old one, and issuance always consults the journal-backed
+    /// revocation set — a revoked user never receives an epoch key,
+    /// even across restarts.
     pub fn rotate_epoch(&mut self) -> Vec<PrivateKey> {
         self.epoch += 1;
         let epoch = self.epoch;
+        if let Some(journal) = &mut self.journal {
+            let _ = journal.append(&Record::Epoch(epoch));
+        }
         let mut issued = Vec::new();
         for id in &self.users {
             if self.revoked.contains(id) {
@@ -265,5 +312,42 @@ mod tests {
     fn unknown_user_rejected() {
         let (mut vp, _) = setup(&["alice"]);
         assert_eq!(vp.current_key("mallory"), Err(Error::UnknownIdentity));
+    }
+
+    #[test]
+    fn revocation_survives_pkg_restart_via_journal() {
+        // Pkg holds the master key and is deliberately not Clone; a
+        // "restarted" PKG is rebuilt from the same seed.
+        let fresh_pkg = || {
+            let mut rng = StdRng::seed_from_u64(122);
+            let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+            Pkg::setup(&mut rng, curve)
+        };
+        let path =
+            std::env::temp_dir().join(format!("sempair-vp-journal-{}.journal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let users = vec!["alice".to_string(), "bob".to_string()];
+        let day = Duration::from_secs(86_400);
+
+        let mut vp =
+            ValidityPeriodPkg::with_journal(fresh_pkg(), day, users.clone(), &path).unwrap();
+        vp.revoke("alice");
+        let issued = vp.rotate_epoch();
+        // The rotation already excludes the revoked user…
+        assert_eq!(issued.len(), 1);
+        assert_eq!(vp.epoch(), 1);
+        drop(vp);
+
+        // …and — the regression this test pins — so does a PKG
+        // *rebuilt from the journal*: before journaling, a restart
+        // forgot the revocation and the next rotation re-keyed alice.
+        let mut vp = ValidityPeriodPkg::with_journal(fresh_pkg(), day, users, &path).unwrap();
+        assert_eq!(vp.epoch(), 1, "epoch rollover replayed");
+        let issued = vp.rotate_epoch();
+        assert_eq!(issued.len(), 1, "revoked user must stay excluded");
+        assert_eq!(vp.epoch(), 2);
+        assert_eq!(vp.current_key("alice"), Err(Error::Revoked));
+        assert!(vp.current_key("bob").is_ok());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,357 @@
+//! Crash-safe SEM state: an append-only, checksummed journal.
+//!
+//! The paper keeps the SEM online "all the system's lifetime" (§4),
+//! which in practice means *across restarts* — a revocation that
+//! evaporates when the daemon reboots is no revocation at all. The
+//! journal persists exactly the SEM state that is not re-derivable
+//! from key material: the revocation set and the validity-period epoch
+//! counter.
+//!
+//! **Record layout** (all integers big-endian):
+//!
+//! ```text
+//! u32 payload-len ‖ u32 crc32(payload) ‖ payload
+//! payload = u8 kind ‖ data
+//!   kind 1 (Revoke):   data = identity bytes (UTF-8)
+//!   kind 2 (Unrevoke): data = identity bytes (UTF-8)
+//!   kind 3 (Epoch):    data = u64 epoch
+//! ```
+//!
+//! **Replay semantics.** [`Journal::open`] scans the file from the
+//! start and folds each intact record into a [`ReplayedState`]. The
+//! first record that is short, fails its CRC, carries an unknown kind,
+//! or is otherwise malformed marks a *torn tail* — everything from
+//! that offset on is truncated (a crash mid-append must not brick the
+//! daemon) and replay stops. Corruption is therefore recoverable by
+//! construction: state up to the tear survives, and the next append
+//! extends the truncated file.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Replay refuses to allocate a record larger than this; a bigger
+/// length prefix is treated as tail corruption, not an allocation.
+const MAX_RECORD: usize = 1 << 20;
+
+/// One durable state transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Record {
+    /// The identity joins the revocation set.
+    Revoke(String),
+    /// The identity leaves the revocation set.
+    Unrevoke(String),
+    /// The validity-period epoch counter advanced to this value.
+    Epoch(u64),
+}
+
+impl Record {
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            Record::Revoke(id) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(id.as_bytes());
+                out
+            }
+            Record::Unrevoke(id) => {
+                let mut out = vec![2u8];
+                out.extend_from_slice(id.as_bytes());
+                out
+            }
+            Record::Epoch(epoch) => {
+                let mut out = vec![3u8];
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out
+            }
+        }
+    }
+
+    fn from_payload(payload: &[u8]) -> Option<Record> {
+        let (&kind, data) = payload.split_first()?;
+        match kind {
+            1 => Some(Record::Revoke(String::from_utf8(data.to_vec()).ok()?)),
+            2 => Some(Record::Unrevoke(String::from_utf8(data.to_vec()).ok()?)),
+            3 => {
+                let data: [u8; 8] = data.try_into().ok()?;
+                Some(Record::Epoch(u64::from_be_bytes(data)))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// The state rebuilt by replaying a journal on startup.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayedState {
+    /// Identities revoked as of the last intact record.
+    pub revoked: HashSet<String>,
+    /// Last persisted validity-period epoch (0 if never advanced).
+    pub epoch: u64,
+    /// Intact records replayed.
+    pub records: usize,
+    /// Bytes of torn/corrupt tail that were truncated away.
+    pub truncated_bytes: u64,
+}
+
+impl ReplayedState {
+    fn apply(&mut self, record: &Record) {
+        match record {
+            Record::Revoke(id) => {
+                self.revoked.insert(id.clone());
+            }
+            Record::Unrevoke(id) => {
+                self.revoked.remove(id);
+            }
+            Record::Epoch(epoch) => self.epoch = *epoch,
+        }
+        self.records += 1;
+    }
+}
+
+/// An append-only journal of SEM state transitions.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal at `path`, replays every
+    /// intact record, truncates any torn tail, and positions the file
+    /// for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem; corruption inside
+    /// the file is *not* an error (it is truncated and reported via
+    /// [`ReplayedState::truncated_bytes`]).
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<(Journal, ReplayedState)> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.seek(SeekFrom::Start(0))?;
+        file.read_to_end(&mut raw)?;
+        let mut state = ReplayedState::default();
+        let mut offset = 0usize;
+        while offset < raw.len() {
+            let Some(record_end) = decode_at(&raw, offset) else {
+                break;
+            };
+            let (record, end) = record_end;
+            state.apply(&record);
+            offset = end;
+        }
+        if offset < raw.len() {
+            state.truncated_bytes = (raw.len() - offset) as u64;
+            file.set_len(offset as u64)?;
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((Journal { path, file }, state))
+    }
+
+    /// Appends one record and flushes it to the operating system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/sync failures; on error the record may be
+    /// partially written, which the next [`open`](Self::open) heals by
+    /// truncating the torn tail.
+    pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
+        let payload = record.payload();
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_be_bytes());
+        frame.extend_from_slice(&payload);
+        self.file.write_all(&frame)?;
+        self.file.sync_data()
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Decodes one record at `offset`; `None` marks the torn tail.
+fn decode_at(raw: &[u8], offset: usize) -> Option<(Record, usize)> {
+    let header = raw.get(offset..offset + 8)?;
+    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_RECORD {
+        return None;
+    }
+    let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
+    let payload = raw.get(offset + 8..offset + 8 + len)?;
+    if crc32(payload) != crc {
+        return None;
+    }
+    let record = Record::from_payload(payload)?;
+    Some((record, offset + 8 + len))
+}
+
+// --- CRC-32 (IEEE 802.3, reflected) ------------------------------------------
+//
+// Hand-rolled so the journal stays dependency-free; the table is built
+// at compile time.
+
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 checksum over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A unique path under the system temp dir (no tempfile dep).
+    fn temp_journal(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "sempair-store-{}-{}-{tag}.journal",
+            std::process::id(),
+            n
+        ))
+    }
+
+    struct Cleanup(PathBuf);
+    impl Drop for Cleanup {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // The classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn replay_rebuilds_revocations_and_epoch() {
+        let path = temp_journal("replay");
+        let _cleanup = Cleanup(path.clone());
+        {
+            let (mut journal, state) = Journal::open(&path).unwrap();
+            assert_eq!(state, ReplayedState::default());
+            journal.append(&Record::Revoke("alice".into())).unwrap();
+            journal.append(&Record::Revoke("bob".into())).unwrap();
+            journal.append(&Record::Unrevoke("bob".into())).unwrap();
+            journal.append(&Record::Epoch(7)).unwrap();
+        }
+        let (_, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 4);
+        assert_eq!(state.epoch, 7);
+        assert!(state.revoked.contains("alice"));
+        assert!(!state.revoked.contains("bob"));
+        assert_eq!(state.truncated_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_truncated_and_journal_reusable() {
+        let path = temp_journal("torn");
+        let _cleanup = Cleanup(path.clone());
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            journal.append(&Record::Revoke("alice".into())).unwrap();
+            journal.append(&Record::Revoke("carol".into())).unwrap();
+        }
+        // Simulate a crash mid-append: half a header.
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0x00, 0x00, 0x00]).unwrap();
+        }
+        let (mut journal, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 2);
+        assert_eq!(state.truncated_bytes, 3);
+        assert!(state.revoked.contains("alice") && state.revoked.contains("carol"));
+        // The file was healed to the intact prefix and appends extend it.
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact_len);
+        journal.append(&Record::Revoke("dave".into())).unwrap();
+        let (_, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 3);
+        assert!(state.revoked.contains("dave"));
+    }
+
+    #[test]
+    fn corrupt_record_truncates_from_there() {
+        let path = temp_journal("corrupt");
+        let _cleanup = Cleanup(path.clone());
+        let second_starts;
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            journal.append(&Record::Revoke("alice".into())).unwrap();
+            second_starts = std::fs::metadata(&path).unwrap().len();
+            journal.append(&Record::Revoke("mallory".into())).unwrap();
+            journal.append(&Record::Epoch(3)).unwrap();
+        }
+        // Flip a payload byte inside the second record: its CRC fails,
+        // so it AND everything after it are discarded.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[second_starts as usize + 9] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        let (_, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 1);
+        assert!(state.revoked.contains("alice"));
+        assert!(!state.revoked.contains("mallory"));
+        assert_eq!(state.epoch, 0);
+        assert!(state.truncated_bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), second_starts);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corruption_not_allocation() {
+        let path = temp_journal("oversize");
+        let _cleanup = Cleanup(path.clone());
+        std::fs::write(&path, 0xFFFF_FFFFu32.to_be_bytes()).unwrap();
+        let (_, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 0);
+        assert_eq!(state.truncated_bytes, 4);
+    }
+
+    #[test]
+    fn record_payload_roundtrip() {
+        for record in [
+            Record::Revoke("ålice@example.com".into()),
+            Record::Unrevoke(String::new()),
+            Record::Epoch(u64::MAX),
+        ] {
+            assert_eq!(Record::from_payload(&record.payload()), Some(record));
+        }
+        assert_eq!(Record::from_payload(&[]), None);
+        assert_eq!(Record::from_payload(&[9]), None);
+        assert_eq!(Record::from_payload(&[3, 1, 2]), None, "short epoch");
+        assert_eq!(Record::from_payload(&[1, 0xFF, 0xFE]), None, "bad utf-8");
+    }
+}

@@ -32,15 +32,20 @@
 use crate::audit::{AuditConfig, AuditLog, Capability, MetricsSnapshot, Outcome};
 use crate::proto::{self, Op, Request, Response, Status};
 use crate::server::{BatchItem, BatchReply};
+use crate::store::{Journal, Record, ReplayedState};
 use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use sempair_core::bf_ibe::IbePublicParams;
 use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
 use sempair_core::mediated::{DecryptToken, Sem, SemKey};
+use sempair_core::threshold::{self, DecryptionShare, IdKeyShare};
 use sempair_core::Error;
 use sempair_pairing::G1Affine;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -112,12 +117,23 @@ struct Shared {
     /// Current connection count (the `max_connections` gauge).
     live: AtomicUsize,
     next_conn_id: AtomicU64,
+    /// Durable revocation journal, when the daemon was opened with
+    /// [`TcpSemServer::bind_with_journal`]. Appends are best-effort:
+    /// an I/O failure leaves the in-memory state authoritative for
+    /// this process lifetime.
+    journal: Mutex<Option<Journal>>,
 }
 
 #[derive(Default)]
 struct Inner {
     ibe: Sem,
     gdh: GdhSem,
+    /// Per-identity (t, n) key shares this replica holds
+    /// (`d_IDᵢ = f(i)·Q_ID`), served over op 5.
+    shares: HashMap<String, IdKeyShare>,
+    /// Revocation list for the share capability (the IBE/GDH halves
+    /// keep their own lists inside [`Sem`]/[`GdhSem`]).
+    revoked: HashSet<String>,
 }
 
 /// A running TCP SEM daemon.
@@ -262,6 +278,46 @@ impl TcpSemServer {
         params: IbePublicParams,
         config: ServerConfig,
     ) -> std::io::Result<Self> {
+        Self::bind_inner(addr, params, config, None)
+    }
+
+    /// [`TcpSemServer::bind_with`] plus a durable revocation journal:
+    /// the append-only log at `journal_path` is replayed before the
+    /// listener opens (revoked identities from previous runs refuse
+    /// requests from the very first frame), and every subsequent
+    /// [`revoke`](Self::revoke)/[`unrevoke`](Self::unrevoke) is
+    /// appended to it. Returns the replayed state so callers can see
+    /// how much history survived (and whether a torn tail was
+    /// truncated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and journal open/replay I/O errors.
+    pub fn bind_with_journal(
+        addr: impl ToSocketAddrs,
+        params: IbePublicParams,
+        config: ServerConfig,
+        journal_path: impl AsRef<Path>,
+    ) -> std::io::Result<(Self, ReplayedState)> {
+        let (journal, replayed) = Journal::open(journal_path)?;
+        let server = Self::bind_inner(addr, params, config, Some(journal))?;
+        {
+            let mut inner = server.shared.inner.write();
+            for id in &replayed.revoked {
+                inner.ibe.revoke(id);
+                inner.gdh.revoke(id);
+                inner.revoked.insert(id.clone());
+            }
+        }
+        Ok((server, replayed))
+    }
+
+    fn bind_inner(
+        addr: impl ToSocketAddrs,
+        params: IbePublicParams,
+        config: ServerConfig,
+        journal: Option<Journal>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         // Poll-based accept loop: see ACCEPT_POLL.
@@ -275,6 +331,7 @@ impl TcpSemServer {
             conns: Mutex::new(HashMap::new()),
             live: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),
+            journal: Mutex::new(journal),
         });
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let acceptor_shared = Arc::clone(&shared);
@@ -323,18 +380,38 @@ impl TcpSemServer {
         self.shared.inner.write().gdh.install(key);
     }
 
-    /// Revokes an identity across all capabilities (instant).
+    /// Installs this replica's (t, n) key share for one identity,
+    /// served over the token-share wire op.
+    pub fn install_token_share(&self, share: IdKeyShare) {
+        self.shared
+            .inner
+            .write()
+            .shares
+            .insert(share.id.clone(), share);
+    }
+
+    /// Revokes an identity across all capabilities (instant). When the
+    /// daemon carries a journal, the revocation is appended to it
+    /// before taking effect, so it survives a crash/restart.
     pub fn revoke(&self, id: &str) {
+        if let Some(journal) = self.shared.journal.lock().as_mut() {
+            let _ = journal.append(&Record::Revoke(id.to_string()));
+        }
         let mut inner = self.shared.inner.write();
         inner.ibe.revoke(id);
         inner.gdh.revoke(id);
+        inner.revoked.insert(id.to_string());
     }
 
-    /// Reinstates an identity.
+    /// Reinstates an identity (journaled like [`revoke`](Self::revoke)).
     pub fn unrevoke(&self, id: &str) {
+        if let Some(journal) = self.shared.journal.lock().as_mut() {
+            let _ = journal.append(&Record::Unrevoke(id.to_string()));
+        }
         let mut inner = self.shared.inner.write();
         inner.ibe.unrevoke(id);
         inner.gdh.unrevoke(id);
+        inner.revoked.remove(id);
     }
 
     /// Aggregate audit statistics for one identity.
@@ -570,8 +647,9 @@ fn handle_batch(items: &[Request], shared: &Shared) -> Response {
     }
 }
 
-/// Serves one op-1/op-2 request against an already-acquired lock guard
-/// (shared by the single path and every batch item).
+/// Serves one op-1/op-2/op-5 request against an already-acquired lock
+/// guard (shared by the single path and every batch item; op 5 never
+/// appears in a batch).
 fn serve_item(
     op: Op,
     id: &str,
@@ -612,6 +690,46 @@ fn serve_item(
                 },
             };
             (Capability::GdhSign, response)
+        }
+        Op::TokenShare => {
+            let response = match params.curve().point_from_bytes(body) {
+                Err(_) => Response {
+                    status: Status::Invalid,
+                    body: vec![],
+                },
+                Ok(u) => {
+                    if inner.revoked.contains(id) {
+                        Response {
+                            status: Status::Revoked,
+                            body: vec![],
+                        }
+                    } else {
+                        match inner.shares.get(id) {
+                            None => Response {
+                                status: Status::Unknown,
+                                body: vec![],
+                            },
+                            Some(share) => {
+                                let mut rng = StdRng::from_entropy();
+                                let partial = threshold::robust_decryption_share(
+                                    params.curve(),
+                                    &mut rng,
+                                    share,
+                                    &u,
+                                );
+                                Response {
+                                    status: Status::Ok,
+                                    body: threshold::decryption_share_to_bytes(
+                                        params.curve(),
+                                        &partial,
+                                    ),
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            (Capability::IbeDecrypt, response)
         }
         Op::Batch => unreachable!("nested batches are rejected at decode"),
         Op::Stats => unreachable!("stats is handled before item dispatch"),
@@ -770,6 +888,31 @@ impl TcpSemClient {
             .gt_from_bytes(&response.body)
             .map(DecryptToken)
             .map_err(|_| Error::InvalidCiphertext)
+    }
+
+    /// Requests a (t, n) partial decryption token — one replica's
+    /// `ê(U, d_IDᵢ)` with its robustness proof — over the wire.
+    ///
+    /// The returned share is shape-validated only; callers must check
+    /// it against the replica's verification key
+    /// ([`sempair_core::threshold::ThresholdSystem::verify_decryption_share`])
+    /// before trusting it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`TcpSemClient::ibe_token`]; a malformed share
+    /// body as [`Error::InvalidCiphertext`].
+    pub fn token_share(&mut self, id: &str, u: &G1Affine) -> Result<DecryptionShare, Error> {
+        let request = Request {
+            op: Op::TokenShare,
+            id: id.to_string(),
+            body: self.params.curve().point_to_bytes(u),
+        };
+        let response = self.exchange(&request)?;
+        if let Some(err) = response.status.to_error() {
+            return Err(err);
+        }
+        threshold::decryption_share_from_bytes(self.params.curve(), &response.body)
     }
 
     /// Requests a mediated-GDH half-signature over the wire.
@@ -1305,6 +1448,88 @@ mod tests {
         // The admitted connection still works.
         client.ibe_token("alice", &c.u).unwrap();
         server.shutdown();
+    }
+
+    #[test]
+    fn token_share_over_real_sockets() {
+        use sempair_core::threshold::ThresholdPkg;
+        let mut rng = StdRng::seed_from_u64(0x75A2E);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let tpkg = ThresholdPkg::setup(&mut rng, curve, 2, 3).unwrap();
+        let shares = tpkg.keygen("alice");
+        let params = tpkg.system().params().clone();
+        let server = TcpSemServer::bind("127.0.0.1:0", params.clone()).unwrap();
+        server.install_token_share(shares[0].clone());
+        let mut client = TcpSemClient::connect(server.local_addr(), params.clone()).unwrap();
+        let u = params
+            .curve()
+            .mul_generator(&params.curve().random_scalar(&mut rng));
+        let share = client.token_share("alice", &u).unwrap();
+        assert_eq!(share.index, 1);
+        tpkg.system()
+            .verify_decryption_share("alice", &u, &share)
+            .unwrap();
+        // Unknown identity and revocation behave like the other ops.
+        assert_eq!(client.token_share("bob", &u), Err(Error::UnknownIdentity));
+        server.revoke("alice");
+        assert_eq!(client.token_share("alice", &u), Err(Error::Revoked));
+        server.unrevoke("alice");
+        assert!(client.token_share("alice", &u).is_ok());
+        server.shutdown();
+    }
+
+    #[test]
+    fn journal_backed_revocation_survives_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "sempair-tcp-journal-{}-{:x}",
+            std::process::id(),
+            0x9A11u32
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sem.journal");
+        let (pkg, mut rng) = {
+            let mut rng = StdRng::seed_from_u64(0x7C9);
+            let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+            (Pkg::setup(&mut rng, curve), rng)
+        };
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        let addr;
+        {
+            let (server, replayed) = TcpSemServer::bind_with_journal(
+                "127.0.0.1:0",
+                pkg.params().clone(),
+                ServerConfig::default(),
+                &path,
+            )
+            .unwrap();
+            assert_eq!(replayed.records, 0);
+            server.install_ibe(sem_key.clone());
+            addr = server.local_addr();
+            let mut client = TcpSemClient::connect(addr, pkg.params().clone()).unwrap();
+            assert!(client.ibe_token("alice", &c.u).is_ok());
+            server.revoke("bob");
+            server.revoke("alice");
+            server.unrevoke("bob");
+            server.shutdown();
+        }
+        // "Restart": a fresh daemon on the same journal refuses alice
+        // before any in-memory revoke was issued, and bob is clean.
+        let (server, replayed) = TcpSemServer::bind_with_journal(
+            "127.0.0.1:0",
+            pkg.params().clone(),
+            ServerConfig::default(),
+            &path,
+        )
+        .unwrap();
+        assert_eq!(replayed.records, 3);
+        assert_eq!(replayed.revoked.len(), 1);
+        assert!(replayed.revoked.contains("alice"));
+        server.install_ibe(sem_key);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        assert_eq!(client.ibe_token("alice", &c.u), Err(Error::Revoked));
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

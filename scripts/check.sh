@@ -25,11 +25,20 @@ cargo test -q --workspace --exclude sempair-net
 echo "== tier-1: cargo test -q -p sempair-net --test metrics (under hard timeout)"
 timeout --kill-after=10s 120s cargo test -q -p sempair-net --test metrics
 
+# The cluster chaos suite kills/restarts replicas mid-workload and
+# drives a 1000-request quorum scenario with crashes plus a byzantine
+# replica (~45 s normally). It gets its own hard timeout so a wedged
+# failover (a hung hedging wave, a journal replay that never returns)
+# is named directly.
+echo "== tier-1: cargo test -q -p sempair-net --test cluster (under hard timeout)"
+timeout --kill-after=10s 240s cargo test -q -p sempair-net --test cluster
+
 # The network crate opens real sockets; a reintroduced hang (a handler
 # that never honors its deadline, a drain that never joins) must fail
 # the gate fast instead of wedging it. `timeout` kills the whole test
-# run well above its normal wall time (~10 s).
+# run well above its normal wall time (now dominated by the chaos
+# suite re-run).
 echo "== tier-1: cargo test -q -p sempair-net (under hard timeout)"
-timeout --kill-after=10s 300s cargo test -q -p sempair-net
+timeout --kill-after=10s 480s cargo test -q -p sempair-net
 
 echo "ALL CHECKS PASSED"

@@ -26,8 +26,10 @@ use rand::SeedableRng;
 use sempair::core::bf_ibe::{FullCiphertext, Pkg};
 use sempair::core::gdh::{self, GdhSem, GdhSemKey, GdhUser};
 use sempair::core::mediated::Sem;
+use sempair::core::threshold::{threshold_system_from_bytes, threshold_system_to_bytes};
 use sempair::core::wire;
-use sempair::net::audit::MetricsSnapshot;
+use sempair::net::audit::{MetricsSnapshot, ReplicaHealth};
+use sempair::net::cluster::{HedgeConfig, QuorumClient, SemCluster};
 use sempair::net::tcp::{ClientConfig, ServerConfig, TcpSemClient, TcpSemServer};
 use sempair::pairing::{CurveParams, CurveParamsSpec};
 use sempair_bigint::BigUint;
@@ -57,7 +59,30 @@ struct Args {
     server_config: ServerConfig,
     /// Client retry/deadline knobs (`decrypt`/`sign` with `--sem`).
     client_config: ClientConfig,
+    /// Append-only journal backing `serve` revocation state.
+    journal: Option<PathBuf>,
+    /// `(t, n)` when running / addressing a replicated SEM cluster.
+    cluster: Option<(usize, usize)>,
+    /// Extra first-wave replicas for quorum requests (`--hedge`).
+    hedge: Option<usize>,
     positional: Vec<String>,
+}
+
+/// Parses `--cluster T/N` (e.g. `3/5`) into a `(t, n)` pair.
+fn parse_cluster(raw: &str) -> Result<(usize, usize), String> {
+    let (t, n) = raw
+        .split_once('/')
+        .ok_or_else(|| format!("--cluster: `{raw}` is not of the form T/N (e.g. 3/5)"))?;
+    let t: usize = t
+        .parse()
+        .map_err(|_| format!("--cluster: `{t}` is not a number"))?;
+    let n: usize = n
+        .parse()
+        .map_err(|_| format!("--cluster: `{n}` is not a number"))?;
+    if t == 0 || t > n {
+        return Err(format!("--cluster: need 1 <= t <= n, got {t}/{n}"));
+    }
+    Ok((t, n))
 }
 
 /// Parses a whole number of seconds into a deadline (`0` disables it).
@@ -77,6 +102,9 @@ fn parse_args() -> Result<Args, String> {
     let mut sem_addr = None;
     let mut server_config = ServerConfig::default();
     let mut client_config = ClientConfig::default();
+    let mut journal = None;
+    let mut cluster = None;
+    let mut hedge = None;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -84,6 +112,20 @@ fn parse_args() -> Result<Args, String> {
             "--fast" => fast = true,
             "--paper" => fast = false,
             "--sem" => sem_addr = Some(args.next().ok_or("--sem needs an address")?),
+            "--journal" => {
+                journal = Some(PathBuf::from(args.next().ok_or("--journal needs a path")?));
+            }
+            "--cluster" => {
+                let raw = args.next().ok_or("--cluster needs T/N (e.g. 3/5)")?;
+                cluster = Some(parse_cluster(&raw)?);
+            }
+            "--hedge" => {
+                let raw = args.next().ok_or("--hedge needs a value")?;
+                hedge = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--hedge: `{raw}` is not a number"))?,
+                );
+            }
             "--idle-timeout" => {
                 server_config.idle_timeout = parse_secs("--idle-timeout", args.next())?;
             }
@@ -133,6 +175,9 @@ fn parse_args() -> Result<Args, String> {
         sem_addr,
         server_config,
         client_config,
+        journal,
+        cluster,
+        hedge,
         positional,
     })
 }
@@ -140,6 +185,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|stats|serve> \
      [--dir DIR] [--fast|--paper] [--sem ADDR] [--sem-timeout SECS] [--sem-retries N] \
+     [--cluster T/N] [--journal PATH] [--hedge N] \
      [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] \
      [--audit-cap N] [--identity-cap N] [args...]"
         .to_string()
@@ -222,6 +268,50 @@ fn store_revoked(dir: &Path, revoked: &HashSet<String>) -> Result<(), String> {
     let mut lines: Vec<&str> = revoked.iter().map(String::as_str).collect();
     lines.sort_unstable();
     fs::write(revoked_path(dir), lines.join("\n")).map_err(|e| e.to_string())
+}
+
+/// `sem/cluster.txt`: first line `T/N`, then one replica address per
+/// line — written by `serve --cluster`, read by `decrypt`/`stats`.
+fn cluster_manifest_path(dir: &Path) -> PathBuf {
+    dir.join("sem").join("cluster.txt")
+}
+
+fn store_cluster_manifest(
+    dir: &Path,
+    t: usize,
+    addrs: &[std::net::SocketAddr],
+) -> Result<(), String> {
+    let mut text = format!("{t}/{}\n", addrs.len());
+    for addr in addrs {
+        text.push_str(&addr.to_string());
+        text.push('\n');
+    }
+    fs::write(cluster_manifest_path(dir), text).map_err(|e| e.to_string())
+}
+
+fn load_cluster_manifest(dir: &Path) -> Result<(usize, Vec<std::net::SocketAddr>), String> {
+    let raw = fs::read_to_string(cluster_manifest_path(dir))
+        .map_err(|e| format!("no cluster manifest (run `serve --cluster` first?): {e}"))?;
+    let mut lines = raw.lines();
+    let header = lines.next().ok_or("cluster manifest is empty")?;
+    let (t, n) = parse_cluster(header).map_err(|e| format!("corrupt cluster manifest: {e}"))?;
+    let addrs: Vec<std::net::SocketAddr> = lines
+        .map(|line| {
+            line.parse()
+                .map_err(|_| format!("corrupt cluster manifest: bad address `{line}`"))
+        })
+        .collect::<Result<_, String>>()?;
+    if addrs.len() != n {
+        return Err(format!(
+            "corrupt cluster manifest: header says {n} replicas, found {}",
+            addrs.len()
+        ));
+    }
+    Ok((t, addrs))
+}
+
+fn tsys_path(dir: &Path, id: &str) -> PathBuf {
+    dir.join("sem").join(format!("{id}.tsys"))
 }
 
 fn append_audit(dir: &Path, line: &str) {
@@ -376,8 +466,51 @@ fn cmd_decrypt(args: &Args) -> Result<(), String> {
     let (curve, pkg) = load_system(&args.dir)?;
     let ct = FullCiphertext::from_bytes(pkg.params(), &hex_decode(ct_hex)?)
         .map_err(|e| format!("bad ciphertext: {e}"))?;
-    // SEM step: remote daemon if --sem, local state otherwise.
-    let token = if let Some(addr) = &args.sem_addr {
+    // SEM step: replica quorum if --cluster, remote daemon if --sem,
+    // local state otherwise.
+    let token = if let Some((t_flag, n_flag)) = args.cluster {
+        let (t, addrs) = load_cluster_manifest(&args.dir)?;
+        if (t, addrs.len()) != (t_flag, n_flag) {
+            return Err(format!(
+                "--cluster {t_flag}/{n_flag} does not match the running cluster ({t}/{})",
+                addrs.len()
+            ));
+        }
+        let raw = fs::read_to_string(tsys_path(&args.dir, id)).map_err(|_| {
+            format!("{id} has no dealt verification system (restart `serve --cluster`?)")
+        })?;
+        let system = threshold_system_from_bytes(&curve, &hex_decode(&raw)?)
+            .map_err(|e| format!("corrupt verification system for {id}: {e}"))?;
+        let mut client =
+            QuorumClient::new(pkg.params().clone(), t, addrs, args.client_config.clone())
+                .map_err(|e| format!("bad cluster manifest: {e}"))?;
+        if let Some(extra) = args.hedge {
+            client = client.with_hedge(HedgeConfig { extra });
+        }
+        client.register(id, system);
+        let outcome = client
+            .token(id, &ct.u)
+            .map_err(|e| format!("quorum refused: {e}"))?;
+        let stats = &outcome.stats;
+        if !stats.cheaters.is_empty() {
+            eprintln!(
+                "warning: replica(s) {:?} returned shares that failed NIZK verification",
+                stats.cheaters
+            );
+        }
+        eprintln!(
+            "# quorum: {} asked, {} valid of threshold {t}{}{}",
+            stats.asked,
+            stats.valid,
+            if stats.hedged { ", hedged" } else { "" },
+            if stats.unreachable.is_empty() {
+                String::new()
+            } else {
+                format!(", unreachable {:?}", stats.unreachable)
+            },
+        );
+        outcome.token
+    } else if let Some(addr) = &args.sem_addr {
         let mut client = TcpSemClient::connect_with(
             addr.as_str(),
             pkg.params().clone(),
@@ -517,6 +650,9 @@ fn cmd_audit(args: &Args) -> Result<(), String> {
 /// format, followed by a short human summary (request totals, drop
 /// counter, per-capability latency quantiles).
 fn cmd_stats(args: &Args) -> Result<(), String> {
+    if args.cluster.is_some() {
+        return cmd_stats_cluster(args);
+    }
     let addr = args
         .sem_addr
         .as_deref()
@@ -557,18 +693,135 @@ fn cmd_stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `stats --cluster T/N`: pull the metrics snapshot from every replica
+/// named in the cluster manifest, merge them into one cluster-wide
+/// snapshot ([`MetricsSnapshot::merge`]), and stamp a per-replica
+/// health row for each — unreachable replicas show up as
+/// `sem_replica_reachable{replica="i"} 0`, not as an error.
+fn cmd_stats_cluster(args: &Args) -> Result<(), String> {
+    let (t_flag, n_flag) = args.cluster.expect("checked by caller");
+    let (t, addrs) = load_cluster_manifest(&args.dir)?;
+    if (t, addrs.len()) != (t_flag, n_flag) {
+        return Err(format!(
+            "--cluster {t_flag}/{n_flag} does not match the running cluster ({t}/{})",
+            addrs.len()
+        ));
+    }
+    let (_, pkg) = load_system(&args.dir)?;
+    let mut merged: Option<MetricsSnapshot> = None;
+    let mut health = Vec::with_capacity(addrs.len());
+    for (i, addr) in addrs.iter().enumerate() {
+        let snapshot =
+            TcpSemClient::connect_with(addr, pkg.params().clone(), args.client_config.clone())
+                .ok()
+                .and_then(|mut client| client.stats_text().ok())
+                .and_then(|text| MetricsSnapshot::from_prometheus_text(&text));
+        health.push(ReplicaHealth {
+            index: (i + 1) as u32,
+            reachable: snapshot.is_some(),
+            cheats: 0,
+        });
+        if let Some(snapshot) = snapshot {
+            match &mut merged {
+                Some(m) => m.merge(&snapshot),
+                None => merged = Some(snapshot),
+            }
+        }
+    }
+    let reachable = health.iter().filter(|h| h.reachable).count();
+    let Some(mut merged) = merged else {
+        return Err(format!(
+            "no replica of the {t}/{} cluster is reachable",
+            addrs.len()
+        ));
+    };
+    merged.replicas = health;
+    print!("{}", merged.to_prometheus_text());
+    println!(
+        "# summary: cluster {t}/{} — {} replicas reachable ({})",
+        addrs.len(),
+        reachable,
+        if reachable >= t {
+            "quorum available"
+        } else {
+            "QUORUM LOST"
+        },
+    );
+    for (row, addr) in merged.replicas.iter().zip(&addrs) {
+        println!(
+            "# summary: replica {} @ {}: {}",
+            row.index,
+            addr,
+            if row.reachable {
+                "reachable"
+            } else {
+                "UNREACHABLE"
+            },
+        );
+    }
+    println!(
+        "# summary: {} served / {} refused across reachable replicas",
+        merged.totals.served, merged.totals.refused,
+    );
+    for (capability, hist) in &merged.latency_us {
+        if hist.count() > 0 {
+            println!(
+                "# summary: {} latency ~p50 {}us / ~p95 {}us over {} requests",
+                capability.label(),
+                hist.quantile(0.5),
+                hist.quantile(0.95),
+                hist.count(),
+            );
+        }
+    }
+    Ok(())
+}
+
 /// `serve`: run the SEM daemon over the state directory. Loads every
 /// `sem/*.ibe` and `sem/*.gdh` half-key plus the revocation list and
-/// listens on the given address (default `127.0.0.1:7003`).
+/// listens on the given address (default `127.0.0.1:7003`). With
+/// `--journal PATH` the revocation set is additionally crash-safe:
+/// replayed from the append-only journal on startup. With
+/// `--cluster T/N` the daemon instead boots `n` journal-backed
+/// replicas on consecutive ports (see [`cmd_serve_cluster`]).
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.cluster.is_some() {
+        return cmd_serve_cluster(args);
+    }
     let addr = args
         .positional
         .first()
         .map(String::as_str)
         .unwrap_or("127.0.0.1:7003");
     let (curve, pkg) = load_system(&args.dir)?;
-    let server = TcpSemServer::bind_with(addr, pkg.params().clone(), args.server_config.clone())
-        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let server = if let Some(journal) = &args.journal {
+        let (server, replayed) = TcpSemServer::bind_with_journal(
+            addr,
+            pkg.params().clone(),
+            args.server_config.clone(),
+            journal,
+        )
+        .map_err(|e| format!("cannot bind {addr} with journal: {e}"))?;
+        println!(
+            "journal {} replayed: {} records, {} revoked, epoch {}{}",
+            journal.display(),
+            replayed.records,
+            replayed.revoked.len(),
+            replayed.epoch,
+            if replayed.truncated_bytes > 0 {
+                format!(
+                    " ({} torn trailing bytes truncated)",
+                    replayed.truncated_bytes
+                )
+            } else {
+                String::new()
+            },
+        );
+        server
+    } else {
+        TcpSemServer::bind_with(addr, pkg.params().clone(), args.server_config.clone())
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?
+    };
     let mut installed = 0usize;
     let sem_dir = args.dir.join("sem");
     if let Ok(entries) = fs::read_dir(&sem_dir) {
@@ -611,6 +864,91 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         args.server_config.max_connections,
         args.server_config.audit.audit_cap,
         args.server_config.audit.identity_cap,
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `serve --cluster T/N`: boots `n` journal-backed SEM replicas on
+/// consecutive ports starting at the base address (default
+/// `127.0.0.1:7003`), re-deals every enrolled identity's SEM scalar as
+/// `(t, n)` Shamir shares, and writes the cluster manifest
+/// (`sem/cluster.txt`) plus per-identity verification systems
+/// (`sem/<id>.tsys`) so `decrypt --cluster` and `stats --cluster` can
+/// find and check the replicas from another process.
+///
+/// Re-dealing refreshes each user's IBE half-key under `users/` (the
+/// blinding changes), and the superseded single-SEM `sem/<id>.ibe`
+/// halves are removed — decryption for those identities now goes
+/// through the quorum.
+fn cmd_serve_cluster(args: &Args) -> Result<(), String> {
+    let (t, n) = args.cluster.expect("checked by caller");
+    let base = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7003");
+    let base: std::net::SocketAddr = base
+        .parse()
+        .map_err(|_| format!("cluster mode needs a literal base address, got `{base}`"))?;
+    base.port()
+        .checked_add((n - 1) as u16)
+        .ok_or("cluster ports would overflow the port range")?;
+    let addrs: Vec<std::net::SocketAddr> = (0..n as u16)
+        .map(|i| {
+            let mut addr = base;
+            addr.set_port(base.port() + i);
+            addr
+        })
+        .collect();
+    let (curve, pkg) = load_system(&args.dir)?;
+    let state_dir = args.dir.join("sem").join("cluster");
+    let mut cluster = SemCluster::start_on(pkg, t, &addrs, args.server_config.clone(), &state_dir)
+        .map_err(|e| format!("cannot start cluster on {base}: {e}"))?;
+    // Re-deal every enrolled identity across the replicas.
+    let mut enrolled: Vec<String> = fs::read_dir(args.dir.join("users"))
+        .map_err(|e| format!("cannot list enrolled users: {e}"))?
+        .flatten()
+        .filter_map(|entry| {
+            let path = entry.path();
+            (path.extension().and_then(|e| e.to_str()) == Some("ibe"))
+                .then(|| path.file_stem()?.to_str().map(str::to_string))
+                .flatten()
+        })
+        .collect();
+    enrolled.sort_unstable();
+    let mut rng = StdRng::from_entropy();
+    for id in &enrolled {
+        let user = cluster
+            .enroll(&mut rng, id)
+            .map_err(|e| format!("cannot deal shares for {id}: {e}"))?;
+        fs::write(
+            args.dir.join("users").join(format!("{id}.ibe")),
+            hex_encode(&wire::user_key_to_bytes(&curve, &user)),
+        )
+        .map_err(|e| e.to_string())?;
+        let system = cluster.system_for(id).expect("just enrolled");
+        fs::write(
+            tsys_path(&args.dir, id),
+            hex_encode(&threshold_system_to_bytes(system)),
+        )
+        .map_err(|e| e.to_string())?;
+        let _ = fs::remove_file(args.dir.join("sem").join(format!("{id}.ibe")));
+    }
+    for id in load_revoked(&args.dir) {
+        cluster.revoke(&id);
+    }
+    let bound = cluster.addrs();
+    store_cluster_manifest(&args.dir, t, &bound)?;
+    println!(
+        "SEM cluster {t}/{n} listening on {}..{} ({} identities dealt, \
+         journals under {}); Ctrl-C to stop",
+        bound[0],
+        bound[n - 1],
+        enrolled.len(),
+        state_dir.display(),
     );
     // Serve until killed.
     loop {

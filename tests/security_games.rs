@@ -297,7 +297,7 @@ fn threshold_shares_below_t_reveal_nothing() {
     );
 }
 
-/// E11: the IND-ID-TCPA game of Definition 2, run statistically. An
+/// E13: the IND-ID-TCPA game of Definition 2, run statistically. An
 /// adversary holding `t−1` key shares mounts a concrete distinguishing
 /// strategy (complete the Lagrange product pretending the missing share
 /// is trivial, then pick the plaintext closer in Hamming distance). If
