@@ -1,0 +1,12 @@
+//! R1 bait: panics and indexing where the rule applies.
+
+pub fn handle(req: Option<u8>) -> u8 {
+    req.unwrap()
+}
+
+pub fn decode_frame(buf: &[u8]) -> u8 {
+    if buf.is_empty() {
+        panic!("empty frame");
+    }
+    buf[0]
+}

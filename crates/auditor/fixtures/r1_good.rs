@@ -1,0 +1,14 @@
+//! R1 clean: fallible handling everywhere, one documented allow.
+
+pub fn handle(req: Option<u8>) -> u8 {
+    req.unwrap_or(0)
+}
+
+pub fn decode_frame(buf: &[u8]) -> Option<u8> {
+    buf.first().copied()
+}
+
+pub fn shutdown(flag: Option<u8>) -> u8 {
+    // audit:allow(panic, fixture: documented misuse panic)
+    flag.expect("running")
+}

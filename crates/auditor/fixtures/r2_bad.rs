@@ -1,0 +1,16 @@
+//! R2 bait: secret type with printable surfaces and a field leak.
+
+#[derive(Debug, Clone)]
+pub struct SemKey {
+    pub scalar: [u64; 4],
+}
+
+impl core::fmt::Display for SemKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:?}", self.scalar)
+    }
+}
+
+pub fn log_key(key: &SemKey) {
+    println!("key: {:?}", key.scalar);
+}

@@ -1,0 +1,14 @@
+//! R2 clean: redacted Debug, no derived printing, no field leaks.
+
+#[derive(Clone)]
+pub struct SemKey {
+    pub scalar: [u64; 4],
+}
+
+impl core::fmt::Debug for SemKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SemKey")
+            .field("scalar", &"<redacted>")
+            .finish()
+    }
+}

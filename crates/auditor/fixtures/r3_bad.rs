@@ -1,0 +1,8 @@
+//! R3 bait: attacker-declared count drives allocation uncapped.
+
+pub fn decode_items(buf: &[u8]) -> Option<Vec<u8>> {
+    let count = usize::from(*buf.first()?);
+    let mut items = Vec::with_capacity(count);
+    items.resize(count, 0);
+    Some(items)
+}

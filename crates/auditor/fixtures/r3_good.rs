@@ -1,0 +1,11 @@
+//! R3 clean: declared counts capped by what is actually present.
+
+pub fn decode_items(buf: &[u8]) -> Option<Vec<u8>> {
+    let count = usize::from(*buf.first()?);
+    let remaining = buf.len().saturating_sub(1);
+    let mut items = Vec::with_capacity(count.min(remaining));
+    let mut scratch = Vec::new();
+    scratch.resize(8, 0u8);
+    items.append(&mut scratch);
+    Some(items)
+}

@@ -1,0 +1,14 @@
+//! R4 bait: variable-time equality on secret material.
+
+#[derive(Clone, PartialEq)]
+pub struct Share {
+    pub value: [u64; 4],
+}
+
+pub struct BlindingFactor(pub [u64; 4]);
+
+impl PartialEq for BlindingFactor {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}

@@ -1,0 +1,23 @@
+//! R4 clean: equality routes through a constant-time comparison.
+
+pub struct Share {
+    pub value: [u64; 4],
+}
+
+impl Share {
+    pub fn ct_eq(&self, other: &Self) -> bool {
+        let mut diff = 0u64;
+        for (a, b) in self.value.iter().zip(other.value.iter()) {
+            diff |= a ^ b;
+        }
+        diff == 0
+    }
+}
+
+impl PartialEq for Share {
+    fn eq(&self, other: &Self) -> bool {
+        self.ct_eq(other)
+    }
+}
+
+impl Eq for Share {}

@@ -1,0 +1,50 @@
+//! CLI entry point: `cargo run -p sempair-auditor [-- --json] [root]`.
+//!
+//! Exits 0 when no non-allowlisted findings exist, 1 otherwise, 2 on
+//! usage/IO errors. `scripts/check.sh` treats exit 1 as a gate failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: sempair-auditor [--json] [root]");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("sempair-auditor: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    // Default root: the workspace directory the binary was built from,
+    // so `cargo run -p sempair-auditor` audits the repo regardless of
+    // the invoking cwd.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+    if !root.is_dir() {
+        eprintln!("sempair-auditor: `{}` is not a directory", root.display());
+        return ExitCode::from(2);
+    }
+    let report = sempair_auditor::audit_workspace(&root);
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_text());
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,338 @@
+//! A small hand-rolled Rust source scanner.
+//!
+//! The auditor cannot use `syn` (the workspace builds offline with no
+//! registry access), so rules operate on a *scrubbed* view of each
+//! source line: string and char literal contents are blanked, comments
+//! are separated out, and every line is annotated with whether it sits
+//! inside a `#[cfg(test)]` region and which function body encloses it.
+//! That is exactly enough signal for identifier-level rules without a
+//! full parse.
+
+/// One annotated source line.
+#[derive(Debug, Clone)]
+pub struct LineInfo {
+    /// Code with string/char literal contents blanked (quotes kept).
+    pub code: String,
+    /// Comment text on this line (line or block comment content).
+    pub comment: String,
+    /// Inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+    /// Name of the innermost enclosing `fn`, if any.
+    pub current_fn: Option<String>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Splits source into per-line `(code, comment)` with literal contents
+/// blanked, so rules never match inside strings or comments.
+fn scrub(source: &str) -> Vec<(String, String)> {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        CharLit,
+    }
+    let mut out = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut mode = Mode::Code;
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            out.push((std::mem::take(&mut code), std::mem::take(&mut comment)));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                    continue;
+                }
+                // Raw / byte string prefixes: r", r#", b", br#"…
+                if (c == 'r' || c == 'b')
+                    && !code.chars().last().map(is_ident_char).unwrap_or(false)
+                {
+                    let mut j = i + 1;
+                    if c == 'b' && chars.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') && (hashes > 0 || j > i + 1 || c == 'r') {
+                        code.push('"');
+                        mode = Mode::RawStr(hashes);
+                        i = j + 1;
+                        continue;
+                    }
+                    if c == 'b' && chars.get(i + 1) == Some(&'"') {
+                        code.push('"');
+                        mode = Mode::Str;
+                        i += 2;
+                        continue;
+                    }
+                }
+                if c == '\'' {
+                    // Char literal vs lifetime: 'x' / '\n' are literals,
+                    // 'a in `&'a str` is a lifetime.
+                    let next = chars.get(i + 1);
+                    let after = chars.get(i + 2);
+                    let is_char = matches!((next, after), (Some('\\'), _) | (Some(_), Some('\'')));
+                    if is_char {
+                        code.push('\'');
+                        code.push('\'');
+                        mode = Mode::CharLit;
+                        i += 1;
+                        continue;
+                    }
+                    code.push('\'');
+                    i += 1;
+                    continue;
+                }
+                code.push(c);
+                i += 1;
+            }
+            Mode::LineComment => {
+                comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            Mode::CharLit => {
+                if c == '\\' {
+                    i += 2;
+                } else if c == '\'' {
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        out.push((code, comment));
+    }
+    out
+}
+
+/// Scans source into annotated lines.
+pub fn scan(source: &str) -> Vec<LineInfo> {
+    let scrubbed = scrub(source);
+    let mut lines = Vec::with_capacity(scrubbed.len());
+    let mut depth: usize = 0;
+    let mut fn_stack: Vec<(String, usize)> = Vec::new();
+    let mut test_until: Option<usize> = None;
+    let mut pending_test = false;
+    let mut pending_fn: Option<String> = None;
+    let mut after_fn_kw = false;
+
+    for (code, comment) in scrubbed {
+        let test_at_start = test_until.is_some();
+        if code.contains("#[cfg(test)]") {
+            pending_test = true;
+        }
+        let chars: Vec<char> = code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c == '{' {
+                if pending_test && test_until.is_none() {
+                    test_until = Some(depth);
+                    pending_test = false;
+                }
+                if let Some(name) = pending_fn.take() {
+                    fn_stack.push((name, depth));
+                }
+                depth += 1;
+            } else if c == '}' {
+                depth = depth.saturating_sub(1);
+                while fn_stack.last().map(|(_, d)| *d >= depth).unwrap_or(false) {
+                    fn_stack.pop();
+                }
+                if test_until.map(|d| depth <= d).unwrap_or(false) {
+                    test_until = None;
+                }
+            } else if c == ';' {
+                // `fn name(..);` in a trait: no body to attribute.
+                pending_fn = None;
+            } else if is_ident_start(c) {
+                let start = i;
+                while i + 1 < chars.len() && is_ident_char(chars[i + 1]) {
+                    i += 1;
+                }
+                let word: String = chars[start..=i].iter().collect();
+                if word == "fn" {
+                    after_fn_kw = true;
+                } else if after_fn_kw {
+                    pending_fn = Some(word);
+                    after_fn_kw = false;
+                }
+            }
+            i += 1;
+        }
+        lines.push(LineInfo {
+            code,
+            comment,
+            in_test: test_at_start || test_until.is_some(),
+            current_fn: fn_stack.last().map(|(n, _)| n.clone()),
+        });
+    }
+    lines
+}
+
+/// Finds every identifier-boundary occurrence of `word` in `code`,
+/// returning byte offsets of each match start.
+pub fn ident_positions(code: &str, word: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let bytes = code.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = code.get(from..).and_then(|s| s.find(word)) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !bytes
+                .get(at - 1)
+                .map(|&b| (b as char).is_alphanumeric() || b == b'_')
+                .unwrap_or(false);
+        let after = at + word.len();
+        let after_ok = !bytes
+            .get(after)
+            .map(|&b| (b as char).is_alphanumeric() || b == b'_')
+            .unwrap_or(false);
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        from = at + word.len();
+    }
+    found
+}
+
+/// `true` if `code` contains `word` as a standalone identifier.
+pub fn has_ident(code: &str, word: &str) -> bool {
+    !ident_positions(code, word).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let src = "let x = \"unwrap()\"; // call unwrap() here\nlet y = 1;\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("unwrap"));
+        assert!(lines[0].comment.contains("unwrap"));
+        assert_eq!(lines[1].code, "let y = 1;");
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let s = r#\"panic!(\"x\")\"#; let c = '\"'; let l: &'a str = s;\n";
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("panic"));
+        assert!(lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn test_regions_and_fn_names_tracked() {
+        let src = "\
+fn outer(x: u8) -> u8 {
+    x
+}
+#[cfg(test)]
+mod tests {
+    fn helper() {
+        let _ = 1;
+    }
+}
+fn later() {
+    let _ = 2;
+}
+";
+        let lines = scan(src);
+        assert_eq!(lines[1].current_fn.as_deref(), Some("outer"));
+        assert!(!lines[1].in_test);
+        assert!(lines[6].in_test, "helper body is test code");
+        assert_eq!(lines[6].current_fn.as_deref(), Some("helper"));
+        assert!(!lines[10].in_test, "later() is live code again");
+        assert_eq!(lines[10].current_fn.as_deref(), Some("later"));
+    }
+
+    #[test]
+    fn ident_boundaries_respected() {
+        assert!(has_ident("x.unwrap()", "unwrap"));
+        assert!(!has_ident("x.unwrap_or(0)", "unwrap"));
+        assert!(!has_ident("let unwrapped = 1;", "unwrap"));
+    }
+}

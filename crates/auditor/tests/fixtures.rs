@@ -1,0 +1,126 @@
+//! Fixture-driven self-tests: each rule must fire on its known-bad
+//! fixture with the exact rule ID, and stay silent on the known-good
+//! one. This is the auditor's own regression net — if a heuristic
+//! regresses, these fail before the workspace gate goes blind.
+
+use sempair_auditor::{audit_source, Finding};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn active(findings: &[Finding]) -> Vec<&Finding> {
+    findings.iter().filter(|f| f.allowed.is_none()).collect()
+}
+
+fn rules(findings: &[&Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn r1_bad_fires() {
+    let findings = audit_source("fixtures/r1_bad.rs", &fixture("r1_bad.rs"), true);
+    let active = active(&findings);
+    assert_eq!(
+        rules(&active),
+        vec!["R1-panic", "R1-panic", "R1-panic"],
+        "unwrap, panic!, and decode indexing must each fire: {findings:?}"
+    );
+    let lines: Vec<usize> = active.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![4, 9, 11]);
+}
+
+#[test]
+fn r1_good_is_clean_and_counts_the_allow() {
+    let findings = audit_source("fixtures/r1_good.rs", &fixture("r1_good.rs"), true);
+    assert!(active(&findings).is_empty(), "{findings:?}");
+    let allowed: Vec<&Finding> = findings.iter().filter(|f| f.allowed.is_some()).collect();
+    assert_eq!(allowed.len(), 1, "the documented expect is still reported");
+    assert_eq!(allowed[0].rule, "R1-panic");
+    assert_eq!(
+        allowed[0].allowed.as_deref(),
+        Some("fixture: documented misuse panic")
+    );
+}
+
+#[test]
+fn r2_bad_fires() {
+    let findings = audit_source("fixtures/r2_bad.rs", &fixture("r2_bad.rs"), false);
+    let active = active(&findings);
+    assert!(active.iter().all(|f| f.rule == "R2-secret"), "{findings:?}");
+    // derive(Debug), un-redacted Display impl, and the two formatting
+    // leaks of `.scalar` (write! inside the impl, println! outside).
+    assert_eq!(active.len(), 4, "{findings:?}");
+    assert!(active.iter().any(|f| f.message.contains("derives `Debug`")));
+    assert!(active
+        .iter()
+        .any(|f| f.message.contains("redaction marker")));
+    assert!(active
+        .iter()
+        .any(|f| f.message.contains("flows into `println!`")));
+}
+
+#[test]
+fn r2_good_is_clean() {
+    let findings = audit_source("fixtures/r2_good.rs", &fixture("r2_good.rs"), false);
+    assert!(active(&findings).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r3_bad_fires() {
+    let findings = audit_source("fixtures/r3_bad.rs", &fixture("r3_bad.rs"), false);
+    let active = active(&findings);
+    assert_eq!(
+        rules(&active),
+        vec!["R3-bound", "R3-bound"],
+        "uncapped with_capacity and resize must both fire: {findings:?}"
+    );
+}
+
+#[test]
+fn r3_good_is_clean() {
+    let findings = audit_source("fixtures/r3_good.rs", &fixture("r3_good.rs"), false);
+    assert!(active(&findings).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r4_bad_fires() {
+    let findings = audit_source("fixtures/r4_bad.rs", &fixture("r4_bad.rs"), false);
+    let active = active(&findings);
+    assert_eq!(
+        rules(&active),
+        vec!["R4-ct", "R4-ct"],
+        "derived PartialEq and the == impl must both fire: {findings:?}"
+    );
+    assert!(active.iter().any(|f| f.message.contains("`Share`")));
+    assert!(active
+        .iter()
+        .any(|f| f.message.contains("`BlindingFactor`")));
+}
+
+#[test]
+fn r4_good_is_clean() {
+    let findings = audit_source("fixtures/r4_good.rs", &fixture("r4_good.rs"), false);
+    assert!(active(&findings).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn test_code_in_fixtures_is_exempt() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn decode_helper(buf: &[u8]) -> u8 {
+        buf[0]
+    }
+    #[test]
+    fn t() {
+        assert_eq!(decode_helper(&[7]).clone(), 7u8.clone());
+    }
+}
+";
+    let findings = audit_source("fixtures/inline.rs", src, true);
+    assert!(findings.is_empty(), "{findings:?}");
+}

@@ -53,6 +53,31 @@ impl MontElem {
     pub fn is_zero(&self) -> bool {
         self.limbs.iter().all(|&l| l == 0)
     }
+
+    /// Constant-time equality between two elements of the same context.
+    ///
+    /// The derived `PartialEq` short-circuits at the first differing
+    /// limb; this variant folds all limb differences into a single
+    /// accumulator so the comparison time is independent of where the
+    /// values diverge. Elements of the same context always have the
+    /// same limb count, so no length is leaked.
+    pub fn ct_eq(&self, other: &Self) -> bool {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut acc = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            acc |= a ^ b;
+        }
+        acc == 0
+    }
+
+    /// Securely erases the element in place (volatile-zeroes every
+    /// limb). The limb count is preserved, so the value stays a valid
+    /// zero element of its original context.
+    pub fn zeroize(&mut self) {
+        crate::zeroize::zeroize_limbs(&mut self.limbs);
+    }
 }
 
 /// Inverse of an odd `x` modulo 2^64 by Newton iteration.
@@ -433,6 +458,27 @@ mod tests {
         assert!(!c.one().is_zero());
         let a = c.to_mont(&big("42"));
         assert_eq!(c.mul(&a, &c.one()), a);
+    }
+
+    #[test]
+    fn ct_eq_matches_derived_eq() {
+        let c = ctx("0xffffffffffffffc5");
+        let a = c.to_mont(&big("1234567890"));
+        let b = c.to_mont(&big("1234567890"));
+        let d = c.to_mont(&big("1234567891"));
+        assert!(a.ct_eq(&b));
+        assert!(!a.ct_eq(&d));
+        assert!(c.zero().ct_eq(&c.zero()));
+    }
+
+    #[test]
+    fn zeroize_clears_limbs_in_place() {
+        let c = ctx("0xffffffffffffffffffffffffffffff61");
+        let mut a = c.to_mont(&big("0xdeadbeefcafebabe0123456789abcdef"));
+        assert!(!a.is_zero());
+        a.zeroize();
+        assert!(a.is_zero());
+        assert_eq!(a.limbs.len(), c.limb_count());
     }
 
     #[test]

@@ -110,6 +110,35 @@ impl BigUint {
         self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
+    /// Constant-time equality on the limb values.
+    ///
+    /// The derived `PartialEq` compares limb vectors with an
+    /// early-exit memcmp, so the time it takes leaks the position of
+    /// the first differing limb. For comparisons involving secret
+    /// scalars (half-keys, Shamir shares, master keys) use this
+    /// instead: it always scans `max(len_a, len_b)` limbs and folds
+    /// the differences into one accumulator. The limb *count* (i.e.
+    /// the rough bit length) still shows — a dynamically sized,
+    /// normalized integer cannot hide it; see `DESIGN.md` §11.
+    pub fn ct_eq(&self, other: &Self) -> bool {
+        let n = self.limbs.len().max(other.limbs.len());
+        let mut acc = 0u64;
+        for i in 0..n {
+            let a = self.limbs.get(i).copied().unwrap_or(0);
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            acc |= a ^ b;
+        }
+        acc == 0
+    }
+
+    /// Securely erases the value (volatile-zeroes every limb, then
+    /// leaves `self` as zero). Used by the `Drop` impls of the
+    /// secret-bearing types upstream.
+    pub fn zeroize(&mut self) {
+        crate::zeroize::zeroize_limbs(&mut self.limbs);
+        self.limbs.clear();
+    }
+
     /// Sets bit `i` to `value`.
     pub fn set_bit(&mut self, i: usize, value: bool) {
         let (limb, off) = (i / 64, i % 64);
@@ -813,6 +842,33 @@ mod tests {
     fn from_limbs_normalizes() {
         assert_eq!(BigUint::from_limbs(vec![5, 0, 0]), BigUint::from(5u64));
         assert_eq!(BigUint::from_limbs(vec![0, 0]), BigUint::zero());
+    }
+
+    #[test]
+    fn ct_eq_matches_derived_eq() {
+        let cases = [
+            ("0", "0"),
+            ("0", "1"),
+            ("1234567890123456789", "1234567890123456789"),
+            (
+                "0xdeadbeefcafebabe0123456789abcdef",
+                "0xdeadbeefcafebabe0123456789abcdee",
+            ),
+            ("0xffffffffffffffff", "0x1ffffffffffffffff"),
+        ];
+        for (a, b) in cases {
+            let (a, b) = (big(a), big(b));
+            assert_eq!(a.ct_eq(&b), a == b, "{a} vs {b}");
+            assert!(a.ct_eq(&a));
+        }
+    }
+
+    #[test]
+    fn zeroize_resets_to_zero() {
+        let mut a = big("0xdeadbeefcafebabe0123456789abcdef");
+        a.zeroize();
+        assert!(a.is_zero());
+        assert_eq!(a, BigUint::zero());
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Best-effort secure erasure of secret limb material.
+//!
+//! Dropping a master scalar, a Shamir share or a DRBG key must not
+//! leave its limbs readable in freed heap memory: a later allocation
+//! (or a crash dump) would hand the mediated-security story's secrets
+//! to whoever reads it. A plain `for l in limbs { *l = 0 }` is not
+//! enough — the compiler is allowed to elide stores to memory it can
+//! prove is never read again, which is exactly the situation right
+//! before a free.
+//!
+//! The erasure here is the classic volatile-write-plus-compiler-fence
+//! pattern (the same mechanism the `zeroize` crate uses, hand-rolled
+//! because this workspace builds offline with no registry access):
+//! `ptr::write_volatile` forces each store to happen, and the
+//! [`compiler_fence`] stops the optimizer from reordering the frees
+//! ahead of them. This is *best effort* — copies made by earlier moves,
+//! register spills or swap are out of scope, as `DESIGN.md` §11
+//! documents.
+//!
+//! This module is the only `unsafe` code in the workspace's own crates;
+//! the crate root narrows `#![deny(unsafe_code)]` with a scoped allow
+//! here so the boundary stays visible in review.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{compiler_fence, Ordering};
+
+/// Overwrites every limb with zero through volatile stores.
+pub fn zeroize_limbs(limbs: &mut [u64]) {
+    for limb in limbs.iter_mut() {
+        // SAFETY: `limb` is a unique, valid, aligned reference obtained
+        // from `iter_mut`; writing a plain `u64` through it is always
+        // defined. Volatile only forbids the compiler from eliding or
+        // reordering the store.
+        unsafe { std::ptr::write_volatile(limb, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Overwrites every byte with zero through volatile stores.
+pub fn zeroize_bytes(bytes: &mut [u8]) {
+    for byte in bytes.iter_mut() {
+        // SAFETY: as in `zeroize_limbs` — unique valid reference,
+        // plain-old-data store.
+        unsafe { std::ptr::write_volatile(byte, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limbs_are_cleared() {
+        let mut v = vec![0xdead_beef_dead_beefu64; 7];
+        zeroize_limbs(&mut v);
+        assert!(v.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn bytes_are_cleared() {
+        let mut v = [0xa5u8; 33];
+        zeroize_bytes(&mut v);
+        assert!(v.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        zeroize_limbs(&mut []);
+        zeroize_bytes(&mut []);
+    }
+}

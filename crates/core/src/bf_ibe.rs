@@ -41,12 +41,36 @@ pub struct IbePublicParams {
 
 /// A user's full private key `d_ID = s·Q_ID` (the unsplit, non-mediated
 /// key of the original scheme).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Secret material: `Debug` redacts the point, equality is
+/// constant-time, and dropping the key erases the point.
+#[derive(Clone, Eq)]
 pub struct PrivateKey {
     /// The identity this key decrypts for.
     pub id: String,
     /// The key point.
     pub point: G1Affine,
+}
+
+impl std::fmt::Debug for PrivateKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrivateKey")
+            .field("id", &self.id)
+            .field("point", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for PrivateKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.point.ct_eq(&other.point)
+    }
+}
+
+impl Drop for PrivateKey {
+    fn drop(&mut self) {
+        self.point.zeroize();
+    }
 }
 
 /// A `BasicIdent` ciphertext `⟨U, V⟩`.
@@ -70,10 +94,29 @@ pub struct FullCiphertext {
 }
 
 /// The private key generator (holds the master key `s`).
-#[derive(Debug)]
+///
+/// The master key is the system's root secret: `Debug` redacts it and
+/// dropping the PKG erases it.
 pub struct Pkg {
     params: IbePublicParams,
     master: BigUint,
+}
+
+impl std::fmt::Debug for Pkg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Params are public but still limb-bearing; eliding them keeps
+        // the invariant that secret-type Debug output never contains
+        // limb hex at all (enforced by tests/secret_hygiene.rs).
+        f.debug_struct("Pkg")
+            .field("master", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for Pkg {
+    fn drop(&mut self) {
+        self.master.zeroize();
+    }
 }
 
 impl Pkg {
@@ -324,25 +367,23 @@ impl FullCiphertext {
     ///
     /// Returns [`Error::InvalidCiphertext`] on malformed input.
     pub fn from_bytes(params: &IbePublicParams, bytes: &[u8]) -> Result<Self, Error> {
-        let pl = params.curve().point_len();
-        let header = pl + SIGMA_LEN + 4;
-        if bytes.len() < header {
-            return Err(Error::InvalidCiphertext);
-        }
+        let mut r = crate::cursor::Reader::new(bytes);
         let u = params
             .curve()
-            .point_from_bytes(&bytes[..pl])
+            .point_from_bytes(
+                r.bytes(params.curve().point_len())
+                    .ok_or(Error::InvalidCiphertext)?,
+            )
             .map_err(|_| Error::InvalidCiphertext)?;
-        let v = bytes[pl..pl + SIGMA_LEN].to_vec();
-        let w_len =
-            u32::from_be_bytes(bytes[pl + SIGMA_LEN..header].try_into().expect("4 bytes")) as usize;
-        if bytes.len() != header + w_len {
+        let v = r.bytes(SIGMA_LEN).ok_or(Error::InvalidCiphertext)?.to_vec();
+        let w_len = r.u32_be().ok_or(Error::InvalidCiphertext)? as usize;
+        if r.remaining() != w_len {
             return Err(Error::InvalidCiphertext);
         }
         Ok(FullCiphertext {
             u,
             v,
-            w: bytes[header..].to_vec(),
+            w: r.rest().to_vec(),
         })
     }
 }
@@ -455,7 +496,7 @@ mod tests {
         assert!(pkg.params().verify_private_key(&key));
         let forged = PrivateKey {
             id: "alice".into(),
-            point: pkg.extract("bob").point,
+            point: pkg.extract("bob").point.clone(),
         };
         assert!(!pkg.params().verify_private_key(&forged));
     }

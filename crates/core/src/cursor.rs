@@ -1,0 +1,109 @@
+//! A bounds-checked byte cursor for decoding untrusted wire bytes.
+//!
+//! Every decoder in this workspace consumes attacker-controlled input:
+//! ciphertexts, key records, share bundles, journal frames. Indexing
+//! (`bytes[2..2 + id_len]`) or `try_into().expect(..)` in those paths
+//! turns a malformed frame into a panic — a remote crash vector for a
+//! SEM replica. [`Reader`] replaces both: every read is checked and
+//! returns `None` past the end, so decoders reduce to `?`-chains that
+//! fail closed.
+//!
+//! The methods return [`Option`] rather than a concrete error so each
+//! codec can map exhaustion to its own domain error
+//! (`InvalidCiphertext`, `InvalidSignature`, …) with `ok_or`.
+
+/// A forward-only, bounds-checked view over a byte slice.
+#[derive(Debug, Clone, Copy)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps `buf` with the cursor at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` iff every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes and returns the next `n` bytes, or `None` if fewer
+    /// remain.
+    pub fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let (head, tail) = (self.buf.get(..n)?, self.buf.get(n..)?);
+        self.buf = tail;
+        Some(head)
+    }
+
+    /// Consumes the rest of the buffer (possibly empty).
+    pub fn rest(&mut self) -> &'a [u8] {
+        std::mem::take(&mut self.buf)
+    }
+
+    /// Consumes one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    /// Consumes a big-endian `u16`.
+    pub fn u16_be(&mut self) -> Option<u16> {
+        self.bytes(2)
+            .and_then(|b| Some(u16::from_be_bytes(b.try_into().ok()?)))
+    }
+
+    /// Consumes a big-endian `u32`.
+    pub fn u32_be(&mut self) -> Option<u32> {
+        self.bytes(4)
+            .and_then(|b| Some(u32::from_be_bytes(b.try_into().ok()?)))
+    }
+
+    /// Consumes a big-endian `u64`.
+    pub fn u64_be(&mut self) -> Option<u64> {
+        self.bytes(8)
+            .and_then(|b| Some(u64::from_be_bytes(b.try_into().ok()?)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_reads() {
+        let data = [0x01, 0x00, 0x02, 0xaa, 0xbb, 0xcc];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u8(), Some(0x01));
+        assert_eq!(r.u16_be(), Some(2));
+        assert_eq!(r.bytes(2), Some(&[0xaa, 0xbb][..]));
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.rest(), &[0xcc]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn exhaustion_returns_none_without_panicking() {
+        let mut r = Reader::new(&[0xff]);
+        assert_eq!(r.u32_be(), None);
+        // A failed read consumes nothing.
+        assert_eq!(r.remaining(), 1);
+        assert_eq!(r.u8(), Some(0xff));
+        assert_eq!(r.u8(), None);
+        assert_eq!(r.bytes(usize::MAX), None);
+    }
+
+    #[test]
+    fn wide_integers() {
+        let data = [0, 0, 0, 7, 0, 0, 0, 0, 0, 0, 0, 9];
+        let mut r = Reader::new(&data);
+        assert_eq!(r.u32_be(), Some(7));
+        assert_eq!(r.u64_be(), Some(9));
+        assert!(r.is_empty());
+    }
+}

@@ -25,12 +25,32 @@ use sempair_bigint::{modular, BigUint};
 use sempair_pairing::{CurveParams, G1Affine};
 
 /// One player's dealing: secret polynomial plus public commitments.
-#[derive(Debug, Clone)]
+///
+/// The coefficients are this dealer's contribution to the joint master
+/// key: `Debug` redacts them and dropping the dealing erases them.
+#[derive(Clone)]
 pub struct DkgDealer {
     /// This dealer's player index (1-based).
     pub index: u32,
     coeffs: Vec<BigUint>,
     commitments: Vec<G1Affine>,
+}
+
+impl std::fmt::Debug for DkgDealer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DkgDealer")
+            .field("index", &self.index)
+            .field("coeffs", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for DkgDealer {
+    fn drop(&mut self) {
+        for c in &mut self.coeffs {
+            c.zeroize();
+        }
+    }
 }
 
 impl DkgDealer {

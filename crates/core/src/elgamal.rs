@@ -42,7 +42,10 @@ pub struct ElGamalPublicKey {
 }
 
 /// The user's half `x_user`.
-#[derive(Debug, Clone)]
+///
+/// `x_user` is secret: `Debug` redacts it and dropping the key erases
+/// it.
+#[derive(Clone)]
 pub struct ElGamalUser {
     /// Identity label (for SEM bookkeeping).
     pub id: String,
@@ -51,12 +54,45 @@ pub struct ElGamalUser {
     x_user: BigUint,
 }
 
+impl std::fmt::Debug for ElGamalUser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElGamalUser")
+            .field("id", &self.id)
+            .field("x_user", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for ElGamalUser {
+    fn drop(&mut self) {
+        self.x_user.zeroize();
+    }
+}
+
 /// The SEM's half `x_sem` for one user.
-#[derive(Debug, Clone)]
+///
+/// `x_sem` is secret: `Debug` redacts it and dropping the record
+/// erases it.
+#[derive(Clone)]
 pub struct ElGamalSemKey {
     /// Identity served.
     pub id: String,
     x_sem: BigUint,
+}
+
+impl std::fmt::Debug for ElGamalSemKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElGamalSemKey")
+            .field("id", &self.id)
+            .field("x_sem", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for ElGamalSemKey {
+    fn drop(&mut self) {
+        self.x_sem.zeroize();
+    }
 }
 
 /// A ciphertext `⟨U, V, W⟩`.
@@ -241,11 +277,29 @@ pub struct ThresholdElGamal {
 }
 
 /// Player `i`'s key share `xᵢ = f(i)`.
-#[derive(Debug, Clone)]
+///
+/// Secret material: `Debug` redacts the scalar and dropping the share
+/// erases it.
+#[derive(Clone)]
 pub struct ElGamalKeyShare {
     /// Player index (1-based).
     pub index: u32,
     scalar: BigUint,
+}
+
+impl std::fmt::Debug for ElGamalKeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ElGamalKeyShare")
+            .field("index", &self.index)
+            .field("scalar", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for ElGamalKeyShare {
+    fn drop(&mut self) {
+        self.scalar.zeroize();
+    }
 }
 
 /// A decryption share `Sᵢ = xᵢ·U`, optionally with its Chaum–Pedersen

@@ -15,7 +15,7 @@
 //!   compressed G1 element* (~`|p|` bits vs 1024 for mRSA, the paper's
 //!   headline bandwidth win).
 
-use crate::shamir::{self, Polynomial, Share};
+use crate::shamir::{self, Polynomial};
 use crate::Error;
 use rand::RngCore;
 use sempair_bigint::{modular, BigUint};
@@ -34,10 +34,27 @@ pub struct GdhPublicKey {
 }
 
 /// A GDH secret key `x`.
-#[derive(Debug, Clone)]
+///
+/// Secret material: `Debug` redacts the scalar and dropping the key
+/// erases it.
+#[derive(Clone)]
 pub struct GdhSecretKey {
     /// The secret scalar.
     pub scalar: BigUint,
+}
+
+impl std::fmt::Debug for GdhSecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GdhSecretKey")
+            .field("scalar", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for GdhSecretKey {
+    fn drop(&mut self) {
+        self.scalar.zeroize();
+    }
 }
 
 /// A (short) GDH signature `σ = x·H(m) ∈ G1`.
@@ -397,12 +414,30 @@ pub struct ThresholdGdh {
 }
 
 /// Player `i`'s signing-key share `f(i)`.
-#[derive(Debug, Clone)]
+///
+/// Secret material: `Debug` redacts the scalar and dropping the share
+/// erases it.
+#[derive(Clone)]
 pub struct GdhKeyShare {
     /// Player index (1-based).
     pub index: u32,
     /// The scalar share.
     pub scalar: BigUint,
+}
+
+impl std::fmt::Debug for GdhKeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GdhKeyShare")
+            .field("index", &self.index)
+            .field("scalar", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for GdhKeyShare {
+    fn drop(&mut self) {
+        self.scalar.zeroize();
+    }
 }
 
 /// A partial signature `σᵢ = f(i)·H(m)`.
@@ -435,9 +470,9 @@ impl ThresholdGdh {
         let shares: Vec<GdhKeyShare> = poly
             .shares(n)
             .into_iter()
-            .map(|Share { index, value }| GdhKeyShare {
-                index,
-                scalar: value,
+            .map(|share| GdhKeyShare {
+                index: share.index,
+                scalar: share.value.clone(),
             })
             .collect();
         let verification_keys = shares
@@ -793,9 +828,26 @@ pub fn verify_multisignature(
 pub struct BlindedMessage(pub G1Affine);
 
 /// The requester's unblinding state (keep secret until unblinding).
-#[derive(Debug, Clone)]
+///
+/// `rho` is secret while a blind-signing session is live: `Debug`
+/// redacts it and dropping the factor erases it.
+#[derive(Clone)]
 pub struct BlindingFactor {
     rho: BigUint,
+}
+
+impl std::fmt::Debug for BlindingFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlindingFactor")
+            .field("rho", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for BlindingFactor {
+    fn drop(&mut self) {
+        self.rho.zeroize();
+    }
 }
 
 /// Requester side, step 1: blind the message.
@@ -858,7 +910,10 @@ pub fn mediated_keygen(
 }
 
 /// The user's half of a mediated GDH signing key.
-#[derive(Debug, Clone)]
+///
+/// `x_user` is secret: `Debug` redacts it and dropping the key erases
+/// it.
+#[derive(Clone)]
 pub struct GdhUser {
     /// The user's identity label.
     pub id: String,
@@ -867,12 +922,45 @@ pub struct GdhUser {
     x_user: BigUint,
 }
 
+impl std::fmt::Debug for GdhUser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GdhUser")
+            .field("id", &self.id)
+            .field("x_user", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
+impl Drop for GdhUser {
+    fn drop(&mut self) {
+        self.x_user.zeroize();
+    }
+}
+
 /// The SEM's half-key record for one user.
-#[derive(Debug, Clone)]
+///
+/// `x_sem` is secret: `Debug` redacts it and dropping the record
+/// erases it.
+#[derive(Clone)]
 pub struct GdhSemKey {
     /// Identity served.
     pub id: String,
     x_sem: BigUint,
+}
+
+impl std::fmt::Debug for GdhSemKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GdhSemKey")
+            .field("id", &self.id)
+            .field("x_sem", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Drop for GdhSemKey {
+    fn drop(&mut self) {
+        self.x_sem.zeroize();
+    }
 }
 
 /// A SEM half-signature `S_sem = x_sem·H(m)` — one compressed G1
@@ -907,20 +995,18 @@ impl GdhUser {
     ///
     /// [`Error::InvalidSignature`] on malformed bytes.
     pub fn from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<Self, Error> {
-        if bytes.len() < 2 {
-            return Err(Error::InvalidSignature);
-        }
-        let id_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let mut r = crate::cursor::Reader::new(bytes);
+        let id_len = r.u16_be().ok_or(Error::InvalidSignature)? as usize;
         let scalar_len = curve.order().bits().div_ceil(8);
-        if bytes.len() != 2 + id_len + curve.point_len() + scalar_len {
-            return Err(Error::InvalidSignature);
-        }
-        let id = String::from_utf8(bytes[2..2 + id_len].to_vec())
+        let id = String::from_utf8(r.bytes(id_len).ok_or(Error::InvalidSignature)?.to_vec())
             .map_err(|_| Error::InvalidSignature)?;
         let point = curve
-            .point_from_bytes(&bytes[2 + id_len..2 + id_len + curve.point_len()])
+            .point_from_bytes(r.bytes(curve.point_len()).ok_or(Error::InvalidSignature)?)
             .map_err(|_| Error::InvalidSignature)?;
-        let x_user = BigUint::from_be_bytes(&bytes[2 + id_len + curve.point_len()..]);
+        if r.remaining() != scalar_len {
+            return Err(Error::InvalidSignature);
+        }
+        let x_user = BigUint::from_be_bytes(r.rest());
         if &x_user >= curve.order() {
             return Err(Error::InvalidSignature);
         }
@@ -950,17 +1036,15 @@ impl GdhSemKey {
     ///
     /// [`Error::InvalidSignature`] on malformed bytes.
     pub fn from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<Self, Error> {
-        if bytes.len() < 2 {
-            return Err(Error::InvalidSignature);
-        }
-        let id_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let mut r = crate::cursor::Reader::new(bytes);
+        let id_len = r.u16_be().ok_or(Error::InvalidSignature)? as usize;
         let scalar_len = curve.order().bits().div_ceil(8);
-        if bytes.len() != 2 + id_len + scalar_len {
+        let id = String::from_utf8(r.bytes(id_len).ok_or(Error::InvalidSignature)?.to_vec())
+            .map_err(|_| Error::InvalidSignature)?;
+        if r.remaining() != scalar_len {
             return Err(Error::InvalidSignature);
         }
-        let id = String::from_utf8(bytes[2..2 + id_len].to_vec())
-            .map_err(|_| Error::InvalidSignature)?;
-        let x_sem = BigUint::from_be_bytes(&bytes[2 + id_len..]);
+        let x_sem = BigUint::from_be_bytes(r.rest());
         if &x_sem >= curve.order() {
             return Err(Error::InvalidSignature);
         }

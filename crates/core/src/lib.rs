@@ -50,6 +50,7 @@
 
 pub mod bf_ibe;
 pub mod checked;
+pub mod cursor;
 pub mod dkg;
 pub mod elgamal;
 pub mod encryptor;

@@ -28,9 +28,13 @@ use crate::Error;
 use rand::RngCore;
 use sempair_pairing::{G1Affine, Gt};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 /// The user's half-key `d_user ∈ G1`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Secret material: `Debug` redacts the point, equality is
+/// constant-time, and dropping the key erases the point.
+#[derive(Clone, Eq)]
 pub struct UserKey {
     /// The identity this half-key belongs to.
     pub id: String,
@@ -38,13 +42,58 @@ pub struct UserKey {
     pub point: G1Affine,
 }
 
+impl fmt::Debug for UserKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UserKey")
+            .field("id", &self.id)
+            .field("point", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for UserKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.point.ct_eq(&other.point)
+    }
+}
+
+impl Drop for UserKey {
+    fn drop(&mut self) {
+        self.point.zeroize();
+    }
+}
+
 /// The SEM's half-key `d_sem = d_ID − d_user` for one identity.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Secret material: `Debug` redacts the point, equality is
+/// constant-time, and dropping the key erases the point.
+#[derive(Clone, Eq)]
 pub struct SemKey {
     /// The identity this half-key serves.
     pub id: String,
     /// The half-key point.
     pub point: G1Affine,
+}
+
+impl fmt::Debug for SemKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SemKey")
+            .field("id", &self.id)
+            .field("point", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for SemKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.point.ct_eq(&other.point)
+    }
+}
+
+impl Drop for SemKey {
+    fn drop(&mut self) {
+        self.point.zeroize();
+    }
 }
 
 /// A decryption token `g_sem = ê(U, d_sem)`.
@@ -360,7 +409,7 @@ mod tests {
             .unwrap();
         let franken_bob = crate::bf_ibe::PrivateKey {
             id: "bob".into(),
-            point: franken.point,
+            point: franken.point.clone(),
         };
         assert!(pkg.params().decrypt_full(&franken_bob, &cb).is_err());
     }

@@ -10,11 +10,33 @@ use rand::RngCore;
 use sempair_bigint::{modular, rng as brng, BigInt, BigUint};
 
 /// A random polynomial `f(x) = s + a₁x + … + a_{t−1}x^{t−1}` over `Z_q`.
-#[derive(Debug, Clone)]
+///
+/// Every coefficient is secret (together they determine the shared
+/// secret): `Debug` redacts them and dropping the polynomial erases
+/// them.
+#[derive(Clone)]
 pub struct Polynomial {
     /// Coefficients, constant term first. `coeffs[0]` is the secret.
     coeffs: Vec<BigUint>,
     q: BigUint,
+}
+
+impl std::fmt::Debug for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Polynomial")
+            .field("coeffs", &"<redacted>")
+            .field("degree", &(self.coeffs.len().saturating_sub(1)))
+            .field("q_bits", &self.q.bits())
+            .finish()
+    }
+}
+
+impl Drop for Polynomial {
+    fn drop(&mut self) {
+        for c in &mut self.coeffs {
+            c.zeroize();
+        }
+    }
 }
 
 impl Polynomial {
@@ -79,12 +101,36 @@ impl Polynomial {
 }
 
 /// One share `(i, f(i))`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The share value is secret material: `Debug` redacts it, equality is
+/// constant-time in the value, and dropping the share erases it.
+#[derive(Clone, Eq)]
 pub struct Share {
     /// Player index `i ≥ 1`.
     pub index: u32,
     /// Share value `f(i) mod q`.
     pub value: BigUint,
+}
+
+impl std::fmt::Debug for Share {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Share")
+            .field("index", &self.index)
+            .field("value", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for Share {
+    fn eq(&self, other: &Self) -> bool {
+        self.index == other.index && self.value.ct_eq(&other.value)
+    }
+}
+
+impl Drop for Share {
+    fn drop(&mut self) {
+        self.value.zeroize();
+    }
 }
 
 /// Lagrange coefficient `λ_i = Π_{j ≠ i} (x − j)/(i − j) mod q`

@@ -56,21 +56,18 @@ fn decode_payload(
     params: &IbePublicParams,
     payload: &[u8],
 ) -> Result<(String, Signature, Vec<u8>), Error> {
-    if payload.len() < 2 {
-        return Err(Error::InvalidCiphertext);
-    }
-    let id_len = u16::from_be_bytes([payload[0], payload[1]]) as usize;
-    let point_len = params.curve().point_len();
-    if payload.len() < 2 + id_len + point_len {
-        return Err(Error::InvalidCiphertext);
-    }
-    let sender_id =
-        String::from_utf8(payload[2..2 + id_len].to_vec()).map_err(|_| Error::InvalidCiphertext)?;
+    let mut r = crate::cursor::Reader::new(payload);
+    let id_len = r.u16_be().ok_or(Error::InvalidCiphertext)? as usize;
+    let sender_id = String::from_utf8(r.bytes(id_len).ok_or(Error::InvalidCiphertext)?.to_vec())
+        .map_err(|_| Error::InvalidCiphertext)?;
     let sig_point = params
         .curve()
-        .point_from_bytes(&payload[2 + id_len..2 + id_len + point_len])
+        .point_from_bytes(
+            r.bytes(params.curve().point_len())
+                .ok_or(Error::InvalidCiphertext)?,
+        )
         .map_err(|_| Error::InvalidCiphertext)?;
-    let message = payload[2 + id_len + point_len..].to_vec();
+    let message = r.rest().to_vec();
     Ok((sender_id, Signature(sig_point), message))
 }
 

@@ -15,7 +15,14 @@
 //! their shares and even *reconstruct* the cheater's key share from `t`
 //! honest ones (implemented as [`ThresholdSystem::recover_key_share`]).
 
+// Share bundles and system encodings arrive from untrusted peers;
+// decoding goes through the bounds-checked [`Reader`] instead of
+// indexing so malformed input fails closed.
+#![warn(clippy::indexing_slicing)]
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
+
 use crate::bf_ibe::{BasicCiphertext, IbePublicParams, Pkg};
+use crate::cursor::Reader;
 use crate::mediated::UserKey;
 use crate::shamir::{self, Polynomial};
 use crate::Error;
@@ -35,15 +42,28 @@ pub struct ThresholdSystem {
 }
 
 /// The dealer (PKG): holds the sharing polynomial.
-#[derive(Debug)]
+///
+/// The polynomial is the master secret in shared form; `Polynomial`'s
+/// own `Debug` redaction and drop-erasure cover it.
 pub struct ThresholdPkg {
     system: ThresholdSystem,
     poly: Polynomial,
 }
 
+impl std::fmt::Debug for ThresholdPkg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThresholdPkg")
+            .field("poly", &"<redacted>")
+            .finish_non_exhaustive()
+    }
+}
+
 /// Player `i`'s private key share for one identity:
 /// `d_IDᵢ = f(i)·Q_ID`.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Secret material: `Debug` redacts the point, equality is
+/// constant-time, and dropping the share erases the point.
+#[derive(Clone, Eq)]
 pub struct IdKeyShare {
     /// The identity this share serves.
     pub id: String,
@@ -51,6 +71,28 @@ pub struct IdKeyShare {
     pub index: u32,
     /// The share point.
     pub point: G1Affine,
+}
+
+impl std::fmt::Debug for IdKeyShare {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IdKeyShare")
+            .field("id", &self.id)
+            .field("index", &self.index)
+            .field("point", &"<redacted>")
+            .finish()
+    }
+}
+
+impl PartialEq for IdKeyShare {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id && self.index == other.index && self.point.ct_eq(&other.point)
+    }
+}
+
+impl Drop for IdKeyShare {
+    fn drop(&mut self) {
+        self.point.zeroize();
+    }
 }
 
 /// A published decryption share `ê(U, d_IDᵢ)`, optionally carrying the
@@ -190,7 +232,11 @@ impl ThresholdSystem {
     /// # Panics
     ///
     /// Panics if `i` is out of `1..=n`.
+    // Player indices come from local protocol state, not the wire; a
+    // bad one is a caller bug with a documented panic contract.
+    #[allow(clippy::indexing_slicing)]
     pub fn verification_key(&self, i: u32) -> &G1Affine {
+        // audit:allow(panic, documented contract: i must be in 1..=n, locally chosen)
         &self.verification_keys[(i - 1) as usize]
     }
 
@@ -311,13 +357,10 @@ impl ThresholdSystem {
         ciphertext: &BasicCiphertext,
         shares: &[DecryptionShare],
     ) -> Result<Vec<u8>, Error> {
-        if shares.len() < self.t {
-            return Err(Error::NotEnoughShares {
-                needed: self.t,
-                got: shares.len(),
-            });
-        }
-        let used = &shares[..self.t];
+        let used = shares.get(..self.t).ok_or(Error::NotEnoughShares {
+            needed: self.t,
+            got: shares.len(),
+        })?;
         let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
         let curve = self.params.curve();
         let q = curve.order();
@@ -368,13 +411,13 @@ impl ThresholdSystem {
     ///
     /// [`Error::NotEnoughShares`] or index errors.
     pub fn recover_key_share(&self, shares: &[IdKeyShare], j: u32) -> Result<IdKeyShare, Error> {
-        if shares.len() < self.t {
-            return Err(Error::NotEnoughShares {
-                needed: self.t,
-                got: shares.len(),
-            });
-        }
-        let used = &shares[..self.t];
+        let used = shares.get(..self.t).ok_or(Error::NotEnoughShares {
+            needed: self.t,
+            got: shares.len(),
+        })?;
+        let first = used
+            .first()
+            .ok_or(Error::NotEnoughShares { needed: 1, got: 0 })?;
         let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
         let curve = self.params.curve();
         let q = curve.order();
@@ -384,7 +427,7 @@ impl ThresholdSystem {
             terms.push((li, share.point.clone()));
         }
         Ok(IdKeyShare {
-            id: used[0].id.clone(),
+            id: first.id.clone(),
             index: j,
             point: curve.multi_mul(&terms),
         })
@@ -428,13 +471,10 @@ impl ThresholdSystem {
                 Err(_) => cheaters.push(share.index),
             }
         }
-        if valid.len() < self.t {
-            return Err(Error::NotEnoughShares {
-                needed: self.t,
-                got: valid.len(),
-            });
-        }
-        let used = &valid[..self.t];
+        let used = valid.get(..self.t).ok_or(Error::NotEnoughShares {
+            needed: self.t,
+            got: valid.len(),
+        })?;
         let indices: Vec<u32> = used.iter().map(|s| s.index).collect();
         let curve = self.params.curve();
         let q = curve.order();
@@ -556,17 +596,9 @@ fn push_chunk(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(bytes);
 }
 
-fn take_chunk<'a>(bytes: &mut &'a [u8]) -> Result<&'a [u8], Error> {
-    if bytes.len() < 2 {
-        return Err(Error::InvalidCiphertext);
-    }
-    let len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
-    if bytes.len() < 2 + len {
-        return Err(Error::InvalidCiphertext);
-    }
-    let chunk = &bytes[2..2 + len];
-    *bytes = &bytes[2 + len..];
-    Ok(chunk)
+fn take_chunk<'a>(r: &mut Reader<'a>) -> Result<&'a [u8], Error> {
+    let len = r.u16_be().ok_or(Error::InvalidCiphertext)? as usize;
+    r.bytes(len).ok_or(Error::InvalidCiphertext)
 }
 
 /// Encodes a decryption share (with its robustness proof, if any) for
@@ -603,39 +635,33 @@ pub fn decryption_share_from_bytes(
     curve: &CurveParams,
     bytes: &[u8],
 ) -> Result<DecryptionShare, Error> {
-    if bytes.len() < 5 {
-        return Err(Error::InvalidCiphertext);
-    }
-    let index = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
-    let has_proof = match bytes[4] {
+    let mut r = Reader::new(bytes);
+    let index = r.u32_be().ok_or(Error::InvalidCiphertext)?;
+    let has_proof = match r.u8().ok_or(Error::InvalidCiphertext)? {
         0 => false,
         1 => true,
         _ => return Err(Error::InvalidCiphertext),
     };
-    let mut rest = &bytes[5..];
     let value = curve
-        .gt_from_bytes(take_chunk(&mut rest)?)
+        .gt_from_bytes(take_chunk(&mut r)?)
         .map_err(|_| Error::InvalidCiphertext)?;
     let proof = if has_proof {
         let w1 = curve
-            .gt_from_bytes(take_chunk(&mut rest)?)
+            .gt_from_bytes(take_chunk(&mut r)?)
             .map_err(|_| Error::InvalidCiphertext)?;
         let w2 = curve
-            .gt_from_bytes(take_chunk(&mut rest)?)
+            .gt_from_bytes(take_chunk(&mut r)?)
             .map_err(|_| Error::InvalidCiphertext)?;
-        let e = BigUint::from_be_bytes(take_chunk(&mut rest)?);
-        if rest.len() != curve.point_len() {
-            return Err(Error::InvalidCiphertext);
-        }
+        let e = BigUint::from_be_bytes(take_chunk(&mut r)?);
+        let v_bytes = r.bytes(curve.point_len()).ok_or(Error::InvalidCiphertext)?;
         let v = curve
-            .point_from_bytes(rest)
+            .point_from_bytes(v_bytes)
             .map_err(|_| Error::InvalidCiphertext)?;
-        rest = &[];
         Some(EqProof { w1, w2, e, v })
     } else {
         None
     };
-    if !rest.is_empty() {
+    if !r.is_empty() {
         return Err(Error::InvalidCiphertext);
     }
     Ok(DecryptionShare {
@@ -671,11 +697,9 @@ pub fn threshold_system_from_bytes(
     curve: &CurveParams,
     bytes: &[u8],
 ) -> Result<ThresholdSystem, Error> {
-    if bytes.len() < 8 {
-        return Err(Error::InvalidCiphertext);
-    }
-    let t = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes")) as usize;
-    let n = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let mut r = Reader::new(bytes);
+    let t = r.u32_be().ok_or(Error::InvalidCiphertext)? as usize;
+    let n = r.u32_be().ok_or(Error::InvalidCiphertext)? as usize;
     if t == 0 {
         return Err(Error::BadThresholdParams("t must be at least 1"));
     }
@@ -683,8 +707,14 @@ pub fn threshold_system_from_bytes(
         return Err(Error::BadThresholdParams("t cannot exceed n"));
     }
     let point_len = curve.point_len();
-    let rest = &bytes[8..];
-    if rest.len() != point_len * (n + 1) {
+    let rest = r.rest();
+    // The length check above bounds `n` by the actual payload, so this
+    // preallocation cannot exceed what the sender really transmitted.
+    if rest.len()
+        != point_len
+            .checked_mul(n + 1)
+            .ok_or(Error::InvalidCiphertext)?
+    {
         return Err(Error::InvalidCiphertext);
     }
     let mut points = rest.chunks_exact(point_len).map(|chunk| {
@@ -692,7 +722,7 @@ pub fn threshold_system_from_bytes(
             .point_from_bytes(chunk)
             .map_err(|_| Error::InvalidCiphertext)
     });
-    let p_pub = points.next().expect("length checked above")?;
+    let p_pub = points.next().ok_or(Error::InvalidCiphertext)??;
     let verification_keys = points.collect::<Result<Vec<_>, _>>()?;
     Ok(ThresholdSystem {
         params: IbePublicParams::from_parts(curve.clone(), p_pub),

@@ -6,7 +6,13 @@
 //! documents. Sizes are exactly the E1/E3 numbers — these functions
 //! *are* the wire the paper's bandwidth comparison talks about.
 
+// Decoders here consume untrusted bytes; indexing would turn malformed
+// input into a panic, so reads go through the bounds-checked [`Reader`].
+#![warn(clippy::indexing_slicing)]
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
+
 use crate::bf_ibe::PrivateKey;
+use crate::cursor::Reader;
 use crate::gdh::{HalfSignature, Signature};
 use crate::mediated::{DecryptToken, SemKey, UserKey};
 use crate::threshold::IdKeyShare;
@@ -87,18 +93,16 @@ fn keyed_point_from_bytes(
     curve: &CurveParams,
     bytes: &[u8],
 ) -> Result<(String, sempair_pairing::G1Affine), Error> {
-    if bytes.len() < 2 {
+    let mut r = Reader::new(bytes);
+    let id_len = r.u16_be().ok_or(Error::InvalidCiphertext)? as usize;
+    let id_bytes = r.bytes(id_len).ok_or(Error::InvalidCiphertext)?;
+    let id = String::from_utf8(id_bytes.to_vec()).map_err(|_| Error::InvalidCiphertext)?;
+    let point_bytes = r.bytes(curve.point_len()).ok_or(Error::InvalidCiphertext)?;
+    if !r.is_empty() {
         return Err(Error::InvalidCiphertext);
     }
-    let id_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
-    let expected = 2 + id_len + curve.point_len();
-    if bytes.len() != expected {
-        return Err(Error::InvalidCiphertext);
-    }
-    let id =
-        String::from_utf8(bytes[2..2 + id_len].to_vec()).map_err(|_| Error::InvalidCiphertext)?;
     let point = curve
-        .point_from_bytes(&bytes[2 + id_len..])
+        .point_from_bytes(point_bytes)
         .map_err(|_| Error::InvalidCiphertext)?;
     Ok((id, point))
 }
@@ -159,11 +163,9 @@ pub fn key_share_to_bytes(curve: &CurveParams, share: &IdKeyShare) -> Vec<u8> {
 ///
 /// [`Error::InvalidCiphertext`] on malformed bytes.
 pub fn key_share_from_bytes(curve: &CurveParams, bytes: &[u8]) -> Result<IdKeyShare, Error> {
-    if bytes.len() < 4 {
-        return Err(Error::InvalidCiphertext);
-    }
-    let index = u32::from_be_bytes(bytes[..4].try_into().expect("4 bytes"));
-    let (id, point) = keyed_point_from_bytes(curve, &bytes[4..])?;
+    let mut r = Reader::new(bytes);
+    let index = r.u32_be().ok_or(Error::InvalidCiphertext)?;
+    let (id, point) = keyed_point_from_bytes(curve, r.rest())?;
     Ok(IdKeyShare { id, index, point })
 }
 

@@ -1,0 +1,155 @@
+//! Adversarial decoding: every `core` wire decoder must reject (never
+//! panic on, never over-allocate for) hostile bytes — random garbage,
+//! truncations, and valid encodings whose embedded length/count fields
+//! are inflated to lie about the payload.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_core::bf_ibe::{FullCiphertext, Pkg};
+use sempair_core::gdh;
+use sempair_core::mediated::Sem;
+use sempair_core::threshold::{
+    decryption_share_from_bytes, decryption_share_to_bytes, threshold_system_from_bytes,
+    threshold_system_to_bytes, ThresholdPkg,
+};
+use sempair_core::wire;
+use sempair_pairing::CurveParams;
+use std::sync::OnceLock;
+
+fn curve() -> &'static CurveParams {
+    static CURVE: OnceLock<CurveParams> = OnceLock::new();
+    CURVE.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+        CurveParams::generate(&mut rng, 128, 64).unwrap()
+    })
+}
+
+fn pkg() -> &'static Pkg {
+    static PKG: OnceLock<Pkg> = OnceLock::new();
+    PKG.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xDEC1);
+        Pkg::setup(&mut rng, curve().clone())
+    })
+}
+
+/// Corpus of valid encodings to mutate: one of each record kind.
+fn corpus() -> &'static Vec<Vec<u8>> {
+    static CORPUS: OnceLock<Vec<Vec<u8>>> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let mut rng = StdRng::seed_from_u64(0xDEC2);
+        let c = curve();
+        let (user, sem_key) = pkg().extract_split(&mut rng, "adv@example.com");
+        let full = pkg().extract("adv@example.com");
+        let mut sem = Sem::new();
+        sem.install(sem_key.clone());
+        let ct = pkg()
+            .params()
+            .encrypt_full(&mut rng, "adv@example.com", b"payload")
+            .unwrap();
+        let token = sem
+            .decrypt_token(pkg().params(), "adv@example.com", &ct.u)
+            .unwrap();
+        let (gdh_user, gdh_sem, _) = gdh::mediated_keygen(&mut rng, c, "adv");
+        let tpkg = ThresholdPkg::setup(&mut rng, c.clone(), 2, 3).unwrap();
+        let shares = tpkg.keygen("adv");
+        let dec_share = tpkg
+            .system()
+            .decryption_share_robust(&mut rng, &shares[0], &ct.u);
+        vec![
+            wire::user_key_to_bytes(c, &user),
+            wire::sem_key_to_bytes(c, &sem_key),
+            wire::private_key_to_bytes(c, &full),
+            wire::key_share_to_bytes(c, &shares[1]),
+            wire::token_to_bytes(c, &token),
+            ct.to_bytes(pkg().params()),
+            gdh_user.to_bytes(c),
+            gdh_sem_key_bytes(&gdh_sem),
+            decryption_share_to_bytes(c, &dec_share),
+            threshold_system_to_bytes(tpkg.system()),
+        ]
+    })
+}
+
+fn gdh_sem_key_bytes(k: &gdh::GdhSemKey) -> Vec<u8> {
+    k.to_bytes(curve())
+}
+
+/// Runs every decoder over `bytes`; each must return without panicking.
+fn all_decoders_survive(bytes: &[u8]) {
+    let c = curve();
+    let _ = wire::user_key_from_bytes(c, bytes);
+    let _ = wire::sem_key_from_bytes(c, bytes);
+    let _ = wire::private_key_from_bytes(c, bytes);
+    let _ = wire::key_share_from_bytes(c, bytes);
+    let _ = wire::token_from_bytes(c, bytes);
+    let _ = wire::signature_from_bytes(c, bytes);
+    let _ = wire::half_signature_from_bytes(c, bytes);
+    let _ = FullCiphertext::from_bytes(pkg().params(), bytes);
+    let _ = gdh::GdhUser::from_bytes(c, bytes);
+    let _ = gdh::GdhSemKey::from_bytes(c, bytes);
+    let _ = decryption_share_from_bytes(c, bytes);
+    let _ = threshold_system_from_bytes(c, bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        all_decoders_survive(&bytes);
+    }
+
+    #[test]
+    fn truncations_of_valid_records_never_panic(
+        which in 0usize..10,
+        cut in 0usize..4096,
+    ) {
+        let corpus = corpus();
+        let valid = &corpus[which % corpus.len()];
+        let cut = cut % (valid.len() + 1);
+        all_decoders_survive(&valid[..cut]);
+    }
+
+    #[test]
+    fn inflated_length_prefixes_are_rejected_not_trusted(
+        which in 0usize..10,
+        at in 0usize..4096,
+        lie in any::<u8>(),
+    ) {
+        // Stomp a byte anywhere (length prefixes included) with an
+        // arbitrary value; decoders must neither panic nor allocate
+        // from the lie (over-allocation would abort the test binary).
+        let corpus = corpus();
+        let mut bytes = corpus[which % corpus.len()].clone();
+        let at = at % bytes.len();
+        bytes[at] = lie;
+        all_decoders_survive(&bytes);
+    }
+
+    #[test]
+    fn adversarial_count_headers_never_allocate(
+        t in any::<u32>(),
+        n in any::<u32>(),
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // threshold_system_from_bytes reads (t, n) counts from the
+        // header; a huge `n` with a short payload must be rejected
+        // before any `n`-sized work happens.
+        let mut bytes = t.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&n.to_be_bytes());
+        bytes.extend_from_slice(&tail);
+        let _ = threshold_system_from_bytes(curve(), &bytes);
+    }
+
+    #[test]
+    fn maximal_id_length_prefix_is_bounds_checked(
+        tail in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // id_len = 0xFFFF with a tiny body: the reader must fail the
+        // take rather than slice out of bounds.
+        let mut bytes = vec![0xff, 0xff];
+        bytes.extend_from_slice(&tail);
+        all_decoders_survive(&bytes);
+    }
+}

@@ -89,7 +89,7 @@ proptest! {
         // Different splits, same sum.
         prop_assert_eq!(u1.collude(pkg().params(), &s1), full.clone());
         prop_assert_eq!(u2.collude(pkg().params(), &s2), full);
-        prop_assert_ne!(u1.point, u2.point);
+        prop_assert_ne!(&u1.point, &u2.point);
     }
 
     #[test]

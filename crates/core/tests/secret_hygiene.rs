@@ -1,0 +1,136 @@
+//! Regression tests for secret hygiene.
+//!
+//! A SEM half-key or a Shamir share reaching a log line through
+//! `{:?}` breaks the paper's trust separation (§4/§5: the SEM must
+//! never learn full keys, users must never learn other shares) far
+//! more quietly than any protocol bug. These tests pin the invariant:
+//! **the `Debug` output of a secret-bearing type contains a redaction
+//! marker and no limb hex of any kind** — not even public points,
+//! so a leak can never hide behind a "that field was public" argument.
+//! None of these types implement `Display`, so `Debug` is the only
+//! formatting surface.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sempair_bigint::BigUint;
+use sempair_core::bf_ibe::Pkg;
+use sempair_core::dkg::DkgDealer;
+use sempair_core::shamir::Polynomial;
+use sempair_core::threshold::ThresholdPkg;
+use sempair_core::{elgamal, gdh};
+use sempair_pairing::CurveParams;
+
+fn curve() -> (CurveParams, StdRng) {
+    let mut rng = StdRng::seed_from_u64(0x5EC2E7);
+    let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+    (curve, rng)
+}
+
+/// `BigUint` prints as `BigUint(0x…)`, `MontElem` as `MontElem([…])`,
+/// and `Fp`/`G1Affine` derive through `MontElem` — so any limb leak
+/// necessarily contains one of these markers (or a raw `0x`).
+fn assert_redacted(what: &str, debug: String) {
+    assert!(
+        debug.contains("redacted"),
+        "{what}: missing redaction marker: {debug}"
+    );
+    for leak in ["MontElem", "BigUint", "0x", "limbs"] {
+        assert!(
+            !debug.contains(leak),
+            "{what}: leaks limb material ({leak}): {debug}"
+        );
+    }
+}
+
+#[test]
+fn ibe_key_types_redact_debug() {
+    let (curve, mut rng) = curve();
+    let pkg = Pkg::setup(&mut rng, curve);
+    let full = pkg.extract("alice@example.com");
+    let (user, sem) = pkg.extract_split(&mut rng, "alice@example.com");
+    assert_redacted("Pkg", format!("{pkg:?}"));
+    assert_redacted("PrivateKey", format!("{full:?}"));
+    assert_redacted("UserKey", format!("{user:?}"));
+    assert_redacted("SemKey", format!("{sem:?}"));
+    // The identity label itself must survive redaction — operators
+    // need to know *whose* key a record is without seeing the key.
+    assert!(format!("{user:?}").contains("alice@example.com"));
+}
+
+#[test]
+fn threshold_and_shamir_types_redact_debug() {
+    let (curve, mut rng) = curve();
+    let q: BigUint = "0xffffffffffffffc5".parse().unwrap();
+    let poly = Polynomial::sample(&mut rng, &BigUint::from(42u64), 3, &q);
+    assert_redacted("Polynomial", format!("{poly:?}"));
+    for share in poly.shares(5) {
+        assert_redacted("Share", format!("{share:?}"));
+    }
+    let tpkg = ThresholdPkg::setup(&mut rng, curve, 2, 3).unwrap();
+    assert_redacted("ThresholdPkg", format!("{tpkg:?}"));
+    for ks in tpkg.keygen("vault") {
+        assert_redacted("IdKeyShare", format!("{ks:?}"));
+    }
+}
+
+#[test]
+fn gdh_key_types_redact_debug() {
+    let (curve, mut rng) = curve();
+    let (sk, _pk) = gdh::keygen(&mut rng, &curve);
+    assert_redacted("GdhSecretKey", format!("{sk:?}"));
+    let (user, sem_key, _) = gdh::mediated_keygen(&mut rng, &curve, "signer");
+    assert_redacted("GdhUser", format!("{user:?}"));
+    assert_redacted("GdhSemKey", format!("{sem_key:?}"));
+    let (_, shares) = gdh::ThresholdGdh::setup(&mut rng, curve.clone(), 2, 3).unwrap();
+    for s in &shares {
+        assert_redacted("GdhKeyShare", format!("{s:?}"));
+    }
+    let (_blinded, factor) = gdh::blind(&mut rng, &curve, b"msg");
+    assert_redacted("BlindingFactor", format!("{factor:?}"));
+}
+
+#[test]
+fn elgamal_and_dkg_types_redact_debug() {
+    let (curve, mut rng) = curve();
+    let (user, sem_key, _pk) = elgamal::keygen(&mut rng, &curve, "eg");
+    assert_redacted("ElGamalUser", format!("{user:?}"));
+    assert_redacted("ElGamalSemKey", format!("{sem_key:?}"));
+    let (_sys, shares) = elgamal::ThresholdElGamal::setup(&mut rng, curve.clone(), 2, 3).unwrap();
+    for s in &shares {
+        assert_redacted("ElGamalKeyShare", format!("{s:?}"));
+    }
+    let dealer = DkgDealer::deal(&mut rng, &curve, 2, 1);
+    assert_redacted("DkgDealer", format!("{dealer:?}"));
+}
+
+#[test]
+fn constant_time_equality_still_behaves_like_equality() {
+    // The manual `PartialEq` impls route through `ct_eq`; they must
+    // keep the semantics tests rely on (assert_eq on roundtrips).
+    let (curve, mut rng) = curve();
+    let pkg = Pkg::setup(&mut rng, curve);
+    let a1 = pkg.extract("a");
+    let a2 = pkg.extract("a");
+    let b = pkg.extract("b");
+    assert_eq!(a1, a2);
+    assert_ne!(a1, b);
+    let (u1, s1) = pkg.extract_split(&mut rng, "a");
+    assert_eq!(u1.clone(), u1);
+    assert_eq!(s1.clone(), s1);
+    assert_ne!(u1.collude(pkg.params(), &s1), b);
+    assert_eq!(u1.collude(pkg.params(), &s1), a1);
+}
+
+#[test]
+fn cloned_secret_drop_leaves_original_usable() {
+    // Drop-erasure must act on the dropped copy only: a cloned key
+    // dropped early cannot corrupt the surviving original.
+    let (curve, mut rng) = curve();
+    let pkg = Pkg::setup(&mut rng, curve);
+    let (user, sem) = pkg.extract_split(&mut rng, "alice");
+    {
+        let _scratch = (user.clone(), sem.clone());
+    }
+    let full = pkg.extract("alice");
+    assert_eq!(user.collude(pkg.params(), &sem), full);
+}

@@ -31,6 +31,36 @@ impl G1Affine {
     pub fn coordinates(&self) -> Option<(&Fp, &Fp)> {
         self.0.as_ref().map(|(x, y)| (x, y))
     }
+
+    /// Constant-time equality on the coordinate limbs.
+    ///
+    /// The derived `PartialEq` short-circuits; this variant compares
+    /// both coordinates with [`Fp::ct_eq`] and combines the results
+    /// without data-dependent branching on the coordinate values.
+    /// Whether each side is the point at infinity is still visible —
+    /// that is structural, not secret, for every protocol in this
+    /// workspace (half-keys are never the identity).
+    pub fn ct_eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (None, None) => true,
+            (Some((ax, ay)), Some((bx, by))) => {
+                // Bitwise AND (not `&&`) so both coordinate compares
+                // always run.
+                ax.ct_eq(bx) & ay.ct_eq(by)
+            }
+            _ => false,
+        }
+    }
+
+    /// Securely erases the coordinates (volatile limb zeroing), then
+    /// leaves the point at infinity so no stale curve point remains.
+    pub fn zeroize(&mut self) {
+        if let Some((x, y)) = self.0.as_mut() {
+            x.zeroize();
+            y.zeroize();
+        }
+        self.0 = None;
+    }
 }
 
 /// `true` iff `(x, y)` satisfies `y² = x³ + x`.
@@ -334,6 +364,27 @@ mod tests {
     fn group_order_is_p_plus_1() {
         let f = f11();
         assert_eq!(all_points(&f).len(), 12);
+    }
+
+    #[test]
+    fn ct_eq_matches_derived_eq_on_all_pairs() {
+        let f = f11();
+        let pts = all_points(&f);
+        for a in &pts {
+            for b in &pts {
+                assert_eq!(a.ct_eq(b), a == b, "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn zeroize_leaves_infinity() {
+        let f = f11();
+        let mut p = pt(&f, 5, 8);
+        assert!(!p.is_infinity());
+        p.zeroize();
+        assert!(p.is_infinity());
+        assert!(p.coordinates().is_none());
     }
 
     #[test]

@@ -16,6 +16,20 @@ impl Fp {
     pub fn is_zero(&self) -> bool {
         self.0.is_zero()
     }
+
+    /// Constant-time equality: folds all limb differences into one
+    /// accumulator instead of the derived `PartialEq`'s early-exit
+    /// compare. Use this whenever either side is secret-derived (key
+    /// material, half-signatures, blinding factors).
+    pub fn ct_eq(&self, other: &Self) -> bool {
+        self.0.ct_eq(&other.0)
+    }
+
+    /// Securely erases the element in place (volatile limb zeroing;
+    /// the result is the zero element of the same context).
+    pub fn zeroize(&mut self) {
+        self.0.zeroize();
+    }
 }
 
 /// Arithmetic context for `F_p` (`p` an odd prime, `p ≡ 3 (mod 4)` for

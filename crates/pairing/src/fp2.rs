@@ -159,8 +159,9 @@ pub fn from_bytes(f: &FpCtx, bytes: &[u8]) -> Result<Fp2, crate::DecodeError> {
             got: bytes.len(),
         });
     }
-    let c0 = BigUint::from_be_bytes(&bytes[..w]);
-    let c1 = BigUint::from_be_bytes(&bytes[w..]);
+    let (lo, hi) = bytes.split_at(w);
+    let c0 = BigUint::from_be_bytes(lo);
+    let c1 = BigUint::from_be_bytes(hi);
     if &c0 >= f.modulus() || &c1 >= f.modulus() {
         return Err(crate::DecodeError::NotReduced);
     }

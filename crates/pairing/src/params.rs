@@ -562,15 +562,21 @@ impl CurveParams {
                 got: bytes.len(),
             });
         }
-        match bytes[0] {
+        let Some((&flag_byte, body)) = bytes.split_first() else {
+            return Err(DecodeError::BadLength {
+                expected: self.point_len(),
+                got: 0,
+            });
+        };
+        match flag_byte {
             0x00 => {
-                if bytes[1..].iter().any(|&b| b != 0) {
+                if body.iter().any(|&b| b != 0) {
                     return Err(DecodeError::BadFlag(0x00));
                 }
                 Ok(G1Affine::infinity())
             }
             flag @ (0x02 | 0x03) => {
-                let x = BigUint::from_be_bytes(&bytes[1..]);
+                let x = BigUint::from_be_bytes(body);
                 if x >= self.p {
                     return Err(DecodeError::NotReduced);
                 }

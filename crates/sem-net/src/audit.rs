@@ -655,12 +655,16 @@ fn latency_entry<'a>(
     latency: &'a mut Vec<LatencySeries>,
     capability: &str,
 ) -> &'a mut LatencySeries {
-    if let Some(i) = latency.iter().position(|(l, ..)| l == capability) {
-        &mut latency[i]
-    } else {
-        latency.push((capability.to_string(), Vec::new(), None, None));
-        latency.last_mut().expect("just pushed")
-    }
+    let i = match latency.iter().position(|(l, ..)| l == capability) {
+        Some(i) => i,
+        None => {
+            latency.push((capability.to_string(), Vec::new(), None, None));
+            latency.len() - 1
+        }
+    };
+    // The index came from `position` or is the freshly pushed tail, so
+    // it is always in range.
+    &mut latency[i]
 }
 
 /// Rebuilds per-bucket counts from the cumulative `le` series.

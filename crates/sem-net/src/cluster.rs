@@ -396,7 +396,7 @@ impl SemCluster {
         server_config: ServerConfig,
         state_dir: impl Into<PathBuf>,
     ) -> std::io::Result<Self> {
-        let addrs = vec!["127.0.0.1:0".parse().expect("loopback literal"); n];
+        let addrs = vec![SocketAddr::from(([127, 0, 0, 1], 0)); n];
         Self::start_on(pkg, t, &addrs, server_config, state_dir)
     }
 

@@ -286,8 +286,13 @@ impl FaultProxy {
                         }
                     }
                 }
-                let accepted = listener.as_ref().expect("rebound above").accept();
-                match accepted {
+                let Some(bound) = listener.as_ref() else {
+                    // Rebound just above; treat an impossible miss as a
+                    // poll tick rather than crashing the proxy thread.
+                    std::thread::sleep(ACCEPT_POLL);
+                    continue;
+                };
+                match bound.accept() {
                     Ok((client, _)) => {
                         if mode == CrashMode::DropAfterAccept {
                             let _ = client.shutdown(Shutdown::Both);

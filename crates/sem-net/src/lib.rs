@@ -41,6 +41,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The SEM stays online for the system's lifetime (§4): a panic in a
+// request path is a remote crash vector, so unwrap/expect are denied
+// outright in lib code. Unreachable-by-construction cases use
+// `unreachable!` with a documented invariant or an audit:allow.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
 pub mod cluster;

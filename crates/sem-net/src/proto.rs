@@ -39,7 +39,14 @@
 //! The sizes on this wire are exactly the E3 numbers — the protocol is
 //! the paper's bandwidth table made concrete.
 
-use bytes::{Buf, BufMut, BytesMut};
+// Decoders consume attacker-controlled bytes: slice indexing here is a
+// remote panic vector, so every read goes through the bounds-checked
+// [`Reader`]. Tests index into frames they built themselves.
+#![warn(clippy::indexing_slicing)]
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
+
+use bytes::{BufMut, BytesMut};
+use sempair_core::cursor::Reader;
 use sempair_core::Error;
 
 /// Request operation codes.
@@ -170,25 +177,18 @@ pub fn encode_request(request: &Request) -> Result<Vec<u8>, Error> {
 ///
 /// Returns `None` for malformed payloads.
 pub fn decode_request(payload: &[u8]) -> Option<Request> {
-    let mut buf = payload;
-    if buf.remaining() < 3 {
-        return None;
-    }
-    let op = Op::from_u8(buf.get_u8())?;
-    let id_len = buf.get_u16() as usize;
-    if buf.remaining() < id_len + 4 {
-        return None;
-    }
-    let id = String::from_utf8(buf[..id_len].to_vec()).ok()?;
-    buf.advance(id_len);
-    let body_len = buf.get_u32() as usize;
-    if buf.remaining() != body_len {
+    let mut r = Reader::new(payload);
+    let op = Op::from_u8(r.u8()?)?;
+    let id_len = r.u16_be()? as usize;
+    let id = String::from_utf8(r.bytes(id_len)?.to_vec()).ok()?;
+    let body_len = r.u32_be()? as usize;
+    if r.remaining() != body_len {
         return None;
     }
     Some(Request {
         op,
         id,
-        body: buf.to_vec(),
+        body: r.rest().to_vec(),
     })
 }
 
@@ -205,18 +205,15 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
 
 /// Decodes a response payload (after the length prefix was consumed).
 pub fn decode_response(payload: &[u8]) -> Option<Response> {
-    let mut buf = payload;
-    if buf.remaining() < 5 {
-        return None;
-    }
-    let status = Status::from_u8(buf.get_u8())?;
-    let body_len = buf.get_u32() as usize;
-    if buf.remaining() != body_len {
+    let mut r = Reader::new(payload);
+    let status = Status::from_u8(r.u8()?)?;
+    let body_len = r.u32_be()? as usize;
+    if r.remaining() != body_len {
         return None;
     }
     Some(Response {
         status,
-        body: buf.to_vec(),
+        body: r.rest().to_vec(),
     })
 }
 
@@ -258,43 +255,29 @@ pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
 /// Returns `None` for malformed bodies, nested batches, batched stats
 /// or token-share requests, or trailing garbage.
 pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
-    let mut buf = body;
-    if buf.remaining() < 2 {
-        return None;
-    }
-    let count = buf.get_u16() as usize;
+    let mut r = Reader::new(body);
+    let count = r.u16_be()? as usize;
     // Cap the pre-allocation by what the buffer could actually hold
     // (headers alone are 7 bytes per item), so a short frame declaring
     // a huge count cannot trigger a multi-megabyte allocation; the
     // per-item length checks below then reject the frame.
-    let mut items = Vec::with_capacity(count.min(buf.remaining() / 7));
+    let mut items = Vec::with_capacity(count.min(r.remaining() / 7));
     for _ in 0..count {
-        if buf.remaining() < 3 {
-            return None;
-        }
-        let op = Op::from_u8(buf.get_u8())?;
+        let op = Op::from_u8(r.u8()?)?;
         if op == Op::Batch || op == Op::Stats || op == Op::TokenShare {
             return None;
         }
-        let id_len = buf.get_u16() as usize;
-        if buf.remaining() < id_len + 4 {
-            return None;
-        }
-        let id = String::from_utf8(buf[..id_len].to_vec()).ok()?;
-        buf.advance(id_len);
-        let body_len = buf.get_u32() as usize;
-        if buf.remaining() < body_len {
-            return None;
-        }
-        let item_body = buf[..body_len].to_vec();
-        buf.advance(body_len);
+        let id_len = r.u16_be()? as usize;
+        let id = String::from_utf8(r.bytes(id_len)?.to_vec()).ok()?;
+        let body_len = r.u32_be()? as usize;
+        let item_body = r.bytes(body_len)?.to_vec();
         items.push(Request {
             op,
             id,
             body: item_body,
         });
     }
-    if buf.remaining() != 0 {
+    if !r.is_empty() {
         return None;
     }
     Some(items)
@@ -323,32 +306,22 @@ pub fn encode_batch_replies(replies: &[Response]) -> Vec<u8> {
 
 /// Decodes an [`Op::Batch`] response ok-body into per-item responses.
 pub fn decode_batch_replies(body: &[u8]) -> Option<Vec<Response>> {
-    let mut buf = body;
-    if buf.remaining() < 2 {
-        return None;
-    }
-    let count = buf.get_u16() as usize;
+    let mut r = Reader::new(body);
+    let count = r.u16_be()? as usize;
     // Same allocation cap as `decode_batch_items`: reply headers are
     // 5 bytes each, so the declared count cannot out-allocate the
     // frame that carries it.
-    let mut replies = Vec::with_capacity(count.min(buf.remaining() / 5));
+    let mut replies = Vec::with_capacity(count.min(r.remaining() / 5));
     for _ in 0..count {
-        if buf.remaining() < 5 {
-            return None;
-        }
-        let status = Status::from_u8(buf.get_u8())?;
-        let body_len = buf.get_u32() as usize;
-        if buf.remaining() < body_len {
-            return None;
-        }
-        let item_body = buf[..body_len].to_vec();
-        buf.advance(body_len);
+        let status = Status::from_u8(r.u8()?)?;
+        let body_len = r.u32_be()? as usize;
+        let item_body = r.bytes(body_len)?.to_vec();
         replies.push(Response {
             status,
             body: item_body,
         });
     }
-    if buf.remaining() != 0 {
+    if !r.is_empty() {
         return None;
     }
     Some(replies)

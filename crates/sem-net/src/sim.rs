@@ -223,9 +223,11 @@ pub fn run(config: &SimConfig) -> SimResult {
     }
 
     latencies.sort_unstable();
+    // A configuration with zero requests completes zero operations;
+    // report zero latencies rather than panicking on an empty list.
     let pick = |q: f64| -> Duration {
         let idx = ((latencies.len() as f64 - 1.0) * q).round() as usize;
-        Duration::from_nanos(latencies[idx])
+        Duration::from_nanos(latencies.get(idx).copied().unwrap_or(0))
     };
     let mut latency_hist = Histogram::new(SIM_LATENCY_BUCKETS);
     for &ns in &latencies {
@@ -236,7 +238,7 @@ pub fn run(config: &SimConfig) -> SimResult {
         completed: latencies.len(),
         p50: pick(0.5),
         p95: pick(0.95),
-        max: Duration::from_nanos(*latencies.last().expect("some ops")),
+        max: Duration::from_nanos(latencies.last().copied().unwrap_or(0)),
         worker_utilization: busy_ns as f64 / total_worker_ns as f64,
         makespan: Duration::from_nanos(last_event_ns),
         latency_hist,

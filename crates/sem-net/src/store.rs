@@ -26,6 +26,12 @@
 //! construction: state up to the tear survives, and the next append
 //! extends the truncated file.
 
+// Journal bytes come off disk and may be torn or corrupt: replay must
+// never index past a frame, so decoding goes through the bounds-checked
+// [`sempair_core::cursor::Reader`].
+#![warn(clippy::indexing_slicing)]
+#![cfg_attr(test, allow(clippy::indexing_slicing))]
+
 use std::collections::HashSet;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -179,13 +185,13 @@ impl Journal {
 
 /// Decodes one record at `offset`; `None` marks the torn tail.
 fn decode_at(raw: &[u8], offset: usize) -> Option<(Record, usize)> {
-    let header = raw.get(offset..offset + 8)?;
-    let len = u32::from_be_bytes(header[..4].try_into().expect("4 bytes")) as usize;
+    let mut r = sempair_core::cursor::Reader::new(raw.get(offset..)?);
+    let len = r.u32_be()? as usize;
     if len > MAX_RECORD {
         return None;
     }
-    let crc = u32::from_be_bytes(header[4..8].try_into().expect("4 bytes"));
-    let payload = raw.get(offset + 8..offset + 8 + len)?;
+    let crc = r.u32_be()?;
+    let payload = r.bytes(len)?;
     if crc32(payload) != crc {
         return None;
     }
@@ -198,6 +204,9 @@ fn decode_at(raw: &[u8], offset: usize) -> Option<(Record, usize)> {
 // Hand-rolled so the journal stays dependency-free; the table is built
 // at compile time.
 
+// The loop index stays below 256 by construction, and the table is
+// fully evaluated at compile time anyway.
+#[allow(clippy::indexing_slicing)]
 const CRC_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
@@ -219,6 +228,9 @@ const CRC_TABLE: [u32; 256] = {
 };
 
 /// CRC-32 checksum over `data`.
+// The table index is masked to 8 bits against a 256-entry table, so
+// the lookup cannot go out of range for any input byte.
+#[allow(clippy::indexing_slicing)]
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {

@@ -826,7 +826,14 @@ impl TcpSemClient {
             self.reconnect()?;
             self.stats.reconnects += 1;
         }
-        let stream = self.stream.as_mut().expect("connected");
+        let Some(stream) = self.stream.as_mut() else {
+            // `reconnect` either filled the slot or returned Err above;
+            // fail closed instead of panicking mid-request.
+            return Err(std::io::Error::new(
+                ErrorKind::NotConnected,
+                "no connection after reconnect",
+            ));
+        };
         stream.write_all(frame)?;
         let payload = read_frame(stream)?.ok_or_else(|| {
             std::io::Error::new(ErrorKind::UnexpectedEof, "connection closed mid-exchange")

@@ -12,6 +12,13 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Static analysis (DESIGN.md §11): panic-freedom in request paths,
+# secret hygiene, untrusted-length bounds, constant-time equality.
+# Fails on any non-allowlisted finding; the summary line keeps the
+# allowlist size visible so it cannot silently grow.
+echo "== sempair-auditor (static analysis gate)"
+cargo run -q -p sempair-auditor
+
 echo "== tier-1: cargo build --release"
 cargo build --release
 

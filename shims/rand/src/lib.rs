@@ -134,7 +134,11 @@ pub mod rngs {
 
     /// The workspace's standard generator: ChaCha12 with a 64-bit block
     /// counter and zero nonce, buffered one 64-byte block at a time.
-    #[derive(Debug, Clone)]
+    ///
+    /// The key and buffered keystream are as sensitive as the secrets
+    /// derived from them: `Debug` redacts both and dropping the
+    /// generator erases them.
+    #[derive(Clone)]
     pub struct StdRng {
         /// The 256-bit key, as eight little-endian words.
         key: [u32; 8],
@@ -144,6 +148,32 @@ pub mod rngs {
         buf: [u8; 64],
         /// Read offset into `buf`; 64 means exhausted.
         pos: usize,
+    }
+
+    impl core::fmt::Debug for StdRng {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("StdRng")
+                .field("key", &"<redacted>")
+                .field("counter", &self.counter)
+                .finish_non_exhaustive()
+        }
+    }
+
+    impl Drop for StdRng {
+        fn drop(&mut self) {
+            // Volatile writes + a compiler fence so the erasure of the
+            // key and buffered keystream survives dead-store
+            // elimination. This shim cannot depend on sempair-bigint's
+            // zeroize module (dependency direction), so the helper is
+            // inlined here.
+            for word in &mut self.key {
+                unsafe { core::ptr::write_volatile(word, 0) };
+            }
+            for byte in &mut self.buf {
+                unsafe { core::ptr::write_volatile(byte, 0) };
+            }
+            core::sync::atomic::compiler_fence(core::sync::atomic::Ordering::SeqCst);
+        }
     }
 
     #[inline(always)]
@@ -313,6 +343,24 @@ mod tests {
         let mut a = StdRng::from_entropy();
         let mut b = StdRng::from_entropy();
         assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn debug_redacts_key_material() {
+        let rng = StdRng::seed_from_u64(7);
+        let debug = format!("{rng:?}");
+        assert!(debug.contains("redacted"), "missing marker: {debug}");
+        assert!(!debug.contains("key: ["), "leaks key words: {debug}");
+        assert!(!debug.contains("buf"), "leaks keystream: {debug}");
+    }
+
+    #[test]
+    fn cloned_rng_drop_leaves_original_usable() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut twin = rng.clone();
+        let expected = twin.next_u64();
+        drop(twin);
+        assert_eq!(rng.next_u64(), expected);
     }
 
     #[test]

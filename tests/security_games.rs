@@ -107,7 +107,7 @@ fn mediated_ibe_collusion_contained_to_one_identity() {
     let bob_sem_leak = sem.leak_key_for_attack_demo("bob").unwrap();
     let franken = sempair::core::bf_ibe::PrivateKey {
         id: "bob".into(),
-        point: alice.collude(pkg.params(), bob_sem_leak).point,
+        point: alice.collude(pkg.params(), bob_sem_leak).point.clone(),
     };
     let c_bob = pkg
         .params()
