@@ -38,6 +38,7 @@ pub const SECRET_TYPES: &[&str] = &[
     "ElGamalUser",
     "ElGamalSemKey",
     "ElGamalKeyShare",
+    "SecretLimbs",
     "StdRng",
 ];
 

@@ -1,0 +1,134 @@
+//! Quick field-primitive cost probe (not part of the recorded bench
+//! artifacts): per-op nanoseconds for the fixed-width backend on the
+//! paper's 512-bit prime, plus a Miller/final-exp split of one
+//! pairing. Used to direct optimization work.
+
+use sempair_field::ext2::{self, Ext2};
+use sempair_field::miller;
+use sempair_field::p512::{PAPER_CTX, PAPER_P, PAPER_R};
+use sempair_field::FieldOps;
+use std::time::Instant;
+
+fn main() {
+    let f = PAPER_CTX;
+    let a = f.to_mont(&{
+        let mut v = PAPER_P;
+        v[0] ^= 0x1234_5678;
+        v[7] >>= 1;
+        v
+    });
+    let b = f.to_mont(&{
+        let mut v = PAPER_P;
+        v[3] ^= 0xdead_beef;
+        v[7] >>= 2;
+        v
+    });
+
+    const M: usize = 1_000_000;
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..M {
+        x = f.mul(&x, &b);
+    }
+    std::hint::black_box(&x);
+    println!(
+        "fp_mul:     {:>8.1} ns",
+        t.elapsed().as_secs_f64() * 1e9 / M as f64
+    );
+
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..M {
+        x = f.sqr(&x);
+    }
+    std::hint::black_box(&x);
+    println!(
+        "fp_sqr:     {:>8.1} ns",
+        t.elapsed().as_secs_f64() * 1e9 / M as f64
+    );
+
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..M {
+        let w = f.mul_wide(&x, &b);
+        x = f.redc_wide(&w);
+    }
+    std::hint::black_box(&x);
+    println!(
+        "mul+redc_w: {:>8.1} ns",
+        t.elapsed().as_secs_f64() * 1e9 / M as f64
+    );
+
+    const K: usize = 200_000;
+    let mut e = Ext2 { c0: a, c1: b };
+    let e2 = Ext2 { c0: b, c1: a };
+    let t = Instant::now();
+    for _ in 0..K {
+        e = f.ext2_mul(&e, &e2);
+    }
+    std::hint::black_box(&e);
+    println!(
+        "ext2_mul:   {:>8.1} ns",
+        t.elapsed().as_secs_f64() * 1e9 / K as f64
+    );
+
+    let t = Instant::now();
+    for _ in 0..K {
+        e = f.ext2_sqr(&e);
+    }
+    std::hint::black_box(&e);
+    println!(
+        "ext2_sqr:   {:>8.1} ns",
+        t.elapsed().as_secs_f64() * 1e9 / K as f64
+    );
+
+    const I: usize = 2_000;
+    let t = Instant::now();
+    let mut x = a;
+    for _ in 0..I {
+        x = f.inv(&x).unwrap();
+    }
+    std::hint::black_box(&x);
+    println!(
+        "fp_inv:     {:>8.1} ns",
+        t.elapsed().as_secs_f64() * 1e9 / I as f64
+    );
+
+    // One pairing, split into Miller loop and final exponentiation.
+    // Use a real point: hash-free — scan x for a curve point.
+    let mut x_try = f.from_u64(2);
+    let (px, py) = loop {
+        let rhs = f.add(&f.mul(&f.sqr(&x_try), &x_try), &x_try);
+        if let Some(y) = f.sqrt(&rhs) {
+            break (x_try, y);
+        }
+        x_try = f.add(&x_try, &f.one());
+    };
+    // Cofactor (p+1)/r: compute via bigint for the probe.
+    let p_big = sempair_bigint::BigUint::from_limbs(PAPER_P.to_vec());
+    let r_big = sempair_bigint::BigUint::from_limbs(PAPER_R.to_vec());
+    let (cof, _) = (&p_big + &sempair_bigint::BigUint::one()).div_rem(&r_big);
+    let cof_limbs = cof.limbs().to_vec();
+
+    const J: usize = 100;
+    let t = Instant::now();
+    let mut m = ext2::one(&f);
+    for _ in 0..J {
+        m = miller::miller_projective(&f, &PAPER_R, (&px, &py), (&px, &py));
+    }
+    println!(
+        "miller:     {:>8.1} us",
+        t.elapsed().as_secs_f64() * 1e6 / J as f64
+    );
+
+    let t = Instant::now();
+    let mut g = ext2::one(&f);
+    for _ in 0..J {
+        g = miller::final_exp(&f, &cof_limbs, &m);
+    }
+    std::hint::black_box(&g);
+    println!(
+        "final_exp:  {:>8.1} us",
+        t.elapsed().as_secs_f64() * 1e6 / J as f64
+    );
+}

@@ -78,6 +78,27 @@ impl MontElem {
     pub fn zeroize(&mut self) {
         crate::zeroize::zeroize_limbs(&mut self.limbs);
     }
+
+    /// The raw Montgomery-form limbs (little-endian, length `k`).
+    ///
+    /// A context with modulus limb count `k` uses `R = 2^{64k}`, which
+    /// is exactly the convention of fixed-width backends instantiated
+    /// at width `k` — so these limbs can be moved between the two
+    /// representations verbatim, with no Montgomery conversion.
+    pub fn limbs(&self) -> &[u64] {
+        &self.limbs
+    }
+
+    /// Rebuilds an element from raw Montgomery-form limbs.
+    ///
+    /// The caller asserts that `limbs` is a value `< n` in the
+    /// Montgomery form of some context with matching limb count; this
+    /// is the inverse of [`MontElem::limbs`] and performs no
+    /// conversion or validation beyond what debug assertions in later
+    /// arithmetic catch.
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        MontElem { limbs }
+    }
 }
 
 /// Inverse of an odd `x` modulo 2^64 by Newton iteration.

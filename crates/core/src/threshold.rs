@@ -330,10 +330,14 @@ impl ThresholdSystem {
         if e != proof.e {
             return Err(Error::InvalidProof);
         }
-        // ê(P, V) = w1 · v_iᵉ  and  ê(U, V) = w2 · g_iᵉ.
-        let lhs1 = curve.pairing(curve.generator(), &proof.v);
-        let rhs1 = curve.gt_mul(&proof.w1, &curve.gt_pow(&v_i, &e));
-        if lhs1 != rhs1 {
+        // ê(P, V) = w1 · v_iᵉ, rewritten as
+        // ê(P, V) · ê(−e·P_pub^(i), Q_ID) = w1 (since v_i =
+        // ê(P_pub^(i), Q_ID)): one shared-squaring multi-Miller loop
+        // and a single final exponentiation instead of a full pairing
+        // plus a full-width `Gt` exponentiation.
+        let neg_evk = curve.neg(&curve.mul(&e, self.verification_key(share.index)));
+        let lhs1 = curve.multi_pairing(&[(curve.generator(), &proof.v), (&neg_evk, &q_id)]);
+        if lhs1 != proof.w1 {
             return Err(Error::InvalidProof);
         }
         let lhs2 = curve.pairing(u, &proof.v);
@@ -551,11 +555,14 @@ pub fn robust_decryption_share(
     u: &G1Affine,
 ) -> DecryptionShare {
     let g_i = curve.pairing(u, &key_share.point);
-    let v_i = curve.pairing(curve.generator(), &key_share.point);
+    // Both `ê(P, ·)` pairings share the parameter set's cached
+    // prepared generator — line evaluation only, no point arithmetic.
+    let prep_p = curve.prepared_generator();
+    let v_i = curve.pairing_prepared(prep_p, &key_share.point);
     // Commitment.
     let rho = curve.random_scalar(rng);
     let r_point = curve.mul_generator(&rho);
-    let w1 = curve.pairing(curve.generator(), &r_point);
+    let w1 = curve.pairing_prepared(prep_p, &r_point);
     let w2 = curve.pairing(u, &r_point);
     let e = eq_proof_challenge(curve, &g_i, &v_i, &w1, &w2);
     // V = R + e·d_IDᵢ.

@@ -1,0 +1,78 @@
+//! Limb-level primitives shared by the fixed-width arithmetic.
+//!
+//! Everything here is `const fn` so the paper-scale contexts can be
+//! instantiated at compile time (see [`crate::p512`]).
+
+/// `a + b + carry` → `(sum, carry_out)`.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = (a as u128) + (b as u128) + (carry as u128);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// `a - b - borrow` → `(diff, borrow_out)` with `borrow ∈ {0, 1}`.
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let wide = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
+    (wide as u64, (wide >> 127) as u64)
+}
+
+/// `acc + a * b + carry` → `(lo, hi)` — the fused multiply-accumulate
+/// at the heart of CIOS.
+#[inline(always)]
+pub const fn mac(acc: u64, a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let wide = (acc as u128) + (a as u128) * (b as u128) + (carry as u128);
+    (wide as u64, (wide >> 64) as u64)
+}
+
+/// Bit `i` of a little-endian limb slice (`false` beyond the end).
+#[inline]
+pub fn bit(limbs: &[u64], i: usize) -> bool {
+    match limbs.get(i / 64) {
+        Some(l) => (l >> (i % 64)) & 1 == 1,
+        None => false,
+    }
+}
+
+/// Bit length of a little-endian limb slice (index of the highest set
+/// bit plus one; zero for the all-zero slice).
+pub fn bit_len(limbs: &[u64]) -> usize {
+    for (i, &l) in limbs.iter().enumerate().rev() {
+        if l != 0 {
+            return i * 64 + (64 - l.leading_zeros() as usize);
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_sbb_mac_basics() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(1, 2, 1), (4, 0));
+        assert_eq!(sbb(0, 1, 0), (u64::MAX, 1));
+        assert_eq!(sbb(5, 2, 1), (2, 0));
+        let (lo, hi) = mac(7, u64::MAX, u64::MAX, 3);
+        // u64::MAX² = 2^128 − 2^65 + 1
+        let expect = (u64::MAX as u128) * (u64::MAX as u128) + 10;
+        assert_eq!(lo as u128 | ((hi as u128) << 64), expect);
+    }
+
+    #[test]
+    fn bit_helpers() {
+        let limbs = [0b1010u64, 1 << 63];
+        assert!(!bit(&limbs, 0));
+        assert!(bit(&limbs, 1));
+        assert!(bit(&limbs, 3));
+        assert!(bit(&limbs, 127));
+        assert!(!bit(&limbs, 128));
+        assert_eq!(bit_len(&limbs), 128);
+        assert_eq!(bit_len(&[0b1010u64]), 4);
+        assert_eq!(bit_len(&[0u64, 0]), 0);
+    }
+}

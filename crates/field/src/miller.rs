@@ -1,0 +1,620 @@
+//! Generic Miller-loop kernels for the modified Tate pairing
+//! `ê(P, Q) = f_{r,P}(φ(Q))^((p²−1)/r)` with distortion map
+//! `φ(x, y) = (−x, iy)` on `E : y² = x³ + x`.
+//!
+//! These mirror the pairing crate's historical loops line-for-line
+//! (including the exceptional-case handling, which intentionally
+//! differs between the single and multi loops), hoisted behind
+//! [`FieldOps`] so both backends run identical arithmetic. Points are
+//! passed as non-infinity `(x, y)` pairs — identity special-casing
+//! stays with the caller, as before.
+//!
+//! All `r` / cofactor arguments are little-endian limb slices.
+
+use crate::ext2::{self, Ext2};
+use crate::limb::{bit, bit_len};
+use crate::traits::FieldOps;
+
+/// One cached line: `l'(Q) = (a·x_Q + b) + (c·y_Q)·i`, stored `[a, b, c]`.
+pub type Line<E> = [E; 3];
+
+/// A non-infinity affine point `(x, y)` passed by reference.
+pub type PointRef<'a, E> = (&'a E, &'a E);
+
+/// One `(P, Q)` input to the shared multi-Miller loop.
+pub type PairRef<'a, E> = (PointRef<'a, E>, PointRef<'a, E>);
+
+/// One `(cached lines of P, Q)` input to the prepared multi loop.
+pub type PreparedPairRef<'a, E> = (&'a [Line<E>], PointRef<'a, E>);
+
+/// Miller loop `f_{r,P}(φ(Q))` over affine intermediate points (the
+/// textbook reference loop; one inversion per step).
+pub fn miller_affine<F: FieldOps>(
+    f: &F,
+    r: &[u64],
+    p: (&F::Elem, &F::Elem),
+    q: (&F::Elem, &F::Elem),
+) -> Ext2<F::Elem> {
+    let (px, py) = p;
+    let (qx, qy) = q;
+    // φ(Q) = (−x_Q, i·y_Q).
+    let s_neg_x = f.neg(qx);
+    let s_y = qy.clone();
+
+    let vertical = |f: &F, tx: &F::Elem| -> Ext2<F::Elem> {
+        Ext2 {
+            c0: f.sub(&s_neg_x, tx),
+            c1: f.zero(),
+        }
+    };
+    let line = |f: &F, tx: &F::Elem, ty: &F::Elem, lambda: &F::Elem| -> Ext2<F::Elem> {
+        Ext2 {
+            c0: f.sub(&f.mul(lambda, &f.sub(tx, &s_neg_x)), ty),
+            c1: s_y.clone(),
+        }
+    };
+
+    let mut acc = ext2::one(f);
+    let mut tx = px.clone();
+    let mut ty = py.clone();
+    let mut t_is_infinity = false;
+
+    for i in (0..bit_len(r) - 1).rev() {
+        acc = ext2::sqr(f, &acc);
+        if !t_is_infinity {
+            if f.is_zero(&ty) {
+                // 2T = O: the "tangent" is the vertical through T.
+                acc = ext2::mul(f, &acc, &vertical(f, &tx));
+                t_is_infinity = true;
+            } else {
+                // λ = (3x² + 1) / 2y  (a = 1)
+                let x2 = f.sqr(&tx);
+                let num = f.add(&f.add(&f.double(&x2), &x2), &f.one());
+                let lambda = f.mul(&num, &f.inv(&f.double(&ty)).expect("2y != 0"));
+                acc = ext2::mul(f, &acc, &line(f, &tx, &ty, &lambda));
+                let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), &tx);
+                let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
+                tx = x3;
+                ty = y3;
+            }
+        }
+        if bit(r, i) && !t_is_infinity {
+            if f.equals(&tx, px) {
+                if f.equals(&ty, py) && !f.is_zero(py) {
+                    // T = P: tangent case (cannot occur for prime r > 2
+                    // mid-loop, but handled for completeness).
+                    let x2 = f.sqr(&tx);
+                    let num = f.add(&f.add(&f.double(&x2), &x2), &f.one());
+                    let lambda = f.mul(&num, &f.inv(&f.double(&ty)).expect("2y != 0"));
+                    acc = ext2::mul(f, &acc, &line(f, &tx, &ty, &lambda));
+                    let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), &tx);
+                    let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
+                    tx = x3;
+                    ty = y3;
+                } else {
+                    // T = −P: chord is the vertical through P; T+P = O.
+                    acc = ext2::mul(f, &acc, &vertical(f, &tx));
+                    t_is_infinity = true;
+                }
+            } else {
+                let lambda = f.mul(&f.sub(py, &ty), &f.inv(&f.sub(px, &tx)).expect("px != tx"));
+                acc = ext2::mul(f, &acc, &line(f, &tx, &ty, &lambda));
+                let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), px);
+                let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
+                tx = x3;
+                ty = y3;
+            }
+        }
+    }
+    acc
+}
+
+/// Inversion-free Miller loop over Jacobian coordinates with fused,
+/// subfield-scaled line evaluation (the production loop).
+pub fn miller_projective<F: FieldOps>(
+    f: &F,
+    r: &[u64],
+    p: (&F::Elem, &F::Elem),
+    q: (&F::Elem, &F::Elem),
+) -> Ext2<F::Elem> {
+    let (px, py) = p;
+    let (qx, qy) = q;
+
+    let mut acc = ext2::one(f);
+    // T = (X, Y, Z) in Jacobian coordinates, starting at P (Z = 1).
+    let mut tx = px.clone();
+    let mut ty = py.clone();
+    let mut tz = f.one();
+    let mut t_is_infinity = false;
+
+    for i in (0..bit_len(r) - 1).rev() {
+        acc = ext2::sqr(f, &acc);
+        if !t_is_infinity {
+            if f.is_zero(&ty) {
+                // Tangent at a 2-torsion point is vertical: skip (F_p).
+                t_is_infinity = true;
+            } else {
+                // Doubling with fused line evaluation:
+                // l' = (M(X + Z²·x_Q) − 2Y²) + (2YZ³·y_Q)·i
+                let y2 = f.sqr(&ty);
+                let z2 = f.sqr(&tz);
+                let x2 = f.sqr(&tx);
+                let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
+                let c0 = f.sub(&f.mul(&m, &f.add(&tx, &f.mul(&z2, qx))), &f.double(&y2));
+                let c1 = f.mul(&f.double(&f.mul(&ty, &f.mul(&z2, &tz))), qy);
+                acc = ext2::mul(f, &acc, &Ext2 { c0, c1 });
+                // T <- 2T (standard Jacobian doubling).
+                let s = f.double(&f.double(&f.mul(&tx, &y2)));
+                let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+                let y4_8 = f.double(&f.double(&f.double(&f.sqr(&y2))));
+                let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &y4_8);
+                let z3 = f.double(&f.mul(&ty, &tz));
+                tx = x3;
+                ty = y3;
+                tz = z3;
+            }
+        }
+        if bit(r, i) && !t_is_infinity {
+            // Mixed addition T + P with fused line evaluation.
+            let z2 = f.sqr(&tz);
+            let u2 = f.mul(px, &z2);
+            let s2 = f.mul(py, &f.mul(&z2, &tz));
+            let h = f.sub(&u2, &tx);
+            let rr = f.sub(&s2, &ty);
+            if f.is_zero(&h) {
+                if f.is_zero(&rr) && !f.is_zero(py) {
+                    // T = P: tangent fallback (cannot occur mid-loop for
+                    // a prime-order point, handled for completeness).
+                    let px2 = f.sqr(px);
+                    let m = f.add(&f.add(&f.double(&px2), &px2), &f.one());
+                    let c0 = f.sub(&f.mul(&m, &f.add(px, qx)), &f.double(&f.sqr(py)));
+                    let c1 = f.mul(&f.double(py), qy);
+                    acc = ext2::mul(f, &acc, &Ext2 { c0, c1 });
+                    let y2 = f.sqr(&ty);
+                    let z2 = f.sqr(&tz);
+                    let x2 = f.sqr(&tx);
+                    let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
+                    let s = f.double(&f.double(&f.mul(&tx, &y2)));
+                    let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+                    let y3 = f.sub(
+                        &f.mul(&m, &f.sub(&s, &x3)),
+                        &f.double(&f.double(&f.double(&f.sqr(&y2)))),
+                    );
+                    let z3 = f.double(&f.mul(&ty, &tz));
+                    tx = x3;
+                    ty = y3;
+                    tz = z3;
+                } else {
+                    // T = −P: vertical chord, value in F_p — skip it.
+                    t_is_infinity = true;
+                }
+            } else {
+                // l' = (R(x_Q + x_P) − Z·H·y_P) + (Z·H·y_Q)·i
+                let zh = f.mul(&tz, &h);
+                let c0 = f.sub(&f.mul(&rr, &f.add(qx, px)), &f.mul(&zh, py));
+                let c1 = f.mul(&zh, qy);
+                acc = ext2::mul(f, &acc, &Ext2 { c0, c1 });
+                // T <- T + P (mixed Jacobian addition).
+                let hh = f.sqr(&h);
+                let hhh = f.mul(&hh, &h);
+                let v = f.mul(&tx, &hh);
+                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
+                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&ty, &hhh));
+                let z3 = f.mul(&tz, &h);
+                tx = x3;
+                ty = y3;
+                tz = z3;
+            }
+        }
+    }
+    acc
+}
+
+/// Per-pair state for the shared multi-Miller loop.
+struct PairState<E> {
+    tx: E,
+    ty: E,
+    tz: E,
+    t_is_infinity: bool,
+    px: E,
+    py: E,
+    qx: E,
+    qy: E,
+}
+
+/// Shared Miller loop for a product `Π f_{r,Pᵢ}(φ(Qᵢ))`: one
+/// accumulator squaring chain serves every pair. Pairs must be
+/// non-infinity on both sides (callers filter identities, which
+/// contribute the factor 1).
+///
+/// Exceptional chord steps (`H = 0`) mark the pair done instead of
+/// running the single loop's tangent fallback — for prime `r` the
+/// tangent case cannot occur before the final iteration, and this is
+/// the behavior the multi-pairing has always had.
+pub fn multi_miller<F: FieldOps>(
+    f: &F,
+    r: &[u64],
+    pairs: &[PairRef<'_, F::Elem>],
+) -> Ext2<F::Elem> {
+    let mut states: Vec<PairState<F::Elem>> = pairs
+        .iter()
+        .map(|((px, py), (qx, qy))| PairState {
+            tx: (*px).clone(),
+            ty: (*py).clone(),
+            tz: f.one(),
+            t_is_infinity: false,
+            px: (*px).clone(),
+            py: (*py).clone(),
+            qx: (*qx).clone(),
+            qy: (*qy).clone(),
+        })
+        .collect();
+    let mut acc = ext2::one(f);
+    if states.is_empty() {
+        return acc;
+    }
+
+    for i in (0..bit_len(r) - 1).rev() {
+        acc = ext2::sqr(f, &acc);
+        for st in states.iter_mut() {
+            if st.t_is_infinity {
+                continue;
+            }
+            if f.is_zero(&st.ty) {
+                st.t_is_infinity = true;
+                continue;
+            }
+            let y2 = f.sqr(&st.ty);
+            let z2 = f.sqr(&st.tz);
+            let x2 = f.sqr(&st.tx);
+            let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
+            let c0 = f.sub(
+                &f.mul(&m, &f.add(&st.tx, &f.mul(&z2, &st.qx))),
+                &f.double(&y2),
+            );
+            let c1 = f.mul(&f.double(&f.mul(&st.ty, &f.mul(&z2, &st.tz))), &st.qy);
+            acc = ext2::mul(f, &acc, &Ext2 { c0, c1 });
+            let s = f.double(&f.double(&f.mul(&st.tx, &y2)));
+            let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+            let y3 = f.sub(
+                &f.mul(&m, &f.sub(&s, &x3)),
+                &f.double(&f.double(&f.double(&f.sqr(&y2)))),
+            );
+            let z3 = f.double(&f.mul(&st.ty, &st.tz));
+            st.tx = x3;
+            st.ty = y3;
+            st.tz = z3;
+        }
+        if bit(r, i) {
+            for st in states.iter_mut() {
+                if st.t_is_infinity {
+                    continue;
+                }
+                let z2 = f.sqr(&st.tz);
+                let u2 = f.mul(&st.px, &z2);
+                let s2 = f.mul(&st.py, &f.mul(&z2, &st.tz));
+                let h = f.sub(&u2, &st.tx);
+                let rr = f.sub(&s2, &st.ty);
+                if f.is_zero(&h) {
+                    // T = ±P at the exceptional tail: vertical (F_p) or
+                    // the impossible mid-loop tangent — skip either way.
+                    st.t_is_infinity = true;
+                    continue;
+                }
+                let zh = f.mul(&st.tz, &h);
+                let c0 = f.sub(&f.mul(&rr, &f.add(&st.qx, &st.px)), &f.mul(&zh, &st.py));
+                let c1 = f.mul(&zh, &st.qy);
+                acc = ext2::mul(f, &acc, &Ext2 { c0, c1 });
+                let hh = f.sqr(&h);
+                let hhh = f.mul(&hh, &h);
+                let v = f.mul(&st.tx, &hh);
+                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
+                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&st.ty, &hhh));
+                st.tx = x3;
+                st.ty = y3;
+                st.tz = f.mul(&st.tz, &h);
+            }
+        }
+    }
+    acc
+}
+
+/// Walks the Jacobian chain of [`miller_projective`] for `p` alone,
+/// caching each line's `(a, b, c)` coefficients (tangent step:
+/// `a = M·Z²`, `b = M·X − 2Y²`, `c = 2YZ³`; chord step: `a = R`,
+/// `b = R·x_P − ZH·y_P`, `c = ZH`). The vector ends early iff the
+/// chain hit the point at infinity.
+pub fn prepare_lines<F: FieldOps>(f: &F, r: &[u64], p: (&F::Elem, &F::Elem)) -> Vec<Line<F::Elem>> {
+    let (px, py) = p;
+    let r_bits = bit_len(r);
+    let capacity = (r_bits - 1) + (0..r_bits).filter(|&i| bit(r, i)).count();
+    let mut steps = Vec::with_capacity(capacity);
+    let mut tx = px.clone();
+    let mut ty = py.clone();
+    let mut tz = f.one();
+
+    'outer: for i in (0..r_bits - 1).rev() {
+        if f.is_zero(&ty) {
+            // Tangent at a 2-torsion point is vertical (subfield): the
+            // chain is done, as in the live loop.
+            break;
+        }
+        let y2 = f.sqr(&ty);
+        let z2 = f.sqr(&tz);
+        let x2 = f.sqr(&tx);
+        let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
+        steps.push([
+            f.mul(&m, &z2),
+            f.sub(&f.mul(&m, &tx), &f.double(&y2)),
+            f.double(&f.mul(&ty, &f.mul(&z2, &tz))),
+        ]);
+        let s = f.double(&f.double(&f.mul(&tx, &y2)));
+        let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+        let y3 = f.sub(
+            &f.mul(&m, &f.sub(&s, &x3)),
+            &f.double(&f.double(&f.double(&f.sqr(&y2)))),
+        );
+        let z3 = f.double(&f.mul(&ty, &tz));
+        tx = x3;
+        ty = y3;
+        tz = z3;
+
+        if bit(r, i) {
+            let z2 = f.sqr(&tz);
+            let u2 = f.mul(px, &z2);
+            let s2 = f.mul(py, &f.mul(&z2, &tz));
+            let h = f.sub(&u2, &tx);
+            let rr = f.sub(&s2, &ty);
+            if f.is_zero(&h) {
+                if f.is_zero(&rr) && !f.is_zero(py) {
+                    // T = P: doubling-style line at P (mirrors the live
+                    // loop's completeness fallback).
+                    let px2 = f.sqr(px);
+                    let m = f.add(&f.add(&f.double(&px2), &px2), &f.one());
+                    steps.push([
+                        m.clone(),
+                        f.sub(&f.mul(&m, px), &f.double(&f.sqr(py))),
+                        f.double(py),
+                    ]);
+                    let y2 = f.sqr(&ty);
+                    let z2 = f.sqr(&tz);
+                    let x2 = f.sqr(&tx);
+                    let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
+                    let s = f.double(&f.double(&f.mul(&tx, &y2)));
+                    let x3 = f.sub(&f.sqr(&m), &f.double(&s));
+                    let y3 = f.sub(
+                        &f.mul(&m, &f.sub(&s, &x3)),
+                        &f.double(&f.double(&f.double(&f.sqr(&y2)))),
+                    );
+                    let z3 = f.double(&f.mul(&ty, &tz));
+                    tx = x3;
+                    ty = y3;
+                    tz = z3;
+                } else {
+                    // T = −P: vertical chord (subfield); chain is done.
+                    break 'outer;
+                }
+            } else {
+                steps.push([
+                    rr.clone(),
+                    f.sub(&f.mul(&rr, px), &f.mul(&f.mul(&tz, &h), py)),
+                    f.mul(&tz, &h),
+                ]);
+                let hh = f.sqr(&h);
+                let hhh = f.mul(&hh, &h);
+                let v = f.mul(&tx, &hh);
+                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
+                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&ty, &hhh));
+                let z3 = f.mul(&tz, &h);
+                tx = x3;
+                ty = y3;
+                tz = z3;
+            }
+        }
+    }
+    steps
+}
+
+/// Evaluates one cached line at `Q = (qx, qy)`.
+#[inline]
+fn eval_line<F: FieldOps>(
+    f: &F,
+    line: &Line<F::Elem>,
+    qx: &F::Elem,
+    qy: &F::Elem,
+) -> Ext2<F::Elem> {
+    Ext2 {
+        c0: f.add(&f.mul(&line[0], qx), &line[1]),
+        c1: f.mul(&line[2], qy),
+    }
+}
+
+/// Miller loop replaying cached line coefficients against a fresh `Q`;
+/// bit-for-bit identical to [`miller_projective`] on the original `P`.
+pub fn miller_prepared<F: FieldOps>(
+    f: &F,
+    r: &[u64],
+    steps: &[Line<F::Elem>],
+    q: (&F::Elem, &F::Elem),
+) -> Ext2<F::Elem> {
+    let (qx, qy) = q;
+    let mut acc = ext2::one(f);
+    let mut pos = 0usize;
+    for i in (0..bit_len(r) - 1).rev() {
+        acc = ext2::sqr(f, &acc);
+        if pos < steps.len() {
+            acc = ext2::mul(f, &acc, &eval_line(f, &steps[pos], qx, qy));
+            pos += 1;
+        }
+        if bit(r, i) && pos < steps.len() {
+            acc = ext2::mul(f, &acc, &eval_line(f, &steps[pos], qx, qy));
+            pos += 1;
+        }
+    }
+    acc
+}
+
+/// Shared-squaring Miller loop where every first argument is a cached
+/// line chain.
+pub fn multi_miller_prepared<F: FieldOps>(
+    f: &F,
+    r: &[u64],
+    pairs: &[PreparedPairRef<'_, F::Elem>],
+) -> Ext2<F::Elem> {
+    let mut acc = ext2::one(f);
+    if pairs.is_empty() {
+        return acc;
+    }
+    let mut positions = vec![0usize; pairs.len()];
+    for i in (0..bit_len(r) - 1).rev() {
+        acc = ext2::sqr(f, &acc);
+        for (k, (steps, (qx, qy))) in pairs.iter().enumerate() {
+            if positions[k] < steps.len() {
+                acc = ext2::mul(f, &acc, &eval_line(f, &steps[positions[k]], qx, qy));
+                positions[k] += 1;
+            }
+        }
+        if bit(r, i) {
+            for (k, (steps, (qx, qy))) in pairs.iter().enumerate() {
+                if positions[k] < steps.len() {
+                    acc = ext2::mul(f, &acc, &eval_line(f, &steps[positions[k]], qx, qy));
+                    positions[k] += 1;
+                }
+            }
+        }
+    }
+    acc
+}
+
+/// The final exponentiation `m^((p²−1)/r)` applied as the cheap
+/// Frobenius division `conj(m)/m` (making the value unitary) followed
+/// by one `F_p²` exponentiation by `cofactor = (p+1)/r`.
+///
+/// # Panics
+///
+/// Panics if `m = 0`, which no valid Miller value is — callers guard
+/// degenerate inputs first, as the reference implementation always has.
+pub fn final_exp<F: FieldOps>(f: &F, cofactor: &[u64], m: &Ext2<F::Elem>) -> Ext2<F::Elem> {
+    let m_inv = ext2::inv(f, m).expect("miller value nonzero");
+    let unitary = ext2::mul(f, &ext2::conj(f, m), &m_inv);
+    ext2::pow(f, &unitary, cofactor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::curve::{affine_neg, scalar_mul};
+    use crate::mont::{FpW, MontCtx};
+
+    /// p = 11, r = 3 (3 | p + 1 = 12), cofactor 4.
+    const F11: MontCtx<1> = MontCtx::new([11]);
+    const R: [u64; 1] = [3];
+    const COFACTOR: [u64; 1] = [4];
+
+    /// A point of exact order 3 on E(F_11).
+    fn order3_point() -> (FpW<1>, FpW<1>) {
+        for x in 0..11u64 {
+            let xe = F11.from_u64(x);
+            let rhs = F11.add(&F11.mul(&F11.sqr(&xe), &xe), &xe);
+            if let Some(y) = F11.sqrt(&rhs) {
+                if let Some(p3) = scalar_mul(&F11, &COFACTOR, Some((&xe, &y))) {
+                    assert!(scalar_mul(&F11, &R, Some((&p3.0, &p3.1))).is_none());
+                    return p3;
+                }
+            }
+        }
+        panic!("no order-3 point found");
+    }
+
+    fn pairing(p: (&FpW<1>, &FpW<1>), q: (&FpW<1>, &FpW<1>)) -> Ext2<FpW<1>> {
+        final_exp(&F11, &COFACTOR, &miller_projective(&F11, &R, p, q))
+    }
+
+    #[test]
+    fn nondegenerate_and_order_r() {
+        let (px, py) = order3_point();
+        let g = pairing((&px, &py), (&px, &py));
+        assert!(!ext2::is_one(&F11, &g));
+        assert!(ext2::is_one(&F11, &ext2::pow(&F11, &g, &R)));
+    }
+
+    #[test]
+    fn affine_and_projective_agree_after_final_exp() {
+        let (px, py) = order3_point();
+        let p2 = scalar_mul(&F11, &[2], Some((&px, &py))).unwrap();
+        for a in [(&px, &py), (&p2.0, &p2.1)] {
+            for b in [(&px, &py), (&p2.0, &p2.1)] {
+                let aff = final_exp(&F11, &COFACTOR, &miller_affine(&F11, &R, a, b));
+                let proj = final_exp(&F11, &COFACTOR, &miller_projective(&F11, &R, a, b));
+                assert!(ext2::equals(&F11, &aff, &proj));
+            }
+        }
+    }
+
+    #[test]
+    fn bilinearity() {
+        let (px, py) = order3_point();
+        let p2 = scalar_mul(&F11, &[2], Some((&px, &py))).unwrap();
+        let e11 = pairing((&px, &py), (&px, &py));
+        let e21 = pairing((&p2.0, &p2.1), (&px, &py));
+        let e12 = pairing((&px, &py), (&p2.0, &p2.1));
+        let expect = ext2::sqr(&F11, &e11);
+        assert!(ext2::equals(&F11, &e21, &expect));
+        assert!(ext2::equals(&F11, &e12, &expect));
+    }
+
+    #[test]
+    fn prepared_matches_fresh_and_multi() {
+        let (px, py) = order3_point();
+        let p2 = scalar_mul(&F11, &[2], Some((&px, &py))).unwrap();
+        let steps_p = prepare_lines(&F11, &R, (&px, &py));
+        let steps_p2 = prepare_lines(&F11, &R, (&p2.0, &p2.1));
+        for (steps, first) in [(&steps_p, (&px, &py)), (&steps_p2, (&p2.0, &p2.1))] {
+            for second in [(&px, &py), (&p2.0, &p2.1)] {
+                let fresh = miller_projective(&F11, &R, first, second);
+                let prep = miller_prepared(&F11, &R, steps, second);
+                assert!(ext2::equals(&F11, &fresh, &prep));
+            }
+        }
+        // Multi-Miller product equals the product of single loops after
+        // final exponentiation.
+        let multi = final_exp(
+            &F11,
+            &COFACTOR,
+            &multi_miller(
+                &F11,
+                &R,
+                &[((&px, &py), (&p2.0, &p2.1)), ((&p2.0, &p2.1), (&px, &py))],
+            ),
+        );
+        let single = ext2::mul(
+            &F11,
+            &pairing((&px, &py), (&p2.0, &p2.1)),
+            &pairing((&p2.0, &p2.1), (&px, &py)),
+        );
+        assert!(ext2::equals(&F11, &multi, &single));
+        // Prepared multi agrees too.
+        let multi_prep = final_exp(
+            &F11,
+            &COFACTOR,
+            &multi_miller_prepared(
+                &F11,
+                &R,
+                &[
+                    (steps_p.as_slice(), (&p2.0, &p2.1)),
+                    (steps_p2.as_slice(), (&px, &py)),
+                ],
+            ),
+        );
+        assert!(ext2::equals(&F11, &multi_prep, &multi));
+    }
+
+    #[test]
+    fn antisymmetric_under_negation() {
+        let (px, py) = order3_point();
+        let n = affine_neg(&F11, Some((&px, &py))).unwrap();
+        let e = pairing((&px, &py), (&px, &py));
+        let e_neg = pairing((&n.0, &n.1), (&px, &py));
+        assert!(ext2::is_one(&F11, &ext2::mul(&F11, &e, &e_neg)));
+    }
+}

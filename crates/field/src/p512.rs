@@ -1,0 +1,58 @@
+//! Compile-time instantiation for the paper's 512-bit parameter set.
+//!
+//! The Libert–Quisquater deployment prime (`p ≡ 3 (mod 4)`, 512 bits,
+//! with a 160-bit pairing order `r | p + 1`) baked into a `const`
+//! eight-limb Montgomery context: `R`, `R²`, `-p⁻¹ mod 2⁶⁴` and the
+//! square-root exponent are all computed at compile time, so runtime
+//! start-up does no precomputation for the default parameters.
+
+use crate::mont::MontCtx;
+
+/// The paper's 512-bit prime, little-endian limbs
+/// (`0xa136c1e6…d6e9243`).
+pub const PAPER_P: [u64; 8] = [
+    0x2c5bcee82d6e9243,
+    0xd5a4729a46931755,
+    0x87b4b9e9da842e41,
+    0x556335280d9a7b08,
+    0x826413b9d479b6ff,
+    0xbe37d973ef5c23fc,
+    0x7bc289fca33cca75,
+    0xa136c1e6695cff09,
+];
+
+/// The paper's 160-bit pairing order `r`, little-endian limbs
+/// (`0xb575819f1529f4608e80d28b409439bdaccefa71`).
+pub const PAPER_R: [u64; 3] = [0x409439bdaccefa71, 0x1529f4608e80d28b, 0xb575819f];
+
+/// Eight-limb Montgomery context for [`PAPER_P`], built at compile
+/// time.
+pub const PAPER_CTX: MontCtx<8> = MontCtx::new(PAPER_P);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_is_sound() {
+        // p ≡ 3 (mod 4) so the sqrt exponent is available.
+        assert_eq!(PAPER_P[0] & 3, 3);
+        let two = PAPER_CTX.from_u64(2);
+        let four = PAPER_CTX.from_u64(4);
+        assert_eq!(PAPER_CTX.sqr(&two), four);
+        let inv = PAPER_CTX.inv(&two).unwrap();
+        assert_eq!(PAPER_CTX.mul(&two, &inv), PAPER_CTX.one());
+        // sqrt(4) = ±2.
+        let r = PAPER_CTX.sqrt(&four).unwrap();
+        assert!(r == two || r == PAPER_CTX.neg(&two));
+    }
+
+    #[test]
+    fn runtime_construction_matches_const() {
+        let rt = MontCtx::<8>::from_limbs(&PAPER_P).unwrap();
+        assert_eq!(rt.modulus(), PAPER_CTX.modulus());
+        assert_eq!(rt.one(), PAPER_CTX.one());
+        let x = PAPER_CTX.from_u64(0x1234_5678_9abc_def0);
+        assert_eq!(rt.mul(&x, &x), PAPER_CTX.sqr(&x));
+    }
+}

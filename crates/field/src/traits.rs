@@ -1,0 +1,133 @@
+//! The backend abstraction: one trait, two engines.
+//!
+//! [`FieldOps`] is what the generic curve and Miller-loop kernels in
+//! [`crate::curve`] and [`crate::miller`] are written against. The
+//! fixed-width [`crate::mont::MontCtx`] implements it natively (with a
+//! lazy-reduction override for the quadratic extension); the pairing
+//! crate implements it for its bigint-backed field context, which
+//! keeps `sempair-bigint` as the always-available reference backend
+//! running the *same* kernel code.
+
+use crate::ext2::Ext2;
+use crate::mont::MontCtx;
+
+/// Prime-field operations over an opaque element type.
+///
+/// Contexts are cheap to borrow and carry all parameters; elements are
+/// plain values with no back-pointer. `equals` need not be
+/// constant-time — kernels only use it for structural checks on
+/// public-by-construction intermediates (exceptional Miller steps,
+/// point-at-infinity detection), mirroring the reference backend.
+pub trait FieldOps {
+    /// A field element.
+    type Elem: Clone;
+
+    /// The additive identity.
+    fn zero(&self) -> Self::Elem;
+    /// The multiplicative identity.
+    fn one(&self) -> Self::Elem;
+    /// `true` iff `a` is the additive identity.
+    fn is_zero(&self, a: &Self::Elem) -> bool;
+    /// Value equality.
+    fn equals(&self, a: &Self::Elem, b: &Self::Elem) -> bool;
+    /// `a + b`.
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a - b`.
+    fn sub(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `-a`.
+    fn neg(&self, a: &Self::Elem) -> Self::Elem;
+    /// `2a`.
+    fn double(&self, a: &Self::Elem) -> Self::Elem;
+    /// `a · b`.
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem;
+    /// `a²`.
+    fn sqr(&self, a: &Self::Elem) -> Self::Elem;
+    /// `a⁻¹`, or `None` for zero.
+    fn inv(&self, a: &Self::Elem) -> Option<Self::Elem>;
+
+    /// Multiplication in `F_p[i]/(i²+1)`.
+    ///
+    /// The default is the 3-multiplication Karatsuba every backend
+    /// agrees on; fixed-width contexts override it with a
+    /// lazily-reduced version (same reduced result, fewer reductions).
+    fn ext2_mul(&self, a: &Ext2<Self::Elem>, b: &Ext2<Self::Elem>) -> Ext2<Self::Elem> {
+        let v0 = self.mul(&a.c0, &b.c0);
+        let v1 = self.mul(&a.c1, &b.c1);
+        let s = self.mul(&self.add(&a.c0, &a.c1), &self.add(&b.c0, &b.c1));
+        Ext2 {
+            c0: self.sub(&v0, &v1),
+            c1: self.sub(&self.sub(&s, &v0), &v1),
+        }
+    }
+
+    /// Squaring in `F_p[i]/(i²+1)` (complex method: two base
+    /// multiplications, already reduction-minimal).
+    fn ext2_sqr(&self, a: &Ext2<Self::Elem>) -> Ext2<Self::Elem> {
+        let t0 = self.mul(&self.add(&a.c0, &a.c1), &self.sub(&a.c0, &a.c1));
+        let t1 = self.double(&self.mul(&a.c0, &a.c1));
+        Ext2 { c0: t0, c1: t1 }
+    }
+}
+
+impl<const N: usize> FieldOps for crate::mont::MontCtx<N> {
+    type Elem = crate::mont::FpW<N>;
+
+    #[inline]
+    fn zero(&self) -> Self::Elem {
+        MontCtx::zero(self)
+    }
+    #[inline]
+    fn one(&self) -> Self::Elem {
+        MontCtx::one(self)
+    }
+    #[inline]
+    fn is_zero(&self, a: &Self::Elem) -> bool {
+        a.is_zero()
+    }
+    #[inline]
+    fn equals(&self, a: &Self::Elem, b: &Self::Elem) -> bool {
+        a == b
+    }
+    #[inline]
+    fn add(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        MontCtx::add(self, a, b)
+    }
+    #[inline]
+    fn sub(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        MontCtx::sub(self, a, b)
+    }
+    #[inline]
+    fn neg(&self, a: &Self::Elem) -> Self::Elem {
+        MontCtx::neg(self, a)
+    }
+    #[inline]
+    fn double(&self, a: &Self::Elem) -> Self::Elem {
+        MontCtx::double(self, a)
+    }
+    #[inline]
+    fn mul(&self, a: &Self::Elem, b: &Self::Elem) -> Self::Elem {
+        MontCtx::mul(self, a, b)
+    }
+    #[inline]
+    fn sqr(&self, a: &Self::Elem) -> Self::Elem {
+        MontCtx::sqr(self, a)
+    }
+    #[inline]
+    fn inv(&self, a: &Self::Elem) -> Option<Self::Elem> {
+        MontCtx::inv(self, a)
+    }
+
+    /// Lazily-reduced Karatsuba: three double-width products, two
+    /// Montgomery reductions (instead of three mul + three reduce).
+    /// Wide chains are subtraction-only — see [`crate::mont`] docs.
+    fn ext2_mul(&self, a: &Ext2<Self::Elem>, b: &Ext2<Self::Elem>) -> Ext2<Self::Elem> {
+        let v0 = self.mul_wide(&a.c0, &b.c0);
+        let v1 = self.mul_wide(&a.c1, &b.c1);
+        let s = MontCtx::add(self, &a.c0, &a.c1);
+        let t = MontCtx::add(self, &b.c0, &b.c1);
+        let st = self.mul_wide(&s, &t);
+        let c0 = self.redc_wide(&self.sub_wide(&v0, &v1));
+        let c1 = self.redc_wide(&self.sub_wide(&self.sub_wide(&st, &v0), &v1));
+        Ext2 { c0, c1 }
+    }
+}

@@ -1,0 +1,201 @@
+//! Differential tests pinning the fixed-width Montgomery backend
+//! bit-exact against the `sempair-bigint` reference implementation.
+//!
+//! Both backends use `R = 2^{64N}` for an `N`-limb modulus, so a value
+//! in Montgomery form has *identical* limbs on either side — we assert
+//! that raw-limb equality directly, not just canonical-value equality.
+//! Every arithmetic op is driven with the same random inputs through
+//! both backends over the paper's 512-bit prime.
+
+use proptest::prelude::*;
+use sempair_bigint::{BigUint, MontElem, Montgomery};
+use sempair_field::p512::{PAPER_CTX, PAPER_P};
+use sempair_field::{Ext2, FieldOps, FpW, MontCtx};
+
+/// The paper prime as a `BigUint`.
+fn paper_p_big() -> BigUint {
+    BigUint::from_limbs(PAPER_P.to_vec())
+}
+
+/// Bigint-side Montgomery context for the paper prime.
+fn big_ctx() -> Montgomery {
+    Montgomery::new(&paper_p_big()).unwrap()
+}
+
+/// Widens a (possibly normalized-short) limb slice to exactly 8 limbs.
+fn pad8(limbs: &[u64]) -> [u64; 8] {
+    let mut out = [0u64; 8];
+    out[..limbs.len()].copy_from_slice(limbs);
+    out
+}
+
+/// Fixed-width element → the equivalent bigint Montgomery element,
+/// by raw limb copy (no form conversion — shared representation).
+fn to_big(a: &FpW<8>) -> MontElem {
+    MontElem::from_limbs(a.limbs().to_vec())
+}
+
+/// Bigint Montgomery element → fixed-width, again by raw limb copy.
+fn from_big(a: &MontElem) -> FpW<8> {
+    FpW(pad8(a.limbs()))
+}
+
+/// Strategy: a canonical residue mod the paper prime, as 8 limbs.
+fn residue() -> impl Strategy<Value = [u64; 8]> {
+    proptest::collection::vec(any::<u8>(), 64).prop_map(|bytes| {
+        let v = BigUint::from_be_bytes(&bytes);
+        let (_, r) = v.div_rem(&paper_p_big());
+        pad8(r.limbs())
+    })
+}
+
+/// Strategy: an exponent of up to ~192 bits (3 limbs).
+fn exponent() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(any::<u8>(), 0..24)
+        .prop_map(|bytes| BigUint::from_be_bytes(&bytes).limbs().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conversion into Montgomery form produces identical limbs on
+    /// both backends, and round-trips back to the canonical value.
+    #[test]
+    fn mont_form_is_shared(a in residue()) {
+        let fx = PAPER_CTX;
+        let bg = big_ctx();
+        let fa = fx.to_mont(&a);
+        let ba = bg.to_mont(&BigUint::from_limbs(a.to_vec()));
+        prop_assert_eq!(fa.limbs().as_slice(), &pad8(ba.limbs())[..]);
+        prop_assert_eq!(fx.from_mont(&fa), pad8(bg.from_mont(&ba).limbs()));
+    }
+
+    /// Ring ops agree limb-for-limb with the bigint backend.
+    #[test]
+    fn ring_ops_agree(a in residue(), b in residue()) {
+        let fx = PAPER_CTX;
+        let bg = big_ctx();
+        let (fa, fb) = (fx.to_mont(&a), fx.to_mont(&b));
+        let (ba, bb) = (to_big(&fa), to_big(&fb));
+        prop_assert_eq!(fx.add(&fa, &fb), from_big(&bg.add(&ba, &bb)));
+        prop_assert_eq!(fx.sub(&fa, &fb), from_big(&bg.sub(&ba, &bb)));
+        prop_assert_eq!(fx.neg(&fa), from_big(&bg.neg(&ba)));
+        prop_assert_eq!(fx.double(&fa), from_big(&bg.double(&ba)));
+        prop_assert_eq!(fx.mul(&fa, &fb), from_big(&bg.mul(&ba, &bb)));
+        prop_assert_eq!(fx.sqr(&fa), from_big(&bg.sqr(&ba)));
+    }
+
+    /// The wide (lazy-reduction) product path reduces to the same
+    /// result as the plain CIOS product.
+    #[test]
+    fn wide_product_agrees(a in residue(), b in residue()) {
+        let fx = PAPER_CTX;
+        let (fa, fb) = (fx.to_mont(&a), fx.to_mont(&b));
+        let wide = fx.mul_wide(&fa, &fb);
+        prop_assert_eq!(fx.redc_wide(&wide), fx.mul(&fa, &fb));
+    }
+
+    /// Inversion agrees, including the zero case.
+    #[test]
+    fn inversion_agrees(a in residue()) {
+        let fx = PAPER_CTX;
+        let bg = big_ctx();
+        let fa = fx.to_mont(&a);
+        match fx.inv(&fa) {
+            Some(fi) => {
+                let bi = bg.inv(&to_big(&fa)).unwrap();
+                prop_assert_eq!(fi, from_big(&bi));
+                prop_assert_eq!(fx.mul(&fa, &fi), fx.one());
+            }
+            None => prop_assert!(fa.is_zero()),
+        }
+    }
+
+    /// Exponentiation agrees for arbitrary multi-limb exponents.
+    #[test]
+    fn pow_agrees(a in residue(), e in exponent()) {
+        let fx = PAPER_CTX;
+        let bg = big_ctx();
+        let fa = fx.to_mont(&a);
+        let fp = fx.pow(&fa, &e);
+        let bp = bg.pow(&to_big(&fa), &BigUint::from_limbs(e));
+        prop_assert_eq!(fp, from_big(&bp));
+    }
+
+    /// Square roots: when one exists it squares back, and existence
+    /// matches the Euler criterion computed on the bigint side.
+    #[test]
+    fn sqrt_agrees(a in residue()) {
+        let fx = PAPER_CTX;
+        let bg = big_ctx();
+        let fa = fx.to_mont(&a);
+        let (euler_exp, _) = (&paper_p_big() - &BigUint::one()).div_rem(&BigUint::two());
+        let euler = bg.pow(&to_big(&fa), &euler_exp);
+        let is_qr = fa.is_zero() || bg.from_mont(&euler).is_one();
+        match fx.sqrt(&fa) {
+            Some(r) => {
+                prop_assert!(is_qr);
+                prop_assert_eq!(fx.sqr(&r), fa);
+            }
+            None => prop_assert!(!is_qr),
+        }
+    }
+
+    /// `Ext2` tower ops (the lazy-reduced overrides in `MontCtx`)
+    /// match the same kernel run through schoolbook formulas on the
+    /// bigint backend.
+    #[test]
+    fn ext2_agrees(a0 in residue(), a1 in residue(), b0 in residue(), b1 in residue()) {
+        let fx = PAPER_CTX;
+        let bg = big_ctx();
+        let fa = Ext2 { c0: fx.to_mont(&a0), c1: fx.to_mont(&a1) };
+        let fb = Ext2 { c0: fx.to_mont(&b0), c1: fx.to_mont(&b1) };
+
+        // Reference: (a0 + a1 i)(b0 + b1 i) with i² = −1, plain ops.
+        let (ba0, ba1) = (to_big(&fa.c0), to_big(&fa.c1));
+        let (bb0, bb1) = (to_big(&fb.c0), to_big(&fb.c1));
+        let ref_c0 = bg.sub(&bg.mul(&ba0, &bb0), &bg.mul(&ba1, &bb1));
+        let ref_c1 = bg.add(&bg.mul(&ba0, &bb1), &bg.mul(&ba1, &bb0));
+
+        let prod = fx.ext2_mul(&fa, &fb);
+        prop_assert_eq!(prod.c0, from_big(&ref_c0));
+        prop_assert_eq!(prod.c1, from_big(&ref_c1));
+
+        let sq = fx.ext2_sqr(&fa);
+        let sq_ref = fx.ext2_mul(&fa, &fa);
+        prop_assert_eq!(sq.c0, sq_ref.c0);
+        prop_assert_eq!(sq.c1, sq_ref.c1);
+    }
+}
+
+/// A second width (W2, 128-bit Mersenne-adjacent prime) to make sure
+/// the differential property is not an N=8 artifact.
+#[test]
+fn small_width_backend_agrees() {
+    // p = 2^127 − 1 (Mersenne, ≡ 3 mod 4).
+    let p_big = &(BigUint::one() << 127) - &BigUint::one();
+    let fx: MontCtx<2> = MontCtx::from_limbs(p_big.limbs()).unwrap();
+    let bg = Montgomery::new(&p_big).unwrap();
+    let mut x = 0x9e3779b97f4a7c15u64;
+    for _ in 0..200 {
+        // Cheap deterministic LCG-ish stream.
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let y = x.wrapping_mul(0x2545f4914f6cdd1d);
+        let a = BigUint::from_limbs(vec![x, y >> 1]);
+        let b = BigUint::from_limbs(vec![y, x >> 1]);
+        let (fa, fb) = (
+            fx.to_mont(&[a.limbs()[0], a.limbs()[1]]),
+            fx.to_mont(&[b.limbs()[0], b.limbs()[1]]),
+        );
+        let (ba, bb) = (bg.to_mont(&a), bg.to_mont(&b));
+        let fm = fx.mul(&fa, &fb);
+        let bm = bg.mul(&ba, &bb);
+        let mut padded = [0u64; 2];
+        padded[..bm.limbs().len()].copy_from_slice(bm.limbs());
+        assert_eq!(fm.limbs(), &padded);
+        let fi = fx.inv(&fa).unwrap();
+        assert_eq!(fx.mul(&fa, &fi), fx.one());
+    }
+}

@@ -2,9 +2,16 @@
 //!
 //! Affine points are the public representation; scalar multiplication
 //! runs internally on Jacobian coordinates to avoid per-step inversions.
+//!
+//! The formulas themselves live in `sempair-field`'s generic kernels
+//! ([`sempair_field::curve`]); this module wraps them around the public
+//! point type and, for moduli that fit the fixed-width backend, routes
+//! scalar multiplications through [`crate::fixed`].
 
+use crate::fixed;
 use crate::fp::{Fp, FpCtx};
 use sempair_bigint::BigUint;
+use sempair_field::curve as fcurve;
 
 /// A point on `E(F_p)`, affine or the point at infinity.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -65,267 +72,70 @@ impl G1Affine {
 
 /// `true` iff `(x, y)` satisfies `y² = x³ + x`.
 pub(crate) fn is_on_curve(f: &FpCtx, x: &Fp, y: &Fp) -> bool {
-    let lhs = f.sqr(y);
-    let rhs = f.add(&f.mul(&f.sqr(x), x), x);
-    lhs == rhs
+    fcurve::is_on_curve(f, x, y)
 }
 
 /// `-P`.
 pub(crate) fn neg(f: &FpCtx, p: &G1Affine) -> G1Affine {
-    match &p.0 {
-        None => G1Affine::infinity(),
-        Some((x, y)) => G1Affine(Some((x.clone(), f.neg(y)))),
-    }
+    G1Affine(fcurve::affine_neg(f, p.coordinates()))
 }
 
 /// Affine point addition (handles all cases).
 pub(crate) fn add(f: &FpCtx, p: &G1Affine, q: &G1Affine) -> G1Affine {
-    let (px, py) = match &p.0 {
-        None => return q.clone(),
-        Some(c) => c,
-    };
-    let (qx, qy) = match &q.0 {
-        None => return p.clone(),
-        Some(c) => c,
-    };
-    let lambda = if px == qx {
-        if py != qy || py.is_zero() {
-            // P = -Q (or a 2-torsion doubling): result is infinity.
-            return G1Affine::infinity();
-        }
-        // Tangent: (3x² + 1) / 2y   (curve coefficient a = 1).
-        let num = f.add(&f.add(&f.double(&f.sqr(px)), &f.sqr(px)), &f.one());
-        let den = f.double(py);
-        f.mul(&num, &f.inv(&den).expect("2y != 0"))
-    } else {
-        let num = f.sub(qy, py);
-        let den = f.sub(qx, px);
-        f.mul(&num, &f.inv(&den).expect("qx != px"))
-    };
-    let x3 = f.sub(&f.sub(&f.sqr(&lambda), px), qx);
-    let y3 = f.sub(&f.mul(&lambda, &f.sub(px, &x3)), py);
-    G1Affine(Some((x3, y3)))
+    G1Affine(fcurve::affine_add(f, p.coordinates(), q.coordinates()))
 }
 
 /// Internal Jacobian representation: `(X, Y, Z)` with `x = X/Z²`,
-/// `y = Y/Z³`; infinity encoded as `Z = 0`.
+/// `y = Y/Z³`; infinity encoded as `Z = 0`. A thin wrapper over the
+/// generic kernel point, kept so callers inside the crate keep their
+/// method-call style.
 #[derive(Clone, Debug)]
-pub(crate) struct Jacobian {
-    x: Fp,
-    y: Fp,
-    z: Fp,
-}
+pub(crate) struct Jacobian(fcurve::JPoint<Fp>);
 
 impl Jacobian {
     pub(crate) fn infinity(f: &FpCtx) -> Self {
-        Jacobian {
-            x: f.one(),
-            y: f.one(),
-            z: f.zero(),
-        }
-    }
-
-    pub(crate) fn is_infinity(&self) -> bool {
-        self.z.is_zero()
+        Jacobian(fcurve::jp_infinity(f))
     }
 
     pub(crate) fn to_affine(&self, f: &FpCtx) -> G1Affine {
-        if self.is_infinity() {
-            return G1Affine::infinity();
-        }
-        let z_inv = f.inv(&self.z).expect("nonzero z");
-        let z_inv2 = f.sqr(&z_inv);
-        let z_inv3 = f.mul(&z_inv2, &z_inv);
-        G1Affine(Some((f.mul(&self.x, &z_inv2), f.mul(&self.y, &z_inv3))))
-    }
-
-    /// Point doubling (`a = 1` curve coefficient).
-    pub(crate) fn double(&self, f: &FpCtx) -> Jacobian {
-        if self.is_infinity() || self.y.is_zero() {
-            return Jacobian::infinity(f);
-        }
-        let y2 = f.sqr(&self.y);
-        let s = f.double(&f.double(&f.mul(&self.x, &y2))); // 4XY²
-        let x2 = f.sqr(&self.x);
-        let z2 = f.sqr(&self.z);
-        // M = 3X² + Z⁴  (a = 1)
-        let m = f.add(&f.add(&f.double(&x2), &x2), &f.sqr(&z2));
-        let x3 = f.sub(&f.sqr(&m), &f.double(&s));
-        let y4_8 = f.double(&f.double(&f.double(&f.sqr(&y2)))); // 8Y⁴
-        let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &y4_8);
-        let z3 = f.double(&f.mul(&self.y, &self.z));
-        Jacobian {
-            x: x3,
-            y: y3,
-            z: z3,
-        }
-    }
-
-    /// Full Jacobian–Jacobian addition (handles all cases).
-    pub(crate) fn add_jacobian(&self, f: &FpCtx, q: &Jacobian) -> Jacobian {
-        if self.is_infinity() {
-            return q.clone();
-        }
-        if q.is_infinity() {
-            return self.clone();
-        }
-        let z1z1 = f.sqr(&self.z);
-        let z2z2 = f.sqr(&q.z);
-        let u1 = f.mul(&self.x, &z2z2);
-        let u2 = f.mul(&q.x, &z1z1);
-        let s1 = f.mul(&self.y, &f.mul(&z2z2, &q.z));
-        let s2 = f.mul(&q.y, &f.mul(&z1z1, &self.z));
-        if u1 == u2 {
-            if s1 == s2 {
-                return self.double(f);
-            }
-            return Jacobian::infinity(f);
-        }
-        let h = f.sub(&u2, &u1);
-        let hh = f.sqr(&h);
-        let hhh = f.mul(&hh, &h);
-        let r = f.sub(&s2, &s1);
-        let v = f.mul(&u1, &hh);
-        let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.double(&v));
-        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&s1, &hhh));
-        let z3 = f.mul(&h, &f.mul(&self.z, &q.z));
-        Jacobian {
-            x: x3,
-            y: y3,
-            z: z3,
-        }
+        G1Affine(fcurve::jp_to_affine(f, &self.0))
     }
 
     /// Mixed addition with an affine point (`Z2 = 1`).
     pub(crate) fn add_affine(&self, f: &FpCtx, q: &G1Affine) -> Jacobian {
-        let (qx, qy) = match &q.0 {
-            None => return self.clone(),
-            Some(c) => c,
-        };
-        if self.is_infinity() {
-            return Jacobian {
-                x: qx.clone(),
-                y: qy.clone(),
-                z: f.one(),
-            };
-        }
-        let z1z1 = f.sqr(&self.z);
-        let u2 = f.mul(qx, &z1z1);
-        let s2 = f.mul(qy, &f.mul(&z1z1, &self.z));
-        if u2 == self.x {
-            if s2 == self.y {
-                return self.double(f);
-            }
-            return Jacobian::infinity(f);
-        }
-        let h = f.sub(&u2, &self.x);
-        let hh = f.sqr(&h);
-        let hhh = f.mul(&hh, &h);
-        let r = f.sub(&s2, &self.y);
-        let v = f.mul(&self.x, &hh);
-        let x3 = f.sub(&f.sub(&f.sqr(&r), &hhh), &f.double(&v));
-        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&self.y, &hhh));
-        let z3 = f.mul(&self.z, &h);
-        Jacobian {
-            x: x3,
-            y: y3,
-            z: z3,
-        }
+        Jacobian(fcurve::jp_add_affine(f, &self.0, q.coordinates()))
     }
 }
 
-/// Scalar multiplication `k·P` with a 4-bit fixed window over Jacobian
-/// coordinates.
+/// Scalar multiplication `k·P` (4-bit fixed window over Jacobian
+/// coordinates). Scalars that fit the fixed-width backend run there;
+/// everything else goes through the generic kernel on the bigint
+/// context.
 pub(crate) fn mul(f: &FpCtx, k: &BigUint, p: &G1Affine) -> G1Affine {
     if k.is_zero() || p.is_infinity() {
         return G1Affine::infinity();
     }
-    // Precompute 1P..15P in affine (16 cheap additions, amortized).
-    let mut table: Vec<G1Affine> = Vec::with_capacity(16);
-    table.push(G1Affine::infinity());
-    table.push(p.clone());
-    for i in 2..16 {
-        table.push(add(f, &table[i - 1], p));
-    }
-    let bits = k.bits();
-    let top_window = bits.div_ceil(4) * 4;
-    let mut acc = Jacobian::infinity(f);
-    let mut w = top_window;
-    while w >= 4 {
-        w -= 4;
-        acc = acc.double(f).double(f).double(f).double(f);
-        let mut digit = 0usize;
-        for b in 0..4 {
-            if k.bit(w + b) {
-                digit |= 1 << b;
-            }
-        }
-        if digit != 0 {
-            acc = acc.add_affine(f, &table[digit]);
+    if let Some(fx) = f.fixed() {
+        if fx.fits_scalar(k) {
+            return fixed::mul(fx, k, p);
         }
     }
-    acc.to_affine(f)
+    G1Affine(fcurve::scalar_mul(f, k.limbs(), p.coordinates()))
 }
 
-/// Multi-scalar multiplication `Σ kᵢ·Pᵢ` via Pippenger's bucket method.
-///
-/// Each `c`-bit window makes one pass over the terms, dropping each
-/// point into the bucket for its window digit, then collapses the
-/// buckets with the running-sum trick (`Σ j·Bⱼ` in `2·(2^c − 2)`
-/// additions). Cost is `⌈bits/c⌉ · (n + 2^(c+1))` group operations
-/// instead of the naive `n` independent scalar mults — the win grows
-/// with the term count, which is why the window widens with `n`.
+/// Multi-scalar multiplication `Σ kᵢ·Pᵢ` via Pippenger's bucket method
+/// (see [`sempair_field::curve::multi_scalar_mul`] for the cost model).
 pub(crate) fn multi_mul(f: &FpCtx, terms: &[(BigUint, G1Affine)]) -> G1Affine {
-    let live: Vec<&(BigUint, G1Affine)> = terms
+    if let Some(fx) = f.fixed() {
+        if terms.iter().all(|(k, _)| fx.fits_scalar(k)) {
+            return fixed::multi_mul(fx, terms);
+        }
+    }
+    let kernel_terms: Vec<(&[u64], fcurve::AffineRef<'_, Fp>)> = terms
         .iter()
-        .filter(|(k, p)| !k.is_zero() && !p.is_infinity())
+        .map(|(k, p)| (k.limbs(), p.coordinates()))
         .collect();
-    if live.is_empty() {
-        return G1Affine::infinity();
-    }
-    if live.len() == 1 {
-        return mul(f, &live[0].0, &live[0].1);
-    }
-    // Window width: the usual n / log n balance point.
-    let c = match live.len() {
-        0..=3 => 2,
-        4..=15 => 3,
-        16..=63 => 4,
-        64..=255 => 5,
-        _ => 6,
-    };
-    let max_bits = live.iter().map(|(k, _)| k.bits()).max().expect("nonempty");
-    let windows = max_bits.div_ceil(c);
-    let mut acc = Jacobian::infinity(f);
-    let mut buckets: Vec<Jacobian> = vec![Jacobian::infinity(f); (1 << c) - 1];
-    for w in (0..windows).rev() {
-        for _ in 0..c {
-            acc = acc.double(f);
-        }
-        for bucket in buckets.iter_mut() {
-            *bucket = Jacobian::infinity(f);
-        }
-        for (k, point) in &live {
-            let mut digit = 0usize;
-            for b in 0..c {
-                if k.bit(w * c + b) {
-                    digit |= 1 << b;
-                }
-            }
-            if digit != 0 {
-                buckets[digit - 1] = buckets[digit - 1].add_affine(f, point);
-            }
-        }
-        // Σ j·Bⱼ: running partial sums from the top bucket down.
-        let mut running = Jacobian::infinity(f);
-        let mut window_sum = Jacobian::infinity(f);
-        for bucket in buckets.iter().rev() {
-            running = running.add_jacobian(f, bucket);
-            window_sum = window_sum.add_jacobian(f, &running);
-        }
-        acc = acc.add_jacobian(f, &window_sum);
-    }
-    acc.to_affine(f)
+    G1Affine(fcurve::multi_scalar_mul(f, &kernel_terms))
 }
 
 #[cfg(test)]
@@ -482,7 +292,8 @@ mod tests {
             for b in &pts {
                 let ja = Jacobian::infinity(&f).add_affine(&f, a);
                 let jb = Jacobian::infinity(&f).add_affine(&f, b);
-                assert_eq!(ja.add_jacobian(&f, &jb).to_affine(&f), add(&f, a, b));
+                let sum = Jacobian(fcurve::jp_add(&f, &ja.0, &jb.0));
+                assert_eq!(sum.to_affine(&f), add(&f, a, b));
             }
         }
     }

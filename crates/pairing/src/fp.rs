@@ -1,5 +1,6 @@
 //! The base field `F_p` with a Montgomery-backed context.
 
+use crate::fixed::{self, FixedCtx};
 use sempair_bigint::{modular, BigUint, Error as BigintError, MontElem, Montgomery};
 
 /// An element of `F_p`, stored in Montgomery form.
@@ -40,6 +41,10 @@ pub struct FpCtx {
     mont: Montgomery,
     /// `(p + 1) / 4`, the square-root exponent for `p ≡ 3 (mod 4)`.
     sqrt_exp: Option<BigUint>,
+    /// Fixed-width backend for moduli of ≤ 8 limbs. Montgomery forms
+    /// are limb-compatible between the two backends (both use
+    /// `R = 2^(64·limbs)`), so elements cross over by limb copy.
+    fixed: Option<FixedCtx>,
 }
 
 impl FpCtx {
@@ -56,7 +61,32 @@ impl FpCtx {
         } else {
             None
         };
-        Ok(FpCtx { mont, sqrt_exp })
+        let fixed = FixedCtx::from_modulus(p);
+        Ok(FpCtx {
+            mont,
+            sqrt_exp,
+            fixed,
+        })
+    }
+
+    /// The fixed-width backend, if the modulus fits one.
+    pub(crate) fn fixed(&self) -> Option<&FixedCtx> {
+        self.fixed.as_ref()
+    }
+
+    /// `true` iff the fixed-width backend is active for this modulus.
+    /// Exposed for differential tests and benchmarks.
+    #[doc(hidden)]
+    pub fn has_fixed_backend(&self) -> bool {
+        self.fixed.is_some()
+    }
+
+    /// Disables the fixed-width backend so every operation runs on the
+    /// variable-width reference path. Test-only hook for differential
+    /// checks; not part of the public API contract.
+    #[doc(hidden)]
+    pub fn force_bigint_backend(&mut self) {
+        self.fixed = None;
     }
 
     /// The field characteristic `p`.
@@ -126,11 +156,17 @@ impl FpCtx {
 
     /// `a^e`.
     pub fn pow(&self, a: &Fp, e: &BigUint) -> Fp {
+        if let Some(fx) = self.fixed() {
+            return fixed::fp_pow(fx, a, e);
+        }
         Fp(self.mont.pow(&a.0, e))
     }
 
     /// `a⁻¹`, or `None` for zero.
     pub fn inv(&self, a: &Fp) -> Option<Fp> {
+        if let Some(fx) = self.fixed() {
+            return fixed::fp_inv(fx, a);
+        }
         self.mont.inv(&a.0).ok().map(Fp)
     }
 
@@ -176,6 +212,51 @@ impl FpCtx {
     /// bit in compressed point encodings.
     pub fn parity(&self, a: &Fp) -> bool {
         self.to_uint(a).is_odd()
+    }
+}
+
+/// The bigint-backed context runs the same generic curve and Miller
+/// kernels as the fixed-width backend; this impl is the reference
+/// engine those kernels fall back to when the modulus is wider than
+/// eight limbs (or the fixed backend is disabled for testing).
+///
+/// The `ext2_mul`/`ext2_sqr` defaults are kept: they are the exact
+/// Karatsuba/complex formulas both backends agree on.
+impl sempair_field::FieldOps for FpCtx {
+    type Elem = Fp;
+
+    fn zero(&self) -> Fp {
+        FpCtx::zero(self)
+    }
+    fn one(&self) -> Fp {
+        FpCtx::one(self)
+    }
+    fn is_zero(&self, a: &Fp) -> bool {
+        a.is_zero()
+    }
+    fn equals(&self, a: &Fp, b: &Fp) -> bool {
+        a == b
+    }
+    fn add(&self, a: &Fp, b: &Fp) -> Fp {
+        FpCtx::add(self, a, b)
+    }
+    fn sub(&self, a: &Fp, b: &Fp) -> Fp {
+        FpCtx::sub(self, a, b)
+    }
+    fn neg(&self, a: &Fp) -> Fp {
+        FpCtx::neg(self, a)
+    }
+    fn double(&self, a: &Fp) -> Fp {
+        FpCtx::double(self, a)
+    }
+    fn mul(&self, a: &Fp, b: &Fp) -> Fp {
+        FpCtx::mul(self, a, b)
+    }
+    fn sqr(&self, a: &Fp) -> Fp {
+        FpCtx::sqr(self, a)
+    }
+    fn inv(&self, a: &Fp) -> Option<Fp> {
+        FpCtx::inv(self, a)
     }
 }
 

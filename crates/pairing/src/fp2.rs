@@ -129,6 +129,9 @@ pub fn inv(f: &FpCtx, a: &Fp2) -> Option<Fp2> {
 
 /// `a^e` by square-and-multiply.
 pub fn pow(f: &FpCtx, a: &Fp2, e: &BigUint) -> Fp2 {
+    if let Some(fx) = f.fixed() {
+        return crate::fixed::fp2_pow(fx, a, e);
+    }
     let mut acc = one(f);
     for i in (0..e.bits()).rev() {
         acc = sqr(f, &acc);

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod curve;
+mod fixed;
 mod fp;
 mod pairing_impl;
 mod params;

@@ -12,11 +12,20 @@
 //! subfield `F_p` and are annihilated by the final exponentiation
 //! (`(p²−1)/r` is a multiple of `p−1`), so the Miller loop skips
 //! denominators entirely — the classic Boneh–Franklin optimization.
+//!
+//! The Miller loops themselves live in `sempair-field`'s generic
+//! kernels ([`sempair_field::miller`]); this module wires them to the
+//! crate's point and `F_p²` types and, whenever the modulus fits the
+//! fixed-width backend, dispatches through [`crate::fixed`] instead of
+//! running the kernels on the bigint context.
 
 use crate::curve::G1Affine;
+use crate::fixed::{self, FixedSteps};
 use crate::fp::{Fp, FpCtx};
 use crate::fp2::{self, Fp2};
 use sempair_bigint::BigUint;
+use sempair_field::ext2::Ext2;
+use sempair_field::miller as fmiller;
 
 /// An element of the target group `G2 ⊂ F_p²*` (order `r`).
 ///
@@ -33,222 +42,29 @@ impl Gt {
     }
 }
 
-/// The image `φ(Q) = (−x, iy)` of an affine point, represented by the
-/// pair `(−x ∈ F_p, y ∈ F_p)`; its x-coordinate is `−x + 0i` and its
-/// y-coordinate is `0 + yi`.
-struct Distorted {
-    neg_x: Fp,
-    y: Fp,
+/// Re-wraps a kernel `F_p²` value into the crate's element type (the
+/// two are structurally identical).
+fn from_ext2(a: Ext2<Fp>) -> Fp2 {
+    Fp2 { c0: a.c0, c1: a.c1 }
 }
 
-/// Evaluates the line through `t` with slope `lambda` at the distorted
-/// point `s`, exploiting the component structure:
-///
-/// ```text
-/// l(S) = y_S − y_T − λ(x_S − x_T)
-///      = ( λ(x_Q_neg − x_T)·(−1)…  )
-/// ```
-///
-/// Concretely with `x_S = −x_Q ∈ F_p` and `y_S = i·y_Q`:
-/// `c0 = λ(x_T − x_S) − y_T = λ(x_T + x_Q) − y_T`, `c1 = y_Q`.
-fn line_eval(f: &FpCtx, tx: &Fp, ty: &Fp, lambda: &Fp, s: &Distorted) -> Fp2 {
-    // x_S = neg_x, so x_S − x_T = neg_x − tx and
-    // l = y_S − y_T − λ(x_S − x_T) = (−y_T − λ(neg_x − tx)) + y_Q·i.
-    let c0 = f.sub(&f.mul(lambda, &f.sub(tx, &s.neg_x)), ty);
-    Fp2 {
-        c0,
-        c1: s.y.clone(),
+/// Final exponentiation on the bigint reference path, with the
+/// longstanding zero guard for degenerate accumulator values.
+fn finalize(f: &FpCtx, cofactor: &BigUint, m: Ext2<Fp>) -> Gt {
+    if m.c0.is_zero() && m.c1.is_zero() {
+        // Cannot happen for valid inputs; guard anyway.
+        return Gt(fp2::one(f));
     }
-}
-
-/// Vertical line through `t` evaluated at `s`: `x_S − x_T ∈ F_p`.
-///
-/// Only needed at the rare exceptional step where an addition lands on
-/// infinity; the value lies in `F_p` and is killed by the final
-/// exponentiation, but we keep it for exactness.
-fn vertical_eval(f: &FpCtx, tx: &Fp, s: &Distorted) -> Fp2 {
-    fp2::from_fp(f, f.sub(&s.neg_x, tx))
-}
-
-/// Miller loop `f_{r,P}(φ(Q))` over affine intermediate points.
-///
-/// Returns the unexponentiated Miller value. `p` and `q` must be
-/// non-infinity points (callers special-case identity inputs to 1).
-fn miller_loop(f: &FpCtx, r: &BigUint, p: &G1Affine, q: &G1Affine) -> Fp2 {
-    let (px, py) = p.coordinates().expect("non-infinity P");
-    let (qx, qy) = q.coordinates().expect("non-infinity Q");
-    let s = Distorted {
-        neg_x: f.neg(qx),
-        y: qy.clone(),
-    };
-
-    let mut acc = fp2::one(f);
-    let mut tx = px.clone();
-    let mut ty = py.clone();
-    let mut t_is_infinity = false;
-
-    for i in (0..r.bits() - 1).rev() {
-        // acc <- acc² · l_{T,T}(S); T <- 2T
-        acc = fp2::sqr(f, &acc);
-        if !t_is_infinity {
-            if ty.is_zero() {
-                // 2T = O: the "tangent" is the vertical through T.
-                acc = fp2::mul(f, &acc, &vertical_eval(f, &tx, &s));
-                t_is_infinity = true;
-            } else {
-                // λ = (3x² + 1) / 2y  (a = 1)
-                let x2 = f.sqr(&tx);
-                let num = f.add(&f.add(&f.double(&x2), &x2), &f.one());
-                let lambda = f.mul(&num, &f.inv(&f.double(&ty)).expect("2y != 0"));
-                acc = fp2::mul(f, &acc, &line_eval(f, &tx, &ty, &lambda, &s));
-                let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), &tx);
-                let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
-                tx = x3;
-                ty = y3;
-            }
-        }
-        if r.bit(i) && !t_is_infinity {
-            // acc <- acc · l_{T,P}(S); T <- T + P
-            if tx == *px {
-                if ty == *py && !py.is_zero() {
-                    // T = P: tangent case (cannot occur for prime r > 2
-                    // mid-loop, but handled for completeness).
-                    let x2 = f.sqr(&tx);
-                    let num = f.add(&f.add(&f.double(&x2), &x2), &f.one());
-                    let lambda = f.mul(&num, &f.inv(&f.double(&ty)).expect("2y != 0"));
-                    acc = fp2::mul(f, &acc, &line_eval(f, &tx, &ty, &lambda, &s));
-                    let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), &tx);
-                    let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
-                    tx = x3;
-                    ty = y3;
-                } else {
-                    // T = −P: chord is the vertical through P; T+P = O.
-                    acc = fp2::mul(f, &acc, &vertical_eval(f, &tx, &s));
-                    t_is_infinity = true;
-                }
-            } else {
-                let lambda = f.mul(&f.sub(py, &ty), &f.inv(&f.sub(px, &tx)).expect("px != tx"));
-                acc = fp2::mul(f, &acc, &line_eval(f, &tx, &ty, &lambda, &s));
-                let x3 = f.sub(&f.sub(&f.sqr(&lambda), &tx), px);
-                let y3 = f.sub(&f.mul(&lambda, &f.sub(&tx, &x3)), &ty);
-                tx = x3;
-                ty = y3;
-            }
-        }
-    }
-    acc
-}
-
-/// Inversion-free Miller loop over Jacobian coordinates.
-///
-/// Line values are *scaled* by nonzero `F_p` factors (`2YZ³` for
-/// tangents, `Z·H` for chords). Such subfield factors are annihilated
-/// by the final exponentiation — the same argument that eliminates the
-/// vertical-line denominators — so the scaled loop computes the same
-/// reduced pairing roughly an order of magnitude faster (no per-step
-/// field inversion). Vertical lines (which only arise at the final
-/// exceptional addition) are skipped outright for the same reason.
-fn miller_loop_projective(f: &FpCtx, r: &BigUint, p: &G1Affine, q: &G1Affine) -> Fp2 {
-    let (px, py) = p.coordinates().expect("non-infinity P");
-    let (qx, qy) = q.coordinates().expect("non-infinity Q");
-
-    let mut acc = fp2::one(f);
-    // T = (X, Y, Z) in Jacobian coordinates, starting at P (Z = 1).
-    let mut tx = px.clone();
-    let mut ty = py.clone();
-    let mut tz = f.one();
-    let mut t_is_infinity = false;
-
-    for i in (0..r.bits() - 1).rev() {
-        acc = fp2::sqr(f, &acc);
-        if !t_is_infinity {
-            if ty.is_zero() {
-                // Tangent at a 2-torsion point is vertical: skip (F_p).
-                t_is_infinity = true;
-            } else {
-                // Doubling with fused line evaluation.
-                let y2 = f.sqr(&ty); // Y²
-                let z2 = f.sqr(&tz); // Z²
-                let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2)); // 3X² + Z⁴
-                                                                                         // l' = (M(X + Z²·x_Q) − 2Y²) + (2YZ³·y_Q)·i
-                let c0 = f.sub(&f.mul(&m, &f.add(&tx, &f.mul(&z2, qx))), &f.double(&y2));
-                let c1 = f.mul(&f.double(&f.mul(&ty, &f.mul(&z2, &tz))), qy);
-                acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
-                // T <- 2T (standard Jacobian doubling).
-                let s = f.double(&f.double(&f.mul(&tx, &y2))); // 4XY²
-                let x3 = f.sub(&f.sqr(&m), &f.double(&s));
-                let y4_8 = f.double(&f.double(&f.double(&f.sqr(&y2)))); // 8Y⁴
-                let y3 = f.sub(&f.mul(&m, &f.sub(&s, &x3)), &y4_8);
-                let z3 = f.double(&f.mul(&ty, &tz));
-                tx = x3;
-                ty = y3;
-                tz = z3;
-            }
-        }
-        if r.bit(i) && !t_is_infinity {
-            // Mixed addition T + P with fused line evaluation.
-            let z2 = f.sqr(&tz);
-            let u2 = f.mul(px, &z2); // x_P·Z²
-            let s2 = f.mul(py, &f.mul(&z2, &tz)); // y_P·Z³
-            let h = f.sub(&u2, &tx); // x_P·Z² − X
-            let rr = f.sub(&s2, &ty); // y_P·Z³ − Y
-            if h.is_zero() {
-                if rr.is_zero() && !py.is_zero() {
-                    // T = P: tangent case (cannot occur mid-loop for a
-                    // prime-order point, handled for completeness by
-                    // falling back to a doubling-style line at P).
-                    let m = f.add(&f.add(&f.double(&f.sqr(px)), &f.sqr(px)), &f.one());
-                    let c0 = f.sub(&f.mul(&m, &f.add(px, qx)), &f.double(&f.sqr(py)));
-                    let c1 = f.mul(&f.double(py), qy);
-                    acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
-                    // 2P in affine via the curve helper would need an
-                    // inversion; reuse Jacobian doubling from T (=P).
-                    let y2 = f.sqr(&ty);
-                    let z2 = f.sqr(&tz);
-                    let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2));
-                    let s = f.double(&f.double(&f.mul(&tx, &y2)));
-                    let x3 = f.sub(&f.sqr(&m), &f.double(&s));
-                    let y3 = f.sub(
-                        &f.mul(&m, &f.sub(&s, &x3)),
-                        &f.double(&f.double(&f.double(&f.sqr(&y2)))),
-                    );
-                    let z3 = f.double(&f.mul(&ty, &tz));
-                    tx = x3;
-                    ty = y3;
-                    tz = z3;
-                } else {
-                    // T = −P: vertical chord, value in F_p — skip it.
-                    t_is_infinity = true;
-                }
-            } else {
-                // l' = (R(x_Q + x_P) − Z·H·y_P) + (Z·H·y_Q)·i
-                let zh = f.mul(&tz, &h);
-                let c0 = f.sub(&f.mul(&rr, &f.add(qx, px)), &f.mul(&zh, py));
-                let c1 = f.mul(&zh, qy);
-                acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
-                // T <- T + P (mixed Jacobian addition).
-                let hh = f.sqr(&h);
-                let hhh = f.mul(&hh, &h);
-                let v = f.mul(&tx, &hh);
-                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
-                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&ty, &hhh));
-                let z3 = f.mul(&tz, &h);
-                tx = x3;
-                ty = y3;
-                tz = z3;
-            }
-        }
-    }
-    acc
+    Gt(from_ext2(fmiller::final_exp(f, cofactor.limbs(), &m)))
 }
 
 /// Precomputed Miller-loop line coefficients for a fixed first pairing
 /// argument.
 ///
-/// The Jacobian point chain `T = P, 2P, 2P±P, …` that
-/// [`miller_loop_projective`] walks depends only on `P` and the group
-/// order `r` — never on `Q`. Every line the loop multiplies in factors
-/// through the distorted second argument as
+/// The Jacobian point chain `T = P, 2P, 2P±P, …` that the projective
+/// Miller loop walks depends only on `P` and the group order `r` —
+/// never on `Q`. Every line the loop multiplies in factors through the
+/// distorted second argument as
 ///
 /// ```text
 /// l'(Q) = (a·x_Q + b) + (c·y_Q)·i
@@ -273,18 +89,14 @@ pub struct PreparedG1 {
     /// iff the chain hit the point at infinity (every later line lies
     /// in the subfield `F_p` and is annihilated by the final
     /// exponentiation).
-    steps: Vec<LineCoeffs>,
+    steps: Vec<fmiller::Line<Fp>>,
+    /// The same triples in fixed-width form, present when the parameter
+    /// set has a fixed backend; replayed without any per-call limb
+    /// conversion.
+    fixed: Option<FixedSteps>,
     /// `true` iff the prepared point itself is the identity, in which
     /// case every pairing against it is 1.
     infinity: bool,
-}
-
-/// One cached line: `l'(Q) = (a·x_Q + b) + (c·y_Q)·i`.
-#[derive(Clone, Debug)]
-struct LineCoeffs {
-    a: Fp,
-    b: Fp,
-    c: Fp,
 }
 
 impl PreparedG1 {
@@ -304,139 +116,33 @@ impl PreparedG1 {
     }
 }
 
-/// Walks the Jacobian chain of [`miller_loop_projective`] for `p`
+/// Walks the Jacobian chain of the projective Miller loop for `p`
 /// alone, caching each line's `(a, b, c)` coefficients.
+///
+/// With a fixed backend the chain is walked once in fixed-width
+/// arithmetic and the bigint-form triples are derived by limb copy;
+/// both replay paths consume bit-identical coefficients.
 pub(crate) fn prepare_g1(f: &FpCtx, r: &BigUint, p: &G1Affine) -> PreparedG1 {
     let Some((px, py)) = p.coordinates() else {
         return PreparedG1 {
             steps: Vec::new(),
+            fixed: None,
             infinity: true,
         };
     };
-
-    // bits − 1 doublings plus one addition per set bit of r.
-    let capacity = (r.bits() - 1) + (0..r.bits()).filter(|&i| r.bit(i)).count();
-    let mut steps = Vec::with_capacity(capacity);
-    let mut tx = px.clone();
-    let mut ty = py.clone();
-    let mut tz = f.one();
-
-    'outer: for i in (0..r.bits() - 1).rev() {
-        if ty.is_zero() {
-            // Tangent at a 2-torsion point is vertical (subfield): the
-            // chain is done, as in the live loop.
-            break;
-        }
-        // Doubling step: same formulas as miller_loop_projective with
-        // the Q-dependent products left symbolic.
-        let y2 = f.sqr(&ty);
-        let z2 = f.sqr(&tz);
-        let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2));
-        steps.push(LineCoeffs {
-            a: f.mul(&m, &z2),
-            b: f.sub(&f.mul(&m, &tx), &f.double(&y2)),
-            c: f.double(&f.mul(&ty, &f.mul(&z2, &tz))),
-        });
-        let s = f.double(&f.double(&f.mul(&tx, &y2)));
-        let x3 = f.sub(&f.sqr(&m), &f.double(&s));
-        let y3 = f.sub(
-            &f.mul(&m, &f.sub(&s, &x3)),
-            &f.double(&f.double(&f.double(&f.sqr(&y2)))),
-        );
-        let z3 = f.double(&f.mul(&ty, &tz));
-        tx = x3;
-        ty = y3;
-        tz = z3;
-
-        if r.bit(i) {
-            // Mixed addition step.
-            let z2 = f.sqr(&tz);
-            let u2 = f.mul(px, &z2);
-            let s2 = f.mul(py, &f.mul(&z2, &tz));
-            let h = f.sub(&u2, &tx);
-            let rr = f.sub(&s2, &ty);
-            if h.is_zero() {
-                if rr.is_zero() && !py.is_zero() {
-                    // T = P: doubling-style line at P (cannot occur
-                    // mid-loop for a prime-order point; mirrored from
-                    // the live loop for exactness).
-                    let m = f.add(&f.add(&f.double(&f.sqr(px)), &f.sqr(px)), &f.one());
-                    steps.push(LineCoeffs {
-                        a: m.clone(),
-                        b: f.sub(&f.mul(&m, px), &f.double(&f.sqr(py))),
-                        c: f.double(py),
-                    });
-                    let y2 = f.sqr(&ty);
-                    let z2 = f.sqr(&tz);
-                    let m = f.add(&f.add(&f.double(&f.sqr(&tx)), &f.sqr(&tx)), &f.sqr(&z2));
-                    let s = f.double(&f.double(&f.mul(&tx, &y2)));
-                    let x3 = f.sub(&f.sqr(&m), &f.double(&s));
-                    let y3 = f.sub(
-                        &f.mul(&m, &f.sub(&s, &x3)),
-                        &f.double(&f.double(&f.double(&f.sqr(&y2)))),
-                    );
-                    let z3 = f.double(&f.mul(&ty, &tz));
-                    tx = x3;
-                    ty = y3;
-                    tz = z3;
-                } else {
-                    // T = −P: vertical chord (subfield); chain is done.
-                    break 'outer;
-                }
-            } else {
-                steps.push(LineCoeffs {
-                    a: rr.clone(),
-                    b: f.sub(&f.mul(&rr, px), &f.mul(&f.mul(&tz, &h), py)),
-                    c: f.mul(&tz, &h),
-                });
-                let hh = f.sqr(&h);
-                let hhh = f.mul(&hh, &h);
-                let v = f.mul(&tx, &hh);
-                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
-                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&ty, &hhh));
-                let z3 = f.mul(&tz, &h);
-                tx = x3;
-                ty = y3;
-                tz = z3;
-            }
-        }
+    if let Some(fx) = f.fixed() {
+        let fixed_steps = fixed::prepare(fx, r, p);
+        return PreparedG1 {
+            steps: fixed::steps_to_fp(&fixed_steps),
+            fixed: Some(fixed_steps),
+            infinity: false,
+        };
     }
     PreparedG1 {
-        steps,
+        steps: fmiller::prepare_lines(f, r.limbs(), (px, py)),
+        fixed: None,
         infinity: false,
     }
-}
-
-/// Evaluates one cached line at `Q = (qx, qy)`.
-fn eval_line(f: &FpCtx, line: &LineCoeffs, qx: &Fp, qy: &Fp) -> Fp2 {
-    Fp2 {
-        c0: f.add(&f.mul(&line.a, qx), &line.b),
-        c1: f.mul(&line.c, qy),
-    }
-}
-
-/// Miller loop replaying cached line coefficients against a fresh `Q`.
-///
-/// Produces bit-for-bit the same Miller value as
-/// [`miller_loop_projective`] on the original `P`: the squaring chain
-/// and line order are identical, and an early end of `steps` replays
-/// the live loop's point-at-infinity skip.
-fn miller_loop_prepared(f: &FpCtx, r: &BigUint, prepared: &PreparedG1, q: &G1Affine) -> Fp2 {
-    let (qx, qy) = q.coordinates().expect("non-infinity Q");
-    let mut acc = fp2::one(f);
-    let mut pos = 0usize;
-    for i in (0..r.bits() - 1).rev() {
-        acc = fp2::sqr(f, &acc);
-        if pos < prepared.steps.len() {
-            acc = fp2::mul(f, &acc, &eval_line(f, &prepared.steps[pos], qx, qy));
-            pos += 1;
-        }
-        if r.bit(i) && pos < prepared.steps.len() {
-            acc = fp2::mul(f, &acc, &eval_line(f, &prepared.steps[pos], qx, qy));
-            pos += 1;
-        }
-    }
-    acc
 }
 
 /// Full pairing against a prepared first argument.
@@ -450,10 +156,14 @@ pub(crate) fn tate_pairing_prepared(
     if p.infinity || q.is_infinity() {
         return Gt(fp2::one(f));
     }
-    let m = miller_loop_prepared(f, r, p, q);
-    let m_inv = fp2::inv(f, &m).expect("miller value nonzero");
-    let unitary = fp2::mul(f, &fp2::conj(f, &m), &m_inv);
-    Gt(fp2::pow(f, &unitary, cofactor))
+    if let (Some(fx), Some(steps)) = (f.fixed(), p.fixed.as_ref()) {
+        if let Some(out) = fixed::tate_prepared(fx, r, cofactor, steps, q) {
+            return Gt(out);
+        }
+    }
+    let qc = q.coordinates().expect("non-infinity Q");
+    let m = fmiller::miller_prepared(f, r.limbs(), &p.steps, qc);
+    Gt(from_ext2(fmiller::final_exp(f, cofactor.limbs(), &m)))
 }
 
 /// Product of pairings `Π ê(Pᵢ, Qᵢ)` where every `Pᵢ` is prepared:
@@ -466,151 +176,39 @@ pub(crate) fn multi_tate_pairing_prepared(
     pairs: &[(&PreparedG1, &G1Affine)],
 ) -> Gt {
     // Identity on either side contributes the factor 1.
-    let live: Vec<(&PreparedG1, &Fp, &Fp)> = pairs
+    let live: Vec<(&PreparedG1, &G1Affine)> = pairs
         .iter()
-        .filter(|(p, _)| !p.infinity)
-        .filter_map(|(p, q)| q.coordinates().map(|(qx, qy)| (*p, qx, qy)))
+        .filter(|(p, q)| !p.infinity && !q.is_infinity())
+        .copied()
         .collect();
-    let mut acc = fp2::one(f);
     if live.is_empty() {
-        return Gt(acc);
-    }
-    let mut positions = vec![0usize; live.len()];
-    for i in (0..r.bits() - 1).rev() {
-        acc = fp2::sqr(f, &acc);
-        for (k, (p, qx, qy)) in live.iter().enumerate() {
-            if positions[k] < p.steps.len() {
-                acc = fp2::mul(f, &acc, &eval_line(f, &p.steps[positions[k]], qx, qy));
-                positions[k] += 1;
-            }
-        }
-        if r.bit(i) {
-            for (k, (p, qx, qy)) in live.iter().enumerate() {
-                if positions[k] < p.steps.len() {
-                    acc = fp2::mul(f, &acc, &eval_line(f, &p.steps[positions[k]], qx, qy));
-                    positions[k] += 1;
-                }
-            }
-        }
-    }
-    if acc.is_zero() {
-        // Cannot happen for valid inputs; guard as multi_tate_pairing.
         return Gt(fp2::one(f));
     }
-    let m_inv = fp2::inv(f, &acc).expect("nonzero miller value");
-    let unitary = fp2::mul(f, &fp2::conj(f, &acc), &m_inv);
-    Gt(fp2::pow(f, &unitary, cofactor))
-}
-
-/// Per-pair state for the shared multi-Miller loop.
-struct PairState {
-    tx: Fp,
-    ty: Fp,
-    tz: Fp,
-    t_is_infinity: bool,
-    px: Fp,
-    py: Fp,
-    qx: Fp,
-    qy: Fp,
-}
-
-/// Shared Miller loop for a product of pairings
-/// `Π f_{r,Pᵢ}(φ(Qᵢ))`: one accumulator squaring chain serves every
-/// pair, so `k` pairings cost one loop of squarings plus `k` line
-/// evaluations per iteration instead of `k` full loops. All
-/// verification equations in the paper (`ê(P, σ) = ê(R, H(m))`,
-/// `ê(P, d_i) = ê(P_pub^{(i)}, Q_ID)`, …) are products of two
-/// pairings, where this roughly halves the work.
-fn multi_miller_projective(f: &FpCtx, r: &BigUint, pairs: &[(&G1Affine, &G1Affine)]) -> Fp2 {
-    let mut states: Vec<PairState> = pairs
+    if let Some(fx) = f.fixed() {
+        let fixed_pairs: Option<Vec<(&FixedSteps, &G1Affine)>> = live
+            .iter()
+            .map(|(p, q)| p.fixed.as_ref().map(|s| (s, *q)))
+            .collect();
+        if let Some(fixed_pairs) = fixed_pairs {
+            if let Some(out) = fixed::multi_tate_prepared(fx, r, cofactor, &fixed_pairs) {
+                return Gt(out);
+            }
+        }
+    }
+    let kernel_pairs: Vec<fmiller::PreparedPairRef<'_, Fp>> = live
         .iter()
-        .filter_map(|(p, q)| {
-            let (px, py) = p.coordinates()?;
-            let (qx, qy) = q.coordinates()?;
-            Some(PairState {
-                tx: px.clone(),
-                ty: py.clone(),
-                tz: f.one(),
-                t_is_infinity: false,
-                px: px.clone(),
-                py: py.clone(),
-                qx: qx.clone(),
-                qy: qy.clone(),
-            })
+        .map(|(p, q)| {
+            (
+                p.steps.as_slice(),
+                q.coordinates().expect("filtered non-infinity Q"),
+            )
         })
         .collect();
-    let mut acc = fp2::one(f);
-    if states.is_empty() {
-        return acc;
-    }
-
-    for i in (0..r.bits() - 1).rev() {
-        acc = fp2::sqr(f, &acc);
-        for st in states.iter_mut() {
-            if st.t_is_infinity {
-                continue;
-            }
-            if st.ty.is_zero() {
-                st.t_is_infinity = true;
-                continue;
-            }
-            let y2 = f.sqr(&st.ty);
-            let z2 = f.sqr(&st.tz);
-            let m = f.add(
-                &f.add(&f.double(&f.sqr(&st.tx)), &f.sqr(&st.tx)),
-                &f.sqr(&z2),
-            );
-            let c0 = f.sub(
-                &f.mul(&m, &f.add(&st.tx, &f.mul(&z2, &st.qx))),
-                &f.double(&y2),
-            );
-            let c1 = f.mul(&f.double(&f.mul(&st.ty, &f.mul(&z2, &st.tz))), &st.qy);
-            acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
-            let s = f.double(&f.double(&f.mul(&st.tx, &y2)));
-            let x3 = f.sub(&f.sqr(&m), &f.double(&s));
-            let y3 = f.sub(
-                &f.mul(&m, &f.sub(&s, &x3)),
-                &f.double(&f.double(&f.double(&f.sqr(&y2)))),
-            );
-            let z3 = f.double(&f.mul(&st.ty, &st.tz));
-            st.tx = x3;
-            st.ty = y3;
-            st.tz = z3;
-        }
-        if r.bit(i) {
-            for st in states.iter_mut() {
-                if st.t_is_infinity {
-                    continue;
-                }
-                let z2 = f.sqr(&st.tz);
-                let u2 = f.mul(&st.px, &z2);
-                let s2 = f.mul(&st.py, &f.mul(&z2, &st.tz));
-                let h = f.sub(&u2, &st.tx);
-                let rr = f.sub(&s2, &st.ty);
-                if h.is_zero() {
-                    // T = ±P at the exceptional tail: vertical (F_p) or
-                    // the impossible mid-loop tangent — skip either way
-                    // for prime r (tangent case cannot occur for a
-                    // prime-order point before the final iteration).
-                    st.t_is_infinity = true;
-                    continue;
-                }
-                let zh = f.mul(&st.tz, &h);
-                let c0 = f.sub(&f.mul(&rr, &f.add(&st.qx, &st.px)), &f.mul(&zh, &st.py));
-                let c1 = f.mul(&zh, &st.qy);
-                acc = fp2::mul(f, &acc, &Fp2 { c0, c1 });
-                let hh = f.sqr(&h);
-                let hhh = f.mul(&hh, &h);
-                let v = f.mul(&st.tx, &hh);
-                let x3 = f.sub(&f.sub(&f.sqr(&rr), &hhh), &f.double(&v));
-                let y3 = f.sub(&f.mul(&rr, &f.sub(&v, &x3)), &f.mul(&st.ty, &hhh));
-                st.tx = x3;
-                st.ty = y3;
-                st.tz = f.mul(&st.tz, &h);
-            }
-        }
-    }
-    acc
+    finalize(
+        f,
+        cofactor,
+        fmiller::multi_miller_prepared(f, r.limbs(), &kernel_pairs),
+    )
 }
 
 /// Product of pairings `Π ê(Pᵢ, Qᵢ)` with one shared Miller loop and a
@@ -623,15 +221,15 @@ pub(crate) fn multi_tate_pairing(
 ) -> Gt {
     // The fused line formulas already bake in the distortion map
     // φ(Q) = (−x_Q, i·y_Q), so pairs pass through unchanged; identity
-    // inputs contribute the factor 1 and are filtered inside the loop.
-    let m = multi_miller_projective(f, r, pairs);
-    if m.is_zero() {
-        // Cannot happen for valid inputs; guard anyway.
-        return Gt(fp2::one(f));
+    // inputs contribute the factor 1 and are filtered out.
+    if let Some(fx) = f.fixed() {
+        return Gt(fixed::multi_tate(fx, r, cofactor, pairs));
     }
-    let m_inv = fp2::inv(f, &m).expect("nonzero miller value");
-    let unitary = fp2::mul(f, &fp2::conj(f, &m), &m_inv);
-    Gt(fp2::pow(f, &unitary, cofactor))
+    let live: Vec<fmiller::PairRef<'_, Fp>> = pairs
+        .iter()
+        .filter_map(|(p, q)| Some((p.coordinates()?, q.coordinates()?)))
+        .collect();
+    finalize(f, cofactor, fmiller::multi_miller(f, r.limbs(), &live))
 }
 
 /// Which Miller-loop implementation to run (the E10 ablation compares
@@ -673,14 +271,23 @@ pub(crate) fn tate_pairing_with(
     if p.is_infinity() || q.is_infinity() {
         return Gt(fp2::one(f));
     }
+    if let Some(fx) = f.fixed() {
+        return Gt(fixed::tate(
+            fx,
+            r,
+            cofactor,
+            p,
+            q,
+            strategy == MillerStrategy::Affine,
+        ));
+    }
+    let pc = p.coordinates().expect("non-infinity P");
+    let qc = q.coordinates().expect("non-infinity Q");
     let m = match strategy {
-        MillerStrategy::Affine => miller_loop(f, r, p, q),
-        MillerStrategy::Projective => miller_loop_projective(f, r, p, q),
+        MillerStrategy::Affine => fmiller::miller_affine(f, r.limbs(), pc, qc),
+        MillerStrategy::Projective => fmiller::miller_projective(f, r.limbs(), pc, qc),
     };
-    // f^(p−1) = conj(f) / f  (Frobenius over F_p² is conjugation).
-    let m_inv = fp2::inv(f, &m).expect("miller value nonzero");
-    let unitary = fp2::mul(f, &fp2::conj(f, &m), &m_inv);
-    Gt(fp2::pow(f, &unitary, cofactor))
+    Gt(from_ext2(fmiller::final_exp(f, cofactor.limbs(), &m)))
 }
 
 #[cfg(test)]
@@ -819,6 +426,47 @@ mod tests {
         assert!(
             fp2::is_one(&f, &fp2::mul(&f, &e.0, &e_neg.0)),
             "ê(−P,P)·ê(P,P) = 1"
+        );
+    }
+
+    #[test]
+    fn fixed_and_bigint_backends_agree_on_tiny_curve() {
+        let (f, r, c) = setup();
+        assert!(f.fixed().is_some(), "one-limb modulus has a fixed backend");
+        let mut f_ref = f.clone();
+        f_ref.force_bigint_backend();
+        let p = order3_point(&f);
+        let p2 = curve::mul(&f, &BigUint::two(), &p);
+        for strategy in [MillerStrategy::Affine, MillerStrategy::Projective] {
+            for a in [&p, &p2] {
+                for b in [&p, &p2] {
+                    assert_eq!(
+                        tate_pairing_with(&f, &r, &c, a, b, strategy),
+                        tate_pairing_with(&f_ref, &r, &c, a, b, strategy),
+                        "{strategy:?}"
+                    );
+                }
+            }
+        }
+        let fast = multi_tate_pairing(&f, &r, &c, &[(&p, &p2), (&p2, &p)]);
+        let slow = multi_tate_pairing(&f_ref, &r, &c, &[(&p, &p2), (&p2, &p)]);
+        assert_eq!(fast, slow);
+        // Prepared points from either backend replay identically on both.
+        let prep_fast = prepare_g1(&f, &r, &p);
+        let prep_slow = prepare_g1(&f_ref, &r, &p);
+        assert_eq!(
+            tate_pairing_prepared(&f, &r, &c, &prep_fast, &p2),
+            tate_pairing_prepared(&f_ref, &r, &c, &prep_slow, &p2)
+        );
+        assert_eq!(
+            multi_tate_pairing_prepared(&f, &r, &c, &[(&prep_fast, &p2)]),
+            multi_tate_pairing_prepared(&f_ref, &r, &c, &[(&prep_slow, &p2)])
+        );
+        // Fixed steps replayed under a bigint-only context fall back
+        // cleanly (width-mismatch path).
+        assert_eq!(
+            tate_pairing_prepared(&f_ref, &r, &c, &prep_fast, &p2),
+            tate_pairing_prepared(&f, &r, &c, &prep_fast, &p2)
         );
     }
 }

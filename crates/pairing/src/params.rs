@@ -50,6 +50,10 @@ pub struct CurveParams {
     /// generator multiplication into ~⌈|r|/4⌉ mixed additions with no
     /// doublings (E10 ablation: `fixed_base_comb`).
     gen_table: std::sync::OnceLock<Vec<Vec<G1Affine>>>,
+    /// Lazily built prepared generator for
+    /// [`CurveParams::prepared_generator`] — shared by every verifier
+    /// hot path that pairs against `P`.
+    prep_gen: std::sync::OnceLock<PreparedG1>,
 }
 
 /// Serializable wire form of a parameter set.
@@ -127,6 +131,7 @@ impl CurveParams {
             fp,
             generator,
             gen_table: std::sync::OnceLock::new(),
+            prep_gen: std::sync::OnceLock::new(),
         })
     }
 
@@ -173,6 +178,7 @@ impl CurveParams {
             fp,
             generator,
             gen_table: std::sync::OnceLock::new(),
+            prep_gen: std::sync::OnceLock::new(),
         })
     }
 
@@ -278,6 +284,10 @@ impl CurveParams {
             return G1Affine::infinity();
         }
         let table = self.generator_table();
+        if let Some(fx) = self.fp.fixed() {
+            // k < r < p always fits the modulus width.
+            return crate::fixed::comb_mul(fx, table, &k);
+        }
         let mut acc = curve::Jacobian::infinity(&self.fp);
         for (i, row) in table.iter().enumerate() {
             let mut digit = 0usize;
@@ -461,6 +471,26 @@ impl CurveParams {
     /// group element.
     pub fn prepare_g1(&self, p: &G1Affine) -> PreparedG1 {
         pairing_impl::prepare_g1(&self.fp, &self.r, p)
+    }
+
+    /// The generator `P`, prepared once per parameter set and cached —
+    /// verification equations of the form `ê(P, ·)` share it instead of
+    /// re-walking the Miller chain per call.
+    pub fn prepared_generator(&self) -> &PreparedG1 {
+        self.prep_gen
+            .get_or_init(|| self.prepare_g1(&self.generator))
+    }
+
+    /// Disables the fixed-width backend on this parameter set's field
+    /// context, so all arithmetic runs on the variable-width reference
+    /// path. Cached tables built under the other backend are discarded.
+    /// Test-only hook for differential checks; not part of the public
+    /// API contract.
+    #[doc(hidden)]
+    pub fn force_bigint_backend(&mut self) {
+        self.fp.force_bigint_backend();
+        self.gen_table = std::sync::OnceLock::new();
+        self.prep_gen = std::sync::OnceLock::new();
     }
 
     /// [`CurveParams::pairing`] with a prepared first argument:

@@ -115,6 +115,13 @@ impl SemServer {
     /// Panics if `workers == 0`.
     pub fn spawn_with(params: IbePublicParams, workers: usize, audit: AuditConfig) -> Self {
         assert!(workers > 0, "need at least one worker");
+        // Force the parameter set's lazy one-time caches (generator
+        // comb table, prepared Miller lines) now, so the first request
+        // served by a worker doesn't pay for them under load.
+        params
+            .curve()
+            .mul_generator(&sempair_bigint::BigUint::two());
+        params.curve().prepared_generator();
         let state = Arc::new(State {
             params,
             inner: RwLock::new(Inner::default()),

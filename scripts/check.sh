@@ -25,6 +25,12 @@ cargo build --release
 echo "== tier-1: cargo test -q (workspace minus network crate)"
 cargo test -q --workspace --exclude sempair-net
 
+# Pairing perf trajectory: one JSON artifact per run, stable schema
+# (sempair-bench-pairing/1), written to the repo root so the number
+# trail survives per PR. ~1 min: it times the bigint reference too.
+echo "== pairing benchmark (writes BENCH_pairing.json)"
+cargo run --release -q -p sempair-bench --bin pairing_bench
+
 # The bounded-observability suite soaks the audit ring past 100k
 # records and pulls metrics over live sockets; run it first and alone
 # so a regression in the bounds (or a wedged stats handler) is named
