@@ -16,8 +16,11 @@ fn repository_has_no_active_findings() {
         "active findings in the workspace:\n{}",
         report.to_text()
     );
+    // The queue/parse escapes the first serving iteration needed are
+    // gone (bounded queue + fallible framing); keep the ceiling tight
+    // so the escape hatch cannot quietly become the norm again.
     assert!(
-        report.allowed.len() <= 8,
+        report.allowed.len() <= 2,
         "allowlist has grown to {} entries — prune before adding more:\n{}",
         report.allowed.len(),
         report.to_text()

@@ -31,7 +31,7 @@ fn bench_server_throughput(c: &mut Criterion) {
         let server = SemServer::spawn(pkg.params().clone(), workers);
         server.install_ibe(sem_key.clone());
         group.bench_function(BenchmarkId::new("tokens", format!("w{workers}")), |b| {
-            b.iter(|| drive_throughput(&server, "load", &ct.u, workers.min(4), REQUESTS))
+            b.iter(|| drive_throughput(&server, "load", &ct.u, workers.min(4), REQUESTS).unwrap())
         });
         server.shutdown();
     }
@@ -59,11 +59,11 @@ fn bench_batched_endpoint(c: &mut Criterion) {
     let server = SemServer::spawn(pkg.params().clone(), 4);
     server.install_ibe(sem_key.clone());
     group.bench_function("single_requests", |b| {
-        b.iter(|| drive_throughput(&server, "load", &ct.u, 2, REQUESTS))
+        b.iter(|| drive_throughput(&server, "load", &ct.u, 2, REQUESTS).unwrap())
     });
     for batch in [4usize, 16, 32] {
         group.bench_function(BenchmarkId::new("batched", format!("b{batch}")), |b| {
-            b.iter(|| drive_throughput_batched(&server, "load", &ct.u, 2, REQUESTS, batch))
+            b.iter(|| drive_throughput_batched(&server, "load", &ct.u, 2, REQUESTS, batch).unwrap())
         });
     }
     server.shutdown();

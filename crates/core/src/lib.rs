@@ -108,6 +108,9 @@ pub enum Error {
     /// Fewer than `t` live, honest SEM replicas answered: the quorum
     /// needed to combine a token no longer exists.
     QuorumLost,
+    /// The SEM shed the request because its bounded job queue is full;
+    /// the request was **not** executed and may be retried later.
+    Overloaded,
 }
 
 impl fmt::Display for Error {
@@ -129,6 +132,7 @@ impl fmt::Display for Error {
             Error::FrameTooLarge => write!(f, "frame exceeds protocol size limits"),
             Error::Transport => write!(f, "transport failure talking to the SEM"),
             Error::QuorumLost => write!(f, "fewer than t live honest SEM replicas"),
+            Error::Overloaded => write!(f, "SEM overloaded: request queue is full"),
         }
     }
 }

@@ -318,9 +318,13 @@ impl QuorumClient {
     fn request_share(&self, i: usize, id: &str, u: &G1Affine) -> Result<DecryptionShare, Error> {
         let mut slot = self.slots[i].client.lock();
         if slot.is_none() {
-            *slot =
-                TcpSemClient::connect_with(self.addrs[i], self.params.clone(), self.config.clone())
-                    .ok();
+            // The quorum path stays on plain v1 framing: it issues one
+            // request per replica per round anyway, and the fixed v1
+            // byte layout is what the cheater-attribution machinery
+            // (and its fault-injection offsets) is calibrated against.
+            let mut config = self.config.clone();
+            config.pipelined = false;
+            *slot = TcpSemClient::connect_with(self.addrs[i], self.params.clone(), config).ok();
         }
         let Some(client) = slot.as_mut() else {
             return Err(Error::Transport);
@@ -682,6 +686,7 @@ mod tests {
             max_retries: 1,
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_millis(100),
+            ..ClientConfig::default()
         }
     }
 

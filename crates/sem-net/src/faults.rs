@@ -16,6 +16,15 @@
 //! server→client direction drops exactly one response, which is what
 //! lets a test assert "the client retried through one lost reply".
 //!
+//! A proxy can also emulate a *link* ([`FaultProxy::spawn_linked`]):
+//! every frame is delivered `one_way` after it arrived, with due times
+//! tracked per frame so back-to-back frames ride the link concurrently
+//! instead of queueing behind each other's delay. That is how real
+//! propagation latency behaves — it bounds round trips, not
+//! throughput — and it is what lets the serving benchmark show
+//! pipelining hiding RTTs that a single-in-flight client must eat one
+//! per request.
+//!
 //! Beyond per-frame faults, a proxy can *crash* wholesale via
 //! [`CrashMode`]: `Refuse` closes the listening socket (connect fails
 //! fast, as if the process died), `DropAfterAccept` completes the TCP
@@ -25,13 +34,14 @@
 //! cluster chaos tests kill a specific SEM mid-workload and later
 //! bring it back.
 
+use crossbeam::channel;
 use parking_lot::Mutex;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Accept-loop poll interval (mirrors the server's non-blocking
 /// acceptor).
@@ -245,6 +255,26 @@ impl FaultProxy {
     ///
     /// Propagates socket errors from the bind.
     pub fn spawn(upstream: SocketAddr, c2s: FaultPlan, s2c: FaultPlan) -> std::io::Result<Self> {
+        Self::spawn_linked(upstream, c2s, s2c, Duration::ZERO)
+    }
+
+    /// Like [`FaultProxy::spawn`], but every forwarded frame is also
+    /// delivered `one_way` after it arrived at the proxy, emulating a
+    /// symmetric link's propagation delay. Due times are tracked per
+    /// frame, so a burst of in-flight frames shares the link instead
+    /// of queueing behind each other's sleep — latency bounds the
+    /// round trip, not the throughput (contrast [`Fault::Delay`],
+    /// which stalls its whole direction and models a stalled hop).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the bind.
+    pub fn spawn_linked(
+        upstream: SocketAddr,
+        c2s: FaultPlan,
+        s2c: FaultPlan,
+        one_way: Duration,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -323,12 +353,14 @@ impl FaultProxy {
                             server,
                             Arc::clone(&c2s),
                             Arc::clone(&stats),
+                            one_way,
                         ));
                         pumps.push(spawn_pump(
                             server2,
                             client2,
                             Arc::clone(&s2c),
                             Arc::clone(&stats),
+                            one_way,
                         ));
                     }
                     Err(e) if e.kind() == ErrorKind::WouldBlock => {
@@ -418,55 +450,45 @@ impl Drop for FaultProxy {
     }
 }
 
-/// Reads frames from `from` and forwards them to `to` per the plan.
-/// Exits (closing both halves) on EOF, socket error, or a truncation
-/// fault.
-fn spawn_pump(
-    mut from: TcpStream,
-    mut to: TcpStream,
-    plan: Arc<Mutex<FaultPlan>>,
-    stats: Arc<StatsInner>,
-) -> JoinHandle<()> {
-    std::thread::spawn(move || {
-        while let Ok(Some(payload)) = read_raw_frame(&mut from) {
-            // Draw under the lock, apply outside it: a Delay must not
-            // stall the opposite direction's plan.
-            let fault = plan.lock().next();
-            if apply_fault(&fault, &payload, &mut to, &stats).is_err() {
-                break;
-            }
-        }
-        let _ = from.shutdown(Shutdown::Both);
-        let _ = to.shutdown(Shutdown::Both);
-    })
+/// What the pump should do with one frame after fault bookkeeping.
+enum Action {
+    /// Deliver the encoded frame after holding it `hold` beyond the
+    /// link latency.
+    Send { frame: Vec<u8>, hold: Duration },
+    /// Swallow the frame; keep pumping.
+    Skip,
+    /// Deliver a partial frame, then close the connection.
+    SendThenClose { frame: Vec<u8> },
 }
 
-/// Applies one fault; `Err(())` means the pump should stop.
-fn apply_fault(
-    fault: &Fault,
-    payload: &[u8],
-    to: &mut TcpStream,
-    stats: &StatsInner,
-) -> Result<(), ()> {
-    let forward = |to: &mut TcpStream, payload: &[u8]| -> Result<(), ()> {
-        let mut frame = Vec::with_capacity(4 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        frame.extend_from_slice(payload);
-        to.write_all(&frame).map_err(|_| ())
-    };
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// Applies one fault's bookkeeping and says what to deliver.
+fn plan_action(fault: &Fault, payload: &[u8], stats: &StatsInner) -> Action {
     match fault {
         Fault::Forward => {
-            forward(to, payload)?;
             stats.forwarded.fetch_add(1, Ordering::SeqCst);
+            Action::Send {
+                frame: encode_frame(payload),
+                hold: Duration::ZERO,
+            }
         }
         Fault::Delay(duration) => {
-            std::thread::sleep(*duration);
-            forward(to, payload)?;
             stats.delayed.fetch_add(1, Ordering::SeqCst);
             stats.forwarded.fetch_add(1, Ordering::SeqCst);
+            Action::Send {
+                frame: encode_frame(payload),
+                hold: *duration,
+            }
         }
         Fault::Drop => {
             stats.dropped.fetch_add(1, Ordering::SeqCst);
+            Action::Skip
         }
         Fault::Truncate(keep) => {
             // Announce the full length, deliver only a prefix, then
@@ -475,9 +497,8 @@ fn apply_fault(
             let mut partial = Vec::with_capacity(4 + keep);
             partial.extend_from_slice(&(payload.len() as u32).to_be_bytes());
             partial.extend_from_slice(&payload[..keep]);
-            let _ = to.write_all(&partial);
             stats.truncated.fetch_add(1, Ordering::SeqCst);
-            return Err(());
+            Action::SendThenClose { frame: partial }
         }
         Fault::Corrupt { offset, xor } => {
             let mut payload = payload.to_vec();
@@ -485,11 +506,93 @@ fn apply_fault(
                 let at = offset % payload.len();
                 payload[at] ^= xor;
             }
-            forward(to, &payload)?;
             stats.corrupted.fetch_add(1, Ordering::SeqCst);
+            Action::Send {
+                frame: encode_frame(&payload),
+                hold: Duration::ZERO,
+            }
         }
     }
-    Ok(())
+}
+
+/// Reads frames from `from` and forwards them to `to` per the plan.
+/// Exits (closing both halves) on EOF, socket error, or a truncation
+/// fault. With a non-zero `one_way` each frame is handed to a delivery
+/// thread stamped with its due instant, so the reader keeps draining
+/// the socket while earlier frames are still "on the wire".
+fn spawn_pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    plan: Arc<Mutex<FaultPlan>>,
+    stats: Arc<StatsInner>,
+    one_way: Duration,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        if one_way.is_zero() {
+            // Direct path: faults apply inline (a Delay stalls this
+            // direction, which is exactly the stalled-hop it models).
+            while let Ok(Some(payload)) = read_raw_frame(&mut from) {
+                // Draw under the lock, apply outside it: a Delay must
+                // not stall the opposite direction's plan.
+                let fault = plan.lock().next();
+                match plan_action(&fault, &payload, &stats) {
+                    Action::Send { frame, hold } => {
+                        if !hold.is_zero() {
+                            std::thread::sleep(hold);
+                        }
+                        if to.write_all(&frame).is_err() {
+                            break;
+                        }
+                    }
+                    Action::Skip => {}
+                    Action::SendThenClose { frame } => {
+                        let _ = to.write_all(&frame);
+                        break;
+                    }
+                }
+            }
+        } else if let Ok(mut out) = to.try_clone() {
+            // Linked path: due times are monotone in arrival order, so
+            // one delivery thread sleeping until each frame's due
+            // instant preserves ordering while frames overlap in
+            // flight. A per-frame Delay extends that frame's due time
+            // without stalling the reader.
+            let (tx, rx) = channel::unbounded::<(Instant, Vec<u8>)>();
+            let delivery = std::thread::spawn(move || {
+                while let Ok((due, frame)) = rx.recv() {
+                    let now = Instant::now();
+                    if due > now {
+                        std::thread::sleep(due - now);
+                    }
+                    if out.write_all(&frame).is_err() {
+                        // Keep draining so the reader never blocks on
+                        // a full pipe to a dead peer.
+                        while rx.recv().is_ok() {}
+                        return;
+                    }
+                }
+            });
+            while let Ok(Some(payload)) = read_raw_frame(&mut from) {
+                let fault = plan.lock().next();
+                match plan_action(&fault, &payload, &stats) {
+                    Action::Send { frame, hold } => {
+                        if tx.send((Instant::now() + one_way + hold, frame)).is_err() {
+                            break;
+                        }
+                    }
+                    Action::Skip => {}
+                    Action::SendThenClose { frame } => {
+                        let _ = tx.send((Instant::now() + one_way, frame));
+                        break;
+                    }
+                }
+            }
+            drop(tx);
+            let _ = delivery.join();
+        }
+        let _ = from.shutdown(Shutdown::Both);
+        let _ = to.shutdown(Shutdown::Both);
+    })
 }
 
 /// Reads one length-prefixed frame payload without interpreting it;
@@ -688,6 +791,52 @@ mod tests {
         client.write_all(&frame)?;
         read_raw_frame(&mut client)?
             .ok_or_else(|| std::io::Error::new(ErrorKind::UnexpectedEof, "closed"))
+    }
+
+    #[test]
+    fn linked_latency_delays_frames_without_serializing() {
+        let (addr, stop, echo) = spawn_echo();
+        let one_way = Duration::from_millis(40);
+        let proxy = FaultProxy::spawn_linked(addr, FaultPlan::clean(), FaultPlan::clean(), one_way)
+            .unwrap();
+        let mut client = TcpStream::connect(proxy.local_addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let send = |client: &mut TcpStream, payload: &[u8]| {
+            let mut frame = (payload.len() as u32).to_be_bytes().to_vec();
+            frame.extend_from_slice(payload);
+            client.write_all(&frame).unwrap();
+        };
+        // A lone ping-pong pays the full round trip: one_way each way.
+        let start = Instant::now();
+        send(&mut client, b"lone");
+        assert_eq!(read_raw_frame(&mut client).unwrap().unwrap(), b"lone");
+        assert!(
+            start.elapsed() >= 2 * one_way,
+            "round trip {:?} undercut the 2×{one_way:?} link",
+            start.elapsed()
+        );
+        // A burst of 8 in-flight frames shares the link: total wall
+        // time stays near one round trip, nowhere near the 16×one_way
+        // a serializing (sleep-per-frame) link would cost.
+        let start = Instant::now();
+        for i in 0..8u8 {
+            send(&mut client, &[i]);
+        }
+        for i in 0..8u8 {
+            assert_eq!(read_raw_frame(&mut client).unwrap().unwrap(), &[i]);
+        }
+        let elapsed = start.elapsed();
+        assert!(elapsed >= 2 * one_way, "burst {elapsed:?} beat the link");
+        assert!(
+            elapsed < 8 * one_way,
+            "burst took {elapsed:?}: latency is serializing frames instead of overlapping them"
+        );
+        drop(client);
+        proxy.shutdown();
+        stop.store(true, Ordering::SeqCst);
+        let _ = echo.join();
     }
 
     #[test]

@@ -35,9 +35,28 @@
 //!   client can verify the share against the replica's verification
 //!   key before combining. Token-share requests are not batchable
 //!   (quorum fan-out already parallelizes across replicas).
+//! * op `6` (pipelined envelope, protocol v2): the id field is empty
+//!   and the body wraps any *one* other request together with a client
+//!   session and a per-request id, so a connection can keep many
+//!   requests in flight and accept out-of-order replies:
+//!
+//!   ```text
+//!   pipelined-body  := u32 version ‖ u64 session ‖ u64 req-id ‖ item
+//!   item            := u8 op ‖ u16 id-len ‖ id ‖ u32 body-len ‖ body
+//!   pipelined-reply := u64 req-id ‖ u8 status ‖ u32 body-len ‖ body
+//!   ```
+//!
+//!   The reply rides in an ordinary ok-response body, so *every frame
+//!   on the wire is still a v1 frame* — a v1-only server answers op 6
+//!   with `Invalid` (no version handshake frames are added, and frame
+//!   counts seen by the fault proxy are identical to v1). Envelopes
+//!   cannot nest. The `(session, req-id)` pair keys the server's
+//!   idempotency window: a retried request with the same pair replays
+//!   the recorded response instead of executing twice.
 //!
 //! The sizes on this wire are exactly the E3 numbers — the protocol is
-//! the paper's bandwidth table made concrete.
+//! the paper's bandwidth table made concrete (v2 adds
+//! [`PIPELINE_OVERHEAD`] bytes per request for the envelope).
 
 // Decoders consume attacker-controlled bytes: slice indexing here is a
 // remote panic vector, so every read goes through the bounds-checked
@@ -64,6 +83,9 @@ pub enum Op {
     /// Mediated-IBE partial decryption token with its robustness NIZK
     /// (one replica of a (t, n) SEM cluster).
     TokenShare = 5,
+    /// Pipelined envelope (protocol v2) wrapping one inner request with
+    /// a session and request id for out-of-order replies.
+    Pipelined = 6,
 }
 
 impl Op {
@@ -74,6 +96,7 @@ impl Op {
             3 => Some(Op::Batch),
             4 => Some(Op::Stats),
             5 => Some(Op::TokenShare),
+            6 => Some(Op::Pipelined),
             _ => None,
         }
     }
@@ -90,6 +113,9 @@ pub enum Status {
     Unknown = 2,
     /// Malformed request or off-curve point.
     Invalid = 3,
+    /// The server shed the request: its bounded job queue is full. The
+    /// request was not executed and may be retried after backoff.
+    Overloaded = 4,
 }
 
 impl Status {
@@ -99,6 +125,7 @@ impl Status {
             1 => Some(Status::Revoked),
             2 => Some(Status::Unknown),
             3 => Some(Status::Invalid),
+            4 => Some(Status::Overloaded),
             _ => None,
         }
     }
@@ -108,6 +135,7 @@ impl Status {
         match err {
             Error::Revoked => Status::Revoked,
             Error::UnknownIdentity => Status::Unknown,
+            Error::Overloaded => Status::Overloaded,
             _ => Status::Invalid,
         }
     }
@@ -119,6 +147,7 @@ impl Status {
             Status::Revoked => Some(Error::Revoked),
             Status::Unknown => Some(Error::UnknownIdentity),
             Status::Invalid => Some(Error::InvalidCiphertext),
+            Status::Overloaded => Some(Error::Overloaded),
         }
     }
 }
@@ -252,8 +281,8 @@ pub fn encode_batch_items(items: &[Request]) -> Vec<u8> {
 
 /// Decodes an [`Op::Batch`] request body into its items.
 ///
-/// Returns `None` for malformed bodies, nested batches, batched stats
-/// or token-share requests, or trailing garbage.
+/// Returns `None` for malformed bodies, nested batches, batched stats,
+/// token-share or pipelined-envelope items, or trailing garbage.
 pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
     let mut r = Reader::new(body);
     let count = r.u16_be()? as usize;
@@ -264,7 +293,7 @@ pub fn decode_batch_items(body: &[u8]) -> Option<Vec<Request>> {
     let mut items = Vec::with_capacity(count.min(r.remaining() / 7));
     for _ in 0..count {
         let op = Op::from_u8(r.u8()?)?;
-        if op == Op::Batch || op == Op::Stats || op == Op::TokenShare {
+        if op == Op::Batch || op == Op::Stats || op == Op::TokenShare || op == Op::Pipelined {
             return None;
         }
         let id_len = r.u16_be()? as usize;
@@ -327,6 +356,151 @@ pub fn decode_batch_replies(body: &[u8]) -> Option<Vec<Response>> {
     Some(replies)
 }
 
+/// Protocol version carried in every [`Op::Pipelined`] envelope.
+pub const PIPELINE_VERSION: u32 = 2;
+
+/// Per-request byte overhead of the v2 envelope versus sending the
+/// inner request as a bare v1 frame: the version/session/req-id header
+/// (4 + 8 + 8) plus the outer request's own op/id-len/body-len fields
+/// (1 + 2 + 4) — the reply direction adds the 13-byte
+/// `req-id ‖ status ‖ body-len` header inside the ok-body.
+pub const PIPELINE_OVERHEAD: usize = 4 + 8 + 8 + 1 + 2 + 4;
+
+/// A parsed [`Op::Pipelined`] envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelinedRequest {
+    /// Client session tag: drawn once per client stub, it survives
+    /// reconnects so a retried request keeps its idempotency key.
+    pub session: u64,
+    /// Per-session request id; `(session, req_id)` keys the server's
+    /// idempotency window.
+    pub req_id: u64,
+    /// The wrapped request.
+    pub inner: Request,
+}
+
+/// Encodes a pipelined request frame (including the length prefix).
+///
+/// # Errors
+///
+/// [`Error::FrameTooLarge`] under the same limits as
+/// [`encode_request`], counting the envelope header.
+///
+/// # Panics
+///
+/// Panics if the inner op is itself [`Op::Pipelined`] (envelopes cannot
+/// nest).
+pub fn encode_pipelined_request(env: &PipelinedRequest) -> Result<Vec<u8>, Error> {
+    assert!(
+        env.inner.op != Op::Pipelined,
+        "pipelined envelopes cannot nest"
+    );
+    if env.inner.id.len() > u16::MAX as usize {
+        return Err(Error::FrameTooLarge);
+    }
+    let body_len = 4 + 8 + 8 + 1 + 2 + env.inner.id.len() + 4 + env.inner.body.len();
+    let payload_len = 1 + 2 + 4 + body_len; // outer op ‖ empty id ‖ body-len ‖ body
+    if payload_len > MAX_FRAME {
+        return Err(Error::FrameTooLarge);
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload_len);
+    buf.put_u32(payload_len as u32);
+    buf.put_u8(Op::Pipelined as u8);
+    buf.put_u16(0); // the envelope's outer id field is always empty
+    buf.put_u32(body_len as u32);
+    buf.put_u32(PIPELINE_VERSION);
+    buf.put_u64(env.session);
+    buf.put_u64(env.req_id);
+    buf.put_u8(env.inner.op as u8);
+    buf.put_u16(env.inner.id.len() as u16);
+    buf.put_slice(env.inner.id.as_bytes());
+    buf.put_u32(env.inner.body.len() as u32);
+    buf.put_slice(&env.inner.body);
+    Ok(buf.to_vec())
+}
+
+/// Decodes the body of an [`Op::Pipelined`] request (the outer request
+/// was already parsed by [`decode_request`]).
+///
+/// Returns `None` for malformed bodies, unknown protocol versions, or
+/// nested envelopes.
+pub fn decode_pipelined_body(body: &[u8]) -> Option<PipelinedRequest> {
+    let mut r = Reader::new(body);
+    if r.u32_be()? != PIPELINE_VERSION {
+        return None;
+    }
+    let session = r.u64_be()?;
+    let req_id = r.u64_be()?;
+    let op = Op::from_u8(r.u8()?)?;
+    if op == Op::Pipelined {
+        return None;
+    }
+    let id_len = r.u16_be()? as usize;
+    let id = String::from_utf8(r.bytes(id_len)?.to_vec()).ok()?;
+    let body_len = r.u32_be()? as usize;
+    if r.remaining() != body_len {
+        return None;
+    }
+    Some(PipelinedRequest {
+        session,
+        req_id,
+        inner: Request {
+            op,
+            id,
+            body: r.rest().to_vec(),
+        },
+    })
+}
+
+/// Encodes a pipelined reply frame: an ordinary ok-response whose body
+/// is `u64 req-id ‖ u8 status ‖ u32 body-len ‖ body`.
+pub fn encode_pipelined_response(req_id: u64, inner: &Response) -> Vec<u8> {
+    let mut body = BytesMut::with_capacity(8 + 1 + 4 + inner.body.len());
+    body.put_u64(req_id);
+    body.put_u8(inner.status as u8);
+    body.put_u32(inner.body.len() as u32);
+    body.put_slice(&inner.body);
+    encode_response(&Response {
+        status: Status::Ok,
+        body: body.to_vec(),
+    })
+}
+
+/// Decodes a pipelined reply carried in an ok-response body back into
+/// `(req_id, inner response)`. Returns `None` for malformed bodies —
+/// including plain v1 responses, which have no envelope.
+pub fn decode_pipelined_reply(body: &[u8]) -> Option<(u64, Response)> {
+    let mut r = Reader::new(body);
+    let req_id = r.u64_be()?;
+    let status = Status::from_u8(r.u8()?)?;
+    let body_len = r.u32_be()? as usize;
+    if r.remaining() != body_len {
+        return None;
+    }
+    Some((
+        req_id,
+        Response {
+            status,
+            body: r.rest().to_vec(),
+        },
+    ))
+}
+
+/// Reads a frame's `u32` length prefix fallibly and validates it
+/// against [`MAX_FRAME`].
+///
+/// Returns `None` when the slice is shorter than the prefix or the
+/// declared payload length exceeds the cap — the bounds-checked
+/// replacement for indexing `frame[..4]` on attacker-supplied bytes.
+pub fn frame_payload_len(frame: &[u8]) -> Option<usize> {
+    let mut r = Reader::new(frame);
+    let len = r.u32_be()? as usize;
+    if len > MAX_FRAME {
+        return None;
+    }
+    Some(len)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -339,7 +513,7 @@ mod tests {
             body: vec![1, 2, 3],
         };
         let frame = encode_request(&req).unwrap();
-        let len = u32::from_be_bytes(frame[..4].try_into().unwrap()) as usize;
+        let len = frame_payload_len(&frame).unwrap();
         assert_eq!(len, frame.len() - 4);
         assert_eq!(decode_request(&frame[4..]).unwrap(), req);
     }
@@ -351,6 +525,7 @@ mod tests {
             Status::Revoked,
             Status::Unknown,
             Status::Invalid,
+            Status::Overloaded,
         ] {
             let resp = Response {
                 status,
@@ -549,6 +724,117 @@ mod tests {
         );
         assert_eq!(Status::Revoked.to_error(), Some(Error::Revoked));
         assert_eq!(Status::Ok.to_error(), None);
+    }
+
+    #[test]
+    fn pipelined_roundtrip() {
+        let env = PipelinedRequest {
+            session: 0xDEAD_BEEF_0BAD_F00D,
+            req_id: 42,
+            inner: Request {
+                op: Op::IbeToken,
+                id: "alice@example.com".into(),
+                body: vec![1, 2, 3],
+            },
+        };
+        let frame = encode_pipelined_request(&env).unwrap();
+        let payload_len = frame_payload_len(&frame).unwrap();
+        assert_eq!(payload_len, frame.len() - 4);
+        // The outer frame is a perfectly ordinary v1 request…
+        let outer = decode_request(&frame[4..]).unwrap();
+        assert_eq!(outer.op, Op::Pipelined);
+        assert!(outer.id.is_empty());
+        // …whose body carries the envelope.
+        assert_eq!(decode_pipelined_body(&outer.body).unwrap(), env);
+        assert_eq!(
+            outer.body.len(),
+            1 + 2 + 4 + env.inner.id.len() + env.inner.body.len() + 20
+        );
+        assert_eq!(
+            frame.len(),
+            4 + 1 + 2 + env.inner.id.len() + 4 + env.inner.body.len() + PIPELINE_OVERHEAD
+        );
+
+        // Reply direction: ok / refused / overloaded all round-trip
+        // with the request id intact.
+        for inner in [
+            Response {
+                status: Status::Ok,
+                body: vec![9u8; 64],
+            },
+            Response {
+                status: Status::Revoked,
+                body: vec![],
+            },
+            Response {
+                status: Status::Overloaded,
+                body: vec![],
+            },
+        ] {
+            let reply_frame = encode_pipelined_response(env.req_id, &inner);
+            let outer = decode_response(&reply_frame[4..]).unwrap();
+            assert_eq!(outer.status, Status::Ok);
+            let (req_id, decoded) = decode_pipelined_reply(&outer.body).unwrap();
+            assert_eq!(req_id, env.req_id);
+            assert_eq!(decoded, inner);
+        }
+    }
+
+    #[test]
+    fn malformed_pipelined_rejected() {
+        let env = PipelinedRequest {
+            session: 7,
+            req_id: 1,
+            inner: Request {
+                op: Op::GdhHalfSign,
+                id: "x".into(),
+                body: vec![5],
+            },
+        };
+        let frame = encode_pipelined_request(&env).unwrap();
+        let outer = decode_request(&frame[4..]).unwrap();
+        // Wrong version.
+        let mut wrong = outer.body.clone();
+        wrong[3] = 99;
+        assert!(decode_pipelined_body(&wrong).is_none());
+        // Truncated body.
+        let mut short = outer.body.clone();
+        short.pop();
+        assert!(decode_pipelined_body(&short).is_none());
+        // Nested envelope op.
+        let mut nested = outer.body.clone();
+        nested[20] = Op::Pipelined as u8;
+        assert!(decode_pipelined_body(&nested).is_none());
+        // A plain v1 response body is not a pipelined reply.
+        assert!(decode_pipelined_reply(&[]).is_none());
+        assert!(decode_pipelined_reply(&[0u8; 12]).is_none());
+        // Oversized inner body refused at encode time.
+        let huge = PipelinedRequest {
+            session: 7,
+            req_id: 2,
+            inner: Request {
+                op: Op::IbeToken,
+                id: String::new(),
+                body: vec![0u8; MAX_FRAME],
+            },
+        };
+        assert_eq!(encode_pipelined_request(&huge), Err(Error::FrameTooLarge));
+    }
+
+    #[test]
+    fn frame_payload_len_is_fallible() {
+        assert_eq!(frame_payload_len(&[]), None);
+        assert_eq!(frame_payload_len(&[0, 0, 1]), None); // short prefix
+        assert_eq!(frame_payload_len(&[0, 0, 0, 9, 1, 2]), Some(9));
+        // Length over MAX_FRAME rejected instead of trusted.
+        assert_eq!(frame_payload_len(&[0xff, 0xff, 0xff, 0xff]), None);
+    }
+
+    #[test]
+    fn overloaded_status_maps_to_error() {
+        use sempair_core::Error;
+        assert_eq!(Status::from_error(&Error::Overloaded), Status::Overloaded);
+        assert_eq!(Status::Overloaded.to_error(), Some(Error::Overloaded));
     }
 
     #[test]

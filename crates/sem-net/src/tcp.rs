@@ -28,26 +28,61 @@
 //!
 //! The chaos suite in `tests/chaos.rs` drives all of this through the
 //! [`crate::faults`] injection harness.
+//!
+//! ## Pipelined serving (protocol v2)
+//!
+//! The v1 transport serves one frame at a time per connection: a slow
+//! pairing operation at the head of the line blocks every request
+//! queued behind it on that socket. The v2 envelope
+//! ([`crate::proto::Op::Pipelined`]) removes that head-of-line block:
+//!
+//! * Each connection's handler becomes a **reader** that decodes
+//!   envelopes and hands them to a fixed **worker pool**; a lazily
+//!   spawned per-connection **writer** thread sends replies back in
+//!   whatever order the pool finishes them, tagged with the request id.
+//! * The pool's scheduler is cryptography-aware: each worker drains a
+//!   burst of cheap token-class jobs (IBE tokens, token shares,
+//!   batches, stats) before picking up at most one expensive signing
+//!   job per cycle, so signatures cannot starve token latency.
+//! * Revocation/key state is **sharded** by identity hash
+//!   ([`crate::revocation::shard_of`]): a revocation storm writing one
+//!   shard leaves the other shards' read locks uncontended.
+//! * The pool queue is **bounded** (`queue_cap`); an envelope that
+//!   arrives while it is full is shed immediately with
+//!   [`Status::Overloaded`] and an [`Outcome::RefusedOverload`] audit
+//!   record — it is never executed.
+//! * Replies are **idempotent** within a bounded window: the daemon
+//!   remembers recent `(session, request-id)` pairs and replays the
+//!   stored response for a retried id instead of executing it twice.
+//! * The reader admits at most `pipeline_depth` envelopes in flight
+//!   per connection; beyond that it stops reading and lets TCP
+//!   backpressure the peer.
+//!
+//! Plain v1 frames are still served inline by the reader, exactly as
+//! before — old clients interoperate with the new daemon on the same
+//! port, and the two framings can mix on one connection.
 
 use crate::audit::{AuditConfig, AuditLog, Capability, MetricsSnapshot, Outcome};
-use crate::proto::{self, Op, Request, Response, Status};
+use crate::proto::{self, Op, PipelinedRequest, Request, Response, Status};
+use crate::revocation::shard_of;
 use crate::server::{BatchItem, BatchReply};
 use crate::store::{Journal, Record, ReplayedState};
+use crossbeam::channel;
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use sempair_core::bf_ibe::IbePublicParams;
 use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
 use sempair_core::mediated::{DecryptToken, Sem, SemKey};
 use sempair_core::threshold::{self, DecryptionShare, IdKeyShare};
 use sempair_core::Error;
 use sempair_pairing::G1Affine;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -57,6 +92,20 @@ use std::time::{Duration, Instant};
 /// self-connect nudge, which breaks under wildcard binds like
 /// `0.0.0.0:p` where the bound address is not a connectable peer.
 const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// How often an idle pool worker (or a reader blocked on a full
+/// pipeline) re-checks the shutdown flag while waiting on a condvar.
+const POOL_POLL: Duration = Duration::from_millis(50);
+
+/// Token-class jobs a worker drains per cycle before it will pick up a
+/// (more expensive) signing job — the cryptography-aware scheduling
+/// bias.
+const TOKEN_BURST: usize = 16;
+
+/// `(session, request-id)` pairs the idempotency window remembers.
+/// Retries older than this window re-execute (harmless: every request
+/// is a pure function of its bytes) instead of replaying.
+const IDEM_WINDOW: usize = 4096;
 
 /// Socket-deadline and admission knobs for [`TcpSemServer`].
 ///
@@ -76,6 +125,20 @@ pub struct ServerConfig {
     /// Max simultaneous connections. The acceptor drops sockets beyond
     /// the cap before reading anything from them.
     pub max_connections: usize,
+    /// Worker threads in the shared crypto pool serving pipelined
+    /// envelopes (clamped to at least 1).
+    pub workers: usize,
+    /// Revocation/key-state shards, keyed by identity hash (clamped to
+    /// at least 1). More shards mean a revocation storm on one identity
+    /// range contends with fewer readers.
+    pub shards: usize,
+    /// Bound on the pool's job queue. Envelopes arriving while it is
+    /// full are shed with [`Status::Overloaded`] instead of queuing
+    /// without limit.
+    pub queue_cap: usize,
+    /// Max envelopes one connection may have in flight; past it the
+    /// reader stops reading and TCP backpressures the peer.
+    pub pipeline_depth: usize,
     /// Memory bounds for the daemon's audit log and identity metering
     /// (ring-buffer cap, identity-cardinality cap).
     pub audit: AuditConfig,
@@ -88,6 +151,10 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             max_connections: 256,
+            workers: 4,
+            shards: 8,
+            queue_cap: 1024,
+            pipeline_depth: 64,
             audit: AuditConfig::default(),
         }
     }
@@ -106,7 +173,10 @@ pub struct DrainReport {
 
 struct Shared {
     params: IbePublicParams,
-    inner: RwLock<Inner>,
+    /// Revocation/key state, sharded by identity hash. One identity
+    /// always lands on one shard, so a write lock (install/revoke)
+    /// stalls only the readers of that shard.
+    shards: Vec<RwLock<Inner>>,
     shutdown: AtomicBool,
     audit: AuditLog,
     config: ServerConfig,
@@ -122,6 +192,181 @@ struct Shared {
     /// an I/O failure leaves the in-memory state authoritative for
     /// this process lifetime.
     journal: Mutex<Option<Journal>>,
+    /// The pipelined workers' bounded job queue.
+    pool: PoolQueue,
+    /// Recently seen pipelined `(session, request-id)` pairs, so a
+    /// retried request replays its stored response instead of
+    /// executing twice.
+    idem: Mutex<IdemCache>,
+}
+
+impl Shared {
+    /// The shard holding `id`'s key material and revocation bit.
+    fn shard(&self, id: &str) -> &RwLock<Inner> {
+        let index = shard_of(id, self.shards.len());
+        // shard_of returns a value < shards.len() by construction, and
+        // bind_inner creates at least one shard.
+        &self.shards[index]
+    }
+
+    /// Queues a pipelined job on the worker pool; hands the job back
+    /// when the bounded queue is full (the caller sheds it).
+    fn enqueue(&self, job: WireJob) -> Option<WireJob> {
+        let mut state = self
+            .pool
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if state.tokens.len() + state.signs.len() >= self.config.queue_cap.max(1) {
+            return Some(job);
+        }
+        if job.env.inner.op == Op::GdhHalfSign {
+            state.signs.push_back(job);
+        } else {
+            state.tokens.push_back(job);
+        }
+        drop(state);
+        self.pool.ready.notify_one();
+        None
+    }
+}
+
+/// The worker pool's two job classes under one lock: cheap token-class
+/// work (ops 1/3/4/5) and expensive signing work (op 2), scheduled
+/// with a token bias ([`TOKEN_BURST`]).
+#[derive(Default)]
+struct PoolState {
+    tokens: VecDeque<WireJob>,
+    signs: VecDeque<WireJob>,
+}
+
+struct PoolQueue {
+    state: StdMutex<PoolState>,
+    ready: Condvar,
+}
+
+impl Default for PoolQueue {
+    fn default() -> Self {
+        PoolQueue {
+            state: StdMutex::new(PoolState::default()),
+            ready: Condvar::new(),
+        }
+    }
+}
+
+/// One decoded envelope plus the plumbing its reply routes through:
+/// the owning connection's writer channel and in-flight gate.
+struct WireJob {
+    env: PipelinedRequest,
+    reply: channel::Sender<Vec<u8>>,
+    gate: Arc<FlightGate>,
+}
+
+/// Bounds the envelopes one connection may have in flight
+/// (`pipeline_depth`). The reader acquires a slot per envelope and the
+/// pool releases it once the reply is on the writer channel; a reader
+/// that cannot acquire stops reading, which is exactly TCP
+/// backpressure.
+struct FlightGate {
+    inflight: StdMutex<usize>,
+    freed: Condvar,
+    depth: usize,
+}
+
+impl FlightGate {
+    fn new(depth: usize) -> Self {
+        FlightGate {
+            inflight: StdMutex::new(0),
+            freed: Condvar::new(),
+            depth: depth.max(1),
+        }
+    }
+
+    /// Blocks until a slot frees; `false` when the daemon is shutting
+    /// down instead.
+    fn acquire(&self, shutdown: &AtomicBool) -> bool {
+        let mut n = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        while *n >= self.depth {
+            if shutdown.load(Ordering::SeqCst) {
+                return false;
+            }
+            n = self
+                .freed
+                .wait_timeout(n, POOL_POLL)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+        *n += 1;
+        true
+    }
+
+    fn release(&self) {
+        let mut n = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        *n = n.saturating_sub(1);
+        drop(n);
+        self.freed.notify_one();
+    }
+}
+
+/// What the idempotency window knows about a `(session, request-id)`.
+enum IdemEntry {
+    /// Executing right now; a duplicate is dropped (the original's
+    /// reply is already on its way).
+    Pending,
+    /// Finished; a duplicate replays this response without executing.
+    Done(Response),
+}
+
+/// Reader-side decision for an arriving envelope.
+enum Admission {
+    /// Never seen: execute it.
+    Fresh,
+    /// Currently executing: drop the duplicate.
+    InFlight,
+    /// Already executed: replay the stored response.
+    Replay(Response),
+}
+
+/// FIFO-bounded map of recent pipelined request ids ([`IDEM_WINDOW`]).
+#[derive(Default)]
+struct IdemCache {
+    entries: HashMap<(u64, u64), IdemEntry>,
+    order: VecDeque<(u64, u64)>,
+}
+
+impl IdemCache {
+    fn admit(&mut self, key: (u64, u64)) -> Admission {
+        match self.entries.get(&key) {
+            Some(IdemEntry::Pending) => Admission::InFlight,
+            Some(IdemEntry::Done(response)) => Admission::Replay(response.clone()),
+            None => {
+                if self.order.len() >= IDEM_WINDOW {
+                    if let Some(evicted) = self.order.pop_front() {
+                        self.entries.remove(&evicted);
+                    }
+                }
+                self.order.push_back(key);
+                self.entries.insert(key, IdemEntry::Pending);
+                Admission::Fresh
+            }
+        }
+    }
+
+    /// Records the response for a finished request, *before* its reply
+    /// frame can reach the client, so a retry racing the reply replays
+    /// instead of re-executing.
+    fn complete(&mut self, key: (u64, u64), response: Response) {
+        if let Some(entry) = self.entries.get_mut(&key) {
+            *entry = IdemEntry::Done(response);
+        }
+    }
+
+    /// Un-tracks a request that was shed (never executed), so its
+    /// retry is admitted as fresh. The FIFO slot is left behind and
+    /// becomes a no-op at eviction time.
+    fn forget(&mut self, key: (u64, u64)) {
+        self.entries.remove(&key);
+    }
 }
 
 #[derive(Default)]
@@ -142,6 +387,8 @@ pub struct TcpSemServer {
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// The pipelined crypto pool ([`ServerConfig::workers`] threads).
+    pool_workers: Vec<JoinHandle<()>>,
 }
 
 /// Reconnect/retry/deadline knobs for [`TcpSemClient`].
@@ -161,6 +408,12 @@ pub struct ClientConfig {
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Speak protocol v2: wrap every request in a pipelined envelope
+    /// tagged `(session, req_id)`, making retries idempotent on the
+    /// server and letting many stubs share one connection without
+    /// head-of-line coupling. Disable to interoperate with pre-v2
+    /// daemons (plain v1 frames, one request in flight).
+    pub pipelined: bool,
 }
 
 impl Default for ClientConfig {
@@ -171,6 +424,7 @@ impl Default for ClientConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(1),
+            pipelined: true,
         }
     }
 }
@@ -192,6 +446,11 @@ pub struct TcpSemClient {
     params: IbePublicParams,
     config: ClientConfig,
     stats: ClientStats,
+    /// Random session tag; with `next_req_id` it keys the server's
+    /// idempotency window, so a retry of the same logical request
+    /// (same id) replays instead of re-executing.
+    session: u64,
+    next_req_id: u64,
 }
 
 /// Reads one length-prefixed frame payload; `Ok(None)` on clean EOF.
@@ -301,13 +560,11 @@ impl TcpSemServer {
     ) -> std::io::Result<(Self, ReplayedState)> {
         let (journal, replayed) = Journal::open(journal_path)?;
         let server = Self::bind_inner(addr, params, config, Some(journal))?;
-        {
-            let mut inner = server.shared.inner.write();
-            for id in &replayed.revoked {
-                inner.ibe.revoke(id);
-                inner.gdh.revoke(id);
-                inner.revoked.insert(id.clone());
-            }
+        for id in &replayed.revoked {
+            let mut inner = server.shared.shard(id).write();
+            inner.ibe.revoke(id);
+            inner.gdh.revoke(id);
+            inner.revoked.insert(id.clone());
         }
         Ok((server, replayed))
     }
@@ -322,9 +579,12 @@ impl TcpSemServer {
         let local_addr = listener.local_addr()?;
         // Poll-based accept loop: see ACCEPT_POLL.
         listener.set_nonblocking(true)?;
+        let shards = (0..config.shards.max(1))
+            .map(|_| RwLock::new(Inner::default()))
+            .collect();
         let shared = Arc::new(Shared {
             params,
-            inner: RwLock::new(Inner::default()),
+            shards,
             shutdown: AtomicBool::new(false),
             audit: AuditLog::with_config(config.audit.clone()),
             config,
@@ -332,7 +592,15 @@ impl TcpSemServer {
             live: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),
             journal: Mutex::new(journal),
+            pool: PoolQueue::default(),
+            idem: Mutex::new(IdemCache::default()),
         });
+        let pool_workers = (0..shared.config.workers.max(1))
+            .map(|_| {
+                let worker_shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&worker_shared))
+            })
+            .collect();
         let handlers = Arc::new(Mutex::new(Vec::new()));
         let acceptor_shared = Arc::clone(&shared);
         let acceptor_handlers = Arc::clone(&handlers);
@@ -357,6 +625,7 @@ impl TcpSemServer {
             local_addr,
             acceptor: Some(acceptor),
             handlers,
+            pool_workers,
         })
     }
 
@@ -370,21 +639,21 @@ impl TcpSemServer {
         self.shared.live.load(Ordering::SeqCst)
     }
 
-    /// Installs an IBE half-key.
+    /// Installs an IBE half-key (on its identity's shard).
     pub fn install_ibe(&self, key: SemKey) {
-        self.shared.inner.write().ibe.install(key);
+        self.shared.shard(&key.id).write().ibe.install(key);
     }
 
-    /// Installs a GDH half-key.
+    /// Installs a GDH half-key (on its identity's shard).
     pub fn install_gdh(&self, key: GdhSemKey) {
-        self.shared.inner.write().gdh.install(key);
+        self.shared.shard(&key.id).write().gdh.install(key);
     }
 
     /// Installs this replica's (t, n) key share for one identity,
     /// served over the token-share wire op.
     pub fn install_token_share(&self, share: IdKeyShare) {
         self.shared
-            .inner
+            .shard(&share.id)
             .write()
             .shares
             .insert(share.id.clone(), share);
@@ -392,12 +661,14 @@ impl TcpSemServer {
 
     /// Revokes an identity across all capabilities (instant). When the
     /// daemon carries a journal, the revocation is appended to it
-    /// before taking effect, so it survives a crash/restart.
+    /// before taking effect, so it survives a crash/restart. Only the
+    /// identity's own shard takes the write lock: requests for other
+    /// shards keep reading undisturbed.
     pub fn revoke(&self, id: &str) {
         if let Some(journal) = self.shared.journal.lock().as_mut() {
             let _ = journal.append(&Record::Revoke(id.to_string()));
         }
-        let mut inner = self.shared.inner.write();
+        let mut inner = self.shared.shard(id).write();
         inner.ibe.revoke(id);
         inner.gdh.revoke(id);
         inner.revoked.insert(id.to_string());
@@ -408,7 +679,7 @@ impl TcpSemServer {
         if let Some(journal) = self.shared.journal.lock().as_mut() {
             let _ = journal.append(&Record::Unrevoke(id.to_string()));
         }
-        let mut inner = self.shared.inner.write();
+        let mut inner = self.shared.shard(id).write();
         inner.ibe.unrevoke(id);
         inner.gdh.unrevoke(id);
         inner.revoked.remove(id);
@@ -465,6 +736,25 @@ impl TcpSemServer {
         let live: Vec<TcpStream> = self.shared.conns.lock().drain().map(|(_, s)| s).collect();
         for stream in &live {
             let _ = stream.shutdown(Shutdown::Both);
+        }
+        // Drain the crypto pool: wake idle workers so they observe the
+        // flag, join them, then drop whatever was still queued. The
+        // dropped jobs release their writer senders, which is what
+        // lets the per-connection writer threads (joined by their
+        // readers below) run out and exit.
+        self.shared.pool.ready.notify_all();
+        for handle in self.pool_workers.drain(..) {
+            let _ = handle.join();
+        }
+        {
+            let mut state = self
+                .shared
+                .pool
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            state.tokens.clear();
+            state.signs.clear();
         }
         let handles: Vec<JoinHandle<()>> = self.handlers.lock().drain(..).collect();
         let handlers_joined = handles.len();
@@ -527,17 +817,34 @@ fn accept_connection(
 }
 
 /// Handles one client connection until EOF, deadline expiry, or
-/// shutdown.
+/// shutdown: a frame **reader** that serves plain v1 frames inline and
+/// fans pipelined envelopes out to the worker pool, plus (once the
+/// first envelope arrives) a dedicated **writer** thread that owns all
+/// writes to the socket.
 fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
     stream.set_write_timeout(
         (!shared.config.write_timeout.is_zero()).then_some(shared.config.write_timeout),
     )?;
+    let mut writer: Option<ConnWriter> = None;
+    let result = read_frames(&mut stream, shared, &mut writer);
+    if let Some(writer) = writer {
+        writer.join();
+    }
+    result
+}
+
+/// The reader half of [`serve_connection`].
+fn read_frames(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    writer: &mut Option<ConnWriter>,
+) -> std::io::Result<()> {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
         let payload = match read_frame_deadlines(
-            &mut stream,
+            stream,
             shared.config.idle_timeout,
             shared.config.read_timeout,
         ) {
@@ -552,27 +859,243 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) -> std::io::Result<(
             }
             Err(e) => return Err(e),
         };
-        let response = match proto::decode_request(&payload) {
-            None => Response {
+        match proto::decode_request(&payload) {
+            Some(request) if request.op == Op::Pipelined => {
+                match proto::decode_pipelined_body(&request.body) {
+                    // An envelope that does not parse is answered with
+                    // a *plain* Invalid — there is no request id to
+                    // tag a reply with — and the connection survives.
+                    None => send_plain(
+                        stream,
+                        writer.as_ref(),
+                        &Response {
+                            status: Status::Invalid,
+                            body: vec![],
+                        },
+                    )?,
+                    Some(env) => {
+                        let sink = match writer {
+                            Some(sink) => sink,
+                            None => writer
+                                .insert(ConnWriter::spawn(stream, shared.config.pipeline_depth)?),
+                        };
+                        admit_envelope(env, sink, shared);
+                    }
+                }
+            }
+            decoded => {
+                // The v1 path: undecodable frames answer Invalid,
+                // everything else is served inline, right here on the
+                // reader thread — exactly the pre-pipelining daemon.
+                let response = match decoded {
+                    None => Response {
+                        status: Status::Invalid,
+                        body: vec![],
+                    },
+                    Some(request) => handle_request(&request, shared),
+                };
+                send_plain(stream, writer.as_ref(), &response)?;
+            }
+        }
+    }
+}
+
+/// Sends a plain (non-enveloped) response, through the writer thread
+/// when one exists so frames never interleave, inline otherwise.
+fn send_plain(
+    stream: &mut TcpStream,
+    writer: Option<&ConnWriter>,
+    response: &Response,
+) -> std::io::Result<()> {
+    let frame = proto::encode_response(response);
+    // A response that cannot fit the protocol (a pathological
+    // batch reply) is replaced by an empty Invalid instead of
+    // emitting a frame the client must tear the connection on.
+    let frame = if frame.len() > 4 + proto::MAX_FRAME {
+        proto::encode_response(&Response {
+            status: Status::Invalid,
+            body: vec![],
+        })
+    } else {
+        frame
+    };
+    match writer {
+        Some(sink) => {
+            // A send can only fail if the writer died on a torn
+            // socket; the reader will observe the same tear shortly.
+            let _ = sink.tx.send(frame);
+            Ok(())
+        }
+        None => stream.write_all(&frame),
+    }
+}
+
+/// The per-connection writer: a channel of pre-encoded frames drained
+/// by one thread that owns the socket's write half, plus the in-flight
+/// gate shared with the pool.
+struct ConnWriter {
+    tx: channel::Sender<Vec<u8>>,
+    gate: Arc<FlightGate>,
+    handle: JoinHandle<()>,
+}
+
+impl ConnWriter {
+    fn spawn(stream: &TcpStream, pipeline_depth: usize) -> std::io::Result<Self> {
+        let mut out = stream.try_clone()?;
+        let (tx, rx) = channel::unbounded::<Vec<u8>>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(frame) = rx.recv() {
+                if out.write_all(&frame).is_err() {
+                    // Torn socket: drain remaining frames into the
+                    // void so no sender ever blocks, then exit when
+                    // they all hang up.
+                    while rx.recv().is_ok() {}
+                    return;
+                }
+            }
+        });
+        Ok(ConnWriter {
+            tx,
+            gate: Arc::new(FlightGate::new(pipeline_depth)),
+            handle,
+        })
+    }
+
+    /// Hangs up the channel and joins the thread. Pool jobs still in
+    /// flight hold sender clones, so this waits for their replies to
+    /// drain (or be dropped at shutdown) — the writer never outlives a
+    /// frame that was promised to it.
+    fn join(self) {
+        drop(self.tx);
+        let _ = self.handle.join();
+    }
+}
+
+/// Reader-side admission of one decoded envelope: idempotency window,
+/// in-flight gate, then the bounded pool queue (shedding with
+/// [`Status::Overloaded`] when full).
+fn admit_envelope(env: PipelinedRequest, sink: &ConnWriter, shared: &Shared) {
+    let key = (env.session, env.req_id);
+    let admission = shared.idem.lock().admit(key);
+    match admission {
+        // A duplicate of a request that is executing right now: its
+        // reply is already on the way; answering twice would desync
+        // the stream.
+        Admission::InFlight => {}
+        // A retry of a finished request: replay the recorded response
+        // without executing (or auditing) it again.
+        Admission::Replay(response) => {
+            let _ = sink
+                .tx
+                .send(proto::encode_pipelined_response(env.req_id, &response));
+        }
+        Admission::Fresh => {
+            if !sink.gate.acquire(&shared.shutdown) {
+                // Shutting down; the socket is about to close anyway.
+                shared.idem.lock().forget(key);
+                return;
+            }
+            let job = WireJob {
+                env,
+                reply: sink.tx.clone(),
+                gate: Arc::clone(&sink.gate),
+            };
+            if let Some(job) = shared.enqueue(job) {
+                // Pool queue full: shed. The request was NOT executed,
+                // so un-track its id — a later retry must run fresh.
+                job.gate.release();
+                shared.idem.lock().forget(key);
+                let capability = if job.env.inner.op == Op::GdhHalfSign {
+                    Capability::GdhSign
+                } else {
+                    Capability::IbeDecrypt
+                };
+                shared.audit.record(
+                    &job.env.inner.id,
+                    capability,
+                    Outcome::RefusedOverload,
+                    0,
+                    Duration::ZERO,
+                );
+                let _ = job.reply.send(proto::encode_pipelined_response(
+                    job.env.req_id,
+                    &Response {
+                        status: Status::Overloaded,
+                        body: vec![],
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// One pool worker: drains up to [`TOKEN_BURST`] token-class jobs plus
+/// at most one signing job per cycle, executes them against the
+/// sharded state, records idempotency, and routes each reply to its
+/// connection's writer.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared
+                .pool
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if !state.tokens.is_empty() || !state.signs.is_empty() {
+                    break;
+                }
+                state = shared
+                    .pool
+                    .ready
+                    .wait_timeout(state, POOL_POLL)
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .0;
+            }
+            let mut batch = Vec::new();
+            while batch.len() < TOKEN_BURST {
+                match state.tokens.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+            if let Some(job) = state.signs.pop_front() {
+                batch.push(job);
+            }
+            batch
+        };
+        for job in batch {
+            execute_job(job, shared);
+        }
+    }
+}
+
+/// Executes one pipelined job end to end.
+fn execute_job(job: WireJob, shared: &Shared) {
+    let response = handle_request(&job.env.inner, shared);
+    // Record Done *before* the reply frame can reach the client: a
+    // retry racing the reply must replay, never execute twice.
+    shared
+        .idem
+        .lock()
+        .complete((job.env.session, job.env.req_id), response.clone());
+    let frame = proto::encode_pipelined_response(job.env.req_id, &response);
+    let frame = if frame.len() > 4 + proto::MAX_FRAME {
+        proto::encode_pipelined_response(
+            job.env.req_id,
+            &Response {
                 status: Status::Invalid,
                 body: vec![],
             },
-            Some(request) => handle_request(&request, shared),
-        };
-        let frame = proto::encode_response(&response);
-        // A response that cannot fit the protocol (a pathological
-        // batch reply) is replaced by an empty Invalid instead of
-        // emitting a frame the client must tear the connection on.
-        let frame = if frame.len() > 4 + proto::MAX_FRAME {
-            proto::encode_response(&Response {
-                status: Status::Invalid,
-                body: vec![],
-            })
-        } else {
-            frame
-        };
-        stream.write_all(&frame)?;
-    }
+        )
+    } else {
+        frame
+    };
+    let _ = job.reply.send(frame);
+    job.gate.release();
 }
 
 fn handle_request(request: &Request, shared: &Shared) -> Response {
@@ -597,7 +1120,7 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
         op => {
             let started = Instant::now();
             let (capability, response) = {
-                let inner = shared.inner.read();
+                let inner = shared.shard(&request.id).read();
                 serve_item(op, &request.id, &request.body, shared, &inner)
             };
             shared.audit.record(
@@ -612,21 +1135,21 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
     }
 }
 
-/// Serves a whole decoded batch under one read-lock acquisition and
-/// wraps the per-item responses into one ok-frame.
+/// Serves a whole decoded batch, taking each item's shard read lock
+/// individually (items may land on different shards), and wraps the
+/// per-item responses into one ok-frame.
 fn handle_batch(items: &[Request], shared: &Shared) -> Response {
-    let served: Vec<(Capability, Response, Duration)> = {
-        let inner = shared.inner.read();
-        items
-            .iter()
-            .map(|item| {
-                let started = Instant::now();
-                let (capability, response) =
-                    serve_item(item.op, &item.id, &item.body, shared, &inner);
-                (capability, response, started.elapsed())
-            })
-            .collect()
-    };
+    let served: Vec<(Capability, Response, Duration)> = items
+        .iter()
+        .map(|item| {
+            let started = Instant::now();
+            let (capability, response) = {
+                let inner = shared.shard(&item.id).read();
+                serve_item(item.op, &item.id, &item.body, shared, &inner)
+            };
+            (capability, response, started.elapsed())
+        })
+        .collect();
     shared.audit.note_batch(items.len());
     for (item, (capability, response, latency)) in items.iter().zip(&served) {
         shared.audit.record_batched(
@@ -733,6 +1256,7 @@ fn serve_item(
         }
         Op::Batch => unreachable!("nested batches are rejected at decode"),
         Op::Stats => unreachable!("stats is handled before item dispatch"),
+        Op::Pipelined => unreachable!("envelopes are unwrapped before item dispatch"),
     }
 }
 
@@ -743,6 +1267,7 @@ fn outcome_for(status: Status) -> Outcome {
         Status::Revoked => Outcome::RefusedRevoked,
         Status::Unknown => Outcome::RefusedUnknown,
         Status::Invalid => Outcome::RefusedInvalid,
+        Status::Overloaded => Outcome::RefusedOverload,
     }
 }
 
@@ -774,12 +1299,15 @@ impl TcpSemClient {
         config: ClientConfig,
     ) -> std::io::Result<Self> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut rng = StdRng::from_entropy();
         let mut client = TcpSemClient {
             addrs,
             stream: None,
             params,
             config,
             stats: ClientStats::default(),
+            session: rng.next_u64(),
+            next_req_id: 1,
         };
         client.reconnect()?;
         Ok(client)
@@ -841,14 +1369,78 @@ impl TcpSemClient {
         Ok(proto::decode_response(&payload))
     }
 
+    /// One pipelined round trip: writes the enveloped frame, then reads
+    /// until the reply tagged `req_id` arrives (stale replies to
+    /// abandoned requests are skipped). `Ok(None)` means an intact
+    /// frame arrived but did not decode.
+    fn exchange_once_pipelined(
+        &mut self,
+        frame: &[u8],
+        req_id: u64,
+    ) -> std::io::Result<Option<Response>> {
+        if self.stream.is_none() {
+            self.reconnect()?;
+            self.stats.reconnects += 1;
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(std::io::Error::new(
+                ErrorKind::NotConnected,
+                "no connection after reconnect",
+            ));
+        };
+        stream.write_all(frame)?;
+        loop {
+            let payload = read_frame(stream)?.ok_or_else(|| {
+                std::io::Error::new(ErrorKind::UnexpectedEof, "connection closed mid-exchange")
+            })?;
+            let Some(outer) = proto::decode_response(&payload) else {
+                return Ok(None);
+            };
+            if outer.status == Status::Ok {
+                if let Some((got, inner)) = proto::decode_pipelined_reply(&outer.body) {
+                    if got == req_id {
+                        return Ok(Some(inner));
+                    }
+                    // A reply to a request abandoned on an earlier
+                    // attempt over this same connection: skip it.
+                    continue;
+                }
+            }
+            // A plain v1 response (a refusal for an undecodable frame,
+            // or a pre-v2 daemon): with one request outstanding it can
+            // only be ours.
+            return Ok(Some(outer));
+        }
+    }
+
     /// Sends one request, transparently retrying through transport
-    /// faults per the [`ClientConfig`] (requests are idempotent: the
-    /// SEM computes the same answer for the same bytes).
+    /// faults per the [`ClientConfig`].
+    ///
+    /// On the pipelined path the request id is allocated **once** per
+    /// logical request, so every retry carries the same `(session,
+    /// req_id)` key and the SEM replays rather than re-executes; on the
+    /// v1 path requests are idempotent because the SEM computes the
+    /// same answer for the same bytes.
     fn exchange(&mut self, request: &Request) -> Result<Response, Error> {
-        let frame = proto::encode_request(request)?;
+        let (frame, req_id) = if self.config.pipelined {
+            let req_id = self.next_req_id;
+            self.next_req_id = self.next_req_id.wrapping_add(1);
+            let frame = proto::encode_pipelined_request(&proto::PipelinedRequest {
+                session: self.session,
+                req_id,
+                inner: request.clone(),
+            })?;
+            (frame, Some(req_id))
+        } else {
+            (proto::encode_request(request)?, None)
+        };
         let mut attempt: u32 = 0;
         loop {
-            match self.exchange_once(&frame) {
+            let outcome = match req_id {
+                Some(req_id) => self.exchange_once_pipelined(&frame, req_id),
+                None => self.exchange_once(&frame),
+            };
+            match outcome {
                 Ok(Some(response)) => return Ok(response),
                 // An intact frame that fails to decode is a protocol
                 // error, not a transport fault — retrying won't help.
@@ -1049,6 +1641,115 @@ impl TcpSemClient {
                 }
             })
             .collect())
+    }
+}
+
+/// One event observed by [`PipeClient::recv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipeReply {
+    /// An enveloped reply: `(req_id, inner response)`.
+    Reply(u64, Response),
+    /// A plain v1 response (a refusal for a frame the daemon could not
+    /// parse, or a pre-v2 daemon that ignores envelopes).
+    Plain(Response),
+}
+
+/// A raw pipelined client for load generators and chaos tests: submits
+/// many requests on one connection without waiting, then surfaces
+/// replies in whatever order the SEM finishes them.
+///
+/// No retries, no reconnects — faults surface as [`Error::Transport`]
+/// so harnesses can observe them directly. [`TcpSemClient`] is the
+/// resilient stub for applications.
+pub struct PipeClient {
+    stream: TcpStream,
+    session: u64,
+    next_req_id: u64,
+}
+
+impl PipeClient {
+    /// Connects with the given per-read/write socket deadline (zero
+    /// disables it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from the connect.
+    pub fn connect(addr: impl ToSocketAddrs, request_timeout: Duration) -> std::io::Result<Self> {
+        let mut last: Option<std::io::Error> = None;
+        for addr in addr.to_socket_addrs()? {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let deadline = (!request_timeout.is_zero()).then_some(request_timeout);
+                    stream.set_read_timeout(deadline)?;
+                    stream.set_write_timeout(deadline)?;
+                    let mut rng = StdRng::from_entropy();
+                    return Ok(PipeClient {
+                        stream,
+                        session: rng.next_u64(),
+                        next_req_id: 1,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            std::io::Error::new(ErrorKind::AddrNotAvailable, "no addresses to connect to")
+        }))
+    }
+
+    /// The random session tag stamped on every envelope.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Submits one enveloped request without waiting for its reply and
+    /// returns the request id to match against [`PipeClient::recv`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::FrameTooLarge`] if the envelope cannot be encoded;
+    /// [`Error::Transport`] on a socket fault.
+    pub fn submit(&mut self, request: &Request) -> Result<u64, Error> {
+        let req_id = self.next_req_id;
+        self.next_req_id = self.next_req_id.wrapping_add(1);
+        self.submit_as(req_id, request)?;
+        Ok(req_id)
+    }
+
+    /// [`PipeClient::submit`] under a caller-chosen request id — the
+    /// hook idempotency tests use to re-send the *same* logical
+    /// request.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`PipeClient::submit`].
+    pub fn submit_as(&mut self, req_id: u64, request: &Request) -> Result<(), Error> {
+        let frame = proto::encode_pipelined_request(&proto::PipelinedRequest {
+            session: self.session,
+            req_id,
+            inner: request.clone(),
+        })?;
+        self.stream.write_all(&frame).map_err(|_| Error::Transport)
+    }
+
+    /// Blocks for the next reply frame (enveloped or plain).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Transport`] on EOF, deadline expiry, or a socket fault;
+    /// [`Error::InvalidCiphertext`] for a frame that does not decode as
+    /// any response.
+    pub fn recv(&mut self) -> Result<PipeReply, Error> {
+        let payload = read_frame(&mut self.stream)
+            .map_err(|_| Error::Transport)?
+            .ok_or(Error::Transport)?;
+        let outer = proto::decode_response(&payload).ok_or(Error::InvalidCiphertext)?;
+        if outer.status == Status::Ok {
+            if let Some((req_id, inner)) = proto::decode_pipelined_reply(&outer.body) {
+                return Ok(PipeReply::Reply(req_id, inner));
+            }
+        }
+        Ok(PipeReply::Plain(outer))
     }
 }
 
@@ -1549,5 +2250,281 @@ mod tests {
         // Deep attempts saturate at the cap instead of overflowing.
         assert_eq!(backoff_delay(base, cap, 40), cap);
         assert_eq!(backoff_delay(Duration::from_secs(1 << 40), cap, 16), cap);
+    }
+
+    /// Many requests in flight on one connection: every reply comes
+    /// back tagged with its request id, exactly once, regardless of
+    /// completion order across the worker pool.
+    #[test]
+    fn pipelined_requests_complete_out_of_order_safely() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        });
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"deep")
+            .unwrap();
+        let mut pipe = PipeClient::connect(server.local_addr(), Duration::from_secs(5)).unwrap();
+        let request = Request {
+            op: Op::IbeToken,
+            id: "alice".into(),
+            body: pkg.params().curve().point_to_bytes(&c.u),
+        };
+        const DEPTH: usize = 16;
+        let mut expected: std::collections::HashSet<u64> =
+            (0..DEPTH).map(|_| pipe.submit(&request).unwrap()).collect();
+        assert_eq!(expected.len(), DEPTH);
+        for _ in 0..DEPTH {
+            match pipe.recv().unwrap() {
+                PipeReply::Reply(req_id, inner) => {
+                    assert!(expected.remove(&req_id), "duplicate or unknown req id");
+                    assert_eq!(inner.status, Status::Ok);
+                    let token = pkg
+                        .params()
+                        .curve()
+                        .gt_from_bytes(&inner.body)
+                        .map(sempair_core::mediated::DecryptToken)
+                        .unwrap();
+                    assert_eq!(
+                        user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
+                        b"deep"
+                    );
+                }
+                PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+            }
+        }
+        assert!(expected.is_empty());
+        assert_eq!(server.audit_stats("alice").served, DEPTH as u64);
+        server.shutdown();
+    }
+
+    /// Regression (unbounded queuing): with `queue_cap: 1` and a
+    /// single worker, a burst overruns the bounded queue and the
+    /// excess is *shed* with a typed `Overloaded` reply — audited as
+    /// its own outcome, never silently buffered without bound — and a
+    /// shed request can be re-submitted successfully afterwards.
+    #[test]
+    fn full_queue_sheds_with_typed_overload() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            workers: 1,
+            queue_cap: 1,
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let (_, gdh_sem, _) = gdh::mediated_keygen(&mut rng, pkg.params().curve(), "alice");
+        server.install_gdh(gdh_sem);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"x").unwrap();
+        let mut pipe = PipeClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+        let request = Request {
+            op: Op::IbeToken,
+            id: "alice".into(),
+            body: pkg.params().curve().point_to_bytes(&c.u),
+        };
+        // Half-signing a 256 KiB message hashes the whole body to a
+        // curve point — slow enough that the single worker is still
+        // chewing the first sign while the reader floods the 1-slot
+        // queue with the rest of the burst.
+        let slow_sign = Request {
+            op: Op::GdhHalfSign,
+            id: "alice".into(),
+            body: vec![0xA5; 256 * 1024],
+        };
+        const SIGNS: usize = 8;
+        const BURST: usize = SIGNS + 24;
+        let mut shed = Vec::new();
+        let mut served = 0u64;
+        for _ in 0..SIGNS {
+            pipe.submit(&slow_sign).unwrap();
+        }
+        for _ in 0..BURST - SIGNS {
+            pipe.submit(&request).unwrap();
+        }
+        for _ in 0..BURST {
+            match pipe.recv().unwrap() {
+                PipeReply::Reply(req_id, inner) => match inner.status {
+                    Status::Ok => served += 1,
+                    Status::Overloaded => shed.push(req_id),
+                    other => panic!("unexpected status: {other:?}"),
+                },
+                PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+            }
+        }
+        assert!(
+            !shed.is_empty(),
+            "a 32-deep burst against queue_cap=1 must shed"
+        );
+        assert!(served > 0, "the worker must still serve what it admitted");
+        let stats = server.audit_stats("alice");
+        assert_eq!(stats.served, served);
+        assert_eq!(stats.refused, shed.len() as u64);
+        // A shed id was forgotten by the idempotency window: retrying
+        // it executes fresh instead of replaying the refusal.
+        let retry_id = shed[0];
+        pipe.submit_as(retry_id, &request).unwrap();
+        match pipe.recv().unwrap() {
+            PipeReply::Reply(req_id, inner) => {
+                assert_eq!(req_id, retry_id);
+                assert_eq!(inner.status, Status::Ok);
+            }
+            PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+        }
+        server.shutdown();
+    }
+
+    /// Re-sending a request id that already completed replays the
+    /// recorded response without executing (or auditing) it again —
+    /// the exactly-once guarantee client retries rely on.
+    #[test]
+    fn duplicate_request_id_replays_without_reexecution() {
+        let (pkg, server, mut rng) = setup();
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"x").unwrap();
+        let mut pipe = PipeClient::connect(server.local_addr(), Duration::from_secs(5)).unwrap();
+        let request = Request {
+            op: Op::IbeToken,
+            id: "alice".into(),
+            body: pkg.params().curve().point_to_bytes(&c.u),
+        };
+        let req_id = pipe.submit(&request).unwrap();
+        let first = match pipe.recv().unwrap() {
+            PipeReply::Reply(got, inner) => {
+                assert_eq!(got, req_id);
+                inner
+            }
+            PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+        };
+        // Same (session, req_id): the daemon must not run the crypto
+        // again.
+        pipe.submit_as(req_id, &request).unwrap();
+        let second = match pipe.recv().unwrap() {
+            PipeReply::Reply(got, inner) => {
+                assert_eq!(got, req_id);
+                inner
+            }
+            PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+        };
+        assert_eq!(first, second);
+        // Exactly one execution in the audit log.
+        assert_eq!(server.audit_stats("alice").served, 1);
+        server.shutdown();
+    }
+
+    /// A pre-v2 client (plain frames, one in flight) interoperates
+    /// with the pipelined daemon on the same port, concurrently with a
+    /// pipelined stub.
+    #[test]
+    fn v1_client_interops_with_pipelined_daemon() {
+        let (pkg, server, mut rng) = setup();
+        let (user, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"old")
+            .unwrap();
+        let mut v1 = TcpSemClient::connect_with(
+            server.local_addr(),
+            pkg.params().clone(),
+            ClientConfig {
+                pipelined: false,
+                ..ClientConfig::default()
+            },
+        )
+        .unwrap();
+        let mut v2 = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        for _ in 0..3 {
+            let t1 = v1.ibe_token("alice", &c.u).unwrap();
+            let t2 = v2.ibe_token("alice", &c.u).unwrap();
+            assert_eq!(user.finish_decrypt(pkg.params(), &c, &t1).unwrap(), b"old");
+            assert_eq!(user.finish_decrypt(pkg.params(), &c, &t2).unwrap(), b"old");
+        }
+        assert_eq!(server.audit_stats("alice").served, 6);
+        server.shutdown();
+    }
+
+    /// `pipeline_depth` bounds in-flight envelopes per connection by
+    /// *blocking the reader* (TCP backpressure), never by dropping:
+    /// a burst far deeper than the window still gets every reply.
+    #[test]
+    fn pipeline_depth_applies_backpressure_without_loss() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            workers: 2,
+            pipeline_depth: 2,
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"x").unwrap();
+        let mut pipe = PipeClient::connect(server.local_addr(), Duration::from_secs(30)).unwrap();
+        let request = Request {
+            op: Op::IbeToken,
+            id: "alice".into(),
+            body: pkg.params().curve().point_to_bytes(&c.u),
+        };
+        const BURST: usize = 24;
+        // Submit from a second thread: with a 2-deep window the server
+        // stops reading mid-burst, and a single-threaded
+        // submit-all-then-recv loop could deadlock on a full socket
+        // buffer in theory (not at these sizes, but the discipline is
+        // the point of the test).
+        let addr = server.local_addr();
+        let submitted = std::thread::spawn(move || {
+            for _ in 0..BURST {
+                pipe.submit(&request).unwrap();
+            }
+            pipe
+        });
+        let mut pipe = submitted.join().unwrap();
+        let _ = addr;
+        let mut ok = 0;
+        for _ in 0..BURST {
+            match pipe.recv().unwrap() {
+                PipeReply::Reply(_, inner) => {
+                    assert_eq!(inner.status, Status::Ok);
+                    ok += 1;
+                }
+                PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+            }
+        }
+        assert_eq!(ok, BURST);
+        assert_eq!(server.audit_stats("alice").served, BURST as u64);
+        server.shutdown();
+    }
+
+    /// Identity state is sharded: revoking a storm of identities that
+    /// land on other shards never blocks or perturbs service for an
+    /// identity on its own shard.
+    #[test]
+    fn revocation_on_other_shards_does_not_block_service() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            workers: 2,
+            shards: 8,
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"x").unwrap();
+        let alice_shard = crate::revocation::shard_of("alice", 8);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        // A storm of revocations targeting every *other* shard.
+        let mut stormed = 0;
+        let mut n = 0u32;
+        while stormed < 64 {
+            let id = format!("victim-{n}");
+            n += 1;
+            if crate::revocation::shard_of(&id, 8) == alice_shard {
+                continue;
+            }
+            server.revoke(&id);
+            stormed += 1;
+            client.ibe_token("alice", &c.u).unwrap();
+        }
+        assert_eq!(server.audit_stats("alice").served, 64);
+        assert_eq!(server.audit_stats("alice").refused, 0);
+        server.shutdown();
     }
 }

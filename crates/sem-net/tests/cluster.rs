@@ -43,6 +43,7 @@ fn fast_client() -> ClientConfig {
         max_retries: 1,
         backoff_base: Duration::from_millis(10),
         backoff_cap: Duration::from_millis(100),
+        ..ClientConfig::default()
     }
 }
 

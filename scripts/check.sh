@@ -31,6 +31,14 @@ cargo test -q --workspace --exclude sempair-net
 echo "== pairing benchmark (writes BENCH_pairing.json)"
 cargo run --release -q -p sempair-bench --bin pairing_bench
 
+# Serving perf trajectory (sempair-bench-serving/1): pipelined vs
+# single-in-flight throughput and tail latency under a one-shard
+# revocation storm, over the link-emulating fault proxy. Smoke mode
+# keeps this a short load test; the acceptance ratios are recorded in
+# the JSON, not asserted, so a loaded host cannot flake the gate.
+echo "== serving benchmark smoke (writes BENCH_serving.json)"
+timeout --kill-after=10s 300s cargo run --release -q -p sempair-bench --bin serving_bench -- --smoke
+
 # The bounded-observability suite soaks the audit ring past 100k
 # records and pulls metrics over live sockets; run it first and alone
 # so a regression in the bounds (or a wedged stats handler) is named

@@ -111,6 +111,8 @@ pub trait BufMut {
     fn put_u16(&mut self, v: u16);
     /// Appends a big-endian `u32`.
     fn put_u32(&mut self, v: u32);
+    /// Appends a big-endian `u64`.
+    fn put_u64(&mut self, v: u64);
     /// Appends a byte slice.
     fn put_slice(&mut self, src: &[u8]);
 }
@@ -125,6 +127,10 @@ impl BufMut for BytesMut {
     }
 
     fn put_u32(&mut self, v: u32) {
+        self.inner.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
         self.inner.extend_from_slice(&v.to_be_bytes());
     }
 
@@ -143,6 +149,10 @@ impl BufMut for Vec<u8> {
     }
 
     fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
         self.extend_from_slice(&v.to_be_bytes());
     }
 

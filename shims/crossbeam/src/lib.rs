@@ -3,9 +3,14 @@
 //! Provides `crossbeam::channel` with multi-producer **multi-consumer**
 //! channels — the property the SEM server relies on (one job queue,
 //! many worker threads pulling from cloned receivers) that std's mpsc
-//! cannot offer. Implemented as a mutex-protected deque plus condvar;
+//! cannot offer. Implemented as a mutex-protected deque plus condvars;
 //! adequate for the request sizes the SEM serves, where each job does
 //! milliseconds of pairing work per lock acquisition.
+//!
+//! `bounded(cap)` enforces the capacity: `send` blocks while the queue
+//! is full (releasing the slot wakes exactly one sender) and `try_send`
+//! reports `TrySendError::Full` — the primitive the SEM's backpressure
+//! path (`Error::Overloaded`) is built on.
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -15,7 +20,12 @@ pub mod channel {
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
+        /// Capacity for bounded channels; `None` = unbounded.
+        capacity: Option<usize>,
+        /// Signalled when a message arrives or the last sender leaves.
         ready: Condvar,
+        /// Signalled when a slot frees up or the last receiver leaves.
+        space: Condvar,
         senders: AtomicUsize,
         receivers: AtomicUsize,
     }
@@ -45,6 +55,46 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`]; carries the message.
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// True iff this is the `Full` variant.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
     /// Error returned when the channel is empty and all senders are gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -57,11 +107,12 @@ pub mod channel {
 
     impl std::error::Error for RecvError {}
 
-    /// Creates an unbounded channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
+            capacity,
             ready: Condvar::new(),
+            space: Condvar::new(),
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
@@ -73,22 +124,57 @@ pub mod channel {
         )
     }
 
-    /// Creates a bounded channel.
-    ///
-    /// The shim does not enforce the capacity as backpressure (sends
-    /// never block); sempair uses `bounded(1)` purely for one-shot
-    /// reply channels, where the bound is a documentation of intent.
-    pub fn bounded<T>(_cap: usize) -> (Sender<T>, Receiver<T>) {
-        unbounded()
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// Creates a bounded channel holding at most `cap` messages
+    /// (`cap` is clamped to at least 1). `send` blocks while full;
+    /// `try_send` reports `TrySendError::Full` instead.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
     }
 
     impl<T> Sender<T> {
-        /// Enqueues a message; fails iff every receiver has been dropped.
+        /// Enqueues a message, blocking while a bounded channel is at
+        /// capacity; fails iff every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.shared.capacity {
+                while queue.len() >= cap {
+                    if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                        return Err(SendError(value));
+                    }
+                    queue = self
+                        .shared
+                        .space
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            }
             if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
+            queue.push_back(value);
+            drop(queue);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues without blocking; reports `Full` when a bounded
+        /// channel is at capacity, `Disconnected` when every receiver
+        /// has been dropped.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(cap) = self.shared.capacity {
+                if queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
             queue.push_back(value);
             drop(queue);
             self.shared.ready.notify_one();
@@ -121,6 +207,8 @@ pub mod channel {
             let mut queue = self.shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
                 if let Some(value) = queue.pop_front() {
+                    drop(queue);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
@@ -136,11 +224,16 @@ pub mod channel {
 
         /// Dequeues without blocking; `None` if currently empty.
         pub fn try_recv(&self) -> Option<T> {
-            self.shared
+            let popped = self
+                .shared
                 .queue
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
-                .pop_front()
+                .pop_front();
+            if popped.is_some() {
+                self.shared.space.notify_one();
+            }
+            popped
         }
     }
 
@@ -155,14 +248,19 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+            if self.shared.receivers.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last receiver: wake senders blocked on a full queue
+                // so they observe disconnect instead of hanging.
+                self.shared.space.notify_all();
+            }
         }
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, unbounded};
+    use super::channel::{bounded, unbounded, TrySendError};
+    use std::time::Duration;
 
     #[test]
     fn multi_consumer_fan_out() {
@@ -198,5 +296,52 @@ mod tests {
         drop(tx2);
         assert_eq!(rx2.recv(), Ok(9));
         assert!(rx2.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_drains() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        match tx.try_send(3) {
+            Err(TrySendError::Full(v)) => assert_eq!(v, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(rx.try_recv(), Some(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_slot_frees() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || {
+            tx.send(2).unwrap(); // blocks until the recv below
+            tx.send(3).unwrap();
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn blocked_sender_unblocks_on_receiver_drop() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let t = std::thread::spawn(move || tx.send(2));
+        std::thread::sleep(Duration::from_millis(50));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn try_send_disconnected() {
+        let (tx, rx) = bounded::<u8>(4);
+        drop(rx);
+        assert!(matches!(tx.try_send(7), Err(TrySendError::Disconnected(7))));
     }
 }

@@ -141,6 +141,30 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--max-conns: `{raw}` is not a number"))?;
             }
+            "--workers" => {
+                let raw = args.next().ok_or("--workers needs a value")?;
+                server_config.workers = raw
+                    .parse()
+                    .map_err(|_| format!("--workers: `{raw}` is not a number"))?;
+            }
+            "--shards" => {
+                let raw = args.next().ok_or("--shards needs a value")?;
+                server_config.shards = raw
+                    .parse()
+                    .map_err(|_| format!("--shards: `{raw}` is not a number"))?;
+            }
+            "--queue-cap" => {
+                let raw = args.next().ok_or("--queue-cap needs a value")?;
+                server_config.queue_cap = raw
+                    .parse()
+                    .map_err(|_| format!("--queue-cap: `{raw}` is not a number"))?;
+            }
+            "--pipeline-depth" => {
+                let raw = args.next().ok_or("--pipeline-depth needs a value")?;
+                server_config.pipeline_depth = raw
+                    .parse()
+                    .map_err(|_| format!("--pipeline-depth: `{raw}` is not a number"))?;
+            }
             "--sem-timeout" => {
                 client_config.request_timeout = parse_secs("--sem-timeout", args.next())?;
             }
@@ -187,6 +211,7 @@ fn usage() -> String {
      [--dir DIR] [--fast|--paper] [--sem ADDR] [--sem-timeout SECS] [--sem-retries N] \
      [--cluster T/N] [--journal PATH] [--hedge N] \
      [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] \
+     [--workers N] [--shards N] [--queue-cap N] [--pipeline-depth N] \
      [--audit-cap N] [--identity-cap N] [args...]"
         .to_string()
 }
@@ -856,12 +881,17 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     println!(
         "SEM daemon listening on {} ({installed} half-keys installed, \
          idle {}s / read {}s / write {}s deadlines, {} conns max, \
+         {} workers / {} shards / queue {} / pipeline depth {}, \
          audit ring {} records / {} identities); Ctrl-C to stop",
         server.local_addr(),
         args.server_config.idle_timeout.as_secs(),
         args.server_config.read_timeout.as_secs(),
         args.server_config.write_timeout.as_secs(),
         args.server_config.max_connections,
+        args.server_config.workers,
+        args.server_config.shards,
+        args.server_config.queue_cap,
+        args.server_config.pipeline_depth,
         args.server_config.audit.audit_cap,
         args.server_config.audit.identity_cap,
     );

@@ -93,7 +93,7 @@ fn throughput_driver_serves_all_requests() {
     let (_, sem_half) = pkg.extract_split(&mut rng, "load");
     server.install_ibe(sem_half);
     let c = pkg.params().encrypt_full(&mut rng, "load", b"x").unwrap();
-    let result = drive_throughput(&server, "load", &c.u, 4, 64);
+    let result = drive_throughput(&server, "load", &c.u, 4, 64).unwrap();
     assert_eq!(result.requests, 64);
     assert!(result.ops_per_sec() > 0.0);
     server.shutdown();
