@@ -57,12 +57,23 @@ const PANIC_SCOPE: &[&str] = &[
     "crates/sem-net/src/audit.rs",
 ];
 
+/// The bounded cache modules (DESIGN.md §14): the whole point of the
+/// tier is a hard memory cap, so R3's bounded-allocation rule applies
+/// to every line here, not just decode functions — an unbounded
+/// `with_capacity` in a cache is the bug the tier exists to prevent.
+const BOUND_SCOPE: &[&str] = &["crates/core/src/cache.rs", "crates/sem-net/src/cache.rs"];
+
 /// Audits a single source string, as the workspace walk would.
 /// Exposed for fixture-driven self-tests.
-pub fn audit_source(rel_path: &str, source: &str, panic_everywhere: bool) -> Vec<Finding> {
+pub fn audit_source(
+    rel_path: &str,
+    source: &str,
+    panic_everywhere: bool,
+    bound_everywhere: bool,
+) -> Vec<Finding> {
     let raw: Vec<&str> = source.lines().collect();
     let lines = scan::scan(source);
-    rules::run_rules(rel_path, &raw, &lines, panic_everywhere)
+    rules::run_rules(rel_path, &raw, &lines, panic_everywhere, bound_everywhere)
 }
 
 fn included(rel: &str) -> bool {
@@ -122,7 +133,8 @@ pub fn audit_workspace(root: &Path) -> Report {
         };
         report.files_scanned += 1;
         let panic_everywhere = PANIC_SCOPE.contains(&rel.as_str());
-        for finding in audit_source(&rel, &source, panic_everywhere) {
+        let bound_everywhere = BOUND_SCOPE.contains(&rel.as_str());
+        for finding in audit_source(&rel, &source, panic_everywhere, bound_everywhere) {
             if finding.allowed.is_some() {
                 report.allowed.push(finding);
             } else {

@@ -8,6 +8,8 @@
 //! |           | manual `Debug`/`Display` impls carry a redaction marker,|
 //! |           | and secret fields never reach formatting macros         |
 //! | R3-bound  | Preallocation in decode functions is capped with `min`  |
+//! |           | (file-wide in the bounded cache modules, whose entire   |
+//! |           | job is to not allocate past their cap)                  |
 //! | R4-ct     | Equality on registered secret types routes through      |
 //! |           | `ct_eq` (no derived or `==`-based `PartialEq`)          |
 //!
@@ -240,6 +242,7 @@ pub fn run_rules(
     raw: &[&str],
     lines: &[LineInfo],
     panic_everywhere: bool,
+    bound_everywhere: bool,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut push = |rule: &'static str, line: usize, message: String| {
@@ -284,8 +287,10 @@ pub fn run_rules(
             );
         }
 
-        // R3: untrusted-length bounds in decode functions.
-        if in_decode {
+        // R3: untrusted-length bounds in decode functions — and
+        // file-wide in the cache modules, where every allocation must
+        // stay under the configured cap by construction.
+        if in_decode || bound_everywhere {
             for marker in ["with_capacity", "resize"] {
                 for at in ident_positions(code, marker) {
                     let Some(open) = code[at..].find('(').map(|o| at + o) else {
@@ -477,7 +482,7 @@ mod tests {
 
     fn run(src: &str, panic_everywhere: bool) -> Vec<Finding> {
         let raw: Vec<&str> = src.lines().collect();
-        run_rules("test.rs", &raw, &scan(src), panic_everywhere)
+        run_rules("test.rs", &raw, &scan(src), panic_everywhere, false)
     }
 
     #[test]
@@ -501,6 +506,16 @@ mod tests {
         let findings = run(src, true);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].allowed.as_deref(), Some("documented"));
+    }
+
+    #[test]
+    fn bound_everywhere_reaches_outside_decode_fns() {
+        let src = "fn grow(n: usize) -> Vec<u8> {\n    Vec::with_capacity(n)\n}\n";
+        assert!(run(src, false).is_empty());
+        let raw: Vec<&str> = src.lines().collect();
+        let findings = run_rules("test.rs", &raw, &scan(src), false, true);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "R3-bound");
     }
 
     #[test]

@@ -22,7 +22,7 @@ fn rules(findings: &[&Finding]) -> Vec<&'static str> {
 
 #[test]
 fn r1_bad_fires() {
-    let findings = audit_source("fixtures/r1_bad.rs", &fixture("r1_bad.rs"), true);
+    let findings = audit_source("fixtures/r1_bad.rs", &fixture("r1_bad.rs"), true, false);
     let active = active(&findings);
     assert_eq!(
         rules(&active),
@@ -35,7 +35,7 @@ fn r1_bad_fires() {
 
 #[test]
 fn r1_good_is_clean_and_counts_the_allow() {
-    let findings = audit_source("fixtures/r1_good.rs", &fixture("r1_good.rs"), true);
+    let findings = audit_source("fixtures/r1_good.rs", &fixture("r1_good.rs"), true, false);
     assert!(active(&findings).is_empty(), "{findings:?}");
     let allowed: Vec<&Finding> = findings.iter().filter(|f| f.allowed.is_some()).collect();
     assert_eq!(allowed.len(), 1, "the documented expect is still reported");
@@ -48,7 +48,7 @@ fn r1_good_is_clean_and_counts_the_allow() {
 
 #[test]
 fn r2_bad_fires() {
-    let findings = audit_source("fixtures/r2_bad.rs", &fixture("r2_bad.rs"), false);
+    let findings = audit_source("fixtures/r2_bad.rs", &fixture("r2_bad.rs"), false, false);
     let active = active(&findings);
     assert!(active.iter().all(|f| f.rule == "R2-secret"), "{findings:?}");
     // derive(Debug), un-redacted Display impl, and the two formatting
@@ -65,13 +65,13 @@ fn r2_bad_fires() {
 
 #[test]
 fn r2_good_is_clean() {
-    let findings = audit_source("fixtures/r2_good.rs", &fixture("r2_good.rs"), false);
+    let findings = audit_source("fixtures/r2_good.rs", &fixture("r2_good.rs"), false, false);
     assert!(active(&findings).is_empty(), "{findings:?}");
 }
 
 #[test]
 fn r3_bad_fires() {
-    let findings = audit_source("fixtures/r3_bad.rs", &fixture("r3_bad.rs"), false);
+    let findings = audit_source("fixtures/r3_bad.rs", &fixture("r3_bad.rs"), false, false);
     let active = active(&findings);
     assert_eq!(
         rules(&active),
@@ -82,13 +82,13 @@ fn r3_bad_fires() {
 
 #[test]
 fn r3_good_is_clean() {
-    let findings = audit_source("fixtures/r3_good.rs", &fixture("r3_good.rs"), false);
+    let findings = audit_source("fixtures/r3_good.rs", &fixture("r3_good.rs"), false, false);
     assert!(active(&findings).is_empty(), "{findings:?}");
 }
 
 #[test]
 fn r4_bad_fires() {
-    let findings = audit_source("fixtures/r4_bad.rs", &fixture("r4_bad.rs"), false);
+    let findings = audit_source("fixtures/r4_bad.rs", &fixture("r4_bad.rs"), false, false);
     let active = active(&findings);
     assert_eq!(
         rules(&active),
@@ -103,8 +103,24 @@ fn r4_bad_fires() {
 
 #[test]
 fn r4_good_is_clean() {
-    let findings = audit_source("fixtures/r4_good.rs", &fixture("r4_good.rs"), false);
+    let findings = audit_source("fixtures/r4_good.rs", &fixture("r4_good.rs"), false, false);
     assert!(active(&findings).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn cache_modules_pass_the_file_wide_bound_scan() {
+    // The workspace gate widens R3 to whole-file scope in the cache
+    // modules (BOUND_SCOPE); pin them clean here so a regression names
+    // the file instead of surfacing as a generic gate failure.
+    for rel in ["crates/core/src/cache.rs", "crates/sem-net/src/cache.rs"] {
+        let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(rel);
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let findings = audit_source(rel, &src, false, true);
+        assert!(active(&findings).is_empty(), "{rel}: {findings:?}");
+    }
 }
 
 #[test]
@@ -121,6 +137,6 @@ mod tests {
     }
 }
 ";
-    let findings = audit_source("fixtures/inline.rs", src, true);
+    let findings = audit_source("fixtures/inline.rs", src, true, false);
     assert!(findings.is_empty(), "{findings:?}");
 }

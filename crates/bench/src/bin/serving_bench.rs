@@ -9,18 +9,21 @@
 //!
 //! ```json
 //! {
-//!   "schema": "sempair-bench-serving/1",
+//!   "schema": "sempair-bench-serving/2",
 //!   "mode": "full",
 //!   "identities": 1000000,
 //!   "results": {"v1_req_per_s": 0.0, "pipelined_req_per_s": 0.0, ...},
+//!   "cache_sweep": [{"cache_cap": 0, "hit_rate": 0.0, ...}, ...],
 //!   "targets": {"pipelined_speedup_min": 4.0, ...}
 //! }
 //! ```
 //!
-//! The two acceptance targets (pipelined ≥ 4× single-in-flight req/s
-//! at equal worker count; storm p99 ≤ 2× quiet p99) are recorded as
-//! booleans in `targets`, never asserted: a loaded host must not turn
-//! a perf report into a flaky gate.
+//! The acceptance targets (pipelined ≥ 4× single-in-flight req/s at
+//! equal worker count; storm p99 ≤ 2× quiet p99; precompute-tier
+//! hit-rate ≥ 80% at cap = 1/16 of the identity population with a p50
+//! win over the uncached baseline) are recorded as booleans in
+//! `targets`, never asserted: a loaded host must not turn a perf
+//! report into a flaky gate.
 //!
 //! Both throughput phases run over the proxy's link emulation
 //! ([`FaultProxy::spawn_linked`]) with a [`LINK_ONE_WAY`] propagation
@@ -38,6 +41,8 @@
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sempair_core::bf_ibe::Pkg;
+use sempair_core::mediated::SemKey;
+use sempair_net::audit::CacheSeries;
 use sempair_net::faults::{FaultPlan, FaultProxy};
 use sempair_net::proto::{Op, Request};
 use sempair_net::revocation::shard_of;
@@ -48,6 +53,15 @@ use sempair_pairing::CurveParams;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::time::{Duration, Instant};
+
+const WORKERS: usize = 8;
+const SHARDS: usize = 16;
+const CONNS: usize = 2;
+const DEPTH: usize = 32;
+/// Emulated one-way propagation delay, LAN-scale (cf.
+/// `sempair_net::latency::LinkModel::lan`'s 0.5 ms; 2 ms keeps the
+/// RTT comfortably above scheduler jitter on a loaded CI host).
+const LINK_ONE_WAY: Duration = Duration::from_millis(2);
 
 /// Zipf(s = 1) sampler over `n` ranks: precomputed harmonic CDF plus
 /// binary search, so a draw costs `O(log n)` with no floating-point
@@ -228,6 +242,126 @@ fn latency_run(
     samples
 }
 
+/// One point of the precompute-tier sweep (schema /2's `cache_sweep`).
+struct SweepPoint {
+    cache_cap: usize,
+    hit_rate: f64,
+    p50_us: f64,
+    p99_us: f64,
+    entries: u64,
+    weight_bytes: u64,
+}
+
+/// Fetches the server's cache counter rows over the wire (op 4): the
+/// sweep reads the same exposition `sempair stats` prints, so the
+/// hit-rate below also proves the Prometheus round trip end to end.
+fn fetch_cache_rows(addr: SocketAddr, pkg: &Pkg, print_rows: bool) -> Vec<CacheSeries> {
+    let mut client =
+        TcpSemClient::connect_with(addr, pkg.params().clone(), ClientConfig::default())
+            .expect("stats connect");
+    let text = client.stats_text().expect("stats fetch");
+    if print_rows {
+        for line in text.lines().filter(|line| line.starts_with("sem_cache_")) {
+            println!("{line}");
+        }
+    }
+    let snapshot = sempair_net::audit::MetricsSnapshot::from_prometheus_text(&text)
+        .expect("parseable stats exposition");
+    snapshot.caches
+}
+
+fn half_key_row(rows: &[CacheSeries]) -> CacheSeries {
+    rows.iter()
+        .find(|row| row.name == "half_key")
+        .expect("half_key cache row")
+        .clone()
+}
+
+/// Warm phase for one sweep point: one token request per enrolled
+/// rank, *coldest rank first*, so when the cache cap is smaller than
+/// the enrolled set the LRU finishes the phase holding the hottest
+/// (lowest) ranks instead of the tail it saw last.
+fn warm_enrolled(addr: SocketAddr, pkg: &Pkg, enrolled: usize) {
+    let mut rng = StdRng::seed_from_u64(0xCACE);
+    let mut pipe = PipeClient::connect(addr, Duration::from_secs(30)).expect("warm connect");
+    let curve = pkg.params().curve();
+    let u = curve.point_to_bytes(&curve.mul_generator(&curve.random_scalar(&mut rng)));
+    let mut submitted = 0usize;
+    let mut received = 0usize;
+    while received < enrolled {
+        while submitted < enrolled && submitted - received < 64 {
+            let request = Request {
+                op: Op::IbeToken,
+                id: ident(enrolled - 1 - submitted),
+                body: u.clone(),
+            };
+            pipe.submit(&request).expect("warm submit");
+            submitted += 1;
+        }
+        match pipe.recv().expect("warm recv") {
+            PipeReply::Reply(..) => received += 1,
+            PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+        }
+    }
+}
+
+/// Phase 4: one precompute-tier sweep point. A fresh server per cap
+/// (the cap is bind-time config), enrolled keys installed, a full
+/// warm pass, then the latency workload over an enrolled-only Zipf —
+/// hit-rate is the half-key cache's counter delta across the
+/// measured window. Runs on plain loopback, no link emulation: the
+/// cache saves pairing CPU, not round trips, and a 4 ms RTT would
+/// bury the signal the sweep exists to measure.
+fn cache_sweep_point(
+    pkg: &Pkg,
+    keys: &[SemKey],
+    load: &Workload,
+    cache_cap: usize,
+    print_rows: bool,
+) -> SweepPoint {
+    let enrolled = keys.len();
+    let server = TcpSemServer::bind_with(
+        "127.0.0.1:0",
+        pkg.params().clone(),
+        ServerConfig {
+            workers: WORKERS,
+            shards: SHARDS,
+            queue_cap: 8192,
+            pipeline_depth: 64,
+            cache_cap,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind sweep server");
+    for key in keys {
+        server.install_ibe(key.clone());
+    }
+    let addr = server.local_addr();
+    warm_enrolled(addr, pkg, enrolled);
+    let before = half_key_row(&fetch_cache_rows(addr, pkg, false));
+    let zipf = Zipf::new(enrolled);
+    let mut samples = latency_run(addr, pkg, &zipf, load, 8);
+    let p50_us = quantile_us(&mut samples, 0.50);
+    let p99_us = quantile_us(&mut samples, 0.99);
+    let after = half_key_row(&fetch_cache_rows(addr, pkg, print_rows));
+    server.shutdown();
+    let hits = after.hits - before.hits;
+    let misses = after.misses - before.misses;
+    let hit_rate = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    SweepPoint {
+        cache_cap,
+        hit_rate,
+        p50_us,
+        p99_us,
+        entries: after.entries,
+        weight_bytes: after.weight_bytes,
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
     let load = if smoke {
@@ -245,15 +379,6 @@ fn main() {
             latency_samples: 2_000,
         }
     };
-    const WORKERS: usize = 8;
-    const SHARDS: usize = 16;
-    const CONNS: usize = 2;
-    const DEPTH: usize = 32;
-    /// Emulated one-way propagation delay, LAN-scale (cf.
-    /// `sempair_net::latency::LinkModel::lan`'s 0.5 ms; 2 ms keeps the
-    /// RTT comfortably above scheduler jitter on a loaded CI host).
-    const LINK_ONE_WAY: Duration = Duration::from_millis(2);
-
     let curve = CurveParams::fast_insecure();
     let mut rng = StdRng::seed_from_u64(20030726);
     let pkg = Pkg::setup(&mut rng, curve);
@@ -358,9 +483,64 @@ fn main() {
     let p99_ratio = storm_p99 / quiet_p99;
     println!("storm: p50 {storm_p50:.0} µs, p99 {storm_p99:.0} µs ({p99_ratio:.2}x quiet p99, target <= 2x)");
 
+    // Precompute-tier sweep: 1/16 of the population is enrolled (keys
+    // installed), caps at {0, ids/64, ids/16}. Cap 0 disables the tier
+    // outright — `serve_item` takes the PR 6 uncached pairing path, so
+    // the baseline is the genuine pre-cache server, not a cache that
+    // always misses.
+    let enrolled = load.ids / 16;
+    let caps = [0usize, load.ids / 64, enrolled];
+    println!("\ncache sweep: {enrolled} enrolled identities, caps {caps:?}");
+    let enrolled_keys: Vec<SemKey> = (0..enrolled)
+        .map(|rank| pkg.extract_split(&mut rng, &ident(rank)).1)
+        .collect();
+    let sweep: Vec<SweepPoint> = caps
+        .iter()
+        .map(|&cap| {
+            let point = cache_sweep_point(&pkg, &enrolled_keys, &load, cap, cap == enrolled);
+            println!(
+                "cap {:>6}: hit-rate {:.1}%, p50 {:.0} µs, p99 {:.0} µs, \
+                 {} entries / {} weight bytes",
+                point.cache_cap,
+                point.hit_rate * 100.0,
+                point.p50_us,
+                point.p99_us,
+                point.entries,
+                point.weight_bytes
+            );
+            point
+        })
+        .collect();
+    let full_cap = &sweep[sweep.len() - 1];
+    let hit_ok = full_cap.hit_rate >= 0.8;
+    let p50_ok = full_cap.p50_us < sweep[0].p50_us;
+    println!(
+        "cap=ids/16: hit-rate {:.1}% (target >= 80%), p50 {:.0} µs vs uncached {:.0} µs",
+        full_cap.hit_rate * 100.0,
+        full_cap.p50_us,
+        sweep[0].p50_us
+    );
+
+    let sweep_rows = sweep
+        .iter()
+        .map(|point| {
+            format!(
+                "    {{\"cache_cap\": {}, \"hit_rate\": {:.4}, \"p50_us\": {:.1}, \
+                 \"p99_us\": {:.1}, \"entries\": {}, \"weight_bytes\": {}}}",
+                point.cache_cap,
+                point.hit_rate,
+                point.p50_us,
+                point.p99_us,
+                point.entries,
+                point.weight_bytes
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"schema\": \"sempair-bench-serving/1\",\n  \"mode\": \"{}\",\n  \
-         \"identities\": {},\n  \"hot_identities\": {},\n  \"zipf_s\": 1.0,\n  \
+        "{{\n  \"schema\": \"sempair-bench-serving/2\",\n  \"mode\": \"{}\",\n  \
+         \"identities\": {},\n  \"hot_identities\": {},\n  \"enrolled_identities\": {enrolled},\n  \
+         \"zipf_s\": 1.0,\n  \
          \"workers\": {WORKERS},\n  \"shards\": {SHARDS},\n  \"conns\": {CONNS},\n  \
          \"pipeline_depth\": {DEPTH},\n  \"link_one_way_ms\": {},\n  \"results\": {{\n    \
          \"v1_req_per_s\": {v1_rps:.1},\n    \
@@ -368,9 +548,12 @@ fn main() {
          \"pipelined_speedup\": {speedup:.2},\n    \
          \"quiet_p50_us\": {quiet_p50:.1},\n    \"quiet_p99_us\": {quiet_p99:.1},\n    \
          \"storm_p50_us\": {storm_p50:.1},\n    \"storm_p99_us\": {storm_p99:.1},\n    \
-         \"storm_p99_ratio\": {p99_ratio:.2}\n  }},\n  \"targets\": {{\n    \
+         \"storm_p99_ratio\": {p99_ratio:.2}\n  }},\n  \"cache_sweep\": [\n{sweep_rows}\n  ],\n  \
+         \"targets\": {{\n    \
          \"pipelined_speedup_min\": 4.0,\n    \"pipelined_speedup_ok\": {},\n    \
-         \"storm_p99_ratio_max\": 2.0,\n    \"storm_p99_ratio_ok\": {}\n  }}\n}}\n",
+         \"storm_p99_ratio_max\": 2.0,\n    \"storm_p99_ratio_ok\": {},\n    \
+         \"cache_hit_rate_min\": 0.8,\n    \"cache_hit_rate_ok\": {hit_ok},\n    \
+         \"cache_p50_improves_ok\": {p50_ok}\n  }}\n}}\n",
         if smoke { "smoke" } else { "full" },
         load.ids,
         load.hot,

@@ -1,0 +1,404 @@
+//! A bounded, weighted LRU cache primitive for precomputed crypto
+//! values.
+//!
+//! Every scheme in this crate leans on values that are pure functions
+//! of `(params, identity)` — the mask base `ê(P_pub, Q_ID)`, the hashed
+//! identity point `Q_ID`, a half-key's prepared Miller lines. They are
+//! expensive to build (a pairing, a hash-to-curve, a Miller-chain
+//! walk) and small to keep, which makes a long-lived server want a
+//! cache — and the repo's bounded-state discipline (DESIGN.md §9)
+//! demands that cache be capped, counted, and observable.
+//!
+//! [`BoundedLru`] is the single-threaded primitive: a map plus a lazy
+//! recency queue, bounded by an **entry cap** and accounting a
+//! caller-supplied per-entry **weight** (approximate bytes) so
+//! occupancy can be exported in memory terms, not just entry counts.
+//! [`SharedLru`] wraps it in a [`parking_lot::Mutex`] for the
+//! get-outside-compute-insert pattern used by every consumer: look up
+//! under the lock, compute the miss outside it (concurrent misses on
+//! one key duplicate work instead of serializing it), insert the
+//! result. Counters (hits, misses, evictions, occupancy, weight) are
+//! monotone and cheap to snapshot.
+//!
+//! The recency queue is *lazy*: a touch pushes a fresh `(stamp, key)`
+//! slot instead of splicing the old one out, and eviction skips slots
+//! whose stamp no longer matches the live entry. The queue is kept
+//! bounded by compacting whenever stale slots outnumber live ones —
+//! the same tombstone idea that fixes the idempotency-window churn bug
+//! in `sem-net` (DESIGN.md §14).
+
+use std::borrow::Borrow;
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+
+/// Monotone hit/miss/eviction counters plus current occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheCounters {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (including lookups on a disabled cache).
+    pub misses: u64,
+    /// Live entries removed to make room for an insert.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Sum of the resident entries' weights (approximate bytes).
+    pub weight: usize,
+}
+
+/// One resident entry: the value, its weight, and the recency stamp of
+/// its newest queue slot (older slots for the same key are stale).
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    weight: usize,
+    stamp: u64,
+}
+
+/// A bounded LRU map with weight accounting.
+///
+/// `capacity` is the maximum number of resident entries; `0` disables
+/// the cache entirely (lookups miss, inserts drop — the disabled state
+/// still counts misses so a misconfigured cache is visible in
+/// metrics). Weights do not bound admission; they are accounting, so
+/// operators can translate an entry cap into bytes.
+#[derive(Debug)]
+pub struct BoundedLru<K, V> {
+    map: HashMap<K, Slot<V>>,
+    /// Recency queue, oldest first. Slots are `(stamp, key)`; a slot is
+    /// live iff the map entry for `key` carries the same stamp.
+    order: VecDeque<(u64, K)>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    weight: usize,
+}
+
+impl<K: Eq + Hash + Clone, V> BoundedLru<K, V> {
+    /// Creates a cache holding at most `capacity` entries (`0`
+    /// disables).
+    pub fn new(capacity: usize) -> Self {
+        BoundedLru {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity,
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            weight: 0,
+        }
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency on
+    /// a hit.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.clock += 1;
+        let stamp = self.clock;
+        let owned = match self.map.get_key_value(key) {
+            Some((k, _)) => k.clone(),
+            None => {
+                self.misses += 1;
+                return None;
+            }
+        };
+        self.hits += 1;
+        if let Some(slot) = self.map.get_mut(key) {
+            slot.stamp = stamp;
+        }
+        self.order.push_back((stamp, owned));
+        self.compact_if_bloated();
+        self.map.get(key).map(|slot| &slot.value)
+    }
+
+    /// Looks up `key` without touching recency or counters.
+    pub fn peek<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.get(key).map(|slot| &slot.value)
+    }
+
+    /// Inserts `key → value` with the given weight, evicting
+    /// least-recently-used entries if the cache is full. A re-insert of
+    /// a resident key replaces its value and refreshes recency. On a
+    /// disabled cache (`capacity == 0`) this is a no-op.
+    pub fn insert(&mut self, key: K, value: V, weight: usize) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(slot) = self.map.get_mut(&key) {
+            self.weight = self.weight - slot.weight + weight;
+            *slot = Slot {
+                value,
+                weight,
+                stamp,
+            };
+            self.order.push_back((stamp, key));
+            self.compact_if_bloated();
+            return;
+        }
+        while self.map.len() >= self.capacity {
+            if !self.evict_oldest() {
+                break;
+            }
+        }
+        self.weight += weight;
+        self.map.insert(
+            key.clone(),
+            Slot {
+                value,
+                weight,
+                stamp,
+            },
+        );
+        self.order.push_back((stamp, key));
+        self.compact_if_bloated();
+    }
+
+    /// Removes `key`, returning its value. The stale queue slot is left
+    /// behind and skipped at eviction time.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        let slot = self.map.remove(key)?;
+        self.weight -= slot.weight;
+        Some(slot.value)
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.weight = 0;
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.map.len(),
+            weight: self.weight,
+        }
+    }
+
+    /// Pops queue slots until one live entry has been evicted. Stale
+    /// slots (key gone, or re-touched under a newer stamp) are
+    /// discarded without counting as evictions — the fix for the FIFO
+    /// churn bug: a removed or refreshed key must never take a live
+    /// entry down with it.
+    fn evict_oldest(&mut self) -> bool {
+        while let Some((stamp, key)) = self.order.pop_front() {
+            let live = self.map.get(&key).is_some_and(|slot| slot.stamp == stamp);
+            if live {
+                if let Some(slot) = self.map.remove(&key) {
+                    self.weight -= slot.weight;
+                }
+                self.evictions += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rebuilds the queue when stale slots dominate, keeping its length
+    /// within a small multiple of the resident entry count.
+    fn compact_if_bloated(&mut self) {
+        if self.order.len() <= 2 * self.map.len() + 8 {
+            return;
+        }
+        let map = &self.map;
+        self.order
+            .retain(|(stamp, key)| map.get(key).is_some_and(|slot| slot.stamp == *stamp));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut cache = BoundedLru::new(2);
+        cache.insert("a", 1, 10);
+        cache.insert("b", 2, 10);
+        assert_eq!(cache.get("a"), Some(&1)); // refresh "a"
+        cache.insert("c", 3, 10); // evicts "b", the LRU
+        assert_eq!(cache.peek("a"), Some(&1));
+        assert_eq!(cache.peek("b"), None);
+        assert_eq!(cache.peek("c"), Some(&3));
+        let counters = cache.counters();
+        assert_eq!(counters.evictions, 1);
+        assert_eq!(counters.entries, 2);
+        assert_eq!(counters.weight, 20);
+    }
+
+    #[test]
+    fn removed_key_does_not_evict_live_entries() {
+        // The churn scenario: remove a key, re-insert it, then fill the
+        // cache. The stale slot for the first insert must not take the
+        // re-inserted entry down when it reaches the queue front.
+        let mut cache = BoundedLru::new(2);
+        cache.insert("x", 1, 1);
+        cache.remove("x");
+        cache.insert("x", 2, 1);
+        cache.insert("y", 3, 1);
+        // One more insert evicts exactly one live entry ("x", the LRU),
+        // not two.
+        cache.insert("z", 4, 1);
+        assert_eq!(cache.peek("x"), None);
+        assert_eq!(cache.peek("y"), Some(&3));
+        assert_eq!(cache.peek("z"), Some(&4));
+        assert_eq!(cache.counters().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_but_counts() {
+        let mut cache = BoundedLru::new(0);
+        cache.insert("a", 1, 1);
+        assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.get("a"), None);
+        let counters = cache.counters();
+        assert_eq!(counters.entries, 0);
+        assert_eq!(counters.misses, 2);
+        assert_eq!(counters.weight, 0);
+    }
+
+    #[test]
+    fn reinsert_updates_weight_in_place() {
+        let mut cache = BoundedLru::new(4);
+        cache.insert("a", 1, 100);
+        cache.insert("a", 2, 40);
+        let counters = cache.counters();
+        assert_eq!(counters.entries, 1);
+        assert_eq!(counters.weight, 40);
+        assert_eq!(cache.peek("a"), Some(&2));
+    }
+
+    #[test]
+    fn queue_stays_bounded_under_touch_churn() {
+        let mut cache = BoundedLru::new(8);
+        for i in 0..8 {
+            cache.insert(i, i, 1);
+        }
+        for round in 0..1000 {
+            assert!(cache.get(&(round % 8)).is_some());
+        }
+        assert!(
+            cache.order.len() <= 2 * cache.map.len() + 8,
+            "lazy queue must compact: len {}",
+            cache.order.len()
+        );
+    }
+
+    #[test]
+    fn shared_lru_single_entry_for_concurrent_misses() {
+        let cache: SharedLru<String, u64> = SharedLru::new(16);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let cache = &cache;
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        let value = match cache.get("k") {
+                            Some(v) => v,
+                            None => {
+                                // "Compute" outside the lock.
+                                cache.insert("k".to_string(), 7, 8);
+                                7
+                            }
+                        };
+                        assert_eq!(value, 7);
+                    }
+                });
+            }
+        });
+        let counters = cache.counters();
+        assert_eq!(counters.hits + counters.misses, 12);
+        assert_eq!(counters.entries, 1);
+    }
+}
+
+/// A [`BoundedLru`] behind a [`parking_lot::Mutex`], for sharing across
+/// server worker threads. Values are returned by clone, so consumers
+/// typically store `Arc`s (or small copy-on-clone values like `Gt`).
+#[derive(Debug)]
+pub struct SharedLru<K, V> {
+    inner: parking_lot::Mutex<BoundedLru<K, V>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SharedLru<K, V> {
+    /// Creates a shared cache holding at most `capacity` entries (`0`
+    /// disables).
+    pub fn new(capacity: usize) -> Self {
+        SharedLru {
+            inner: parking_lot::Mutex::new(BoundedLru::new(capacity)),
+        }
+    }
+
+    /// Cloning lookup; counts a hit or miss.
+    pub fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.inner.lock().get(key).cloned()
+    }
+
+    /// Inserts `key → value` with the given weight.
+    pub fn insert(&self, key: K, value: V, weight: usize) {
+        self.inner.lock().insert(key, value, weight);
+    }
+
+    /// Removes `key` (revocation-coherence hook: call while holding the
+    /// state write lock so no stale entry survives a revoke).
+    pub fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.inner.lock().remove(key)
+    }
+
+    /// Drops every entry (counters are kept).
+    pub fn clear(&self) {
+        self.inner.lock().clear();
+    }
+
+    /// The configured entry cap.
+    pub fn capacity(&self) -> usize {
+        self.inner.lock().capacity()
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> CacheCounters {
+        self.inner.lock().counters()
+    }
+}

@@ -9,9 +9,10 @@
 //!
 //! [`IbeEncryptor`] is a long-lived encryption handle that
 //!
-//! * caches `g_ID` per identity in a bounded FIFO map guarded by a
-//!   [`parking_lot::Mutex`] (share the handle across threads via
-//!   `Arc`), and
+//! * caches `g_ID` per identity in a bounded LRU map (the
+//!   [`crate::cache::BoundedLru`] primitive shared with the server-side
+//!   precompute tier) guarded by a [`parking_lot::Mutex`] (share the
+//!   handle across threads via `Arc`), and
 //! * computes cache misses through a [`PreparedG1`] of `P_pub`, so
 //!   even the first encryption to an identity skips the
 //!   point-arithmetic half of the Miller loop.
@@ -27,12 +28,12 @@
 //! new one — never reuse a handle across parameter sets.
 
 use crate::bf_ibe::{BasicCiphertext, FullCiphertext, IbePublicParams, SIGMA_LEN};
+use crate::cache::BoundedLru;
 use crate::Error;
 use parking_lot::Mutex;
 use rand::RngCore;
 use sempair_bigint::BigUint;
 use sempair_pairing::{Gt, PreparedG1};
-use std::collections::{HashMap, VecDeque};
 
 /// Default identity-cache capacity (entries).
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
@@ -48,46 +49,6 @@ pub struct CacheStats {
     pub entries: usize,
 }
 
-/// Bounded FIFO map `identity → g_ID`.
-///
-/// FIFO (not LRU) keeps the lock critical section to two `HashMap`
-/// operations; for the intended workloads (a stable working set far
-/// below capacity) the eviction policy is irrelevant.
-#[derive(Debug)]
-struct BaseCache {
-    map: HashMap<String, Gt>,
-    order: VecDeque<String>,
-    capacity: usize,
-    hits: u64,
-    misses: u64,
-}
-
-impl BaseCache {
-    fn get(&mut self, id: &str) -> Option<Gt> {
-        match self.map.get(id) {
-            Some(g) => {
-                self.hits += 1;
-                Some(g.clone())
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
-        }
-    }
-
-    fn insert(&mut self, id: &str, base: Gt) {
-        if self.map.insert(id.to_string(), base).is_none() {
-            self.order.push_back(id.to_string());
-            while self.order.len() > self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.map.remove(&evicted);
-                }
-            }
-        }
-    }
-}
-
 /// A long-lived encryption handle caching per-identity mask bases.
 ///
 /// Produces ciphertexts byte-identical to the uncached
@@ -101,7 +62,9 @@ pub struct IbeEncryptor {
     /// `P_pub` with precomputed Miller-loop coefficients: cache misses
     /// pay only the line-evaluation half of the pairing.
     prepared_p_pub: PreparedG1,
-    cache: Mutex<BaseCache>,
+    cache: Mutex<BoundedLru<String, Gt>>,
+    /// Weight charged per cached `Gt` (two `F_p` coordinates).
+    gt_weight: usize,
 }
 
 impl IbeEncryptor {
@@ -116,16 +79,12 @@ impl IbeEncryptor {
     /// speedup).
     pub fn with_capacity(params: IbePublicParams, capacity: usize) -> Self {
         let prepared_p_pub = params.curve().prepare_g1(params.p_pub());
+        let gt_weight = 2 * (params.curve().point_len() - 1);
         IbeEncryptor {
             params,
             prepared_p_pub,
-            cache: Mutex::new(BaseCache {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-                capacity,
-                hits: 0,
-                misses: 0,
-            }),
+            cache: Mutex::new(BoundedLru::new(capacity)),
+            gt_weight,
         }
     }
 
@@ -137,7 +96,7 @@ impl IbeEncryptor {
     /// The cached-or-computed mask base `g_ID = ê(P_pub, Q_ID)`.
     pub fn identity_base(&self, id: &str) -> Gt {
         if let Some(g) = self.cache.lock().get(id) {
-            return g;
+            return g.clone();
         }
         // Pairing computed outside the lock: concurrent misses on the
         // same identity duplicate work instead of serializing it.
@@ -146,7 +105,9 @@ impl IbeEncryptor {
             .params
             .curve()
             .pairing_prepared(&self.prepared_p_pub, &q_id);
-        self.cache.lock().insert(id, base.clone());
+        self.cache
+            .lock()
+            .insert(id.to_string(), base.clone(), self.gt_weight);
         base
     }
 
@@ -200,19 +161,17 @@ impl IbeEncryptor {
 
     /// Hit/miss/occupancy counters since construction.
     pub fn cache_stats(&self) -> CacheStats {
-        let cache = self.cache.lock();
+        let counters = self.cache.lock().counters();
         CacheStats {
-            hits: cache.hits,
-            misses: cache.misses,
-            entries: cache.map.len(),
+            hits: counters.hits,
+            misses: counters.misses,
+            entries: counters.entries,
         }
     }
 
     /// Drops every cached base (counters are kept).
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock();
-        cache.map.clear();
-        cache.order.clear();
+        self.cache.lock().clear();
     }
 }
 
@@ -284,12 +243,12 @@ mod tests {
     }
 
     #[test]
-    fn cache_is_bounded_fifo() {
+    fn cache_is_bounded_lru() {
         let pkg = pkg();
         let enc = IbeEncryptor::with_capacity(pkg.params().clone(), 2);
         enc.identity_base("a");
         enc.identity_base("b");
-        enc.identity_base("c"); // evicts "a"
+        enc.identity_base("c"); // evicts "a", the least recently used
         assert_eq!(enc.cache_stats().entries, 2);
         enc.identity_base("b"); // still cached
         assert_eq!(enc.cache_stats().hits, 1);

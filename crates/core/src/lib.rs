@@ -22,6 +22,9 @@
 //! * [`encryptor`] — a long-lived encryption handle caching the
 //!   per-identity mask base `ê(P_pub, Q_ID)` behind a bounded map, with
 //!   cache misses computed through a prepared pairing.
+//! * [`cache`] — the bounded, weighted LRU primitive behind every
+//!   precompute cache: entry-capped, weight-accounted, with monotone
+//!   hit/miss/eviction counters for metrics export.
 //! * [`signcryption`] — the conclusion's future-work item: a mediated
 //!   signcryption where *both* the sender's and the receiver's
 //!   capabilities are instantly revocable.
@@ -49,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod bf_ibe;
+pub mod cache;
 pub mod checked;
 pub mod cursor;
 pub mod dkg;

@@ -24,11 +24,13 @@
 //!   the shared modulus).
 
 use crate::bf_ibe::{FullCiphertext, IbePublicParams, Pkg};
+use crate::cache::SharedLru;
 use crate::Error;
 use rand::RngCore;
-use sempair_pairing::{G1Affine, Gt};
+use sempair_pairing::{G1Affine, Gt, PreparedG1};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// The user's half-key `d_user ∈ G1`.
 ///
@@ -197,11 +199,81 @@ impl Sem {
         Ok(DecryptToken(params.curve().pairing(u, &key.point)))
     }
 
+    /// [`Sem::decrypt_token`] through a shared cache of prepared
+    /// half-keys: the Miller-loop line coefficients of `d_sem` are
+    /// computed once per identity and replayed for every subsequent
+    /// token (the modified pairing is symmetric, so
+    /// `ê(U, d_sem) = ê(d_sem, U)` with `d_sem` as the prepared
+    /// argument). Identical output to the uncached path; only the cost
+    /// profile differs.
+    ///
+    /// Cache coherence is the caller's contract: entries must be
+    /// removed whenever the identity's half-key is replaced (the
+    /// serving layer invalidates under its state write lock).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`Sem::decrypt_token`].
+    pub fn decrypt_token_cached(
+        &self,
+        params: &IbePublicParams,
+        id: &str,
+        u: &G1Affine,
+        prepared: &SharedLru<String, Arc<PreparedG1>>,
+    ) -> Result<DecryptToken, Error> {
+        if self.revoked.contains(id) {
+            return Err(Error::Revoked);
+        }
+        let key = self.keys.get(id).ok_or(Error::UnknownIdentity)?;
+        if !params.curve().is_in_group(u) {
+            return Err(Error::InvalidCiphertext);
+        }
+        let prep = match prepared.get(id) {
+            Some(prep) => prep,
+            None => {
+                // Prepared outside the cache lock; concurrent misses on
+                // one identity duplicate work instead of serializing.
+                let prep = Arc::new(params.curve().prepare_g1(&key.point));
+                prepared.insert(
+                    id.to_string(),
+                    Arc::clone(&prep),
+                    prepared_weight(params, &prep),
+                );
+                prep
+            }
+        };
+        Ok(DecryptToken(params.curve().pairing_prepared(&prep, u)))
+    }
+
+    /// Prepares `d_sem`'s Miller lines into `prepared` ahead of
+    /// traffic (warm-start); a no-op for unknown identities.
+    pub fn warm_prepared(
+        &self,
+        params: &IbePublicParams,
+        id: &str,
+        prepared: &SharedLru<String, Arc<PreparedG1>>,
+    ) {
+        if let Some(key) = self.keys.get(id) {
+            let prep = Arc::new(params.curve().prepare_g1(&key.point));
+            prepared.insert(
+                id.to_string(),
+                Arc::clone(&prep),
+                prepared_weight(params, &prep),
+            );
+        }
+    }
+
     /// **Collusion hook** (tests/E9): what a compromised SEM leaks for
     /// one identity — its half-key.
     pub fn leak_key_for_attack_demo(&self, id: &str) -> Option<&SemKey> {
         self.keys.get(id)
     }
+}
+
+/// Approximate resident bytes of a prepared point: three `F_p`
+/// line coefficients per cached Miller step.
+pub fn prepared_weight(params: &IbePublicParams, prep: &PreparedG1) -> usize {
+    prep.len() * 3 * (params.curve().point_len() - 1)
 }
 
 impl UserKey {
@@ -266,6 +338,46 @@ mod tests {
         assert_eq!(
             user.finish_decrypt(pkg.params(), &c, &token).unwrap(),
             b"mediated hello"
+        );
+    }
+
+    #[test]
+    fn cached_token_path_is_byte_identical() {
+        let (pkg, mut sem, user, mut rng) = setup();
+        let prepared = SharedLru::new(16);
+        let c = pkg
+            .params()
+            .encrypt_full(&mut rng, "alice", b"prepared path")
+            .unwrap();
+        let plain = sem.decrypt_token(pkg.params(), "alice", &c.u).unwrap();
+        let cached = sem
+            .decrypt_token_cached(pkg.params(), "alice", &c.u, &prepared)
+            .unwrap();
+        assert_eq!(plain, cached, "prepared pairing must match ê(U, d_sem)");
+        assert_eq!(
+            user.finish_decrypt(pkg.params(), &c, &cached).unwrap(),
+            b"prepared path"
+        );
+        // Second call hits the cache and still matches.
+        let again = sem
+            .decrypt_token_cached(pkg.params(), "alice", &c.u, &prepared)
+            .unwrap();
+        assert_eq!(again, plain);
+        let counters = prepared.counters();
+        assert_eq!(
+            (counters.hits, counters.misses, counters.entries),
+            (1, 1, 1)
+        );
+        assert!(counters.weight > 0, "prepared entries must carry weight");
+        // Error ordering is preserved: revoked beats unknown/invalid.
+        sem.revoke("alice");
+        assert_eq!(
+            sem.decrypt_token_cached(pkg.params(), "alice", &c.u, &prepared),
+            Err(Error::Revoked)
+        );
+        assert_eq!(
+            sem.decrypt_token_cached(pkg.params(), "nobody", &c.u, &prepared),
+            Err(Error::UnknownIdentity)
         );
     }
 

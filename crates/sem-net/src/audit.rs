@@ -310,6 +310,25 @@ pub struct ReplicaHealth {
     pub cheats: u64,
 }
 
+/// Counter snapshot of one named precompute cache (DESIGN.md §14):
+/// the serving tier's mask-base / hashed-Q_ID / prepared-half-key
+/// caches export one row each.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheSeries {
+    /// Stable cache name (the `cache` label in the exposition).
+    pub name: String,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed (or hit a disabled cache).
+    pub misses: u64,
+    /// Live entries evicted to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+    /// Approximate resident bytes (sum of entry weights).
+    pub weight_bytes: u64,
+}
+
 /// Serializable point-in-time view of an [`AuditLog`] — everything an
 /// operator dashboard or the `sempair stats` subcommand needs, with no
 /// unbounded parts and no `Instant`s.
@@ -344,6 +363,10 @@ pub struct MetricsSnapshot {
     /// replica index. Empty for a single SEM — a snapshot taken from a
     /// lone [`AuditLog`] never invents replicas.
     pub replicas: Vec<ReplicaHealth>,
+    /// Precompute-cache counter rows, sorted by cache name. Empty when
+    /// the serving layer has no cache tier attached (a snapshot taken
+    /// from a lone [`AuditLog`] never invents caches).
+    pub caches: Vec<CacheSeries>,
 }
 
 impl MetricsSnapshot {
@@ -462,6 +485,26 @@ impl MetricsSnapshot {
                 replica.cheats
             );
         }
+        for cache in &self.caches {
+            let n = &cache.name;
+            let _ = writeln!(out, "sem_cache_hits_total{{cache=\"{n}\"}} {}", cache.hits);
+            let _ = writeln!(
+                out,
+                "sem_cache_misses_total{{cache=\"{n}\"}} {}",
+                cache.misses
+            );
+            let _ = writeln!(
+                out,
+                "sem_cache_evictions_total{{cache=\"{n}\"}} {}",
+                cache.evictions
+            );
+            let _ = writeln!(out, "sem_cache_entries{{cache=\"{n}\"}} {}", cache.entries);
+            let _ = writeln!(
+                out,
+                "sem_cache_weight_bytes{{cache=\"{n}\"}} {}",
+                cache.weight_bytes
+            );
+        }
         out
     }
 
@@ -477,6 +520,9 @@ impl MetricsSnapshot {
         let mut batch_buckets: Vec<u64> = Vec::new();
         // replica index → (reachable, cheats); both series required.
         let mut replica_rows: HashMap<u32, (Option<bool>, Option<u64>)> = HashMap::new();
+        // cache name → [hits, misses, evictions, entries, weight]; all
+        // five series required.
+        let mut cache_rows: HashMap<String, [Option<u64>; 5]> = HashMap::new();
         for line in text.lines() {
             let line = line.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -513,6 +559,21 @@ impl MetricsSnapshot {
                     let index: u32 = label_value(&labels, "replica")?.parse().ok()?;
                     replica_rows.entry(index).or_default().1 = Some(value);
                 }
+                "sem_cache_hits_total"
+                | "sem_cache_misses_total"
+                | "sem_cache_evictions_total"
+                | "sem_cache_entries"
+                | "sem_cache_weight_bytes" => {
+                    let cache = label_value(&labels, "cache")?;
+                    let slot = match name {
+                        "sem_cache_hits_total" => 0,
+                        "sem_cache_misses_total" => 1,
+                        "sem_cache_evictions_total" => 2,
+                        "sem_cache_entries" => 3,
+                        _ => 4,
+                    };
+                    cache_rows.entry(cache.to_string()).or_default()[slot] = Some(value);
+                }
                 _ if labels.is_empty() => {
                     scalars.insert(name, value);
                 }
@@ -544,6 +605,20 @@ impl MetricsSnapshot {
             })
             .collect::<Option<Vec<_>>>()?;
         replicas.sort_by_key(|r| r.index);
+        let mut caches: Vec<CacheSeries> = cache_rows
+            .into_iter()
+            .map(|(name, [hits, misses, evictions, entries, weight_bytes])| {
+                Some(CacheSeries {
+                    name,
+                    hits: hits?,
+                    misses: misses?,
+                    evictions: evictions?,
+                    entries: entries?,
+                    weight_bytes: weight_bytes?,
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        caches.sort_by(|a, b| a.name.cmp(&b.name));
         Some(MetricsSnapshot {
             uptime: Duration::from_micros(get("sem_uptime_microseconds")?),
             records_len: get("sem_audit_records")? as usize,
@@ -571,6 +646,7 @@ impl MetricsSnapshot {
             latency_us,
             batch_sizes,
             replicas,
+            caches,
         })
     }
 
@@ -610,6 +686,21 @@ impl MetricsSnapshot {
         self.batch_sizes.merge(&other.batch_sizes);
         self.replicas.extend(other.replicas.iter().copied());
         self.replicas.sort_by_key(|r| r.index);
+        // Cache rows add by name — the merged row reads as the
+        // cluster's total cache traffic and resident footprint.
+        for cache in &other.caches {
+            match self.caches.iter_mut().find(|c| c.name == cache.name) {
+                Some(mine) => {
+                    mine.hits += cache.hits;
+                    mine.misses += cache.misses;
+                    mine.evictions += cache.evictions;
+                    mine.entries += cache.entries;
+                    mine.weight_bytes += cache.weight_bytes;
+                }
+                None => self.caches.push(cache.clone()),
+            }
+        }
+        self.caches.sort_by(|a, b| a.name.cmp(&b.name));
     }
 }
 
@@ -955,6 +1046,7 @@ impl AuditLog {
                 .collect(),
             batch_sizes: inner.batch_sizes.clone(),
             replicas: Vec::new(),
+            caches: Vec::new(),
         }
     }
 }
@@ -1411,6 +1503,84 @@ mod tests {
             "sem_replica_reachable{replica=\"2\"} 7",
         );
         assert!(MetricsSnapshot::from_prometheus_text(&bad).is_none());
+    }
+
+    #[test]
+    fn cache_rows_round_trip() {
+        let log = AuditLog::new();
+        log.record("alice", Capability::IbeDecrypt, Outcome::Served, 32, NO_LAT);
+        let mut snapshot = log.metrics();
+        snapshot.caches = vec![
+            CacheSeries {
+                name: "half_key".into(),
+                hits: 40,
+                misses: 8,
+                evictions: 2,
+                entries: 6,
+                weight_bytes: 4096,
+            },
+            CacheSeries {
+                name: "mask_base".into(),
+                hits: 0,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+                weight_bytes: 66,
+            },
+        ];
+        let text = snapshot.to_prometheus_text();
+        assert!(text.contains("sem_cache_hits_total{cache=\"half_key\"} 40"));
+        assert!(text.contains("sem_cache_weight_bytes{cache=\"mask_base\"} 66"));
+        let parsed = MetricsSnapshot::from_prometheus_text(&text).expect("parseable");
+        assert_eq!(parsed, snapshot);
+        // A cache missing one of its five series is malformed.
+        let missing = text.replace("sem_cache_evictions_total{cache=\"half_key\"} 2\n", "");
+        assert!(MetricsSnapshot::from_prometheus_text(&missing).is_none());
+    }
+
+    #[test]
+    fn cache_rows_merge_by_name() {
+        let mut a = AuditLog::new().metrics();
+        a.caches = vec![CacheSeries {
+            name: "half_key".into(),
+            hits: 10,
+            misses: 2,
+            evictions: 1,
+            entries: 3,
+            weight_bytes: 300,
+        }];
+        let mut b = AuditLog::new().metrics();
+        b.caches = vec![
+            CacheSeries {
+                name: "half_key".into(),
+                hits: 5,
+                misses: 5,
+                evictions: 0,
+                entries: 4,
+                weight_bytes: 400,
+            },
+            CacheSeries {
+                name: "qid".into(),
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                entries: 1,
+                weight_bytes: 33,
+            },
+        ];
+        a.merge(&b);
+        assert_eq!(a.caches.len(), 2);
+        assert_eq!(a.caches[0].name, "half_key");
+        assert_eq!(a.caches[0].hits, 15);
+        assert_eq!(a.caches[0].misses, 7);
+        assert_eq!(a.caches[0].entries, 7);
+        assert_eq!(a.caches[0].weight_bytes, 700);
+        assert_eq!(a.caches[1].name, "qid");
+        let text = a.to_prometheus_text();
+        assert_eq!(
+            MetricsSnapshot::from_prometheus_text(&text).expect("parseable"),
+            a
+        );
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! The server-side precompute/cache tier (DESIGN.md §14).
+//!
+//! A long-lived SEM answers many requests for a small hot set of
+//! identities (the serving benchmark drives a Zipf workload), and
+//! almost everything expensive it computes per request is a pure
+//! function of `(params, identity)`:
+//!
+//! * the hashed identity point `Q_ID` (a hash-to-curve),
+//! * the mask base `ê(P_pub, Q_ID)` (a full pairing),
+//! * the half-key's prepared Miller lines (point arithmetic for the
+//!   whole Miller chain).
+//!
+//! [`CacheTier`] bundles one bounded [`SharedLru`] per value class.
+//! All three caches share one entry cap (`--cache-cap`); `0` disables
+//! the tier while keeping miss counters visible. Weights approximate
+//! resident bytes so occupancy exports in memory terms.
+//!
+//! # Revocation coherence
+//!
+//! `Q_ID` and `ê(P_pub, Q_ID)` depend only on public parameters, so
+//! revocation never invalidates them. The **half-key** cache caches key
+//! material derived from `d_sem`, so [`CacheTier::invalidate`] must run
+//! whenever an identity's key is installed, replaced, or revoked —
+//! and it must run *while the caller still holds the SEM state write
+//! lock*, so no request thread can re-populate the entry from a key
+//! that is about to disappear. (Revoked identities are refused before
+//! the cache is consulted, so a stale entry is a hygiene issue, not a
+//! correctness hole — but hygiene is the point of instant revocation.)
+
+use sempair_core::bf_ibe::IbePublicParams;
+use sempair_core::cache::SharedLru;
+use sempair_core::mediated::prepared_weight;
+use sempair_pairing::{G1Affine, Gt, PreparedG1};
+use std::sync::{Arc, OnceLock};
+
+use crate::audit::CacheSeries;
+
+/// Default entry cap per cache when `--cache-cap` is not given.
+pub const DEFAULT_CACHE_CAP: usize = 4096;
+
+/// The three-cache precompute tier attached to a serving SEM.
+///
+/// One instance serves one parameter set: every cached value is a pure
+/// function of the parameters captured at first use, so a tier must be
+/// dropped with the server that owns it, never reused across a
+/// parameter rotation.
+#[derive(Debug)]
+pub struct CacheTier {
+    /// `id → ê(P_pub, Q_ID)`, the encryption/verification mask base.
+    masks: SharedLru<String, Gt>,
+    /// `id → Q_ID`, the hashed identity point.
+    qids: SharedLru<String, G1Affine>,
+    /// `id → prepared d_sem`, the half-key Miller lines consumed by
+    /// [`sempair_core::mediated::Sem::decrypt_token_cached`].
+    half_keys: SharedLru<String, Arc<PreparedG1>>,
+    /// `P_pub` Miller lines, prepared once on the first mask miss.
+    prepared_p_pub: OnceLock<PreparedG1>,
+}
+
+impl CacheTier {
+    /// Builds a tier whose three caches each hold at most `capacity`
+    /// entries (`0` disables caching but keeps counters live).
+    pub fn new(capacity: usize) -> Self {
+        CacheTier {
+            masks: SharedLru::new(capacity),
+            qids: SharedLru::new(capacity),
+            half_keys: SharedLru::new(capacity),
+            prepared_p_pub: OnceLock::new(),
+        }
+    }
+
+    /// The per-cache entry cap.
+    pub fn capacity(&self) -> usize {
+        self.half_keys.capacity()
+    }
+
+    /// `true` iff the tier caches anything at all.
+    pub fn enabled(&self) -> bool {
+        self.capacity() > 0
+    }
+
+    /// The cached-or-computed hashed identity point `Q_ID`.
+    pub fn hashed_qid(&self, params: &IbePublicParams, id: &str) -> G1Affine {
+        if let Some(q) = self.qids.get(id) {
+            return q;
+        }
+        let q_id = params.hash_identity(id);
+        self.qids
+            .insert(id.to_string(), q_id.clone(), params.curve().point_len());
+        q_id
+    }
+
+    /// The cached-or-computed mask base `ê(P_pub, Q_ID)`. Misses pay
+    /// only the line-evaluation half of the pairing: `P_pub` is
+    /// prepared once per tier.
+    pub fn mask_base(&self, params: &IbePublicParams, id: &str) -> Gt {
+        if let Some(g) = self.masks.get(id) {
+            return g;
+        }
+        let prepared = self
+            .prepared_p_pub
+            .get_or_init(|| params.curve().prepare_g1(params.p_pub()));
+        let q_id = self.hashed_qid(params, id);
+        let base = params.curve().pairing_prepared(prepared, &q_id);
+        let gt_weight = 2 * (params.curve().point_len() - 1);
+        self.masks.insert(id.to_string(), base.clone(), gt_weight);
+        base
+    }
+
+    /// The half-key cache, in the shape
+    /// [`sempair_core::mediated::Sem::decrypt_token_cached`] consumes.
+    pub fn half_keys(&self) -> &SharedLru<String, Arc<PreparedG1>> {
+        &self.half_keys
+    }
+
+    /// Drops `id`'s half-key entry. Call on install, re-install and
+    /// revoke, while still holding the SEM state write lock (see the
+    /// module docs on revocation coherence).
+    pub fn invalidate(&self, id: &str) {
+        self.half_keys.remove(id);
+    }
+
+    /// Precomputes the parameter-only entries (`Q_ID`, mask base) for
+    /// `id` — the warm-start path replayed from the journal. Half-keys
+    /// are warmed separately at key-install time, because at journal
+    /// replay no key material exists yet.
+    pub fn warm_params(&self, params: &IbePublicParams, id: &str) {
+        if !self.enabled() {
+            return;
+        }
+        let _ = self.mask_base(params, id); // also populates the qid cache
+    }
+
+    /// Warms `id`'s half-key entry from an already-prepared `d_sem`.
+    pub fn warm_half_key(&self, params: &IbePublicParams, id: &str, prep: Arc<PreparedG1>) {
+        if !self.enabled() {
+            return;
+        }
+        let weight = prepared_weight(params, &prep);
+        self.half_keys.insert(id.to_string(), prep, weight);
+    }
+
+    /// Counter snapshot as metrics rows, sorted by cache name — the
+    /// shape `MetricsSnapshot.caches` carries over the stats op.
+    pub fn stats(&self) -> Vec<CacheSeries> {
+        let mut rows: Vec<CacheSeries> = [
+            ("half_key", self.half_keys.counters()),
+            ("mask_base", self.masks.counters()),
+            ("qid", self.qids.counters()),
+        ]
+        .into_iter()
+        .map(|(name, c)| CacheSeries {
+            name: name.to_string(),
+            hits: c.hits,
+            misses: c.misses,
+            evictions: c.evictions,
+            entries: c.entries as u64,
+            weight_bytes: c.weight as u64,
+        })
+        .collect();
+        rows.sort_by(|a, b| a.name.cmp(&b.name));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use sempair_core::bf_ibe::Pkg;
+    use sempair_pairing::CurveParams;
+
+    fn pkg() -> Pkg {
+        let mut rng = StdRng::seed_from_u64(411);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        Pkg::setup(&mut rng, curve)
+    }
+
+    #[test]
+    fn mask_base_matches_uncached_and_populates_qids() {
+        let pkg = pkg();
+        let tier = CacheTier::new(8);
+        assert_eq!(
+            tier.mask_base(pkg.params(), "alice"),
+            pkg.params().identity_base("alice")
+        );
+        assert_eq!(
+            tier.mask_base(pkg.params(), "alice"),
+            pkg.params().identity_base("alice")
+        );
+        let stats = tier.stats();
+        let mask = stats.iter().find(|s| s.name == "mask_base").unwrap();
+        assert_eq!((mask.hits, mask.misses, mask.entries), (1, 1, 1));
+        assert!(mask.weight_bytes > 0);
+        // The miss went through the qid cache.
+        let qid = stats.iter().find(|s| s.name == "qid").unwrap();
+        assert_eq!(qid.entries, 1);
+        assert_eq!(
+            tier.hashed_qid(pkg.params(), "alice"),
+            pkg.params().hash_identity("alice")
+        );
+    }
+
+    #[test]
+    fn disabled_tier_computes_but_never_caches() {
+        let pkg = pkg();
+        let tier = CacheTier::new(0);
+        assert!(!tier.enabled());
+        assert_eq!(
+            tier.mask_base(pkg.params(), "bob"),
+            pkg.params().identity_base("bob")
+        );
+        tier.warm_params(pkg.params(), "bob");
+        let stats = tier.stats();
+        assert!(stats.iter().all(|s| s.entries == 0));
+        // The request-path miss is still counted (warm_params short-circuits).
+        let mask = stats.iter().find(|s| s.name == "mask_base").unwrap();
+        assert_eq!(mask.misses, 1);
+    }
+
+    #[test]
+    fn invalidate_drops_only_the_half_key_entry() {
+        let pkg = pkg();
+        let mut rng = StdRng::seed_from_u64(412);
+        let (_, sem_key) = pkg.extract_split(&mut rng, "carol");
+        let mut sem = sempair_core::mediated::Sem::new();
+        sem.install(sem_key);
+        let tier = CacheTier::new(8);
+        tier.warm_params(pkg.params(), "carol");
+        sem.warm_prepared(pkg.params(), "carol", tier.half_keys());
+        assert_eq!(
+            tier.stats()
+                .iter()
+                .find(|s| s.name == "half_key")
+                .unwrap()
+                .entries,
+            1
+        );
+        tier.invalidate("carol");
+        let stats = tier.stats();
+        assert_eq!(
+            stats.iter().find(|s| s.name == "half_key").unwrap().entries,
+            0
+        );
+        assert_eq!(
+            stats
+                .iter()
+                .find(|s| s.name == "mask_base")
+                .unwrap()
+                .entries,
+            1
+        );
+        assert_eq!(stats.iter().find(|s| s.name == "qid").unwrap().entries, 1);
+    }
+}

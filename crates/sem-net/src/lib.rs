@@ -49,6 +49,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod audit;
+pub mod cache;
 pub mod cluster;
 pub mod deployment;
 pub mod faults;

@@ -15,7 +15,16 @@
 //!   kind 1 (Revoke):   data = identity bytes (UTF-8)
 //!   kind 2 (Unrevoke): data = identity bytes (UTF-8)
 //!   kind 3 (Epoch):    data = u64 epoch
+//!   kind 4 (Warm):     data = identity bytes (UTF-8)
 //! ```
+//!
+//! `Warm` records the hot-identity set the serving cache tier saw, so
+//! a restarted daemon can precompute those identities' pairing values
+//! before its first request (DESIGN.md §14). Pre-`Warm` binaries
+//! treat kind 4 as an unknown record — i.e. as a torn tail — and
+//! truncate from the first one; acceptable because warm records are
+//! only appended when the operator opts in (`--cache-warm`), and
+//! losing them costs warm-start coverage, never correctness.
 //!
 //! **Replay semantics.** [`Journal::open`] scans the file from the
 //! start and folds each intact record into a [`ReplayedState`]. The
@@ -50,6 +59,9 @@ pub enum Record {
     Unrevoke(String),
     /// The validity-period epoch counter advanced to this value.
     Epoch(u64),
+    /// The identity joined the serving cache tier's hot set; replay
+    /// warm-starts its precomputed values.
+    Warm(String),
 }
 
 impl Record {
@@ -70,6 +82,11 @@ impl Record {
                 out.extend_from_slice(&epoch.to_be_bytes());
                 out
             }
+            Record::Warm(id) => {
+                let mut out = vec![4u8];
+                out.extend_from_slice(id.as_bytes());
+                out
+            }
         }
     }
 
@@ -82,6 +99,7 @@ impl Record {
                 let data: [u8; 8] = data.try_into().ok()?;
                 Some(Record::Epoch(u64::from_be_bytes(data)))
             }
+            4 => Some(Record::Warm(String::from_utf8(data.to_vec()).ok()?)),
             _ => None,
         }
     }
@@ -98,6 +116,9 @@ pub struct ReplayedState {
     pub records: usize,
     /// Bytes of torn/corrupt tail that were truncated away.
     pub truncated_bytes: u64,
+    /// Hot identities journaled by the cache tier, in first-seen
+    /// order (deduplicated), for warm-starting precomputed values.
+    pub warm: Vec<String>,
 }
 
 impl ReplayedState {
@@ -110,6 +131,11 @@ impl ReplayedState {
                 self.revoked.remove(id);
             }
             Record::Epoch(epoch) => self.epoch = *epoch,
+            Record::Warm(id) => {
+                if !self.warm.contains(id) {
+                    self.warm.push(id.clone());
+                }
+            }
         }
         self.records += 1;
     }
@@ -353,11 +379,31 @@ mod tests {
     }
 
     #[test]
+    fn warm_records_replay_in_first_seen_order_deduplicated() {
+        let path = temp_journal("warm");
+        let _cleanup = Cleanup(path.clone());
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            journal.append(&Record::Warm("carol".into())).unwrap();
+            journal.append(&Record::Revoke("alice".into())).unwrap();
+            journal.append(&Record::Warm("alice".into())).unwrap();
+            journal.append(&Record::Warm("carol".into())).unwrap();
+        }
+        let (_, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 4);
+        assert_eq!(state.warm, vec!["carol".to_string(), "alice".to_string()]);
+        // Warm records never touch the revocation set.
+        assert!(state.revoked.contains("alice"));
+        assert_eq!(state.revoked.len(), 1);
+    }
+
+    #[test]
     fn record_payload_roundtrip() {
         for record in [
             Record::Revoke("ålice@example.com".into()),
             Record::Unrevoke(String::new()),
             Record::Epoch(u64::MAX),
+            Record::Warm("hot@example.com".into()),
         ] {
             assert_eq!(Record::from_payload(&record.payload()), Some(record));
         }

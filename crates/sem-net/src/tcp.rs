@@ -139,6 +139,16 @@ pub struct ServerConfig {
     /// Max envelopes one connection may have in flight; past it the
     /// reader stops reading and TCP backpressures the peer.
     pub pipeline_depth: usize,
+    /// Entry cap for each cache of the precompute tier
+    /// ([`crate::cache::CacheTier`]): hashed `Q_ID` points, mask
+    /// bases, and prepared half-keys. `0` disables the tier — token
+    /// requests take the uncached pairing path.
+    pub cache_cap: usize,
+    /// Journal the served hot-identity set (bounded by `cache_cap`)
+    /// and warm-start the precompute tier from it on restart. Only
+    /// meaningful on a journal-backed daemon
+    /// ([`TcpSemServer::bind_with_journal`]).
+    pub cache_warm: bool,
     /// Memory bounds for the daemon's audit log and identity metering
     /// (ring-buffer cap, identity-cardinality cap).
     pub audit: AuditConfig,
@@ -155,6 +165,8 @@ impl Default for ServerConfig {
             shards: 8,
             queue_cap: 1024,
             pipeline_depth: 64,
+            cache_cap: crate::cache::DEFAULT_CACHE_CAP,
+            cache_warm: false,
             audit: AuditConfig::default(),
         }
     }
@@ -198,6 +210,15 @@ struct Shared {
     /// retried request replays its stored response instead of
     /// executing twice.
     idem: Mutex<IdemCache>,
+    /// The precompute tier: hashed `Q_ID` points, mask bases, and
+    /// prepared half-keys, each behind a bounded LRU
+    /// (`config.cache_cap`; `0` disables).
+    tier: crate::cache::CacheTier,
+    /// The journaled hot-identity set: ids replayed from `Warm`
+    /// records at bind plus ids first served this run. Membership
+    /// means "already journaled" (dedup) and "warm the half-key at
+    /// install time". Bounded by `cache_cap`.
+    warm: Mutex<HashSet<String>>,
 }
 
 impl Shared {
@@ -228,6 +249,35 @@ impl Shared {
         drop(state);
         self.pool.ready.notify_one();
         None
+    }
+
+    /// The daemon's metrics snapshot with the precompute tier's cache
+    /// counters attached — what the stats op and `metrics()` return.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = self.audit.metrics();
+        snapshot.caches = self.tier.stats();
+        snapshot
+    }
+
+    /// Marks `id` as hot: journals a `Warm` record (once per id, set
+    /// bounded by `cache_cap`) so a restarted daemon can warm-start
+    /// its precompute tier. Must be called **without** any shard lock
+    /// held: `revoke` takes the journal lock before the shard write
+    /// lock, so taking them in the opposite order here would deadlock.
+    fn note_warm(&self, id: &str) {
+        if !self.config.cache_warm || !self.tier.enabled() {
+            return;
+        }
+        {
+            let mut warm = self.warm.lock();
+            if warm.len() >= self.config.cache_cap || warm.contains(id) {
+                return;
+            }
+            warm.insert(id.to_string());
+        }
+        if let Some(journal) = self.journal.lock().as_mut() {
+            let _ = journal.append(&Record::Warm(id.to_string()));
+        }
     }
 }
 
@@ -327,26 +377,65 @@ enum Admission {
     Replay(Response),
 }
 
-/// FIFO-bounded map of recent pipelined request ids ([`IDEM_WINDOW`]).
-#[derive(Default)]
+/// Bounded map of recent pipelined request ids (default window
+/// [`IDEM_WINDOW`]), aged out oldest-live-first.
+///
+/// The admission queue is *lazy*, the same tombstone discipline as
+/// `sempair_core::cache::BoundedLru`: [`IdemCache::forget`] removes
+/// only the map entry and leaves its queue slot behind as a stale
+/// tombstone, and every entry carries the generation stamp of its
+/// (single) live slot. Eviction pops slots until it finds one whose
+/// stamp still matches a live entry, so a stale tombstone can never
+/// take a *different* live entry down with it — the churn bug the
+/// FIFO predecessor had, where a shed-and-retried request id left a
+/// duplicate slot whose eviction removed the retry's live entry (a
+/// completed request would then re-execute, breaking exactly-once)
+/// and every leaked slot shrank the effective window.
 struct IdemCache {
-    entries: HashMap<(u64, u64), IdemEntry>,
-    order: VecDeque<(u64, u64)>,
+    /// `(session, req_id) → (generation, state)`. The window bound is
+    /// measured against **live entries** (`entries.len()`), never
+    /// against the queue length, which also counts tombstones.
+    entries: HashMap<(u64, u64), (u64, IdemEntry)>,
+    /// Admission order, oldest first. A slot is live iff the map entry
+    /// for its key carries the same generation.
+    order: VecDeque<(u64, (u64, u64))>,
+    next_gen: u64,
+    window: usize,
+}
+
+impl Default for IdemCache {
+    fn default() -> Self {
+        Self::with_window(IDEM_WINDOW)
+    }
 }
 
 impl IdemCache {
+    /// A cache remembering at most `window` live request ids (tests
+    /// shrink the window to make eviction reachable).
+    fn with_window(window: usize) -> Self {
+        IdemCache {
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+            next_gen: 0,
+            window: window.max(1),
+        }
+    }
+
     fn admit(&mut self, key: (u64, u64)) -> Admission {
         match self.entries.get(&key) {
-            Some(IdemEntry::Pending) => Admission::InFlight,
-            Some(IdemEntry::Done(response)) => Admission::Replay(response.clone()),
+            Some((_, IdemEntry::Pending)) => Admission::InFlight,
+            Some((_, IdemEntry::Done(response))) => Admission::Replay(response.clone()),
             None => {
-                if self.order.len() >= IDEM_WINDOW {
-                    if let Some(evicted) = self.order.pop_front() {
-                        self.entries.remove(&evicted);
+                while self.entries.len() >= self.window {
+                    if !self.evict_oldest() {
+                        break;
                     }
                 }
-                self.order.push_back(key);
-                self.entries.insert(key, IdemEntry::Pending);
+                self.next_gen += 1;
+                let gen = self.next_gen;
+                self.order.push_back((gen, key));
+                self.entries.insert(key, (gen, IdemEntry::Pending));
+                self.compact_if_bloated();
                 Admission::Fresh
             }
         }
@@ -356,16 +445,49 @@ impl IdemCache {
     /// frame can reach the client, so a retry racing the reply replays
     /// instead of re-executing.
     fn complete(&mut self, key: (u64, u64), response: Response) {
-        if let Some(entry) = self.entries.get_mut(&key) {
+        if let Some((_, entry)) = self.entries.get_mut(&key) {
             *entry = IdemEntry::Done(response);
         }
     }
 
     /// Un-tracks a request that was shed (never executed), so its
-    /// retry is admitted as fresh. The FIFO slot is left behind and
-    /// becomes a no-op at eviction time.
+    /// retry is admitted as fresh. The queue slot is left behind as a
+    /// tombstone, skipped at eviction time by its stale generation.
     fn forget(&mut self, key: (u64, u64)) {
         self.entries.remove(&key);
+    }
+
+    /// Pops queue slots until one **live** entry has been evicted;
+    /// `false` if the queue ran dry first. Tombstones (key forgotten,
+    /// or re-admitted under a newer generation) are discarded without
+    /// touching the map.
+    fn evict_oldest(&mut self) -> bool {
+        while let Some((gen, key)) = self.order.pop_front() {
+            let live = self
+                .entries
+                .get(&key)
+                .is_some_and(|(entry_gen, _)| *entry_gen == gen);
+            if live {
+                self.entries.remove(&key);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Rebuilds the queue when tombstones dominate, keeping its length
+    /// within a small multiple of the live entry count — so a forget
+    /// storm cannot grow the queue without bound.
+    fn compact_if_bloated(&mut self) {
+        if self.order.len() <= 2 * self.entries.len() + 8 {
+            return;
+        }
+        let entries = &self.entries;
+        self.order.retain(|(gen, key)| {
+            entries
+                .get(key)
+                .is_some_and(|(entry_gen, _)| *entry_gen == *gen)
+        });
     }
 }
 
@@ -566,6 +688,17 @@ impl TcpSemServer {
             inner.gdh.revoke(id);
             inner.revoked.insert(id.clone());
         }
+        // Warm-start the precompute tier from the journaled hot set:
+        // the parameter-only entries (Q_ID, mask base) can be built
+        // right now; half-keys are warmed when their key material
+        // arrives (`install_ibe`), keyed off the same warm set.
+        if server.shared.config.cache_warm && server.shared.tier.enabled() {
+            let mut warm = server.shared.warm.lock();
+            for id in replayed.warm.iter().take(server.shared.config.cache_cap) {
+                warm.insert(id.clone());
+                server.shared.tier.warm_params(&server.shared.params, id);
+            }
+        }
         Ok((server, replayed))
     }
 
@@ -582,6 +715,7 @@ impl TcpSemServer {
         let shards = (0..config.shards.max(1))
             .map(|_| RwLock::new(Inner::default()))
             .collect();
+        let cache_cap = config.cache_cap;
         let shared = Arc::new(Shared {
             params,
             shards,
@@ -594,6 +728,8 @@ impl TcpSemServer {
             journal: Mutex::new(journal),
             pool: PoolQueue::default(),
             idem: Mutex::new(IdemCache::default()),
+            tier: crate::cache::CacheTier::new(cache_cap),
+            warm: Mutex::new(HashSet::new()),
         });
         let pool_workers = (0..shared.config.workers.max(1))
             .map(|_| {
@@ -639,9 +775,27 @@ impl TcpSemServer {
         self.shared.live.load(Ordering::SeqCst)
     }
 
-    /// Installs an IBE half-key (on its identity's shard).
+    /// Installs an IBE half-key (on its identity's shard). Any cached
+    /// prepared half-key for the identity is invalidated under the
+    /// same write lock (a re-install must never serve stale Miller
+    /// lines); if the identity is in the journaled warm set, the new
+    /// key is prepared into the cache right here.
     pub fn install_ibe(&self, key: SemKey) {
-        self.shared.shard(&key.id).write().ibe.install(key);
+        let id = key.id.clone();
+        // Warm-set membership is read *before* the shard lock: the
+        // daemon's lock order is warm → journal → shard (note_warm,
+        // revoke), so taking warm while holding a shard lock could
+        // deadlock. Racing a concurrent note_warm at worst skips the
+        // eager warm; the first request then populates the cache.
+        let warm_start = self.shared.tier.enabled() && self.shared.warm.lock().contains(&id);
+        let mut inner = self.shared.shard(&id).write();
+        inner.ibe.install(key);
+        self.shared.tier.invalidate(&id);
+        if warm_start {
+            inner
+                .ibe
+                .warm_prepared(&self.shared.params, &id, self.shared.tier.half_keys());
+        }
     }
 
     /// Installs a GDH half-key (on its identity's shard).
@@ -672,6 +826,10 @@ impl TcpSemServer {
         inner.ibe.revoke(id);
         inner.gdh.revoke(id);
         inner.revoked.insert(id.to_string());
+        // Still under the shard write lock: no request thread can
+        // observe the revocation without also observing the cache
+        // invalidation (DESIGN.md §14, revocation coherence).
+        self.shared.tier.invalidate(id);
     }
 
     /// Reinstates an identity (journaled like [`revoke`](Self::revoke)).
@@ -707,9 +865,16 @@ impl TcpSemServer {
     }
 
     /// Serializable point-in-time metrics view — what the `stats` wire
-    /// op (and `sempair stats`) returns.
+    /// op (and `sempair stats`) returns, including the precompute
+    /// tier's cache counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.audit.metrics()
+        self.shared.snapshot()
+    }
+
+    /// The precompute tier's per-cache counters (hits, misses,
+    /// evictions, occupancy, resident weight), sorted by cache name.
+    pub fn cache_stats(&self) -> Vec<crate::audit::CacheSeries> {
+        self.shared.tier.stats()
     }
 
     /// Stops the acceptor, force-closes every live connection, and
@@ -1062,6 +1227,18 @@ fn worker_loop(shared: &Shared) {
                     None => break,
                 }
             }
+            drop(state);
+            // Cache-aware scheduling: run the burst's token jobs
+            // grouped by identity (stable in first-arrival order), so
+            // consecutive jobs for one identity hit the precompute
+            // tier back-to-back instead of interleaving identities
+            // and churning the half-key LRU.
+            let mut batch = group_by_identity(batch);
+            let mut state = shared
+                .pool
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(job) = state.signs.pop_front() {
                 batch.push(job);
             }
@@ -1071,6 +1248,35 @@ fn worker_loop(shared: &Shared) {
             execute_job(job, shared);
         }
     }
+}
+
+/// Stable identity grouping for a drained token burst: jobs keep
+/// their arrival order *between* identities (first occurrence wins)
+/// and *within* an identity, so replies stay causally ordered per
+/// client while same-identity work runs contiguously.
+fn group_by_identity(jobs: Vec<WireJob>) -> Vec<WireJob> {
+    if jobs.len() < 3 {
+        return jobs;
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut buckets: HashMap<String, Vec<WireJob>> = HashMap::new();
+    for job in jobs {
+        match buckets.get_mut(&job.env.inner.id) {
+            Some(bucket) => bucket.push(job),
+            None => {
+                let id = job.env.inner.id.clone();
+                order.push(id.clone());
+                buckets.insert(id, vec![job]);
+            }
+        }
+    }
+    let mut grouped = Vec::new();
+    for id in order {
+        if let Some(bucket) = buckets.remove(&id) {
+            grouped.extend(bucket);
+        }
+    }
+    grouped
 }
 
 /// Executes one pipelined job end to end.
@@ -1115,7 +1321,7 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
         // polling a dashboard never perturbs the numbers it reads.
         Op::Stats => Response {
             status: Status::Ok,
-            body: shared.audit.metrics().to_prometheus_text().into_bytes(),
+            body: shared.snapshot().to_prometheus_text().into_bytes(),
         },
         op => {
             let started = Instant::now();
@@ -1123,6 +1329,12 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
                 let inner = shared.shard(&request.id).read();
                 serve_item(op, &request.id, &request.body, shared, &inner)
             };
+            // The shard read lock is dropped: note_warm may take the
+            // journal lock, which `revoke` holds while waiting for
+            // this very shard.
+            if op == Op::IbeToken && response.status == Status::Ok {
+                shared.note_warm(&request.id);
+            }
             shared.audit.record(
                 &request.id,
                 capability,
@@ -1151,6 +1363,11 @@ fn handle_batch(items: &[Request], shared: &Shared) -> Response {
         })
         .collect();
     shared.audit.note_batch(items.len());
+    for (item, (_, response, _)) in items.iter().zip(&served) {
+        if item.op == Op::IbeToken && response.status == Status::Ok {
+            shared.note_warm(&item.id);
+        }
+    }
     for (item, (capability, response, latency)) in items.iter().zip(&served) {
         shared.audit.record_batched(
             &item.id,
@@ -1188,16 +1405,30 @@ fn serve_item(
                     status: Status::Invalid,
                     body: vec![],
                 },
-                Ok(u) => match inner.ibe.decrypt_token(params, id, &u) {
-                    Ok(token) => Response {
-                        status: Status::Ok,
-                        body: params.curve().gt_to_bytes(&token.0),
-                    },
-                    Err(e) => Response {
-                        status: Status::from_error(&e),
-                        body: vec![],
-                    },
-                },
+                Ok(u) => {
+                    // With the tier enabled, serve through the cached
+                    // prepared half-key (byte-identical tokens — the
+                    // modified pairing is symmetric, proven in
+                    // sempair-core's mediated tests); disabled, take
+                    // the plain pairing path exactly as before.
+                    let token = if shared.tier.enabled() {
+                        inner
+                            .ibe
+                            .decrypt_token_cached(params, id, &u, shared.tier.half_keys())
+                    } else {
+                        inner.ibe.decrypt_token(params, id, &u)
+                    };
+                    match token {
+                        Ok(token) => Response {
+                            status: Status::Ok,
+                            body: params.curve().gt_to_bytes(&token.0),
+                        },
+                        Err(e) => Response {
+                            status: Status::from_error(&e),
+                            body: vec![],
+                        },
+                    }
+                }
             };
             (Capability::IbeDecrypt, response)
         }
@@ -2493,6 +2724,253 @@ mod tests {
         assert_eq!(ok, BURST);
         assert_eq!(server.audit_stats("alice").served, BURST as u64);
         server.shutdown();
+    }
+
+    /// Regression (idempotency-window eviction churn): a completed
+    /// entry must survive `IDEM_WINDOW − 1` fresh admissions, no
+    /// matter how many shed-and-forgotten ids leaked tombstone slots
+    /// in between. The old FIFO evicted by queue length, so a window
+    /// of forget churn would pop the live `Done` entry and a retried
+    /// completed request re-executed — breaking exactly-once.
+    #[test]
+    fn idem_done_entry_survives_window_despite_forget_churn() {
+        let mut cache = IdemCache::default();
+        let done_key = (1u64, 1u64);
+        let response = Response {
+            status: Status::Ok,
+            body: vec![0xAB],
+        };
+        assert!(matches!(cache.admit(done_key), Admission::Fresh));
+        cache.complete(done_key, response.clone());
+        // Shed churn: every admission is forgotten again, leaving
+        // only tombstones behind (the overload-shedding pattern).
+        for i in 0..2 * IDEM_WINDOW as u64 {
+            let key = (2, i);
+            assert!(matches!(cache.admit(key), Admission::Fresh));
+            cache.forget(key);
+        }
+        // IDEM_WINDOW − 1 genuinely fresh admissions: together with
+        // done_key that fills the window exactly, evicting nothing.
+        for i in 0..(IDEM_WINDOW as u64 - 1) {
+            assert!(matches!(cache.admit((3, i)), Admission::Fresh));
+        }
+        match cache.admit(done_key) {
+            Admission::Replay(got) => assert_eq!(got, response),
+            _ => panic!("completed entry was evicted by tombstone churn"),
+        }
+        // Occupancy is measured in live entries, and the tombstone
+        // queue stays bounded.
+        assert!(cache.entries.len() <= IDEM_WINDOW);
+        assert!(cache.order.len() <= 2 * IDEM_WINDOW + 8);
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// The idempotency window behaves exactly like an insertion-
+        /// ordered map bounded to `window` live keys, under arbitrary
+        /// admit/complete/forget interleavings: no live entry is
+        /// evicted before `window` younger live keys exist, occupancy
+        /// is bounded by live entries, and the lazy queue stays within
+        /// a small multiple of the window.
+        #[test]
+        fn idem_cache_matches_insertion_ordered_model(
+            ops in proptest::collection::vec((0u8..3u8, 0u64..24u64), 1..400),
+            window in 1usize..12usize,
+        ) {
+            use proptest::prelude::{prop_assert, prop_assert_eq};
+            let mut cache = IdemCache::with_window(window);
+            // Reference model: live keys oldest-first, plus which are Done.
+            let mut live: Vec<(u64, u64)> = Vec::new();
+            let mut done: HashSet<(u64, u64)> = HashSet::new();
+            let response = Response { status: Status::Ok, body: vec![7] };
+            for (kind, k) in ops {
+                let key = (1u64, k);
+                match kind {
+                    0 => {
+                        let expected = if live.contains(&key) {
+                            if done.contains(&key) { "replay" } else { "inflight" }
+                        } else {
+                            if live.len() >= window && !live.is_empty() {
+                                let victim = live.remove(0);
+                                done.remove(&victim);
+                            }
+                            live.push(key);
+                            "fresh"
+                        };
+                        let got = match cache.admit(key) {
+                            Admission::Fresh => "fresh",
+                            Admission::InFlight => "inflight",
+                            Admission::Replay(r) => {
+                                prop_assert_eq!(&r, &response);
+                                "replay"
+                            }
+                        };
+                        prop_assert_eq!(got, expected);
+                    }
+                    1 => {
+                        if live.contains(&key) {
+                            done.insert(key);
+                        }
+                        cache.complete(key, response.clone());
+                    }
+                    _ => {
+                        live.retain(|other| other != &key);
+                        done.remove(&key);
+                        cache.forget(key);
+                    }
+                }
+                prop_assert_eq!(cache.entries.len(), live.len());
+                prop_assert!(cache.entries.len() <= window);
+                prop_assert!(cache.order.len() <= 2 * window + 8);
+            }
+        }
+    }
+
+    /// Two clients missing the same identity concurrently leave
+    /// exactly ONE cached half-key entry, the hit/miss totals cover
+    /// every lookup, and the cached tokens are byte-identical to a
+    /// tier-disabled daemon's (the pairing-symmetry guarantee,
+    /// end-to-end).
+    #[test]
+    fn cache_tier_coherent_under_concurrent_misses() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            workers: 4,
+            cache_cap: 64,
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        let uncached = TcpSemServer::bind_with(
+            "127.0.0.1:0",
+            pkg.params().clone(),
+            ServerConfig {
+                cache_cap: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        uncached.install_ibe(sem_key.clone());
+        server.install_ibe(sem_key);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        const THREADS: usize = 2;
+        const REQS: usize = 4;
+        let tokens: Vec<Vec<u8>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let addr = server.local_addr();
+                    let params = pkg.params().clone();
+                    let u = c.u.clone();
+                    scope.spawn(move || {
+                        let mut client = TcpSemClient::connect(addr, params.clone()).unwrap();
+                        (0..REQS)
+                            .map(|_| {
+                                let token = client.ibe_token("alice", &u).unwrap();
+                                params.curve().gt_to_bytes(&token.0)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().unwrap())
+                .collect()
+        });
+        let mut plain = TcpSemClient::connect(uncached.local_addr(), pkg.params().clone()).unwrap();
+        let reference = pkg
+            .params()
+            .curve()
+            .gt_to_bytes(&plain.ibe_token("alice", &c.u).unwrap().0);
+        assert_eq!(tokens.len(), THREADS * REQS);
+        for token in &tokens {
+            assert_eq!(token, &reference, "cached token differs from uncached");
+        }
+        let caches = server.cache_stats();
+        let half = caches.iter().find(|s| s.name == "half_key").unwrap();
+        assert_eq!(
+            half.entries, 1,
+            "concurrent misses must coalesce to one entry"
+        );
+        assert_eq!(half.hits + half.misses, (THREADS * REQS) as u64);
+        // At most one duplicated miss per thread racing the first fill.
+        assert!(half.misses <= THREADS as u64);
+        assert!(half.weight_bytes > 0);
+        // The tier-disabled daemon never populated (or consulted) its caches.
+        let off = uncached.cache_stats();
+        assert!(off
+            .iter()
+            .all(|s| s.entries == 0 && s.hits == 0 && s.misses == 0));
+        server.shutdown();
+        uncached.shutdown();
+    }
+
+    /// `--cache-warm`: the hot-identity set is journaled, and a
+    /// restarted daemon precomputes those identities' cache entries
+    /// before its first request — the first post-restart token is a
+    /// cache *hit*.
+    #[test]
+    fn cache_warm_restart_precomputes_hot_identities() {
+        let dir = std::env::temp_dir().join(format!(
+            "sempair-tcp-warm-{}-{:x}",
+            std::process::id(),
+            0xCA4Eu32
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sem.journal");
+        let config = ServerConfig {
+            cache_warm: true,
+            ..ServerConfig::default()
+        };
+        let (pkg, mut rng) = {
+            let mut rng = StdRng::seed_from_u64(0x7C9);
+            let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+            (Pkg::setup(&mut rng, curve), rng)
+        };
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+        {
+            let (server, replayed) = TcpSemServer::bind_with_journal(
+                "127.0.0.1:0",
+                pkg.params().clone(),
+                config.clone(),
+                &path,
+            )
+            .unwrap();
+            assert_eq!(replayed.records, 0);
+            server.install_ibe(sem_key.clone());
+            let mut client =
+                TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+            assert!(client.ibe_token("alice", &c.u).is_ok());
+            server.shutdown();
+        }
+        let (server, replayed) =
+            TcpSemServer::bind_with_journal("127.0.0.1:0", pkg.params().clone(), config, &path)
+                .unwrap();
+        assert_eq!(replayed.warm, vec!["alice".to_string()]);
+        // Parameter-only entries were precomputed at bind...
+        let caches = server.cache_stats();
+        assert_eq!(caches.iter().find(|s| s.name == "qid").unwrap().entries, 1);
+        assert_eq!(
+            caches
+                .iter()
+                .find(|s| s.name == "mask_base")
+                .unwrap()
+                .entries,
+            1
+        );
+        // ...and the half-key at install time, so the first request hits.
+        server.install_ibe(sem_key);
+        let mut client = TcpSemClient::connect(server.local_addr(), pkg.params().clone()).unwrap();
+        assert!(client.ibe_token("alice", &c.u).is_ok());
+        let caches = server.cache_stats();
+        let half = caches.iter().find(|s| s.name == "half_key").unwrap();
+        assert_eq!((half.hits, half.misses, half.entries), (1, 0, 1));
+        // A warm daemon journals each hot identity once: the restart
+        // run served alice again but did not append a duplicate.
+        server.shutdown();
+        let (_, replayed) = crate::store::Journal::open(&path).unwrap();
+        assert_eq!(replayed.warm, vec!["alice".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Identity state is sharded: revoking a storm of identities that

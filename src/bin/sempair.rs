@@ -165,6 +165,15 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--pipeline-depth: `{raw}` is not a number"))?;
             }
+            "--cache-cap" => {
+                let raw = args.next().ok_or("--cache-cap needs a value")?;
+                server_config.cache_cap = raw
+                    .parse()
+                    .map_err(|_| format!("--cache-cap: `{raw}` is not a number"))?;
+            }
+            "--cache-warm" => {
+                server_config.cache_warm = true;
+            }
             "--sem-timeout" => {
                 client_config.request_timeout = parse_secs("--sem-timeout", args.next())?;
             }
@@ -212,6 +221,7 @@ fn usage() -> String {
      [--cluster T/N] [--journal PATH] [--hedge N] \
      [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] \
      [--workers N] [--shards N] [--queue-cap N] [--pipeline-depth N] \
+     [--cache-cap N] [--cache-warm] \
      [--audit-cap N] [--identity-cap N] [args...]"
         .to_string()
 }
@@ -828,10 +838,11 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         )
         .map_err(|e| format!("cannot bind {addr} with journal: {e}"))?;
         println!(
-            "journal {} replayed: {} records, {} revoked, epoch {}{}",
+            "journal {} replayed: {} records, {} revoked, {} warm, epoch {}{}",
             journal.display(),
             replayed.records,
             replayed.revoked.len(),
+            replayed.warm.len(),
             replayed.epoch,
             if replayed.truncated_bytes > 0 {
                 format!(
@@ -882,6 +893,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "SEM daemon listening on {} ({installed} half-keys installed, \
          idle {}s / read {}s / write {}s deadlines, {} conns max, \
          {} workers / {} shards / queue {} / pipeline depth {}, \
+         cache cap {}{}, \
          audit ring {} records / {} identities); Ctrl-C to stop",
         server.local_addr(),
         args.server_config.idle_timeout.as_secs(),
@@ -892,6 +904,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         args.server_config.shards,
         args.server_config.queue_cap,
         args.server_config.pipeline_depth,
+        args.server_config.cache_cap,
+        if args.server_config.cache_warm {
+            " (warm-start)"
+        } else {
+            ""
+        },
         args.server_config.audit.audit_cap,
         args.server_config.audit.identity_cap,
     );
