@@ -39,13 +39,14 @@
 //! bandwidth.
 
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 use sempair_core::bf_ibe::Pkg;
 use sempair_core::mediated::SemKey;
 use sempair_net::audit::CacheSeries;
 use sempair_net::faults::{FaultPlan, FaultProxy};
 use sempair_net::proto::{Op, Request};
 use sempair_net::revocation::shard_of;
+use sempair_net::scenario::{ident, Zipf};
 use sempair_net::tcp::{
     ClientConfig, PipeClient, PipeReply, ServerConfig, TcpSemClient, TcpSemServer,
 };
@@ -62,38 +63,6 @@ const DEPTH: usize = 32;
 /// `sempair_net::latency::LinkModel::lan`'s 0.5 ms; 2 ms keeps the
 /// RTT comfortably above scheduler jitter on a loaded CI host).
 const LINK_ONE_WAY: Duration = Duration::from_millis(2);
-
-/// Zipf(s = 1) sampler over `n` ranks: precomputed harmonic CDF plus
-/// binary search, so a draw costs `O(log n)` with no floating-point
-/// rejection loop.
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize) -> Self {
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0f64;
-        for rank in 0..n {
-            acc += 1.0 / (rank + 1) as f64;
-            cdf.push(acc);
-        }
-        let total = acc;
-        for p in &mut cdf {
-            *p /= total;
-        }
-        Zipf { cdf }
-    }
-
-    fn sample(&self, rng: &mut StdRng) -> usize {
-        let u = rng.next_u64() as f64 / u64::MAX as f64;
-        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
-    }
-}
-
-fn ident(rank: usize) -> String {
-    format!("user-{rank:07}")
-}
 
 struct Workload {
     ids: usize,

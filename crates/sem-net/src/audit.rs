@@ -702,6 +702,52 @@ impl MetricsSnapshot {
         }
         self.caches.sort_by(|a, b| a.name.cmp(&b.name));
     }
+
+    /// The monotonic request counters of this snapshot — the totals a
+    /// scenario harness differences across a measurement window.
+    /// `totals` already includes traffic aggregated into the overflow
+    /// identity bucket, so requests past the cardinality cap are
+    /// counted here exactly once.
+    pub fn counters(&self) -> CounterDeltas {
+        CounterDeltas {
+            served: self.totals.served,
+            refused: self.totals.refused,
+            bytes_out: self.totals.bytes_out,
+            timeouts: self.transport.timeouts,
+        }
+    }
+
+    /// Counter movement since `earlier` (a snapshot of the same server
+    /// or merged cluster taken before this one). Saturating: a counter
+    /// that appears to run backwards — snapshots from different servers
+    /// compared by mistake, or an identity migrating into the overflow
+    /// bucket between snapshots — reads as zero delta rather than a
+    /// huge unsigned wraparound.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> CounterDeltas {
+        let now = self.counters();
+        let then = earlier.counters();
+        CounterDeltas {
+            served: now.served.saturating_sub(then.served),
+            refused: now.refused.saturating_sub(then.refused),
+            bytes_out: now.bytes_out.saturating_sub(then.bytes_out),
+            timeouts: now.timeouts.saturating_sub(then.timeouts),
+        }
+    }
+}
+
+/// Request-counter movement between two [`MetricsSnapshot`]s (see
+/// [`MetricsSnapshot::delta_since`]) — what the scenario harness's SLO
+/// evaluation consumes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterDeltas {
+    /// Requests served (totals + overflow bucket).
+    pub served: u64,
+    /// Requests refused, any reason (totals + overflow bucket).
+    pub refused: u64,
+    /// Response bytes returned (totals + overflow bucket).
+    pub bytes_out: u64,
+    /// Transport-level timeouts.
+    pub timeouts: u64,
 }
 
 /// Parsing accumulator for one capability's latency series:
@@ -1662,5 +1708,66 @@ mod tests {
         assert_eq!(log.len(), 200);
         assert_eq!(log.stats_for("x").served, 200);
         assert_eq!(log.total_bytes_out(), 2000);
+    }
+
+    #[test]
+    fn counter_deltas_fold_in_overflow_and_saturate() {
+        // Cardinality cap of 2: the third identity lands in the
+        // overflow bucket, which counters() must fold back in.
+        let log = AuditLog::with_config(AuditConfig {
+            identity_cap: 2,
+            ..AuditConfig::default()
+        });
+        log.record("a", Capability::IbeDecrypt, Outcome::Served, 10, NO_LAT);
+        let before = log.metrics();
+        log.record("b", Capability::IbeDecrypt, Outcome::Served, 20, NO_LAT);
+        log.record("c", Capability::GdhSign, Outcome::RefusedRevoked, 0, NO_LAT);
+        log.note_timeout();
+        let after = log.metrics();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.served, 1);
+        assert_eq!(delta.refused, 1);
+        assert_eq!(delta.bytes_out, 20);
+        assert_eq!(delta.timeouts, 1);
+        // Differencing the wrong way round saturates to zero instead
+        // of wrapping.
+        assert_eq!(before.delta_since(&after), CounterDeltas::default());
+    }
+
+    proptest::proptest! {
+        /// Satellite regression: the counters a scenario's SLO
+        /// evaluation differences survive the Prometheus text codec
+        /// bit-exactly, for any mix of served/refused traffic on either
+        /// side of the cardinality cap.
+        #[test]
+        fn counter_deltas_round_trip_through_prometheus_text(
+            served in 0usize..40,
+            refused in 0usize..40,
+            identities in 1usize..8,
+            identity_cap in 1usize..4,
+        ) {
+            let log = AuditLog::with_config(AuditConfig {
+                identity_cap,
+                ..AuditConfig::default()
+            });
+            for i in 0..served {
+                let id = format!("id-{}", i % identities);
+                log.record(&id, Capability::IbeDecrypt, Outcome::Served, 7, NO_LAT);
+            }
+            for i in 0..refused {
+                let id = format!("id-{}", i % identities);
+                log.record(&id, Capability::GdhSign, Outcome::RefusedRevoked, 0, NO_LAT);
+            }
+            let snapshot = log.metrics();
+            let decoded = MetricsSnapshot::from_prometheus_text(&snapshot.to_prometheus_text())
+                .expect("snapshot text must parse back");
+            proptest::prop_assert_eq!(decoded.counters(), snapshot.counters());
+            proptest::prop_assert_eq!(snapshot.counters().served, served as u64);
+            proptest::prop_assert_eq!(snapshot.counters().refused, refused as u64);
+            // And a delta computed across the codec boundary matches
+            // one computed natively.
+            let empty = AuditLog::new().metrics();
+            proptest::prop_assert_eq!(decoded.delta_since(&empty), snapshot.delta_since(&empty));
+        }
     }
 }

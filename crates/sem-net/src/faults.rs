@@ -113,6 +113,23 @@ pub struct FaultProfile {
     pub delay: Duration,
 }
 
+impl FaultProfile {
+    /// The flaky-mobile-link preset the chaos scenarios drive: ~2% of
+    /// frames lost, ~1% corrupted, ~0.5% cut mid-frame, and ~3% held
+    /// for a radio-scale 10 ms stall. Aggressive enough that a client
+    /// without retries visibly fails, mild enough that a jittered
+    /// retry budget of a few attempts recovers essentially everything.
+    pub fn mobile() -> Self {
+        FaultProfile {
+            drop_per_mille: 20,
+            corrupt_per_mille: 10,
+            truncate_per_mille: 5,
+            delay_per_mille: 30,
+            delay: Duration::from_millis(10),
+        }
+    }
+}
+
 /// `xorshift64*`-style generator — deterministic, dependency-free, and
 /// emphatically not cryptographic (it schedules test faults).
 struct Xorshift64 {

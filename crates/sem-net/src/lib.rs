@@ -56,6 +56,7 @@ pub mod faults;
 pub mod latency;
 pub mod proto;
 pub mod revocation;
+pub mod scenario;
 pub mod server;
 pub mod sim;
 pub mod store;

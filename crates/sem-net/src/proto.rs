@@ -113,8 +113,11 @@ pub enum Status {
     Unknown = 2,
     /// Malformed request or off-curve point.
     Invalid = 3,
-    /// The server shed the request: its bounded job queue is full. The
-    /// request was not executed and may be retried after backoff.
+    /// The server shed the request: its bounded job queue is full (or
+    /// past the brownout watermark, for Stats/Batch-class ops). The
+    /// request was not executed and may be retried after backoff; the
+    /// response body may carry a typed retry-after hint (see
+    /// [`encode_retry_after`]).
     Overloaded = 4,
 }
 
@@ -168,8 +171,32 @@ pub struct Request {
 pub struct Response {
     /// Outcome.
     pub status: Status,
-    /// Token bytes when [`Status::Ok`], empty otherwise.
+    /// Token bytes when [`Status::Ok`]; a retry-after hint when
+    /// [`Status::Overloaded`] (see [`encode_retry_after`]); empty
+    /// otherwise.
     pub body: Vec<u8>,
+}
+
+/// Encodes the typed retry-after hint carried in the body of an
+/// [`Status::Overloaded`] response: `u32` milliseconds, big-endian.
+///
+/// An empty overloaded body means "no hint" — pre-brownout binaries
+/// sent exactly that, so old clients (which ignore the body on
+/// non-`Ok` statuses) and new clients (which treat a short body as no
+/// hint) interoperate in both directions.
+pub fn encode_retry_after(millis: u32) -> Vec<u8> {
+    millis.to_be_bytes().to_vec()
+}
+
+/// Decodes the retry-after hint from an overloaded response body.
+/// `None` when the body is absent or malformed (no hint).
+pub fn decode_retry_after(body: &[u8]) -> Option<u32> {
+    let mut r = Reader::new(body);
+    let millis = r.u32_be()?;
+    if r.remaining() != 0 {
+        return None;
+    }
+    Some(millis)
 }
 
 /// Hard cap on frame payloads (1 MiB) — a remote peer cannot make the
@@ -835,6 +862,29 @@ mod tests {
         use sempair_core::Error;
         assert_eq!(Status::from_error(&Error::Overloaded), Status::Overloaded);
         assert_eq!(Status::Overloaded.to_error(), Some(Error::Overloaded));
+    }
+
+    #[test]
+    fn retry_after_hint_roundtrip() {
+        for millis in [0u32, 1, 25, 1000, u32::MAX] {
+            assert_eq!(
+                decode_retry_after(&encode_retry_after(millis)),
+                Some(millis)
+            );
+        }
+        // Absent or malformed bodies mean "no hint", never an error.
+        assert_eq!(decode_retry_after(&[]), None);
+        assert_eq!(decode_retry_after(&[1, 2, 3]), None, "short");
+        assert_eq!(decode_retry_after(&[1, 2, 3, 4, 5]), None, "trailing");
+        // And the hint survives a full response frame roundtrip.
+        let resp = Response {
+            status: Status::Overloaded,
+            body: encode_retry_after(40),
+        };
+        let frame = encode_response(&resp);
+        let back = decode_response(frame.get(4..).unwrap()).unwrap();
+        assert_eq!(back.status, Status::Overloaded);
+        assert_eq!(decode_retry_after(&back.body), Some(40));
     }
 
     #[test]

@@ -10,6 +10,21 @@
 //!    private key for every *unrevoked* user each epoch and must stay
 //!    online. A revocation only takes effect when the current epoch
 //!    expires — on average half an epoch of exposure.
+//!
+//! **Sharded, incremental rollover** (DESIGN.md §15). Epoch state
+//! lives under the same identity-hash shard map ([`shard_of`]) as the
+//! serving layer's revocation/key state: each shard holds its own
+//! epoch counter and user partition, and a rollover re-keys one shard
+//! chunk at a time ([`ValidityPeriodPkg::begin_rollover`] /
+//! [`ValidityPeriodPkg::rollover_step`]) while `current_key` keeps
+//! answering from each shard's *committed* epoch. A shard switches
+//! epochs atomically when its last chunk finishes, so a rollover in
+//! progress on one shard never blocks issuance on the others.
+//! Progress is journaled *after* each chunk: a crash between chunks
+//! resumes at the recorded cursor (no user skipped), and a crash
+//! mid-chunk re-extracts that chunk — `Extract` is deterministic in
+//! the master key and identity, so the re-issued keys are bit-identical
+//! (at-least-once extraction, exactly-once issuance).
 
 use crate::store::{Journal, Record};
 use sempair_core::bf_ibe::{IbePublicParams, Pkg, PrivateKey};
@@ -36,14 +51,47 @@ pub fn shard_of(id: &str, shards: usize) -> usize {
     (hash % shards.max(1) as u64) as usize
 }
 
+/// Default shard count for the validity-period PKG's epoch state —
+/// matches the serving layer's default revocation/key shard count.
+pub const DEFAULT_EPOCH_SHARDS: usize = 8;
+
+/// Default number of users re-keyed per incremental rollover chunk.
+pub const DEFAULT_ROLLOVER_CHUNK: usize = 64;
+
+/// One shard of epoch state: its own epoch counter, user partition,
+/// and (while a rollover is in flight) re-key progress.
+#[derive(Debug)]
+struct EpochShard {
+    /// The committed epoch this shard answers `current_key` from.
+    epoch: u64,
+    /// Users hashing to this shard, in enrollment order (the rollover
+    /// cursor indexes this vector, so the order is part of the journal
+    /// contract — see [`ValidityPeriodPkg::with_journal`]).
+    users: Vec<String>,
+    /// In-flight rollover: `(target epoch, users already re-keyed)`.
+    pending: Option<(u64, usize)>,
+}
+
+/// The outcome of one [`ValidityPeriodPkg::rollover_step`] chunk.
+#[derive(Debug)]
+pub struct RolloverStep {
+    /// Shard the chunk was taken from.
+    pub shard: usize,
+    /// Fresh keys issued for this chunk's unrevoked users.
+    pub issued: Vec<PrivateKey>,
+    /// The shard finished and switched to the target epoch.
+    pub shard_committed: bool,
+    /// Every shard has committed; the rollover is complete.
+    pub rollover_complete: bool,
+}
+
 /// A PKG operating the validity-period scheme with a fixed epoch
 /// length.
 #[derive(Debug)]
 pub struct ValidityPeriodPkg {
     pkg: Pkg,
-    epoch: u64,
     epoch_len: Duration,
-    users: Vec<String>,
+    shards: Vec<EpochShard>,
     revoked: HashSet<String>,
     /// `Extract` operations performed by epoch rotation — the
     /// *issuance* work metric E8 sweeps. Key lookups are counted
@@ -62,13 +110,34 @@ pub struct ValidityPeriodPkg {
 impl ValidityPeriodPkg {
     /// Wraps a PKG with epoch-based revocation for `users`
     /// (memory-only state — see [`ValidityPeriodPkg::with_journal`]
-    /// for the crash-safe variant).
+    /// for the crash-safe variant), with
+    /// [`DEFAULT_EPOCH_SHARDS`] epoch shards.
     pub fn new(pkg: Pkg, epoch_len: Duration, users: Vec<String>) -> Self {
+        Self::with_shards(pkg, epoch_len, users, DEFAULT_EPOCH_SHARDS)
+    }
+
+    /// [`ValidityPeriodPkg::new`] with an explicit epoch shard count
+    /// (clamped to at least 1). Users are partitioned by [`shard_of`],
+    /// preserving enrollment order within each shard.
+    pub fn with_shards(pkg: Pkg, epoch_len: Duration, users: Vec<String>, shards: usize) -> Self {
+        let shard_count = shards.max(1);
+        let mut parts: Vec<EpochShard> = (0..shard_count)
+            .map(|_| EpochShard {
+                epoch: 0,
+                users: Vec::new(),
+                pending: None,
+            })
+            .collect();
+        for id in users {
+            let s = shard_of(&id, shard_count);
+            if let Some(shard) = parts.get_mut(s) {
+                shard.users.push(id);
+            }
+        }
         ValidityPeriodPkg {
             pkg,
-            epoch: 0,
             epoch_len,
-            users,
+            shards: parts,
             revoked: HashSet::new(),
             extract_count: 0,
             lookup_count: 0,
@@ -77,9 +146,15 @@ impl ValidityPeriodPkg {
     }
 
     /// [`ValidityPeriodPkg::new`] backed by the append-only journal at
-    /// `path`: revocations and epoch rollovers replay on construction,
-    /// so a restarted PKG refuses to re-key users revoked before the
-    /// crash instead of silently re-issuing their epoch keys.
+    /// `path`: revocations, epoch rollovers, and incremental-rollover
+    /// progress replay on construction, so a restarted PKG refuses to
+    /// re-key users revoked before the crash and resumes a rollover
+    /// interrupted mid-flight at the journaled cursor.
+    ///
+    /// The cursor indexes each shard's user partition, so `users` (and
+    /// the shard count) must match across restarts for progress records
+    /// to be meaningful — the same contract the revocation set already
+    /// imposes on identities.
     ///
     /// # Errors
     ///
@@ -90,10 +165,45 @@ impl ValidityPeriodPkg {
         users: Vec<String>,
         path: impl AsRef<Path>,
     ) -> std::io::Result<Self> {
+        Self::with_journal_sharded(pkg, epoch_len, users, path, DEFAULT_EPOCH_SHARDS)
+    }
+
+    /// [`ValidityPeriodPkg::with_journal`] with an explicit epoch shard
+    /// count (clamped to at least 1).
+    ///
+    /// # Errors
+    ///
+    /// Journal open/replay I/O errors.
+    pub fn with_journal_sharded(
+        pkg: Pkg,
+        epoch_len: Duration,
+        users: Vec<String>,
+        path: impl AsRef<Path>,
+        shards: usize,
+    ) -> std::io::Result<Self> {
         let (journal, replayed) = Journal::open(path)?;
-        let mut vp = Self::new(pkg, epoch_len, users);
-        vp.epoch = replayed.epoch;
+        let mut vp = Self::with_shards(pkg, epoch_len, users, shards);
         vp.revoked = replayed.revoked;
+        // Baseline: the last fully-committed epoch applies everywhere…
+        for shard in &mut vp.shards {
+            shard.epoch = replayed.epoch;
+        }
+        // …then per-shard rollover progress overrides it: a `done`
+        // record is the shard's committed switch (it may precede the
+        // global Epoch record if the crash hit mid-rollover), and a
+        // pending record restores the re-key cursor so the next
+        // `rollover_step` resumes exactly where the crash stopped.
+        for (idx, progress) in &replayed.rollover {
+            let Some(shard) = vp.shards.get_mut(*idx as usize) else {
+                continue;
+            };
+            if progress.done {
+                shard.epoch = shard.epoch.max(progress.epoch);
+            } else if progress.epoch > replayed.epoch {
+                let cursor = (progress.cursor as usize).min(shard.users.len());
+                shard.pending = Some((progress.epoch, cursor));
+            }
+        }
         vp.journal = Some(journal);
         Ok(vp)
     }
@@ -104,9 +214,27 @@ impl ValidityPeriodPkg {
         format!("{id}|epoch:{epoch}")
     }
 
-    /// Current epoch number.
+    /// Current globally-committed epoch number: the minimum across
+    /// shards, i.e. the last epoch every shard has switched to. During
+    /// an incremental rollover individual shards may already answer
+    /// from a newer epoch (see [`ValidityPeriodPkg::shard_epoch`]).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.shards.iter().map(|s| s.epoch).min().unwrap_or(0)
+    }
+
+    /// Number of epoch shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The committed epoch of shard `shard` (`None` if out of range).
+    pub fn shard_epoch(&self, shard: usize) -> Option<u64> {
+        self.shards.get(shard).map(|s| s.epoch)
+    }
+
+    /// Total enrolled users across all shards.
+    pub fn user_count(&self) -> usize {
+        self.shards.iter().map(|s| s.users.len()).sum()
     }
 
     /// Configured epoch length.
@@ -148,30 +276,129 @@ impl ValidityPeriodPkg {
     /// unrevoked user (the PKG's periodic workload). Returns the fresh
     /// keys it would push to users.
     ///
-    /// The rollover is journaled *before* any issuance: a crash
-    /// mid-rotation resumes in the new epoch rather than replaying an
-    /// old one, and issuance always consults the journal-backed
+    /// This is the synchronous wrapper around the incremental path:
+    /// [`ValidityPeriodPkg::begin_rollover`] followed by
+    /// [`ValidityPeriodPkg::rollover_step`] drained to completion in
+    /// one call. Issuance always consults the journal-backed
     /// revocation set — a revoked user never receives an epoch key,
     /// even across restarts.
     pub fn rotate_epoch(&mut self) -> Vec<PrivateKey> {
-        self.epoch += 1;
-        let epoch = self.epoch;
-        if let Some(journal) = &mut self.journal {
-            let _ = journal.append(&Record::Epoch(epoch));
-        }
+        self.begin_rollover();
         let mut issued = Vec::new();
-        for id in &self.users {
-            if self.revoked.contains(id) {
-                continue;
-            }
-            issued.push(self.pkg.extract(&Self::epoch_identity(id, epoch)));
-            self.extract_count += 1;
+        while let Some(step) = self.rollover_step(usize::MAX) {
+            issued.extend(step.issued);
         }
         issued
     }
 
-    /// The key a user holds for the current epoch, or
-    /// [`Error::Revoked`]-style refusal.
+    /// Starts an incremental rollover toward the next epoch and
+    /// returns the target epoch. Journals a zero-cursor progress
+    /// record per shard so a crash before the first chunk still
+    /// resumes the rollover on restart. Idempotent: if a rollover is
+    /// already in flight, returns its target without restarting it.
+    pub fn begin_rollover(&mut self) -> u64 {
+        if let Some(target) = self.rollover_target() {
+            return target;
+        }
+        let target = self.shards.iter().map(|s| s.epoch).max().unwrap_or(0) + 1;
+        for index in 0..self.shards.len() {
+            if let Some(shard) = self.shards.get_mut(index) {
+                if shard.epoch >= target {
+                    continue;
+                }
+                shard.pending = Some((target, 0));
+            }
+            if let Some(journal) = &mut self.journal {
+                let _ = journal.append(&Record::RolloverChunk {
+                    shard: index as u32,
+                    epoch: target,
+                    cursor: 0,
+                    done: false,
+                });
+            }
+        }
+        target
+    }
+
+    /// The target epoch of the rollover in flight, if any.
+    pub fn rollover_target(&self) -> Option<u64> {
+        self.shards
+            .iter()
+            .filter_map(|s| s.pending.map(|(target, _)| target))
+            .max()
+    }
+
+    /// Re-keys up to `chunk` users (clamped to at least 1) from the
+    /// lowest-indexed shard with rollover work left, journals the new
+    /// cursor, and returns the chunk's outcome — or `None` when no
+    /// rollover is in flight.
+    ///
+    /// Progress is journaled *after* the chunk is extracted: a crash
+    /// between chunks resumes at the recorded cursor, and a crash
+    /// mid-chunk re-extracts that chunk's (deterministic, identical)
+    /// keys — no user is skipped and none ends up with two distinct
+    /// keys for one epoch. When a shard's cursor reaches the end of
+    /// its partition the shard atomically switches to the target epoch
+    /// (journaled as a `done` record); when the last shard commits,
+    /// the global epoch advance is journaled.
+    pub fn rollover_step(&mut self, chunk: usize) -> Option<RolloverStep> {
+        let index = self
+            .shards
+            .iter()
+            .position(|shard| shard.pending.is_some())?;
+        // Split borrows: the shard is mutated while the master key and
+        // revocation set are read.
+        let ValidityPeriodPkg {
+            pkg,
+            shards,
+            revoked,
+            extract_count,
+            ..
+        } = self;
+        let shard = shards.get_mut(index)?;
+        let (target, cursor) = shard.pending?;
+        let end = cursor.saturating_add(chunk.max(1)).min(shard.users.len());
+        let mut issued = Vec::new();
+        for id in shard.users.get(cursor..end).unwrap_or_default() {
+            if revoked.contains(id) {
+                continue;
+            }
+            issued.push(pkg.extract(&Self::epoch_identity(id, target)));
+            *extract_count += 1;
+        }
+        let shard_committed = end >= shard.users.len();
+        if shard_committed {
+            shard.epoch = target;
+            shard.pending = None;
+        } else {
+            shard.pending = Some((target, end));
+        }
+        if let Some(journal) = &mut self.journal {
+            let _ = journal.append(&Record::RolloverChunk {
+                shard: index as u32,
+                epoch: target,
+                cursor: end as u64,
+                done: shard_committed,
+            });
+        }
+        let rollover_complete = self.shards.iter().all(|s| s.pending.is_none());
+        if shard_committed && rollover_complete {
+            if let Some(journal) = &mut self.journal {
+                let _ = journal.append(&Record::Epoch(target));
+            }
+        }
+        Some(RolloverStep {
+            shard: index,
+            issued,
+            shard_committed,
+            rollover_complete: shard_committed && rollover_complete,
+        })
+    }
+
+    /// The key a user holds for their shard's committed epoch, or a
+    /// refusal. Served from the shard's own epoch counter: a rollover
+    /// chunking through *another* shard never changes this shard's
+    /// answers, and this shard's switch to the new epoch is atomic.
     ///
     /// # Errors
     ///
@@ -179,13 +406,18 @@ impl ValidityPeriodPkg {
     /// [`Error::UnknownIdentity`] for unenrolled users.
     pub fn current_key(&mut self, id: &str) -> Result<PrivateKey, Error> {
         self.lookup_count += 1;
-        if !self.users.iter().any(|u| u == id) {
+        let shard = self
+            .shards
+            .get(shard_of(id, self.shards.len()))
+            .ok_or(Error::UnknownIdentity)?;
+        if !shard.users.iter().any(|u| u == id) {
             return Err(Error::UnknownIdentity);
         }
         if self.revoked.contains(id) {
             return Err(Error::Revoked);
         }
-        Ok(self.pkg.extract(&Self::epoch_identity(id, self.epoch)))
+        let epoch = shard.epoch;
+        Ok(self.pkg.extract(&Self::epoch_identity(id, epoch)))
     }
 
     /// Worst-case revocation latency of this scheme: a revocation
@@ -353,6 +585,143 @@ mod tests {
     fn unknown_user_rejected() {
         let (mut vp, _) = setup(&["alice"]);
         assert_eq!(vp.current_key("mallory"), Err(Error::UnknownIdentity));
+    }
+
+    #[test]
+    fn incremental_rollover_matches_synchronous_rotation() {
+        let users: Vec<String> = (0..10).map(|i| format!("user{i}")).collect();
+        let refs: Vec<&str> = users.iter().map(|s| s.as_str()).collect();
+        let (mut sync_vp, _) = setup(&refs);
+        let (mut inc_vp, _) = setup(&refs);
+        let issued_sync = sync_vp.rotate_epoch();
+
+        let target = inc_vp.begin_rollover();
+        assert_eq!(target, 1);
+        assert_eq!(inc_vp.rollover_target(), Some(1));
+        // Re-entrant begin is idempotent: same target, no restart.
+        assert_eq!(inc_vp.begin_rollover(), 1);
+        let mut issued_inc = Vec::new();
+        let mut steps = 0;
+        while let Some(step) = inc_vp.rollover_step(3) {
+            issued_inc.extend(step.issued);
+            steps += 1;
+            assert!(steps < 100, "rollover must terminate");
+        }
+        assert_eq!(issued_inc.len(), issued_sync.len());
+        assert_eq!(inc_vp.extract_count(), sync_vp.extract_count());
+        assert_eq!(inc_vp.epoch(), 1);
+        assert_eq!(inc_vp.rollover_target(), None);
+        // Every shard committed the same epoch.
+        for s in 0..inc_vp.shard_count() {
+            assert_eq!(inc_vp.shard_epoch(s), Some(1));
+        }
+    }
+
+    #[test]
+    fn rollover_on_one_shard_never_blocks_the_others() {
+        let users: Vec<String> = (0..32).map(|i| format!("user{i}")).collect();
+        let mut rng = StdRng::seed_from_u64(121);
+        let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+        let pkg = Pkg::setup(&mut rng, curve);
+        let mut vp = ValidityPeriodPkg::with_shards(pkg, Duration::from_secs(86_400), users, 4);
+        // The partition is deterministic (FNV-1a over fixed names);
+        // the decrypt checks below need a user on each probed shard.
+        let on_shard = |shard: usize| {
+            (0..32)
+                .map(|i| format!("user{i}"))
+                .find(|id| shard_of(id, 4) == shard)
+        };
+        vp.rotate_epoch(); // everyone at epoch 1
+        vp.begin_rollover(); // toward epoch 2
+                             // Drain exactly one shard (huge chunk → one step commits it).
+        let step = vp.rollover_step(usize::MAX).unwrap();
+        assert!(step.shard_committed);
+        assert!(!step.rollover_complete);
+        let committed = step.shard;
+        let behind = (0..vp.shard_count())
+            .find(|&s| vp.shard_epoch(s) == Some(1) && on_shard(s).is_some())
+            .expect("some populated shard still mid-rollover");
+        assert_eq!(vp.shard_epoch(committed), Some(2));
+        // Globally-committed epoch is still the old one…
+        assert_eq!(vp.epoch(), 1);
+        // …and BOTH shards keep serving keys: the committed shard at
+        // its new epoch, the behind shard at its old one — verified by
+        // an actual decrypt against each shard's epoch identity.
+        for (shard, epoch) in [(committed, 2u64), (behind, 1u64)] {
+            let Some(id) = on_shard(shard) else {
+                continue; // an empty shard has no keys to probe
+            };
+            let key = vp.current_key(&id).unwrap();
+            let wire_id = ValidityPeriodPkg::epoch_identity(&id, epoch);
+            let c = vp
+                .params()
+                .encrypt_full(&mut rng, &wire_id, b"shard epoch")
+                .unwrap();
+            assert_eq!(vp.params().decrypt_full(&key, &c).unwrap(), b"shard epoch");
+        }
+    }
+
+    #[test]
+    fn crash_between_rollover_chunks_resumes_exactly_once_per_identity() {
+        // Satellite: kill a journaled PKG between re-key chunks, replay,
+        // and assert the rollover finishes with exactly one extraction
+        // per unrevoked identity — none re-issued, none skipped.
+        let fresh_pkg = || {
+            let mut rng = StdRng::seed_from_u64(123);
+            let curve = CurveParams::generate(&mut rng, 128, 64).unwrap();
+            Pkg::setup(&mut rng, curve)
+        };
+        let path = std::env::temp_dir().join(format!(
+            "sempair-vp-rollover-{}.journal",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let users: Vec<String> = (0..12).map(|i| format!("user{i}")).collect();
+        let day = Duration::from_secs(86_400);
+
+        let mut vp =
+            ValidityPeriodPkg::with_journal_sharded(fresh_pkg(), day, users.clone(), &path, 4)
+                .unwrap();
+        vp.revoke("user5");
+        assert_eq!(vp.begin_rollover(), 1);
+        // Two chunks of 2, then "crash" (drop) between chunks.
+        let mut issued_before = 0;
+        for _ in 0..2 {
+            issued_before += vp.rollover_step(2).unwrap().issued.len();
+        }
+        let extracts_before = vp.extract_count();
+        assert_eq!(issued_before as u64, extracts_before);
+        assert!(extracts_before < 11, "crash must interrupt the rollover");
+        drop(vp);
+
+        // Restart replays the cursor and resumes — not from scratch.
+        let mut vp =
+            ValidityPeriodPkg::with_journal_sharded(fresh_pkg(), day, users.clone(), &path, 4)
+                .unwrap();
+        assert_eq!(vp.rollover_target(), Some(1), "rollover still in flight");
+        assert_eq!(vp.epoch(), 0, "not committed before the crash");
+        let mut issued_after = 0;
+        while let Some(step) = vp.rollover_step(2) {
+            issued_after += step.issued.len();
+        }
+        // Exactly once per unrevoked identity across the crash:
+        // 12 users − 1 revoked = 11 total extractions, split across
+        // the two processes with no overlap and no gap.
+        assert_eq!(issued_before + issued_after, 11);
+        assert_eq!(vp.extract_count(), issued_after as u64);
+        assert_eq!(vp.epoch(), 1);
+        assert_eq!(vp.rollover_target(), None);
+        assert_eq!(vp.current_key("user5"), Err(Error::Revoked));
+        assert!(vp.current_key("user0").is_ok());
+
+        // A third restart after completion replays a clean epoch-1
+        // state with no phantom rollover.
+        drop(vp);
+        let vp =
+            ValidityPeriodPkg::with_journal_sharded(fresh_pkg(), day, users, &path, 4).unwrap();
+        assert_eq!(vp.epoch(), 1);
+        assert_eq!(vp.rollover_target(), None);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -128,6 +128,14 @@ pub struct SemConfig {
     /// Bounded job-queue capacity; submissions beyond it are shed with
     /// [`Error::Overloaded`] (clamped to ≥ 1).
     pub queue_cap: usize,
+    /// Brownout high-watermark on the job queue: once its depth
+    /// reaches this, [`SemClient::batch`] submissions (the bulk-class
+    /// work that can wait) are shed with [`Error::Overloaded`] while
+    /// single token/signing jobs keep being admitted up to
+    /// `queue_cap` — the in-process mirror of the TCP daemon's
+    /// [`crate::tcp::ServerConfig::brownout_watermark`]. `0` (the
+    /// default) means ¾ of `queue_cap`.
+    pub brownout_watermark: usize,
     /// Audit/metering memory bounds.
     pub audit: AuditConfig,
 }
@@ -138,7 +146,22 @@ impl Default for SemConfig {
             workers: 4,
             shards: 8,
             queue_cap: 1024,
+            brownout_watermark: 0,
             audit: AuditConfig::default(),
+        }
+    }
+}
+
+impl SemConfig {
+    /// The queue depth at which batch-class shedding starts: the
+    /// configured watermark clamped to `queue_cap`, or ¾ of
+    /// `queue_cap` (at least 1) when left at `0`.
+    pub fn effective_brownout_watermark(&self) -> usize {
+        let cap = self.queue_cap.max(1);
+        if self.brownout_watermark == 0 {
+            (cap * 3 / 4).max(1)
+        } else {
+            self.brownout_watermark.min(cap)
         }
     }
 }
@@ -149,6 +172,10 @@ struct State {
     /// one shard (revocation storm) leaves the other shards readable.
     shards: Vec<RwLock<Inner>>,
     audit: AuditLog,
+    /// Resolved brownout watermark (see
+    /// [`SemConfig::effective_brownout_watermark`]); batch jobs are
+    /// shed once the queue is this deep.
+    brownout_watermark: usize,
     /// Set by [`SemServer::shutdown`] before workers are joined, so
     /// client submissions race-free observe the server going away.
     shutdown: AtomicBool,
@@ -233,12 +260,14 @@ impl SemServer {
             .curve()
             .mul_generator(&sempair_bigint::BigUint::two());
         params.curve().prepared_generator();
+        let brownout_watermark = config.effective_brownout_watermark();
         let state = Arc::new(State {
             params,
             shards: (0..config.shards.max(1))
                 .map(|_| RwLock::new(Inner::default()))
                 .collect(),
             audit: AuditLog::with_config(config.audit),
+            brownout_watermark,
             shutdown: AtomicBool::new(false),
         });
         let (tx, rx) = bounded::<Job>(config.queue_cap.max(1));
@@ -455,6 +484,13 @@ impl SemClient {
     fn submit(&self, job: Job) -> Result<(), Error> {
         if self.state.shutdown.load(Ordering::Acquire) {
             return Err(Error::UnknownIdentity);
+        }
+        // Brownout: past the watermark, batch-class work is shed so the
+        // remaining queue capacity stays reserved for single
+        // token/signing jobs (the latency-critical path).
+        if matches!(job, Job::Batch { .. }) && self.tx.len() >= self.state.brownout_watermark {
+            job.audit_shed(&self.state.audit);
+            return Err(Error::Overloaded);
         }
         self.tx.try_send(job).map_err(|err| match err {
             TrySendError::Full(job) => {
@@ -1105,6 +1141,90 @@ mod tests {
         assert_eq!(park_rx.recv(), Ok(Err(Error::Transport)));
         let token = park_rx.recv().unwrap();
         assert!(token.is_ok(), "parked request was executed once");
+        server.shutdown();
+    }
+
+    /// Brownout parity with the TCP daemon: past the queue watermark,
+    /// batch-class submissions are shed while single token jobs keep
+    /// being admitted up to the full queue capacity.
+    #[test]
+    fn brownout_sheds_batch_class_before_token_class() {
+        let (pkg, server, _user, mut rng) = setup_cfg(SemConfig {
+            workers: 1,
+            queue_cap: 4,
+            brownout_watermark: 2,
+            ..SemConfig::default()
+        });
+        let client = server.client();
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"m").unwrap();
+
+        // Park the single worker: hand it a job whose reply channel is
+        // already full, so its `reply.send` blocks until we drain it.
+        let (park_tx, park_rx) = bounded::<Result<DecryptToken, Error>>(1);
+        park_tx.send(Err(Error::Transport)).unwrap();
+        client
+            .tx
+            .try_send(Job::IbeToken {
+                id: "alice".into(),
+                u: c.u.clone(),
+                reply: park_tx,
+            })
+            .ok()
+            .unwrap();
+
+        // Hold the queue at the watermark: two occupants whose replies
+        // are discarded.
+        let (gone_tx, gone_rx) = bounded::<Result<DecryptToken, Error>>(4);
+        drop(gone_rx);
+        for _ in 0..2 {
+            client
+                .tx
+                .try_send(Job::IbeToken {
+                    id: "alice".into(),
+                    u: c.u.clone(),
+                    reply: gone_tx.clone(),
+                })
+                .ok()
+                .unwrap();
+        }
+
+        // Batch-class work is shed at the watermark…
+        assert_eq!(
+            client.batch(vec![BatchItem::IbeToken {
+                id: "alice".into(),
+                u: c.u.clone(),
+            }]),
+            Err(Error::Overloaded)
+        );
+        assert!(server.audit_stats("alice").refused >= 1);
+
+        // …while a single token job is still admitted into the
+        // remaining capacity between watermark and queue cap.
+        let (tok_tx, tok_rx) = bounded::<Result<DecryptToken, Error>>(1);
+        client
+            .tx
+            .try_send(Job::IbeToken {
+                id: "alice".into(),
+                u: c.u.clone(),
+                reply: tok_tx,
+            })
+            .ok()
+            .unwrap();
+
+        // Unpark the worker; the admitted token job executes.
+        assert_eq!(park_rx.recv(), Ok(Err(Error::Transport)));
+        assert!(park_rx.recv().unwrap().is_ok());
+        assert!(
+            tok_rx.recv().unwrap().is_ok(),
+            "token job admitted past the watermark was executed"
+        );
+        // Below the watermark again, batch-class is admitted.
+        assert!(client
+            .batch(vec![BatchItem::IbeToken {
+                id: "alice".into(),
+                u: c.u.clone(),
+            }])
+            .is_ok());
         server.shutdown();
     }
 

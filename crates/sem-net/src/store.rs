@@ -16,6 +16,7 @@
 //!   kind 2 (Unrevoke): data = identity bytes (UTF-8)
 //!   kind 3 (Epoch):    data = u64 epoch
 //!   kind 4 (Warm):     data = identity bytes (UTF-8)
+//!   kind 5 (RolloverChunk): data = u32 shard ‖ u64 epoch ‖ u64 cursor ‖ u8 done
 //! ```
 //!
 //! `Warm` records the hot-identity set the serving cache tier saw, so
@@ -25,6 +26,16 @@
 //! truncate from the first one; acceptable because warm records are
 //! only appended when the operator opts in (`--cache-warm`), and
 //! losing them costs warm-start coverage, never correctness.
+//!
+//! `RolloverChunk` journals the progress of an *incremental* epoch
+//! rollover (DESIGN.md §15): shard `shard` has re-keyed the first
+//! `cursor` of its users toward `epoch`, and `done = 1` marks the
+//! shard's atomic switch to the new epoch. A crash between chunks
+//! replays the last progress record and resumes exactly where the
+//! re-key stopped — no user is re-issued twice, none skipped. Like
+//! `Warm`, pre-rollover binaries treat kind 5 as a torn tail; the
+//! records only appear once an operator runs an incremental rollover
+//! with the newer binary.
 //!
 //! **Replay semantics.** [`Journal::open`] scans the file from the
 //! start and folds each intact record into a [`ReplayedState`]. The
@@ -41,7 +52,7 @@
 #![warn(clippy::indexing_slicing)]
 #![cfg_attr(test, allow(clippy::indexing_slicing))]
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -62,6 +73,19 @@ pub enum Record {
     /// The identity joined the serving cache tier's hot set; replay
     /// warm-starts its precomputed values.
     Warm(String),
+    /// Progress of an incremental epoch rollover on one shard: the
+    /// first `cursor` users of `shard` have been re-keyed toward
+    /// `epoch`; `done` marks the shard's switch to the new epoch.
+    RolloverChunk {
+        /// Identity-hash shard index the progress applies to.
+        shard: u32,
+        /// Target epoch the shard is rolling toward.
+        epoch: u64,
+        /// Users of the shard already re-keyed at the target epoch.
+        cursor: u64,
+        /// Whether the shard committed (switched to) the target epoch.
+        done: bool,
+    },
 }
 
 impl Record {
@@ -87,6 +111,19 @@ impl Record {
                 out.extend_from_slice(id.as_bytes());
                 out
             }
+            Record::RolloverChunk {
+                shard,
+                epoch,
+                cursor,
+                done,
+            } => {
+                let mut out = vec![5u8];
+                out.extend_from_slice(&shard.to_be_bytes());
+                out.extend_from_slice(&epoch.to_be_bytes());
+                out.extend_from_slice(&cursor.to_be_bytes());
+                out.push(u8::from(*done));
+                out
+            }
         }
     }
 
@@ -100,9 +137,38 @@ impl Record {
                 Some(Record::Epoch(u64::from_be_bytes(data)))
             }
             4 => Some(Record::Warm(String::from_utf8(data.to_vec()).ok()?)),
+            5 => {
+                let data: [u8; 21] = data.try_into().ok()?;
+                let shard = u32::from_be_bytes(data.get(..4)?.try_into().ok()?);
+                let epoch = u64::from_be_bytes(data.get(4..12)?.try_into().ok()?);
+                let cursor = u64::from_be_bytes(data.get(12..20)?.try_into().ok()?);
+                let done = match data.get(20)? {
+                    0 => false,
+                    1 => true,
+                    _ => return None,
+                };
+                Some(Record::RolloverChunk {
+                    shard,
+                    epoch,
+                    cursor,
+                    done,
+                })
+            }
             _ => None,
         }
     }
+}
+
+/// Journaled progress of one shard's incremental epoch rollover, as
+/// rebuilt by replay (last record per shard wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RolloverProgress {
+    /// Target epoch the shard is rolling toward.
+    pub epoch: u64,
+    /// Users of the shard already re-keyed at the target epoch.
+    pub cursor: u64,
+    /// Whether the shard committed (switched to) the target epoch.
+    pub done: bool,
 }
 
 /// The state rebuilt by replaying a journal on startup.
@@ -119,6 +185,9 @@ pub struct ReplayedState {
     /// Hot identities journaled by the cache tier, in first-seen
     /// order (deduplicated), for warm-starting precomputed values.
     pub warm: Vec<String>,
+    /// Per-shard incremental rollover progress (last record per shard
+    /// wins); committed (`done`) entries record the shard's epoch.
+    pub rollover: BTreeMap<u32, RolloverProgress>,
 }
 
 impl ReplayedState {
@@ -135,6 +204,21 @@ impl ReplayedState {
                 if !self.warm.contains(id) {
                     self.warm.push(id.clone());
                 }
+            }
+            Record::RolloverChunk {
+                shard,
+                epoch,
+                cursor,
+                done,
+            } => {
+                self.rollover.insert(
+                    *shard,
+                    RolloverProgress {
+                        epoch: *epoch,
+                        cursor: *cursor,
+                        done: *done,
+                    },
+                );
             }
         }
         self.records += 1;
@@ -404,6 +488,18 @@ mod tests {
             Record::Unrevoke(String::new()),
             Record::Epoch(u64::MAX),
             Record::Warm("hot@example.com".into()),
+            Record::RolloverChunk {
+                shard: 7,
+                epoch: u64::MAX,
+                cursor: 12345,
+                done: true,
+            },
+            Record::RolloverChunk {
+                shard: 0,
+                epoch: 1,
+                cursor: 0,
+                done: false,
+            },
         ] {
             assert_eq!(Record::from_payload(&record.payload()), Some(record));
         }
@@ -411,5 +507,75 @@ mod tests {
         assert_eq!(Record::from_payload(&[9]), None);
         assert_eq!(Record::from_payload(&[3, 1, 2]), None, "short epoch");
         assert_eq!(Record::from_payload(&[1, 0xFF, 0xFE]), None, "bad utf-8");
+        // Rollover payloads are fixed-width; a short body or a done
+        // byte other than 0/1 is corruption, not a record.
+        assert_eq!(Record::from_payload(&[5, 0, 0]), None, "short rollover");
+        let mut bad = Record::RolloverChunk {
+            shard: 1,
+            epoch: 2,
+            cursor: 3,
+            done: false,
+        }
+        .payload();
+        *bad.last_mut().unwrap() = 2;
+        assert_eq!(Record::from_payload(&bad), None, "bad done flag");
+    }
+
+    #[test]
+    fn rollover_progress_replays_last_record_per_shard() {
+        let path = temp_journal("rollover");
+        let _cleanup = Cleanup(path.clone());
+        {
+            let (mut journal, _) = Journal::open(&path).unwrap();
+            for record in [
+                Record::RolloverChunk {
+                    shard: 0,
+                    epoch: 2,
+                    cursor: 0,
+                    done: false,
+                },
+                Record::RolloverChunk {
+                    shard: 1,
+                    epoch: 2,
+                    cursor: 0,
+                    done: false,
+                },
+                Record::RolloverChunk {
+                    shard: 0,
+                    epoch: 2,
+                    cursor: 8,
+                    done: false,
+                },
+                Record::RolloverChunk {
+                    shard: 0,
+                    epoch: 2,
+                    cursor: 10,
+                    done: true,
+                },
+            ] {
+                journal.append(&record).unwrap();
+            }
+        }
+        let (_, state) = Journal::open(&path).unwrap();
+        assert_eq!(state.records, 4);
+        assert_eq!(
+            state.rollover.get(&0),
+            Some(&RolloverProgress {
+                epoch: 2,
+                cursor: 10,
+                done: true
+            })
+        );
+        assert_eq!(
+            state.rollover.get(&1),
+            Some(&RolloverProgress {
+                epoch: 2,
+                cursor: 0,
+                done: false
+            })
+        );
+        // Rollover records never touch the global epoch or revocations.
+        assert_eq!(state.epoch, 0);
+        assert!(state.revoked.is_empty());
     }
 }

@@ -76,6 +76,7 @@ use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
 use sempair_core::mediated::{DecryptToken, Sem, SemKey};
 use sempair_core::threshold::{self, DecryptionShare, IdKeyShare};
 use sempair_core::Error;
+use sempair_hash::HmacDrbgRng;
 use sempair_pairing::G1Affine;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{ErrorKind, Read, Write};
@@ -136,6 +137,15 @@ pub struct ServerConfig {
     /// full are shed with [`Status::Overloaded`] instead of queuing
     /// without limit.
     pub queue_cap: usize,
+    /// Brownout high-watermark on the pool queue: once its depth
+    /// reaches this, *brownout-class* ops (Stats and Batch — the work
+    /// that can wait) are shed with [`Status::Overloaded`] while
+    /// token/signing ops keep being admitted up to `queue_cap`, so an
+    /// overloaded SEM degrades observability and bulk traffic before
+    /// the latency-critical crypto path. Shed responses carry a typed
+    /// retry-after hint ([`proto::encode_retry_after`]). `0` (the
+    /// default) means ¾ of `queue_cap`.
+    pub brownout_watermark: usize,
     /// Max envelopes one connection may have in flight; past it the
     /// reader stops reading and TCP backpressures the peer.
     pub pipeline_depth: usize,
@@ -164,10 +174,25 @@ impl Default for ServerConfig {
             workers: 4,
             shards: 8,
             queue_cap: 1024,
+            brownout_watermark: 0,
             pipeline_depth: 64,
             cache_cap: crate::cache::DEFAULT_CACHE_CAP,
             cache_warm: false,
             audit: AuditConfig::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The queue depth at which brownout shedding starts: the
+    /// configured watermark clamped to `queue_cap`, or ¾ of
+    /// `queue_cap` (at least 1) when left at `0`.
+    pub fn effective_brownout_watermark(&self) -> usize {
+        let cap = self.queue_cap.max(1);
+        if self.brownout_watermark == 0 {
+            (cap * 3 / 4).max(1)
+        } else {
+            self.brownout_watermark.min(cap)
         }
     }
 }
@@ -231,15 +256,24 @@ impl Shared {
     }
 
     /// Queues a pipelined job on the worker pool; hands the job back
-    /// when the bounded queue is full (the caller sheds it).
-    fn enqueue(&self, job: WireJob) -> Option<WireJob> {
+    /// (plus the queue depth at refusal, for the retry-after hint)
+    /// when the caller must shed it. Token/signing work is shed only
+    /// when the bounded queue is full; brownout-class work (Stats,
+    /// Batch) is shed already at the brownout watermark, so overload
+    /// degrades the deferrable traffic first.
+    fn enqueue(&self, job: WireJob) -> Option<(WireJob, usize)> {
         let mut state = self
             .pool
             .state
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
-        if state.tokens.len() + state.signs.len() >= self.config.queue_cap.max(1) {
-            return Some(job);
+        let depth = state.tokens.len() + state.signs.len();
+        if depth >= self.config.queue_cap.max(1) {
+            return Some((job, depth));
+        }
+        let brownout_class = matches!(job.env.inner.op, Op::Stats | Op::Batch);
+        if brownout_class && depth >= self.config.effective_brownout_watermark() {
+            return Some((job, depth));
         }
         if job.env.inner.op == Op::GdhHalfSign {
             state.signs.push_back(job);
@@ -526,10 +560,22 @@ pub struct ClientConfig {
     /// fast). Requests are pure functions of their bytes — the SEM
     /// computes the same token twice — so re-sending is safe.
     pub max_retries: u32,
-    /// Backoff before the first retry; doubles per attempt.
+    /// Ceiling of the full-jitter backoff before the first retry;
+    /// doubles per attempt (the actual delay is drawn uniformly below
+    /// the ceiling — see `backoff_delay`).
     pub backoff_base: Duration,
     /// Backoff ceiling.
     pub backoff_cap: Duration,
+    /// Seed for the backoff-jitter DRBG. `None` (the default) seeds
+    /// from the stub's random session id, so every client jitters
+    /// differently; tests pin it to make retry schedules reproducible.
+    pub backoff_seed: Option<u64>,
+    /// Budget of extra re-sends when the SEM sheds with
+    /// [`Status::Overloaded`]: the stub waits out the server's
+    /// retry-after hint (or its jittered backoff, whichever is
+    /// longer) and re-sends under the same `(session, req_id)` key.
+    /// `0` surfaces the refusal to the caller immediately.
+    pub overload_retries: u32,
     /// Speak protocol v2: wrap every request in a pipelined envelope
     /// tagged `(session, req_id)`, making retries idempotent on the
     /// server and letting many stubs share one connection without
@@ -546,6 +592,8 @@ impl Default for ClientConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(25),
             backoff_cap: Duration::from_secs(1),
+            backoff_seed: None,
+            overload_retries: 0,
             pipelined: true,
         }
     }
@@ -558,6 +606,10 @@ pub struct ClientStats {
     pub retries: u64,
     /// Connections re-established after the initial connect.
     pub reconnects: u64,
+    /// Requests re-sent after the SEM shed them with
+    /// [`Status::Overloaded`] (bounded by
+    /// [`ClientConfig::overload_retries`]).
+    pub overload_retries: u64,
 }
 
 /// A client stub (one TCP connection, reusable for many requests,
@@ -573,6 +625,9 @@ pub struct TcpSemClient {
     /// (same id) replays instead of re-executing.
     session: u64,
     next_req_id: u64,
+    /// Backoff-jitter DRBG (see `backoff_delay`); seeded from
+    /// [`ClientConfig::backoff_seed`] or the random session id.
+    jitter: HmacDrbgRng,
 }
 
 /// Reads one length-prefixed frame payload; `Ok(None)` on clean EOF.
@@ -1165,9 +1220,10 @@ fn admit_envelope(env: PipelinedRequest, sink: &ConnWriter, shared: &Shared) {
                 reply: sink.tx.clone(),
                 gate: Arc::clone(&sink.gate),
             };
-            if let Some(job) = shared.enqueue(job) {
-                // Pool queue full: shed. The request was NOT executed,
-                // so un-track its id — a later retry must run fresh.
+            if let Some((job, depth)) = shared.enqueue(job) {
+                // Queue full (or past the brownout watermark for
+                // Stats/Batch): shed. The request was NOT executed, so
+                // un-track its id — a later retry must run fresh.
                 job.gate.release();
                 shared.idem.lock().forget(key);
                 let capability = if job.env.inner.op == Op::GdhHalfSign {
@@ -1182,11 +1238,12 @@ fn admit_envelope(env: PipelinedRequest, sink: &ConnWriter, shared: &Shared) {
                     0,
                     Duration::ZERO,
                 );
+                let hint = retry_after_hint_ms(depth, shared.config.queue_cap.max(1));
                 let _ = job.reply.send(proto::encode_pipelined_response(
                     job.env.req_id,
                     &Response {
                         status: Status::Overloaded,
-                        body: vec![],
+                        body: proto::encode_retry_after(hint),
                     },
                 ));
             }
@@ -1502,11 +1559,42 @@ fn outcome_for(status: Status) -> Outcome {
     }
 }
 
-/// Bounded exponential backoff: `base · 2^attempt`, capped.
-fn backoff_delay(base: Duration, cap: Duration, attempt: u32) -> Duration {
-    base.checked_mul(1u32 << attempt.min(16))
+/// Retry-after hint (milliseconds) for a shed request: grows with
+/// queue fullness, so the deeper the overload the further out the
+/// server spreads the retries it is inviting.
+fn retry_after_hint_ms(depth: usize, cap: usize) -> u32 {
+    let cap = cap.max(1);
+    let depth = depth.min(cap);
+    // 10 ms at an empty queue up to 100 ms at a full one; u32-safe
+    // because depth/cap are clamped and the ratio is ≤ 1.
+    (10 + (90 * depth as u64 / cap as u64)) as u32
+}
+
+/// Full-jitter bounded exponential backoff: uniform in
+/// `[0, min(cap, base · 2^attempt)]`.
+///
+/// The *ceiling* doubles per attempt and the delay is drawn uniformly
+/// below it, so a fleet of clients cut off by one replica restart
+/// de-synchronizes instead of reconnecting in lockstep (the
+/// thundering-herd fix). The draw comes from the client's DRBG:
+/// deterministic per seed for tests, distinct per session in
+/// production.
+fn backoff_delay(
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: &mut impl rand::RngCore,
+) -> Duration {
+    let ceiling = base
+        .checked_mul(1u32 << attempt.min(16))
         .unwrap_or(cap)
-        .min(cap)
+        .min(cap);
+    let nanos = ceiling.as_nanos().min(u128::from(u64::MAX)) as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    // Modulo bias is ≤ 2⁻⁶⁴·nanos — irrelevant for scheduling delays.
+    Duration::from_nanos(rng.next_u64() % nanos.saturating_add(1))
 }
 
 impl TcpSemClient {
@@ -1531,14 +1619,17 @@ impl TcpSemClient {
     ) -> std::io::Result<Self> {
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let mut rng = StdRng::from_entropy();
+        let session = rng.next_u64();
+        let jitter_seed = config.backoff_seed.unwrap_or(session);
         let mut client = TcpSemClient {
             addrs,
             stream: None,
             params,
             config,
             stats: ClientStats::default(),
-            session: rng.next_u64(),
+            session,
             next_req_id: 1,
+            jitter: HmacDrbgRng::new(&jitter_seed.to_be_bytes()),
         };
         client.reconnect()?;
         Ok(client)
@@ -1666,12 +1757,35 @@ impl TcpSemClient {
             (proto::encode_request(request)?, None)
         };
         let mut attempt: u32 = 0;
+        let mut overload_attempt: u32 = 0;
         loop {
             let outcome = match req_id {
                 Some(req_id) => self.exchange_once_pipelined(&frame, req_id),
                 None => self.exchange_once(&frame),
             };
             match outcome {
+                // A shed request was NOT executed (the server forgets
+                // its idempotency key), so re-sending is safe; wait
+                // out the server's typed retry-after hint — or our own
+                // jittered backoff, whichever is longer — then re-send
+                // under the same key.
+                Ok(Some(response))
+                    if response.status == Status::Overloaded
+                        && overload_attempt < self.config.overload_retries =>
+                {
+                    let hint = proto::decode_retry_after(&response.body)
+                        .map(u64::from)
+                        .map_or(Duration::ZERO, Duration::from_millis);
+                    let backoff = backoff_delay(
+                        self.config.backoff_base,
+                        self.config.backoff_cap,
+                        overload_attempt,
+                        &mut self.jitter,
+                    );
+                    std::thread::sleep(hint.max(backoff));
+                    self.stats.overload_retries += 1;
+                    overload_attempt += 1;
+                }
                 Ok(Some(response)) => return Ok(response),
                 // An intact frame that fails to decode is a protocol
                 // error, not a transport fault — retrying won't help.
@@ -1683,6 +1797,7 @@ impl TcpSemClient {
                         self.config.backoff_base,
                         self.config.backoff_cap,
                         attempt,
+                        &mut self.jitter,
                     ));
                     attempt += 1;
                 }
@@ -2472,15 +2587,59 @@ mod tests {
     }
 
     #[test]
-    fn backoff_is_bounded() {
+    fn backoff_is_bounded_with_full_jitter() {
         let base = Duration::from_millis(25);
         let cap = Duration::from_secs(1);
-        assert_eq!(backoff_delay(base, cap, 0), Duration::from_millis(25));
-        assert_eq!(backoff_delay(base, cap, 1), Duration::from_millis(50));
-        assert_eq!(backoff_delay(base, cap, 2), Duration::from_millis(100));
+        let mut rng = HmacDrbgRng::new(b"backoff-bounds");
+        // Full jitter: each delay is uniform below a ceiling that
+        // doubles per attempt, never above it.
+        for (attempt, ceiling_ms) in [(0u32, 25u64), (1, 50), (2, 100)] {
+            for _ in 0..32 {
+                let d = backoff_delay(base, cap, attempt, &mut rng);
+                assert!(d <= Duration::from_millis(ceiling_ms), "{attempt}: {d:?}");
+            }
+        }
         // Deep attempts saturate at the cap instead of overflowing.
-        assert_eq!(backoff_delay(base, cap, 40), cap);
-        assert_eq!(backoff_delay(Duration::from_secs(1 << 40), cap, 16), cap);
+        for _ in 0..32 {
+            assert!(backoff_delay(base, cap, 40, &mut rng) <= cap);
+            assert!(backoff_delay(Duration::from_secs(1 << 40), cap, 16, &mut rng) <= cap);
+        }
+        // A zero ceiling yields a zero delay, not a division panic.
+        assert_eq!(
+            backoff_delay(Duration::ZERO, Duration::ZERO, 0, &mut rng),
+            Duration::ZERO
+        );
+    }
+
+    /// The thundering-herd regression: when a replica restart cuts off
+    /// a fleet of clients at once, their retry delays must NOT be
+    /// identical (deterministic `base·2^attempt` re-synchronized every
+    /// reconnect storm), while one client's schedule stays reproducible
+    /// under a pinned seed.
+    #[test]
+    fn backoff_jitter_desynchronizes_reconnects_and_is_seed_deterministic() {
+        let base = Duration::from_millis(25);
+        let cap = Duration::from_secs(1);
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut rng = HmacDrbgRng::new(&seed.to_be_bytes());
+            (0..6)
+                .map(|a| backoff_delay(base, cap, a, &mut rng))
+                .collect()
+        };
+        // Deterministic under a test seed: the exact property
+        // `ClientConfig::backoff_seed` exposes.
+        assert_eq!(schedule(7), schedule(7));
+        // De-synchronized across a fleet: simulate 16 clients all
+        // starting attempt 0 at the same instant (post-restart) and
+        // require their first delays to collide almost never.
+        let first_delays: Vec<Duration> = (0..16u64).map(|s| schedule(s)[0]).collect();
+        let mut distinct = first_delays.clone();
+        distinct.sort();
+        distinct.dedup();
+        assert!(
+            distinct.len() >= 15,
+            "fleet re-synchronized: {first_delays:?}"
+        );
     }
 
     /// Many requests in flight on one connection: every reply comes
@@ -2603,6 +2762,83 @@ mod tests {
             }
             PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
         }
+        server.shutdown();
+    }
+
+    /// Brownout shedding: with the queue depth between the watermark
+    /// and the cap, deferrable Stats-class work is shed (with a typed
+    /// retry-after hint in the overloaded body) while token-class
+    /// crypto work is still admitted.
+    #[test]
+    fn brownout_sheds_stats_class_before_token_class() {
+        let (pkg, server, mut rng) = setup_with(ServerConfig {
+            workers: 1,
+            queue_cap: 8,
+            brownout_watermark: 2,
+            ..ServerConfig::default()
+        });
+        let (_, sem_key) = pkg.extract_split(&mut rng, "alice");
+        server.install_ibe(sem_key);
+        let (_, gdh_sem, _) = gdh::mediated_keygen(&mut rng, pkg.params().curve(), "alice");
+        server.install_gdh(gdh_sem);
+        let c = pkg.params().encrypt_full(&mut rng, "alice", b"x").unwrap();
+        let mut pipe = PipeClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+        // Wedge the single worker on slow signs and park four more in
+        // the queue: the depth sits between the watermark (2) and the
+        // cap (8) while the burst below arrives.
+        let slow_sign = Request {
+            op: Op::GdhHalfSign,
+            id: "alice".into(),
+            body: vec![0xA5; 256 * 1024],
+        };
+        let mut sign_ids = std::collections::HashSet::new();
+        for _ in 0..5 {
+            sign_ids.insert(pipe.submit(&slow_sign).unwrap());
+        }
+        let stats_id = pipe
+            .submit(&Request {
+                op: Op::Stats,
+                id: String::new(),
+                body: vec![],
+            })
+            .unwrap();
+        let token_id = pipe
+            .submit(&Request {
+                op: Op::IbeToken,
+                id: "alice".into(),
+                body: pkg.params().curve().point_to_bytes(&c.u),
+            })
+            .unwrap();
+        let (mut saw_stats, mut saw_token) = (false, false);
+        for _ in 0..7 {
+            match pipe.recv().unwrap() {
+                PipeReply::Reply(req_id, inner) => {
+                    if req_id == stats_id {
+                        assert_eq!(
+                            inner.status,
+                            Status::Overloaded,
+                            "Stats-class op must brown out above the watermark"
+                        );
+                        let hint = proto::decode_retry_after(&inner.body)
+                            .expect("shed replies carry a typed retry-after hint");
+                        assert!((10..=100).contains(&hint), "hint {hint} ms out of band");
+                        saw_stats = true;
+                    } else if req_id == token_id {
+                        assert_eq!(
+                            inner.status,
+                            Status::Ok,
+                            "token-class work must still be admitted below queue_cap"
+                        );
+                        saw_token = true;
+                    } else {
+                        assert!(sign_ids.remove(&req_id), "unknown req id");
+                        assert_eq!(inner.status, Status::Ok);
+                    }
+                }
+                PipeReply::Plain(outer) => panic!("unexpected plain reply: {:?}", outer.status),
+            }
+        }
+        assert!(saw_stats && saw_token && sign_ids.is_empty());
         server.shutdown();
     }
 

@@ -49,6 +49,18 @@ grep -q '^sem_cache_hits_total{cache="half_key"}' "$serving_log" \
   || { echo "serving smoke exposed no sem_cache_* counters over the stats op" >&2; exit 1; }
 rm -f "$serving_log"
 
+# Scenario suite smoke (sempair-bench-scenarios/1): the four scripted
+# chaos scenarios (revocation storm, incremental epoch rollover under
+# load, replica kill/rejoin, flaky mobile clients) graded against
+# their SLO specs. Timing margins are recorded; the runner itself
+# exits nonzero only on a deterministic-SLO violation (duplicate
+# execution, cheat event, busted error budget) — a correctness bug,
+# not load flake. The schema assertion catches artifact regressions.
+echo "== scenario suite smoke (writes BENCH_scenarios.json)"
+timeout --kill-after=10s 300s cargo run --release -q -p sempair-bench --bin scenario_bench -- --smoke
+grep -q '"schema": "sempair-bench-scenarios/1"' BENCH_scenarios.json \
+  || { echo "BENCH_scenarios.json is not schema sempair-bench-scenarios/1" >&2; exit 1; }
+
 # The bounded-observability suite soaks the audit ring past 100k
 # records and pulls metrics over live sockets; run it first and alone
 # so a regression in the bounds (or a wedged stats handler) is named

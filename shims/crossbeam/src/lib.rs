@@ -180,6 +180,22 @@ pub mod channel {
             self.shared.ready.notify_one();
             Ok(())
         }
+
+        /// Messages currently queued (matches upstream
+        /// `crossbeam_channel::Sender::len`) — the depth signal
+        /// watermark-based load shedding reads.
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True iff no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
     }
 
     impl<T> Clone for Sender<T> {
@@ -234,6 +250,21 @@ pub mod channel {
                 self.shared.space.notify_one();
             }
             popped
+        }
+
+        /// Messages currently queued (matches upstream
+        /// `crossbeam_channel::Receiver::len`).
+        pub fn len(&self) -> usize {
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .len()
+        }
+
+        /// True iff no message is currently queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
         }
     }
 
@@ -336,6 +367,20 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         drop(rx);
         assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn len_tracks_queued_messages() {
+        let (tx, rx) = bounded::<u8>(4);
+        assert_eq!(tx.len(), 0);
+        assert!(tx.is_empty());
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.len(), 2);
+        assert!(!rx.is_empty());
+        assert_eq!(rx.try_recv(), Some(1));
+        assert_eq!(tx.len(), 1);
     }
 
     #[test]

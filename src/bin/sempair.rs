@@ -65,6 +65,11 @@ struct Args {
     cluster: Option<(usize, usize)>,
     /// Extra first-wave replicas for quorum requests (`--hedge`).
     hedge: Option<usize>,
+    /// Master seed for the `scenario` command (`--seed`).
+    seed: Option<u64>,
+    /// Users re-keyed per incremental rollover chunk (`scenario`,
+    /// `--rollover-chunk`).
+    rollover_chunk: Option<usize>,
     positional: Vec<String>,
 }
 
@@ -105,6 +110,8 @@ fn parse_args() -> Result<Args, String> {
     let mut journal = None;
     let mut cluster = None;
     let mut hedge = None;
+    let mut seed = None;
+    let mut rollover_chunk = None;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -174,6 +181,26 @@ fn parse_args() -> Result<Args, String> {
             "--cache-warm" => {
                 server_config.cache_warm = true;
             }
+            "--brownout-watermark" => {
+                let raw = args.next().ok_or("--brownout-watermark needs a value")?;
+                server_config.brownout_watermark = raw
+                    .parse()
+                    .map_err(|_| format!("--brownout-watermark: `{raw}` is not a number"))?;
+            }
+            "--seed" => {
+                let raw = args.next().ok_or("--seed needs a value")?;
+                seed = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--seed: `{raw}` is not a number"))?,
+                );
+            }
+            "--rollover-chunk" => {
+                let raw = args.next().ok_or("--rollover-chunk needs a value")?;
+                rollover_chunk = Some(
+                    raw.parse()
+                        .map_err(|_| format!("--rollover-chunk: `{raw}` is not a number"))?,
+                );
+            }
             "--sem-timeout" => {
                 client_config.request_timeout = parse_secs("--sem-timeout", args.next())?;
             }
@@ -211,18 +238,21 @@ fn parse_args() -> Result<Args, String> {
         journal,
         cluster,
         hedge,
+        seed,
+        rollover_chunk,
         positional,
     })
 }
 
 fn usage() -> String {
-    "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|stats|serve> \
+    "usage: sempair <setup|enroll|encrypt|decrypt|sign|verify|revoke|unrevoke|status|audit|stats|serve|scenario> \
      [--dir DIR] [--fast|--paper] [--sem ADDR] [--sem-timeout SECS] [--sem-retries N] \
      [--cluster T/N] [--journal PATH] [--hedge N] \
      [--idle-timeout SECS] [--read-timeout SECS] [--write-timeout SECS] [--max-conns N] \
      [--workers N] [--shards N] [--queue-cap N] [--pipeline-depth N] \
-     [--cache-cap N] [--cache-warm] \
-     [--audit-cap N] [--identity-cap N] [args...]"
+     [--cache-cap N] [--cache-warm] [--brownout-watermark N] \
+     [--audit-cap N] [--identity-cap N] \
+     [--seed N] [--rollover-chunk N] [args...]"
         .to_string()
 }
 
@@ -241,6 +271,7 @@ fn run() -> Result<(), String> {
         "audit" => cmd_audit(&args),
         "stats" => cmd_stats(&args),
         "serve" => cmd_serve(&args),
+        "scenario" => cmd_scenario(&args),
         _ => Err(usage()),
     }
 }
@@ -916,6 +947,65 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     // Serve until killed.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `scenario [NAME]`: runs one (or all four) scripted chaos scenarios
+/// against in-process servers and prints the per-SLO margins. `--seed`
+/// replays a specific schedule, `--rollover-chunk` sizes the
+/// incremental re-key chunks, `--brownout-watermark` sets the shed
+/// threshold handed to the scenario servers.
+fn cmd_scenario(args: &Args) -> Result<(), String> {
+    use sempair::net::scenario::{run_all, run_scenario, ScenarioConfig, SCENARIOS};
+    let mut config = ScenarioConfig::smoke();
+    if let Some(seed) = args.seed {
+        config.seed = seed;
+    }
+    if let Some(chunk) = args.rollover_chunk {
+        config.rollover_chunk = chunk;
+    }
+    config.brownout_watermark = args.server_config.brownout_watermark;
+    let outcomes = match args.positional.first() {
+        Some(name) => {
+            let outcome = run_scenario(name, &config)
+                .ok_or_else(|| {
+                    format!(
+                        "unknown scenario `{name}` (available: {})",
+                        SCENARIOS.join(", ")
+                    )
+                })?
+                .map_err(|e| format!("scenario harness failed: {e}"))?;
+            vec![outcome]
+        }
+        None => run_all(&config).map_err(|e| format!("scenario harness failed: {e}"))?,
+    };
+    let mut all_passed = true;
+    for outcome in &outcomes {
+        println!(
+            "{} — {} (seed {}, quiet p99 {:.0} µs, loaded p99 {:.0} µs)",
+            outcome.name,
+            if outcome.passed { "PASS" } else { "FAIL" },
+            outcome.seed,
+            outcome.observation.quiet_p99_us,
+            outcome.observation.loaded_p99_us,
+        );
+        for m in &outcome.slos {
+            println!(
+                "  {:<22} {} actual {:>10.4} limit {:>10.4} margin {:>+10.4}{}",
+                m.name,
+                if m.pass { "ok  " } else { "FAIL" },
+                m.actual,
+                m.limit,
+                m.margin,
+                if m.timing { "  (timing)" } else { "" }
+            );
+        }
+        all_passed &= outcome.deterministic_pass();
+    }
+    if all_passed {
+        Ok(())
+    } else {
+        Err("a deterministic SLO was violated (see margins above)".to_string())
     }
 }
 
