@@ -1,0 +1,11 @@
+//! R3 widened-scope fixture: a RolloverChunk-style (store kind-5)
+//! handler that trusts a wire-supplied record count outside any
+//! `decode_*`-named function — caught only because the file-wide
+//! bound scan (`bound_everywhere`) now covers the store/scenario
+//! modules. This file is scanned, never compiled.
+
+fn rollover_chunk_records(count: usize) -> Vec<u8> {
+    let mut records = Vec::with_capacity(count);
+    records.resize(count, 0);
+    records
+}

@@ -1,0 +1,11 @@
+//! R3 widened-scope fixture: the same RolloverChunk-style handler with
+//! both allocations capped against the declared record ceiling. Must
+//! scan clean even under the file-wide bound scan.
+
+const MAX_RECORD: usize = 1 << 20;
+
+fn rollover_chunk_records(count: usize) -> Vec<u8> {
+    let mut records = Vec::with_capacity(count.min(MAX_RECORD));
+    records.resize(count.min(MAX_RECORD), 0);
+    records
+}

@@ -1,0 +1,28 @@
+//! R5 fixture: every lock-discipline check must fire at least once.
+//! This file is scanned, never compiled.
+
+use std::sync::Mutex;
+
+fn raw_construction() -> Mutex<u32> {
+    Mutex::new(0)
+}
+
+fn unannotated() -> TrackedMutex<u32> {
+    TrackedMutex::new(LockClass::Warm, 0)
+}
+
+fn unknown_class() -> TrackedMutex<u32> {
+    // lock:class(Bogus)
+    TrackedMutex::new(LockClass::Warm, 0)
+}
+
+fn contradicted() -> TrackedMutex<u32> {
+    // lock:class(Journal)
+    TrackedMutex::new(LockClass::Shard, 0)
+}
+
+fn inverted(shard: &TrackedMutex<u32>, warm: &TrackedMutex<u32>) {
+    let s = shard.lock(); // lock:acquire(Shard)
+    let w = warm.lock(); // lock:acquire(Warm)
+    drop((s, w));
+}

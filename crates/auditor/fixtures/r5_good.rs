@@ -1,0 +1,29 @@
+//! R5 fixture: disciplined lock usage — annotated tracked wrappers,
+//! acquisitions in declared rank order. Must scan clean.
+
+fn build() -> (TrackedMutex<u32>, TrackedMutex<u32>) {
+    // lock:class(Warm)
+    let warm = TrackedMutex::new(LockClass::Warm, 0);
+    // lock:class(Journal)
+    let journal = TrackedMutex::new(LockClass::Journal, 0);
+    (warm, journal)
+}
+
+fn ordered(warm: &TrackedMutex<u32>, journal: &TrackedMutex<u32>) {
+    let w = warm.lock(); // lock:acquire(Warm)
+    let j = journal.lock(); // lock:acquire(Journal)
+    drop((w, j));
+}
+
+fn sibling_blocks(warm: &TrackedMutex<u32>, journal: &TrackedMutex<u32>) {
+    {
+        let j = journal.lock(); // lock:acquire(Journal)
+        drop(j);
+    }
+    {
+        // The earlier Journal guard's scope closed above, so a Warm
+        // acquisition here is not nested under it.
+        let w = warm.lock(); // lock:acquire(Warm)
+        drop(w);
+    }
+}

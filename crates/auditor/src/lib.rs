@@ -20,7 +20,8 @@ use std::path::{Path, PathBuf};
 /// One rule violation.
 #[derive(Debug, Clone)]
 pub struct Finding {
-    /// Stable rule ID (`R1-panic`, `R2-secret`, `R3-bound`, `R4-ct`).
+    /// Stable rule ID (`R1-panic`, `R2-secret`, `R3-bound`, `R4-ct`,
+    /// `R5-lock`).
     pub rule: &'static str,
     /// Repo-relative file path.
     pub file: String,
@@ -61,7 +62,38 @@ const PANIC_SCOPE: &[&str] = &[
 /// tier is a hard memory cap, so R3's bounded-allocation rule applies
 /// to every line here, not just decode functions — an unbounded
 /// `with_capacity` in a cache is the bug the tier exists to prevent.
-const BOUND_SCOPE: &[&str] = &["crates/core/src/cache.rs", "crates/sem-net/src/cache.rs"];
+const BOUND_SCOPE: &[&str] = &[
+    "crates/core/src/cache.rs",
+    "crates/sem-net/src/cache.rs",
+    // The scenario harness allocates per-request sample buffers from
+    // config-driven sizes, and the journal builds record frames whose
+    // length a corrupt record could inflate: both widened into the
+    // file-wide bound scan after the PR 9 rollover-chunk (store
+    // kind 5) path landed outside R3's original file list.
+    "crates/sem-net/src/scenario.rs",
+    "crates/sem-net/src/store.rs",
+];
+
+/// Modules holding serving-path locks: R5's lock-discipline rule
+/// (tracked wrappers only, annotated construction sites, declared
+/// nesting order) applies file-wide here. `core/src/lockdep.rs` itself
+/// is deliberately absent — it is the implementation layer the rule
+/// forces everyone else onto.
+const LOCK_SCOPE: &[&str] = &[
+    "crates/sem-net/src/tcp.rs",
+    "crates/sem-net/src/server.rs",
+    "crates/sem-net/src/cluster.rs",
+    "crates/sem-net/src/audit.rs",
+    "crates/sem-net/src/faults.rs",
+    "crates/sem-net/src/cache.rs",
+    "crates/sem-net/src/scenario.rs",
+    "crates/sem-net/src/store.rs",
+    "crates/core/src/cache.rs",
+];
+
+/// Every rule ID, in catalogue order (the JSON rule summary always
+/// lists all of them, found or not).
+pub const RULE_IDS: &[&str] = &["R1-panic", "R2-secret", "R3-bound", "R4-ct", "R5-lock"];
 
 /// Audits a single source string, as the workspace walk would.
 /// Exposed for fixture-driven self-tests.
@@ -70,10 +102,18 @@ pub fn audit_source(
     source: &str,
     panic_everywhere: bool,
     bound_everywhere: bool,
+    lock_scope: bool,
 ) -> Vec<Finding> {
     let raw: Vec<&str> = source.lines().collect();
     let lines = scan::scan(source);
-    rules::run_rules(rel_path, &raw, &lines, panic_everywhere, bound_everywhere)
+    rules::run_rules(
+        rel_path,
+        &raw,
+        &lines,
+        panic_everywhere,
+        bound_everywhere,
+        lock_scope,
+    )
 }
 
 fn included(rel: &str) -> bool {
@@ -134,7 +174,14 @@ pub fn audit_workspace(root: &Path) -> Report {
         report.files_scanned += 1;
         let panic_everywhere = PANIC_SCOPE.contains(&rel.as_str());
         let bound_everywhere = BOUND_SCOPE.contains(&rel.as_str());
-        for finding in audit_source(&rel, &source, panic_everywhere, bound_everywhere) {
+        let lock_scope = LOCK_SCOPE.contains(&rel.as_str());
+        for finding in audit_source(
+            &rel,
+            &source,
+            panic_everywhere,
+            bound_everywhere,
+            lock_scope,
+        ) {
             if finding.allowed.is_some() {
                 report.allowed.push(finding);
             } else {
@@ -177,14 +224,25 @@ fn finding_json(f: &Finding) -> String {
 }
 
 impl Report {
-    /// Machine-readable output with stable field names.
+    /// Machine-readable output with stable field names. The `rules`
+    /// summary always lists every rule in the catalogue (zero counts
+    /// included), so CI can assert a rule actually ran.
     pub fn to_json(&self) -> String {
         let findings: Vec<String> = self.findings.iter().map(finding_json).collect();
         let allowed: Vec<String> = self.allowed.iter().map(finding_json).collect();
+        let rules: Vec<String> = RULE_IDS
+            .iter()
+            .map(|id| {
+                let active = self.findings.iter().filter(|f| f.rule == *id).count();
+                let allowed = self.allowed.iter().filter(|f| f.rule == *id).count();
+                format!("\"{id}\":{{\"findings\":{active},\"allowed\":{allowed}}}")
+            })
+            .collect();
         format!(
-            "{{\"findings\":[{}],\"allowed\":[{}],\"counts\":{{\"findings\":{},\"allowed\":{},\"files_scanned\":{}}}}}",
+            "{{\"findings\":[{}],\"allowed\":[{}],\"rules\":{{{}}},\"counts\":{{\"findings\":{},\"allowed\":{},\"files_scanned\":{}}}}}",
             findings.join(","),
             allowed.join(","),
+            rules.join(","),
             self.findings.len(),
             self.allowed.len(),
             self.files_scanned

@@ -12,6 +12,13 @@
 //! |           | job is to not allocate past their cap)                  |
 //! | R4-ct     | Equality on registered secret types routes through      |
 //! |           | `ct_eq` (no derived or `==`-based `PartialEq`)          |
+//! | R5-lock   | Lock discipline in the serving modules: raw `std::sync`/|
+//! |           | `parking_lot` lock construction is banned (tracked      |
+//! |           | wrappers only), every `TrackedMutex`/`TrackedRwLock`    |
+//! |           | construction carries a `lock:class(Name)` annotation    |
+//! |           | cross-checked against the declared class table, and     |
+//! |           | `lock:acquire(Name)`-annotated nested acquisitions must |
+//! |           | respect the declared partial order                      |
 //!
 //! Findings can be suppressed with `// audit:allow(<kind>, <reason>)`
 //! placed on, or directly above, the offending statement; suppressed
@@ -53,6 +60,36 @@ const FMT_MACROS: &[&str] = &[
     "format", "print", "println", "eprint", "eprintln", "write", "writeln", "dbg",
 ];
 
+/// The declared lock-class partial order — `(name, rank)`, lower rank
+/// = acquired first — mirroring `LockClass::rank` in
+/// `crates/core/src/lockdep.rs`. Equal ranks are incomparable (either
+/// nesting direction passes the static check; the runtime lockdep
+/// layer polices those via observed edges). A workspace test parses
+/// the real table out of `lockdep.rs` and asserts this copy matches,
+/// so the two cannot drift silently.
+pub const LOCK_CLASSES: &[(&str, u8)] = &[
+    ("Cluster", 0),
+    ("Faults", 1),
+    ("Conns", 2),
+    ("Handlers", 3),
+    ("Warm", 4),
+    ("Journal", 5),
+    ("Shard", 6),
+    ("Idem", 7),
+    ("Pool", 8),
+    ("Inflight", 8),
+    ("CacheTier", 10),
+    ("AuditRing", 11),
+];
+
+/// Rank of a declared lock class, if `name` is one.
+pub fn lock_class_rank(name: &str) -> Option<u8> {
+    LOCK_CLASSES
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, rank)| rank)
+}
+
 /// `true` for functions that decode untrusted bytes, by naming
 /// convention: `decode_*`, `*_from_bytes`, `*_from_payload`,
 /// `take_chunk`.
@@ -66,7 +103,7 @@ pub fn is_decode_fn(name: &str) -> bool {
 /// One parsed `audit:allow` escape.
 #[derive(Debug)]
 pub struct Allow {
-    /// Rule kind: `panic`, `secret`, `bound`, or `ct`.
+    /// Rule kind: `panic`, `secret`, `bound`, `ct`, or `lock`.
     pub kind: String,
     /// Justification text.
     pub reason: String,
@@ -84,6 +121,7 @@ fn rule_kind(rule: &str) -> &str {
         "R2-secret" => "secret",
         "R3-bound" => "bound",
         "R4-ct" => "ct",
+        "R5-lock" => "lock",
         _ => "",
     }
 }
@@ -243,6 +281,7 @@ pub fn run_rules(
     lines: &[LineInfo],
     panic_everywhere: bool,
     bound_everywhere: bool,
+    lock_scope: bool,
 ) -> Vec<Finding> {
     let mut findings = Vec::new();
     let mut push = |rule: &'static str, line: usize, message: String| {
@@ -327,6 +366,11 @@ pub fn run_rules(
     // R2/R4 (declarations): derives and trait impls on secret types.
     audit_derives(lines, &mut push);
     audit_impls(raw, lines, &mut push);
+
+    // R5: lock discipline in the serving modules.
+    if lock_scope {
+        audit_locks(lines, &mut push);
+    }
 
     // Apply the allowlist.
     let mut allows = collect_allows(lines);
@@ -475,6 +519,161 @@ fn audit_impls(
     }
 }
 
+/// Extracts `Name` from the first `marker(Name)` occurrence in a
+/// comment, e.g. `lock:class(Shard)`.
+fn annotation_name<'a>(comment: &'a str, marker: &str) -> Option<&'a str> {
+    let at = comment.find(marker)?;
+    let rest = &comment[at + marker.len()..];
+    let close = rest.find(')')?;
+    Some(rest[..close].trim())
+}
+
+/// R5-lock: the three lock-discipline checks for serving modules.
+///
+/// 1. Raw `Mutex`/`RwLock` construction is banned — every lock must be
+///    a `TrackedMutex`/`TrackedRwLock` so the runtime lockdep layer
+///    sees it.
+/// 2. Every tracked-lock construction site carries a
+///    `// lock:class(Name)` annotation (on the line or up to two lines
+///    above) naming a class from [`LOCK_CLASSES`]; when the
+///    `LockClass::X` argument is lexically visible nearby, it must
+///    match the annotation.
+/// 3. `// lock:acquire(Name)`-annotated acquisitions that are
+///    lexically nested (brace depth) under an earlier `let`-bound
+///    annotated guard must not acquire a class of strictly lower rank.
+fn audit_locks(lines: &[LineInfo], push: &mut impl FnMut(&'static str, usize, String)) {
+    // (class name, rank, brace depth at the guard's line start).
+    let mut guards: Vec<(String, u8, i32)> = Vec::new();
+    let mut depth = 0i32;
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            depth += brace_delta(&line.code);
+            continue;
+        }
+        let code = &line.code;
+        // A block closing below a guard's depth ends its lexical scope.
+        guards.retain(|&(_, _, d)| depth >= d);
+
+        // Check 1: raw lock construction.
+        for raw_lock in ["Mutex", "RwLock", "StdMutex", "StdRwLock"] {
+            for at in ident_positions(code, raw_lock) {
+                let rest = &code[at + raw_lock.len()..];
+                if rest.trim_start().starts_with("::new") {
+                    push(
+                        "R5-lock",
+                        i,
+                        format!(
+                            "raw `{raw_lock}::new` in a lock-disciplined module \
+                             (use `TrackedMutex`/`TrackedRwLock` with a `lock:class` annotation)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        // Check 2: tracked constructions carry a lock:class annotation.
+        for tracked in ["TrackedMutex", "TrackedRwLock"] {
+            for at in ident_positions(code, tracked) {
+                let rest = &code[at + tracked.len()..];
+                if !rest.trim_start().starts_with("::new") {
+                    continue;
+                }
+                let annotated = (i.saturating_sub(2)..=i)
+                    .rev()
+                    .filter_map(|j| lines.get(j))
+                    .find_map(|l| annotation_name(&l.comment, "lock:class(").map(str::to_string));
+                let Some(name) = annotated else {
+                    push(
+                        "R5-lock",
+                        i,
+                        format!("`{tracked}::new` without a `// lock:class(Name)` annotation"),
+                    );
+                    continue;
+                };
+                if lock_class_rank(&name).is_none() {
+                    push(
+                        "R5-lock",
+                        i,
+                        format!("`lock:class({name})` names no declared lock class"),
+                    );
+                    continue;
+                }
+                // Cross-check the annotation against the lexically
+                // visible `LockClass::X` argument, when there is one
+                // within the construction's next few lines.
+                let in_code = (i..i + 3).filter_map(|j| lines.get(j)).find_map(|l| {
+                    let at = l.code.find("LockClass::")?;
+                    let rest = &l.code[at + "LockClass::".len()..];
+                    let end = rest
+                        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+                        .unwrap_or(rest.len());
+                    Some(rest[..end].to_string())
+                });
+                if let Some(arg) = in_code {
+                    if arg != name {
+                        push(
+                            "R5-lock",
+                            i,
+                            format!(
+                                "`lock:class({name})` annotation contradicts \
+                                 `LockClass::{arg}` at the construction site"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // Check 3: annotated nested acquisitions respect the order.
+        if let Some(name) = annotation_name(&line.comment, "lock:acquire(") {
+            let is_acquisition = [".lock(", ".read(", ".write("]
+                .iter()
+                .any(|m| code.contains(m));
+            match lock_class_rank(name) {
+                None => push(
+                    "R5-lock",
+                    i,
+                    format!("`lock:acquire({name})` names no declared lock class"),
+                ),
+                Some(rank) if is_acquisition => {
+                    for (held, held_rank, _) in &guards {
+                        if rank < *held_rank {
+                            push(
+                                "R5-lock",
+                                i,
+                                format!(
+                                    "acquisition of `{name}` (rank {rank}) lexically nested \
+                                     under held `{held}` (rank {held_rank}) inverts the \
+                                     declared lock order"
+                                ),
+                            );
+                        }
+                    }
+                    if has_ident(code, "let") {
+                        guards.push((name.to_string(), rank, depth));
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+
+        depth += brace_delta(code);
+    }
+}
+
+/// Net brace-depth change contributed by one scrubbed code line.
+fn brace_delta(code: &str) -> i32 {
+    let mut delta = 0i32;
+    for c in code.chars() {
+        match c {
+            '{' => delta += 1,
+            '}' => delta -= 1,
+            _ => {}
+        }
+    }
+    delta
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,7 +681,7 @@ mod tests {
 
     fn run(src: &str, panic_everywhere: bool) -> Vec<Finding> {
         let raw: Vec<&str> = src.lines().collect();
-        run_rules("test.rs", &raw, &scan(src), panic_everywhere, false)
+        run_rules("test.rs", &raw, &scan(src), panic_everywhere, false, false)
     }
 
     #[test]
@@ -513,7 +712,7 @@ mod tests {
         let src = "fn grow(n: usize) -> Vec<u8> {\n    Vec::with_capacity(n)\n}\n";
         assert!(run(src, false).is_empty());
         let raw: Vec<&str> = src.lines().collect();
-        let findings = run_rules("test.rs", &raw, &scan(src), false, true);
+        let findings = run_rules("test.rs", &raw, &scan(src), false, true, false);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "R3-bound");
     }

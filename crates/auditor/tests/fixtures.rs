@@ -22,7 +22,13 @@ fn rules(findings: &[&Finding]) -> Vec<&'static str> {
 
 #[test]
 fn r1_bad_fires() {
-    let findings = audit_source("fixtures/r1_bad.rs", &fixture("r1_bad.rs"), true, false);
+    let findings = audit_source(
+        "fixtures/r1_bad.rs",
+        &fixture("r1_bad.rs"),
+        true,
+        false,
+        false,
+    );
     let active = active(&findings);
     assert_eq!(
         rules(&active),
@@ -35,7 +41,13 @@ fn r1_bad_fires() {
 
 #[test]
 fn r1_good_is_clean_and_counts_the_allow() {
-    let findings = audit_source("fixtures/r1_good.rs", &fixture("r1_good.rs"), true, false);
+    let findings = audit_source(
+        "fixtures/r1_good.rs",
+        &fixture("r1_good.rs"),
+        true,
+        false,
+        false,
+    );
     assert!(active(&findings).is_empty(), "{findings:?}");
     let allowed: Vec<&Finding> = findings.iter().filter(|f| f.allowed.is_some()).collect();
     assert_eq!(allowed.len(), 1, "the documented expect is still reported");
@@ -48,7 +60,13 @@ fn r1_good_is_clean_and_counts_the_allow() {
 
 #[test]
 fn r2_bad_fires() {
-    let findings = audit_source("fixtures/r2_bad.rs", &fixture("r2_bad.rs"), false, false);
+    let findings = audit_source(
+        "fixtures/r2_bad.rs",
+        &fixture("r2_bad.rs"),
+        false,
+        false,
+        false,
+    );
     let active = active(&findings);
     assert!(active.iter().all(|f| f.rule == "R2-secret"), "{findings:?}");
     // derive(Debug), un-redacted Display impl, and the two formatting
@@ -65,13 +83,25 @@ fn r2_bad_fires() {
 
 #[test]
 fn r2_good_is_clean() {
-    let findings = audit_source("fixtures/r2_good.rs", &fixture("r2_good.rs"), false, false);
+    let findings = audit_source(
+        "fixtures/r2_good.rs",
+        &fixture("r2_good.rs"),
+        false,
+        false,
+        false,
+    );
     assert!(active(&findings).is_empty(), "{findings:?}");
 }
 
 #[test]
 fn r3_bad_fires() {
-    let findings = audit_source("fixtures/r3_bad.rs", &fixture("r3_bad.rs"), false, false);
+    let findings = audit_source(
+        "fixtures/r3_bad.rs",
+        &fixture("r3_bad.rs"),
+        false,
+        false,
+        false,
+    );
     let active = active(&findings);
     assert_eq!(
         rules(&active),
@@ -82,13 +112,25 @@ fn r3_bad_fires() {
 
 #[test]
 fn r3_good_is_clean() {
-    let findings = audit_source("fixtures/r3_good.rs", &fixture("r3_good.rs"), false, false);
+    let findings = audit_source(
+        "fixtures/r3_good.rs",
+        &fixture("r3_good.rs"),
+        false,
+        false,
+        false,
+    );
     assert!(active(&findings).is_empty(), "{findings:?}");
 }
 
 #[test]
 fn r4_bad_fires() {
-    let findings = audit_source("fixtures/r4_bad.rs", &fixture("r4_bad.rs"), false, false);
+    let findings = audit_source(
+        "fixtures/r4_bad.rs",
+        &fixture("r4_bad.rs"),
+        false,
+        false,
+        false,
+    );
     let active = active(&findings);
     assert_eq!(
         rules(&active),
@@ -103,7 +145,13 @@ fn r4_bad_fires() {
 
 #[test]
 fn r4_good_is_clean() {
-    let findings = audit_source("fixtures/r4_good.rs", &fixture("r4_good.rs"), false, false);
+    let findings = audit_source(
+        "fixtures/r4_good.rs",
+        &fixture("r4_good.rs"),
+        false,
+        false,
+        false,
+    );
     assert!(active(&findings).is_empty(), "{findings:?}");
 }
 
@@ -112,15 +160,94 @@ fn cache_modules_pass_the_file_wide_bound_scan() {
     // The workspace gate widens R3 to whole-file scope in the cache
     // modules (BOUND_SCOPE); pin them clean here so a regression names
     // the file instead of surfacing as a generic gate failure.
-    for rel in ["crates/core/src/cache.rs", "crates/sem-net/src/cache.rs"] {
+    for rel in [
+        "crates/core/src/cache.rs",
+        "crates/sem-net/src/cache.rs",
+        "crates/sem-net/src/scenario.rs",
+        "crates/sem-net/src/store.rs",
+    ] {
         let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join(rel);
         let src = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
-        let findings = audit_source(rel, &src, false, true);
+        let findings = audit_source(rel, &src, false, true, false);
         assert!(active(&findings).is_empty(), "{rel}: {findings:?}");
     }
+}
+
+#[test]
+fn r3_scope_bad_fires_only_under_the_widened_scan() {
+    // Outside a decode-named function the allocations are invisible to
+    // the default R3 scope; the file-wide scan must catch both.
+    let src = fixture("r3_scope_bad.rs");
+    let default_scope = audit_source("fixtures/r3_scope_bad.rs", &src, false, false, false);
+    assert!(
+        active(&default_scope).is_empty(),
+        "fixture should only fire under bound_everywhere: {default_scope:?}"
+    );
+    let widened = audit_source("fixtures/r3_scope_bad.rs", &src, false, true, false);
+    let active = active(&widened);
+    assert_eq!(
+        rules(&active),
+        vec!["R3-bound", "R3-bound"],
+        "uncapped with_capacity and resize must both fire: {widened:?}"
+    );
+}
+
+#[test]
+fn r3_scope_good_is_clean() {
+    let findings = audit_source(
+        "fixtures/r3_scope_good.rs",
+        &fixture("r3_scope_good.rs"),
+        false,
+        true,
+        false,
+    );
+    assert!(active(&findings).is_empty(), "{findings:?}");
+}
+
+#[test]
+fn r5_bad_fires() {
+    let src = fixture("r5_bad.rs");
+    // Lock discipline is scoped: with lock_scope off the file is clean.
+    let unscoped = audit_source("fixtures/r5_bad.rs", &src, false, false, false);
+    assert!(
+        active(&unscoped).is_empty(),
+        "R5 must not fire outside LOCK_SCOPE: {unscoped:?}"
+    );
+    let findings = audit_source("fixtures/r5_bad.rs", &src, false, false, true);
+    let active = active(&findings);
+    assert_eq!(
+        rules(&active),
+        vec!["R5-lock"; 5],
+        "all five lock-discipline defects must fire: {findings:?}"
+    );
+    let expect = [
+        "raw `Mutex::new`",
+        "without a `// lock:class(Name)` annotation",
+        "`lock:class(Bogus)` names no declared lock class",
+        "annotation contradicts `LockClass::Shard`",
+        "inverts the declared lock order",
+    ];
+    for (finding, needle) in active.iter().zip(expect) {
+        assert!(
+            finding.message.contains(needle),
+            "expected {needle:?} in {finding:?}"
+        );
+    }
+}
+
+#[test]
+fn r5_good_is_clean() {
+    let findings = audit_source(
+        "fixtures/r5_good.rs",
+        &fixture("r5_good.rs"),
+        false,
+        false,
+        true,
+    );
+    assert!(active(&findings).is_empty(), "{findings:?}");
 }
 
 #[test]
@@ -137,6 +264,6 @@ mod tests {
     }
 }
 ";
-    let findings = audit_source("fixtures/inline.rs", src, true, false);
+    let findings = audit_source("fixtures/inline.rs", src, true, false, false);
     assert!(findings.is_empty(), "{findings:?}");
 }

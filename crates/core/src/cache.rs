@@ -13,7 +13,7 @@
 //! recency queue, bounded by an **entry cap** and accounting a
 //! caller-supplied per-entry **weight** (approximate bytes) so
 //! occupancy can be exported in memory terms, not just entry counts.
-//! [`SharedLru`] wraps it in a [`parking_lot::Mutex`] for the
+//! [`SharedLru`] wraps it in a [`crate::lockdep::TrackedMutex`] for the
 //! get-outside-compute-insert pattern used by every consumer: look up
 //! under the lock, compute the miss outside it (concurrent misses on
 //! one key duplicate work instead of serializing it), insert the
@@ -27,6 +27,7 @@
 //! the same tombstone idea that fixes the idempotency-window churn bug
 //! in `sem-net` (DESIGN.md §14).
 
+use crate::lockdep::{LockClass, TrackedMutex};
 use std::borrow::Borrow;
 use std::collections::{HashMap, VecDeque};
 use std::hash::Hash;
@@ -346,12 +347,14 @@ mod tests {
     }
 }
 
-/// A [`BoundedLru`] behind a [`parking_lot::Mutex`], for sharing across
-/// server worker threads. Values are returned by clone, so consumers
+/// A [`BoundedLru`] behind a [`TrackedMutex`] (lock class
+/// `CacheTier`, the innermost serving-path class: revocation takes it
+/// while holding a shard write lock), for sharing across server
+/// worker threads. Values are returned by clone, so consumers
 /// typically store `Arc`s (or small copy-on-clone values like `Gt`).
 #[derive(Debug)]
 pub struct SharedLru<K, V> {
-    inner: parking_lot::Mutex<BoundedLru<K, V>>,
+    inner: TrackedMutex<BoundedLru<K, V>>,
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> SharedLru<K, V> {
@@ -359,7 +362,8 @@ impl<K: Eq + Hash + Clone, V: Clone> SharedLru<K, V> {
     /// disables).
     pub fn new(capacity: usize) -> Self {
         SharedLru {
-            inner: parking_lot::Mutex::new(BoundedLru::new(capacity)),
+            // lock:class(CacheTier)
+            inner: TrackedMutex::new(LockClass::CacheTier, BoundedLru::new(capacity)),
         }
     }
 

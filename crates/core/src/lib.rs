@@ -59,6 +59,7 @@ pub mod dkg;
 pub mod elgamal;
 pub mod encryptor;
 pub mod gdh;
+pub mod lockdep;
 pub mod mediated;
 pub mod shamir;
 pub mod signcryption;

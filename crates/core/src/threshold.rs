@@ -227,17 +227,11 @@ impl ThresholdSystem {
         self.n
     }
 
-    /// `P_pub^(i)` for player `i` (1-based).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `i` is out of `1..=n`.
-    // Player indices come from local protocol state, not the wire; a
-    // bad one is a caller bug with a documented panic contract.
-    #[allow(clippy::indexing_slicing)]
-    pub fn verification_key(&self, i: u32) -> &G1Affine {
-        // audit:allow(panic, documented contract: i must be in 1..=n, locally chosen)
-        &self.verification_keys[(i - 1) as usize]
+    /// `P_pub^(i)` for player `i` (1-based); `None` if `i` is out of
+    /// `1..=n`.
+    pub fn verification_key(&self, i: u32) -> Option<&G1Affine> {
+        let index = (i as usize).checked_sub(1)?;
+        self.verification_keys.get(index)
     }
 
     /// The §3.2 sanity check players run at setup: for the index subset
@@ -255,7 +249,10 @@ impl ThresholdSystem {
         let mut terms = Vec::with_capacity(subset.len());
         for &i in subset {
             let li = shamir::lagrange_coefficient(subset, i, q)?;
-            terms.push((li, self.verification_key(i).clone()));
+            let vk = self
+                .verification_key(i)
+                .ok_or(Error::InvalidShare { player: i })?;
+            terms.push((li, vk.clone()));
         }
         if &self.params.curve().multi_mul(&terms) == self.params.p_pub() {
             Ok(())
@@ -271,14 +268,12 @@ impl ThresholdSystem {
         if share.index == 0 || share.index as usize > self.n {
             return false;
         }
+        let Some(vk) = self.verification_key(share.index) else {
+            return false;
+        };
         let curve = self.params.curve();
         let q_id = self.params.hash_identity(&share.id);
-        curve.pairing_equals(
-            self.verification_key(share.index),
-            &q_id,
-            curve.generator(),
-            &share.point,
-        )
+        curve.pairing_equals(vk, &q_id, curve.generator(), &share.point)
     }
 
     /// `Decrypt` (player side): the decryption share `ê(U, d_IDᵢ)`.
@@ -322,10 +317,15 @@ impl ThresholdSystem {
         let Some(proof) = &share.proof else {
             return Err(Error::InvalidProof);
         };
+        let vk = self
+            .verification_key(share.index)
+            .ok_or(Error::InvalidShare {
+                player: share.index,
+            })?;
         let curve = self.params.curve();
         let q_id = self.params.hash_identity(id);
         // Publicly computable v_i = ê(P_pub^(i), Q_ID) = ê(P, d_IDᵢ).
-        let v_i = curve.pairing(self.verification_key(share.index), &q_id);
+        let v_i = curve.pairing(vk, &q_id);
         let e = self.proof_challenge(&share.value, &v_i, &proof.w1, &proof.w2);
         if e != proof.e {
             return Err(Error::InvalidProof);
@@ -335,7 +335,7 @@ impl ThresholdSystem {
         // ê(P_pub^(i), Q_ID)): one shared-squaring multi-Miller loop
         // and a single final exponentiation instead of a full pairing
         // plus a full-width `Gt` exponentiation.
-        let neg_evk = curve.neg(&curve.mul(&e, self.verification_key(share.index)));
+        let neg_evk = curve.neg(&curve.mul(&e, vk));
         let lhs1 = curve.multi_pairing(&[(curve.generator(), &proof.v), (&neg_evk, &q_id)]);
         if lhs1 != proof.w1 {
             return Err(Error::InvalidProof);

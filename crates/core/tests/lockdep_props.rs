@@ -1,0 +1,120 @@
+//! Property tests for the lockdep core (ISSUE 10 satellite).
+//!
+//! The lockdep edge graph is process-global, so these properties are
+//! written to be insensitive to interleaving with each other:
+//! rank-consistent acquisitions only ever insert declared-consistent
+//! edges (inverted edges are reported, not recorded), and the
+//! incomparable-pair test is the only one touching Pool/Inflight.
+
+#![cfg(feature = "lockdep")]
+
+use proptest::prelude::*;
+use sempair_core::lockdep::{self, LockClass, TrackedMutex, ViolationKind};
+
+/// All classes in declared-rank order, equal ranks deduped, so any
+/// subsequence acquires in strictly increasing rank.
+fn strict_chain(mask: u16) -> Vec<LockClass> {
+    let mut chain: Vec<LockClass> = Vec::new();
+    for (i, &class) in LockClass::ALL.iter().enumerate() {
+        if mask & (1 << i) == 0 {
+            continue;
+        }
+        if chain.last().is_none_or(|prev| prev.rank() < class.rank()) {
+            chain.push(class);
+        }
+    }
+    chain
+}
+
+fn acquire_chain(classes: &[LockClass]) -> Vec<lockdep::LockdepViolation> {
+    let locks: Vec<TrackedMutex<u32>> = classes.iter().map(|&c| TrackedMutex::new(c, 0)).collect();
+    let guards: Vec<_> = locks.iter().map(TrackedMutex::lock).collect();
+    drop(guards);
+    lockdep::take_thread_violations()
+}
+
+proptest! {
+    /// Any acquisition sequence consistent with the declared partial
+    /// order (strictly increasing rank) never reports a violation, no
+    /// matter what edges earlier sequences left in the global graph.
+    #[test]
+    fn rank_consistent_sequences_never_violate(mask in 0u16..(1 << 12)) {
+        let chain = strict_chain(mask);
+        let violations = acquire_chain(&chain);
+        prop_assert!(
+            violations.is_empty(),
+            "consistent chain {chain:?} flagged: {violations:?}"
+        );
+    }
+
+    /// Injecting a back-edge — acquiring a strictly lower-ranked class
+    /// while a higher-ranked one is held — is always detected, at any
+    /// position in the chain and regardless of prior graph state.
+    #[test]
+    fn injected_back_edge_always_detected(
+        mask in 0u16..(1 << 12),
+        pick_a in any::<u16>(),
+        pick_b in any::<u16>(),
+    ) {
+        let chain = strict_chain(mask);
+        prop_assume!(chain.len() >= 2);
+        let (a, b) = (
+            usize::from(pick_a) % chain.len(),
+            usize::from(pick_b) % chain.len(),
+        );
+        prop_assume!(a != b);
+        let (lo, hi) = (chain[a.min(b)], chain[a.max(b)]);
+
+        let outer = TrackedMutex::new(hi, 0u32);
+        let inner = TrackedMutex::new(lo, 0u32);
+        let _o = outer.lock();
+        let _i = inner.lock();
+        let violations = lockdep::take_thread_violations();
+        prop_assert_eq!(violations.len(), 1, "chain {:?}", chain);
+        let v = &violations[0];
+        prop_assert_eq!(v.kind, ViolationKind::DeclaredOrder);
+        prop_assert_eq!(v.held, hi);
+        prop_assert_eq!(v.acquired, lo);
+    }
+}
+
+/// Pool and Inflight share a rank (declared incomparable), so the
+/// declared check is silent and ordering falls to the observed-edge
+/// graph: whichever direction runtime history pins first, the reverse
+/// nesting is detected. The cycle/observed check is order-insensitive —
+/// it does not matter that the legal direction was seen first.
+#[test]
+fn incomparable_pair_reverse_nesting_is_detected() {
+    let pool = TrackedMutex::new(LockClass::Pool, 0u32);
+    let inflight = TrackedMutex::new(LockClass::Inflight, 0u32);
+
+    // Pin pool → inflight as the observed direction.
+    {
+        let _p = pool.lock();
+        let _f = inflight.lock();
+    }
+    let legal = lockdep::take_thread_violations();
+    assert!(
+        legal.is_empty(),
+        "first observed direction flagged: {legal:?}"
+    );
+
+    // Repeating the pinned direction stays clean.
+    {
+        let _p = pool.lock();
+        let _f = inflight.lock();
+    }
+    assert!(lockdep::take_thread_violations().is_empty());
+
+    // The reverse nesting closes a 2-cycle in the class graph.
+    {
+        let _f = inflight.lock();
+        let _p = pool.lock();
+    }
+    let violations = lockdep::take_thread_violations();
+    assert_eq!(violations.len(), 1, "{violations:?}");
+    let v = &violations[0];
+    assert_eq!(v.kind, ViolationKind::ObservedOrder);
+    assert_eq!(v.held, LockClass::Inflight);
+    assert_eq!(v.acquired, LockClass::Pool);
+}

@@ -30,7 +30,7 @@
 //! ([`MetricsSnapshot::to_prometheus_text`] /
 //! [`MetricsSnapshot::from_prometheus_text`]).
 
-use parking_lot::Mutex;
+use sempair_core::lockdep::{LockClass, TrackedMutex};
 use std::collections::{HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -367,6 +367,34 @@ pub struct MetricsSnapshot {
     /// the serving layer has no cache tier attached (a snapshot taken
     /// from a lone [`AuditLog`] never invents caches).
     pub caches: Vec<CacheSeries>,
+    /// Lock-order verification counters (all zero when the `lockdep`
+    /// feature is compiled out).
+    pub lockdep: LockdepStats,
+}
+
+/// Process-global lockdep counters, as exported by the `sem_lockdep_*`
+/// metric family. Note the counters are per *process*: in a
+/// single-process multi-replica cluster, [`MetricsSnapshot::merge`]
+/// sums one copy per replica, so treat merged values as an
+/// availability gate (zero violations ⇔ sum is zero), not a count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockdepStats {
+    /// Lock acquisitions checked against the class graph.
+    pub checks: u64,
+    /// Distinct acquired-before class edges observed.
+    pub edges: u64,
+    /// Order inversions / cycles detected (must stay zero).
+    pub violations: u64,
+}
+
+/// Snapshots the process-global lockdep counters (zeros when the
+/// `lockdep` feature is compiled out of `sempair-core`).
+pub fn lockdep_stats_now() -> LockdepStats {
+    LockdepStats {
+        checks: sempair_core::lockdep::checks(),
+        edges: sempair_core::lockdep::edge_count(),
+        violations: sempair_core::lockdep::violation_count(),
+    }
 }
 
 impl MetricsSnapshot {
@@ -443,6 +471,13 @@ impl MetricsSnapshot {
             &mut out,
             "sem_transport_refused_conns_total",
             self.transport.refused_conns,
+        );
+        scalar(&mut out, "sem_lockdep_checks_total", self.lockdep.checks);
+        scalar(&mut out, "sem_lockdep_edges", self.lockdep.edges);
+        scalar(
+            &mut out,
+            "sem_lockdep_violations_total",
+            self.lockdep.violations,
         );
         for (capability, hist) in &self.latency_us {
             let name = "sem_request_latency_us";
@@ -647,6 +682,13 @@ impl MetricsSnapshot {
             batch_sizes,
             replicas,
             caches,
+            // Absent in expositions from pre-lockdep builds: read as
+            // zeros rather than rejecting the document.
+            lockdep: LockdepStats {
+                checks: get("sem_lockdep_checks_total").unwrap_or(0),
+                edges: get("sem_lockdep_edges").unwrap_or(0),
+                violations: get("sem_lockdep_violations_total").unwrap_or(0),
+            },
         })
     }
 
@@ -677,6 +719,9 @@ impl MetricsSnapshot {
         self.transport.batches += other.transport.batches;
         self.transport.timeouts += other.transport.timeouts;
         self.transport.refused_conns += other.transport.refused_conns;
+        self.lockdep.checks += other.lockdep.checks;
+        self.lockdep.edges += other.lockdep.edges;
+        self.lockdep.violations += other.lockdep.violations;
         for (capability, hist) in &other.latency_us {
             match self.latency_us.iter_mut().find(|(c, _)| c == capability) {
                 Some((_, mine)) => mine.merge(hist),
@@ -829,7 +874,7 @@ fn histogram_from_cumulative(cumulative: &[u64], count: u64, sum: u64) -> Option
 #[derive(Debug)]
 pub struct AuditLog {
     started: Instant,
-    inner: Mutex<Inner>,
+    inner: TrackedMutex<Inner>,
 }
 
 impl Default for AuditLog {
@@ -860,19 +905,23 @@ impl AuditLog {
     pub fn with_config(config: AuditConfig) -> Self {
         AuditLog {
             started: Instant::now(),
-            inner: Mutex::new(Inner {
-                config,
-                records: VecDeque::new(),
-                records_dropped: 0,
-                by_identity: HashMap::new(),
-                totals: IdentityStats::default(),
-                transport: TransportStats::default(),
-                latency_us: [
-                    Histogram::new(LATENCY_BUCKETS),
-                    Histogram::new(LATENCY_BUCKETS),
-                ],
-                batch_sizes: Histogram::new(BATCH_BUCKETS),
-            }),
+            // lock:class(AuditRing)
+            inner: TrackedMutex::new(
+                LockClass::AuditRing,
+                Inner {
+                    config,
+                    records: VecDeque::new(),
+                    records_dropped: 0,
+                    by_identity: HashMap::new(),
+                    totals: IdentityStats::default(),
+                    transport: TransportStats::default(),
+                    latency_us: [
+                        Histogram::new(LATENCY_BUCKETS),
+                        Histogram::new(LATENCY_BUCKETS),
+                    ],
+                    batch_sizes: Histogram::new(BATCH_BUCKETS),
+                },
+            ),
         }
     }
 
@@ -1093,6 +1142,7 @@ impl AuditLog {
             batch_sizes: inner.batch_sizes.clone(),
             replicas: Vec::new(),
             caches: Vec::new(),
+            lockdep: lockdep_stats_now(),
         }
     }
 }

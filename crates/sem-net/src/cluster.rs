@@ -35,9 +35,9 @@
 use crate::audit::{MetricsSnapshot, ReplicaHealth};
 use crate::store::ReplayedState;
 use crate::tcp::{ClientConfig, ServerConfig, TcpSemClient, TcpSemServer};
-use parking_lot::Mutex;
 use rand::RngCore;
 use sempair_core::bf_ibe::{IbePublicParams, Pkg};
+use sempair_core::lockdep::{LockClass, TrackedMutex};
 use sempair_core::mediated::{DecryptToken, UserKey};
 use sempair_core::threshold::{DecryptionShare, IdKeyShare, ThresholdSystem};
 use sempair_core::Error;
@@ -101,7 +101,7 @@ pub struct QuorumOutcome {
 /// Per-replica client state: a lazily (re)connected stub plus health
 /// counters.
 struct Slot {
-    client: Mutex<Option<TcpSemClient>>,
+    client: TrackedMutex<Option<TcpSemClient>>,
     /// EWMA of request latency in µs; `u64::MAX` means "never reached"
     /// or "last attempt failed", which sorts the replica last.
     latency_us: AtomicU64,
@@ -147,7 +147,8 @@ impl QuorumClient {
         let slots = addrs
             .iter()
             .map(|_| Slot {
-                client: Mutex::new(None),
+                // lock:class(Cluster)
+                client: TrackedMutex::new(LockClass::Cluster, None),
                 latency_us: AtomicU64::new(u64::MAX),
                 reachable: AtomicBool::new(true),
                 cheats: AtomicU64::new(0),
@@ -259,8 +260,9 @@ impl QuorumClient {
         valid: &mut Vec<DecryptionShare>,
         stats: &mut QuorumStats,
     ) {
-        let results: Mutex<Vec<(usize, Result<DecryptionShare, Error>)>> =
-            Mutex::new(Vec::with_capacity(indices.len()));
+        // lock:class(Cluster)
+        let results: TrackedMutex<Vec<(usize, Result<DecryptionShare, Error>)>> =
+            TrackedMutex::new(LockClass::Cluster, Vec::with_capacity(indices.len()));
         std::thread::scope(|scope| {
             for &i in indices {
                 let results = &results;

@@ -35,7 +35,7 @@
 //! bring it back.
 
 use crossbeam::channel;
-use parking_lot::Mutex;
+use sempair_core::lockdep::{LockClass, TrackedMutex};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
@@ -258,8 +258,8 @@ pub struct FaultProxy {
     shutdown: Arc<AtomicBool>,
     crash: Arc<AtomicU8>,
     acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<TcpStream>>>,
-    pumps: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conns: Arc<TrackedMutex<Vec<TcpStream>>>,
+    pumps: Arc<TrackedMutex<Vec<JoinHandle<()>>>>,
     stats: Arc<StatsInner>,
 }
 
@@ -297,11 +297,15 @@ impl FaultProxy {
         listener.set_nonblocking(true)?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let crash = Arc::new(AtomicU8::new(0));
-        let conns = Arc::new(Mutex::new(Vec::new()));
-        let pumps = Arc::new(Mutex::new(Vec::new()));
+        // lock:class(Faults)
+        let conns = Arc::new(TrackedMutex::new(LockClass::Faults, Vec::new()));
+        // lock:class(Faults)
+        let pumps = Arc::new(TrackedMutex::new(LockClass::Faults, Vec::new()));
         let stats = Arc::new(StatsInner::default());
-        let c2s = Arc::new(Mutex::new(c2s));
-        let s2c = Arc::new(Mutex::new(s2c));
+        // lock:class(Faults)
+        let c2s = Arc::new(TrackedMutex::new(LockClass::Faults, c2s));
+        // lock:class(Faults)
+        let s2c = Arc::new(TrackedMutex::new(LockClass::Faults, s2c));
         let acceptor = {
             let shutdown = Arc::clone(&shutdown);
             let crash = Arc::clone(&crash);
@@ -540,7 +544,7 @@ fn plan_action(fault: &Fault, payload: &[u8], stats: &StatsInner) -> Action {
 fn spawn_pump(
     mut from: TcpStream,
     mut to: TcpStream,
-    plan: Arc<Mutex<FaultPlan>>,
+    plan: Arc<TrackedMutex<FaultPlan>>,
     stats: Arc<StatsInner>,
     one_way: Duration,
 ) -> JoinHandle<()> {

@@ -66,7 +66,7 @@ impl Zipf {
     /// A sampler over ranks `0..n` (`n` clamped to at least 1).
     pub fn new(n: usize) -> Self {
         let n = n.max(1);
-        let mut cdf = Vec::with_capacity(n);
+        let mut cdf = Vec::with_capacity(n.min(MAX_ZIPF_RANKS));
         let mut acc = 0.0f64;
         for rank in 0..n {
             acc += 1.0 / (rank + 1) as f64;
@@ -177,6 +177,10 @@ pub struct SloObservation {
     pub duplicate_executions: u64,
     /// Partial tokens that failed verification.
     pub cheat_events: u64,
+    /// Lock-order violations detected by the lockdep layer over the
+    /// scenario's run (always 0 when the `lockdep` feature is
+    /// compiled out). Gated at a hard limit of zero.
+    pub lockdep_violations: u64,
 }
 
 impl SloObservation {
@@ -252,6 +256,14 @@ impl SloSpec {
                 obs.cheat_events as f64,
                 false,
             ),
+            // Not configurable: a lock-order inversion is a latent
+            // deadlock, so every scenario gates it at exactly zero.
+            SloMargin::grade(
+                "lockdep_violations",
+                0.0,
+                obs.lockdep_violations as f64,
+                false,
+            ),
         ]
     }
 }
@@ -311,6 +323,15 @@ impl ScenarioOutcome {
     }
 }
 
+/// Pre-allocation ceiling for per-phase latency sample buffers (and
+/// other request-sized vectors): configs ask for hundreds of requests,
+/// so a corrupt or hostile config cannot make the harness reserve
+/// unbounded memory up front.
+const MAX_PHASE_SAMPLES: usize = 1 << 20;
+
+/// Pre-allocation ceiling for the Zipf sampler's harmonic CDF table.
+const MAX_ZIPF_RANKS: usize = 1 << 20;
+
 /// Names of the four scripted scenarios, in run order.
 pub const SCENARIOS: [&str; 4] = [
     "mass_revocation_storm",
@@ -319,13 +340,32 @@ pub const SCENARIOS: [&str; 4] = [
     "flaky_mobile_clients",
 ];
 
+/// Wraps one scenario run in a lockdep measurement window: the
+/// process-global violation counter is differenced across the run and
+/// graded (limit zero) alongside the scenario's own objectives.
+fn with_lockdep_gate(
+    run: impl FnOnce() -> Result<ScenarioOutcome, Error>,
+) -> Result<ScenarioOutcome, Error> {
+    let before = sempair_core::lockdep::violation_count();
+    let mut outcome = run()?;
+    outcome.observation.lockdep_violations =
+        sempair_core::lockdep::violation_count().saturating_sub(before);
+    outcome.slos = outcome.spec.evaluate(&outcome.observation);
+    outcome.passed = outcome.slos.iter().all(|m| m.pass);
+    Ok(outcome)
+}
+
 /// Runs the named scenario; `None` for an unknown name.
 pub fn run_scenario(name: &str, config: &ScenarioConfig) -> Option<Result<ScenarioOutcome, Error>> {
     match name {
-        "mass_revocation_storm" => Some(mass_revocation_storm(config)),
-        "epoch_rollover_under_load" => Some(epoch_rollover_under_load(config)),
-        "replica_kill_rejoin_during_spike" => Some(replica_kill_rejoin_during_spike(config)),
-        "flaky_mobile_clients" => Some(flaky_mobile_clients(config)),
+        "mass_revocation_storm" => Some(with_lockdep_gate(|| mass_revocation_storm(config))),
+        "epoch_rollover_under_load" => {
+            Some(with_lockdep_gate(|| epoch_rollover_under_load(config)))
+        }
+        "replica_kill_rejoin_during_spike" => Some(with_lockdep_gate(|| {
+            replica_kill_rejoin_during_spike(config)
+        })),
+        "flaky_mobile_clients" => Some(with_lockdep_gate(|| flaky_mobile_clients(config))),
         _ => None,
     }
 }
@@ -338,11 +378,13 @@ pub fn run_scenario(name: &str, config: &ScenarioConfig) -> Option<Result<Scenar
 /// panic) aborts the run; SLO violations are reported in the
 /// outcomes, not as errors.
 pub fn run_all(config: &ScenarioConfig) -> Result<Vec<ScenarioOutcome>, Error> {
-    let mut outcomes = Vec::with_capacity(SCENARIOS.len());
-    outcomes.push(mass_revocation_storm(config)?);
-    outcomes.push(epoch_rollover_under_load(config)?);
-    outcomes.push(replica_kill_rejoin_during_spike(config)?);
-    outcomes.push(flaky_mobile_clients(config)?);
+    let mut outcomes = Vec::with_capacity(SCENARIOS.len().min(MAX_PHASE_SAMPLES));
+    outcomes.push(with_lockdep_gate(|| mass_revocation_storm(config))?);
+    outcomes.push(with_lockdep_gate(|| epoch_rollover_under_load(config))?);
+    outcomes.push(with_lockdep_gate(|| {
+        replica_kill_rejoin_during_spike(config)
+    })?);
+    outcomes.push(with_lockdep_gate(|| flaky_mobile_clients(config))?);
     Ok(outcomes)
 }
 
@@ -383,7 +425,7 @@ fn token_load(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pipe = PipeClient::connect(addr, Duration::from_secs(10)).map_err(transport)?;
     let mut in_flight: HashMap<u64, Instant> = HashMap::new();
-    let mut samples: Vec<Duration> = Vec::with_capacity(requests);
+    let mut samples: Vec<Duration> = Vec::with_capacity(requests.min(MAX_PHASE_SAMPLES));
     let mut failures = 0u64;
     let mut submitted = 0usize;
     let mut received = 0usize;
@@ -571,6 +613,8 @@ pub fn mass_revocation_storm(config: &ScenarioConfig) -> Result<ScenarioOutcome,
         failures: quiet.failures + loaded.failures,
         duplicate_executions,
         cheat_events: 0,
+        // Filled by `with_lockdep_gate` around the run.
+        lockdep_violations: 0,
     };
     let predicted_p99_us = sim_run(&SimConfig::mediated_ibe(8, 4, LinkModel::lan()))
         .p99()
@@ -624,7 +668,8 @@ pub fn epoch_rollover_under_load(config: &ScenarioConfig) -> Result<ScenarioOutc
     let zipf = Zipf::new(config.hot.saturating_sub(1));
 
     let mut failures = 0u64;
-    let mut quiet_samples: Vec<Duration> = Vec::with_capacity(config.requests);
+    let mut quiet_samples: Vec<Duration> =
+        Vec::with_capacity(config.requests.min(MAX_PHASE_SAMPLES));
     for _ in 0..config.requests {
         let id = ident(zipf.sample(&mut rng));
         let at = Instant::now();
@@ -637,7 +682,8 @@ pub fn epoch_rollover_under_load(config: &ScenarioConfig) -> Result<ScenarioOutc
 
     vp.begin_rollover();
     let mut issued = 0u64;
-    let mut loaded_samples: Vec<Duration> = Vec::with_capacity(config.requests);
+    let mut loaded_samples: Vec<Duration> =
+        Vec::with_capacity(config.requests.min(MAX_PHASE_SAMPLES));
     let mut sampled = 0usize;
     while sampled < config.requests || vp.rollover_target().is_some() {
         if let Some(step) = vp.rollover_step(config.rollover_chunk) {
@@ -670,6 +716,8 @@ pub fn epoch_rollover_under_load(config: &ScenarioConfig) -> Result<ScenarioOutc
         failures,
         duplicate_executions,
         cheat_events: 0,
+        // Filled by `with_lockdep_gate` around the run.
+        lockdep_violations: 0,
     };
     let predicted_p99_us = sim_run(&SimConfig::mediated_ibe(1, 1, LinkModel::lan()))
         .p99()
@@ -791,6 +839,8 @@ pub fn replica_kill_rejoin_during_spike(config: &ScenarioConfig) -> Result<Scena
         failures,
         duplicate_executions,
         cheat_events,
+        // Filled by `with_lockdep_gate` around the run.
+        lockdep_violations: 0,
     };
     let predicted_p99_us = sim_run(&SimConfig::mediated_ibe(4, 2, LinkModel::lan()))
         .p99()
@@ -871,7 +921,8 @@ pub fn flaky_mobile_clients(config: &ScenarioConfig) -> Result<ScenarioOutcome, 
         Duration::from_millis(2),
     )
     .map_err(transport)?;
-    let mut quiet_samples: Vec<Duration> = Vec::with_capacity(config.requests);
+    let mut quiet_samples: Vec<Duration> =
+        Vec::with_capacity(config.requests.min(MAX_PHASE_SAMPLES));
     let mut failures = 0u64;
     {
         let mut client = TcpSemClient::connect_with(
@@ -900,7 +951,8 @@ pub fn flaky_mobile_clients(config: &ScenarioConfig) -> Result<ScenarioOutcome, 
     )
     .map_err(transport)?;
     let served_before = server.metrics().counters().served;
-    let mut loaded_samples: Vec<Duration> = Vec::with_capacity(config.requests);
+    let mut loaded_samples: Vec<Duration> =
+        Vec::with_capacity(config.requests.min(MAX_PHASE_SAMPLES));
     let mut logical = 0u64;
     let per_client = config.requests.div_ceil(3);
     for client_index in 0..3u64 {
@@ -942,6 +994,8 @@ pub fn flaky_mobile_clients(config: &ScenarioConfig) -> Result<ScenarioOutcome, 
         failures,
         duplicate_executions,
         cheat_events: 0,
+        // Filled by `with_lockdep_gate` around the run.
+        lockdep_violations: 0,
     };
     let predicted_p99_us = sim_run(&SimConfig::mediated_ibe(3, 2, LinkModel::dsl_2003()))
         .p99()
@@ -987,17 +1041,27 @@ mod tests {
             failures: 1,
             duplicate_executions: 0,
             cheat_events: 0,
+            lockdep_violations: 0,
         };
         let margins = spec.evaluate(&obs);
         assert!(margins.iter().all(|m| m.pass), "{margins:?}");
-        assert_eq!(margins.len(), 4);
+        assert_eq!(margins.len(), 5);
         // One failure past the budget flips exactly the error-rate
         // margin.
         let worse = SloObservation { failures: 2, ..obs };
         let margins = spec.evaluate(&worse);
         assert!(!margins[1].pass);
         assert!(margins[1].margin < 0.0);
-        assert!(margins[0].pass && margins[2].pass && margins[3].pass);
+        assert!(margins[0].pass && margins[2].pass && margins[3].pass && margins[4].pass);
+        // A single lockdep violation fails its (hard-zero) margin.
+        let inverted = SloObservation {
+            failures: 1,
+            lockdep_violations: 1,
+            ..obs
+        };
+        let margins = spec.evaluate(&inverted);
+        assert!(!margins[4].pass);
+        assert_eq!(margins[4].name, "lockdep_violations");
     }
 
     #[test]
@@ -1130,6 +1194,7 @@ mod tests {
                     failures: counters.refused,
                     duplicate_executions: 0,
                     cheat_events: 0,
+                    lockdep_violations: 0,
                 }
             };
             let forward = fold(&snapshots);

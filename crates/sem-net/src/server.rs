@@ -9,15 +9,15 @@
 //! backlog whose latency collapses under a storm. The key table and
 //! revocation list are **sharded by identity hash**
 //! ([`crate::revocation::shard_of`]): each shard sits behind its own
-//! `parking_lot::RwLock`, so a revocation storm writing one shard
+//! `TrackedRwLock` (lock class `Shard`), so a revocation storm writing one shard
 //! never blocks token reads on the others.
 
 use crate::audit::{AuditConfig, AuditLog, Capability, MetricsSnapshot, Outcome};
 use crate::revocation::shard_of;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
-use parking_lot::RwLock;
 use sempair_core::bf_ibe::IbePublicParams;
 use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
+use sempair_core::lockdep::{LockClass, TrackedRwLock};
 use sempair_core::mediated::{DecryptToken, Sem, SemKey};
 use sempair_core::Error;
 use sempair_pairing::G1Affine;
@@ -170,7 +170,7 @@ struct State {
     params: IbePublicParams,
     /// Key/revocation state, sharded by identity hash. A write lock on
     /// one shard (revocation storm) leaves the other shards readable.
-    shards: Vec<RwLock<Inner>>,
+    shards: Vec<TrackedRwLock<Inner>>,
     audit: AuditLog,
     /// Resolved brownout watermark (see
     /// [`SemConfig::effective_brownout_watermark`]); batch jobs are
@@ -182,7 +182,7 @@ struct State {
 }
 
 impl State {
-    fn shard(&self, id: &str) -> &RwLock<Inner> {
+    fn shard(&self, id: &str) -> &TrackedRwLock<Inner> {
         // In range by construction: `shard_of` reduces modulo the
         // (non-empty, clamped) shard count.
         &self.shards[shard_of(id, self.shards.len())]
@@ -264,7 +264,8 @@ impl SemServer {
         let state = Arc::new(State {
             params,
             shards: (0..config.shards.max(1))
-                .map(|_| RwLock::new(Inner::default()))
+                // lock:class(Shard)
+                .map(|_| TrackedRwLock::new(LockClass::Shard, Inner::default()))
                 .collect(),
             audit: AuditLog::with_config(config.audit),
             brownout_watermark,

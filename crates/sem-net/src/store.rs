@@ -279,7 +279,10 @@ impl Journal {
     /// truncating the torn tail.
     pub fn append(&mut self, record: &Record) -> std::io::Result<()> {
         let payload = record.payload();
-        let mut frame = Vec::with_capacity(8 + payload.len());
+        // Payloads are built from bounded record fields, but cap the
+        // pre-allocation at the decoder's own frame ceiling anyway so
+        // a pathological record cannot reserve unbounded memory.
+        let mut frame = Vec::with_capacity((8 + payload.len()).min(8 + MAX_RECORD));
         frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         frame.extend_from_slice(&crc32(&payload).to_be_bytes());
         frame.extend_from_slice(&payload);

@@ -68,11 +68,11 @@ use crate::revocation::shard_of;
 use crate::server::{BatchItem, BatchReply};
 use crate::store::{Journal, Record, ReplayedState};
 use crossbeam::channel;
-use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 use sempair_core::bf_ibe::IbePublicParams;
 use sempair_core::gdh::{GdhSem, GdhSemKey, HalfSignature};
+use sempair_core::lockdep::{LockClass, TrackedMutex, TrackedRwLock};
 use sempair_core::mediated::{DecryptToken, Sem, SemKey};
 use sempair_core::threshold::{self, DecryptionShare, IdKeyShare};
 use sempair_core::Error;
@@ -83,7 +83,7 @@ use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::sync::{Arc, Condvar};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -213,14 +213,14 @@ struct Shared {
     /// Revocation/key state, sharded by identity hash. One identity
     /// always lands on one shard, so a write lock (install/revoke)
     /// stalls only the readers of that shard.
-    shards: Vec<RwLock<Inner>>,
+    shards: Vec<TrackedRwLock<Inner>>,
     shutdown: AtomicBool,
     audit: AuditLog,
     config: ServerConfig,
     /// Live handler sockets by connection id. Handlers remove their
     /// own entry on exit; `shutdown()` force-closes whatever remains
     /// so blocked reads/writes return immediately.
-    conns: Mutex<HashMap<u64, TcpStream>>,
+    conns: TrackedMutex<HashMap<u64, TcpStream>>,
     /// Current connection count (the `max_connections` gauge).
     live: AtomicUsize,
     next_conn_id: AtomicU64,
@@ -228,13 +228,13 @@ struct Shared {
     /// [`TcpSemServer::bind_with_journal`]. Appends are best-effort:
     /// an I/O failure leaves the in-memory state authoritative for
     /// this process lifetime.
-    journal: Mutex<Option<Journal>>,
+    journal: TrackedMutex<Option<Journal>>,
     /// The pipelined workers' bounded job queue.
     pool: PoolQueue,
     /// Recently seen pipelined `(session, request-id)` pairs, so a
     /// retried request replays its stored response instead of
     /// executing twice.
-    idem: Mutex<IdemCache>,
+    idem: TrackedMutex<IdemCache>,
     /// The precompute tier: hashed `Q_ID` points, mask bases, and
     /// prepared half-keys, each behind a bounded LRU
     /// (`config.cache_cap`; `0` disables).
@@ -243,12 +243,12 @@ struct Shared {
     /// records at bind plus ids first served this run. Membership
     /// means "already journaled" (dedup) and "warm the half-key at
     /// install time". Bounded by `cache_cap`.
-    warm: Mutex<HashSet<String>>,
+    warm: TrackedMutex<HashSet<String>>,
 }
 
 impl Shared {
     /// The shard holding `id`'s key material and revocation bit.
-    fn shard(&self, id: &str) -> &RwLock<Inner> {
+    fn shard(&self, id: &str) -> &TrackedRwLock<Inner> {
         let index = shard_of(id, self.shards.len());
         // shard_of returns a value < shards.len() by construction, and
         // bind_inner creates at least one shard.
@@ -262,11 +262,7 @@ impl Shared {
     /// Batch) is shed already at the brownout watermark, so overload
     /// degrades the deferrable traffic first.
     fn enqueue(&self, job: WireJob) -> Option<(WireJob, usize)> {
-        let mut state = self
-            .pool
-            .state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut state = self.pool.state.lock(); // lock:acquire(Pool)
         let depth = state.tokens.len() + state.signs.len();
         if depth >= self.config.queue_cap.max(1) {
             return Some((job, depth));
@@ -296,14 +292,15 @@ impl Shared {
     /// Marks `id` as hot: journals a `Warm` record (once per id, set
     /// bounded by `cache_cap`) so a restarted daemon can warm-start
     /// its precompute tier. Must be called **without** any shard lock
-    /// held: `revoke` takes the journal lock before the shard write
-    /// lock, so taking them in the opposite order here would deadlock.
+    /// held: Warm and Journal rank before Shard in the declared
+    /// lock-class table ([`LockClass::rank`]), and lockdep flags the
+    /// inversion.
     fn note_warm(&self, id: &str) {
         if !self.config.cache_warm || !self.tier.enabled() {
             return;
         }
         {
-            let mut warm = self.warm.lock();
+            let mut warm = self.warm.lock(); // lock:acquire(Warm)
             if warm.len() >= self.config.cache_cap || warm.contains(id) {
                 return;
             }
@@ -325,14 +322,15 @@ struct PoolState {
 }
 
 struct PoolQueue {
-    state: StdMutex<PoolState>,
+    state: TrackedMutex<PoolState>,
     ready: Condvar,
 }
 
 impl Default for PoolQueue {
     fn default() -> Self {
         PoolQueue {
-            state: StdMutex::new(PoolState::default()),
+            // lock:class(Pool)
+            state: TrackedMutex::new(LockClass::Pool, PoolState::default()),
             ready: Condvar::new(),
         }
     }
@@ -352,7 +350,7 @@ struct WireJob {
 /// that cannot acquire stops reading, which is exactly TCP
 /// backpressure.
 struct FlightGate {
-    inflight: StdMutex<usize>,
+    inflight: TrackedMutex<usize>,
     freed: Condvar,
     depth: usize,
 }
@@ -360,7 +358,8 @@ struct FlightGate {
 impl FlightGate {
     fn new(depth: usize) -> Self {
         FlightGate {
-            inflight: StdMutex::new(0),
+            // lock:class(Inflight)
+            inflight: TrackedMutex::new(LockClass::Inflight, 0),
             freed: Condvar::new(),
             depth: depth.max(1),
         }
@@ -369,23 +368,19 @@ impl FlightGate {
     /// Blocks until a slot frees; `false` when the daemon is shutting
     /// down instead.
     fn acquire(&self, shutdown: &AtomicBool) -> bool {
-        let mut n = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut n = self.inflight.lock(); // lock:acquire(Inflight)
         while *n >= self.depth {
             if shutdown.load(Ordering::SeqCst) {
                 return false;
             }
-            n = self
-                .freed
-                .wait_timeout(n, POOL_POLL)
-                .unwrap_or_else(PoisonError::into_inner)
-                .0;
+            let _ = n.wait_timeout(&self.freed, POOL_POLL);
         }
         *n += 1;
         true
     }
 
     fn release(&self) {
-        let mut n = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut n = self.inflight.lock(); // lock:acquire(Inflight)
         *n = n.saturating_sub(1);
         drop(n);
         self.freed.notify_one();
@@ -542,7 +537,7 @@ pub struct TcpSemServer {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    handlers: Arc<TrackedMutex<Vec<JoinHandle<()>>>>,
     /// The pipelined crypto pool ([`ServerConfig::workers`] threads).
     pool_workers: Vec<JoinHandle<()>>,
 }
@@ -738,7 +733,7 @@ impl TcpSemServer {
         let (journal, replayed) = Journal::open(journal_path)?;
         let server = Self::bind_inner(addr, params, config, Some(journal))?;
         for id in &replayed.revoked {
-            let mut inner = server.shared.shard(id).write();
+            let mut inner = server.shared.shard(id).write(); // lock:acquire(Shard)
             inner.ibe.revoke(id);
             inner.gdh.revoke(id);
             inner.revoked.insert(id.clone());
@@ -748,7 +743,7 @@ impl TcpSemServer {
         // right now; half-keys are warmed when their key material
         // arrives (`install_ibe`), keyed off the same warm set.
         if server.shared.config.cache_warm && server.shared.tier.enabled() {
-            let mut warm = server.shared.warm.lock();
+            let mut warm = server.shared.warm.lock(); // lock:acquire(Warm)
             for id in replayed.warm.iter().take(server.shared.config.cache_cap) {
                 warm.insert(id.clone());
                 server.shared.tier.warm_params(&server.shared.params, id);
@@ -767,8 +762,9 @@ impl TcpSemServer {
         let local_addr = listener.local_addr()?;
         // Poll-based accept loop: see ACCEPT_POLL.
         listener.set_nonblocking(true)?;
+        // lock:class(Shard)
         let shards = (0..config.shards.max(1))
-            .map(|_| RwLock::new(Inner::default()))
+            .map(|_| TrackedRwLock::new(LockClass::Shard, Inner::default()))
             .collect();
         let cache_cap = config.cache_cap;
         let shared = Arc::new(Shared {
@@ -777,14 +773,18 @@ impl TcpSemServer {
             shutdown: AtomicBool::new(false),
             audit: AuditLog::with_config(config.audit.clone()),
             config,
-            conns: Mutex::new(HashMap::new()),
+            // lock:class(Conns)
+            conns: TrackedMutex::new(LockClass::Conns, HashMap::new()),
             live: AtomicUsize::new(0),
             next_conn_id: AtomicU64::new(0),
-            journal: Mutex::new(journal),
+            // lock:class(Journal)
+            journal: TrackedMutex::new(LockClass::Journal, journal),
             pool: PoolQueue::default(),
-            idem: Mutex::new(IdemCache::default()),
+            // lock:class(Idem)
+            idem: TrackedMutex::new(LockClass::Idem, IdemCache::default()),
             tier: crate::cache::CacheTier::new(cache_cap),
-            warm: Mutex::new(HashSet::new()),
+            // lock:class(Warm)
+            warm: TrackedMutex::new(LockClass::Warm, HashSet::new()),
         });
         let pool_workers = (0..shared.config.workers.max(1))
             .map(|_| {
@@ -792,7 +792,8 @@ impl TcpSemServer {
                 std::thread::spawn(move || worker_loop(&worker_shared))
             })
             .collect();
-        let handlers = Arc::new(Mutex::new(Vec::new()));
+        // lock:class(Handlers)
+        let handlers = Arc::new(TrackedMutex::new(LockClass::Handlers, Vec::new()));
         let acceptor_shared = Arc::clone(&shared);
         let acceptor_handlers = Arc::clone(&handlers);
         let acceptor = std::thread::spawn(move || loop {
@@ -837,13 +838,13 @@ impl TcpSemServer {
     /// key is prepared into the cache right here.
     pub fn install_ibe(&self, key: SemKey) {
         let id = key.id.clone();
-        // Warm-set membership is read *before* the shard lock: the
-        // daemon's lock order is warm → journal → shard (note_warm,
-        // revoke), so taking warm while holding a shard lock could
-        // deadlock. Racing a concurrent note_warm at worst skips the
-        // eager warm; the first request then populates the cache.
+        // Warm-set membership is read *before* the shard lock: Warm
+        // ranks before Shard in the declared class table
+        // ([`LockClass::rank`]), enforced by the lockdep layer.
+        // Racing a concurrent note_warm at worst skips the eager
+        // warm; the first request then populates the cache.
         let warm_start = self.shared.tier.enabled() && self.shared.warm.lock().contains(&id);
-        let mut inner = self.shared.shard(&id).write();
+        let mut inner = self.shared.shard(&id).write(); // lock:acquire(Shard)
         inner.ibe.install(key);
         self.shared.tier.invalidate(&id);
         if warm_start {
@@ -877,7 +878,7 @@ impl TcpSemServer {
         if let Some(journal) = self.shared.journal.lock().as_mut() {
             let _ = journal.append(&Record::Revoke(id.to_string()));
         }
-        let mut inner = self.shared.shard(id).write();
+        let mut inner = self.shared.shard(id).write(); // lock:acquire(Shard)
         inner.ibe.revoke(id);
         inner.gdh.revoke(id);
         inner.revoked.insert(id.to_string());
@@ -892,7 +893,7 @@ impl TcpSemServer {
         if let Some(journal) = self.shared.journal.lock().as_mut() {
             let _ = journal.append(&Record::Unrevoke(id.to_string()));
         }
-        let mut inner = self.shared.shard(id).write();
+        let mut inner = self.shared.shard(id).write(); // lock:acquire(Shard)
         inner.ibe.unrevoke(id);
         inner.gdh.unrevoke(id);
         inner.revoked.remove(id);
@@ -967,12 +968,7 @@ impl TcpSemServer {
             let _ = handle.join();
         }
         {
-            let mut state = self
-                .shared
-                .pool
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut state = self.shared.pool.state.lock(); // lock:acquire(Pool)
             state.tokens.clear();
             state.signs.clear();
         }
@@ -997,7 +993,7 @@ impl Drop for TcpSemServer {
 /// Admits (or refuses) one accepted socket and spawns its handler.
 fn accept_connection(
     shared: &Arc<Shared>,
-    handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    handlers: &Arc<TrackedMutex<Vec<JoinHandle<()>>>>,
     stream: TcpStream,
     peer: SocketAddr,
 ) {
@@ -1022,9 +1018,9 @@ fn accept_connection(
         conn_shared.conns.lock().remove(&conn_id);
         conn_shared.live.fetch_sub(1, Ordering::SeqCst);
     });
-    let mut handlers = handlers.lock();
-    // Reap finished handlers so the vec stays bounded by the number of
-    // *live* connections on a long-running daemon.
+    let mut handlers = handlers.lock(); // lock:acquire(Handlers)
+                                        // Reap finished handlers so the vec stays bounded by the number of
+                                        // *live* connections on a long-running daemon.
     let mut i = 0;
     while i < handlers.len() {
         if handlers[i].is_finished() {
@@ -1258,11 +1254,7 @@ fn admit_envelope(env: PipelinedRequest, sink: &ConnWriter, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
-            let mut state = shared
-                .pool
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut state = shared.pool.state.lock(); // lock:acquire(Pool)
             loop {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return;
@@ -1270,12 +1262,7 @@ fn worker_loop(shared: &Shared) {
                 if !state.tokens.is_empty() || !state.signs.is_empty() {
                     break;
                 }
-                state = shared
-                    .pool
-                    .ready
-                    .wait_timeout(state, POOL_POLL)
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .0;
+                let _ = state.wait_timeout(&shared.pool.ready, POOL_POLL);
             }
             let mut batch = Vec::new();
             while batch.len() < TOKEN_BURST {
@@ -1291,11 +1278,7 @@ fn worker_loop(shared: &Shared) {
             // tier back-to-back instead of interleaving identities
             // and churning the half-key LRU.
             let mut batch = group_by_identity(batch);
-            let mut state = shared
-                .pool
-                .state
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut state = shared.pool.state.lock(); // lock:acquire(Pool)
             if let Some(job) = state.signs.pop_front() {
                 batch.push(job);
             }
@@ -1383,12 +1366,12 @@ fn handle_request(request: &Request, shared: &Shared) -> Response {
         op => {
             let started = Instant::now();
             let (capability, response) = {
-                let inner = shared.shard(&request.id).read();
+                let inner = shared.shard(&request.id).read(); // lock:acquire(Shard)
                 serve_item(op, &request.id, &request.body, shared, &inner)
             };
-            // The shard read lock is dropped: note_warm may take the
-            // journal lock, which `revoke` holds while waiting for
-            // this very shard.
+            // The shard read lock is dropped first: note_warm takes
+            // the Warm and Journal classes, which rank before Shard
+            // in the declared lock order.
             if op == Op::IbeToken && response.status == Status::Ok {
                 shared.note_warm(&request.id);
             }
@@ -1413,7 +1396,7 @@ fn handle_batch(items: &[Request], shared: &Shared) -> Response {
         .map(|item| {
             let started = Instant::now();
             let (capability, response) = {
-                let inner = shared.shard(&item.id).read();
+                let inner = shared.shard(&item.id).read(); // lock:acquire(Shard)
                 serve_item(item.op, &item.id, &item.body, shared, &inner)
             };
             (capability, response, started.elapsed())
@@ -2102,6 +2085,7 @@ impl PipeClient {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::audit::LockdepStats;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use sempair_core::bf_ibe::Pkg;
@@ -2225,11 +2209,15 @@ mod tests {
         let text = client.stats_text().unwrap();
         assert!(text.contains("sem_requests_served_total 5"));
         let snapshot = client.metrics().unwrap();
-        // Identical to the in-process view modulo the clock.
+        // Identical to the in-process view modulo the clock and the
+        // live lockdep counters (process-global, advanced by every
+        // concurrently running test when the feature is on).
         let mut local = server.metrics();
         let mut remote = snapshot.clone();
         local.uptime = Duration::ZERO;
         remote.uptime = Duration::ZERO;
+        local.lockdep = LockdepStats::default();
+        remote.lockdep = LockdepStats::default();
         assert_eq!(remote, local);
         assert_eq!(snapshot.records_len, 2);
         assert_eq!(snapshot.records_dropped, 3);

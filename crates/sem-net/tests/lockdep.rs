@@ -1,0 +1,75 @@
+//! Regression test for the runtime lockdep layer: a deliberate
+//! journal→warm inversion on a side thread must be reported as exactly
+//! one violation naming both classes (ISSUE 10 satellite).
+//!
+//! This test owns its process-global lockdep state — keep it the only
+//! test in this file so no concurrent test pollutes the edge graph.
+
+#![cfg(feature = "lockdep")]
+
+use sempair_core::lockdep::{self, LockClass, TrackedMutex, ViolationKind};
+
+#[test]
+fn inverted_journal_warm_acquisition_reports_one_violation() {
+    lockdep::reset();
+    let warm = std::sync::Arc::new(
+        // lock:class(Warm)
+        TrackedMutex::new(LockClass::Warm, 0u32),
+    );
+    let journal = std::sync::Arc::new(
+        // lock:class(Journal)
+        TrackedMutex::new(LockClass::Journal, 0u32),
+    );
+
+    let (w, j) = (warm.clone(), journal.clone());
+    let side = std::thread::spawn(move || {
+        // Legal direction first: warm → journal establishes the edge
+        // and must not trip anything.
+        {
+            let _warm = w.lock(); // lock:acquire(Warm)
+            let _journal = j.lock(); // lock:acquire(Journal)
+        }
+        let legal = lockdep::take_thread_violations();
+        // Now invert: journal held, warm acquired.
+        {
+            let _journal = j.lock(); // lock:acquire(Journal)
+            let _warm = w.lock();
+        }
+        (legal, lockdep::take_thread_violations())
+    });
+    let (legal, inverted) = side.join().expect("side thread panicked");
+
+    assert!(legal.is_empty(), "legal order flagged: {legal:?}");
+    assert_eq!(
+        inverted.len(),
+        1,
+        "exactly one inversion expected: {inverted:?}"
+    );
+    let v = &inverted[0];
+    assert_eq!(v.kind, ViolationKind::DeclaredOrder);
+    assert_eq!(v.held, LockClass::Journal);
+    assert_eq!(v.acquired, LockClass::Warm);
+    let text = v.to_string();
+    assert!(
+        text.contains("Journal") && text.contains("Warm"),
+        "report must name both classes: {text}"
+    );
+
+    // The global report saw the legal warm→journal edge and counted
+    // the violation; this is what sem_lockdep_* metrics export.
+    let report = lockdep::report();
+    assert!(report.violation_count >= 1);
+    assert!(
+        report
+            .edges
+            .iter()
+            .any(|e| e.from == LockClass::Warm && e.to == LockClass::Journal),
+        "warm→journal edge missing: {:?}",
+        report.edges
+    );
+    assert!(
+        report.checks >= 4,
+        "four acquisitions should have been checked: {}",
+        report.checks
+    );
+}

@@ -12,12 +12,18 @@ cargo fmt --all --check
 echo "== cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Static analysis (DESIGN.md §11): panic-freedom in request paths,
-# secret hygiene, untrusted-length bounds, constant-time equality.
-# Fails on any non-allowlisted finding; the summary line keeps the
-# allowlist size visible so it cannot silently grow.
-echo "== sempair-auditor (static analysis gate)"
+# Static analysis (DESIGN.md §11, §16): panic-freedom in request
+# paths, secret hygiene, untrusted-length bounds, constant-time
+# equality, lock discipline. Fails on any non-allowlisted finding; the
+# summary line keeps the allowlist size visible so it cannot silently
+# grow. The JSON artifact is asserted to carry an R5-lock rule entry
+# so the lock-discipline rule can never silently drop out of the scan.
+echo "== sempair-auditor (static analysis gate, writes AUDIT_report.json)"
 cargo run -q -p sempair-auditor
+cargo run -q -p sempair-auditor -- --json > AUDIT_report.json \
+  || { cat AUDIT_report.json >&2; rm -f AUDIT_report.json; exit 1; }
+grep -q '"R5-lock"' AUDIT_report.json \
+  || { echo "auditor rule summary is missing R5-lock" >&2; exit 1; }
 
 echo "== tier-1: cargo build --release"
 cargo build --release
@@ -83,5 +89,20 @@ timeout --kill-after=10s 240s cargo test -q -p sempair-net --test cluster
 # suite re-run).
 echo "== tier-1: cargo test -q -p sempair-net (under hard timeout)"
 timeout --kill-after=10s 480s cargo test -q -p sempair-net
+
+# Lock-order verification (DESIGN.md §16): the whole sem-net suite and
+# the scenario smoke again with the runtime lockdep layer compiled in.
+# Every TrackedMutex/TrackedRwLock acquisition is checked against the
+# declared class ranks and the observed acquired-before graph; the
+# scenario SLO specs carry a hard-zero lockdep_violations margin, so a
+# single inversion anywhere in the serving paths fails this stage.
+echo "== lockdep: cargo test -q -p sempair-net --features lockdep (under hard timeout)"
+timeout --kill-after=10s 480s cargo test -q -p sempair-net --features lockdep
+
+echo "== lockdep: scenario suite smoke with runtime verification"
+timeout --kill-after=10s 300s cargo run --release -q -p sempair-bench --features lockdep \
+  --bin scenario_bench -- --smoke
+grep -q '"schema": "sempair-bench-scenarios/1"' BENCH_scenarios.json \
+  || { echo "BENCH_scenarios.json is not schema sempair-bench-scenarios/1" >&2; exit 1; }
 
 echo "ALL CHECKS PASSED"

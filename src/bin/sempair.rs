@@ -70,6 +70,9 @@ struct Args {
     /// Users re-keyed per incremental rollover chunk (`scenario`,
     /// `--rollover-chunk`).
     rollover_chunk: Option<usize>,
+    /// Runtime lock-order verification (`serve`/`scenario`); requires
+    /// a binary built with `--features lockdep`.
+    lockdep: bool,
     positional: Vec<String>,
 }
 
@@ -112,6 +115,7 @@ fn parse_args() -> Result<Args, String> {
     let mut hedge = None;
     let mut seed = None;
     let mut rollover_chunk = None;
+    let mut lockdep = false;
     let mut positional = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -216,6 +220,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|_| format!("--audit-cap: `{raw}` is not a number"))?;
             }
+            "--lockdep" => lockdep = true,
             "--identity-cap" => {
                 let raw = args.next().ok_or("--identity-cap needs a value")?;
                 server_config.audit.identity_cap = raw
@@ -240,8 +245,27 @@ fn parse_args() -> Result<Args, String> {
         hedge,
         seed,
         rollover_chunk,
+        lockdep,
         positional,
     })
+}
+
+/// Applies `--lockdep`: enables runtime lock-order verification when
+/// the binary carries the `lockdep` feature, warns when it does not
+/// (the tracked wrappers are compiled-out shims in that case).
+fn apply_lockdep(args: &Args) {
+    if !args.lockdep {
+        return;
+    }
+    if sempair::core::lockdep::COMPILED {
+        sempair::core::lockdep::set_enabled(true);
+        eprintln!("lockdep: runtime lock-order verification active (sem_lockdep_* metrics)");
+    } else {
+        eprintln!(
+            "lockdep: not compiled into this binary — rebuild with \
+             `--features lockdep` to enable runtime lock-order verification"
+        );
+    }
 }
 
 fn usage() -> String {
@@ -252,7 +276,7 @@ fn usage() -> String {
      [--workers N] [--shards N] [--queue-cap N] [--pipeline-depth N] \
      [--cache-cap N] [--cache-warm] [--brownout-watermark N] \
      [--audit-cap N] [--identity-cap N] \
-     [--seed N] [--rollover-chunk N] [args...]"
+     [--seed N] [--rollover-chunk N] [--lockdep] [args...]"
         .to_string()
 }
 
@@ -851,6 +875,7 @@ fn cmd_stats_cluster(args: &Args) -> Result<(), String> {
 /// `--cluster T/N` the daemon instead boots `n` journal-backed
 /// replicas on consecutive ports (see [`cmd_serve_cluster`]).
 fn cmd_serve(args: &Args) -> Result<(), String> {
+    apply_lockdep(args);
     if args.cluster.is_some() {
         return cmd_serve_cluster(args);
     }
@@ -957,6 +982,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 /// threshold handed to the scenario servers.
 fn cmd_scenario(args: &Args) -> Result<(), String> {
     use sempair::net::scenario::{run_all, run_scenario, ScenarioConfig, SCENARIOS};
+    apply_lockdep(args);
     let mut config = ScenarioConfig::smoke();
     if let Some(seed) = args.seed {
         config.seed = seed;
